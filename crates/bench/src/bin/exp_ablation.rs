@@ -1,0 +1,5 @@
+//! Binary wrapper for experiment `e08_ablation`.
+
+fn main() {
+    omn_bench::experiments::e08_ablation::run();
+}

@@ -1,0 +1,5 @@
+//! Binary wrapper for experiment `e07_caching_nodes`.
+
+fn main() {
+    omn_bench::experiments::e07_caching_nodes::run();
+}

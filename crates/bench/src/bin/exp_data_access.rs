@@ -1,0 +1,5 @@
+//! Binary wrapper for experiment `e09_data_access`.
+
+fn main() {
+    omn_bench::experiments::e09_data_access::run();
+}

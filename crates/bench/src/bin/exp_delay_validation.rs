@@ -1,0 +1,5 @@
+//! Binary wrapper for experiment `e02_delay_validation`.
+
+fn main() {
+    omn_bench::experiments::e02_delay_validation::run();
+}

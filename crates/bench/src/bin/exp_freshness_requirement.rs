@@ -1,0 +1,5 @@
+//! Binary wrapper for experiment `e04_freshness_requirement`.
+
+fn main() {
+    omn_bench::experiments::e04_freshness_requirement::run();
+}

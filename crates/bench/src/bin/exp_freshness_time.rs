@@ -1,0 +1,5 @@
+//! Binary wrapper for experiment `e03_freshness_time`.
+
+fn main() {
+    omn_bench::experiments::e03_freshness_time::run();
+}

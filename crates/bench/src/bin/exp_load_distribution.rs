@@ -1,0 +1,5 @@
+//! Binary wrapper for experiment `e12_load_distribution`.
+
+fn main() {
+    omn_bench::experiments::e12_load_distribution::run();
+}

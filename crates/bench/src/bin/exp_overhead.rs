@@ -1,0 +1,5 @@
+//! Binary wrapper for experiment `e06_overhead`.
+
+fn main() {
+    omn_bench::experiments::e06_overhead::run();
+}

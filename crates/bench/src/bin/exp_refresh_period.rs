@@ -1,0 +1,5 @@
+//! Binary wrapper for experiment `e05_refresh_period`.
+
+fn main() {
+    omn_bench::experiments::e05_refresh_period::run();
+}

@@ -1,0 +1,5 @@
+//! Binary wrapper for experiment `e11_robustness`.
+
+fn main() {
+    omn_bench::experiments::e11_robustness::run();
+}

@@ -1,0 +1,5 @@
+//! Binary wrapper for experiment `e10_routing_baselines`.
+
+fn main() {
+    omn_bench::experiments::e10_routing_baselines::run();
+}

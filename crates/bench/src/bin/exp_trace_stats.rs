@@ -1,0 +1,5 @@
+//! Binary wrapper for experiment `e01_trace_stats`.
+
+fn main() {
+    omn_bench::experiments::e01_trace_stats::run();
+}

@@ -1,0 +1,17 @@
+//! Runs the complete reconstructed evaluation (E1-E12) in order.
+
+fn main() {
+    use omn_bench::experiments as e;
+    e::e01_trace_stats::run();
+    e::e02_delay_validation::run();
+    e::e03_freshness_time::run();
+    e::e04_freshness_requirement::run();
+    e::e05_refresh_period::run();
+    e::e06_overhead::run();
+    e::e07_caching_nodes::run();
+    e::e08_ablation::run();
+    e::e09_data_access::run();
+    e::e10_routing_baselines::run();
+    e::e11_robustness::run();
+    e::e12_load_distribution::run();
+}

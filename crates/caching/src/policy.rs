@@ -1,0 +1,155 @@
+//! Cache replacement policies.
+
+use omn_sim::SimTime;
+
+use crate::item::DataItemId;
+
+/// The facts a policy may use to pick an eviction victim.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VictimCandidate {
+    /// The cached item.
+    pub item: DataItemId,
+    /// When the copy was fetched.
+    pub fetched_at: SimTime,
+    /// When the copy was last read.
+    pub last_access: SimTime,
+    /// How many times the copy has been read.
+    pub access_count: u64,
+    /// Item size in bytes.
+    pub size: u64,
+}
+
+/// A cache replacement policy: given the current entries, pick the one to
+/// evict.
+pub trait CachePolicy: std::fmt::Debug {
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Index of the entry to evict.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `candidates` is empty; the store never
+    /// calls this with an empty slice.
+    fn victim(&self, candidates: &[VictimCandidate], now: SimTime) -> usize;
+}
+
+/// Least-recently-used: evict the entry with the oldest `last_access`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Lru;
+
+impl CachePolicy for Lru {
+    fn name(&self) -> &'static str {
+        "lru"
+    }
+
+    fn victim(&self, candidates: &[VictimCandidate], _now: SimTime) -> usize {
+        candidates
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                (a.last_access, a.item).cmp(&(b.last_access, b.item))
+            })
+            .map(|(i, _)| i)
+            .expect("non-empty candidates")
+    }
+}
+
+/// Least-frequently-used: evict the entry with the smallest access count
+/// (ties broken by recency).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Lfu;
+
+impl CachePolicy for Lfu {
+    fn name(&self) -> &'static str {
+        "lfu"
+    }
+
+    fn victim(&self, candidates: &[VictimCandidate], _now: SimTime) -> usize {
+        candidates
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                (a.access_count, a.last_access, a.item).cmp(&(
+                    b.access_count,
+                    b.last_access,
+                    b.item,
+                ))
+            })
+            .map(|(i, _)| i)
+            .expect("non-empty candidates")
+    }
+}
+
+/// Utility-based replacement: evict the entry with the lowest access rate
+/// per byte, `access_count / (age · size)` — popular, small, young entries
+/// are retained.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Utility;
+
+impl CachePolicy for Utility {
+    fn name(&self) -> &'static str {
+        "utility"
+    }
+
+    fn victim(&self, candidates: &[VictimCandidate], now: SimTime) -> usize {
+        let utility = |c: &VictimCandidate| {
+            let age = now.saturating_since(c.fetched_at).as_secs().max(1.0);
+            c.access_count as f64 / (age * c.size as f64)
+        };
+        candidates
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                utility(a)
+                    .total_cmp(&utility(b))
+                    .then(a.item.cmp(&b.item))
+            })
+            .map(|(i, _)| i)
+            .expect("non-empty candidates")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(item: u32, fetched: f64, last: f64, count: u64, size: u64) -> VictimCandidate {
+        VictimCandidate {
+            item: DataItemId(item),
+            fetched_at: SimTime::from_secs(fetched),
+            last_access: SimTime::from_secs(last),
+            access_count: count,
+            size,
+        }
+    }
+
+    #[test]
+    fn lru_evicts_stalest() {
+        let cs = [cand(0, 0.0, 50.0, 3, 1), cand(1, 0.0, 10.0, 9, 1)];
+        assert_eq!(Lru.victim(&cs, SimTime::from_secs(100.0)), 1);
+        assert_eq!(Lru.name(), "lru");
+    }
+
+    #[test]
+    fn lfu_evicts_least_popular() {
+        let cs = [cand(0, 0.0, 50.0, 3, 1), cand(1, 0.0, 10.0, 9, 1)];
+        assert_eq!(Lfu.victim(&cs, SimTime::from_secs(100.0)), 0);
+    }
+
+    #[test]
+    fn utility_prefers_keeping_hot_small_items() {
+        // Item 0: 100 accesses, size 1, young. Item 1: 1 access, size 1000.
+        let cs = [cand(0, 90.0, 95.0, 100, 1), cand(1, 0.0, 5.0, 1, 1000)];
+        assert_eq!(Utility.victim(&cs, SimTime::from_secs(100.0)), 1);
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        let cs = [cand(2, 0.0, 10.0, 1, 1), cand(1, 0.0, 10.0, 1, 1)];
+        // Equal stats: smaller item id evicted.
+        assert_eq!(Lru.victim(&cs, SimTime::from_secs(100.0)), 1);
+        assert_eq!(Lfu.victim(&cs, SimTime::from_secs(100.0)), 1);
+        assert_eq!(Utility.victim(&cs, SimTime::from_secs(100.0)), 1);
+    }
+}

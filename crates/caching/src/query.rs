@@ -1,0 +1,168 @@
+//! Query workloads: Zipf item popularity, Poisson arrivals.
+
+use omn_contacts::{ContactTrace, NodeId};
+use omn_sim::{RngFactory, SimTime};
+use rand::Rng;
+
+use crate::item::{Catalog, DataItemId};
+
+/// One query: node `requester` wants item `item` at time `issued`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Query {
+    /// When the query is issued.
+    pub issued: SimTime,
+    /// The querying node.
+    pub requester: NodeId,
+    /// The requested item.
+    pub item: DataItemId,
+}
+
+/// A sorted batch of queries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryWorkload {
+    queries: Vec<Query>,
+}
+
+impl QueryWorkload {
+    /// Builds a workload from raw queries (sorted internally).
+    #[must_use]
+    pub fn new(mut queries: Vec<Query>) -> QueryWorkload {
+        queries.sort_by(|a, b| {
+            (a.issued, a.requester, a.item).cmp(&(b.issued, b.requester, b.item))
+        });
+        QueryWorkload { queries }
+    }
+
+    /// Generates `count` queries: issue times uniform over the trace span,
+    /// requesters uniform over nodes, items Zipf-distributed over the
+    /// catalog with exponent `zipf_s` (s = 0 is uniform; s ≈ 1 matches web
+    /// workloads).
+    ///
+    /// Deterministic given the factory (stream `"queries"`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `zipf_s` is negative or not finite.
+    #[must_use]
+    pub fn zipf(
+        trace: &ContactTrace,
+        catalog: &Catalog,
+        count: usize,
+        zipf_s: f64,
+        factory: &RngFactory,
+    ) -> QueryWorkload {
+        assert!(
+            zipf_s.is_finite() && zipf_s >= 0.0,
+            "zipf exponent must be non-negative"
+        );
+        let mut rng = factory.stream("queries");
+        // Zipf CDF over ranks 1..=m; item id k has rank k+1 (item 0 most
+        // popular).
+        let m = catalog.len();
+        let weights: Vec<f64> = (1..=m).map(|r| 1.0 / (r as f64).powf(zipf_s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut cdf = Vec::with_capacity(m);
+        let mut acc = 0.0;
+        for w in &weights {
+            acc += w / total;
+            cdf.push(acc);
+        }
+
+        let n = trace.node_count() as u32;
+        let span = trace.span().as_secs();
+        let queries = (0..count)
+            .map(|_| {
+                let u: f64 = rng.gen();
+                let idx = cdf.partition_point(|&c| c < u).min(m - 1);
+                Query {
+                    issued: SimTime::from_secs(rng.gen_range(0.0..span.max(f64::MIN_POSITIVE))),
+                    requester: NodeId(rng.gen_range(0..n)),
+                    item: DataItemId(idx as u32),
+                }
+            })
+            .collect();
+        QueryWorkload::new(queries)
+    }
+
+    /// The queries in issue order.
+    #[must_use]
+    pub fn queries(&self) -> &[Query] {
+        &self.queries
+    }
+
+    /// Number of queries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True if there are no queries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omn_contacts::TraceBuilder;
+    use omn_sim::SimDuration;
+
+    fn setup() -> (ContactTrace, Catalog) {
+        let trace = TraceBuilder::new(10)
+            .span(SimTime::from_secs(1000.0))
+            .build()
+            .unwrap();
+        let catalog = Catalog::uniform(
+            &trace,
+            20,
+            SimDuration::from_secs(100.0),
+            &RngFactory::new(1),
+        );
+        (trace, catalog)
+    }
+
+    #[test]
+    fn generates_sorted_in_range() {
+        let (trace, catalog) = setup();
+        let w = QueryWorkload::zipf(&trace, &catalog, 100, 1.0, &RngFactory::new(2));
+        assert_eq!(w.len(), 100);
+        for q in w.queries() {
+            assert!(q.requester.index() < 10);
+            assert!(q.item.index() < 20);
+            assert!(q.issued.as_secs() <= 1000.0);
+        }
+        for pair in w.queries().windows(2) {
+            assert!(pair[0].issued <= pair[1].issued);
+        }
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ids() {
+        let (trace, catalog) = setup();
+        let w = QueryWorkload::zipf(&trace, &catalog, 2000, 1.2, &RngFactory::new(3));
+        let hot = w.queries().iter().filter(|q| q.item.index() < 4).count();
+        let cold = w.queries().iter().filter(|q| q.item.index() >= 16).count();
+        assert!(hot > 3 * cold, "hot {hot} vs cold {cold}");
+    }
+
+    #[test]
+    fn zero_exponent_is_roughly_uniform() {
+        let (trace, catalog) = setup();
+        let w = QueryWorkload::zipf(&trace, &catalog, 4000, 0.0, &RngFactory::new(4));
+        let first = w.queries().iter().filter(|q| q.item.index() == 0).count();
+        // Uniform expectation 200; allow generous slack.
+        assert!((100..350).contains(&first), "count {first}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let (trace, catalog) = setup();
+        let f = RngFactory::new(5);
+        assert_eq!(
+            QueryWorkload::zipf(&trace, &catalog, 50, 1.0, &f),
+            QueryWorkload::zipf(&trace, &catalog, 50, 1.0, &f)
+        );
+    }
+}

@@ -1,0 +1,547 @@
+//! Trace-driven cooperative caching (data access) simulation.
+//!
+//! Implements the NCL caching protocol end to end:
+//!
+//! 1. **Placement** — each source pushes a copy of each of its items toward
+//!    every NCL by single-copy gradient forwarding on the expected-delay
+//!    metric; relays may cache passing data opportunistically.
+//! 2. **Query forwarding** — a query travels by gradient toward the nearest
+//!    NCL; any encountered node holding an unexpired copy answers it.
+//! 3. **Response return** — the answer travels back to the requester by
+//!    gradient on the same metric.
+//!
+//! Queries not answered within the configured deadline fail. The report
+//! gives the query success ratio, access delays, and protocol overhead —
+//! the data-access metrics of experiment E9 — plus the final set of nodes
+//! caching each item, which the cache-freshness layer consumes.
+
+use omn_contacts::{ContactGraph, ContactTrace, NodeId};
+use omn_sim::metrics::SampleHistogram;
+use omn_sim::{SimDuration, SimTime};
+
+use crate::item::{Catalog, DataItemId};
+use crate::ncl::{select_ncls, NclConfig};
+use crate::policy::{CachePolicy, Lru};
+use crate::query::{Query, QueryWorkload};
+use crate::store::CacheStore;
+
+/// Caching simulation parameters.
+#[derive(Debug, Clone)]
+pub struct CachingConfig {
+    /// NCL selection parameters.
+    pub ncl: NclConfig,
+    /// Per-node cache capacity in items.
+    pub cache_capacity: usize,
+    /// Query deadline: unanswered queries older than this fail.
+    pub query_deadline: SimDuration,
+    /// Whether relays cache data passing through them.
+    pub opportunistic_caching: bool,
+}
+
+impl Default for CachingConfig {
+    fn default() -> CachingConfig {
+        CachingConfig {
+            ncl: NclConfig::new(4),
+            cache_capacity: 16,
+            query_deadline: SimDuration::from_hours(24.0),
+            opportunistic_caching: true,
+        }
+    }
+}
+
+/// A query or response in flight, carried by exactly one node.
+#[derive(Debug, Clone, Copy)]
+struct PendingQuery {
+    query: Query,
+    carrier: NodeId,
+    hops: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingResponse {
+    query: Query,
+    version: u64,
+    carrier: NodeId,
+    hops: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PlacementCopy {
+    item: DataItemId,
+    target_ncl: NodeId,
+    carrier: NodeId,
+}
+
+/// Results of a caching simulation.
+#[derive(Debug, Clone)]
+pub struct AccessReport {
+    /// Queries issued.
+    pub created: usize,
+    /// Queries answered within the deadline.
+    pub satisfied: usize,
+    /// Of those, answered from the requester's own cache.
+    pub local_hits: usize,
+    /// Access delays (seconds) of satisfied queries.
+    pub delays: SampleHistogram,
+    /// Message transfers performed by the protocol (placement + query +
+    /// response hops).
+    pub transmissions: u64,
+    /// Nodes caching each item at the end of the run (indexed by item id),
+    /// including the item's source.
+    pub cachers_per_item: Vec<Vec<NodeId>>,
+}
+
+impl AccessReport {
+    /// Satisfied / created, or 0 when no queries were issued.
+    #[must_use]
+    pub fn success_ratio(&self) -> f64 {
+        if self.created == 0 {
+            0.0
+        } else {
+            self.satisfied as f64 / self.created as f64
+        }
+    }
+
+    /// Mean access delay over satisfied queries.
+    #[must_use]
+    pub fn mean_delay(&self) -> Option<f64> {
+        self.delays.mean()
+    }
+}
+
+/// The cooperative caching simulator.
+#[derive(Debug, Clone)]
+pub struct CachingSimulator {
+    config: CachingConfig,
+}
+
+impl CachingSimulator {
+    /// Creates a simulator.
+    #[must_use]
+    pub fn new(config: CachingConfig) -> CachingSimulator {
+        CachingSimulator { config }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &CachingConfig {
+        &self.config
+    }
+
+    /// Runs the protocol over `trace` for the given catalog and queries,
+    /// with LRU replacement.
+    #[must_use]
+    pub fn run(
+        &self,
+        trace: &ContactTrace,
+        catalog: &Catalog,
+        queries: &QueryWorkload,
+    ) -> AccessReport {
+        self.run_with_policy(trace, catalog, queries, &Lru)
+    }
+
+    /// Runs the protocol with an explicit replacement policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace has no contacts when queries exist (nothing
+    /// could ever be delivered) — usually a sign of a misconfigured
+    /// scenario.
+    #[must_use]
+    pub fn run_with_policy<P: CachePolicy + ?Sized>(
+        &self,
+        trace: &ContactTrace,
+        catalog: &Catalog,
+        queries: &QueryWorkload,
+        policy: &P,
+    ) -> AccessReport {
+        let n = trace.node_count();
+        let graph = ContactGraph::from_trace(trace);
+        let ncls = select_ncls(&graph, &self.config.ncl);
+
+        // All-pairs expected delays for gradient forwarding.
+        let delays: Vec<Vec<Option<f64>>> = (0..n)
+            .map(|i| graph.shortest_expected_delays(NodeId(i as u32)))
+            .collect();
+        let delay_to = |x: NodeId, target: NodeId| delays[target.index()][x.index()];
+        // Strictly-closer test with a small margin to avoid ping-ponging on
+        // ties.
+        let closer = |candidate: NodeId, current: NodeId, target: NodeId| -> bool {
+            match (delay_to(candidate, target), delay_to(current, target)) {
+                (Some(c), Some(k)) => c + 1e-9 < k,
+                (Some(_), None) => true,
+                _ => false,
+            }
+        };
+
+        let mut stores: Vec<CacheStore> = (0..n)
+            .map(|_| CacheStore::new(self.config.cache_capacity))
+            .collect();
+
+        let mut report = AccessReport {
+            created: queries.len(),
+            satisfied: 0,
+            local_hits: 0,
+            delays: SampleHistogram::new(),
+            transmissions: 0,
+            cachers_per_item: vec![Vec::new(); catalog.len()],
+        };
+
+        // Placement: one copy per (item, NCL), initially at the source.
+        // Sources cache their own items permanently (conceptually the
+        // authoritative copy, not counted against cache capacity).
+        let mut placements: Vec<PlacementCopy> = Vec::new();
+        for item in catalog.items() {
+            for &ncl in &ncls {
+                if ncl != item.source() {
+                    placements.push(PlacementCopy {
+                        item: item.id(),
+                        target_ncl: ncl,
+                        carrier: item.source(),
+                    });
+                }
+            }
+        }
+
+        let mut pending_queries: Vec<PendingQuery> = Vec::new();
+        let mut pending_responses: Vec<PendingResponse> = Vec::new();
+        let mut next_query = 0usize;
+        let qs = queries.queries();
+
+        // Answer helper: does `node` hold an answer for `item` at `now`?
+        // The source always can.
+        let holds = |stores: &[CacheStore], node: NodeId, item: DataItemId, now: SimTime| -> Option<u64> {
+            let meta = catalog.item(item);
+            if node == meta.source() {
+                return Some(0);
+            }
+            stores[node.index()]
+                .peek(item)
+                .filter(|e| now.saturating_since(e.fetched_at) <= meta.lifetime())
+                .map(|e| e.version)
+        };
+
+        for contact in trace.contacts() {
+            let now = contact.start();
+
+            // Issue queries that have become due.
+            while next_query < qs.len() && qs[next_query].issued <= now {
+                let q = qs[next_query];
+                next_query += 1;
+                if holds(&stores, q.requester, q.item, q.issued).is_some() {
+                    stores[q.requester.index()].access(q.item, q.issued);
+                    report.satisfied += 1;
+                    report.local_hits += 1;
+                    report.delays.record(0.0);
+                } else {
+                    pending_queries.push(PendingQuery {
+                        query: q,
+                        carrier: q.requester,
+                        hops: 0,
+                    });
+                }
+            }
+
+            // Expire overdue queries.
+            let deadline = self.config.query_deadline;
+            pending_queries.retain(|p| now.saturating_since(p.query.issued) <= deadline);
+            pending_responses.retain(|p| now.saturating_since(p.query.issued) <= deadline);
+
+            let (a, b) = contact.pair();
+
+            // 1. Placement forwarding.
+            for p in &mut placements {
+                let (carrier, peer) = if p.carrier == a {
+                    (a, b)
+                } else if p.carrier == b {
+                    (b, a)
+                } else {
+                    continue;
+                };
+                let meta = catalog.item(p.item);
+                if peer == p.target_ncl {
+                    stores[peer.index()].put(meta, 0, now, policy);
+                    report.transmissions += 1;
+                    p.carrier = peer; // parked at the NCL; retired below
+                } else if closer(peer, carrier, p.target_ncl) {
+                    if self.config.opportunistic_caching {
+                        stores[peer.index()].put(meta, 0, now, policy);
+                    }
+                    report.transmissions += 1;
+                    p.carrier = peer;
+                }
+            }
+            placements.retain(|p| p.carrier != p.target_ncl);
+
+            // 2. Query handling: answer or forward.
+            let mut answered: Vec<usize> = Vec::new();
+            for (idx, p) in pending_queries.iter_mut().enumerate() {
+                let (carrier, peer) = if p.carrier == a {
+                    (a, b)
+                } else if p.carrier == b {
+                    (b, a)
+                } else {
+                    continue;
+                };
+                // Peer can answer?
+                if let Some(version) = holds(&stores, peer, p.query.item, now) {
+                    report.transmissions += 1; // query handed to the answerer
+                    pending_responses.push(PendingResponse {
+                        query: p.query,
+                        version,
+                        carrier: peer,
+                        hops: p.hops + 1,
+                    });
+                    answered.push(idx);
+                    continue;
+                }
+                // Otherwise forward toward the nearest NCL (by expected
+                // delay from the peer vs carrier, minimized over NCLs).
+                let best = |x: NodeId| {
+                    ncls.iter()
+                        .filter_map(|&ncl| delay_to(x, ncl))
+                        .fold(f64::INFINITY, f64::min)
+                };
+                if best(peer) + 1e-9 < best(carrier) {
+                    p.carrier = peer;
+                    p.hops += 1;
+                    report.transmissions += 1;
+                }
+            }
+            for idx in answered.into_iter().rev() {
+                pending_queries.swap_remove(idx);
+            }
+
+            // 3. Response return.
+            let mut delivered: Vec<usize> = Vec::new();
+            for (idx, r) in pending_responses.iter_mut().enumerate() {
+                let (carrier, peer) = if r.carrier == a {
+                    (a, b)
+                } else if r.carrier == b {
+                    (b, a)
+                } else {
+                    continue;
+                };
+                if peer == r.query.requester {
+                    report.transmissions += 1;
+                    report.satisfied += 1;
+                    report
+                        .delays
+                        .record(now.saturating_since(r.query.issued).as_secs());
+                    // Requester caches the received item.
+                    stores[peer.index()].put(catalog.item(r.query.item), r.version, now, policy);
+                    delivered.push(idx);
+                } else if closer(peer, carrier, r.query.requester) {
+                    r.carrier = peer;
+                    r.hops += 1;
+                    report.transmissions += 1;
+                }
+            }
+            for idx in delivered.into_iter().rev() {
+                pending_responses.swap_remove(idx);
+            }
+        }
+
+        // Final caching sets (source + nodes holding unexpired copies).
+        let end = trace.span();
+        for item in catalog.items() {
+            let mut cachers = vec![item.source()];
+            for (node, store) in stores.iter().enumerate() {
+                let id = NodeId(node as u32);
+                if id != item.source()
+                    && store
+                        .peek(item.id())
+                        .is_some_and(|e| end.saturating_since(e.fetched_at) <= item.lifetime())
+                {
+                    cachers.push(id);
+                }
+            }
+            report.cachers_per_item[item.id().index()] = cachers;
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omn_contacts::{Contact, TraceBuilder};
+    use omn_sim::RngFactory;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn c(a: u32, b: u32, s: f64, e: f64) -> Contact {
+        Contact::new(NodeId(a), NodeId(b), t(s), t(e)).unwrap()
+    }
+
+    fn one_item_catalog(source: u32) -> Catalog {
+        Catalog::new(vec![crate::item::DataItem::new(
+            DataItemId(0),
+            NodeId(source),
+            100,
+            SimDuration::from_secs(1000.0),
+            SimDuration::from_secs(1e6),
+        )])
+    }
+
+    #[test]
+    fn local_hit_at_source() {
+        // The source queries its own item: instant hit, no contacts needed
+        // beyond one to drive the loop.
+        let trace = TraceBuilder::new(3).contact(c(1, 2, 10.0, 11.0)).build().unwrap();
+        let catalog = one_item_catalog(0);
+        let queries = QueryWorkload::new(vec![Query {
+            issued: t(5.0),
+            requester: NodeId(0),
+            item: DataItemId(0),
+        }]);
+        let report = CachingSimulator::new(CachingConfig::default())
+            .run(&trace, &catalog, &queries);
+        assert_eq!(report.satisfied, 1);
+        assert_eq!(report.local_hits, 1);
+        assert_eq!(report.mean_delay(), Some(0.0));
+    }
+
+    #[test]
+    fn remote_answer_via_contact_with_source() {
+        // Requester 1 meets source 0 directly: 0 answers, response
+        // delivered in the same contact chain.
+        let trace = TraceBuilder::new(2)
+            .contact(c(0, 1, 10.0, 11.0))
+            .contact(c(0, 1, 20.0, 21.0))
+            .build()
+            .unwrap();
+        let catalog = one_item_catalog(0);
+        let queries = QueryWorkload::new(vec![Query {
+            issued: t(5.0),
+            requester: NodeId(1),
+            item: DataItemId(0),
+        }]);
+        let report = CachingSimulator::new(CachingConfig::default())
+            .run(&trace, &catalog, &queries);
+        // At t=10 the query (carried by 1) meets source 0, which answers
+        // and returns the response within the same contact → delay 5.
+        assert_eq!(report.satisfied, 1);
+        assert!((report.mean_delay().unwrap() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn placement_reaches_ncl_and_serves_queries() {
+        // Dense pair (1,2) makes them central; source 0 touches 1 once.
+        let mut builder = TraceBuilder::new(4).contact(c(0, 1, 5.0, 6.0));
+        for k in 0..20 {
+            let s = 10.0 + f64::from(k) * 10.0;
+            builder = builder.contact(c(1, 2, s, s + 1.0));
+        }
+        // Requester 3 meets node 1 late.
+        let trace = builder
+            .contact(c(1, 3, 500.0, 501.0))
+            .contact(c(1, 3, 600.0, 601.0))
+            .build()
+            .unwrap();
+        let catalog = one_item_catalog(0);
+        let config = CachingConfig {
+            ncl: NclConfig::new(1),
+            ..CachingConfig::default()
+        };
+        let queries = QueryWorkload::new(vec![Query {
+            issued: t(400.0),
+            requester: NodeId(3),
+            item: DataItemId(0),
+        }]);
+        let report = CachingSimulator::new(config).run(&trace, &catalog, &queries);
+        assert_eq!(report.satisfied, 1, "query should be answered by cached copy");
+        // Node 1 (the NCL or an opportunistic cacher) holds the item.
+        assert!(report.cachers_per_item[0].len() >= 2);
+    }
+
+    #[test]
+    fn queries_expire_at_deadline() {
+        let trace = TraceBuilder::new(3)
+            .contact(c(1, 2, 5000.0, 5001.0))
+            .build()
+            .unwrap();
+        let catalog = one_item_catalog(0);
+        let config = CachingConfig {
+            query_deadline: SimDuration::from_secs(100.0),
+            ..CachingConfig::default()
+        };
+        let queries = QueryWorkload::new(vec![Query {
+            issued: t(0.0),
+            requester: NodeId(1),
+            item: DataItemId(0),
+        }]);
+        let report = CachingSimulator::new(config).run(&trace, &catalog, &queries);
+        assert_eq!(report.satisfied, 0);
+    }
+
+    #[test]
+    fn end_to_end_on_synthetic_trace() {
+        use omn_contacts::synth::{generate_pairwise, PairwiseConfig};
+        let factory = RngFactory::new(42);
+        let trace = generate_pairwise(
+            &PairwiseConfig::new(20, SimDuration::from_days(2.0)).mean_rate(1.0 / 3600.0),
+            &factory,
+        );
+        let catalog = Catalog::uniform(&trace, 8, SimDuration::from_hours(8.0), &factory);
+        let queries = QueryWorkload::zipf(&trace, &catalog, 300, 1.0, &factory);
+        let report = CachingSimulator::new(CachingConfig::default())
+            .run(&trace, &catalog, &queries);
+        assert!(report.created == 300);
+        assert!(
+            report.success_ratio() > 0.3,
+            "success ratio {}",
+            report.success_ratio()
+        );
+        assert!(report.transmissions > 0);
+        // Every item is cached at least at its source.
+        for cachers in &report.cachers_per_item {
+            assert!(!cachers.is_empty());
+        }
+    }
+
+    #[test]
+    fn alternate_policies_run_end_to_end() {
+        use crate::policy::{Lfu, Utility};
+        use omn_contacts::synth::{generate_pairwise, PairwiseConfig};
+        let factory = RngFactory::new(21);
+        let trace = generate_pairwise(
+            &PairwiseConfig::new(18, SimDuration::from_days(2.0)).mean_rate(1.0 / 3600.0),
+            &factory,
+        );
+        // Tight caches force evictions so the policies actually act.
+        let config = CachingConfig {
+            cache_capacity: 2,
+            ..CachingConfig::default()
+        };
+        let catalog = Catalog::uniform(&trace, 10, SimDuration::from_hours(6.0), &factory);
+        let queries = QueryWorkload::zipf(&trace, &catalog, 250, 1.2, &factory);
+        let sim = CachingSimulator::new(config);
+        let lfu = sim.run_with_policy(&trace, &catalog, &queries, &Lfu);
+        let utility = sim.run_with_policy(&trace, &catalog, &queries, &Utility);
+        for r in [&lfu, &utility] {
+            assert_eq!(r.created, 250);
+            assert!(r.success_ratio() > 0.1, "{}", r.success_ratio());
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        use omn_contacts::synth::{generate_pairwise, PairwiseConfig};
+        let factory = RngFactory::new(9);
+        let trace = generate_pairwise(
+            &PairwiseConfig::new(15, SimDuration::from_days(1.0)).mean_rate(1.0 / 1800.0),
+            &factory,
+        );
+        let catalog = Catalog::uniform(&trace, 5, SimDuration::from_hours(4.0), &factory);
+        let queries = QueryWorkload::zipf(&trace, &catalog, 100, 1.0, &factory);
+        let sim = CachingSimulator::new(CachingConfig::default());
+        let r1 = sim.run(&trace, &catalog, &queries);
+        let r2 = sim.run(&trace, &catalog, &queries);
+        assert_eq!(r1.satisfied, r2.satisfied);
+        assert_eq!(r1.transmissions, r2.transmissions);
+        assert_eq!(r1.cachers_per_item, r2.cachers_per_item);
+    }
+}

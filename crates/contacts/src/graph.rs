@@ -1,0 +1,522 @@
+//! The pairwise contact-rate graph and centrality metrics.
+//!
+//! Under the standard opportunistic-network model, the inter-contact time of
+//! a node pair `(i, j)` is exponential with rate `λij`; the *expected meeting
+//! delay* is `1/λij`. The [`ContactGraph`] stores the symmetric rate matrix
+//! estimated from a trace and provides:
+//!
+//! * shortest **expected-delay** paths (Dijkstra with edge weight `1/λ`),
+//! * the centrality metrics used to pick Network Central Locations (NCLs)
+//!   in the cooperative caching framework: degree, weighted degree
+//!   (total contact rate), delay-closeness, betweenness, and the
+//!   contact-probability metric `Σj (1 − e^(−λij·τ))` — the expected number
+//!   of distinct nodes met within a window `τ`.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use omn_sim::SimDuration;
+
+use crate::contact::NodeId;
+use crate::trace::ContactTrace;
+
+/// A centrality metric for ranking nodes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Centrality {
+    /// Number of distinct neighbors with non-zero contact rate.
+    Degree,
+    /// Sum of contact rates to all other nodes.
+    WeightedDegree,
+    /// Inverse of the mean shortest expected delay to all reachable nodes,
+    /// scaled by the fraction of reachable nodes (harmonically robust to
+    /// disconnected graphs).
+    Closeness,
+    /// Weighted betweenness (Brandes) on expected-delay shortest paths.
+    Betweenness,
+    /// Expected number of distinct nodes contacted within the window:
+    /// `Σj (1 − e^(−λij·τ))`.
+    ContactProbability(
+        /// The window τ.
+        SimDuration,
+    ),
+}
+
+/// Symmetric pairwise contact-rate graph.
+///
+/// # Example
+///
+/// ```
+/// use omn_contacts::{ContactGraph, NodeId};
+///
+/// let mut g = ContactGraph::new(3);
+/// g.set_rate(NodeId(0), NodeId(1), 0.5);
+/// g.set_rate(NodeId(1), NodeId(2), 0.25);
+/// assert_eq!(g.expected_delay(NodeId(0), NodeId(1)), Some(2.0));
+/// // Path 0→1→2 has expected delay 2 + 4 = 6.
+/// let d = g.shortest_expected_delays(NodeId(0));
+/// assert_eq!(d[2], Some(6.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContactGraph {
+    n: usize,
+    /// Row-major upper-triangle-mirrored dense matrix of rates (per second).
+    rates: Vec<f64>,
+}
+
+impl ContactGraph {
+    /// Creates a graph over `n` nodes with all rates zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize) -> ContactGraph {
+        assert!(n > 0, "ContactGraph::new: need at least one node");
+        ContactGraph {
+            n,
+            rates: vec![0.0; n * n],
+        }
+    }
+
+    /// Estimates the graph from a trace with the maximum-likelihood rate
+    /// `λij = (#contacts between i and j) / span`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace span is zero.
+    #[must_use]
+    pub fn from_trace(trace: &ContactTrace) -> ContactGraph {
+        let span = trace.span().as_secs();
+        assert!(span > 0.0, "ContactGraph::from_trace: zero-span trace");
+        let mut g = ContactGraph::new(trace.node_count());
+        for c in trace.contacts() {
+            let (a, b) = c.pair();
+            let idx = g.idx(a.index(), b.index());
+            g.rates[idx] += 1.0 / span;
+            let idx = g.idx(b.index(), a.index());
+            g.rates[idx] += 1.0 / span;
+        }
+        g
+    }
+
+    fn idx(&self, i: usize, j: usize) -> usize {
+        i * self.n + j
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Sets the symmetric rate between two nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the nodes are equal, out of range, or the rate is negative
+    /// or non-finite.
+    pub fn set_rate(&mut self, a: NodeId, b: NodeId, rate: f64) {
+        assert!(a != b, "ContactGraph::set_rate: self edge");
+        assert!(
+            a.index() < self.n && b.index() < self.n,
+            "ContactGraph::set_rate: node out of range"
+        );
+        assert!(
+            rate.is_finite() && rate >= 0.0,
+            "ContactGraph::set_rate: invalid rate {rate}"
+        );
+        let ij = self.idx(a.index(), b.index());
+        let ji = self.idx(b.index(), a.index());
+        self.rates[ij] = rate;
+        self.rates[ji] = rate;
+    }
+
+    /// The contact rate between two nodes (zero if they never meet).
+    #[must_use]
+    pub fn rate(&self, a: NodeId, b: NodeId) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        self.rates[self.idx(a.index(), b.index())]
+    }
+
+    /// Expected direct meeting delay `1/λ`, or `None` if the pair never
+    /// meets.
+    #[must_use]
+    pub fn expected_delay(&self, a: NodeId, b: NodeId) -> Option<f64> {
+        let r = self.rate(a, b);
+        (r > 0.0).then(|| 1.0 / r)
+    }
+
+    /// Probability that `a` meets `b` within window `tau` under the
+    /// exponential inter-contact model: `1 − e^(−λ·τ)`.
+    #[must_use]
+    pub fn contact_probability(&self, a: NodeId, b: NodeId, tau: SimDuration) -> f64 {
+        1.0 - (-self.rate(a, b) * tau.as_secs()).exp()
+    }
+
+    /// Neighbors of `node` with non-zero rate, as `(peer, rate)`.
+    pub fn neighbors(&self, node: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        let i = node.index();
+        (0..self.n).filter_map(move |j| {
+            let r = self.rates[self.idx(i, j)];
+            (j != i && r > 0.0).then_some((NodeId(j as u32), r))
+        })
+    }
+
+    /// Shortest expected delays from `src` to every node (Dijkstra with edge
+    /// weight `1/λ`). `None` marks unreachable nodes; the source itself gets
+    /// `Some(0.0)`.
+    #[must_use]
+    pub fn shortest_expected_delays(&self, src: NodeId) -> Vec<Option<f64>> {
+        self.dijkstra(src).0
+    }
+
+    /// Shortest expected-delay path from `src` to `dst` as a node sequence
+    /// including both endpoints, or `None` if unreachable.
+    #[must_use]
+    pub fn shortest_path(&self, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+        let (dist, parent) = self.dijkstra(src);
+        dist[dst.index()]?;
+        let mut path = vec![dst];
+        let mut cur = dst;
+        while cur != src {
+            cur = parent[cur.index()]?;
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    fn dijkstra(&self, src: NodeId) -> (Vec<Option<f64>>, Vec<Option<NodeId>>) {
+        #[derive(PartialEq)]
+        struct QueueKey(f64, usize);
+        impl Eq for QueueKey {}
+        impl PartialOrd for QueueKey {
+            fn partial_cmp(&self, other: &QueueKey) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for QueueKey {
+            fn cmp(&self, other: &QueueKey) -> std::cmp::Ordering {
+                self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
+            }
+        }
+
+        let mut dist: Vec<Option<f64>> = vec![None; self.n];
+        let mut parent: Vec<Option<NodeId>> = vec![None; self.n];
+        let mut heap = BinaryHeap::new();
+        dist[src.index()] = Some(0.0);
+        heap.push(Reverse(QueueKey(0.0, src.index())));
+
+        while let Some(Reverse(QueueKey(d, u))) = heap.pop() {
+            if dist[u] != Some(d) {
+                continue; // stale entry
+            }
+            for j in 0..self.n {
+                let r = self.rates[self.idx(u, j)];
+                if j == u || r <= 0.0 {
+                    continue;
+                }
+                let nd = d + 1.0 / r;
+                if dist[j].is_none_or(|old| nd < old) {
+                    dist[j] = Some(nd);
+                    parent[j] = Some(NodeId(u as u32));
+                    heap.push(Reverse(QueueKey(nd, j)));
+                }
+            }
+        }
+        (dist, parent)
+    }
+
+    /// The score of every node under `metric`. Larger is more central.
+    #[must_use]
+    pub fn centrality_scores(&self, metric: Centrality) -> Vec<f64> {
+        match metric {
+            Centrality::Degree => (0..self.n)
+                .map(|i| self.neighbors(NodeId(i as u32)).count() as f64)
+                .collect(),
+            Centrality::WeightedDegree => (0..self.n)
+                .map(|i| self.neighbors(NodeId(i as u32)).map(|(_, r)| r).sum())
+                .collect(),
+            Centrality::Closeness => (0..self.n)
+                .map(|i| {
+                    let dist = self.shortest_expected_delays(NodeId(i as u32));
+                    let reachable: Vec<f64> = dist
+                        .iter()
+                        .enumerate()
+                        .filter(|&(j, _)| j != i)
+                        .filter_map(|(_, d)| *d)
+                        .collect();
+                    if reachable.is_empty() {
+                        0.0
+                    } else {
+                        let k = reachable.len() as f64;
+                        let mean = reachable.iter().sum::<f64>() / k;
+                        // Scale by reachable fraction so small components
+                        // don't dominate.
+                        (k / (self.n - 1).max(1) as f64) / mean
+                    }
+                })
+                .collect(),
+            Centrality::Betweenness => self.betweenness(),
+            Centrality::ContactProbability(tau) => (0..self.n)
+                .map(|i| {
+                    (0..self.n)
+                        .filter(|&j| j != i)
+                        .map(|j| {
+                            self.contact_probability(NodeId(i as u32), NodeId(j as u32), tau)
+                        })
+                        .sum()
+                })
+                .collect(),
+        }
+    }
+
+    /// The `k` most central nodes under `metric`, most central first.
+    /// Ties break toward smaller node ids for determinism.
+    #[must_use]
+    pub fn top_k(&self, metric: Centrality, k: usize) -> Vec<NodeId> {
+        let scores = self.centrality_scores(metric);
+        let mut order: Vec<usize> = (0..self.n).collect();
+        order.sort_by(|&i, &j| scores[j].total_cmp(&scores[i]).then(i.cmp(&j)));
+        order
+            .into_iter()
+            .take(k)
+            .map(|i| NodeId(i as u32))
+            .collect()
+    }
+
+    /// Brandes' betweenness centrality on expected-delay shortest paths.
+    fn betweenness(&self) -> Vec<f64> {
+        let n = self.n;
+        let mut bc = vec![0.0f64; n];
+        for s in 0..n {
+            // Weighted Brandes with a Dijkstra forward pass.
+            let mut sigma = vec![0.0f64; n];
+            let mut dist = vec![f64::INFINITY; n];
+            let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+            let mut stack: Vec<usize> = Vec::new();
+
+            #[derive(PartialEq)]
+            struct K(f64, usize);
+            impl Eq for K {}
+            impl PartialOrd for K {
+                fn partial_cmp(&self, o: &K) -> Option<std::cmp::Ordering> {
+                    Some(self.cmp(o))
+                }
+            }
+            impl Ord for K {
+                fn cmp(&self, o: &K) -> std::cmp::Ordering {
+                    self.0.total_cmp(&o.0).then(self.1.cmp(&o.1))
+                }
+            }
+
+            sigma[s] = 1.0;
+            dist[s] = 0.0;
+            let mut heap = BinaryHeap::new();
+            heap.push(Reverse(K(0.0, s)));
+            let mut settled = vec![false; n];
+
+            while let Some(Reverse(K(d, u))) = heap.pop() {
+                if settled[u] || d > dist[u] {
+                    continue;
+                }
+                settled[u] = true;
+                stack.push(u);
+                for j in 0..n {
+                    let r = self.rates[self.idx(u, j)];
+                    if j == u || r <= 0.0 {
+                        continue;
+                    }
+                    let nd = d + 1.0 / r;
+                    if nd < dist[j] - 1e-12 {
+                        dist[j] = nd;
+                        sigma[j] = sigma[u];
+                        preds[j] = vec![u];
+                        heap.push(Reverse(K(nd, j)));
+                    } else if (nd - dist[j]).abs() <= 1e-12 {
+                        sigma[j] += sigma[u];
+                        preds[j].push(u);
+                    }
+                }
+            }
+
+            let mut delta = vec![0.0f64; n];
+            while let Some(w) = stack.pop() {
+                for &v in &preds[w] {
+                    delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
+                }
+                if w != s {
+                    bc[w] += delta[w];
+                }
+            }
+        }
+        // Undirected graph: each pair counted twice.
+        for v in &mut bc {
+            *v /= 2.0;
+        }
+        bc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contact::Contact;
+    use crate::trace::TraceBuilder;
+    use omn_sim::SimTime;
+
+    fn line_graph() -> ContactGraph {
+        // 0 -1- 1 -1- 2 -1- 3 (all rates 1.0)
+        let mut g = ContactGraph::new(4);
+        g.set_rate(NodeId(0), NodeId(1), 1.0);
+        g.set_rate(NodeId(1), NodeId(2), 1.0);
+        g.set_rate(NodeId(2), NodeId(3), 1.0);
+        g
+    }
+
+    #[test]
+    fn from_trace_mle() {
+        let trace = TraceBuilder::new(2)
+            .span(SimTime::from_secs(100.0))
+            .contact(
+                Contact::new(
+                    NodeId(0),
+                    NodeId(1),
+                    SimTime::from_secs(0.0),
+                    SimTime::from_secs(1.0),
+                )
+                .unwrap(),
+            )
+            .contact(
+                Contact::new(
+                    NodeId(0),
+                    NodeId(1),
+                    SimTime::from_secs(50.0),
+                    SimTime::from_secs(51.0),
+                )
+                .unwrap(),
+            )
+            .build()
+            .unwrap();
+        let g = ContactGraph::from_trace(&trace);
+        assert!((g.rate(NodeId(0), NodeId(1)) - 0.02).abs() < 1e-12);
+        assert_eq!(g.expected_delay(NodeId(0), NodeId(1)), Some(50.0));
+    }
+
+    #[test]
+    fn rate_is_symmetric_and_zero_on_diagonal() {
+        let g = line_graph();
+        assert_eq!(g.rate(NodeId(0), NodeId(1)), g.rate(NodeId(1), NodeId(0)));
+        assert_eq!(g.rate(NodeId(2), NodeId(2)), 0.0);
+        assert_eq!(g.expected_delay(NodeId(0), NodeId(3)), None);
+    }
+
+    #[test]
+    fn dijkstra_on_line() {
+        let g = line_graph();
+        let d = g.shortest_expected_delays(NodeId(0));
+        assert_eq!(d, vec![Some(0.0), Some(1.0), Some(2.0), Some(3.0)]);
+        let path = g.shortest_path(NodeId(0), NodeId(3)).unwrap();
+        assert_eq!(path, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn dijkstra_prefers_fast_two_hop_over_slow_direct() {
+        let mut g = ContactGraph::new(3);
+        g.set_rate(NodeId(0), NodeId(2), 0.1); // direct delay 10
+        g.set_rate(NodeId(0), NodeId(1), 1.0); // via 1: 1 + 1 = 2
+        g.set_rate(NodeId(1), NodeId(2), 1.0);
+        let d = g.shortest_expected_delays(NodeId(0));
+        assert_eq!(d[2], Some(2.0));
+        assert_eq!(
+            g.shortest_path(NodeId(0), NodeId(2)).unwrap(),
+            vec![NodeId(0), NodeId(1), NodeId(2)]
+        );
+    }
+
+    #[test]
+    fn unreachable_nodes() {
+        let mut g = ContactGraph::new(3);
+        g.set_rate(NodeId(0), NodeId(1), 1.0);
+        let d = g.shortest_expected_delays(NodeId(0));
+        assert_eq!(d[2], None);
+        assert_eq!(g.shortest_path(NodeId(0), NodeId(2)), None);
+    }
+
+    #[test]
+    fn degree_metrics() {
+        let g = line_graph();
+        let deg = g.centrality_scores(Centrality::Degree);
+        assert_eq!(deg, vec![1.0, 2.0, 2.0, 1.0]);
+        let wdeg = g.centrality_scores(Centrality::WeightedDegree);
+        assert_eq!(wdeg, vec![1.0, 2.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn betweenness_on_line() {
+        let g = line_graph();
+        let bc = g.centrality_scores(Centrality::Betweenness);
+        // Line 0-1-2-3: node 1 lies on paths 0-2, 0-3; node 2 on 0-3, 1-3.
+        assert_eq!(bc[0], 0.0);
+        assert_eq!(bc[3], 0.0);
+        assert!((bc[1] - 2.0).abs() < 1e-9);
+        assert!((bc[2] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn betweenness_splits_over_equal_paths() {
+        // Square: 0-1, 0-2, 1-3, 2-3; paths 0→3 split over 1 and 2.
+        let mut g = ContactGraph::new(4);
+        g.set_rate(NodeId(0), NodeId(1), 1.0);
+        g.set_rate(NodeId(0), NodeId(2), 1.0);
+        g.set_rate(NodeId(1), NodeId(3), 1.0);
+        g.set_rate(NodeId(2), NodeId(3), 1.0);
+        let bc = g.centrality_scores(Centrality::Betweenness);
+        assert!((bc[1] - 0.5).abs() < 1e-9, "bc = {bc:?}");
+        assert!((bc[2] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn closeness_ranks_center_highest() {
+        let g = line_graph();
+        let cl = g.centrality_scores(Centrality::Closeness);
+        assert!(cl[1] > cl[0]);
+        assert!(cl[2] > cl[3]);
+    }
+
+    #[test]
+    fn contact_probability_metric() {
+        let g = line_graph();
+        let tau = SimDuration::from_secs(1.0);
+        let p = g.contact_probability(NodeId(0), NodeId(1), tau);
+        assert!((p - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+        let scores = g.centrality_scores(Centrality::ContactProbability(tau));
+        assert!(scores[1] > scores[0]);
+    }
+
+    #[test]
+    fn top_k_ordering_and_ties() {
+        let g = line_graph();
+        let top = g.top_k(Centrality::Degree, 2);
+        // Nodes 1 and 2 tie on degree 2; smaller id first.
+        assert_eq!(top, vec![NodeId(1), NodeId(2)]);
+        assert_eq!(g.top_k(Centrality::Degree, 0), Vec::<NodeId>::new());
+        assert_eq!(g.top_k(Centrality::Degree, 10).len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "self edge")]
+    fn set_rate_rejects_self_edge() {
+        let mut g = ContactGraph::new(2);
+        g.set_rate(NodeId(0), NodeId(0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid rate")]
+    fn set_rate_rejects_negative() {
+        let mut g = ContactGraph::new(2);
+        g.set_rate(NodeId(0), NodeId(1), -1.0);
+    }
+}

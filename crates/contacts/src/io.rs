@@ -1,0 +1,439 @@
+//! Plain-text trace format with round-trip read/write.
+//!
+//! The format is line-oriented, human-inspectable, and close to the contact
+//! reports produced by common DTN tooling:
+//!
+//! ```text
+//! # omn-contacts v1
+//! nodes 25
+//! span 86400.0
+//! 0 3 12.5 48.0
+//! 1 7 100.0 130.5
+//! ```
+//!
+//! Each contact line is `a b start end` in seconds. Lines beginning with `#`
+//! are comments.
+
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use omn_sim::SimTime;
+
+use crate::contact::{Contact, NodeId};
+use crate::trace::{ContactTrace, TraceBuilder};
+
+/// Error produced while reading a trace.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line, with its 1-based line number and a description.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// The trace content failed validation (bad node ids, span…).
+    Invalid(String),
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "i/o error: {e}"),
+            TraceIoError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            TraceIoError::Invalid(msg) => write!(f, "invalid trace: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> TraceIoError {
+        TraceIoError::Io(e)
+    }
+}
+
+/// Writes a trace in the v1 text format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_trace<W: Write>(trace: &ContactTrace, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "# omn-contacts v1")?;
+    writeln!(w, "nodes {}", trace.node_count())?;
+    writeln!(w, "span {}", trace.span().as_secs())?;
+    for c in trace.contacts() {
+        writeln!(
+            w,
+            "{} {} {} {}",
+            c.a().0,
+            c.b().0,
+            c.start().as_secs(),
+            c.end().as_secs()
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads a trace in the v1 text format.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::Parse`] with a line number for malformed input,
+/// [`TraceIoError::Invalid`] if the parsed trace violates trace invariants,
+/// or [`TraceIoError::Io`] for reader failures.
+pub fn read_trace<R: BufRead>(r: R) -> Result<ContactTrace, TraceIoError> {
+    let mut nodes: Option<usize> = None;
+    let mut span: Option<SimTime> = None;
+    let mut contacts = Vec::new();
+
+    for (idx, line) in r.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let head = parts.next().expect("non-empty line has a first token");
+        match head {
+            "nodes" => {
+                let v = parts
+                    .next()
+                    .ok_or_else(|| parse_err(line_no, "missing node count"))?;
+                nodes = Some(
+                    v.parse::<usize>()
+                        .map_err(|e| parse_err(line_no, &format!("bad node count: {e}")))?,
+                );
+            }
+            "span" => {
+                let v = parts
+                    .next()
+                    .ok_or_else(|| parse_err(line_no, "missing span"))?;
+                let secs = v
+                    .parse::<f64>()
+                    .map_err(|e| parse_err(line_no, &format!("bad span: {e}")))?;
+                span = Some(
+                    SimTime::try_from_secs(secs)
+                        .map_err(|e| parse_err(line_no, &format!("bad span: {e}")))?,
+                );
+            }
+            _ => {
+                let fields: Vec<&str> = std::iter::once(head).chain(parts).collect();
+                if fields.len() != 4 {
+                    return Err(parse_err(
+                        line_no,
+                        &format!("expected `a b start end`, got {} fields", fields.len()),
+                    ));
+                }
+                let a: u32 = fields[0]
+                    .parse()
+                    .map_err(|e| parse_err(line_no, &format!("bad node id: {e}")))?;
+                let b: u32 = fields[1]
+                    .parse()
+                    .map_err(|e| parse_err(line_no, &format!("bad node id: {e}")))?;
+                let start: f64 = fields[2]
+                    .parse()
+                    .map_err(|e| parse_err(line_no, &format!("bad start: {e}")))?;
+                let end: f64 = fields[3]
+                    .parse()
+                    .map_err(|e| parse_err(line_no, &format!("bad end: {e}")))?;
+                let start = SimTime::try_from_secs(start)
+                    .map_err(|e| parse_err(line_no, &format!("bad start: {e}")))?;
+                let end = SimTime::try_from_secs(end)
+                    .map_err(|e| parse_err(line_no, &format!("bad end: {e}")))?;
+                let contact = Contact::new(NodeId(a), NodeId(b), start, end)
+                    .map_err(|e| parse_err(line_no, &format!("bad contact: {e}")))?;
+                contacts.push(contact);
+            }
+        }
+    }
+
+    let nodes = nodes.ok_or_else(|| TraceIoError::Invalid("missing `nodes` header".into()))?;
+    let mut builder = TraceBuilder::new(nodes).contacts(contacts);
+    if let Some(s) = span {
+        builder = builder.span(s);
+    }
+    builder
+        .build()
+        .map_err(|e| TraceIoError::Invalid(e.to_string()))
+}
+
+fn parse_err(line: usize, message: &str) -> TraceIoError {
+    TraceIoError::Parse {
+        line,
+        message: message.to_owned(),
+    }
+}
+
+/// Reads a trace in the ONE simulator's connectivity-report format:
+///
+/// ```text
+/// 120.5 CONN 3 17 up
+/// 188.0 CONN 3 17 down
+/// ```
+///
+/// Events must be in non-decreasing time order (as ONE emits them). Node
+/// ids must be non-negative integers; the node count is inferred as
+/// `max id + 1`. Connections still up at the end of input are closed at
+/// the last event time.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::Parse`] for malformed lines, a `down` without a
+/// matching `up`, or a duplicate `up`; [`TraceIoError::Invalid`] if the
+/// resulting trace violates trace invariants.
+pub fn read_one_report<R: BufRead>(r: R) -> Result<ContactTrace, TraceIoError> {
+    use std::collections::HashMap;
+
+    let mut open: HashMap<(u32, u32), SimTime> = HashMap::new();
+    let mut contacts = Vec::new();
+    let mut max_node = 0u32;
+    let mut last_time = SimTime::ZERO;
+
+    for (idx, line) in r.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 5 || fields[1] != "CONN" {
+            return Err(parse_err(
+                line_no,
+                "expected `<time> CONN <a> <b> up|down`",
+            ));
+        }
+        let time_secs: f64 = fields[0]
+            .parse()
+            .map_err(|e| parse_err(line_no, &format!("bad time: {e}")))?;
+        let time = SimTime::try_from_secs(time_secs)
+            .map_err(|e| parse_err(line_no, &format!("bad time: {e}")))?;
+        if time < last_time {
+            return Err(parse_err(line_no, "events out of time order"));
+        }
+        last_time = time;
+        let a: u32 = fields[2]
+            .parse()
+            .map_err(|e| parse_err(line_no, &format!("bad node id: {e}")))?;
+        let b: u32 = fields[3]
+            .parse()
+            .map_err(|e| parse_err(line_no, &format!("bad node id: {e}")))?;
+        if a == b {
+            return Err(parse_err(line_no, "self connection"));
+        }
+        max_node = max_node.max(a).max(b);
+        let key = if a < b { (a, b) } else { (b, a) };
+        match fields[4] {
+            "up" => {
+                if open.insert(key, time).is_some() {
+                    return Err(parse_err(line_no, "duplicate `up` for open connection"));
+                }
+            }
+            "down" => {
+                let start = open
+                    .remove(&key)
+                    .ok_or_else(|| parse_err(line_no, "`down` without matching `up`"))?;
+                if time > start {
+                    contacts.push(
+                        Contact::new(NodeId(key.0), NodeId(key.1), start, time)
+                            .expect("validated interval"),
+                    );
+                }
+            }
+            other => {
+                return Err(parse_err(line_no, &format!("expected up|down, got `{other}`")));
+            }
+        }
+    }
+
+    // Close dangling connections at the last event time.
+    for ((a, b), start) in open {
+        if last_time > start {
+            contacts.push(
+                Contact::new(NodeId(a), NodeId(b), start, last_time)
+                    .expect("validated interval"),
+            );
+        }
+    }
+
+    TraceBuilder::new(max_node as usize + 1)
+        .contacts(contacts)
+        .build()
+        .map_err(|e| TraceIoError::Invalid(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> ContactTrace {
+        TraceBuilder::new(4)
+            .span(SimTime::from_secs(100.0))
+            .contact(
+                Contact::new(
+                    NodeId(0),
+                    NodeId(1),
+                    SimTime::from_secs(1.5),
+                    SimTime::from_secs(3.25),
+                )
+                .unwrap(),
+            )
+            .contact(
+                Contact::new(
+                    NodeId(2),
+                    NodeId(3),
+                    SimTime::from_secs(10.0),
+                    SimTime::from_secs(20.0),
+                )
+                .unwrap(),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        let parsed = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn reads_comments_and_blank_lines() {
+        let text = "# a comment\n\nnodes 2\nspan 50\n# another\n0 1 1 2\n";
+        let trace = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(trace.node_count(), 2);
+        assert_eq!(trace.span(), SimTime::from_secs(50.0));
+        assert_eq!(trace.len(), 1);
+    }
+
+    #[test]
+    fn missing_nodes_header_is_invalid() {
+        let err = read_trace("0 1 1 2\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceIoError::Invalid(_)), "{err}");
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let text = "nodes 2\n0 1 oops 2\n";
+        match read_trace(text.as_bytes()).unwrap_err() {
+            TraceIoError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_field_count() {
+        let text = "nodes 2\n0 1 5\n";
+        assert!(matches!(
+            read_trace(text.as_bytes()).unwrap_err(),
+            TraceIoError::Parse { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_self_contact_line() {
+        let text = "nodes 2\n1 1 0 5\n";
+        let err = read_trace(text.as_bytes()).unwrap_err();
+        match err {
+            TraceIoError::Parse { message, .. } => assert!(message.contains("same node")),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_node() {
+        let text = "nodes 2\n0 9 0 5\n";
+        assert!(matches!(
+            read_trace(text.as_bytes()).unwrap_err(),
+            TraceIoError::Invalid(_)
+        ));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = parse_err(7, "bad things");
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn one_report_basic() {
+        let text = "\
+10 CONN 0 3 up
+20 CONN 1 2 up
+25 CONN 0 3 down
+40 CONN 1 2 down
+";
+        let trace = read_one_report(text.as_bytes()).unwrap();
+        assert_eq!(trace.node_count(), 4);
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.contacts()[0].pair(), (NodeId(0), NodeId(3)));
+        assert_eq!(trace.contacts()[0].duration().as_secs(), 15.0);
+        assert_eq!(trace.span(), SimTime::from_secs(40.0));
+    }
+
+    #[test]
+    fn one_report_closes_dangling_connections() {
+        let text = "10 CONN 0 1 up\n50 CONN 2 3 up\n60 CONN 2 3 down\n";
+        let trace = read_one_report(text.as_bytes()).unwrap();
+        // 0-1 closed at the last event time (60).
+        assert_eq!(trace.len(), 2);
+        let c01 = trace
+            .contacts()
+            .iter()
+            .find(|c| c.pair() == (NodeId(0), NodeId(1)))
+            .unwrap();
+        assert_eq!(c01.end(), SimTime::from_secs(60.0));
+    }
+
+    #[test]
+    fn one_report_rejects_orphan_down() {
+        let err = read_one_report("10 CONN 0 1 down\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("without matching"));
+    }
+
+    #[test]
+    fn one_report_rejects_duplicate_up() {
+        let text = "10 CONN 0 1 up\n20 CONN 1 0 up\n";
+        let err = read_one_report(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn one_report_rejects_time_regression() {
+        let text = "20 CONN 0 1 up\n10 CONN 0 1 down\n";
+        let err = read_one_report(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("time order"));
+    }
+
+    #[test]
+    fn one_report_rejects_malformed_lines() {
+        assert!(read_one_report("banana\n".as_bytes()).is_err());
+        assert!(read_one_report("10 LINK 0 1 up\n".as_bytes()).is_err());
+        assert!(read_one_report("10 CONN 0 1 sideways\n".as_bytes()).is_err());
+        assert!(read_one_report("10 CONN 1 1 up\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn one_report_accepts_comments_and_blanks() {
+        let text = "# Scenario X\n\n5 CONN 0 1 up\n9 CONN 0 1 down\n";
+        let trace = read_one_report(text.as_bytes()).unwrap();
+        assert_eq!(trace.len(), 1);
+    }
+}

@@ -1,0 +1,57 @@
+//! Mobility and contact-trace substrate for opportunistic mobile networks.
+//!
+//! Opportunistic (delay/disruption-tolerant) mobile networks are driven by
+//! *contacts*: intervals during which two devices are within radio range and
+//! can exchange data. Everything above this crate — routing, cooperative
+//! caching, cache-freshness maintenance — consumes a [`ContactTrace`].
+//!
+//! The crate provides:
+//!
+//! * [`Contact`] / [`ContactTrace`] — validated contact intervals and trace
+//!   containers with timeline iteration, windowing and time scaling.
+//! * [`io`] — a plain-text trace format with round-trip read/write.
+//! * [`TraceStats`] — aggregate trace characteristics (inter-contact times,
+//!   contact durations, degrees) used to produce trace-summary tables.
+//! * [`ContactGraph`] — the pairwise contact-rate graph with expected-delay
+//!   shortest paths and the centrality metrics used for Network Central
+//!   Location (NCL) selection.
+//! * [`estimate`] — online pairwise contact-rate estimators (cumulative MLE,
+//!   EWMA, sliding window) that protocol nodes maintain from observed
+//!   contacts.
+//! * [`synth`] — synthetic mobility generators (heterogeneous pairwise
+//!   Poisson, community-structured, grid-cell random walk, diurnal
+//!   modulation) with presets calibrated to the published statistics of the
+//!   MIT Reality and Haggle/Infocom'06 traces that the reproduced paper
+//!   evaluates on.
+//!
+//! # Example
+//!
+//! ```
+//! use omn_contacts::synth::{PairwiseConfig, generate_pairwise};
+//! use omn_contacts::TraceStats;
+//! use omn_sim::RngFactory;
+//!
+//! let config = PairwiseConfig::new(20, omn_sim::SimDuration::from_days(2.0));
+//! let trace = generate_pairwise(&config, &RngFactory::new(1));
+//! let stats = TraceStats::compute(&trace);
+//! assert_eq!(stats.node_count, 20);
+//! assert!(stats.total_contacts > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod contact;
+pub mod estimate;
+mod graph;
+pub mod io;
+mod stats;
+pub mod synth;
+pub mod temporal;
+mod trace;
+
+pub use contact::{Contact, ContactError, NodeId};
+pub use graph::{Centrality, ContactGraph};
+pub use stats::TraceStats;
+pub use trace::{ContactTrace, TimelineEvent, TimelineKind, TraceBuilder, TraceError};

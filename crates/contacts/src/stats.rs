@@ -1,0 +1,196 @@
+//! Aggregate trace characteristics.
+//!
+//! These are the quantities a trace-summary table reports (node count, span,
+//! contact counts, inter-contact and contact-duration statistics) and the
+//! quantities the analytical models consume (mean pairwise contact rate).
+
+use std::collections::HashMap;
+
+use omn_sim::stats::{EmpiricalCdf, Summary};
+use omn_sim::SimTime;
+
+use crate::contact::NodeId;
+use crate::trace::ContactTrace;
+
+/// Aggregate statistics of a contact trace.
+#[derive(Debug, Clone)]
+pub struct TraceStats {
+    /// Number of nodes.
+    pub node_count: usize,
+    /// Trace span.
+    pub span: SimTime,
+    /// Total number of contacts.
+    pub total_contacts: usize,
+    /// Number of node pairs that meet at least once.
+    pub connected_pairs: usize,
+    /// Mean contacts per node per day.
+    pub contacts_per_node_per_day: f64,
+    /// Summary of contact durations (seconds). `None` for empty traces.
+    pub contact_duration: Option<Summary>,
+    /// Summary of same-pair inter-contact times (seconds, start-to-start).
+    /// `None` when no pair meets twice.
+    pub inter_contact: Option<Summary>,
+    /// Mean pairwise contact rate λ̄ (contacts per second per pair),
+    /// averaged over all unordered pairs including those that never meet.
+    pub mean_pairwise_rate: f64,
+    /// Per-node number of distinct peers met.
+    pub degrees: Vec<usize>,
+}
+
+impl TraceStats {
+    /// Computes statistics over a full trace.
+    #[must_use]
+    pub fn compute(trace: &ContactTrace) -> TraceStats {
+        let n = trace.node_count();
+        let span_secs = trace.span().as_secs();
+
+        let mut durations = Vec::with_capacity(trace.len());
+        let mut per_pair_starts: HashMap<(NodeId, NodeId), Vec<f64>> = HashMap::new();
+        let mut peers: Vec<std::collections::HashSet<NodeId>> =
+            vec![std::collections::HashSet::new(); n];
+
+        for c in trace.contacts() {
+            durations.push(c.duration().as_secs());
+            per_pair_starts
+                .entry(c.pair())
+                .or_default()
+                .push(c.start().as_secs());
+            peers[c.a().index()].insert(c.b());
+            peers[c.b().index()].insert(c.a());
+        }
+
+        let mut inter_contact_samples = Vec::new();
+        for starts in per_pair_starts.values() {
+            // Builder sorted contacts by start, so per-pair starts are sorted.
+            for w in starts.windows(2) {
+                inter_contact_samples.push(w[1] - w[0]);
+            }
+        }
+
+        let pair_count = n * n.saturating_sub(1) / 2;
+        let mean_pairwise_rate = if pair_count == 0 || span_secs == 0.0 {
+            0.0
+        } else {
+            trace.len() as f64 / (pair_count as f64 * span_secs)
+        };
+
+        let contacts_per_node_per_day = if n == 0 || span_secs == 0.0 {
+            0.0
+        } else {
+            // Each contact involves two nodes.
+            2.0 * trace.len() as f64 / n as f64 / (span_secs / 86_400.0)
+        };
+
+        TraceStats {
+            node_count: n,
+            span: trace.span(),
+            total_contacts: trace.len(),
+            connected_pairs: per_pair_starts.len(),
+            contacts_per_node_per_day,
+            contact_duration: (!durations.is_empty()).then(|| Summary::from_samples(&durations)),
+            inter_contact: (!inter_contact_samples.is_empty())
+                .then(|| Summary::from_samples(&inter_contact_samples)),
+            mean_pairwise_rate,
+            degrees: peers.iter().map(std::collections::HashSet::len).collect(),
+        }
+    }
+
+    /// Empirical CDF of same-pair inter-contact times, or `None` when no
+    /// pair meets twice.
+    #[must_use]
+    pub fn inter_contact_cdf(trace: &ContactTrace) -> Option<EmpiricalCdf> {
+        let mut per_pair_starts: HashMap<(NodeId, NodeId), Vec<f64>> = HashMap::new();
+        for c in trace.contacts() {
+            per_pair_starts
+                .entry(c.pair())
+                .or_default()
+                .push(c.start().as_secs());
+        }
+        let samples: Vec<f64> = per_pair_starts
+            .values()
+            .flat_map(|starts| starts.windows(2).map(|w| w[1] - w[0]).collect::<Vec<_>>())
+            .collect();
+        (!samples.is_empty()).then(|| EmpiricalCdf::from_samples(samples))
+    }
+
+    /// Mean node degree (distinct peers met).
+    #[must_use]
+    pub fn mean_degree(&self) -> f64 {
+        if self.degrees.is_empty() {
+            0.0
+        } else {
+            self.degrees.iter().sum::<usize>() as f64 / self.degrees.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contact::Contact;
+    use crate::trace::TraceBuilder;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    fn c(a: u32, b: u32, s: f64, e: f64) -> Contact {
+        Contact::new(NodeId(a), NodeId(b), t(s), t(e)).unwrap()
+    }
+
+    fn sample() -> ContactTrace {
+        TraceBuilder::new(3)
+            .span(t(86_400.0))
+            .contact(c(0, 1, 0.0, 10.0))
+            .contact(c(0, 1, 100.0, 110.0))
+            .contact(c(0, 2, 50.0, 60.0))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn basic_counts() {
+        let s = TraceStats::compute(&sample());
+        assert_eq!(s.node_count, 3);
+        assert_eq!(s.total_contacts, 3);
+        assert_eq!(s.connected_pairs, 2);
+        assert_eq!(s.degrees, vec![2, 1, 1]);
+        assert!((s.mean_degree() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn durations_and_inter_contacts() {
+        let s = TraceStats::compute(&sample());
+        let dur = s.contact_duration.unwrap();
+        assert!((dur.mean - 10.0).abs() < 1e-9);
+        let ict = s.inter_contact.unwrap();
+        assert_eq!(ict.n, 1);
+        assert!((ict.mean - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rates() {
+        let s = TraceStats::compute(&sample());
+        // 3 contacts / (3 pairs * 86400 s)
+        assert!((s.mean_pairwise_rate - 3.0 / (3.0 * 86_400.0)).abs() < 1e-15);
+        // 2*3 node-contacts / 3 nodes / 1 day
+        assert!((s.contacts_per_node_per_day - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let trace = TraceBuilder::new(2).span(t(100.0)).build().unwrap();
+        let s = TraceStats::compute(&trace);
+        assert_eq!(s.total_contacts, 0);
+        assert!(s.contact_duration.is_none());
+        assert!(s.inter_contact.is_none());
+        assert!(TraceStats::inter_contact_cdf(&trace).is_none());
+    }
+
+    #[test]
+    fn inter_contact_cdf_present() {
+        let cdf = TraceStats::inter_contact_cdf(&sample()).unwrap();
+        assert_eq!(cdf.len(), 1);
+        assert_eq!(cdf.eval(100.0), 1.0);
+    }
+}

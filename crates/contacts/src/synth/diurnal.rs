@@ -1,0 +1,144 @@
+//! Diurnal (day/night) activity modulation.
+//!
+//! Human-carried devices meet far less at night. [`apply_diurnal`] thins an
+//! existing trace: a contact starting at time `t` is kept with probability
+//! `profile.activity(t)`, turning a homogeneous Poisson contact process into
+//! a non-homogeneous one with the desired daily profile (standard Poisson
+//! thinning).
+
+use omn_sim::{RngFactory, SimDuration, SimTime};
+use rand::Rng;
+
+use crate::trace::{ContactTrace, TraceBuilder};
+
+/// A daily activity profile.
+///
+/// The day of length `period` is split into an active part (fraction
+/// `day_fraction`, activity 1.0) and a quiet part (activity
+/// `night_activity`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiurnalProfile {
+    period: SimDuration,
+    day_fraction: f64,
+    night_activity: f64,
+}
+
+impl DiurnalProfile {
+    /// Creates a profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero, `day_fraction` is outside `[0, 1]`, or
+    /// `night_activity` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(period: SimDuration, day_fraction: f64, night_activity: f64) -> DiurnalProfile {
+        assert!(!period.is_zero(), "DiurnalProfile: zero period");
+        assert!(
+            (0.0..=1.0).contains(&day_fraction),
+            "DiurnalProfile: day_fraction out of range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&night_activity),
+            "DiurnalProfile: night_activity out of range"
+        );
+        DiurnalProfile {
+            period,
+            day_fraction,
+            night_activity,
+        }
+    }
+
+    /// A standard human day: 24-hour period, 2/3 active, 10% night activity.
+    #[must_use]
+    pub fn standard_day() -> DiurnalProfile {
+        DiurnalProfile::new(SimDuration::from_hours(24.0), 2.0 / 3.0, 0.1)
+    }
+
+    /// The activity level (keep probability) at instant `t`.
+    #[must_use]
+    pub fn activity(&self, t: SimTime) -> f64 {
+        let phase = (t.as_secs() / self.period.as_secs()).fract();
+        if phase < self.day_fraction {
+            1.0
+        } else {
+            self.night_activity
+        }
+    }
+}
+
+/// Thins a trace according to a diurnal profile.
+///
+/// Deterministic given the factory (stream `"diurnal"`).
+#[must_use]
+pub fn apply_diurnal(
+    trace: &ContactTrace,
+    profile: DiurnalProfile,
+    factory: &RngFactory,
+) -> ContactTrace {
+    let mut rng = factory.stream("diurnal");
+    let kept = trace
+        .contacts()
+        .iter()
+        .filter(|c| rng.gen_bool(profile.activity(c.start()).clamp(0.0, 1.0)))
+        .copied();
+    TraceBuilder::new(trace.node_count())
+        .span(trace.span())
+        .contacts(kept)
+        .build()
+        .expect("thinning preserves validity")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate_pairwise, PairwiseConfig};
+
+    #[test]
+    fn activity_profile_shape() {
+        let p = DiurnalProfile::new(SimDuration::from_hours(24.0), 0.5, 0.2);
+        assert_eq!(p.activity(SimTime::from_hours(1.0)), 1.0);
+        assert_eq!(p.activity(SimTime::from_hours(13.0)), 0.2);
+        // Periodic: next day behaves the same.
+        assert_eq!(p.activity(SimTime::from_hours(25.0)), 1.0);
+        assert_eq!(p.activity(SimTime::from_hours(37.0)), 0.2);
+    }
+
+    #[test]
+    fn thinning_reduces_night_contacts() {
+        let cfg = PairwiseConfig::new(20, SimDuration::from_days(4.0)).mean_rate(1.0 / 3600.0);
+        let base = generate_pairwise(&cfg, &RngFactory::new(3));
+        let profile = DiurnalProfile::new(SimDuration::from_hours(24.0), 0.5, 0.0);
+        let thinned = apply_diurnal(&base, profile, &RngFactory::new(3));
+
+        assert!(thinned.len() < base.len());
+        // With night activity 0, no contact starts in the night half.
+        for c in thinned.contacts() {
+            let phase = (c.start().as_hours() / 24.0).fract();
+            assert!(phase < 0.5, "night contact survived at {}", c.start());
+        }
+    }
+
+    #[test]
+    fn full_activity_is_identity() {
+        let cfg = PairwiseConfig::new(10, SimDuration::from_days(1.0));
+        let base = generate_pairwise(&cfg, &RngFactory::new(3));
+        let profile = DiurnalProfile::new(SimDuration::from_hours(24.0), 1.0, 1.0);
+        let thinned = apply_diurnal(&base, profile, &RngFactory::new(3));
+        assert_eq!(thinned, base);
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = PairwiseConfig::new(10, SimDuration::from_days(1.0));
+        let base = generate_pairwise(&cfg, &RngFactory::new(3));
+        let p = DiurnalProfile::standard_day();
+        let f = RngFactory::new(3);
+        assert_eq!(apply_diurnal(&base, p, &f), apply_diurnal(&base, p, &f));
+    }
+
+    #[test]
+    #[should_panic(expected = "day_fraction")]
+    fn rejects_bad_fraction() {
+        let _ = DiurnalProfile::new(SimDuration::from_hours(24.0), 1.5, 0.1);
+    }
+}

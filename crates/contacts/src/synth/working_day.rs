@@ -1,0 +1,275 @@
+//! Working-day mobility: contacts from daily human routines.
+//!
+//! A simplified working-day movement model (after Ekman et al.): every
+//! node cycles daily through *home → office → (sometimes) an evening
+//! spot → home*. Offices are shared by groups of colleagues and evening
+//! spots by random subsets, so contacts arise from co-location:
+//! colleagues meet every workday for hours, strangers only occasionally at
+//! evening spots, and nights are silent. This produces the diurnal and
+//! community structure of campus traces *mechanistically*, rather than by
+//! thinning a rate process.
+
+use omn_sim::{RngFactory, SimDuration, SimTime};
+use rand::Rng;
+
+use crate::contact::{Contact, NodeId};
+use crate::trace::{ContactTrace, TraceBuilder};
+
+/// Configuration for the working-day model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkingDayConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of offices; node `i` works at office `i % offices`.
+    pub offices: usize,
+    /// Number of evening spots shared by everyone.
+    pub spots: usize,
+    /// Number of simulated days.
+    pub days: usize,
+    /// Probability a node goes out in the evening on a given day.
+    pub evening_probability: f64,
+}
+
+impl WorkingDayConfig {
+    /// Defaults: 4 offices, 3 evening spots, 50% evenings out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes`, `offices`, `spots`, or `days` is zero, or
+    /// `offices > nodes`.
+    #[must_use]
+    pub fn new(nodes: usize, days: usize) -> WorkingDayConfig {
+        assert!(nodes > 0, "WorkingDayConfig: no nodes");
+        assert!(days > 0, "WorkingDayConfig: no days");
+        WorkingDayConfig {
+            nodes,
+            offices: 4.min(nodes),
+            spots: 3,
+            days,
+            evening_probability: 0.5,
+        }
+    }
+
+    /// Sets the office count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offices` is zero or exceeds the node count.
+    #[must_use]
+    pub fn offices(mut self, offices: usize) -> WorkingDayConfig {
+        assert!(
+            offices > 0 && offices <= self.nodes,
+            "offices must be in 1..=nodes"
+        );
+        self.offices = offices;
+        self
+    }
+
+    /// Sets the evening-spot count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spots` is zero.
+    #[must_use]
+    pub fn spots(mut self, spots: usize) -> WorkingDayConfig {
+        assert!(spots > 0, "need at least one spot");
+        self.spots = spots;
+        self
+    }
+
+    /// Sets the evening-outing probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probability is outside `[0, 1]`.
+    #[must_use]
+    pub fn evening_probability(mut self, p: f64) -> WorkingDayConfig {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.evening_probability = p;
+        self
+    }
+
+    /// The office of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is out of range.
+    #[must_use]
+    pub fn office_of(&self, node: NodeId) -> usize {
+        assert!(node.index() < self.nodes, "node out of range");
+        node.index() % self.offices
+    }
+}
+
+/// A visit of one node to one shared location.
+#[derive(Debug, Clone, Copy)]
+struct Visit {
+    node: u32,
+    location: usize,
+    start: f64,
+    end: f64,
+}
+
+/// Generates a trace from the working-day model.
+///
+/// Deterministic given the factory: node `i`'s daily schedule draws from
+/// stream `("wdm-node", i)`.
+#[must_use]
+pub fn generate_working_day(config: &WorkingDayConfig, factory: &RngFactory) -> ContactTrace {
+    const DAY: f64 = 86_400.0;
+    // Location ids: offices are 0..offices, spots follow.
+    let spot_base = config.offices;
+
+    let mut visits: Vec<Visit> = Vec::new();
+    for node in 0..config.nodes {
+        let mut rng = factory.stream_indexed("wdm-node", node as u64);
+        let office = config.office_of(NodeId(node as u32));
+        for day in 0..config.days {
+            let base = day as f64 * DAY;
+            // Arrive at the office between 08:00 and 10:00, leave between
+            // 16:00 and 18:30.
+            let arrive = base + rng.gen_range(8.0..10.0) * 3600.0;
+            let leave = base + rng.gen_range(16.0..18.5) * 3600.0;
+            visits.push(Visit {
+                node: node as u32,
+                location: office,
+                start: arrive,
+                end: leave,
+            });
+            // Evening outing: a shared spot for 1-3 hours after work.
+            if rng.gen_bool(config.evening_probability) {
+                let spot = spot_base + rng.gen_range(0..config.spots);
+                let out = leave + rng.gen_range(0.25..1.0) * 3600.0;
+                let back = out + rng.gen_range(1.0..3.0) * 3600.0;
+                visits.push(Visit {
+                    node: node as u32,
+                    location: spot,
+                    start: out,
+                    end: back.min(base + DAY),
+                });
+            }
+        }
+    }
+
+    // Co-location contacts: group visits per location, intersect pairwise.
+    visits.sort_by(|a, b| a.location.cmp(&b.location).then(a.start.total_cmp(&b.start)));
+
+    let mut contacts: Vec<Contact> = Vec::new();
+    let mut i = 0;
+    while i < visits.len() {
+        let loc = visits[i].location;
+        let mut j = i;
+        while j < visits.len() && visits[j].location == loc {
+            j += 1;
+        }
+        let group = &visits[i..j];
+        for (gi, va) in group.iter().enumerate() {
+            for vb in &group[gi + 1..] {
+                if vb.start >= va.end {
+                    break; // sorted by start: no later visit overlaps va
+                }
+                if va.node == vb.node {
+                    continue;
+                }
+                let start = va.start.max(vb.start);
+                let end = va.end.min(vb.end);
+                if end > start {
+                    contacts.push(
+                        Contact::new(
+                            NodeId(va.node),
+                            NodeId(vb.node),
+                            SimTime::from_secs(start),
+                            SimTime::from_secs(end),
+                        )
+                        .expect("overlap is a valid interval"),
+                    );
+                }
+            }
+        }
+        i = j;
+    }
+
+    TraceBuilder::new(config.nodes)
+        .span(SimTime::ZERO + SimDuration::from_days(config.days as f64))
+        .contacts(contacts)
+        .build()
+        .expect("generator produces valid traces")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceStats;
+
+    #[test]
+    fn colleagues_meet_daily_strangers_rarely() {
+        let cfg = WorkingDayConfig::new(24, 5).offices(4).evening_probability(0.3);
+        let trace = generate_working_day(&cfg, &RngFactory::new(1));
+        // Two colleagues (same office): ~5 long contacts.
+        let colleagues = trace.pair_contact_count(NodeId(0), NodeId(4));
+        assert!(colleagues >= 4, "colleagues met only {colleagues} times");
+        // Cross-office pairs meet far less (evening spots only).
+        let mut cross = 0usize;
+        let mut cross_pairs = 0usize;
+        for a in 0..24u32 {
+            for b in (a + 1)..24u32 {
+                if cfg.office_of(NodeId(a)) != cfg.office_of(NodeId(b)) {
+                    cross += trace.pair_contact_count(NodeId(a), NodeId(b));
+                    cross_pairs += 1;
+                }
+            }
+        }
+        let cross_per_pair = cross as f64 / cross_pairs as f64;
+        assert!(
+            cross_per_pair < colleagues as f64 / 2.0,
+            "cross-office {cross_per_pair:.2} vs colleagues {colleagues}"
+        );
+    }
+
+    #[test]
+    fn nights_are_silent() {
+        let cfg = WorkingDayConfig::new(20, 3);
+        let trace = generate_working_day(&cfg, &RngFactory::new(2));
+        for c in trace.contacts() {
+            let hour_of_day = (c.start().as_secs() / 3600.0) % 24.0;
+            assert!(
+                (8.0..24.0).contains(&hour_of_day),
+                "contact started at {hour_of_day:.1}h"
+            );
+        }
+    }
+
+    #[test]
+    fn contact_durations_are_office_scale() {
+        let cfg = WorkingDayConfig::new(16, 4).evening_probability(0.0);
+        let trace = generate_working_day(&cfg, &RngFactory::new(3));
+        let stats = TraceStats::compute(&trace);
+        // With evenings off, every contact is an office co-location:
+        // multi-hour durations.
+        let dur = stats.contact_duration.unwrap();
+        assert!(dur.mean > 3.0 * 3600.0, "mean duration {}s", dur.mean);
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = WorkingDayConfig::new(15, 3);
+        let f = RngFactory::new(9);
+        assert_eq!(
+            generate_working_day(&cfg, &f),
+            generate_working_day(&cfg, &f)
+        );
+    }
+
+    #[test]
+    fn zero_evening_probability_isolates_offices() {
+        let cfg = WorkingDayConfig::new(12, 4).offices(3).evening_probability(0.0);
+        let trace = generate_working_day(&cfg, &RngFactory::new(5));
+        for c in trace.contacts() {
+            assert_eq!(
+                cfg.office_of(c.a()),
+                cfg.office_of(c.b()),
+                "cross-office contact without evenings: {c}"
+            );
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Property-based tests for the contact-trace substrate.
+
+use omn_contacts::io::{read_trace, write_trace};
+use omn_contacts::synth::{generate_pairwise, PairwiseConfig};
+use omn_contacts::{Contact, ContactGraph, NodeId, TimelineKind, TraceBuilder, TraceStats};
+use omn_sim::{RngFactory, SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// A strategy producing arbitrary valid contacts over `n` nodes.
+fn contact_strategy(n: u32) -> impl Strategy<Value = Contact> {
+    (0..n, 0..n, 0.0f64..1e5, 0.001f64..1e4).prop_filter_map(
+        "self contacts are invalid",
+        move |(a, b, start, dur)| {
+            (a != b).then(|| {
+                Contact::new(
+                    NodeId(a),
+                    NodeId(b),
+                    SimTime::from_secs(start),
+                    SimTime::from_secs(start + dur),
+                )
+                .expect("constructed valid")
+            })
+        },
+    )
+}
+
+proptest! {
+    /// Traces built from arbitrary contacts are sorted and round-trip
+    /// through the text format unchanged.
+    #[test]
+    fn trace_io_roundtrip(contacts in prop::collection::vec(contact_strategy(12), 0..60)) {
+        let trace = TraceBuilder::new(12).contacts(contacts).build().unwrap();
+        // Sorted by start time:
+        for w in trace.contacts().windows(2) {
+            prop_assert!(w[0].start() <= w[1].start());
+        }
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        let parsed = read_trace(buf.as_slice()).unwrap();
+        prop_assert_eq!(parsed, trace);
+    }
+
+    /// The timeline has exactly two events per contact and balanced
+    /// up/down counts, in time order.
+    #[test]
+    fn timeline_is_balanced(contacts in prop::collection::vec(contact_strategy(8), 0..60)) {
+        let trace = TraceBuilder::new(8).contacts(contacts).build().unwrap();
+        let tl = trace.timeline();
+        prop_assert_eq!(tl.len(), trace.len() * 2);
+        let ups = tl.iter().filter(|e| e.kind == TimelineKind::Up).count();
+        prop_assert_eq!(ups, trace.len());
+        for w in tl.windows(2) {
+            prop_assert!(w[0].time <= w[1].time);
+        }
+    }
+
+    /// Windowing never yields contacts outside the window and preserves
+    /// the per-contact pair structure.
+    #[test]
+    fn windowing_clips(
+        contacts in prop::collection::vec(contact_strategy(8), 1..60),
+        from in 0.0f64..5e4,
+        len in 1.0f64..5e4,
+    ) {
+        let trace = TraceBuilder::new(8).contacts(contacts).build().unwrap();
+        let w = trace.window(SimTime::from_secs(from), SimTime::from_secs(from + len));
+        for c in w.contacts() {
+            prop_assert!(c.end() <= w.span());
+            prop_assert!(c.start() >= SimTime::ZERO);
+        }
+        prop_assert!(w.len() <= trace.len());
+    }
+
+    /// Trace statistics are internally consistent.
+    #[test]
+    fn stats_consistency(contacts in prop::collection::vec(contact_strategy(10), 1..80)) {
+        let trace = TraceBuilder::new(10).contacts(contacts).build().unwrap();
+        let s = TraceStats::compute(&trace);
+        prop_assert_eq!(s.total_contacts, trace.len());
+        prop_assert!(s.connected_pairs <= 45); // C(10,2)
+        prop_assert!(s.degrees.iter().all(|&d| d < 10));
+        // Sum of degrees = 2 * connected pairs.
+        prop_assert_eq!(s.degrees.iter().sum::<usize>(), 2 * s.connected_pairs);
+    }
+
+    /// Dijkstra expected delays satisfy the triangle property along the
+    /// found paths and direct edges are never beaten by themselves.
+    #[test]
+    fn graph_delays_are_consistent(
+        edges in prop::collection::vec((0u32..8, 0u32..8, 0.01f64..10.0), 1..20)
+    ) {
+        let mut g = ContactGraph::new(8);
+        for (a, b, r) in edges {
+            if a != b {
+                g.set_rate(NodeId(a), NodeId(b), r);
+            }
+        }
+        for src in 0..8u32 {
+            let d = g.shortest_expected_delays(NodeId(src));
+            prop_assert_eq!(d[src as usize], Some(0.0));
+            for dst in 0..8u32 {
+                if let Some(dd) = d[dst as usize] {
+                    // Never worse than the direct edge.
+                    if let Some(direct) = g.expected_delay(NodeId(src), NodeId(dst)) {
+                        prop_assert!(dd <= direct + 1e-9);
+                    }
+                    // Path reconstruction agrees with the distance.
+                    let path = g.shortest_path(NodeId(src), NodeId(dst)).unwrap();
+                    let path_delay: f64 = path
+                        .windows(2)
+                        .map(|w| 1.0 / g.rate(w[0], w[1]))
+                        .sum();
+                    prop_assert!((path_delay - dd).abs() < 1e-6);
+                }
+            }
+        }
+    }
+
+    /// Centrality top-k returns k distinct nodes for every metric.
+    #[test]
+    fn top_k_distinct(
+        edges in prop::collection::vec((0u32..10, 0u32..10, 0.01f64..10.0), 1..30),
+        k in 1usize..10,
+    ) {
+        use omn_contacts::Centrality;
+        let mut g = ContactGraph::new(10);
+        for (a, b, r) in edges {
+            if a != b {
+                g.set_rate(NodeId(a), NodeId(b), r);
+            }
+        }
+        for metric in [
+            Centrality::Degree,
+            Centrality::WeightedDegree,
+            Centrality::Closeness,
+            Centrality::Betweenness,
+            Centrality::ContactProbability(SimDuration::from_secs(10.0)),
+        ] {
+            let top = g.top_k(metric, k);
+            prop_assert_eq!(top.len(), k.min(10));
+            let set: std::collections::HashSet<_> = top.iter().collect();
+            prop_assert_eq!(set.len(), top.len());
+        }
+    }
+
+    /// The pairwise generator respects basic invariants for arbitrary
+    /// configurations.
+    #[test]
+    fn generator_invariants(
+        nodes in 2usize..12,
+        hours in 1.0f64..100.0,
+        seed in any::<u64>(),
+    ) {
+        let cfg = PairwiseConfig::new(nodes, SimDuration::from_hours(hours))
+            .mean_rate(1.0 / 1800.0);
+        let trace = generate_pairwise(&cfg, &RngFactory::new(seed));
+        prop_assert_eq!(trace.node_count(), nodes);
+        for c in trace.contacts() {
+            prop_assert!(c.end() <= trace.span());
+            prop_assert!(c.a() < c.b());
+        }
+        // MLE graph estimated from the trace has zero diagonal and
+        // symmetric rates by construction.
+        if !trace.is_empty() {
+            let g = ContactGraph::from_trace(&trace);
+            for i in 0..nodes as u32 {
+                for j in 0..nodes as u32 {
+                    prop_assert!((g.rate(NodeId(i), NodeId(j)) - g.rate(NodeId(j), NodeId(i))).abs() < 1e-15);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,504 @@
+//! Opportunistic delivery-delay distributions.
+//!
+//! Under the exponential inter-contact model, the delay until two specific
+//! nodes next meet is `Exp(λ)`. The delays that matter to the freshness
+//! scheme are compositions:
+//!
+//! * a multi-hop path delay is a **sum** of exponentials
+//!   (hypoexponential, closed form);
+//! * delivery "direct **or** via any relay" is a **minimum** of independent
+//!   delays;
+//! * the refresh delay of a deep tree node is a **sum of minima**, which has
+//!   no closed form and is evaluated by numerical convolution.
+//!
+//! [`DelayModel`] represents all of these with a single `cdf`/`sample`/
+//! `expected_capped` interface. The analytical freshness model
+//! ([`crate::analysis`]) is built entirely on it.
+
+use rand::Rng;
+use rand_distr::{Distribution, Exp};
+
+/// A non-negative delay distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DelayModel {
+    /// The delay never completes (disconnected pair): `F(t) = 0`.
+    Never,
+    /// Exponential delay with the given rate (per second).
+    Exponential {
+        /// Rate λ > 0.
+        rate: f64,
+    },
+    /// Sum of independent exponentials (hypoexponential); e.g. a relay path
+    /// source→relay→child is `Hypo[λ1, λ2]`.
+    Hypoexponential {
+        /// The positive rates of the summed stages.
+        rates: Vec<f64>,
+    },
+    /// Minimum of independent delays: delivery succeeds when the first of
+    /// several independent channels succeeds.
+    MinOf(Vec<DelayModel>),
+    /// Sum of independent delays (general; evaluated numerically).
+    Sum(Vec<DelayModel>),
+}
+
+/// Grid resolution for numerical convolution and integration.
+const GRID: usize = 512;
+
+impl DelayModel {
+    /// An exponential delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not finite and positive.
+    #[must_use]
+    pub fn exponential(rate: f64) -> DelayModel {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "DelayModel::exponential: invalid rate {rate}"
+        );
+        DelayModel::Exponential { rate }
+    }
+
+    /// An exponential delay for a contact rate, mapping rate 0 to
+    /// [`DelayModel::Never`].
+    #[must_use]
+    pub fn from_contact_rate(rate: f64) -> DelayModel {
+        if rate > 0.0 {
+            DelayModel::exponential(rate)
+        } else {
+            DelayModel::Never
+        }
+    }
+
+    /// A hypoexponential (sum-of-exponentials) delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rates` is empty or any rate is not finite and positive.
+    #[must_use]
+    pub fn hypoexponential(rates: Vec<f64>) -> DelayModel {
+        assert!(!rates.is_empty(), "hypoexponential: no stages");
+        assert!(
+            rates.iter().all(|r| r.is_finite() && *r > 0.0),
+            "hypoexponential: invalid rates {rates:?}"
+        );
+        if rates.len() == 1 {
+            DelayModel::Exponential { rate: rates[0] }
+        } else {
+            DelayModel::Hypoexponential { rates }
+        }
+    }
+
+    /// The minimum of independent delays. Flattens nested `MinOf`s and
+    /// drops `Never` components (they cannot win the race); an empty result
+    /// is `Never`.
+    #[must_use]
+    pub fn min_of(components: Vec<DelayModel>) -> DelayModel {
+        let mut flat = Vec::new();
+        for c in components {
+            match c {
+                DelayModel::Never => {}
+                DelayModel::MinOf(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => DelayModel::Never,
+            1 => flat.pop().expect("len checked"),
+            _ => DelayModel::MinOf(flat),
+        }
+    }
+
+    /// The sum of independent delays. A `Never` component makes the sum
+    /// `Never`; sums of pure exponentials collapse to the hypoexponential
+    /// closed form.
+    #[must_use]
+    pub fn sum_of(components: Vec<DelayModel>) -> DelayModel {
+        let mut flat = Vec::new();
+        for c in components {
+            match c {
+                DelayModel::Never => return DelayModel::Never,
+                DelayModel::Sum(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        if flat.is_empty() {
+            // Empty sum: zero delay, modeled as an extremely fast stage.
+            return DelayModel::exponential(f64::MAX / 2.0);
+        }
+        if flat.len() == 1 {
+            return flat.pop().expect("len checked");
+        }
+        if flat.iter().all(|c| matches!(c, DelayModel::Exponential { .. })) {
+            let rates = flat
+                .iter()
+                .map(|c| match c {
+                    DelayModel::Exponential { rate } => *rate,
+                    _ => unreachable!("checked all exponential"),
+                })
+                .collect();
+            return DelayModel::hypoexponential(rates);
+        }
+        DelayModel::Sum(flat)
+    }
+
+    /// `F(t) = P(D ≤ t)`.
+    ///
+    /// Exact for `Exponential`, `Hypoexponential`, and `MinOf` over exact
+    /// components; `Sum` over non-exponential components is evaluated by
+    /// numerical convolution on a 512-point grid (documented approximation,
+    /// used by the analysis of replicated multi-hop paths).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is negative or not finite.
+    #[must_use]
+    pub fn cdf(&self, t: f64) -> f64 {
+        assert!(t.is_finite() && t >= 0.0, "cdf: invalid t = {t}");
+        if t == 0.0 {
+            return 0.0;
+        }
+        match self {
+            DelayModel::Never => 0.0,
+            DelayModel::Exponential { rate } => 1.0 - (-rate * t).exp(),
+            DelayModel::Hypoexponential { rates } => hypo_cdf(rates, t),
+            DelayModel::MinOf(cs) => {
+                1.0 - cs.iter().map(|c| 1.0 - c.cdf(t)).product::<f64>()
+            }
+            DelayModel::Sum(cs) => sum_cdf(cs, t),
+        }
+    }
+
+    /// `E[min(D, cap)] = ∫₀^cap (1 − F(t)) dt`, by Simpson's rule.
+    ///
+    /// This is the expected staleness per refresh period when `cap` is the
+    /// period: the node is stale from the version's birth until the earlier
+    /// of its refresh and the next version.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is not finite and positive.
+    #[must_use]
+    pub fn expected_capped(&self, cap: f64) -> f64 {
+        assert!(cap.is_finite() && cap > 0.0, "expected_capped: bad cap");
+        let n = GRID; // even
+        let h = cap / n as f64;
+        let g = |t: f64| 1.0 - self.cdf(t);
+        let mut acc = g(0.0) + g(cap);
+        for k in 1..n {
+            let w = if k % 2 == 1 { 4.0 } else { 2.0 };
+            acc += w * g(k as f64 * h);
+        }
+        (acc * h / 3.0).clamp(0.0, cap)
+    }
+
+    /// Draws a sample delay. `Never` yields `f64::INFINITY`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        match self {
+            DelayModel::Never => f64::INFINITY,
+            DelayModel::Exponential { rate } => {
+                Exp::new(*rate).expect("validated rate").sample(rng)
+            }
+            DelayModel::Hypoexponential { rates } => rates
+                .iter()
+                .map(|&r| Exp::new(r).expect("validated rate").sample(rng))
+                .sum(),
+            DelayModel::MinOf(cs) => cs
+                .iter()
+                .map(|c| c.sample(rng))
+                .fold(f64::INFINITY, f64::min),
+            DelayModel::Sum(cs) => cs.iter().map(|c| c.sample(rng)).sum(),
+        }
+    }
+
+    /// The mean delay, where a closed form exists (`Exponential`,
+    /// `Hypoexponential`); `None` otherwise (including `Never`).
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        match self {
+            DelayModel::Exponential { rate } => Some(1.0 / rate),
+            DelayModel::Hypoexponential { rates } => {
+                Some(rates.iter().map(|r| 1.0 / r).sum())
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Hypoexponential CDF.
+///
+/// * All rates equal → the Erlang closed form.
+/// * Otherwise the distinct-rate partial-fraction form, with
+///   near-duplicates spread by a small relative offset. The offset is large
+///   enough (1e-3) that the partial-fraction coefficients stay within f64
+///   cancellation headroom for the small stage counts (2–6) refresh paths
+///   have, and introduces relative CDF error well below 1%.
+fn hypo_cdf(rates: &[f64], t: f64) -> f64 {
+    debug_assert!(rates.len() >= 2);
+    let mut r = rates.to_vec();
+    r.sort_by(f64::total_cmp);
+
+    if r.iter().all(|&x| (x - r[0]).abs() <= r[0] * 1e-9) {
+        return erlang_cdf(r[0], r.len(), t);
+    }
+    // Spread near-duplicates so the coefficients exist and stay tame.
+    for i in 1..r.len() {
+        if (r[i] - r[i - 1]).abs() <= r[i] * 1e-3 {
+            r[i] = r[i - 1] * (1.0 + 1e-3);
+        }
+    }
+    let mut f = 1.0;
+    for i in 0..r.len() {
+        let mut coef = 1.0;
+        for j in 0..r.len() {
+            if j != i {
+                coef *= r[j] / (r[j] - r[i]);
+            }
+        }
+        f -= coef * (-r[i] * t).exp();
+    }
+    f.clamp(0.0, 1.0)
+}
+
+/// Erlang-`n` CDF: `1 − e^(−λt) Σ_{k<n} (λt)^k / k!`.
+fn erlang_cdf(rate: f64, n: usize, t: f64) -> f64 {
+    let lt = rate * t;
+    let mut term = 1.0;
+    let mut sum = 1.0;
+    for k in 1..n {
+        term *= lt / k as f64;
+        sum += term;
+    }
+    (1.0 - (-lt).exp() * sum).clamp(0.0, 1.0)
+}
+
+/// CDF of a sum of arbitrary components by discrete convolution of their
+/// probability masses on a uniform grid over `[0, t]`.
+fn sum_cdf(components: &[DelayModel], t: f64) -> f64 {
+    let n = GRID;
+    let h = t / n as f64;
+    // pmf[k] = P(D ∈ ((k−1)h, kh]) for k ≥ 1, pmf[0] = F(0) = 0.
+    let pmf = |c: &DelayModel| -> Vec<f64> {
+        let mut prev = 0.0;
+        (0..=n)
+            .map(|k| {
+                if k == 0 {
+                    0.0
+                } else {
+                    let cur = c.cdf(k as f64 * h);
+                    let mass = (cur - prev).max(0.0);
+                    prev = cur;
+                    mass
+                }
+            })
+            .collect()
+    };
+    let mut acc = pmf(&components[0]);
+    for c in &components[1..] {
+        let q = pmf(c);
+        let mut next = vec![0.0; n + 1];
+        for (i, &pi) in acc.iter().enumerate() {
+            if pi == 0.0 {
+                continue;
+            }
+            for (j, &qj) in q.iter().enumerate() {
+                if i + j <= n {
+                    next[i + j] += pi * qj;
+                }
+                // Mass beyond the grid exceeds t and is dropped: it cannot
+                // contribute to F(t).
+            }
+        }
+        acc = next;
+    }
+    acc.iter().sum::<f64>().clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omn_sim::RngFactory;
+
+    fn monte_carlo_cdf(model: &DelayModel, t: f64, samples: usize, seed: u64) -> f64 {
+        let mut rng = RngFactory::new(seed).stream("mc");
+        let hits = (0..samples)
+            .filter(|_| model.sample(&mut rng) <= t)
+            .count();
+        hits as f64 / samples as f64
+    }
+
+    #[test]
+    fn exponential_cdf() {
+        let m = DelayModel::exponential(0.5);
+        assert_eq!(m.cdf(0.0), 0.0);
+        assert!((m.cdf(2.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+        assert_eq!(m.mean(), Some(2.0));
+    }
+
+    #[test]
+    fn never_cdf_is_zero() {
+        assert_eq!(DelayModel::Never.cdf(1e9), 0.0);
+        assert_eq!(DelayModel::from_contact_rate(0.0), DelayModel::Never);
+        assert!(DelayModel::Never
+            .sample(&mut RngFactory::new(1).stream("x"))
+            .is_infinite());
+    }
+
+    #[test]
+    fn two_hop_distinct_rates_closed_form() {
+        // F(t) = 1 - (λ2 e^{-λ1 t} - λ1 e^{-λ2 t}) / (λ2 - λ1)
+        let (l1, l2, t) = (0.2f64, 0.7f64, 3.0f64);
+        let expect = 1.0 - (l2 * (-l1 * t).exp() - l1 * (-l2 * t).exp()) / (l2 - l1);
+        let m = DelayModel::hypoexponential(vec![l1, l2]);
+        assert!((m.cdf(t) - expect).abs() < 1e-9);
+        assert!((m.mean().unwrap() - (1.0 / l1 + 1.0 / l2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_rates_match_erlang() {
+        // Erlang-3(λ): F(t) = 1 - e^{-λt}(1 + λt + (λt)²/2)
+        let (l, t) = (0.4f64, 5.0f64);
+        let lt = l * t;
+        let erlang = 1.0 - (-lt).exp() * (1.0 + lt + lt * lt / 2.0);
+        let m = DelayModel::hypoexponential(vec![l, l, l]);
+        assert!(
+            (m.cdf(t) - erlang).abs() < 1e-12,
+            "{} vs {}",
+            m.cdf(t),
+            erlang
+        );
+        // Near-equal (but not exactly equal) rates stay accurate too.
+        let near = DelayModel::hypoexponential(vec![l, l * (1.0 + 1e-6), l * (1.0 - 1e-6)]);
+        assert!((near.cdf(t) - erlang).abs() < 1e-2);
+    }
+
+    #[test]
+    fn hypo_matches_monte_carlo() {
+        let m = DelayModel::hypoexponential(vec![0.1, 0.3, 0.9]);
+        for t in [1.0, 5.0, 15.0, 40.0] {
+            let mc = monte_carlo_cdf(&m, t, 60_000, 7);
+            assert!(
+                (m.cdf(t) - mc).abs() < 0.01,
+                "t={t}: analytic {} vs mc {mc}",
+                m.cdf(t)
+            );
+        }
+    }
+
+    #[test]
+    fn min_of_matches_monte_carlo() {
+        let m = DelayModel::min_of(vec![
+            DelayModel::exponential(0.05),
+            DelayModel::hypoexponential(vec![0.2, 0.2]),
+            DelayModel::hypoexponential(vec![0.1, 0.5]),
+        ]);
+        for t in [2.0, 10.0, 30.0] {
+            let mc = monte_carlo_cdf(&m, t, 60_000, 8);
+            assert!(
+                (m.cdf(t) - mc).abs() < 0.01,
+                "t={t}: analytic {} vs mc {mc}",
+                m.cdf(t)
+            );
+        }
+    }
+
+    #[test]
+    fn sum_of_minima_matches_monte_carlo() {
+        // Two hops, each "direct or one relay": the shape the deep-node
+        // analysis produces.
+        let hop = |direct: f64, r1: f64, r2: f64| {
+            DelayModel::min_of(vec![
+                DelayModel::exponential(direct),
+                DelayModel::hypoexponential(vec![r1, r2]),
+            ])
+        };
+        let m = DelayModel::sum_of(vec![hop(0.1, 0.3, 0.3), hop(0.05, 0.2, 0.4)]);
+        for t in [5.0, 20.0, 60.0] {
+            let mc = monte_carlo_cdf(&m, t, 60_000, 9);
+            assert!(
+                (m.cdf(t) - mc).abs() < 0.02,
+                "t={t}: numeric {} vs mc {mc}",
+                m.cdf(t)
+            );
+        }
+    }
+
+    #[test]
+    fn min_of_dominates_components() {
+        let a = DelayModel::exponential(0.1);
+        let b = DelayModel::exponential(0.02);
+        let m = DelayModel::min_of(vec![a.clone(), b]);
+        for t in [1.0, 10.0, 100.0] {
+            assert!(m.cdf(t) >= a.cdf(t) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn min_of_simplifications() {
+        assert_eq!(DelayModel::min_of(vec![]), DelayModel::Never);
+        assert_eq!(
+            DelayModel::min_of(vec![DelayModel::Never, DelayModel::exponential(1.0)]),
+            DelayModel::exponential(1.0)
+        );
+        // Nested mins flatten.
+        let m = DelayModel::min_of(vec![
+            DelayModel::min_of(vec![
+                DelayModel::exponential(1.0),
+                DelayModel::exponential(2.0),
+            ]),
+            DelayModel::exponential(3.0),
+        ]);
+        match m {
+            DelayModel::MinOf(cs) => assert_eq!(cs.len(), 3),
+            other => panic!("expected MinOf, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sum_of_simplifications() {
+        // Sum of exponentials collapses to the hypoexponential closed form.
+        let m = DelayModel::sum_of(vec![
+            DelayModel::exponential(1.0),
+            DelayModel::exponential(2.0),
+        ]);
+        assert!(matches!(m, DelayModel::Hypoexponential { .. }));
+        // Never propagates.
+        assert_eq!(
+            DelayModel::sum_of(vec![DelayModel::exponential(1.0), DelayModel::Never]),
+            DelayModel::Never
+        );
+    }
+
+    #[test]
+    fn expected_capped_exponential() {
+        // E[min(Exp(λ), T)] = (1 - e^{-λT}) / λ.
+        let m = DelayModel::exponential(0.1);
+        let t = 20.0;
+        let expect = (1.0 - (-0.1f64 * t).exp()) / 0.1;
+        assert!((m.expected_capped(t) - expect).abs() < 1e-3);
+        // Cap bounds the result.
+        assert!(m.expected_capped(5.0) <= 5.0);
+        // Never: expected staleness equals the full period.
+        assert!((DelayModel::Never.expected_capped(7.0) - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let m = DelayModel::min_of(vec![
+            DelayModel::hypoexponential(vec![0.2, 0.5]),
+            DelayModel::exponential(0.05),
+        ]);
+        let mut prev = 0.0;
+        for k in 0..100 {
+            let f = m.cdf(k as f64);
+            assert!(f >= prev - 1e-12);
+            prev = f;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid rate")]
+    fn rejects_bad_rate() {
+        let _ = DelayModel::exponential(-1.0);
+    }
+}

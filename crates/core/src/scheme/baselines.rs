@@ -1,0 +1,170 @@
+//! Baseline refresh schemes: epidemic flooding of updates, and no
+//! refreshing at all.
+
+use std::collections::HashMap;
+
+use omn_contacts::NodeId;
+
+use super::{RefreshScheme, SchemeCtx};
+
+/// Epidemic refreshing: every node in the network (caching or not) carries
+/// the newest version it has seen and hands it to anyone with an older one.
+///
+/// Minimizes staleness at maximal transmission cost — the freshness upper
+/// bound and overhead upper bound of the evaluation.
+#[derive(Debug, Default)]
+pub struct EpidemicRefresh {
+    /// Newest version carried by each non-member node, with the time it
+    /// was acquired (for buffer-occupancy accounting).
+    carried: HashMap<NodeId, (u64, omn_sim::SimTime)>,
+}
+
+impl EpidemicRefresh {
+    /// Creates the scheme.
+    #[must_use]
+    pub fn new() -> EpidemicRefresh {
+        EpidemicRefresh::default()
+    }
+
+    fn effective_version(&self, node: NodeId, ctx: &SchemeCtx<'_>) -> Option<u64> {
+        ctx.version_of(node)
+            .or_else(|| self.carried.get(&node).map(|&(v, _)| v))
+    }
+}
+
+impl RefreshScheme for EpidemicRefresh {
+    fn name(&self) -> &'static str {
+        "epidemic"
+    }
+
+    fn on_contact(&mut self, a: NodeId, b: NodeId, ctx: &mut SchemeCtx<'_>) {
+        let va = self.effective_version(a, ctx);
+        let vb = self.effective_version(b, ctx);
+        let (from, to, v) = match (va, vb) {
+            (Some(x), Some(y)) if x > y => (a, b, x),
+            (Some(x), Some(y)) if y > x => (b, a, y),
+            (Some(x), None) => (a, b, x),
+            (None, Some(y)) => (b, a, y),
+            _ => return,
+        };
+        if ctx.is_member(to) {
+            ctx.deliver_version(from, to, v);
+        } else if to != ctx.root() {
+            let now = ctx.now();
+            let old = self.carried.insert(to, (v, now));
+            match old {
+                Some((ov, _)) if ov == v => {}
+                other => {
+                    if let Some((_, acquired)) = other {
+                        ctx.count(
+                            "relay-copy-seconds",
+                            now.saturating_since(acquired).as_secs() as u64,
+                        );
+                    }
+                    ctx.record_transmission(from);
+                    ctx.record_replica();
+                }
+            }
+        }
+    }
+
+    fn on_finish(&mut self, ctx: &mut SchemeCtx<'_>) {
+        let mut occupancy_secs = 0.0;
+        for &(_, acquired) in self.carried.values() {
+            occupancy_secs += ctx.now().saturating_since(acquired).as_secs();
+        }
+        self.carried.clear();
+        if occupancy_secs > 0.0 {
+            ctx.count("relay-copy-seconds", occupancy_secs as u64);
+        }
+    }
+}
+
+/// No refreshing: caching nodes keep whatever version they started with.
+/// Freshness decays to zero after the first update — the lower bound every
+/// scheme must beat.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoRefresh;
+
+impl NoRefresh {
+    /// Creates the scheme.
+    #[must_use]
+    pub fn new() -> NoRefresh {
+        NoRefresh
+    }
+}
+
+impl RefreshScheme for NoRefresh {
+    fn name(&self) -> &'static str {
+        "no-refresh"
+    }
+
+    fn on_contact(&mut self, _a: NodeId, _b: NodeId, _ctx: &mut SchemeCtx<'_>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::testutil::CtxHarness;
+    use omn_contacts::ContactGraph;
+    use omn_sim::SimTime;
+
+    fn harness() -> CtxHarness {
+        let g = ContactGraph::new(4);
+        CtxHarness::new(g, NodeId(0), vec![NodeId(1), NodeId(2)])
+    }
+
+    #[test]
+    fn epidemic_spreads_through_relays() {
+        let mut h = harness();
+        let mut s = EpidemicRefresh::new();
+        h.current_version = 1;
+        h.now = SimTime::from_secs(1.0);
+
+        // Source → non-member 3 (replica).
+        s.on_contact(NodeId(0), NodeId(3), &mut h.ctx());
+        assert_eq!(h.replicas, 1);
+        // Relay 3 → member 2.
+        h.now = SimTime::from_secs(2.0);
+        s.on_contact(NodeId(3), NodeId(2), &mut h.ctx());
+        assert_eq!(h.member_versions[&NodeId(2)], 1);
+        // Member 2 → member 1.
+        h.now = SimTime::from_secs(3.0);
+        s.on_contact(NodeId(2), NodeId(1), &mut h.ctx());
+        assert_eq!(h.member_versions[&NodeId(1)], 1);
+        assert_eq!(h.transmissions, 3);
+    }
+
+    #[test]
+    fn epidemic_no_duplicate_relay_transmissions() {
+        let mut h = harness();
+        let mut s = EpidemicRefresh::new();
+        h.current_version = 1;
+        h.now = SimTime::from_secs(1.0);
+        s.on_contact(NodeId(0), NodeId(3), &mut h.ctx());
+        let tx = h.transmissions;
+        // Same version again: no transfer.
+        s.on_contact(NodeId(0), NodeId(3), &mut h.ctx());
+        assert_eq!(h.transmissions, tx);
+    }
+
+    #[test]
+    fn epidemic_equal_versions_do_nothing() {
+        let mut h = harness();
+        let mut s = EpidemicRefresh::new();
+        s.on_contact(NodeId(1), NodeId(2), &mut h.ctx());
+        assert_eq!(h.transmissions, 0);
+    }
+
+    #[test]
+    fn no_refresh_never_transfers() {
+        let mut h = harness();
+        let mut s = NoRefresh::new();
+        h.current_version = 5;
+        s.on_contact(NodeId(0), NodeId(1), &mut h.ctx());
+        s.on_contact(NodeId(1), NodeId(2), &mut h.ctx());
+        assert_eq!(h.transmissions, 0);
+        assert_eq!(h.member_versions[&NodeId(1)], 0);
+        assert_eq!(s.name(), "no-refresh");
+    }
+}

@@ -1,0 +1,311 @@
+//! Refresh schemes: the paper's hierarchical scheme and the baselines it is
+//! evaluated against, behind one trait.
+//!
+//! A scheme reacts to two kinds of events delivered by the
+//! [`crate::sim::FreshnessSimulator`]: version births at the source and
+//! opportunistic contacts. All state mutations that affect measurement
+//! (member cache versions, transmission and replica counts) go through
+//! [`SchemeCtx`], so accounting is uniform across schemes.
+
+mod baselines;
+mod hierarchical;
+
+pub use baselines::{EpidemicRefresh, NoRefresh};
+pub use hierarchical::{HierarchicalConfig, HierarchicalScheme, PlanningMode};
+
+use std::collections::HashMap;
+
+use omn_contacts::estimate::PairRateTable;
+use omn_contacts::{ContactGraph, NodeId};
+use omn_sim::metrics::Registry;
+use omn_sim::SimTime;
+use rand::rngs::StdRng;
+
+/// A cache-freshness maintenance scheme.
+pub trait RefreshScheme: std::fmt::Debug {
+    /// Scheme name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Called once before the first event.
+    fn on_start(&mut self, ctx: &mut SchemeCtx<'_>) {
+        let _ = ctx;
+    }
+
+    /// Called when the source produces `version` (strictly increasing).
+    fn on_version_birth(&mut self, version: u64, ctx: &mut SchemeCtx<'_>) {
+        let _ = (version, ctx);
+    }
+
+    /// Called at the start of every contact.
+    fn on_contact(&mut self, a: NodeId, b: NodeId, ctx: &mut SchemeCtx<'_>);
+
+    /// Called once after the last event (with `ctx.now()` at the trace
+    /// end), e.g. to flush occupancy accounting for copies still held.
+    fn on_finish(&mut self, ctx: &mut SchemeCtx<'_>) {
+        let _ = ctx;
+    }
+}
+
+/// The simulator-owned state a scheme sees and mutates during an event.
+#[derive(Debug)]
+pub struct SchemeCtx<'a> {
+    pub(crate) now: SimTime,
+    pub(crate) current_version: u64,
+    pub(crate) root: NodeId,
+    pub(crate) members: &'a [NodeId],
+    pub(crate) member_versions: &'a mut HashMap<NodeId, u64>,
+    pub(crate) receipts: &'a mut HashMap<NodeId, Vec<(SimTime, u64)>>,
+    pub(crate) rates: &'a PairRateTable,
+    pub(crate) oracle: &'a ContactGraph,
+    pub(crate) transmissions: &'a mut u64,
+    pub(crate) replicas: &'a mut u64,
+    pub(crate) per_node_tx: &'a mut Vec<u64>,
+    pub(crate) extras: &'a mut Registry,
+    pub(crate) rng: &'a mut StdRng,
+}
+
+impl SchemeCtx<'_> {
+    /// Current simulation time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The version currently held by the source.
+    #[must_use]
+    pub fn current_version(&self) -> u64 {
+        self.current_version
+    }
+
+    /// The data source.
+    #[must_use]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The caching nodes (excluding the source), sorted.
+    #[must_use]
+    pub fn members(&self) -> &[NodeId] {
+        self.members
+    }
+
+    /// True if `node` is a caching node.
+    #[must_use]
+    pub fn is_member(&self, node: NodeId) -> bool {
+        self.members.binary_search(&node).is_ok()
+    }
+
+    /// The version held by `node`: the source always holds the current
+    /// version; members hold their cached version; other nodes hold
+    /// nothing (schemes track their own relay carriage).
+    #[must_use]
+    pub fn version_of(&self, node: NodeId) -> Option<u64> {
+        if node == self.root {
+            Some(self.current_version)
+        } else {
+            self.member_versions.get(&node).copied()
+        }
+    }
+
+    /// Delivers `version` from node `from` to caching node `to`. Succeeds
+    /// (and counts one transmission against the *sender's* refresh load)
+    /// iff `to` is a member, the version is not from the future, and it is
+    /// newer than what `to` holds.
+    pub fn deliver_version(&mut self, from: NodeId, to: NodeId, version: u64) -> bool {
+        if !self.is_member(to) || version > self.current_version {
+            return false;
+        }
+        let held = self.member_versions.get(&to).copied();
+        if held.is_some_and(|h| h >= version) {
+            return false;
+        }
+        self.member_versions.insert(to, version);
+        self.receipts
+            .entry(to)
+            .or_default()
+            .push((self.now, version));
+        *self.transmissions += 1;
+        self.per_node_tx[from.index()] += 1;
+        true
+    }
+
+    /// Counts a transmission by `from` that does not change a member cache
+    /// (e.g. handing a copy to a relay or another relay).
+    pub fn record_transmission(&mut self, from: NodeId) {
+        *self.transmissions += 1;
+        self.per_node_tx[from.index()] += 1;
+    }
+
+    /// Counts a replica creation (a copy handed to a non-caching relay).
+    /// Does not count a transmission by itself.
+    pub fn record_replica(&mut self) {
+        *self.replicas += 1;
+    }
+
+    /// Adds to a scheme-specific named counter, surfaced in the report's
+    /// `extras` registry (e.g. `"rebuilds"`, `"relay-copy-seconds"`).
+    pub fn count(&mut self, name: &str, n: u64) {
+        self.extras.add(name, n);
+    }
+
+    /// The estimated contact rate between two nodes as observed so far.
+    #[must_use]
+    pub fn estimated_rate(&self, a: NodeId, b: NodeId) -> f64 {
+        self.rates.rate(a, b, self.now)
+    }
+
+    /// A snapshot of the estimated contact graph.
+    #[must_use]
+    pub fn estimated_graph(&self) -> ContactGraph {
+        self.rates.to_graph(self.oracle.node_count(), self.now)
+    }
+
+    /// The oracle contact graph (true trace-wide rates); available to
+    /// schemes configured for oracle planning and to baselines.
+    #[must_use]
+    pub fn oracle_graph(&self) -> &ContactGraph {
+        self.oracle
+    }
+
+    /// Total nodes in the network.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.oracle.node_count()
+    }
+
+    /// The scheme's random stream (deterministic per run).
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use omn_contacts::estimate::EstimatorKind;
+
+    /// Owned backing state for a [`SchemeCtx`] in unit tests.
+    #[derive(Debug)]
+    pub(crate) struct CtxHarness {
+        pub now: SimTime,
+        pub current_version: u64,
+        pub root: NodeId,
+        pub members: Vec<NodeId>,
+        pub member_versions: HashMap<NodeId, u64>,
+        pub receipts: HashMap<NodeId, Vec<(SimTime, u64)>>,
+        pub rates: PairRateTable,
+        pub oracle: ContactGraph,
+        pub transmissions: u64,
+        pub replicas: u64,
+        pub per_node_tx: Vec<u64>,
+        pub extras: Registry,
+        pub rng: StdRng,
+    }
+
+    impl CtxHarness {
+        pub fn new(oracle: ContactGraph, root: NodeId, members: Vec<NodeId>) -> CtxHarness {
+            let oracle_nodes = oracle.node_count();
+            let member_versions = members.iter().map(|&m| (m, 0)).collect();
+            let receipts = members
+                .iter()
+                .map(|&m| (m, vec![(SimTime::ZERO, 0u64)]))
+                .collect();
+            CtxHarness {
+                now: SimTime::ZERO,
+                current_version: 0,
+                root,
+                members,
+                member_versions,
+                receipts,
+                rates: PairRateTable::new(EstimatorKind::Cumulative, SimTime::ZERO),
+                oracle,
+                transmissions: 0,
+                replicas: 0,
+                per_node_tx: vec![0; oracle_nodes],
+                extras: Registry::new(),
+                rng: omn_sim::RngFactory::new(1).stream("test-scheme"),
+            }
+        }
+
+        pub fn ctx(&mut self) -> SchemeCtx<'_> {
+            SchemeCtx {
+                now: self.now,
+                current_version: self.current_version,
+                root: self.root,
+                members: &self.members,
+                member_versions: &mut self.member_versions,
+                receipts: &mut self.receipts,
+                rates: &self.rates,
+                oracle: &self.oracle,
+                transmissions: &mut self.transmissions,
+                replicas: &mut self.replicas,
+                per_node_tx: &mut self.per_node_tx,
+                extras: &mut self.extras,
+                rng: &mut self.rng,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::CtxHarness;
+    use super::*;
+
+    fn harness() -> CtxHarness {
+        let mut g = ContactGraph::new(4);
+        g.set_rate(NodeId(0), NodeId(1), 1.0);
+        CtxHarness::new(g, NodeId(0), vec![NodeId(1), NodeId(2)])
+    }
+
+    #[test]
+    fn version_of_root_tracks_current() {
+        let mut h = harness();
+        h.current_version = 5;
+        let ctx = h.ctx();
+        assert_eq!(ctx.version_of(NodeId(0)), Some(5));
+        assert_eq!(ctx.version_of(NodeId(1)), Some(0));
+        assert_eq!(ctx.version_of(NodeId(3)), None);
+    }
+
+    #[test]
+    fn deliver_version_accounting() {
+        let mut h = harness();
+        h.current_version = 2;
+        h.now = SimTime::from_secs(10.0);
+        let mut ctx = h.ctx();
+        assert!(ctx.deliver_version(NodeId(0), NodeId(1), 2));
+        assert_eq!(ctx.version_of(NodeId(1)), Some(2));
+        // Duplicate and stale deliveries fail.
+        assert!(!ctx.deliver_version(NodeId(0), NodeId(1), 2));
+        assert!(!ctx.deliver_version(NodeId(0), NodeId(1), 1));
+        // Future versions fail.
+        assert!(!ctx.deliver_version(NodeId(0), NodeId(2), 3));
+        // Non-members fail.
+        assert!(!ctx.deliver_version(NodeId(0), NodeId(3), 1));
+        drop(ctx);
+        assert_eq!(h.transmissions, 1);
+        assert_eq!(h.receipts[&NodeId(1)].len(), 2);
+    }
+
+    #[test]
+    fn membership_queries() {
+        let mut h = harness();
+        let ctx = h.ctx();
+        assert!(ctx.is_member(NodeId(1)));
+        assert!(!ctx.is_member(NodeId(0)), "root is not a member");
+        assert!(!ctx.is_member(NodeId(3)));
+        assert_eq!(ctx.node_count(), 4);
+    }
+
+    #[test]
+    fn counters() {
+        let mut h = harness();
+        let mut ctx = h.ctx();
+        ctx.record_transmission(NodeId(0));
+        ctx.record_replica();
+        drop(ctx);
+        assert_eq!(h.transmissions, 1);
+        assert_eq!(h.replicas, 1);
+    }
+}

@@ -1,0 +1,983 @@
+//! The trace-driven cache-freshness simulator.
+//!
+//! Drives a [`RefreshScheme`] over a contact trace for one data item and
+//! measures everything the evaluation reports:
+//!
+//! * time-weighted **cache freshness ratio** (fraction of caching nodes
+//!   holding the current version) and its timeline,
+//! * per-version **refresh delays** at each caching node,
+//! * **requirement satisfaction**: the fraction of (node, version) pairs
+//!   refreshed within the configured deadline,
+//! * **overhead**: transmissions and replicas created,
+//! * **fresh data access**: queries served by caching nodes, and whether
+//!   the serving copy was fresh at service time.
+//!
+//! Contacts are exchange opportunities at their start instant (the standard
+//! contact-trace simplification); versions born mid-contact propagate at
+//! the next contact.
+
+use std::collections::HashMap;
+
+use omn_contacts::estimate::{EstimatorKind, PairRateTable};
+use omn_contacts::{Centrality, ContactGraph, ContactTrace, NodeId};
+use omn_sim::metrics::{SampleHistogram, Timeline};
+use omn_sim::{RngFactory, SimDuration, SimTime};
+use rand::Rng;
+
+use crate::freshness::{FreshnessRequirement, FreshnessTracker, UpdateSchedule};
+use crate::hierarchy::HierarchyStrategy;
+use crate::scheme::{
+    EpidemicRefresh, HierarchicalConfig, HierarchicalScheme, NoRefresh, PlanningMode,
+    RefreshScheme, SchemeCtx,
+};
+
+/// The built-in schemes the evaluation compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchemeChoice {
+    /// The paper's scheme: contact-aware tree + probabilistic replication.
+    Hierarchical,
+    /// Ablation: the tree without replication.
+    HierarchicalNoReplication,
+    /// Baseline: the source refreshes everyone directly.
+    SourceOnly,
+    /// Ablation/baseline: random tree, no replication.
+    RandomTree,
+    /// Baseline: epidemic flooding of new versions through all nodes.
+    Epidemic,
+    /// Baseline: no refreshing at all.
+    NoRefresh,
+}
+
+impl SchemeChoice {
+    /// All choices, in reporting order.
+    pub const ALL: [SchemeChoice; 6] = [
+        SchemeChoice::Hierarchical,
+        SchemeChoice::HierarchicalNoReplication,
+        SchemeChoice::SourceOnly,
+        SchemeChoice::RandomTree,
+        SchemeChoice::Epidemic,
+        SchemeChoice::NoRefresh,
+    ];
+
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SchemeChoice::Hierarchical => "hierarchical",
+            SchemeChoice::HierarchicalNoReplication => "hier-no-repl",
+            SchemeChoice::SourceOnly => "source-only",
+            SchemeChoice::RandomTree => "random-tree",
+            SchemeChoice::Epidemic => "epidemic",
+            SchemeChoice::NoRefresh => "no-refresh",
+        }
+    }
+}
+
+impl std::fmt::Display for SchemeChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How the data source is chosen from the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceSelection {
+    /// A specific node.
+    Node(NodeId),
+    /// The most central node (best case for source-only refreshing).
+    MostCentral,
+    /// The median-centrality node (an arbitrary content producer — the
+    /// default, and the setting where distribution of refresh load pays).
+    MedianCentral,
+}
+
+/// Freshness-simulation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FreshnessConfig {
+    /// Number of caching nodes (the most central nodes, excluding the
+    /// source).
+    pub caching_nodes: usize,
+    /// Source selection.
+    pub source: SourceSelection,
+    /// Mean interval between versions.
+    pub refresh_period: SimDuration,
+    /// Poisson (true) or strictly periodic (false) updates.
+    pub poisson_updates: bool,
+    /// The freshness requirement replication is sized for.
+    pub requirement: FreshnessRequirement,
+    /// Tree fanout bound.
+    pub fanout: Option<usize>,
+    /// Maximum relays per edge.
+    pub max_relays: usize,
+    /// Periodic rebuild interval (`None`: build once).
+    pub rebuild_every: Option<SimDuration>,
+    /// Distributed re-parenting between rebuilds.
+    pub reparent: bool,
+    /// Oracle or estimated rates for planning.
+    pub planning: PlanningMode,
+    /// Number of data-access queries to sample (0 disables the query
+    /// metrics).
+    pub query_count: usize,
+    /// Online rate estimator maintained from observed contacts.
+    pub estimator: EstimatorKind,
+    /// Data lifetime: a cached copy *expires* once the birth of the version
+    /// it holds is more than this long in the past, even if no newer
+    /// version has reached the node ("subject to expiration"). `None`
+    /// disables expiry. Drives the availability metrics.
+    pub lifetime: Option<SimDuration>,
+    /// Fresh-only serving: when `true`, a caching node declines to answer a
+    /// query while its copy is stale, so the query keeps searching for a
+    /// fresh copy (trading access latency and service ratio for validity).
+    pub fresh_only_serving: bool,
+}
+
+impl Default for FreshnessConfig {
+    fn default() -> FreshnessConfig {
+        let period = SimDuration::from_hours(6.0);
+        FreshnessConfig {
+            caching_nodes: 8,
+            source: SourceSelection::MedianCentral,
+            refresh_period: period,
+            poisson_updates: false,
+            requirement: FreshnessRequirement::new(0.9, period / 2.0),
+            fanout: Some(3),
+            max_relays: 3,
+            rebuild_every: None,
+            reparent: false,
+            planning: PlanningMode::Oracle,
+            query_count: 200,
+            estimator: EstimatorKind::Cumulative,
+            lifetime: Some(period * 2.0),
+            fresh_only_serving: false,
+        }
+    }
+}
+
+/// Results of one freshness-simulation run.
+#[derive(Debug, Clone)]
+pub struct FreshnessReport {
+    /// Scheme name.
+    pub scheme: &'static str,
+    /// The source node used.
+    pub source: NodeId,
+    /// The caching nodes used.
+    pub members: Vec<NodeId>,
+    /// Number of versions born during the run.
+    pub version_count: u64,
+    /// Time-weighted mean cache freshness ratio.
+    pub mean_freshness: f64,
+    /// Freshness ratio over time.
+    pub freshness_timeline: Timeline,
+    /// Time-weighted mean availability: the fraction of caching nodes
+    /// holding an *unexpired* copy (1.0 when expiry is disabled).
+    pub mean_availability: f64,
+    /// Refresh delays in seconds: for each (member, version ≥ 1), the time
+    /// from the version's birth until the member first held a version at
+    /// least that new (censored pairs — never refreshed within the trace —
+    /// are excluded here but counted against satisfaction).
+    pub refresh_delays: SampleHistogram,
+    /// Fraction of (member, version) pairs refreshed within the
+    /// requirement deadline, over versions whose deadline fits in the
+    /// trace.
+    pub requirement_satisfaction: f64,
+    /// Total message transmissions.
+    pub transmissions: u64,
+    /// Replica copies handed to non-caching relays.
+    pub replicas: u64,
+    /// Transmissions attributed to each node as the *sender* (indexed by
+    /// node id): the refresh-load distribution. Source-only concentrates
+    /// everything at the source; the hierarchical scheme spreads it.
+    pub per_node_transmissions: Vec<u64>,
+    /// Scheme-specific counters (e.g. the hierarchical scheme reports
+    /// `rebuilds`, `reparent-events`, and `relay-copy-seconds` — the total
+    /// buffer occupancy its replication imposes on relay nodes).
+    pub extras: omn_sim::metrics::Registry,
+    /// Queries issued.
+    pub queries_total: usize,
+    /// Queries served by a caching node (or the source) within the trace.
+    pub queries_served: usize,
+    /// Served queries whose serving copy was fresh at service time.
+    pub queries_fresh: usize,
+    /// Service delays of served queries, seconds.
+    pub query_delays: SampleHistogram,
+}
+
+impl FreshnessReport {
+    /// Fresh-access ratio: fresh-served queries over all issued queries
+    /// (unserved queries count as not fresh). Zero when no queries ran.
+    #[must_use]
+    pub fn fresh_access_ratio(&self) -> f64 {
+        if self.queries_total == 0 {
+            0.0
+        } else {
+            self.queries_fresh as f64 / self.queries_total as f64
+        }
+    }
+
+    /// Query service ratio.
+    #[must_use]
+    pub fn service_ratio(&self) -> f64 {
+        if self.queries_total == 0 {
+            0.0
+        } else {
+            self.queries_served as f64 / self.queries_total as f64
+        }
+    }
+
+    /// Transmissions per version per caching node — the normalized
+    /// overhead measure.
+    #[must_use]
+    pub fn overhead_per_version_per_member(&self) -> f64 {
+        let denom = self.version_count.max(1) as f64 * self.members.len().max(1) as f64;
+        self.transmissions as f64 / denom
+    }
+
+    /// Transmissions sent by the source — the load the hierarchical scheme
+    /// exists to spread.
+    #[must_use]
+    pub fn source_transmissions(&self) -> u64 {
+        self.per_node_transmissions[self.source.index()]
+    }
+
+    /// The largest per-node refresh load (transmissions sent by the
+    /// busiest node).
+    #[must_use]
+    pub fn max_node_transmissions(&self) -> u64 {
+        self.per_node_transmissions.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// The freshness simulator.
+#[derive(Debug, Clone, Copy)]
+pub struct FreshnessSimulator {
+    config: FreshnessConfig,
+}
+
+impl FreshnessSimulator {
+    /// Creates a simulator.
+    #[must_use]
+    pub fn new(config: FreshnessConfig) -> FreshnessSimulator {
+        FreshnessSimulator { config }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &FreshnessConfig {
+        &self.config
+    }
+
+    /// Selects the source and caching nodes from a trace per the
+    /// configuration (most-central nodes by delay-closeness, as the NCL
+    /// framework does).
+    #[must_use]
+    pub fn select_roles(&self, trace: &ContactTrace) -> (NodeId, Vec<NodeId>) {
+        let graph = ContactGraph::from_trace(trace);
+        let ranked = graph.top_k(Centrality::Closeness, graph.node_count());
+        let source = match self.config.source {
+            SourceSelection::Node(n) => n,
+            SourceSelection::MostCentral => ranked[0],
+            SourceSelection::MedianCentral => ranked[ranked.len() / 2],
+        };
+        let mut members: Vec<NodeId> = ranked
+            .into_iter()
+            .filter(|&n| n != source)
+            .take(self.config.caching_nodes)
+            .collect();
+        members.sort();
+        (source, members)
+    }
+
+    /// Runs one of the built-in schemes.
+    #[must_use]
+    pub fn run(
+        &self,
+        trace: &ContactTrace,
+        choice: SchemeChoice,
+        factory: &RngFactory,
+    ) -> FreshnessReport {
+        let mut scheme = self.make_scheme(choice);
+        self.run_scheme(trace, scheme.as_mut(), factory)
+    }
+
+    /// Instantiates a built-in scheme per the configuration.
+    #[must_use]
+    pub fn make_scheme(&self, choice: SchemeChoice) -> Box<dyn RefreshScheme> {
+        let base = HierarchicalConfig {
+            strategy: HierarchyStrategy::GreedySed {
+                fanout: self.config.fanout,
+            },
+            replication: Some(self.config.requirement),
+            max_relays: self.config.max_relays,
+            rebuild_every: self.config.rebuild_every,
+            reparent: self.config.reparent,
+            planning: self.config.planning,
+        };
+        match choice {
+            SchemeChoice::Hierarchical => Box::new(HierarchicalScheme::new(base)),
+            SchemeChoice::HierarchicalNoReplication => Box::new(HierarchicalScheme::new(
+                HierarchicalConfig {
+                    replication: None,
+                    ..base
+                },
+            )),
+            SchemeChoice::SourceOnly => Box::new(HierarchicalScheme::source_only()),
+            SchemeChoice::RandomTree => {
+                Box::new(HierarchicalScheme::random_tree(self.config.fanout))
+            }
+            SchemeChoice::Epidemic => Box::new(EpidemicRefresh::new()),
+            SchemeChoice::NoRefresh => Box::new(NoRefresh::new()),
+        }
+    }
+
+    /// Runs an arbitrary scheme with roles selected from the configuration.
+    #[must_use]
+    pub fn run_scheme(
+        &self,
+        trace: &ContactTrace,
+        scheme: &mut dyn RefreshScheme,
+        factory: &RngFactory,
+    ) -> FreshnessReport {
+        let (source, members) = self.select_roles(trace);
+        self.run_with_roles(trace, source, &members, scheme, factory)
+    }
+
+    /// Runs one built-in scheme over a whole catalog: item `i` uses its
+    /// own source and the caching set `cachers[i]` (as produced by
+    /// [`omn_caching::AccessReport::cachers_per_item`]), with an
+    /// independent child RNG stream per item. Items whose caching set is
+    /// empty (besides the source) are skipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cachers` has fewer entries than the catalog.
+    #[must_use]
+    pub fn run_catalog(
+        &self,
+        trace: &ContactTrace,
+        catalog: &omn_caching::Catalog,
+        cachers: &[Vec<NodeId>],
+        choice: SchemeChoice,
+        factory: &RngFactory,
+    ) -> Vec<FreshnessReport> {
+        assert!(
+            cachers.len() >= catalog.len(),
+            "caching sets do not cover the catalog"
+        );
+        let mut reports = Vec::new();
+        for item in catalog.items() {
+            let mut members: Vec<NodeId> = cachers[item.id().index()]
+                .iter()
+                .copied()
+                .filter(|&n| n != item.source())
+                .collect();
+            members.sort();
+            members.dedup();
+            if members.is_empty() {
+                continue;
+            }
+            let mut scheme = self.make_scheme(choice);
+            reports.push(self.run_with_roles(
+                trace,
+                item.source(),
+                &members,
+                scheme.as_mut(),
+                &factory.child(u64::from(item.id().0)),
+            ));
+        }
+        reports
+    }
+
+    /// Runs an arbitrary scheme with explicit roles (e.g. the caching sets
+    /// produced by the cooperative caching layer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty, unsorted, contains duplicates or the
+    /// source, or references nodes outside the trace.
+    #[must_use]
+    pub fn run_with_roles(
+        &self,
+        trace: &ContactTrace,
+        source: NodeId,
+        members: &[NodeId],
+        scheme: &mut dyn RefreshScheme,
+        factory: &RngFactory,
+    ) -> FreshnessReport {
+        assert!(!members.is_empty(), "need at least one caching node");
+        assert!(
+            members.windows(2).all(|w| w[0] < w[1]),
+            "members must be sorted and unique"
+        );
+        assert!(!members.contains(&source), "source cannot be a member");
+        assert!(
+            members.iter().all(|m| m.index() < trace.node_count())
+                && source.index() < trace.node_count(),
+            "roles outside the trace"
+        );
+
+        let span = trace.span();
+        let schedule = if self.config.poisson_updates {
+            UpdateSchedule::poisson(self.config.refresh_period, span, factory)
+        } else {
+            UpdateSchedule::periodic(self.config.refresh_period, span)
+        };
+        let oracle = ContactGraph::from_trace(trace);
+        let mut rates = PairRateTable::new(self.config.estimator, SimTime::ZERO);
+        let mut rng = factory.stream("scheme");
+
+        // All members hold version 0 at t=0 (placement done by the caching
+        // layer).
+        let mut member_versions: HashMap<NodeId, u64> =
+            members.iter().map(|&m| (m, 0)).collect();
+        let mut receipts: HashMap<NodeId, Vec<(SimTime, u64)>> = members
+            .iter()
+            .map(|&m| (m, vec![(SimTime::ZERO, 0u64)]))
+            .collect();
+        let mut transmissions = 0u64;
+        let mut replicas = 0u64;
+        let mut extras = omn_sim::metrics::Registry::new();
+        let mut per_node_tx = vec![0u64; trace.node_count()];
+        let mut tracker = FreshnessTracker::new(members.len(), members.len(), SimTime::ZERO);
+        let mut current_version = 0u64;
+
+        // Availability: fraction of members holding an unexpired copy.
+        let lifetime = self.config.lifetime;
+        let expiries: Vec<SimTime> = match lifetime {
+            Some(l) => schedule.births().iter().map(|&b| b + l).collect(),
+            None => Vec::new(),
+        };
+        let mut next_expiry = 0usize;
+        let mut avail = omn_sim::metrics::TimeWeightedMean::starting_at(SimTime::ZERO, 1.0);
+        let avail_ratio = |mv: &HashMap<NodeId, u64>, now: SimTime| -> f64 {
+            match lifetime {
+                None => 1.0,
+                Some(l) => {
+                    let alive = mv
+                        .values()
+                        .filter(|&&v| schedule.birth_of(v) + l > now)
+                        .count();
+                    alive as f64 / mv.len().max(1) as f64
+                }
+            }
+        };
+
+        // Query workload: uniform nodes and times.
+        let mut queries: Vec<(SimTime, NodeId)> = {
+            let mut qrng = factory.stream("fresh-queries");
+            (0..self.config.query_count)
+                .map(|_| {
+                    (
+                        SimTime::from_secs(
+                            qrng.gen_range(0.0..span.as_secs().max(f64::MIN_POSITIVE)),
+                        ),
+                        NodeId(qrng.gen_range(0..trace.node_count() as u32)),
+                    )
+                })
+                .collect()
+        };
+        queries.sort_by_key(|&(t, n)| (t, n));
+        let mut next_query = 0usize;
+        let mut pending_queries: Vec<(SimTime, NodeId)> = Vec::new();
+        let mut queries_served = 0usize;
+        let mut queries_fresh = 0usize;
+        let mut query_delays = SampleHistogram::new();
+
+        let is_server = |n: NodeId| n == source || members.binary_search(&n).is_ok();
+
+        macro_rules! ctx {
+            ($now:expr) => {
+                SchemeCtx {
+                    now: $now,
+                    current_version,
+                    root: source,
+                    members,
+                    member_versions: &mut member_versions,
+                    receipts: &mut receipts,
+                    rates: &rates,
+                    oracle: &oracle,
+                    transmissions: &mut transmissions,
+                    replicas: &mut replicas,
+                    per_node_tx: &mut per_node_tx,
+                    extras: &mut extras,
+                    rng: &mut rng,
+                }
+            };
+        }
+
+        scheme.on_start(&mut ctx!(SimTime::ZERO));
+
+        let mut next_birth = 1u64;
+        let births = schedule.births();
+
+        for contact in trace.contacts() {
+            let now = contact.start();
+
+            // Version births due before this contact.
+            while (next_birth as usize) < births.len() && births[next_birth as usize] <= now {
+                let birth = births[next_birth as usize];
+                current_version = next_birth;
+                scheme.on_version_birth(current_version, &mut ctx!(birth));
+                let fresh = member_versions
+                    .values()
+                    .filter(|&&v| v == current_version)
+                    .count();
+                tracker.set_fresh(fresh, birth);
+                next_birth += 1;
+            }
+
+            // Queries due before this contact: members and the source serve
+            // themselves immediately.
+            while next_query < queries.len() && queries[next_query].0 <= now {
+                let (issued, node) = queries[next_query];
+                next_query += 1;
+                let self_version = if node == source {
+                    Some(current_version)
+                } else if is_server(node) {
+                    member_versions.get(&node).copied()
+                } else {
+                    None
+                };
+                let self_serves = match self_version {
+                    None => false,
+                    Some(v) => !self.config.fresh_only_serving || v == current_version,
+                };
+                if self_serves {
+                    queries_served += 1;
+                    query_delays.record(0.0);
+                    if self_version == Some(current_version) {
+                        queries_fresh += 1;
+                    }
+                } else {
+                    pending_queries.push((issued, node));
+                }
+            }
+
+            // Expiry instants due before this contact.
+            while next_expiry < expiries.len() && expiries[next_expiry] <= now {
+                let te = expiries[next_expiry];
+                avail.update(te, avail_ratio(&member_versions, te));
+                next_expiry += 1;
+            }
+
+            let (a, b) = contact.pair();
+            rates.record_contact(a, b, now);
+            scheme.on_contact(a, b, &mut ctx!(now));
+
+            let fresh = member_versions
+                .values()
+                .filter(|&&v| v == current_version)
+                .count();
+            if fresh != tracker.fresh_count() {
+                tracker.set_fresh(fresh, now);
+            }
+            avail.update(now, avail_ratio(&member_versions, now));
+
+            // Serve pending queries whose holder meets a caching node.
+            if !pending_queries.is_empty() {
+                pending_queries.retain(|&(issued, node)| {
+                    let server = if node == a && is_server(b) {
+                        Some(b)
+                    } else if node == b && is_server(a) {
+                        Some(a)
+                    } else {
+                        None
+                    };
+                    match server {
+                        None => true,
+                        Some(s) => {
+                            let v = if s == source {
+                                Some(current_version)
+                            } else {
+                                member_versions.get(&s).copied()
+                            };
+                            if self.config.fresh_only_serving && v != Some(current_version) {
+                                return true; // decline: keep searching
+                            }
+                            queries_served += 1;
+                            query_delays.record(now.saturating_since(issued).as_secs());
+                            if v == Some(current_version) {
+                                queries_fresh += 1;
+                            }
+                            false
+                        }
+                    }
+                });
+            }
+        }
+
+        // Births after the last contact still count for freshness decay.
+        while (next_birth as usize) < births.len() {
+            let birth = births[next_birth as usize];
+            current_version = next_birth;
+            let fresh = member_versions
+                .values()
+                .filter(|&&v| v == current_version)
+                .count();
+            tracker.set_fresh(fresh, birth);
+            next_birth += 1;
+        }
+        // Expiries after the last contact still count for availability.
+        while next_expiry < expiries.len() && expiries[next_expiry] <= span {
+            let te = expiries[next_expiry];
+            avail.update(te, avail_ratio(&member_versions, te));
+            next_expiry += 1;
+        }
+
+        scheme.on_finish(&mut ctx!(span));
+
+        let (mean_freshness, freshness_timeline) = tracker.finish(span);
+        let mean_availability = avail.finish(span);
+
+        // Refresh delays and requirement satisfaction from receipts.
+        let mut refresh_delays = SampleHistogram::new();
+        let deadline = self.config.requirement.deadline;
+        let mut satisfied = 0usize;
+        let mut satisfiable = 0usize;
+        for &m in members {
+            let recs = &receipts[&m];
+            for v in 1..schedule.version_count() {
+                let birth = schedule.birth_of(v);
+                // First time m held a version ≥ v.
+                let first = recs
+                    .iter()
+                    .find(|&&(_, rv)| rv >= v)
+                    .map(|&(t, _)| t);
+                if let Some(t) = first {
+                    if t >= birth {
+                        refresh_delays.record(t.saturating_since(birth).as_secs());
+                    }
+                }
+                if birth + deadline <= span {
+                    satisfiable += 1;
+                    if first.is_some_and(|t| t <= birth + deadline) {
+                        satisfied += 1;
+                    }
+                }
+            }
+        }
+        let requirement_satisfaction = if satisfiable == 0 {
+            1.0
+        } else {
+            satisfied as f64 / satisfiable as f64
+        };
+
+        FreshnessReport {
+            scheme: scheme.name(),
+            source,
+            members: members.to_vec(),
+            version_count: schedule.version_count(),
+            mean_freshness,
+            freshness_timeline,
+            mean_availability,
+            refresh_delays,
+            requirement_satisfaction,
+            transmissions,
+            replicas,
+            per_node_transmissions: per_node_tx,
+            extras,
+            queries_total: self.config.query_count,
+            queries_served,
+            queries_fresh,
+            query_delays,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omn_contacts::synth::presets::TracePreset;
+    use omn_contacts::synth::{generate_pairwise, PairwiseConfig};
+
+    fn small_trace(seed: u64) -> ContactTrace {
+        generate_pairwise(
+            &PairwiseConfig::new(20, SimDuration::from_days(3.0)).mean_rate(1.0 / 5400.0),
+            &RngFactory::new(seed),
+        )
+    }
+
+    fn config() -> FreshnessConfig {
+        FreshnessConfig {
+            caching_nodes: 6,
+            refresh_period: SimDuration::from_hours(8.0),
+            requirement: FreshnessRequirement::new(0.8, SimDuration::from_hours(4.0)),
+            query_count: 100,
+            ..FreshnessConfig::default()
+        }
+    }
+
+    #[test]
+    fn role_selection_is_consistent() {
+        let trace = small_trace(1);
+        let sim = FreshnessSimulator::new(config());
+        let (source, members) = sim.select_roles(&trace);
+        assert_eq!(members.len(), 6);
+        assert!(!members.contains(&source));
+        assert!(members.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn no_refresh_decays_to_stale() {
+        let trace = small_trace(2);
+        let sim = FreshnessSimulator::new(config());
+        let report = sim.run(&trace, SchemeChoice::NoRefresh, &RngFactory::new(2));
+        // 9 versions over 3 days with 8h period: only version 0's window is
+        // fresh → mean freshness ≈ 1/9.
+        assert!(report.mean_freshness < 0.25, "{}", report.mean_freshness);
+        assert_eq!(report.transmissions, 0);
+        assert_eq!(report.replicas, 0);
+        assert!(report.requirement_satisfaction < 0.05);
+    }
+
+    #[test]
+    fn epidemic_beats_everything_on_freshness() {
+        let trace = small_trace(3);
+        let sim = FreshnessSimulator::new(config());
+        let f = RngFactory::new(3);
+        let epidemic = sim.run(&trace, SchemeChoice::Epidemic, &f);
+        let none = sim.run(&trace, SchemeChoice::NoRefresh, &f);
+        let source_only = sim.run(&trace, SchemeChoice::SourceOnly, &f);
+        assert!(epidemic.mean_freshness > source_only.mean_freshness);
+        assert!(source_only.mean_freshness > none.mean_freshness);
+    }
+
+    #[test]
+    fn hierarchical_beats_source_only_and_costs_less_than_epidemic() {
+        // Overhead ordering vs epidemic needs the network to be larger
+        // than the replica set (epidemic pays O(N) per version,
+        // hierarchical O(members · (1 + relays))), as in the paper's
+        // 78–97-node traces.
+        let trace = generate_pairwise(
+            &PairwiseConfig::new(50, SimDuration::from_days(3.0)).mean_rate(1.0 / 5400.0),
+            &RngFactory::new(4),
+        );
+        let sim = FreshnessSimulator::new(config());
+        let f = RngFactory::new(4);
+        let hier = sim.run(&trace, SchemeChoice::Hierarchical, &f);
+        let source_only = sim.run(&trace, SchemeChoice::SourceOnly, &f);
+        let epidemic = sim.run(&trace, SchemeChoice::Epidemic, &f);
+        assert!(
+            hier.mean_freshness > source_only.mean_freshness,
+            "hier {} vs source-only {}",
+            hier.mean_freshness,
+            source_only.mean_freshness
+        );
+        assert!(
+            hier.transmissions < epidemic.transmissions,
+            "hier tx {} vs epidemic tx {}",
+            hier.transmissions,
+            epidemic.transmissions
+        );
+    }
+
+    #[test]
+    fn replication_improves_on_bare_tree() {
+        let trace = small_trace(5);
+        let sim = FreshnessSimulator::new(config());
+        let f = RngFactory::new(5);
+        let with = sim.run(&trace, SchemeChoice::Hierarchical, &f);
+        let without = sim.run(&trace, SchemeChoice::HierarchicalNoReplication, &f);
+        assert!(
+            with.requirement_satisfaction >= without.requirement_satisfaction,
+            "with {} vs without {}",
+            with.requirement_satisfaction,
+            without.requirement_satisfaction
+        );
+        assert!(with.replicas > 0);
+        assert_eq!(without.replicas, 0);
+    }
+
+    #[test]
+    fn queries_are_accounted() {
+        let trace = small_trace(6);
+        let sim = FreshnessSimulator::new(config());
+        let report = sim.run(&trace, SchemeChoice::Hierarchical, &RngFactory::new(6));
+        assert_eq!(report.queries_total, 100);
+        assert!(report.queries_served <= report.queries_total);
+        assert!(report.queries_fresh <= report.queries_served);
+        assert_eq!(report.query_delays.len(), report.queries_served);
+        assert!(report.service_ratio() > 0.2);
+    }
+
+    #[test]
+    fn deterministic_given_factory() {
+        let trace = small_trace(7);
+        let sim = FreshnessSimulator::new(config());
+        let f = RngFactory::new(7);
+        let r1 = sim.run(&trace, SchemeChoice::Hierarchical, &f);
+        let r2 = sim.run(&trace, SchemeChoice::Hierarchical, &f);
+        assert_eq!(r1.transmissions, r2.transmissions);
+        assert_eq!(r1.mean_freshness, r2.mean_freshness);
+        assert_eq!(r1.queries_fresh, r2.queries_fresh);
+    }
+
+    #[test]
+    fn works_on_preset_traces() {
+        let f = RngFactory::new(8);
+        let trace = TracePreset::InfocomLike.generate_small(&f);
+        let sim = FreshnessSimulator::new(FreshnessConfig {
+            caching_nodes: 5,
+            refresh_period: SimDuration::from_hours(4.0),
+            requirement: FreshnessRequirement::new(0.8, SimDuration::from_hours(2.0)),
+            ..FreshnessConfig::default()
+        });
+        let report = sim.run(&trace, SchemeChoice::Hierarchical, &f);
+        assert!(report.mean_freshness > 0.1, "{}", report.mean_freshness);
+        assert!(report.version_count > 1);
+    }
+
+    #[test]
+    fn explicit_roles_run() {
+        let trace = small_trace(9);
+        let sim = FreshnessSimulator::new(config());
+        let mut scheme = sim.make_scheme(SchemeChoice::Hierarchical);
+        let report = sim.run_with_roles(
+            &trace,
+            NodeId(0),
+            &[NodeId(3), NodeId(5), NodeId(9)],
+            scheme.as_mut(),
+            &RngFactory::new(9),
+        );
+        assert_eq!(report.members.len(), 3);
+        assert_eq!(report.source, NodeId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "source cannot be a member")]
+    fn rejects_source_in_members() {
+        let trace = small_trace(10);
+        let sim = FreshnessSimulator::new(config());
+        let mut scheme = sim.make_scheme(SchemeChoice::NoRefresh);
+        let _ = sim.run_with_roles(
+            &trace,
+            NodeId(3),
+            &[NodeId(3), NodeId(5)],
+            scheme.as_mut(),
+            &RngFactory::new(1),
+        );
+    }
+
+    #[test]
+    fn fresh_only_serving_trades_service_for_validity() {
+        let trace = small_trace(16);
+        let f = RngFactory::new(16);
+        let any = FreshnessSimulator::new(config()).run(&trace, SchemeChoice::Hierarchical, &f);
+        let fresh_only = FreshnessSimulator::new(FreshnessConfig {
+            fresh_only_serving: true,
+            ..config()
+        })
+        .run(&trace, SchemeChoice::Hierarchical, &f);
+
+        // Declining stale answers can only reduce the service ratio...
+        assert!(fresh_only.queries_served <= any.queries_served);
+        // ...but every served query is fresh by construction.
+        assert_eq!(fresh_only.queries_fresh, fresh_only.queries_served);
+        assert!(any.queries_fresh <= any.queries_served);
+    }
+
+    #[test]
+    fn load_distribution_reflects_the_schemes_structure() {
+        let trace = small_trace(15);
+        let sim = FreshnessSimulator::new(config());
+        let f = RngFactory::new(15);
+
+        // Source-only: every transmission is sent by the source.
+        let star = sim.run(&trace, SchemeChoice::SourceOnly, &f);
+        assert_eq!(star.source_transmissions(), star.transmissions);
+        assert_eq!(star.max_node_transmissions(), star.transmissions);
+
+        // Hierarchical: the load is spread — the source sends strictly
+        // less than the total, and per-node counts sum to the total.
+        let hier = sim.run(&trace, SchemeChoice::Hierarchical, &f);
+        assert!(hier.source_transmissions() < hier.transmissions);
+        assert_eq!(
+            hier.per_node_transmissions.iter().sum::<u64>(),
+            hier.transmissions
+        );
+        // The busiest node under the tree carries less than the star's
+        // source does per transmission made.
+        assert!(
+            (hier.max_node_transmissions() as f64 / hier.transmissions as f64)
+                < 1.0 - 1e-9
+        );
+    }
+
+    #[test]
+    fn extras_expose_scheme_internals() {
+        let trace = small_trace(14);
+        let sim = FreshnessSimulator::new(config());
+        let f = RngFactory::new(14);
+        let hier = sim.run(&trace, SchemeChoice::Hierarchical, &f);
+        assert_eq!(hier.extras.get("rebuilds"), 1, "built once at start");
+        assert!(
+            hier.extras.get("relay-copy-seconds") > 0,
+            "replication occupies relay buffers"
+        );
+        let none = sim.run(&trace, SchemeChoice::NoRefresh, &f);
+        assert_eq!(none.extras.get("relay-copy-seconds"), 0);
+
+        // Maintenance variants count their activity.
+        let maintained = FreshnessSimulator::new(FreshnessConfig {
+            rebuild_every: Some(SimDuration::from_hours(12.0)),
+            reparent: true,
+            planning: PlanningMode::Estimated,
+            ..config()
+        });
+        let report = maintained.run(&trace, SchemeChoice::Hierarchical, &f);
+        assert!(report.extras.get("rebuilds") > 1);
+    }
+
+    #[test]
+    fn availability_reflects_expiry() {
+        let trace = small_trace(12);
+        // Lifetime of two periods: refreshed copies stay available, the
+        // no-refresh baseline expires after version 0's lifetime.
+        let cfg = FreshnessConfig {
+            lifetime: Some(SimDuration::from_hours(16.0)),
+            ..config()
+        };
+        let sim = FreshnessSimulator::new(cfg);
+        let f = RngFactory::new(12);
+        let none = sim.run(&trace, SchemeChoice::NoRefresh, &f);
+        // 16 h of availability over a 72 h trace.
+        assert!(
+            (none.mean_availability - 16.0 / 72.0).abs() < 0.02,
+            "{}",
+            none.mean_availability
+        );
+        let epidemic = sim.run(&trace, SchemeChoice::Epidemic, &f);
+        assert!(
+            epidemic.mean_availability > none.mean_availability + 0.3,
+            "epidemic {} vs none {}",
+            epidemic.mean_availability,
+            none.mean_availability
+        );
+        // Availability dominates freshness: a fresh copy is never expired
+        // when the lifetime exceeds the refresh period.
+        let hier = sim.run(&trace, SchemeChoice::Hierarchical, &f);
+        assert!(hier.mean_availability >= hier.mean_freshness - 1e-9);
+    }
+
+    #[test]
+    fn disabled_expiry_means_full_availability() {
+        let trace = small_trace(13);
+        let cfg = FreshnessConfig {
+            lifetime: None,
+            ..config()
+        };
+        let report =
+            FreshnessSimulator::new(cfg).run(&trace, SchemeChoice::NoRefresh, &RngFactory::new(13));
+        assert_eq!(report.mean_availability, 1.0);
+    }
+
+    #[test]
+    fn poisson_updates_work() {
+        let trace = small_trace(11);
+        let sim = FreshnessSimulator::new(FreshnessConfig {
+            poisson_updates: true,
+            ..config()
+        });
+        let report = sim.run(&trace, SchemeChoice::Hierarchical, &RngFactory::new(11));
+        assert!(report.version_count >= 2);
+    }
+}

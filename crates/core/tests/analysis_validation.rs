@@ -1,0 +1,104 @@
+//! Analysis-vs-simulation validation (the test-suite twin of experiment
+//! E2): the closed-form freshness predictions must agree with trace-driven
+//! simulation of the hierarchical scheme within a modest tolerance.
+
+use omn_contacts::synth::{generate_pairwise, PairwiseConfig};
+use omn_contacts::ContactGraph;
+use omn_core::analysis;
+use omn_core::freshness::FreshnessRequirement;
+use omn_core::scheme::{HierarchicalConfig, HierarchicalScheme, RefreshScheme};
+use omn_core::sim::{FreshnessConfig, FreshnessSimulator, SchemeChoice};
+use omn_sim::{RngFactory, SimDuration};
+
+fn setup() -> (omn_contacts::ContactTrace, FreshnessSimulator) {
+    // A dense-enough trace that rates are well estimated and the
+    // exponential inter-contact assumption holds by construction.
+    let factory = RngFactory::new(41);
+    let trace = generate_pairwise(
+        &PairwiseConfig::new(30, SimDuration::from_days(6.0))
+            .mean_rate(1.0 / 7200.0)
+            .rate_shape(1.5),
+        &factory,
+    );
+    let config = FreshnessConfig {
+        caching_nodes: 6,
+        refresh_period: SimDuration::from_hours(12.0),
+        requirement: FreshnessRequirement::new(0.85, SimDuration::from_hours(6.0)),
+        query_count: 0,
+        ..FreshnessConfig::default()
+    };
+    (trace, FreshnessSimulator::new(config))
+}
+
+#[test]
+fn predicted_freshness_tracks_simulation() {
+    let (trace, sim) = setup();
+    let factory = RngFactory::new(41);
+
+    // Build exactly the structures the scheme will use.
+    let (source, members) = sim.select_roles(&trace);
+    let graph = ContactGraph::from_trace(&trace);
+    let mut scheme = HierarchicalScheme::new(HierarchicalConfig {
+        replication: Some(sim.config().requirement),
+        ..HierarchicalConfig::default()
+    });
+    let report = sim.run_with_roles(&trace, source, &members, &mut scheme, &factory);
+
+    let hierarchy = scheme.hierarchy().expect("built on start");
+    let summary = analysis::analyze(
+        hierarchy,
+        scheme.plans(),
+        &graph,
+        sim.config().refresh_period.as_secs(),
+        sim.config().requirement,
+    );
+
+    let predicted = summary.mean_freshness;
+    let simulated = report.mean_freshness;
+    assert!(
+        (predicted - simulated).abs() < 0.15,
+        "analysis {predicted:.3} vs simulation {simulated:.3}"
+    );
+}
+
+#[test]
+fn predicted_deadline_probability_tracks_satisfaction() {
+    let (trace, sim) = setup();
+    let factory = RngFactory::new(41);
+    let (source, members) = sim.select_roles(&trace);
+    let graph = ContactGraph::from_trace(&trace);
+    let mut scheme = HierarchicalScheme::new(HierarchicalConfig {
+        replication: Some(sim.config().requirement),
+        ..HierarchicalConfig::default()
+    });
+    let report = sim.run_with_roles(&trace, source, &members, &mut scheme, &factory);
+    let summary = analysis::analyze(
+        scheme.hierarchy().unwrap(),
+        scheme.plans(),
+        &graph,
+        sim.config().refresh_period.as_secs(),
+        sim.config().requirement,
+    );
+    assert!(
+        (summary.mean_within_deadline - report.requirement_satisfaction).abs() < 0.2,
+        "analysis {:.3} vs simulation {:.3}",
+        summary.mean_within_deadline,
+        report.requirement_satisfaction
+    );
+}
+
+#[test]
+fn analysis_ranks_schemes_like_simulation() {
+    // The analytical model predicts replication helps; the simulator must
+    // agree on the ordering even if the magnitudes differ.
+    let (trace, sim) = setup();
+    let factory = RngFactory::new(42);
+    let with = sim.run(&trace, SchemeChoice::Hierarchical, &factory);
+    let without = sim.run(&trace, SchemeChoice::HierarchicalNoReplication, &factory);
+    assert!(
+        with.mean_freshness >= without.mean_freshness - 0.02,
+        "replication should not hurt: {} vs {}",
+        with.mean_freshness,
+        without.mean_freshness
+    );
+}

@@ -1,0 +1,196 @@
+//! Property-based tests for the freshness core.
+
+use std::collections::HashMap;
+
+use omn_contacts::{ContactGraph, NodeId};
+use omn_core::delay::DelayModel;
+use omn_core::freshness::{FreshnessRequirement, UpdateSchedule};
+use omn_core::hierarchy::{HierarchyStrategy, RefreshHierarchy};
+use omn_core::replication::ReplicationPlanner;
+use omn_sim::{RngFactory, SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// Random connected-ish contact graph over `n` nodes.
+fn graph_strategy(n: usize) -> impl Strategy<Value = ContactGraph> {
+    prop::collection::vec((0..n as u32, 0..n as u32, 1e-4f64..1.0), n..n * 3).prop_map(
+        move |edges| {
+            let mut g = ContactGraph::new(n);
+            for (a, b, r) in edges {
+                if a != b {
+                    g.set_rate(NodeId(a), NodeId(b), r);
+                }
+            }
+            g
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every strategy yields a structurally valid tree over any member set.
+    #[test]
+    fn hierarchies_are_valid(
+        g in graph_strategy(10),
+        member_mask in prop::collection::vec(any::<bool>(), 9),
+        seed in any::<u64>(),
+        fanout in 1usize..5,
+    ) {
+        let members: Vec<NodeId> = member_mask
+            .iter()
+            .enumerate()
+            .filter(|&(_, &m)| m)
+            .map(|(i, _)| NodeId(i as u32 + 1))
+            .collect();
+        let mut rng = RngFactory::new(seed).stream("h");
+        for strategy in [
+            HierarchyStrategy::GreedySed { fanout: Some(fanout) },
+            HierarchyStrategy::GreedySed { fanout: None },
+            HierarchyStrategy::Star,
+            HierarchyStrategy::Random { fanout: Some(fanout) },
+        ] {
+            let h = RefreshHierarchy::build(NodeId(0), &members, &g, strategy, &mut rng);
+            let bound = match strategy {
+                HierarchyStrategy::GreedySed { fanout } | HierarchyStrategy::Random { fanout } => fanout,
+                HierarchyStrategy::Star => None,
+            };
+            prop_assert!(h.validate(bound).is_ok(), "{strategy:?}");
+            prop_assert_eq!(h.members().len(), members.len());
+            // Every member has a root path.
+            for &m in &members {
+                let path = h.path_from_root(m);
+                prop_assert_eq!(path[0], NodeId(0));
+                prop_assert_eq!(*path.last().unwrap(), m);
+            }
+        }
+    }
+
+    /// Greedy SED with unbounded fanout never produces a deeper expected
+    /// delay for any member than the star over the direct edge, when the
+    /// direct edge exists.
+    #[test]
+    fn greedy_never_worse_than_direct(g in graph_strategy(8), seed in any::<u64>()) {
+        let members: Vec<NodeId> = (1..8).map(NodeId).collect();
+        let mut rng = RngFactory::new(seed).stream("h");
+        let h = RefreshHierarchy::build(
+            NodeId(0), &members, &g,
+            HierarchyStrategy::GreedySed { fanout: None },
+            &mut rng,
+        );
+        for &m in &members {
+            if let Some(direct) = g.expected_delay(NodeId(0), m) {
+                let tree = h.expected_path_delay(m, &g);
+                prop_assert!(tree <= direct + 1e-6, "{m}: tree {tree} vs direct {direct}");
+            }
+        }
+    }
+
+    /// Replication plans never overshoot the relay cap, never pick hierarchy
+    /// nodes, and achieved probability ≥ direct probability.
+    #[test]
+    fn replication_plan_invariants(
+        g in graph_strategy(12),
+        seed in any::<u64>(),
+        q in 0.5f64..0.99,
+        deadline in 10.0f64..1e4,
+        max_relays in 0usize..5,
+    ) {
+        let members: Vec<NodeId> = (1..6).map(NodeId).collect();
+        let mut rng = RngFactory::new(seed).stream("h");
+        let h = RefreshHierarchy::build(
+            NodeId(0), &members, &g,
+            HierarchyStrategy::GreedySed { fanout: Some(3) },
+            &mut rng,
+        );
+        let req = FreshnessRequirement::new(q, SimDuration::from_secs(deadline));
+        let plans = ReplicationPlanner::new(req, max_relays).plan_hierarchy(&h, &g);
+        prop_assert_eq!(plans.len(), h.edges().len());
+        for ((p, c), plan) in &plans {
+            prop_assert!(plan.relays.len() <= max_relays);
+            prop_assert!(plan.achieved_probability >= plan.direct_probability - 1e-12);
+            prop_assert!(plan.achieved_probability <= 1.0 + 1e-12);
+            for r in &plan.relays {
+                prop_assert!(!h.contains(*r));
+                prop_assert!(r != p && r != c);
+            }
+            // Achieved matches the hop model CDF at the hop deadline.
+            let model = plan.hop_delay_model(&g, *p, *c);
+            prop_assert!((model.cdf(plan.hop_deadline) - plan.achieved_probability).abs() < 1e-6);
+        }
+    }
+
+    /// DelayModel CDFs are monotone in t and bounded in [0, 1]; min-of
+    /// dominates all components; expected_capped respects its cap.
+    #[test]
+    fn delay_model_properties(
+        rates in prop::collection::vec(1e-4f64..1.0, 1..5),
+        cap in 1.0f64..1e4,
+    ) {
+        let hypo = DelayModel::hypoexponential(rates.clone());
+        let exp = DelayModel::exponential(rates[0]);
+        let min = DelayModel::min_of(vec![hypo.clone(), exp.clone()]);
+        let mut prev = 0.0;
+        for k in 0..=20 {
+            let t = cap * k as f64 / 20.0;
+            let f = min.cdf(t);
+            prop_assert!((0.0..=1.0).contains(&f));
+            prop_assert!(f >= prev - 1e-12);
+            prop_assert!(f >= hypo.cdf(t) - 1e-12);
+            prop_assert!(f >= exp.cdf(t) - 1e-12);
+            prev = f;
+        }
+        prop_assert!(min.expected_capped(cap) <= cap + 1e-9);
+        // Sum ≥ each component stochastically: CDF of sum ≤ CDF of any part.
+        let sum = DelayModel::sum_of(vec![hypo.clone(), exp.clone()]);
+        prop_assert!(sum.cdf(cap) <= hypo.cdf(cap) + 0.02);
+    }
+
+    /// Update schedules report consistent versions.
+    #[test]
+    fn schedule_consistency(period in 1.0f64..1e4, span in 1.0f64..1e6) {
+        let s = UpdateSchedule::periodic(
+            SimDuration::from_secs(period),
+            SimTime::from_secs(span),
+        );
+        prop_assert!(s.version_count() >= 1);
+        for v in 0..s.version_count() {
+            let birth = s.birth_of(v);
+            prop_assert_eq!(s.current_version(birth), Some(v));
+        }
+        // Strictly increasing births.
+        for w in s.births().windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+    }
+
+    /// Per-hop targets compose back to at least the end-to-end requirement.
+    #[test]
+    fn per_hop_targets_compose(q in 0.5f64..0.99, depth in 1usize..6) {
+        let req = FreshnessRequirement::new(q, SimDuration::from_secs(10.0));
+        let hop = req.per_hop_target(depth);
+        prop_assert!((hop.powi(depth as i32) - q).abs() < 1e-9);
+        prop_assert!(hop >= q);
+    }
+
+    /// Reparenting preserves validity whatever sequence of moves succeeds.
+    #[test]
+    fn reparent_preserves_validity(
+        g in graph_strategy(8),
+        seed in any::<u64>(),
+        moves in prop::collection::vec((1u32..8, 0u32..8), 0..20),
+    ) {
+        let members: Vec<NodeId> = (1..8).map(NodeId).collect();
+        let mut rng = RngFactory::new(seed).stream("h");
+        let mut h = RefreshHierarchy::build(
+            NodeId(0), &members, &g,
+            HierarchyStrategy::GreedySed { fanout: Some(3) },
+            &mut rng,
+        );
+        let mut plans: HashMap<(NodeId, NodeId), ()> = HashMap::new();
+        let _ = &mut plans;
+        for (child, parent) in moves {
+            let _ = h.reparent(NodeId(child), NodeId(parent), Some(3));
+            prop_assert!(h.validate(Some(3)).is_ok());
+        }
+    }
+}

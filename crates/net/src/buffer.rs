@@ -1,0 +1,261 @@
+//! Per-node message buffers with capacity limits, TTLs, and drop policies.
+
+use std::collections::HashMap;
+
+use omn_sim::SimTime;
+
+use crate::message::{Message, MessageId};
+
+/// What to do when a message arrives at a full buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DropPolicy {
+    /// Reject the incoming message.
+    #[default]
+    RejectNewest,
+    /// Evict the oldest (by creation time) buffered message to make room.
+    DropOldest,
+}
+
+/// One buffered copy of a message, with protocol-specific replication
+/// tokens (used by Spray-and-Wait; other protocols ignore them).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BufferEntry {
+    /// The buffered message.
+    pub message: Message,
+    /// Remaining replication tokens for quota-based protocols.
+    pub tokens: u32,
+    /// When this copy arrived at the node.
+    pub received: SimTime,
+}
+
+/// A bounded per-node message buffer.
+///
+/// Capacity is counted in messages. Expired messages are purged lazily by
+/// [`MessageBuffer::purge_expired`] (the simulator calls it at each contact).
+#[derive(Debug, Clone)]
+pub struct MessageBuffer {
+    capacity: usize,
+    policy: DropPolicy,
+    entries: HashMap<MessageId, BufferEntry>,
+    evictions: u64,
+}
+
+impl MessageBuffer {
+    /// Creates a buffer holding at most `capacity` messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize, policy: DropPolicy) -> MessageBuffer {
+        assert!(capacity > 0, "MessageBuffer: zero capacity");
+        MessageBuffer {
+            capacity,
+            policy,
+            entries: HashMap::new(),
+            evictions: 0,
+        }
+    }
+
+    /// Number of buffered messages.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True if the buffer holds a copy of `id`.
+    #[must_use]
+    pub fn contains(&self, id: MessageId) -> bool {
+        self.entries.contains_key(&id)
+    }
+
+    /// The entry for `id`, if buffered.
+    #[must_use]
+    pub fn get(&self, id: MessageId) -> Option<&BufferEntry> {
+        self.entries.get(&id)
+    }
+
+    /// Mutable access to the entry for `id` (e.g. to split spray tokens).
+    #[must_use]
+    pub fn get_mut(&mut self, id: MessageId) -> Option<&mut BufferEntry> {
+        self.entries.get_mut(&id)
+    }
+
+    /// Inserts a copy. Returns `true` if the message is now buffered and
+    /// `false` if it was rejected (full buffer under
+    /// [`DropPolicy::RejectNewest`], or duplicate).
+    ///
+    /// Under [`DropPolicy::DropOldest`], the oldest message (by creation
+    /// time) is evicted to make room; the eviction count is reported via the
+    /// return of [`MessageBuffer::take_evictions`].
+    pub fn insert(&mut self, message: Message, tokens: u32, now: SimTime) -> bool {
+        if self.entries.contains_key(&message.id()) {
+            return false;
+        }
+        if self.entries.len() >= self.capacity {
+            match self.policy {
+                DropPolicy::RejectNewest => return false,
+                DropPolicy::DropOldest => {
+                    if let Some(oldest) = self
+                        .entries
+                        .values()
+                        .min_by(|x, y| {
+                            (x.message.created(), x.message.id())
+                                .cmp(&(y.message.created(), y.message.id()))
+                        })
+                        .map(|e| e.message.id())
+                    {
+                        self.entries.remove(&oldest);
+                        self.evictions += 1;
+                    }
+                }
+            }
+        }
+        self.entries.insert(
+            message.id(),
+            BufferEntry {
+                message,
+                tokens,
+                received: now,
+            },
+        );
+        true
+    }
+
+    /// Removes a message copy, returning it if present.
+    pub fn remove(&mut self, id: MessageId) -> Option<BufferEntry> {
+        self.entries.remove(&id)
+    }
+
+    /// Drops expired messages; returns how many were dropped.
+    pub fn purge_expired(&mut self, now: SimTime) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|_, e| !e.message.is_expired(now));
+        before - self.entries.len()
+    }
+
+    /// Message ids currently buffered, in deterministic (sorted) order.
+    #[must_use]
+    pub fn ids(&self) -> Vec<MessageId> {
+        let mut ids: Vec<MessageId> = self.entries.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Iterates over buffered entries in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &BufferEntry> {
+        self.entries.values()
+    }
+
+    /// Total evictions performed by [`DropPolicy::DropOldest`] so far, and
+    /// resets the counter.
+    pub fn take_evictions(&mut self) -> u64 {
+        std::mem::take(&mut self.evictions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omn_contacts::NodeId;
+
+    fn msg(id: u64, created: f64) -> Message {
+        Message::new(
+            MessageId(id),
+            NodeId(0),
+            NodeId(1),
+            100,
+            SimTime::from_secs(created),
+            None,
+        )
+    }
+
+    fn msg_ttl(id: u64, created: f64, ttl: f64) -> Message {
+        Message::new(
+            MessageId(id),
+            NodeId(0),
+            NodeId(1),
+            100,
+            SimTime::from_secs(created),
+            Some(omn_sim::SimDuration::from_secs(ttl)),
+        )
+    }
+
+    #[test]
+    fn insert_and_query() {
+        let mut b = MessageBuffer::new(4, DropPolicy::RejectNewest);
+        assert!(b.insert(msg(1, 0.0), 0, SimTime::ZERO));
+        assert!(b.contains(MessageId(1)));
+        assert_eq!(b.len(), 1);
+        // Duplicate rejected.
+        assert!(!b.insert(msg(1, 0.0), 0, SimTime::ZERO));
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.get(MessageId(1)).unwrap().tokens, 0);
+    }
+
+    #[test]
+    fn reject_newest_when_full() {
+        let mut b = MessageBuffer::new(2, DropPolicy::RejectNewest);
+        assert!(b.insert(msg(1, 0.0), 0, SimTime::ZERO));
+        assert!(b.insert(msg(2, 1.0), 0, SimTime::ZERO));
+        assert!(!b.insert(msg(3, 2.0), 0, SimTime::ZERO));
+        assert_eq!(b.len(), 2);
+        assert!(!b.contains(MessageId(3)));
+    }
+
+    #[test]
+    fn drop_oldest_when_full() {
+        let mut b = MessageBuffer::new(2, DropPolicy::DropOldest);
+        assert!(b.insert(msg(1, 0.0), 0, SimTime::ZERO));
+        assert!(b.insert(msg(2, 1.0), 0, SimTime::ZERO));
+        assert!(b.insert(msg(3, 2.0), 0, SimTime::ZERO));
+        assert!(!b.contains(MessageId(1)));
+        assert!(b.contains(MessageId(2)));
+        assert!(b.contains(MessageId(3)));
+        assert_eq!(b.take_evictions(), 1);
+        assert_eq!(b.take_evictions(), 0);
+    }
+
+    #[test]
+    fn purge_expired() {
+        let mut b = MessageBuffer::new(4, DropPolicy::RejectNewest);
+        b.insert(msg_ttl(1, 0.0, 10.0), 0, SimTime::ZERO);
+        b.insert(msg_ttl(2, 0.0, 100.0), 0, SimTime::ZERO);
+        assert_eq!(b.purge_expired(SimTime::from_secs(50.0)), 1);
+        assert!(!b.contains(MessageId(1)));
+        assert!(b.contains(MessageId(2)));
+    }
+
+    #[test]
+    fn ids_are_sorted() {
+        let mut b = MessageBuffer::new(8, DropPolicy::RejectNewest);
+        for id in [5u64, 1, 3] {
+            b.insert(msg(id, 0.0), 0, SimTime::ZERO);
+        }
+        assert_eq!(b.ids(), vec![MessageId(1), MessageId(3), MessageId(5)]);
+    }
+
+    #[test]
+    fn token_mutation() {
+        let mut b = MessageBuffer::new(4, DropPolicy::RejectNewest);
+        b.insert(msg(1, 0.0), 8, SimTime::ZERO);
+        b.get_mut(MessageId(1)).unwrap().tokens = 4;
+        assert_eq!(b.get(MessageId(1)).unwrap().tokens, 4);
+    }
+
+    #[test]
+    fn remove_returns_entry() {
+        let mut b = MessageBuffer::new(4, DropPolicy::RejectNewest);
+        b.insert(msg(1, 0.0), 2, SimTime::ZERO);
+        let e = b.remove(MessageId(1)).unwrap();
+        assert_eq!(e.message.id(), MessageId(1));
+        assert!(b.is_empty());
+        assert!(b.remove(MessageId(1)).is_none());
+    }
+}

@@ -1,0 +1,50 @@
+//! Opportunistic networking substrate.
+//!
+//! This crate implements the classic delay-tolerant routing layer that the
+//! cooperative caching and cache-freshness systems sit above, and that the
+//! routing-baseline experiment (E10) compares directly:
+//!
+//! * [`Message`] / [`MessageBuffer`] — unicast messages with TTLs and
+//!   bounded per-node buffers with drop policies.
+//! * [`routing`] — the [`RoutingProtocol`] trait and five classic
+//!   protocols: [`routing::Epidemic`], [`routing::DirectDelivery`],
+//!   [`routing::FirstContact`], [`routing::SprayAndWait`] (binary), and
+//!   [`routing::Prophet`].
+//! * [`NetworkSimulator`] — a trace-driven delivery simulator that runs a
+//!   workload of unicast messages through a protocol and reports delivery
+//!   ratio, delay, and overhead.
+//!
+//! # Example
+//!
+//! ```
+//! use omn_contacts::synth::{generate_pairwise, PairwiseConfig};
+//! use omn_net::routing::Epidemic;
+//! use omn_net::{NetworkSimulator, SimConfig, workload};
+//! use omn_sim::{RngFactory, SimDuration};
+//!
+//! let factory = RngFactory::new(1);
+//! let trace = generate_pairwise(
+//!     &PairwiseConfig::new(16, SimDuration::from_days(1.0)).mean_rate(1.0 / 1800.0),
+//!     &factory,
+//! );
+//! let workload = workload::uniform_unicast(&trace, 50, &factory);
+//! let report = NetworkSimulator::new(SimConfig::default())
+//!     .run(&trace, &mut Epidemic::new(), &workload);
+//! assert!(report.delivery_ratio() > 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod buffer;
+mod message;
+pub mod routing;
+mod sim;
+pub mod workload;
+
+pub use buffer::{BufferEntry, DropPolicy, MessageBuffer};
+pub use message::{Message, MessageId};
+pub use routing::{RoutingProtocol, TransferDecision};
+pub use sim::{DeliveryReport, NetworkSimulator, SimConfig};
+pub use workload::UnicastDemand;

@@ -1,0 +1,65 @@
+//! Direct delivery: only the source carries the message.
+
+use omn_contacts::NodeId;
+use omn_sim::SimTime;
+
+use crate::buffer::BufferEntry;
+
+use super::{RoutingProtocol, TransferDecision};
+
+/// Direct delivery: a message is transferred only when the carrier meets
+/// the destination itself.
+///
+/// One transmission per delivered message — the overhead lower bound — at
+/// the cost of the worst delay and delivery ratio. The standard pessimistic
+/// baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DirectDelivery;
+
+impl DirectDelivery {
+    /// Creates the protocol.
+    #[must_use]
+    pub fn new() -> DirectDelivery {
+        DirectDelivery
+    }
+}
+
+impl RoutingProtocol for DirectDelivery {
+    fn name(&self) -> &'static str {
+        "direct"
+    }
+
+    fn decide(
+        &mut self,
+        _carrier: NodeId,
+        peer: NodeId,
+        entry: &mut BufferEntry,
+        _now: SimTime,
+    ) -> TransferDecision {
+        if peer == entry.message.dst() {
+            TransferDecision::Handoff
+        } else {
+            TransferDecision::Skip
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::testutil::entry;
+
+    #[test]
+    fn transfers_only_to_destination() {
+        let mut p = DirectDelivery::new();
+        let mut e = entry(0, 5, 0);
+        assert_eq!(
+            p.decide(NodeId(0), NodeId(1), &mut e, SimTime::ZERO),
+            TransferDecision::Skip
+        );
+        assert_eq!(
+            p.decide(NodeId(0), NodeId(5), &mut e, SimTime::ZERO),
+            TransferDecision::Handoff
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Epidemic routing: flood to every encountered node.
+
+use omn_contacts::NodeId;
+use omn_sim::SimTime;
+
+use crate::buffer::BufferEntry;
+
+use super::{RoutingProtocol, TransferDecision};
+
+/// Epidemic routing (Vahdat & Becker): every carrier replicates every
+/// message to every encountered node that lacks a copy.
+///
+/// Delivers with the minimum possible delay when buffers and bandwidth are
+/// unconstrained, at maximal transmission overhead. Used as the delay
+/// lower-bound / overhead upper-bound baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Epidemic;
+
+impl Epidemic {
+    /// Creates the protocol.
+    #[must_use]
+    pub fn new() -> Epidemic {
+        Epidemic
+    }
+}
+
+impl RoutingProtocol for Epidemic {
+    fn name(&self) -> &'static str {
+        "epidemic"
+    }
+
+    fn decide(
+        &mut self,
+        _carrier: NodeId,
+        _peer: NodeId,
+        _entry: &mut BufferEntry,
+        _now: SimTime,
+    ) -> TransferDecision {
+        TransferDecision::Replicate { peer_tokens: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::testutil::entry;
+
+    #[test]
+    fn always_replicates() {
+        let mut p = Epidemic::new();
+        let mut e = entry(0, 5, 0);
+        assert_eq!(
+            p.decide(NodeId(0), NodeId(1), &mut e, SimTime::ZERO),
+            TransferDecision::Replicate { peer_tokens: 0 }
+        );
+        assert_eq!(p.name(), "epidemic");
+        assert_eq!(p.initial_tokens(), 0);
+    }
+}

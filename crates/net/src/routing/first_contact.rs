@@ -1,0 +1,68 @@
+//! First Contact routing: single copy, handed to whoever is met first.
+
+use omn_contacts::NodeId;
+use omn_sim::SimTime;
+
+use crate::buffer::BufferEntry;
+
+use super::{RoutingProtocol, TransferDecision};
+
+/// First Contact routing (Jain, Fall, Patra): a single message copy is
+/// handed off to the first node encountered, performing a random walk over
+/// the contact process until it stumbles on the destination.
+///
+/// The canonical single-copy *forwarding* baseline: overhead proportional
+/// to the walk length, no replication at all, delivery usually worse than
+/// [`super::DirectDelivery`]'s patience on sparse traces but better when
+/// the source itself rarely meets the destination.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FirstContact;
+
+impl FirstContact {
+    /// Creates the protocol.
+    #[must_use]
+    pub fn new() -> FirstContact {
+        FirstContact
+    }
+}
+
+impl RoutingProtocol for FirstContact {
+    fn name(&self) -> &'static str {
+        "first-contact"
+    }
+
+    fn decide(
+        &mut self,
+        _carrier: NodeId,
+        peer: NodeId,
+        entry: &mut BufferEntry,
+        _now: SimTime,
+    ) -> TransferDecision {
+        let _ = entry;
+        let _ = peer;
+        // Hand off to whoever we meet — including (trivially) the
+        // destination.
+        TransferDecision::Handoff
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::testutil::entry;
+
+    #[test]
+    fn always_hands_off() {
+        let mut p = FirstContact::new();
+        let mut e = entry(0, 5, 0);
+        assert_eq!(
+            p.decide(NodeId(0), NodeId(1), &mut e, SimTime::ZERO),
+            TransferDecision::Handoff
+        );
+        assert_eq!(
+            p.decide(NodeId(1), NodeId(5), &mut e, SimTime::ZERO),
+            TransferDecision::Handoff
+        );
+        assert_eq!(p.name(), "first-contact");
+    }
+}

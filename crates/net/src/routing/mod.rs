@@ -1,0 +1,108 @@
+//! Opportunistic routing protocols.
+//!
+//! All protocols implement [`RoutingProtocol`]: the simulator consults the
+//! protocol at each contact, once per buffered message and direction, and
+//! the protocol answers with a [`TransferDecision`].
+//!
+//! Provided protocols, in increasing sophistication:
+//!
+//! * [`DirectDelivery`] — the source holds the message until it meets the
+//!   destination. One copy, minimal overhead, worst delay.
+//! * [`FirstContact`] — single copy handed to whoever is met first: a
+//!   random walk over the contact process.
+//! * [`Epidemic`] — flood to every encountered node. Best possible delay
+//!   under infinite resources, maximal overhead; the canonical upper bound.
+//! * [`SprayAndWait`] — binary spray: `L` logical copies, each carrier
+//!   hands half its tokens to nodes without a copy, then waits for the
+//!   destination. Bounded overhead with near-epidemic delay.
+//! * [`Prophet`] — forwards along the gradient of *delivery predictability*
+//!   maintained from contact history (PRoPHET, Lindgren et al.).
+
+mod direct;
+mod epidemic;
+mod first_contact;
+mod prophet;
+mod spray;
+
+pub use direct::DirectDelivery;
+pub use epidemic::Epidemic;
+pub use first_contact::FirstContact;
+pub use prophet::{Prophet, ProphetParams};
+pub use spray::SprayAndWait;
+
+use omn_contacts::NodeId;
+use omn_sim::SimTime;
+
+use crate::buffer::BufferEntry;
+
+/// What to do with one buffered message when meeting a peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferDecision {
+    /// Keep the message; transfer nothing.
+    Skip,
+    /// Give the peer a copy with the given replication tokens, keeping our
+    /// own copy.
+    Replicate {
+        /// Tokens assigned to the peer's new copy.
+        peer_tokens: u32,
+    },
+    /// Hand the message off to the peer (single-copy forwarding): the peer
+    /// receives it with our remaining tokens and we drop ours.
+    Handoff,
+}
+
+/// A DTN routing protocol.
+///
+/// Implementations are deterministic given the contact sequence: any
+/// tie-breaking must not depend on hash-map iteration order (the simulator
+/// presents messages in sorted-id order).
+pub trait RoutingProtocol: std::fmt::Debug {
+    /// Protocol name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Initial replication tokens assigned to a freshly created message at
+    /// its source.
+    fn initial_tokens(&self) -> u32 {
+        0
+    }
+
+    /// Observes a contact between `a` and `b` at `now` (for protocols that
+    /// learn from contact history). Called once per contact, before any
+    /// transfer decisions.
+    fn on_contact(&mut self, a: NodeId, b: NodeId, now: SimTime) {
+        let _ = (a, b, now);
+    }
+
+    /// Decides what `carrier` does with `entry` when meeting `peer`
+    /// (who does not yet hold a copy). May mutate the carrier's entry,
+    /// e.g. to split replication tokens.
+    fn decide(
+        &mut self,
+        carrier: NodeId,
+        peer: NodeId,
+        entry: &mut BufferEntry,
+        now: SimTime,
+    ) -> TransferDecision;
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use crate::message::{Message, MessageId};
+
+    /// A buffer entry for protocol unit tests.
+    pub(crate) fn entry(src: u32, dst: u32, tokens: u32) -> BufferEntry {
+        BufferEntry {
+            message: Message::new(
+                MessageId(1),
+                NodeId(src),
+                NodeId(dst),
+                100,
+                SimTime::ZERO,
+                None,
+            ),
+            tokens,
+            received: SimTime::ZERO,
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! PRoPHET: probabilistic routing using the history of encounters
+//! (Lindgren, Doria, Schelén).
+
+use std::collections::HashMap;
+
+use omn_contacts::NodeId;
+use omn_sim::SimTime;
+
+use crate::buffer::BufferEntry;
+
+use super::{RoutingProtocol, TransferDecision};
+
+/// PRoPHET parameters, with the defaults from the original paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProphetParams {
+    /// Additive predictability boost per encounter (`P_init`).
+    pub p_init: f64,
+    /// Transitivity scaling constant (`β`).
+    pub beta: f64,
+    /// Aging base per time unit (`γ`).
+    pub gamma: f64,
+    /// The time unit for aging, in seconds.
+    pub aging_unit_secs: f64,
+}
+
+impl Default for ProphetParams {
+    fn default() -> ProphetParams {
+        ProphetParams {
+            p_init: 0.75,
+            beta: 0.25,
+            gamma: 0.98,
+            aging_unit_secs: 3600.0,
+        }
+    }
+}
+
+/// PRoPHET routing: each node maintains a *delivery predictability*
+/// `P(self, dst)` per destination, updated on encounters, aged over time,
+/// and propagated transitively. A carrier replicates a message to a peer
+/// whose predictability for the destination exceeds its own.
+#[derive(Debug, Clone)]
+pub struct Prophet {
+    params: ProphetParams,
+    /// `pred[(x, y)]` = P held *by node x* for destination y.
+    pred: HashMap<(NodeId, NodeId), f64>,
+    /// Last time a node's table was aged.
+    last_aged: HashMap<NodeId, SimTime>,
+}
+
+impl Prophet {
+    /// Creates the protocol with default parameters.
+    #[must_use]
+    pub fn new() -> Prophet {
+        Prophet::with_params(ProphetParams::default())
+    }
+
+    /// Creates the protocol with explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is outside its valid range
+    /// (`p_init, beta, gamma ∈ (0, 1]`, positive aging unit).
+    #[must_use]
+    pub fn with_params(params: ProphetParams) -> Prophet {
+        assert!(params.p_init > 0.0 && params.p_init <= 1.0, "bad p_init");
+        assert!(params.beta > 0.0 && params.beta <= 1.0, "bad beta");
+        assert!(params.gamma > 0.0 && params.gamma <= 1.0, "bad gamma");
+        assert!(params.aging_unit_secs > 0.0, "bad aging unit");
+        Prophet {
+            params,
+            pred: HashMap::new(),
+            last_aged: HashMap::new(),
+        }
+    }
+
+    /// The delivery predictability node `holder` currently has for
+    /// destination `dst` (unaged view; aging happens on contact).
+    #[must_use]
+    pub fn predictability(&self, holder: NodeId, dst: NodeId) -> f64 {
+        if holder == dst {
+            return 1.0;
+        }
+        self.pred.get(&(holder, dst)).copied().unwrap_or(0.0)
+    }
+
+    fn age_table(&mut self, node: NodeId, now: SimTime) {
+        let last = self.last_aged.insert(node, now).unwrap_or(SimTime::ZERO);
+        let units = now.saturating_since(last).as_secs() / self.params.aging_unit_secs;
+        if units <= 0.0 {
+            return;
+        }
+        let factor = self.params.gamma.powf(units);
+        for ((holder, _), p) in self.pred.iter_mut() {
+            if *holder == node {
+                *p *= factor;
+            }
+        }
+    }
+
+    fn destinations_known_by(&self, node: NodeId) -> Vec<(NodeId, f64)> {
+        self.pred
+            .iter()
+            .filter(|((holder, _), _)| *holder == node)
+            .map(|((_, dst), p)| (*dst, *p))
+            .collect()
+    }
+}
+
+impl Default for Prophet {
+    fn default() -> Prophet {
+        Prophet::new()
+    }
+}
+
+impl RoutingProtocol for Prophet {
+    fn name(&self) -> &'static str {
+        "prophet"
+    }
+
+    fn on_contact(&mut self, a: NodeId, b: NodeId, now: SimTime) {
+        self.age_table(a, now);
+        self.age_table(b, now);
+
+        // Direct encounter update, both directions.
+        for (x, y) in [(a, b), (b, a)] {
+            let p = self.pred.entry((x, y)).or_insert(0.0);
+            *p += (1.0 - *p) * self.params.p_init;
+        }
+
+        // Transitivity: through the peer's table.
+        for (x, y) in [(a, b), (b, a)] {
+            let p_xy = self.predictability(x, y);
+            for (dst, p_yd) in self.destinations_known_by(y) {
+                if dst == x {
+                    continue;
+                }
+                let bound = p_xy * p_yd * self.params.beta;
+                let p = self.pred.entry((x, dst)).or_insert(0.0);
+                if bound > *p {
+                    *p = bound;
+                }
+            }
+        }
+    }
+
+    fn decide(
+        &mut self,
+        carrier: NodeId,
+        peer: NodeId,
+        entry: &mut BufferEntry,
+        _now: SimTime,
+    ) -> TransferDecision {
+        let dst = entry.message.dst();
+        if peer == dst {
+            return TransferDecision::Handoff;
+        }
+        if self.predictability(peer, dst) > self.predictability(carrier, dst) {
+            TransferDecision::Replicate { peer_tokens: 0 }
+        } else {
+            TransferDecision::Skip
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::testutil::entry;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn encounter_raises_predictability() {
+        let mut p = Prophet::new();
+        assert_eq!(p.predictability(NodeId(0), NodeId(1)), 0.0);
+        p.on_contact(NodeId(0), NodeId(1), t(0.0));
+        assert!((p.predictability(NodeId(0), NodeId(1)) - 0.75).abs() < 1e-12);
+        p.on_contact(NodeId(0), NodeId(1), t(1.0));
+        // 0.75 + 0.25*0.75 = 0.9375, minus one second of aging.
+        assert!((p.predictability(NodeId(0), NodeId(1)) - 0.9375).abs() < 1e-4);
+    }
+
+    #[test]
+    fn self_predictability_is_one() {
+        let p = Prophet::new();
+        assert_eq!(p.predictability(NodeId(3), NodeId(3)), 1.0);
+    }
+
+    #[test]
+    fn aging_decays_predictability() {
+        let mut p = Prophet::new();
+        p.on_contact(NodeId(0), NodeId(1), t(0.0));
+        let before = p.predictability(NodeId(0), NodeId(1));
+        // One aging unit later, a contact with an unrelated node triggers
+        // table aging for node 0.
+        p.on_contact(NodeId(0), NodeId(2), t(3600.0));
+        let after = p.predictability(NodeId(0), NodeId(1));
+        assert!(after < before, "{after} !< {before}");
+        assert!((after - before * 0.98).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transitivity_propagates() {
+        let mut p = Prophet::new();
+        // 1 knows 2 well.
+        p.on_contact(NodeId(1), NodeId(2), t(0.0));
+        // 0 meets 1: picks up transitive predictability for 2.
+        p.on_contact(NodeId(0), NodeId(1), t(1.0));
+        let p02 = p.predictability(NodeId(0), NodeId(2));
+        assert!(p02 > 0.0);
+        // bound = P(0,1)*P(1,2)*beta, with P values slightly aged.
+        assert!(p02 <= 0.75 * 0.75 * 0.25 + 1e-9);
+    }
+
+    #[test]
+    fn forwards_up_the_gradient_only() {
+        let mut p = Prophet::new();
+        // Peer 1 has met destination 5; carrier 0 has not.
+        p.on_contact(NodeId(1), NodeId(5), t(0.0));
+        let mut e = entry(0, 5, 0);
+        assert_eq!(
+            p.decide(NodeId(0), NodeId(1), &mut e, t(1.0)),
+            TransferDecision::Replicate { peer_tokens: 0 }
+        );
+        // Reverse direction: 1 would not hand to 0.
+        assert_eq!(
+            p.decide(NodeId(1), NodeId(0), &mut e, t(1.0)),
+            TransferDecision::Skip
+        );
+        // Meeting the destination: handoff.
+        assert_eq!(
+            p.decide(NodeId(0), NodeId(5), &mut e, t(1.0)),
+            TransferDecision::Handoff
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bad gamma")]
+    fn rejects_bad_params() {
+        let _ = Prophet::with_params(ProphetParams {
+            gamma: 1.5,
+            ..ProphetParams::default()
+        });
+    }
+}

@@ -1,0 +1,130 @@
+//! Binary Spray-and-Wait (Spyropoulos et al.).
+
+use omn_contacts::NodeId;
+use omn_sim::SimTime;
+
+use crate::buffer::BufferEntry;
+
+use super::{RoutingProtocol, TransferDecision};
+
+/// Binary Spray-and-Wait: each message starts with `L` replication tokens.
+/// A carrier holding more than one token gives `⌊tokens/2⌋` to any
+/// encountered node without a copy (spray phase); a carrier down to one
+/// token transfers only to the destination (wait phase).
+///
+/// Bounds the number of copies per message at `L` while keeping delay close
+/// to epidemic for well-mixed mobility.
+#[derive(Debug, Clone, Copy)]
+pub struct SprayAndWait {
+    initial_copies: u32,
+}
+
+impl SprayAndWait {
+    /// Creates the protocol with `initial_copies = L` tokens per message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_copies == 0`.
+    #[must_use]
+    pub fn new(initial_copies: u32) -> SprayAndWait {
+        assert!(initial_copies > 0, "SprayAndWait: need at least one copy");
+        SprayAndWait { initial_copies }
+    }
+
+    /// The configured copy budget `L`.
+    #[must_use]
+    pub fn initial_copies(&self) -> u32 {
+        self.initial_copies
+    }
+}
+
+impl RoutingProtocol for SprayAndWait {
+    fn name(&self) -> &'static str {
+        "spray-and-wait"
+    }
+
+    fn initial_tokens(&self) -> u32 {
+        self.initial_copies
+    }
+
+    fn decide(
+        &mut self,
+        _carrier: NodeId,
+        peer: NodeId,
+        entry: &mut BufferEntry,
+        _now: SimTime,
+    ) -> TransferDecision {
+        if peer == entry.message.dst() {
+            return TransferDecision::Handoff;
+        }
+        if entry.tokens > 1 {
+            let give = entry.tokens / 2;
+            entry.tokens -= give;
+            TransferDecision::Replicate { peer_tokens: give }
+        } else {
+            TransferDecision::Skip
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::testutil::entry;
+
+    #[test]
+    fn binary_split() {
+        let mut p = SprayAndWait::new(8);
+        assert_eq!(p.initial_tokens(), 8);
+        let mut e = entry(0, 5, 8);
+        match p.decide(NodeId(0), NodeId(1), &mut e, SimTime::ZERO) {
+            TransferDecision::Replicate { peer_tokens } => {
+                assert_eq!(peer_tokens, 4);
+                assert_eq!(e.tokens, 4);
+            }
+            other => panic!("expected replicate, got {other:?}"),
+        }
+        // Split again: 4 -> 2/2.
+        match p.decide(NodeId(0), NodeId(2), &mut e, SimTime::ZERO) {
+            TransferDecision::Replicate { peer_tokens } => {
+                assert_eq!(peer_tokens, 2);
+                assert_eq!(e.tokens, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn odd_tokens_keep_majority() {
+        let mut p = SprayAndWait::new(5);
+        let mut e = entry(0, 5, 5);
+        match p.decide(NodeId(0), NodeId(1), &mut e, SimTime::ZERO) {
+            TransferDecision::Replicate { peer_tokens } => {
+                assert_eq!(peer_tokens, 2);
+                assert_eq!(e.tokens, 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wait_phase_only_delivers_to_destination() {
+        let mut p = SprayAndWait::new(4);
+        let mut e = entry(0, 5, 1);
+        assert_eq!(
+            p.decide(NodeId(0), NodeId(1), &mut e, SimTime::ZERO),
+            TransferDecision::Skip
+        );
+        assert_eq!(e.tokens, 1);
+        assert_eq!(
+            p.decide(NodeId(0), NodeId(5), &mut e, SimTime::ZERO),
+            TransferDecision::Handoff
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one copy")]
+    fn rejects_zero_copies() {
+        let _ = SprayAndWait::new(0);
+    }
+}

@@ -1,0 +1,511 @@
+//! Trace-driven unicast delivery simulation.
+
+use std::collections::{HashMap, HashSet};
+
+use omn_contacts::{ContactTrace, NodeId};
+use omn_sim::metrics::SampleHistogram;
+use omn_sim::{SimDuration, SimTime};
+
+use crate::buffer::{DropPolicy, MessageBuffer};
+use crate::message::{Message, MessageId};
+use crate::routing::{RoutingProtocol, TransferDecision};
+use crate::workload::UnicastDemand;
+
+/// Simulation configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Per-node buffer capacity in messages.
+    pub buffer_capacity: usize,
+    /// Behavior when a buffer is full.
+    pub drop_policy: DropPolicy,
+    /// Message TTL; `None` means messages never expire.
+    pub ttl: Option<SimDuration>,
+    /// Message payload size in bytes (uniform).
+    pub message_size: u64,
+    /// Maximum successful transfers per contact (bandwidth proxy);
+    /// `None` means unconstrained.
+    pub max_transfers_per_contact: Option<usize>,
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig {
+            buffer_capacity: 256,
+            drop_policy: DropPolicy::DropOldest,
+            ttl: None,
+            message_size: 1024,
+            max_transfers_per_contact: None,
+        }
+    }
+}
+
+/// Results of a delivery simulation.
+#[derive(Debug, Clone)]
+pub struct DeliveryReport {
+    /// Protocol name.
+    pub protocol: &'static str,
+    /// Messages created.
+    pub created: usize,
+    /// Messages delivered (first copy reaching the destination).
+    pub delivered: usize,
+    /// Successful message transfers (copies + handoffs + deliveries).
+    pub transmissions: u64,
+    /// Buffer evictions under [`DropPolicy::DropOldest`].
+    pub evictions: u64,
+    /// Copies dropped by TTL expiry.
+    pub expired: u64,
+    /// Delivery delays in seconds.
+    pub delays: SampleHistogram,
+}
+
+impl DeliveryReport {
+    /// Delivered / created, or 0 when nothing was created.
+    #[must_use]
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.created == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.created as f64
+        }
+    }
+
+    /// Mean delivery delay in seconds over delivered messages.
+    #[must_use]
+    pub fn mean_delay(&self) -> Option<f64> {
+        self.delays.mean()
+    }
+
+    /// Transmissions per delivered message (∞-free: `None` when nothing
+    /// was delivered).
+    #[must_use]
+    pub fn overhead_ratio(&self) -> Option<f64> {
+        (self.delivered > 0).then(|| self.transmissions as f64 / self.delivered as f64)
+    }
+}
+
+/// A trace-driven unicast delivery simulator.
+///
+/// Each contact is treated as one atomic exchange opportunity at its start
+/// time (the standard simplification for contact traces whose durations far
+/// exceed per-message transfer times); the optional
+/// [`SimConfig::max_transfers_per_contact`] models limited bandwidth.
+///
+/// Destinations consume messages: a delivered message is not re-forwarded,
+/// and a carrier meeting the destination of an already-delivered message
+/// drops its copy (implicit immunity).
+#[derive(Debug, Clone, Copy)]
+pub struct NetworkSimulator {
+    config: SimConfig,
+}
+
+impl NetworkSimulator {
+    /// Creates a simulator with the given configuration.
+    #[must_use]
+    pub fn new(config: SimConfig) -> NetworkSimulator {
+        NetworkSimulator { config }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Runs `protocol` over `trace` with the given demands (must be sorted
+    /// by creation time, as produced by [`crate::workload::uniform_unicast`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a demand references a node outside the trace or demands
+    /// are not sorted by creation time.
+    #[must_use]
+    pub fn run<P: RoutingProtocol + ?Sized>(
+        &self,
+        trace: &ContactTrace,
+        protocol: &mut P,
+        demands: &[UnicastDemand],
+    ) -> DeliveryReport {
+        let n = trace.node_count();
+        assert!(
+            demands.windows(2).all(|w| w[0].created <= w[1].created),
+            "demands must be sorted by creation time"
+        );
+        let mut buffers: Vec<MessageBuffer> = (0..n)
+            .map(|_| MessageBuffer::new(self.config.buffer_capacity, self.config.drop_policy))
+            .collect();
+        let mut delivered: HashMap<MessageId, SimTime> = HashMap::new();
+        let mut report = DeliveryReport {
+            protocol: protocol.name(),
+            created: demands.len(),
+            delivered: 0,
+            transmissions: 0,
+            evictions: 0,
+            expired: 0,
+            delays: SampleHistogram::new(),
+        };
+
+        let mut next_demand = 0usize;
+        let mut next_id = 0u64;
+
+        for contact in trace.contacts() {
+            let now = contact.start();
+            // Inject demands created up to this contact.
+            while next_demand < demands.len() && demands[next_demand].created <= now {
+                let d = demands[next_demand];
+                assert!(
+                    d.src.index() < n && d.dst.index() < n,
+                    "demand references node outside trace"
+                );
+                let msg = Message::new(
+                    MessageId(next_id),
+                    d.src,
+                    d.dst,
+                    self.config.message_size,
+                    d.created,
+                    self.config.ttl,
+                );
+                next_id += 1;
+                buffers[d.src.index()].insert(msg, protocol.initial_tokens(), d.created);
+                next_demand += 1;
+            }
+
+            let (a, b) = contact.pair();
+            report.expired += buffers[a.index()].purge_expired(now) as u64;
+            report.expired += buffers[b.index()].purge_expired(now) as u64;
+            protocol.on_contact(a, b, now);
+
+            let mut budget = self.config.max_transfers_per_contact.unwrap_or(usize::MAX);
+            // Messages received during this very contact must not be
+            // forwarded back within it (prevents same-contact ping-pong of
+            // handoff protocols).
+            let mut received_now: HashSet<(NodeId, MessageId)> = HashSet::new();
+            for (carrier, peer) in [(a, b), (b, a)] {
+                if budget == 0 {
+                    break;
+                }
+                self.exchange(
+                    carrier,
+                    peer,
+                    now,
+                    protocol,
+                    &mut buffers,
+                    &mut delivered,
+                    &mut report,
+                    &mut budget,
+                    &mut received_now,
+                );
+            }
+        }
+
+        for buf in &mut buffers {
+            report.evictions += buf.take_evictions();
+        }
+        report
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exchange<P: RoutingProtocol + ?Sized>(
+        &self,
+        carrier: NodeId,
+        peer: NodeId,
+        now: SimTime,
+        protocol: &mut P,
+        buffers: &mut [MessageBuffer],
+        delivered: &mut HashMap<MessageId, SimTime>,
+        report: &mut DeliveryReport,
+        budget: &mut usize,
+        received_now: &mut HashSet<(NodeId, MessageId)>,
+    ) {
+        for id in buffers[carrier.index()].ids() {
+            if *budget == 0 {
+                return;
+            }
+            if received_now.contains(&(carrier, id)) {
+                continue;
+            }
+            let Some(entry) = buffers[carrier.index()].get(id).copied() else {
+                continue;
+            };
+            let dst = entry.message.dst();
+
+            if delivered.contains_key(&id) {
+                // Implicit immunity: a carrier learns of delivery when it
+                // meets the destination, and drops its copy.
+                if peer == dst {
+                    buffers[carrier.index()].remove(id);
+                }
+                continue;
+            }
+            if peer != dst && buffers[peer.index()].contains(id) {
+                continue;
+            }
+
+            let mut entry_mut = *buffers[carrier.index()]
+                .get(id)
+                .expect("entry exists, checked above");
+            let decision = protocol.decide(carrier, peer, &mut entry_mut, now);
+            // Persist token mutations made by the protocol.
+            if let Some(e) = buffers[carrier.index()].get_mut(id) {
+                e.tokens = entry_mut.tokens;
+            }
+
+            match decision {
+                TransferDecision::Skip => {}
+                TransferDecision::Replicate { peer_tokens } => {
+                    if peer == dst {
+                        delivered.insert(id, now);
+                        report.delivered += 1;
+                        report
+                            .delays
+                            .record(now.saturating_since(entry.message.created()).as_secs());
+                        report.transmissions += 1;
+                        buffers[carrier.index()].remove(id);
+                        *budget -= 1;
+                    } else if buffers[peer.index()].insert(entry.message, peer_tokens, now) {
+                        received_now.insert((peer, id));
+                        report.transmissions += 1;
+                        *budget -= 1;
+                    }
+                }
+                TransferDecision::Handoff => {
+                    if peer == dst {
+                        delivered.insert(id, now);
+                        report.delivered += 1;
+                        report
+                            .delays
+                            .record(now.saturating_since(entry.message.created()).as_secs());
+                        report.transmissions += 1;
+                        buffers[carrier.index()].remove(id);
+                        *budget -= 1;
+                    } else if buffers[peer.index()].insert(entry.message, entry_mut.tokens, now) {
+                        buffers[carrier.index()].remove(id);
+                        received_now.insert((peer, id));
+                        report.transmissions += 1;
+                        *budget -= 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::{DirectDelivery, Epidemic, Prophet, SprayAndWait};
+    use omn_contacts::{Contact, TraceBuilder};
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn c(a: u32, b: u32, s: f64, e: f64) -> Contact {
+        Contact::new(NodeId(a), NodeId(b), t(s), t(e)).unwrap()
+    }
+
+    /// 0 meets 1 at t=10, 1 meets 2 at t=20: a relay chain.
+    fn chain_trace() -> ContactTrace {
+        TraceBuilder::new(3)
+            .contact(c(0, 1, 10.0, 11.0))
+            .contact(c(1, 2, 20.0, 21.0))
+            .build()
+            .unwrap()
+    }
+
+    fn demand(src: u32, dst: u32, created: f64) -> UnicastDemand {
+        UnicastDemand {
+            created: t(created),
+            src: NodeId(src),
+            dst: NodeId(dst),
+        }
+    }
+
+    #[test]
+    fn epidemic_uses_relay_chain() {
+        let report = NetworkSimulator::new(SimConfig::default()).run(
+            &chain_trace(),
+            &mut Epidemic::new(),
+            &[demand(0, 2, 0.0)],
+        );
+        assert_eq!(report.delivered, 1);
+        assert_eq!(report.delivery_ratio(), 1.0);
+        // Copy to 1 at t=10, delivery 1→2 at t=20.
+        assert_eq!(report.transmissions, 2);
+        assert!((report.mean_delay().unwrap() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn direct_delivery_cannot_relay() {
+        let report = NetworkSimulator::new(SimConfig::default()).run(
+            &chain_trace(),
+            &mut DirectDelivery::new(),
+            &[demand(0, 2, 0.0)],
+        );
+        assert_eq!(report.delivered, 0);
+        assert_eq!(report.transmissions, 0);
+        assert_eq!(report.overhead_ratio(), None);
+    }
+
+    #[test]
+    fn direct_delivery_on_direct_contact() {
+        let trace = TraceBuilder::new(2).contact(c(0, 1, 5.0, 6.0)).build().unwrap();
+        let report = NetworkSimulator::new(SimConfig::default()).run(
+            &trace,
+            &mut DirectDelivery::new(),
+            &[demand(0, 1, 0.0)],
+        );
+        assert_eq!(report.delivered, 1);
+        assert_eq!(report.transmissions, 1);
+        assert!((report.mean_delay().unwrap() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spray_two_copies_relays_once() {
+        let report = NetworkSimulator::new(SimConfig::default()).run(
+            &chain_trace(),
+            &mut SprayAndWait::new(2),
+            &[demand(0, 2, 0.0)],
+        );
+        // 0 sprays one token-copy to 1 at t=10 (L=2 → give 1); 1 is then in
+        // wait phase and delivers to 2 at t=20.
+        assert_eq!(report.delivered, 1);
+        assert_eq!(report.transmissions, 2);
+    }
+
+    #[test]
+    fn spray_one_copy_degenerates_to_direct() {
+        let report = NetworkSimulator::new(SimConfig::default()).run(
+            &chain_trace(),
+            &mut SprayAndWait::new(1),
+            &[demand(0, 2, 0.0)],
+        );
+        assert_eq!(report.delivered, 0);
+    }
+
+    #[test]
+    fn prophet_forwards_toward_familiar_nodes() {
+        // History: 1 repeatedly meets 2. Then 0 (carrying a message for 2)
+        // meets 1, which has higher predictability for 2 → replicate; then
+        // 1 meets 2 → deliver.
+        let trace = TraceBuilder::new(3)
+            .contact(c(1, 2, 0.0, 1.0))
+            .contact(c(1, 2, 5.0, 6.0))
+            .contact(c(0, 1, 10.0, 11.0))
+            .contact(c(1, 2, 20.0, 21.0))
+            .build()
+            .unwrap();
+        let report = NetworkSimulator::new(SimConfig::default()).run(
+            &trace,
+            &mut Prophet::new(),
+            &[demand(0, 2, 8.0)],
+        );
+        assert_eq!(report.delivered, 1);
+        assert!((report.mean_delay().unwrap() - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn first_contact_walks_the_chain() {
+        use crate::routing::FirstContact;
+        let report = NetworkSimulator::new(SimConfig::default()).run(
+            &chain_trace(),
+            &mut FirstContact::new(),
+            &[demand(0, 2, 0.0)],
+        );
+        // Handoff 0→1 at t=10, then 1→2 (destination) at t=20.
+        assert_eq!(report.delivered, 1);
+        assert_eq!(report.transmissions, 2);
+    }
+
+    #[test]
+    fn first_contact_keeps_exactly_one_copy() {
+        use crate::routing::FirstContact;
+        // Star contacts around node 0: the single copy ping-pongs but
+        // never multiplies; transmissions equal the number of handoffs.
+        let trace = TraceBuilder::new(4)
+            .contact(c(0, 1, 1.0, 2.0))
+            .contact(c(1, 0, 3.0, 4.0))
+            .contact(c(0, 2, 5.0, 6.0))
+            .contact(c(2, 3, 7.0, 8.0))
+            .build()
+            .unwrap();
+        let report = NetworkSimulator::new(SimConfig::default()).run(
+            &trace,
+            &mut FirstContact::new(),
+            &[demand(0, 3, 0.0)],
+        );
+        assert_eq!(report.delivered, 1);
+        // 0→1, 1→0, 0→2, 2→3: four handoffs for one delivery.
+        assert_eq!(report.transmissions, 4);
+    }
+
+    #[test]
+    fn ttl_expires_undelivered_messages() {
+        let config = SimConfig {
+            ttl: Some(SimDuration::from_secs(5.0)),
+            ..SimConfig::default()
+        };
+        let report = NetworkSimulator::new(config).run(
+            &chain_trace(),
+            &mut Epidemic::new(),
+            &[demand(0, 2, 0.0)],
+        );
+        // Message expires at t=5, before the first contact at t=10.
+        assert_eq!(report.delivered, 0);
+        assert!(report.expired >= 1);
+    }
+
+    #[test]
+    fn bandwidth_budget_limits_transfers() {
+        // Node 0 has 3 messages for node 1; a single contact with budget 1
+        // delivers only one.
+        let trace = TraceBuilder::new(2).contact(c(0, 1, 10.0, 11.0)).build().unwrap();
+        let config = SimConfig {
+            max_transfers_per_contact: Some(1),
+            ..SimConfig::default()
+        };
+        let demands = [demand(0, 1, 0.0), demand(0, 1, 1.0), demand(0, 1, 2.0)];
+        let report =
+            NetworkSimulator::new(config).run(&trace, &mut Epidemic::new(), &demands);
+        assert_eq!(report.delivered, 1);
+        assert_eq!(report.transmissions, 1);
+    }
+
+    #[test]
+    fn immunity_drops_carrier_copies_after_delivery() {
+        // 0→1 contact delivers; later 2 (also carrying a copy) meets 1 and
+        // drops its stale copy without a transmission.
+        let trace = TraceBuilder::new(3)
+            .contact(c(0, 2, 1.0, 2.0)) // epidemic copies to 2
+            .contact(c(0, 1, 10.0, 11.0)) // delivery by 0
+            .contact(c(1, 2, 20.0, 21.0)) // 2 meets dst: drop, no tx
+            .build()
+            .unwrap();
+        let report = NetworkSimulator::new(SimConfig::default()).run(
+            &trace,
+            &mut Epidemic::new(),
+            &[demand(0, 1, 0.0)],
+        );
+        assert_eq!(report.delivered, 1);
+        // tx: copy to 2, delivery to 1. The t=20 contact adds nothing.
+        assert_eq!(report.transmissions, 2);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        use crate::workload::uniform_unicast;
+        use omn_contacts::synth::{generate_pairwise, PairwiseConfig};
+        use omn_sim::RngFactory;
+
+        let f = RngFactory::new(4);
+        let trace = generate_pairwise(
+            &PairwiseConfig::new(12, SimDuration::from_days(1.0)).mean_rate(1.0 / 1800.0),
+            &f,
+        );
+        let demands = uniform_unicast(&trace, 40, &f);
+        let sim = NetworkSimulator::new(SimConfig::default());
+        let r1 = sim.run(&trace, &mut Epidemic::new(), &demands);
+        let r2 = sim.run(&trace, &mut Epidemic::new(), &demands);
+        assert_eq!(r1.delivered, r2.delivered);
+        assert_eq!(r1.transmissions, r2.transmissions);
+    }
+}

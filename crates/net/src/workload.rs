@@ -1,0 +1,99 @@
+//! Unicast traffic workloads.
+
+use omn_contacts::{ContactTrace, NodeId};
+use omn_sim::{RngFactory, SimTime};
+use rand::Rng;
+
+/// One unicast demand: deliver a message from `src` to `dst`, created at
+/// `created`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnicastDemand {
+    /// Creation time.
+    pub created: SimTime,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+}
+
+/// Generates `count` unicast demands with creation times uniform over the
+/// first 70% of the trace (leaving time for delivery) and uniformly random
+/// distinct endpoints. Deterministic given the factory (stream
+/// `"unicast-workload"`). Demands are returned sorted by creation time.
+///
+/// # Panics
+///
+/// Panics if the trace has fewer than two nodes.
+#[must_use]
+pub fn uniform_unicast(
+    trace: &ContactTrace,
+    count: usize,
+    factory: &RngFactory,
+) -> Vec<UnicastDemand> {
+    let n = trace.node_count();
+    assert!(n >= 2, "uniform_unicast: need at least two nodes");
+    let mut rng = factory.stream("unicast-workload");
+    let horizon = trace.span().as_secs() * 0.7;
+    let mut demands: Vec<UnicastDemand> = (0..count)
+        .map(|_| {
+            let src = NodeId(rng.gen_range(0..n as u32));
+            let dst = loop {
+                let d = NodeId(rng.gen_range(0..n as u32));
+                if d != src {
+                    break d;
+                }
+            };
+            UnicastDemand {
+                created: SimTime::from_secs(rng.gen_range(0.0..horizon.max(f64::MIN_POSITIVE))),
+                src,
+                dst,
+            }
+        })
+        .collect();
+    demands.sort_by_key(|d| (d.created, d.src, d.dst));
+    demands
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omn_contacts::TraceBuilder;
+
+    fn trace(n: usize) -> ContactTrace {
+        TraceBuilder::new(n)
+            .span(SimTime::from_secs(1000.0))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn generates_requested_count_sorted() {
+        let demands = uniform_unicast(&trace(10), 50, &RngFactory::new(1));
+        assert_eq!(demands.len(), 50);
+        for w in demands.windows(2) {
+            assert!(w[0].created <= w[1].created);
+        }
+    }
+
+    #[test]
+    fn endpoints_are_distinct_and_in_range() {
+        for d in uniform_unicast(&trace(5), 100, &RngFactory::new(2)) {
+            assert_ne!(d.src, d.dst);
+            assert!(d.src.index() < 5 && d.dst.index() < 5);
+            assert!(d.created.as_secs() <= 700.0);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let t = trace(8);
+        let f = RngFactory::new(3);
+        assert_eq!(uniform_unicast(&t, 20, &f), uniform_unicast(&t, 20, &f));
+    }
+
+    #[test]
+    #[should_panic(expected = "two nodes")]
+    fn rejects_tiny_network() {
+        let _ = uniform_unicast(&trace(1), 1, &RngFactory::new(1));
+    }
+}

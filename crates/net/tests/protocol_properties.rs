@@ -1,0 +1,104 @@
+//! Cross-protocol property tests on random traces.
+
+use omn_contacts::synth::{generate_pairwise, PairwiseConfig};
+use omn_net::routing::{DirectDelivery, Epidemic, Prophet, SprayAndWait};
+use omn_net::{workload, NetworkSimulator, SimConfig};
+use omn_sim::{RngFactory, SimDuration};
+use proptest::prelude::*;
+
+fn scenario(seed: u64, nodes: usize, msgs: usize) -> (omn_contacts::ContactTrace, Vec<omn_net::UnicastDemand>) {
+    let f = RngFactory::new(seed);
+    let trace = generate_pairwise(
+        &PairwiseConfig::new(nodes, SimDuration::from_days(1.0)).mean_rate(1.0 / 3600.0),
+        &f,
+    );
+    let demands = workload::uniform_unicast(&trace, msgs, &f);
+    (trace, demands)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Epidemic routing delivers at least as many messages as every other
+    /// protocol, and at least as fast (per-message minimum-delay property),
+    /// under unconstrained resources.
+    #[test]
+    fn epidemic_dominates_delivery(seed in any::<u64>()) {
+        let (trace, demands) = scenario(seed, 14, 30);
+        let sim = NetworkSimulator::new(SimConfig::default());
+        let epidemic = sim.run(&trace, &mut Epidemic::new(), &demands);
+        let direct = sim.run(&trace, &mut DirectDelivery::new(), &demands);
+        let spray = sim.run(&trace, &mut SprayAndWait::new(4), &demands);
+        let prophet = sim.run(&trace, &mut Prophet::new(), &demands);
+
+        prop_assert!(epidemic.delivered >= direct.delivered);
+        prop_assert!(epidemic.delivered >= spray.delivered);
+        prop_assert!(epidemic.delivered >= prophet.delivered);
+    }
+
+    /// Direct delivery never transmits more than once per delivered message.
+    #[test]
+    fn direct_overhead_is_one(seed in any::<u64>()) {
+        let (trace, demands) = scenario(seed, 12, 30);
+        let sim = NetworkSimulator::new(SimConfig::default());
+        let report = sim.run(&trace, &mut DirectDelivery::new(), &demands);
+        prop_assert_eq!(report.transmissions, report.delivered as u64);
+    }
+
+    /// Spray-and-Wait transmissions are bounded by L per created message
+    /// (each message spawns at most L copies, each costing one transfer).
+    #[test]
+    fn spray_overhead_is_bounded(seed in any::<u64>(), copies in 1u32..8) {
+        let (trace, demands) = scenario(seed, 12, 30);
+        let sim = NetworkSimulator::new(SimConfig::default());
+        let report = sim.run(&trace, &mut SprayAndWait::new(copies), &demands);
+        prop_assert!(
+            report.transmissions <= u64::from(copies) * demands.len() as u64,
+            "tx {} > L {} * msgs {}",
+            report.transmissions,
+            copies,
+            demands.len()
+        );
+    }
+
+    /// More spray copies never hurt delivery (monotonicity in the copy
+    /// budget on identical traces and workloads).
+    #[test]
+    fn spray_monotone_in_copies(seed in any::<u64>()) {
+        let (trace, demands) = scenario(seed, 14, 30);
+        let sim = NetworkSimulator::new(SimConfig::default());
+        let few = sim.run(&trace, &mut SprayAndWait::new(2), &demands);
+        let many = sim.run(&trace, &mut SprayAndWait::new(16), &demands);
+        prop_assert!(many.delivered >= few.delivered);
+    }
+
+    /// Delivery delays are non-negative and bounded by the trace span.
+    #[test]
+    fn delays_are_sane(seed in any::<u64>()) {
+        let (trace, demands) = scenario(seed, 12, 30);
+        let sim = NetworkSimulator::new(SimConfig::default());
+        let report = sim.run(&trace, &mut Epidemic::new(), &demands);
+        for &d in report.delays.samples() {
+            prop_assert!(d >= 0.0);
+            prop_assert!(d <= trace.span().as_secs());
+        }
+        prop_assert_eq!(report.delays.len(), report.delivered);
+    }
+
+    /// Tight bandwidth never increases delivery.
+    #[test]
+    fn bandwidth_limits_hurt(seed in any::<u64>()) {
+        let (trace, demands) = scenario(seed, 12, 40);
+        let free = NetworkSimulator::new(SimConfig::default())
+            .run(&trace, &mut Epidemic::new(), &demands);
+        let tight = NetworkSimulator::new(SimConfig {
+            max_transfers_per_contact: Some(1),
+            ..SimConfig::default()
+        })
+        .run(&trace, &mut Epidemic::new(), &demands);
+        // Note: total *transmissions* can go either way — delayed delivery
+        // under tight bandwidth postpones destination immunity, which can
+        // cause extra copying. Delivery itself is monotone.
+        prop_assert!(tight.delivered <= free.delivered);
+    }
+}

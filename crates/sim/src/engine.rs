@@ -1,0 +1,265 @@
+//! The simulation engine: a virtual clock driving an event queue.
+
+use crate::queue::{EventHandle, EventQueue};
+use crate::time::{SimDuration, SimTime};
+
+/// An event delivered by [`Engine::next_event`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledEvent<E> {
+    /// The virtual time at which the event fires (equal to `engine.now()`
+    /// right after delivery).
+    pub time: SimTime,
+    /// The event payload.
+    pub payload: E,
+}
+
+/// A discrete-event simulation engine.
+///
+/// The engine owns the virtual clock and an [`EventQueue`]. Simulations are
+/// driven by an explicit loop so that handlers can freely schedule and cancel
+/// follow-up events on the engine they hold:
+///
+/// ```
+/// use omn_sim::{Engine, SimDuration};
+///
+/// let mut engine = Engine::new();
+/// engine.schedule_in(SimDuration::from_secs(1.0), 0u32);
+/// let mut fired = 0;
+/// while let Some(ev) = engine.next_event() {
+///     fired += 1;
+///     if ev.payload < 3 {
+///         engine.schedule_in(SimDuration::from_secs(1.0), ev.payload + 1);
+///     }
+/// }
+/// assert_eq!(fired, 4);
+/// ```
+///
+/// An optional *horizon* bounds the run: events strictly after the horizon
+/// stay in the queue and [`Engine::next_event`] returns `None` once only such
+/// events remain (the clock is advanced to the horizon in that case).
+#[derive(Debug)]
+pub struct Engine<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    horizon: Option<SimTime>,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Engine<E> {
+        Engine::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// Creates an engine with the clock at [`SimTime::ZERO`] and no horizon.
+    #[must_use]
+    pub fn new() -> Engine<E> {
+        Engine {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            horizon: None,
+        }
+    }
+
+    /// Creates an engine that will not deliver events after `horizon`.
+    #[must_use]
+    pub fn with_horizon(horizon: SimTime) -> Engine<E> {
+        Engine {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            horizon: Some(horizon),
+        }
+    }
+
+    /// The current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The configured horizon, if any.
+    #[must_use]
+    pub fn horizon(&self) -> Option<SimTime> {
+        self.horizon
+    }
+
+    /// Sets (or clears) the horizon.
+    pub fn set_horizon(&mut self, horizon: Option<SimTime>) {
+        self.horizon = horizon;
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `payload` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current time: delivering events in the
+    /// past would violate causality.
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) -> EventHandle {
+        assert!(
+            at >= self.now,
+            "Engine::schedule_at: {at} is before now ({})",
+            self.now
+        );
+        self.queue.schedule(at, payload)
+    }
+
+    /// Schedules `payload` after a relative delay.
+    pub fn schedule_in(&mut self, delay: SimDuration, payload: E) -> EventHandle {
+        let at = self.now + delay;
+        self.queue.schedule(at, payload)
+    }
+
+    /// Cancels a pending event, returning its payload if it had not yet
+    /// fired.
+    pub fn cancel(&mut self, handle: EventHandle) -> Option<E> {
+        self.queue.cancel(handle)
+    }
+
+    /// True if `handle` refers to an event that is still pending.
+    #[must_use]
+    pub fn is_pending(&self, handle: EventHandle) -> bool {
+        self.queue.is_pending(handle)
+    }
+
+    /// The time of the next deliverable event, if one exists within the
+    /// horizon.
+    #[must_use]
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        let t = self.queue.peek_time()?;
+        match self.horizon {
+            Some(h) if t > h => None,
+            _ => Some(t),
+        }
+    }
+
+    /// Delivers the next event, advancing the clock to its timestamp.
+    ///
+    /// Returns `None` when the queue is exhausted or when every remaining
+    /// event lies beyond the horizon; in the latter case the clock is
+    /// advanced to the horizon so that `now()` reports the full simulated
+    /// span.
+    pub fn next_event(&mut self) -> Option<ScheduledEvent<E>> {
+        match self.queue.peek_time() {
+            None => None,
+            Some(t) => {
+                if let Some(h) = self.horizon {
+                    if t > h {
+                        self.now = self.now.max(h);
+                        return None;
+                    }
+                }
+                let (time, payload) = self.queue.pop().expect("peeked event must pop");
+                self.now = time;
+                Some(ScheduledEvent { time, payload })
+            }
+        }
+    }
+
+    /// Runs the simulation to completion (or to the horizon), invoking
+    /// `handler` for each event. The handler receives the engine so it can
+    /// schedule follow-up events.
+    pub fn run<F>(mut self, mut handler: F) -> SimTime
+    where
+        F: FnMut(&mut Engine<E>, ScheduledEvent<E>),
+    {
+        while let Some(ev) = self.next_event() {
+            handler(&mut self, ev);
+        }
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    fn d(secs: f64) -> SimDuration {
+        SimDuration::from_secs(secs)
+    }
+
+    #[test]
+    fn clock_advances_with_events() {
+        let mut e = Engine::new();
+        e.schedule_at(t(5.0), "a");
+        e.schedule_at(t(2.0), "b");
+        let ev = e.next_event().unwrap();
+        assert_eq!(ev.time, t(2.0));
+        assert_eq!(e.now(), t(2.0));
+        let ev = e.next_event().unwrap();
+        assert_eq!(ev.payload, "a");
+        assert_eq!(e.now(), t(5.0));
+        assert!(e.next_event().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "before now")]
+    fn scheduling_in_past_panics() {
+        let mut e = Engine::new();
+        e.schedule_at(t(5.0), ());
+        e.next_event();
+        e.schedule_at(t(1.0), ());
+    }
+
+    #[test]
+    fn horizon_stops_delivery_and_advances_clock() {
+        let mut e = Engine::with_horizon(t(10.0));
+        e.schedule_at(t(5.0), 1);
+        e.schedule_at(t(15.0), 2);
+        assert_eq!(e.next_event().map(|ev| ev.payload), Some(1));
+        assert!(e.next_event().is_none());
+        assert_eq!(e.now(), t(10.0));
+        assert_eq!(e.pending(), 1);
+    }
+
+    #[test]
+    fn peek_respects_horizon() {
+        let mut e = Engine::with_horizon(t(1.0));
+        e.schedule_at(t(2.0), ());
+        assert_eq!(e.peek_time(), None);
+        e.set_horizon(None);
+        assert_eq!(e.peek_time(), Some(t(2.0)));
+    }
+
+    #[test]
+    fn cancellation_through_engine() {
+        let mut e = Engine::new();
+        let h = e.schedule_in(d(1.0), "x");
+        assert!(e.is_pending(h));
+        assert_eq!(e.cancel(h), Some("x"));
+        assert!(e.next_event().is_none());
+    }
+
+    #[test]
+    fn run_loop_with_rescheduling() {
+        let mut e = Engine::new();
+        e.schedule_in(d(1.0), 0u32);
+        let mut count = 0;
+        let end = e.run(|engine, ev| {
+            count += 1;
+            if ev.payload < 4 {
+                engine.schedule_in(d(1.0), ev.payload + 1);
+            }
+        });
+        assert_eq!(count, 5);
+        assert_eq!(end, t(5.0));
+    }
+
+    #[test]
+    fn deterministic_order_at_same_time() {
+        let mut e = Engine::new();
+        e.schedule_at(t(1.0), "first");
+        e.schedule_at(t(1.0), "second");
+        assert_eq!(e.next_event().unwrap().payload, "first");
+        assert_eq!(e.next_event().unwrap().payload, "second");
+    }
+}

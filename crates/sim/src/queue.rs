@@ -1,0 +1,232 @@
+//! A cancellable, deterministic event queue.
+//!
+//! Events scheduled at equal times are delivered in scheduling order (FIFO),
+//! which keeps simulations reproducible regardless of heap internals.
+//! Cancellation is O(1): the payload is removed immediately and the heap
+//! entry becomes a tombstone that is skipped lazily on pop.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::time::SimTime;
+
+/// A handle to a scheduled event, usable to cancel it.
+///
+/// Handles are unique per [`EventQueue`] over its entire lifetime; a handle
+/// from one queue must not be used with another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventHandle(u64);
+
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct HeapKey {
+    time: SimTime,
+    seq: u64,
+}
+
+/// A priority queue of timestamped events with O(1) cancellation and
+/// deterministic FIFO tie-breaking.
+///
+/// # Example
+///
+/// ```
+/// use omn_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// let h = q.schedule(SimTime::from_secs(2.0), "late");
+/// q.schedule(SimTime::from_secs(1.0), "early");
+/// q.cancel(h);
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(1.0), "early")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<HeapKey>>,
+    payloads: HashMap<u64, E>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> EventQueue<E> {
+        EventQueue::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> EventQueue<E> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            payloads: HashMap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` at `time` and returns a cancellation handle.
+    pub fn schedule(&mut self, time: SimTime, payload: E) -> EventHandle {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(HeapKey { time, seq }));
+        self.payloads.insert(seq, payload);
+        EventHandle(seq)
+    }
+
+    /// Cancels a previously scheduled event, returning its payload if it was
+    /// still pending. Cancelling an already-fired or already-cancelled event
+    /// returns `None`.
+    pub fn cancel(&mut self, handle: EventHandle) -> Option<E> {
+        self.payloads.remove(&handle.0)
+    }
+
+    /// True if `handle` refers to an event that has not yet fired or been
+    /// cancelled.
+    #[must_use]
+    pub fn is_pending(&self, handle: EventHandle) -> bool {
+        self.payloads.contains_key(&handle.0)
+    }
+
+    /// The timestamp of the next live event, if any.
+    #[must_use]
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.skip_tombstones();
+        self.heap.peek().map(|Reverse(k)| k.time)
+    }
+
+    /// Removes and returns the next live event as `(time, payload)`.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.skip_tombstones();
+        let Reverse(key) = self.heap.pop()?;
+        let payload = self
+            .payloads
+            .remove(&key.seq)
+            .expect("tombstones were skipped, payload must exist");
+        Some((key.time, payload))
+    }
+
+    /// Number of live (non-cancelled) events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.payloads.len()
+    }
+
+    /// True if there are no live events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.payloads.is_empty()
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.payloads.clear();
+    }
+
+    fn skip_tombstones(&mut self) {
+        while let Some(Reverse(key)) = self.heap.peek() {
+            if self.payloads.contains_key(&key.seq) {
+                break;
+            }
+            self.heap.pop();
+        }
+    }
+}
+
+impl<E> Extend<(SimTime, E)> for EventQueue<E> {
+    fn extend<I: IntoIterator<Item = (SimTime, E)>>(&mut self, iter: I) {
+        for (t, e) in iter {
+            self.schedule(t, e);
+        }
+    }
+}
+
+impl<E> FromIterator<(SimTime, E)> for EventQueue<E> {
+    fn from_iter<I: IntoIterator<Item = (SimTime, E)>>(iter: I) -> EventQueue<E> {
+        let mut q = EventQueue::new();
+        q.extend(iter);
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(3.0), "c");
+        q.schedule(t(1.0), "a");
+        q.schedule(t(2.0), "b");
+        assert_eq!(q.pop(), Some((t(1.0), "a")));
+        assert_eq!(q.pop(), Some((t(2.0), "b")));
+        assert_eq!(q.pop(), Some((t(3.0), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(t(5.0), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t(5.0), i)));
+        }
+    }
+
+    #[test]
+    fn cancellation() {
+        let mut q = EventQueue::new();
+        let h1 = q.schedule(t(1.0), "a");
+        let h2 = q.schedule(t(2.0), "b");
+        assert!(q.is_pending(h1));
+        assert_eq!(q.cancel(h1), Some("a"));
+        assert!(!q.is_pending(h1));
+        assert_eq!(q.cancel(h1), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((t(2.0), "b")));
+        assert_eq!(q.cancel(h2), None);
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let h = q.schedule(t(1.0), "a");
+        q.schedule(t(2.0), "b");
+        q.cancel(h);
+        assert_eq!(q.peek_time(), Some(t(2.0)));
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut q = EventQueue::new();
+        q.schedule(t(1.0), 1);
+        q.schedule(t(2.0), 2);
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let q: EventQueue<u32> = vec![(t(2.0), 2), (t(1.0), 1)].into_iter().collect();
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(t(1.0), "a");
+        assert_eq!(q.pop(), Some((t(1.0), "a")));
+        q.schedule(t(0.5), "b");
+        q.schedule(t(0.5), "c");
+        assert_eq!(q.pop(), Some((t(0.5), "b")));
+        assert_eq!(q.pop(), Some((t(0.5), "c")));
+    }
+}

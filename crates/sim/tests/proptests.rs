@@ -1,0 +1,158 @@
+//! Property-based tests for the simulation substrate.
+
+use omn_sim::metrics::{SampleHistogram, TimeWeightedMean};
+use omn_sim::stats::{mean_ci95, EmpiricalCdf, Summary, Welford};
+use omn_sim::{Engine, EventQueue, RngFactory, SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn finite_positive() -> impl Strategy<Value = f64> {
+    (0.001f64..1e6).prop_map(|x| x)
+}
+
+proptest! {
+    /// Events always pop in non-decreasing time order, regardless of
+    /// insertion order.
+    #[test]
+    fn queue_pops_sorted(times in prop::collection::vec(0.0f64..1e6, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_secs(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut popped = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    /// Cancelling a subset of events removes exactly those events.
+    #[test]
+    fn queue_cancel_removes_exactly(
+        times in prop::collection::vec(0.0f64..1e3, 1..100),
+        cancel_mask in prop::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        let handles: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| q.schedule(SimTime::from_secs(t), i))
+            .collect();
+        let mut cancelled = std::collections::HashSet::new();
+        for (h, &c) in handles.iter().zip(cancel_mask.iter()) {
+            if c {
+                q.cancel(*h);
+                cancelled.insert(*h);
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        while let Some((_, i)) = q.pop() {
+            seen.insert(i);
+        }
+        for (i, h) in handles.iter().enumerate() {
+            prop_assert_eq!(seen.contains(&i), !cancelled.contains(h));
+        }
+    }
+
+    /// The engine clock never goes backwards and ends at the max event time.
+    #[test]
+    fn engine_clock_monotone(times in prop::collection::vec(0.0f64..1e4, 1..100)) {
+        let mut e = Engine::new();
+        for &t in &times {
+            e.schedule_at(SimTime::from_secs(t), ());
+        }
+        let mut prev = SimTime::ZERO;
+        while let Some(ev) = e.next_event() {
+            prop_assert!(ev.time >= prev);
+            prop_assert_eq!(ev.time, e.now());
+            prev = ev.time;
+        }
+        let max = times.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!((e.now().as_secs() - max).abs() < 1e-9);
+    }
+
+    /// Time-weighted mean of a signal lies within [min, max] of its values.
+    #[test]
+    fn twm_within_bounds(
+        values in prop::collection::vec(-1e3f64..1e3, 1..50),
+        gaps in prop::collection::vec(0.001f64..100.0, 1..50),
+    ) {
+        let mut m = TimeWeightedMean::starting_at(SimTime::ZERO, values[0]);
+        let mut now = SimTime::ZERO;
+        for (v, g) in values.iter().skip(1).zip(gaps.iter()) {
+            now += SimDuration::from_secs(*g);
+            m.update(now, *v);
+        }
+        now += SimDuration::from_secs(1.0);
+        let mean = m.finish(now);
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(mean >= lo - 1e-9 && mean <= hi + 1e-9);
+    }
+
+    /// Histogram quantiles are monotone in q and bounded by min/max.
+    #[test]
+    fn histogram_quantiles_monotone(samples in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut h: SampleHistogram = samples.iter().cloned().collect();
+        let s = Summary::from_samples(&samples);
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=10 {
+            let q = f64::from(i) / 10.0;
+            let v = h.quantile(q).unwrap();
+            prop_assert!(v >= prev);
+            prop_assert!(v >= s.min - 1e-9 && v <= s.max + 1e-9);
+            prev = v;
+        }
+    }
+
+    /// Empirical CDF is monotone, 0 below the min, 1 at and above the max.
+    #[test]
+    fn cdf_properties(samples in prop::collection::vec(-1e4f64..1e4, 1..200)) {
+        let cdf = EmpiricalCdf::from_samples(samples.clone());
+        let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(cdf.eval(lo - 1.0), 0.0);
+        prop_assert_eq!(cdf.eval(hi), 1.0);
+        let mut prev = 0.0;
+        for (_, f) in cdf.curve(32) {
+            prop_assert!(f >= prev - 1e-12);
+            prev = f;
+        }
+    }
+
+    /// Welford agrees with the direct two-pass computation.
+    #[test]
+    fn welford_agrees(samples in prop::collection::vec(-1e3f64..1e3, 2..300)) {
+        let mut w = Welford::new();
+        for &x in &samples {
+            w.push(x);
+        }
+        let s = Summary::from_samples(&samples);
+        prop_assert!((w.mean().unwrap() - s.mean).abs() < 1e-6);
+        prop_assert!((w.std_dev().unwrap() - s.std_dev).abs() < 1e-6);
+    }
+
+    /// CI mean matches the arithmetic mean; half-width is non-negative.
+    #[test]
+    fn ci_sane(samples in prop::collection::vec(finite_positive(), 1..100)) {
+        let (mean, hw) = mean_ci95(&samples);
+        let direct = samples.iter().sum::<f64>() / samples.len() as f64;
+        prop_assert!((mean - direct).abs() < 1e-9);
+        prop_assert!(hw >= 0.0);
+    }
+
+    /// RNG streams with equal (seed, label, index) agree; different indices
+    /// disagree on the first draw with overwhelming probability.
+    #[test]
+    fn rng_streams_reproducible(seed in any::<u64>(), idx in 0u64..1000) {
+        use rand::Rng;
+        let f = RngFactory::new(seed);
+        let a: u64 = f.stream_indexed("s", idx).gen();
+        let b: u64 = f.stream_indexed("s", idx).gen();
+        prop_assert_eq!(a, b);
+        let c: u64 = f.stream_indexed("s", idx + 1).gen();
+        prop_assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,98 @@
+//! Extending the library: implement a custom refresh scheme against the
+//! public [`RefreshScheme`] trait and benchmark it against the built-ins.
+//!
+//! The custom scheme here is *member gossip*: caching nodes refresh each
+//! other whenever any two of them meet (no hierarchy, no relays). It is a
+//! natural middle ground — cheaper than epidemic (non-caching nodes never
+//! carry data) but without the paper's responsibility structure.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example custom_scheme
+//! ```
+
+use omn::contacts::synth::presets::TracePreset;
+use omn::contacts::NodeId;
+use omn::core::scheme::{RefreshScheme, SchemeCtx};
+use omn::core::sim::{FreshnessConfig, FreshnessSimulator, SchemeChoice};
+use omn::sim::RngFactory;
+
+/// Caching nodes gossip versions among themselves (and pull from the
+/// source) on every mutual contact.
+#[derive(Debug, Default)]
+struct MemberGossip;
+
+impl RefreshScheme for MemberGossip {
+    fn name(&self) -> &'static str {
+        "member-gossip"
+    }
+
+    fn on_contact(&mut self, a: NodeId, b: NodeId, ctx: &mut SchemeCtx<'_>) {
+        // Only pairs where both ends hold the data participate.
+        let (va, vb) = (ctx.version_of(a), ctx.version_of(b));
+        match (va, vb) {
+            (Some(x), Some(y)) if x > y => {
+                ctx.deliver_version(a, b, x);
+            }
+            (Some(x), Some(y)) if y > x => {
+                ctx.deliver_version(b, a, y);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn main() {
+    let factory = RngFactory::new(99);
+    let trace = TracePreset::InfocomLike.generate(&factory);
+    let sim = FreshnessSimulator::new(FreshnessConfig {
+        query_count: 300,
+        max_relays: 8,
+        ..FreshnessConfig::default()
+    });
+
+    println!(
+        "{:<16} {:>10} {:>13} {:>9} {:>9}",
+        "scheme", "freshness", "satisfaction", "tx", "replicas"
+    );
+
+    // The custom scheme...
+    let mut gossip = MemberGossip;
+    let report = sim.run_scheme(&trace, &mut gossip, &factory);
+    println!(
+        "{:<16} {:>10.3} {:>13.3} {:>9} {:>9}",
+        report.scheme,
+        report.mean_freshness,
+        report.requirement_satisfaction,
+        report.transmissions,
+        report.replicas
+    );
+
+    // ...against the built-ins.
+    for choice in [
+        SchemeChoice::Hierarchical,
+        SchemeChoice::SourceOnly,
+        SchemeChoice::Epidemic,
+    ] {
+        let report = sim.run(&trace, choice, &factory);
+        println!(
+            "{:<16} {:>10.3} {:>13.3} {:>9} {:>9}",
+            report.scheme,
+            report.mean_freshness,
+            report.requirement_satisfaction,
+            report.transmissions,
+            report.replicas
+        );
+    }
+
+    println!(
+        "\nMember gossip reaches freshness comparable to the hierarchical \
+         scheme on dense traces — but it makes every caching node \
+         responsible for every other (quadratic mutual responsibility and \
+         state), whereas the hierarchical scheme bounds each node's \
+         responsibility to its tree children and recruits relays sized \
+         analytically to the freshness requirement. That bounded, planned \
+         structure is the paper's contribution."
+    );
+}

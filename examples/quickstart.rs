@@ -1,0 +1,65 @@
+//! Quickstart: keep cached copies of a periodically refreshed data item
+//! fresh on an opportunistic contact trace, and compare the paper's
+//! hierarchical scheme against the baselines.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use omn::contacts::synth::presets::TracePreset;
+use omn::contacts::TraceStats;
+use omn::core::freshness::FreshnessRequirement;
+use omn::core::sim::{FreshnessConfig, FreshnessSimulator, SchemeChoice};
+use omn::sim::{RngFactory, SimDuration};
+
+fn main() {
+    // 1. A conference-style contact trace (78 nodes, ~3.9 days), generated
+    //    deterministically from one master seed.
+    let factory = RngFactory::new(2012);
+    let trace = TracePreset::InfocomLike.generate(&factory);
+    let stats = TraceStats::compute(&trace);
+    println!(
+        "trace: {} nodes, {:.1} days, {} contacts ({:.0} per node per day)",
+        stats.node_count,
+        stats.span.as_days(),
+        stats.total_contacts,
+        stats.contacts_per_node_per_day,
+    );
+
+    // 2. One data item, refreshed every 6 hours; its caching nodes must
+    //    receive each version within 6 hours with probability 0.9.
+    let config = FreshnessConfig {
+        caching_nodes: 8,
+        refresh_period: SimDuration::from_hours(6.0),
+        requirement: FreshnessRequirement::new(0.9, SimDuration::from_hours(6.0)),
+        query_count: 500,
+        ..FreshnessConfig::default()
+    };
+    let sim = FreshnessSimulator::new(config);
+
+    // 3. Run every built-in scheme and print the headline metrics.
+    println!(
+        "\n{:<14} {:>10} {:>13} {:>14} {:>9} {:>9}",
+        "scheme", "freshness", "satisfaction", "fresh-access", "tx", "replicas"
+    );
+    for choice in SchemeChoice::ALL {
+        let report = sim.run(&trace, choice, &factory);
+        println!(
+            "{:<14} {:>10.3} {:>13.3} {:>14.3} {:>9} {:>9}",
+            report.scheme,
+            report.mean_freshness,
+            report.requirement_satisfaction,
+            report.fresh_access_ratio(),
+            report.transmissions,
+            report.replicas,
+        );
+    }
+
+    println!(
+        "\nThe hierarchical scheme should sit between epidemic flooding \
+         (fresher, far more transmissions) and source-only refreshing \
+         (cheaper, far staler)."
+    );
+}

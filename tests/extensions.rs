@@ -1,0 +1,110 @@
+//! Integration tests for the extension features: temporal oracle bounds,
+//! working-day mobility, and failure injection, exercised through the
+//! public facade.
+
+use omn::contacts::synth::working_day::{generate_working_day, WorkingDayConfig};
+use omn::contacts::temporal;
+use omn::contacts::NodeId;
+use omn::core::freshness::FreshnessRequirement;
+use omn::core::sim::{FreshnessConfig, FreshnessSimulator, SchemeChoice};
+use omn::sim::{RngFactory, SimDuration, SimTime};
+
+#[test]
+fn oracle_bound_lower_bounds_every_scheme() {
+    // The time-respecting earliest-arrival bound must be at or below the
+    // refresh delays any scheme achieves — including epidemic, which
+    // approaches it.
+    let factory = RngFactory::new(88);
+    let trace = omn::contacts::synth::presets::TracePreset::InfocomLike.generate_small(&factory);
+    let period = SimDuration::from_hours(4.0);
+    let config = FreshnessConfig {
+        caching_nodes: 5,
+        refresh_period: period,
+        requirement: FreshnessRequirement::new(0.8, period),
+        query_count: 0,
+        ..FreshnessConfig::default()
+    };
+    let sim = FreshnessSimulator::new(config);
+    let (source, members) = sim.select_roles(&trace);
+
+    // Oracle mean over versions and members.
+    let versions = (trace.span().as_secs() / period.as_secs()) as usize;
+    let mut oracle = Vec::new();
+    for v in 1..versions {
+        let birth = SimTime::from_secs(v as f64 * period.as_secs());
+        oracle.extend(temporal::oracle_delays(&trace, source, birth, &members));
+    }
+    assert!(!oracle.is_empty());
+    let oracle_mean = oracle.iter().sum::<f64>() / oracle.len() as f64;
+
+    for choice in [SchemeChoice::Epidemic, SchemeChoice::Hierarchical] {
+        let report = sim.run(&trace, choice, &factory);
+        if let Some(measured_mean) = report.refresh_delays.mean() {
+            assert!(
+                measured_mean + 1.0 >= oracle_mean,
+                "{choice}: measured {measured_mean:.0}s below oracle {oracle_mean:.0}s"
+            );
+        }
+    }
+}
+
+#[test]
+fn working_day_trace_supports_the_full_freshness_stack() {
+    let factory = RngFactory::new(12);
+    let trace = generate_working_day(
+        &WorkingDayConfig::new(30, 6).offices(5).evening_probability(0.4),
+        &factory,
+    );
+    let period = SimDuration::from_hours(24.0);
+    let config = FreshnessConfig {
+        caching_nodes: 6,
+        refresh_period: period,
+        requirement: FreshnessRequirement::new(0.8, period),
+        query_count: 100,
+        ..FreshnessConfig::default()
+    };
+    let sim = FreshnessSimulator::new(config);
+    let hier = sim.run(&trace, SchemeChoice::Hierarchical, &factory);
+    let none = sim.run(&trace, SchemeChoice::NoRefresh, &factory);
+    // Daily office co-location makes refreshing effective. (The gap is
+    // structurally capped: versions born at midnight cannot propagate
+    // until offices open ~8 h later.)
+    assert!(
+        hier.mean_freshness > none.mean_freshness + 0.1,
+        "hier {} vs none {}",
+        hier.mean_freshness,
+        none.mean_freshness
+    );
+}
+
+#[test]
+fn departures_reduce_freshness_monotonically_in_expectation() {
+    let factory = RngFactory::new(31);
+    let trace = omn::contacts::synth::presets::TracePreset::InfocomLike.generate_small(&factory);
+    let half = SimTime::from_secs(trace.span().as_secs() / 2.0);
+    let sim = FreshnessSimulator::new(FreshnessConfig {
+        caching_nodes: 5,
+        query_count: 0,
+        ..FreshnessConfig::default()
+    });
+    let (source, members) = sim.select_roles(&trace);
+
+    let freshness_with_departures = |count: usize| {
+        let departed: Vec<NodeId> = trace
+            .nodes()
+            .filter(|&n| n != source)
+            .take(count)
+            .collect();
+        let failed = trace.with_departures(&departed, half);
+        let mut scheme = sim.make_scheme(SchemeChoice::Epidemic);
+        sim.run_with_roles(&failed, source, &members, scheme.as_mut(), &factory)
+            .mean_freshness
+    };
+
+    let none = freshness_with_departures(0);
+    let heavy = freshness_with_departures(12);
+    assert!(
+        heavy <= none + 1e-9,
+        "losing half the network cannot help: {heavy} vs {none}"
+    );
+}

@@ -1,0 +1,109 @@
+//! Qualitative orderings the paper's evaluation rests on, verified across
+//! seeds on both trace presets. These are the "shape" claims EXPERIMENTS.md
+//! records.
+
+use omn::contacts::synth::presets::TracePreset;
+use omn::core::freshness::FreshnessRequirement;
+use omn::core::sim::{FreshnessConfig, FreshnessSimulator, SchemeChoice};
+use omn::sim::{RngFactory, SimDuration};
+
+fn config_for(preset: TracePreset) -> FreshnessConfig {
+    let period = match preset {
+        TracePreset::RealityLike => SimDuration::from_hours(72.0),
+        TracePreset::InfocomLike => SimDuration::from_hours(6.0),
+    };
+    FreshnessConfig {
+        refresh_period: period,
+        requirement: FreshnessRequirement::new(0.9, period),
+        query_count: 200,
+        ..FreshnessConfig::default()
+    }
+}
+
+/// Mean over seeds of a per-run metric.
+fn mean_over_seeds(
+    preset: TracePreset,
+    choice: SchemeChoice,
+    metric: impl Fn(&omn::core::sim::FreshnessReport) -> f64,
+) -> f64 {
+    let seeds = [5u64, 17, 29];
+    let sim = FreshnessSimulator::new(config_for(preset));
+    seeds
+        .iter()
+        .map(|&s| {
+            let factory = RngFactory::new(s);
+            let trace = preset.generate(&factory);
+            metric(&sim.run(&trace, choice, &factory))
+        })
+        .sum::<f64>()
+        / seeds.len() as f64
+}
+
+#[test]
+fn freshness_ordering_holds_on_both_traces() {
+    for preset in TracePreset::ALL {
+        let fresh = |c| mean_over_seeds(preset, c, |r| r.mean_freshness);
+        let epidemic = fresh(SchemeChoice::Epidemic);
+        let hier = fresh(SchemeChoice::Hierarchical);
+        let no_repl = fresh(SchemeChoice::HierarchicalNoReplication);
+        let star = fresh(SchemeChoice::SourceOnly);
+        let random = fresh(SchemeChoice::RandomTree);
+        let none = fresh(SchemeChoice::NoRefresh);
+
+        assert!(epidemic >= hier, "{preset}: epidemic {epidemic} < hier {hier}");
+        assert!(hier > no_repl, "{preset}: hier {hier} <= no-repl {no_repl}");
+        assert!(
+            no_repl > random,
+            "{preset}: no-repl {no_repl} <= random {random}"
+        );
+        assert!(hier > star, "{preset}: hier {hier} <= star {star}");
+        assert!(star > none, "{preset}: star {star} <= none {none}");
+    }
+}
+
+#[test]
+fn overhead_ordering_holds() {
+    for preset in TracePreset::ALL {
+        let tx = |c| mean_over_seeds(preset, c, |r| r.transmissions as f64);
+        let epidemic = tx(SchemeChoice::Epidemic);
+        let hier = tx(SchemeChoice::Hierarchical);
+        let no_repl = tx(SchemeChoice::HierarchicalNoReplication);
+        let none = tx(SchemeChoice::NoRefresh);
+
+        assert!(
+            epidemic > 2.0 * hier,
+            "{preset}: epidemic tx {epidemic} not ≫ hier {hier}"
+        );
+        assert!(hier > no_repl, "{preset}: replication adds transmissions");
+        assert_eq!(none, 0.0);
+    }
+}
+
+#[test]
+fn requirement_satisfaction_ordering_holds() {
+    let preset = TracePreset::InfocomLike;
+    let sat = |c| mean_over_seeds(preset, c, |r| r.requirement_satisfaction);
+    assert!(sat(SchemeChoice::Hierarchical) > sat(SchemeChoice::SourceOnly));
+    assert!(sat(SchemeChoice::SourceOnly) > sat(SchemeChoice::NoRefresh));
+}
+
+#[test]
+fn refresh_delays_reflect_scheme_quality() {
+    let preset = TracePreset::InfocomLike;
+    let seeds = [5u64, 17, 29];
+    let sim = FreshnessSimulator::new(config_for(preset));
+    let mut hier_mean = 0.0;
+    let mut random_mean = 0.0;
+    for &s in &seeds {
+        let factory = RngFactory::new(s);
+        let trace = preset.generate(&factory);
+        let hier = sim.run(&trace, SchemeChoice::Hierarchical, &factory);
+        let random = sim.run(&trace, SchemeChoice::RandomTree, &factory);
+        hier_mean += hier.refresh_delays.mean().unwrap_or(f64::INFINITY);
+        random_mean += random.refresh_delays.mean().unwrap_or(f64::INFINITY);
+    }
+    assert!(
+        hier_mean < random_mean,
+        "contact-aware tree should refresh faster: {hier_mean} vs {random_mean}"
+    );
+}
