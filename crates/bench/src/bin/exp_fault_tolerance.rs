@@ -1,0 +1,5 @@
+//! Binary wrapper for experiment `e13_fault_tolerance`.
+
+fn main() {
+    omn_bench::experiments::e13_fault_tolerance::run();
+}

@@ -1,4 +1,4 @@
-//! Runs the complete reconstructed evaluation (E1-E12) in order.
+//! Runs the complete reconstructed evaluation (E1-E13) in order.
 
 fn main() {
     use omn_bench::experiments as e;
@@ -14,4 +14,5 @@ fn main() {
     e::e10_routing_baselines::run();
     e::e11_robustness::run();
     e::e12_load_distribution::run();
+    e::e13_fault_tolerance::run();
 }

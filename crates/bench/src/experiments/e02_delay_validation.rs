@@ -55,12 +55,8 @@ pub fn run() {
     for k in 1..=12 {
         let t_h = k as f64; // 1..12 hours
         let t = t_h * 3600.0;
-        let analytic = summary
-            .nodes
-            .iter()
-            .map(|p| p.delay.cdf(t))
-            .sum::<f64>()
-            / summary.nodes.len() as f64;
+        let analytic =
+            summary.nodes.iter().map(|p| p.delay.cdf(t)).sum::<f64>() / summary.nodes.len() as f64;
         cdf_table.row([
             format!("{t_h:.0}"),
             format!("{:.3}", sim_cdf.eval(t)),

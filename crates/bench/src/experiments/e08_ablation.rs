@@ -7,8 +7,8 @@
 
 use omn_contacts::estimate::EstimatorKind;
 use omn_contacts::synth::presets::TracePreset;
-use omn_core::scheme::{HierarchicalConfig, HierarchicalScheme, PlanningMode};
 use omn_core::hierarchy::HierarchyStrategy;
+use omn_core::scheme::{HierarchicalConfig, HierarchicalScheme, PlanningMode};
 use omn_core::sim::{FreshnessConfig, FreshnessSimulator, SchemeChoice};
 use omn_sim::{RngFactory, SimDuration};
 
@@ -92,10 +92,7 @@ fn maintenance_ablation(preset: TracePreset) {
     let mut table = Table::new(["variant", "mean freshness", "satisfaction"]);
 
     let variants: [(&str, HierarchicalConfig); 4] = [
-        (
-            "oracle, build once",
-            HierarchicalConfig::default(),
-        ),
+        ("oracle, build once", HierarchicalConfig::default()),
         (
             "estimated, build once",
             HierarchicalConfig {
@@ -124,7 +121,9 @@ fn maintenance_ablation(preset: TracePreset) {
 
     for (name, mut hconfig) in variants {
         let base = config_for(preset);
-        hconfig.strategy = HierarchyStrategy::GreedySed { fanout: base.fanout };
+        hconfig.strategy = HierarchyStrategy::GreedySed {
+            fanout: base.fanout,
+        };
         hconfig.replication = Some(base.requirement);
         hconfig.max_relays = base.max_relays;
         let config = FreshnessConfig {

@@ -3,7 +3,7 @@
 //! layer decides whether those answers are *valid* (fresh).
 
 use omn_caching::query::QueryWorkload;
-use omn_caching::{Catalog, CachingConfig, CachingSimulator};
+use omn_caching::{CachingConfig, CachingSimulator, Catalog};
 use omn_contacts::synth::presets::TracePreset;
 use omn_core::sim::{FreshnessConfig, FreshnessReport, FreshnessSimulator, SchemeChoice};
 use omn_sim::{RngFactory, SimDuration};
@@ -61,10 +61,20 @@ pub fn run() {
             );
             if !reports.is_empty() {
                 let n = reports.len() as f64;
-                per_scheme_fresh[si]
-                    .push(reports.iter().map(FreshnessReport::fresh_access_ratio).sum::<f64>() / n);
-                per_scheme_service[si]
-                    .push(reports.iter().map(FreshnessReport::service_ratio).sum::<f64>() / n);
+                per_scheme_fresh[si].push(
+                    reports
+                        .iter()
+                        .map(FreshnessReport::fresh_access_ratio)
+                        .sum::<f64>()
+                        / n,
+                );
+                per_scheme_service[si].push(
+                    reports
+                        .iter()
+                        .map(FreshnessReport::service_ratio)
+                        .sum::<f64>()
+                        / n,
+                );
             }
         }
     }

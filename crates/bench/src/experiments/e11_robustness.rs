@@ -3,20 +3,27 @@
 //!
 //! At the half-way point of the trace, a fraction of nodes departs
 //! permanently — including, possibly, caching nodes and planned relays.
-//! A statically planned hierarchy keeps refreshing through edges whose
-//! endpoints are gone; the distributed-maintenance variant (periodic
-//! rebuilds from online estimates + re-parenting) adapts around them.
+//! Departures are injected through the fault layer
+//! ([`omn_contacts::faults::FaultPlan`]): contacts involving a departed
+//! node are suppressed, so no trace rewriting is needed and the departed
+//! count is rounded over the eligible pool (all nodes minus the exempt
+//! source). A statically planned hierarchy keeps refreshing through edges
+//! whose endpoints are gone; the distributed-maintenance variant (periodic
+//! rebuilds from online estimates + re-parenting) adapts around them; the
+//! failure-aware variant additionally retries lost transfers and presumes
+//! silent tree neighbors down.
 
+use omn_contacts::faults::{DepartureConfig, FaultConfig};
 use omn_contacts::synth::presets::TracePreset;
 use omn_contacts::{ContactGraph, NodeId};
 use omn_core::hierarchy::{HierarchyStrategy, RefreshHierarchy};
 use omn_core::replication::ReplicationPlanner;
 use omn_core::scheme::{
     EpidemicRefresh, HierarchicalConfig, HierarchicalScheme, PlanningMode, RefreshScheme,
+    ResilienceConfig,
 };
 use omn_core::sim::FreshnessSimulator;
 use omn_sim::{RngFactory, SimDuration, SimTime};
-use rand::seq::SliceRandom;
 
 use crate::experiments::{config_for, trace_for};
 use crate::{banner, fmt_ci, window_mean, Table, SEEDS};
@@ -38,83 +45,95 @@ fn static_scheme(
         source,
         members,
         healthy,
-        HierarchyStrategy::GreedySed { fanout: base.fanout },
+        HierarchyStrategy::GreedySed {
+            fanout: base.fanout,
+        },
         &mut rng,
     );
     let plans = ReplicationPlanner::new(base.requirement, base.max_relays)
         .plan_hierarchy(&hierarchy, healthy);
     HierarchicalScheme::with_fixed_plan(
         HierarchicalConfig {
-            strategy: HierarchyStrategy::GreedySed { fanout: base.fanout },
+            strategy: HierarchyStrategy::GreedySed {
+                fanout: base.fanout,
+            },
             replication: Some(base.requirement),
             max_relays: base.max_relays,
             rebuild_every: None,
             reparent: false,
             planning: PlanningMode::Oracle,
+            resilience: None,
         },
         hierarchy,
         plans,
     )
 }
 
-fn maintained_scheme(base: &omn_core::sim::FreshnessConfig) -> HierarchicalScheme {
+fn maintained_scheme(
+    base: &omn_core::sim::FreshnessConfig,
+    resilience: Option<ResilienceConfig>,
+) -> HierarchicalScheme {
     HierarchicalScheme::new(HierarchicalConfig {
-        strategy: HierarchyStrategy::GreedySed { fanout: base.fanout },
+        strategy: HierarchyStrategy::GreedySed {
+            fanout: base.fanout,
+        },
         replication: Some(base.requirement),
         max_relays: base.max_relays,
         rebuild_every: Some(SimDuration::from_hours(12.0)),
         reparent: true,
         planning: PlanningMode::Estimated,
+        resilience,
     })
 }
 
 /// Runs E11 on the conference trace: post-failure freshness (second half
 /// of the trace) per departure fraction for the statically planned
-/// hierarchy, the maintained hierarchy, and epidemic refreshing.
+/// hierarchy, the maintained hierarchy, the failure-aware maintained
+/// hierarchy, and epidemic refreshing.
 pub fn run() {
     banner("E11", "robustness to node departures (extension)");
     let preset = TracePreset::InfocomLike;
-    println!("trace: {preset}; departures at half-span\n");
+    println!("trace: {preset}; departures at half-span (fault-injected)\n");
 
     let mut table = Table::new([
         "departed",
         "hier (static)",
         "hier (maintained)",
+        "hier (failure-aware)",
         "epidemic",
     ]);
 
     for &frac in &DEPART_FRACTIONS {
         let mut static_f = Vec::new();
         let mut maintained_f = Vec::new();
+        let mut resilient_f = Vec::new();
         let mut epidemic_f = Vec::new();
         for &seed in &SEEDS {
-            let base = config_for(preset);
-            let sim = FreshnessSimulator::new(base);
+            let mut base = config_for(preset);
             let factory = RngFactory::new(seed);
             let trace = trace_for(preset, seed);
             let half = SimTime::from_secs(trace.span().as_secs() / 2.0);
 
             // Roles come from the healthy network; departures may hit
-            // caching nodes and relays alike.
-            let (source, members) = sim.select_roles(&trace);
+            // caching nodes and relays alike (only the source is exempt).
+            let (source, members) = FreshnessSimulator::new(base).select_roles(&trace);
+            base.faults = Some(FaultConfig {
+                departures: Some(DepartureConfig {
+                    fraction: frac,
+                    at_frac: 0.5,
+                    exempt: Some(source),
+                }),
+                ..FaultConfig::default()
+            });
+            let sim = FreshnessSimulator::new(base);
             let healthy_graph = ContactGraph::from_trace(&trace);
-            let mut candidates: Vec<NodeId> =
-                trace.nodes().filter(|&n| n != source).collect();
-            let mut rng = factory.stream("departures");
-            candidates.shuffle(&mut rng);
-            let departed: Vec<NodeId> = candidates
-                .into_iter()
-                .take((frac * trace.node_count() as f64) as usize)
-                .collect();
-            let failed = trace.with_departures(&departed, half);
 
             let post = |scheme: &mut dyn RefreshScheme| {
-                let report =
-                    sim.run_with_roles(&failed, source, &members, scheme, &factory);
+                let report = sim.run_with_roles(&trace, source, &members, scheme, &factory);
                 window_mean(
                     &report.freshness_timeline,
                     half.as_secs(),
-                    failed.span().as_secs(),
+                    trace.span().as_secs(),
                 )
             };
 
@@ -125,13 +144,18 @@ pub fn run() {
                 &members,
                 seed,
             )));
-            maintained_f.push(post(&mut maintained_scheme(&base)));
+            maintained_f.push(post(&mut maintained_scheme(&base, None)));
+            resilient_f.push(post(&mut maintained_scheme(
+                &base,
+                Some(ResilienceConfig::default()),
+            )));
             epidemic_f.push(post(&mut EpidemicRefresh::new()));
         }
         table.row([
             format!("{:.0}%", frac * 100.0),
             fmt_ci(&static_f, 3),
             fmt_ci(&maintained_f, 3),
+            fmt_ci(&resilient_f, 3),
             fmt_ci(&epidemic_f, 3),
         ]);
     }
@@ -143,6 +167,8 @@ pub fn run() {
          wins because online maintenance pays estimation noise, but from \
          ~20% departures the maintained hierarchy overtakes it — the static \
          plan's tree edges and relay sets keep pointing at dead nodes, \
-         while rebuilds route around them)"
+         while rebuilds route around them. The failure-aware variant \
+         additionally suspects silent neighbors and re-parents their \
+         orphans, buying a further margin at high departure fractions)"
     );
 }

@@ -14,6 +14,7 @@
 //! | E10 | [`e10_routing_baselines`] | routing substrate sanity |
 //! | E11 | [`e11_robustness`] | node-departure robustness (extension) |
 //! | E12 | [`e12_load_distribution`] | refresh-load distribution |
+//! | E13 | [`e13_fault_tolerance`] | loss + churn fault tolerance (extension) |
 
 pub mod e01_trace_stats;
 pub mod e02_delay_validation;
@@ -27,6 +28,7 @@ pub mod e09_data_access;
 pub mod e10_routing_baselines;
 pub mod e11_robustness;
 pub mod e12_load_distribution;
+pub mod e13_fault_tolerance;
 
 use omn_contacts::synth::presets::TracePreset;
 use omn_contacts::ContactTrace;

@@ -241,14 +241,24 @@ mod tests {
             .span(SimTime::from_secs(100.0))
             .build()
             .unwrap();
-        let c = Catalog::uniform(&trace, 12, SimDuration::from_secs(60.0), &RngFactory::new(1));
+        let c = Catalog::uniform(
+            &trace,
+            12,
+            SimDuration::from_secs(60.0),
+            &RngFactory::new(1),
+        );
         assert_eq!(c.len(), 12);
         for d in c.items() {
             assert!(d.source().index() < 7);
             assert_eq!(d.lifetime(), SimDuration::from_secs(120.0));
         }
         // Deterministic.
-        let c2 = Catalog::uniform(&trace, 12, SimDuration::from_secs(60.0), &RngFactory::new(1));
+        let c2 = Catalog::uniform(
+            &trace,
+            12,
+            SimDuration::from_secs(60.0),
+            &RngFactory::new(1),
+        );
         assert_eq!(c, c2);
     }
 

@@ -175,8 +175,8 @@ mod tests {
     #[test]
     fn works_with_contact_probability_metric() {
         let g = two_communities();
-        let config = NclConfig::new(3)
-            .metric(Centrality::ContactProbability(SimDuration::from_secs(2.0)));
+        let config =
+            NclConfig::new(3).metric(Centrality::ContactProbability(SimDuration::from_secs(2.0)));
         assert_eq!(select_ncls(&g, &config).len(), 3);
     }
 }

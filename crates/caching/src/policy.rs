@@ -47,9 +47,7 @@ impl CachePolicy for Lru {
         candidates
             .iter()
             .enumerate()
-            .min_by(|(_, a), (_, b)| {
-                (a.last_access, a.item).cmp(&(b.last_access, b.item))
-            })
+            .min_by(|(_, a), (_, b)| (a.last_access, a.item).cmp(&(b.last_access, b.item)))
             .map(|(i, _)| i)
             .expect("non-empty candidates")
     }
@@ -100,11 +98,7 @@ impl CachePolicy for Utility {
         candidates
             .iter()
             .enumerate()
-            .min_by(|(_, a), (_, b)| {
-                utility(a)
-                    .total_cmp(&utility(b))
-                    .then(a.item.cmp(&b.item))
-            })
+            .min_by(|(_, a), (_, b)| utility(a).total_cmp(&utility(b)).then(a.item.cmp(&b.item)))
             .map(|(i, _)| i)
             .expect("non-empty candidates")
     }

@@ -27,9 +27,8 @@ impl QueryWorkload {
     /// Builds a workload from raw queries (sorted internally).
     #[must_use]
     pub fn new(mut queries: Vec<Query>) -> QueryWorkload {
-        queries.sort_by(|a, b| {
-            (a.issued, a.requester, a.item).cmp(&(b.issued, b.requester, b.item))
-        });
+        queries
+            .sort_by(|a, b| (a.issued, a.requester, a.item).cmp(&(b.issued, b.requester, b.item)));
         QueryWorkload { queries }
     }
 

@@ -210,16 +210,17 @@ impl CachingSimulator {
 
         // Answer helper: does `node` hold an answer for `item` at `now`?
         // The source always can.
-        let holds = |stores: &[CacheStore], node: NodeId, item: DataItemId, now: SimTime| -> Option<u64> {
-            let meta = catalog.item(item);
-            if node == meta.source() {
-                return Some(0);
-            }
-            stores[node.index()]
-                .peek(item)
-                .filter(|e| now.saturating_since(e.fetched_at) <= meta.lifetime())
-                .map(|e| e.version)
-        };
+        let holds =
+            |stores: &[CacheStore], node: NodeId, item: DataItemId, now: SimTime| -> Option<u64> {
+                let meta = catalog.item(item);
+                if node == meta.source() {
+                    return Some(0);
+                }
+                stores[node.index()]
+                    .peek(item)
+                    .filter(|e| now.saturating_since(e.fetched_at) <= meta.lifetime())
+                    .map(|e| e.version)
+            };
 
         for contact in trace.contacts() {
             let now = contact.start();
@@ -390,15 +391,18 @@ mod tests {
     fn local_hit_at_source() {
         // The source queries its own item: instant hit, no contacts needed
         // beyond one to drive the loop.
-        let trace = TraceBuilder::new(3).contact(c(1, 2, 10.0, 11.0)).build().unwrap();
+        let trace = TraceBuilder::new(3)
+            .contact(c(1, 2, 10.0, 11.0))
+            .build()
+            .unwrap();
         let catalog = one_item_catalog(0);
         let queries = QueryWorkload::new(vec![Query {
             issued: t(5.0),
             requester: NodeId(0),
             item: DataItemId(0),
         }]);
-        let report = CachingSimulator::new(CachingConfig::default())
-            .run(&trace, &catalog, &queries);
+        let report =
+            CachingSimulator::new(CachingConfig::default()).run(&trace, &catalog, &queries);
         assert_eq!(report.satisfied, 1);
         assert_eq!(report.local_hits, 1);
         assert_eq!(report.mean_delay(), Some(0.0));
@@ -419,8 +423,8 @@ mod tests {
             requester: NodeId(1),
             item: DataItemId(0),
         }]);
-        let report = CachingSimulator::new(CachingConfig::default())
-            .run(&trace, &catalog, &queries);
+        let report =
+            CachingSimulator::new(CachingConfig::default()).run(&trace, &catalog, &queries);
         // At t=10 the query (carried by 1) meets source 0, which answers
         // and returns the response within the same contact → delay 5.
         assert_eq!(report.satisfied, 1);
@@ -452,7 +456,10 @@ mod tests {
             item: DataItemId(0),
         }]);
         let report = CachingSimulator::new(config).run(&trace, &catalog, &queries);
-        assert_eq!(report.satisfied, 1, "query should be answered by cached copy");
+        assert_eq!(
+            report.satisfied, 1,
+            "query should be answered by cached copy"
+        );
         // Node 1 (the NCL or an opportunistic cacher) holds the item.
         assert!(report.cachers_per_item[0].len() >= 2);
     }
@@ -487,8 +494,8 @@ mod tests {
         );
         let catalog = Catalog::uniform(&trace, 8, SimDuration::from_hours(8.0), &factory);
         let queries = QueryWorkload::zipf(&trace, &catalog, 300, 1.0, &factory);
-        let report = CachingSimulator::new(CachingConfig::default())
-            .run(&trace, &catalog, &queries);
+        let report =
+            CachingSimulator::new(CachingConfig::default()).run(&trace, &catalog, &queries);
         assert!(report.created == 300);
         assert!(
             report.success_ratio() > 0.3,

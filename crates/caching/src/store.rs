@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use omn_sim::{SimTime, SimDuration};
+use omn_sim::{SimDuration, SimTime};
 
 use crate::item::{DataItem, DataItemId};
 use crate::policy::{CachePolicy, VictimCandidate};
@@ -167,7 +167,7 @@ impl CacheStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::{Lru, Lfu};
+    use crate::policy::{Lfu, Lru};
     use omn_contacts::NodeId;
 
     fn t(s: f64) -> SimTime {

@@ -75,7 +75,12 @@ impl Contact {
     ///
     /// Returns [`ContactError::SelfContact`] if `x == y` and
     /// [`ContactError::EmptyInterval`] if `end <= start`.
-    pub fn new(x: NodeId, y: NodeId, start: SimTime, end: SimTime) -> Result<Contact, ContactError> {
+    pub fn new(
+        x: NodeId,
+        y: NodeId,
+        start: SimTime,
+        end: SimTime,
+    ) -> Result<Contact, ContactError> {
         if x == y {
             return Err(ContactError::SelfContact);
         }

@@ -153,7 +153,6 @@ impl SlidingWindowRate {
             total: 0,
         }
     }
-
 }
 
 impl RateEstimator for SlidingWindowRate {
@@ -396,8 +395,10 @@ mod tests {
 
     #[test]
     fn table_with_window_kind() {
-        let mut table =
-            PairRateTable::new(EstimatorKind::Window(SimDuration::from_secs(10.0)), SimTime::ZERO);
+        let mut table = PairRateTable::new(
+            EstimatorKind::Window(SimDuration::from_secs(10.0)),
+            SimTime::ZERO,
+        );
         table.record_contact(NodeId(0), NodeId(1), t(1.0));
         assert!(table.rate(NodeId(0), NodeId(1), t(5.0)) > 0.0);
         assert_eq!(table.rate(NodeId(0), NodeId(1), t(50.0)), 0.0);

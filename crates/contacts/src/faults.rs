@@ -1,0 +1,413 @@
+//! Deterministic fault injection for contact-driven simulations.
+//!
+//! A [`FaultPlan`] precomputes every fault a simulation run will experience
+//! from a [`FaultConfig`] and an [`RngFactory`], so that runs are fully
+//! reproducible: the same seed, trace, and config always yield the same
+//! blocked contacts, downtime windows, departures, and transmission-loss
+//! draws. Each fault kind draws from its own named stream, so enabling one
+//! kind never perturbs another — and a plan whose probabilities are all zero
+//! consumes no randomness at all, leaving fault-free runs bit-identical to
+//! runs without a plan.
+//!
+//! Fault kinds (all independent, all optional):
+//!
+//! * **Transmission loss** — each attempted data transfer fails i.i.d. with
+//!   probability [`FaultConfig::transmission_loss`].
+//! * **Contact truncation** — each contact is rendered useless for data
+//!   transfer (but still observed by rate estimators, as a radio sighting
+//!   would be) with probability [`FaultConfig::contact_failure`].
+//! * **Transient downtime (churn)** — a fraction of nodes alternate between
+//!   exponentially distributed up and down periods; contacts involving a
+//!   down node are suppressed entirely.
+//! * **Permanent departures** — a fraction of nodes leave at a fixed point
+//!   in the trace and never return. This subsumes
+//!   [`ContactTrace::with_departures`](crate::ContactTrace::with_departures)
+//!   without rewriting the trace: the plan reports the departed set and
+//!   models departure as a downtime window that never ends.
+//! * **Estimator lag** — rate-estimator observations are delayed by a fixed
+//!   lag, modelling stale control-plane state.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use omn_sim::{RngFactory, SimDuration, SimTime};
+
+use crate::{ContactTrace, NodeId};
+
+/// Transient node downtime (churn): nodes go down and come back.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DowntimeConfig {
+    /// Fraction of nodes (in `[0, 1]`) subject to churn.
+    pub node_fraction: f64,
+    /// Mean length of an up period (exponentially distributed).
+    pub mean_uptime: SimDuration,
+    /// Mean length of a down period (exponentially distributed).
+    pub mean_downtime: SimDuration,
+    /// A node exempt from churn (typically the data source).
+    pub exempt: Option<NodeId>,
+}
+
+/// Permanent node departures: nodes leave partway through and never return.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DepartureConfig {
+    /// Fraction of eligible nodes (in `[0, 1]`) that depart. The count is
+    /// `round(fraction * pool)` where the pool excludes [`Self::exempt`].
+    pub fraction: f64,
+    /// When the departure happens, as a fraction of the trace span in
+    /// `[0, 1]` (e.g. `0.5` = halfway through).
+    pub at_frac: f64,
+    /// A node exempt from departure (typically the data source).
+    pub exempt: Option<NodeId>,
+}
+
+/// Configuration for a [`FaultPlan`]. The default is fault-free.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Probability (in `[0, 1]`) that any single attempted data transfer
+    /// fails.
+    pub transmission_loss: f64,
+    /// Probability (in `[0, 1]`) that a contact carries no data at all,
+    /// while still being sighted by rate estimators.
+    pub contact_failure: f64,
+    /// Transient node downtime, or `None` for no churn.
+    pub downtime: Option<DowntimeConfig>,
+    /// Permanent departures, or `None` for none.
+    pub departures: Option<DepartureConfig>,
+    /// Delay before a contact observation reaches the rate estimators.
+    pub estimator_lag: SimDuration,
+}
+
+impl Default for FaultConfig {
+    fn default() -> FaultConfig {
+        FaultConfig {
+            transmission_loss: 0.0,
+            contact_failure: 0.0,
+            downtime: None,
+            departures: None,
+            estimator_lag: SimDuration::ZERO,
+        }
+    }
+}
+
+/// A fully materialized, reproducible fault schedule for one run over one
+/// trace. Built once with [`FaultPlan::build`]; queried by the simulator as
+/// the run unfolds.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    config: FaultConfig,
+    /// Per-contact truncation flags, indexed by position in
+    /// `trace.contacts()`.
+    blocked: Vec<bool>,
+    /// Per-node sorted `[from, to)` downtime windows. Departures appear as a
+    /// final window ending at `SimTime::from_secs(f64::MAX)`.
+    down_windows: Vec<Vec<(SimTime, SimTime)>>,
+    /// Nodes that permanently depart, sorted.
+    departed: Vec<NodeId>,
+    /// Stream for per-transfer loss draws. Untouched when
+    /// `transmission_loss` is zero.
+    tx_rng: StdRng,
+}
+
+/// Samples an exponential with the given mean (seconds) via inversion.
+fn exp_secs(rng: &mut StdRng, mean: f64) -> f64 {
+    // gen::<f64>() is in [0, 1), so 1 - u is in (0, 1] and ln is finite.
+    -(1.0 - rng.gen::<f64>()).ln() * mean
+}
+
+fn assert_probability(value: f64, what: &str) {
+    assert!(
+        (0.0..=1.0).contains(&value),
+        "FaultPlan: {what} must be in [0, 1], got {value}"
+    );
+}
+
+impl FaultPlan {
+    /// Materializes a fault schedule for `trace` from `config`.
+    ///
+    /// Draws from the factory streams `"fault-contacts"`,
+    /// `"fault-downtime"` (indexed per node), `"fault-departures"`, and
+    /// `"fault-transmissions"` — never from streams the simulator itself
+    /// uses, so adding a plan cannot perturb protocol or workload
+    /// randomness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability or fraction lies outside `[0, 1]`, or if a
+    /// downtime config has a non-positive mean up/down period.
+    #[must_use]
+    pub fn build(config: FaultConfig, trace: &ContactTrace, factory: &RngFactory) -> FaultPlan {
+        assert_probability(config.transmission_loss, "transmission_loss");
+        assert_probability(config.contact_failure, "contact_failure");
+        let span = trace.span();
+
+        let blocked = if config.contact_failure > 0.0 {
+            let mut rng = factory.stream("fault-contacts");
+            trace
+                .contacts()
+                .iter()
+                .map(|_| rng.gen_bool(config.contact_failure))
+                .collect()
+        } else {
+            vec![false; trace.len()]
+        };
+
+        let mut down_windows: Vec<Vec<(SimTime, SimTime)>> = vec![Vec::new(); trace.node_count()];
+        if let Some(dt) = config.downtime {
+            assert_probability(dt.node_fraction, "downtime.node_fraction");
+            assert!(
+                dt.mean_uptime.as_secs() > 0.0 && dt.mean_downtime.as_secs() > 0.0,
+                "FaultPlan: downtime mean up/down periods must be positive"
+            );
+            for node in trace.nodes() {
+                if Some(node) == dt.exempt {
+                    continue;
+                }
+                let mut rng = factory.stream_indexed("fault-downtime", u64::from(node.0));
+                if !rng.gen_bool(dt.node_fraction) {
+                    continue;
+                }
+                let mut t = exp_secs(&mut rng, dt.mean_uptime.as_secs());
+                while t < span.as_secs() {
+                    let down = exp_secs(&mut rng, dt.mean_downtime.as_secs());
+                    down_windows[node.index()]
+                        .push((SimTime::from_secs(t), SimTime::from_secs(t + down)));
+                    t += down + exp_secs(&mut rng, dt.mean_uptime.as_secs());
+                }
+            }
+        }
+
+        let mut departed: Vec<NodeId> = Vec::new();
+        if let Some(dep) = config.departures {
+            assert_probability(dep.fraction, "departures.fraction");
+            assert_probability(dep.at_frac, "departures.at_frac");
+            let mut pool: Vec<NodeId> = trace.nodes().filter(|&n| Some(n) != dep.exempt).collect();
+            let mut rng = factory.stream("fault-departures");
+            pool.shuffle(&mut rng);
+            // Round over the eligible pool, not floor over the raw node
+            // count: a 10% sweep over 41 candidates should drop 4 nodes,
+            // not silently compute against a base that includes the exempt
+            // source.
+            let count = (dep.fraction * pool.len() as f64).round() as usize;
+            let at = SimTime::from_secs(span.as_secs() * dep.at_frac);
+            departed = pool.into_iter().take(count).collect();
+            departed.sort_unstable();
+            for &n in &departed {
+                down_windows[n.index()].push((at, SimTime::from_secs(f64::MAX)));
+            }
+        }
+        for windows in &mut down_windows {
+            windows.sort_unstable();
+        }
+
+        FaultPlan {
+            config,
+            blocked,
+            down_windows,
+            departed,
+            tx_rng: factory.stream("fault-transmissions"),
+        }
+    }
+
+    /// The configuration this plan was built from.
+    #[must_use]
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// True when no fault in this plan can ever fire.
+    #[must_use]
+    pub fn is_inert(&self) -> bool {
+        self.config.transmission_loss == 0.0
+            && self.blocked.iter().all(|&b| !b)
+            && self.down_windows.iter().all(Vec::is_empty)
+            && self.config.estimator_lag.is_zero()
+    }
+
+    /// Whether the `index`-th contact of the trace is truncated (carries no
+    /// data). Out-of-range indices are never blocked.
+    #[must_use]
+    pub fn contact_blocked(&self, index: usize) -> bool {
+        self.blocked.get(index).copied().unwrap_or(false)
+    }
+
+    /// Whether `node` is down (churned out or departed) at instant `at`.
+    #[must_use]
+    pub fn node_down(&self, node: NodeId, at: SimTime) -> bool {
+        self.down_windows
+            .get(node.index())
+            .is_some_and(|ws| ws.iter().any(|&(from, to)| from <= at && at < to))
+    }
+
+    /// The sorted `[from, to)` downtime windows of `node`. Departure shows
+    /// up as a window ending at `SimTime::from_secs(f64::MAX)`.
+    #[must_use]
+    pub fn down_windows_of(&self, node: NodeId) -> &[(SimTime, SimTime)] {
+        self.down_windows
+            .get(node.index())
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// The nodes that permanently depart, sorted by id.
+    #[must_use]
+    pub fn departed(&self) -> &[NodeId] {
+        &self.departed
+    }
+
+    /// All rejoin instants within `span`, sorted: one `(time, node)` entry
+    /// per downtime window that ends before the end of the trace. Departed
+    /// nodes never rejoin.
+    #[must_use]
+    pub fn rejoin_events(&self, span: SimTime) -> Vec<(SimTime, NodeId)> {
+        let mut events: Vec<(SimTime, NodeId)> = Vec::new();
+        for (i, windows) in self.down_windows.iter().enumerate() {
+            for &(_, to) in windows {
+                if to < span {
+                    events.push((to, NodeId(i as u32)));
+                }
+            }
+        }
+        events.sort_unstable();
+        events
+    }
+
+    /// The configured estimator observation lag.
+    #[must_use]
+    pub fn estimator_lag(&self) -> SimDuration {
+        self.config.estimator_lag
+    }
+
+    /// Draws whether the next attempted data transfer fails. Consumes no
+    /// randomness when the configured loss probability is zero, so inert
+    /// plans stay bit-identical to no plan at all.
+    pub fn transfer_fails(&mut self) -> bool {
+        self.config.transmission_loss > 0.0 && self.tx_rng.gen_bool(self.config.transmission_loss)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate_pairwise, PairwiseConfig};
+
+    fn trace(seed: u64) -> ContactTrace {
+        let config = PairwiseConfig::new(12, SimDuration::from_days(2.0));
+        generate_pairwise(&config, &RngFactory::new(seed))
+    }
+
+    #[test]
+    fn default_config_is_inert() {
+        let t = trace(1);
+        let mut plan = FaultPlan::build(FaultConfig::default(), &t, &RngFactory::new(1));
+        assert!(plan.is_inert());
+        assert!((0..t.len()).all(|i| !plan.contact_blocked(i)));
+        assert!(plan.departed().is_empty());
+        assert!((0..32).all(|_| !plan.transfer_fails()));
+        for n in t.nodes() {
+            assert!(!plan.node_down(n, SimTime::from_hours(10.0)));
+        }
+    }
+
+    #[test]
+    fn departure_count_rounds_over_the_eligible_pool() {
+        let t = trace(2);
+        let exempt = NodeId(0);
+        // 12 nodes, 1 exempt → pool of 11; 30% of 11 = 3.3 → 3 departures,
+        // where a floor over the full node count would give 3 as well but a
+        // floor after excluding the source from a 41-node pool historically
+        // drifted. Check the exact rounding contract instead.
+        let config = FaultConfig {
+            departures: Some(DepartureConfig {
+                fraction: 0.3,
+                at_frac: 0.5,
+                exempt: Some(exempt),
+            }),
+            ..FaultConfig::default()
+        };
+        let plan = FaultPlan::build(config, &t, &RngFactory::new(2));
+        assert_eq!(plan.departed().len(), (0.3f64 * 11.0).round() as usize);
+        assert!(!plan.departed().contains(&exempt));
+        // Departed nodes are down from the departure instant to forever.
+        let at = SimTime::from_secs(t.span().as_secs() * 0.5);
+        for &n in plan.departed() {
+            assert!(!plan.node_down(n, SimTime::ZERO));
+            assert!(plan.node_down(n, at));
+            assert!(plan.node_down(n, t.span()));
+        }
+        // And they never rejoin.
+        assert!(plan
+            .rejoin_events(t.span())
+            .iter()
+            .all(|&(_, n)| !plan.departed().contains(&n)));
+    }
+
+    #[test]
+    fn downtime_windows_are_sorted_and_disjoint() {
+        let t = trace(3);
+        let config = FaultConfig {
+            downtime: Some(DowntimeConfig {
+                node_fraction: 1.0,
+                mean_uptime: SimDuration::from_hours(6.0),
+                mean_downtime: SimDuration::from_hours(3.0),
+                exempt: Some(NodeId(0)),
+            }),
+            ..FaultConfig::default()
+        };
+        let plan = FaultPlan::build(config, &t, &RngFactory::new(3));
+        assert!(plan.down_windows_of(NodeId(0)).is_empty());
+        let mut any = false;
+        for n in t.nodes() {
+            let ws = plan.down_windows_of(n);
+            any |= !ws.is_empty();
+            for w in ws {
+                assert!(w.0 < w.1);
+            }
+            for pair in ws.windows(2) {
+                assert!(pair[0].1 <= pair[1].0, "overlapping windows for {n:?}");
+            }
+        }
+        assert!(any, "full-fraction churn produced no downtime at all");
+        // Every window that closes inside the trace is a rejoin event.
+        let rejoins = plan.rejoin_events(t.span());
+        assert!(rejoins.windows(2).all(|p| p[0] <= p[1]));
+    }
+
+    #[test]
+    fn plans_are_reproducible() {
+        let t = trace(4);
+        let config = FaultConfig {
+            transmission_loss: 0.35,
+            contact_failure: 0.2,
+            downtime: Some(DowntimeConfig {
+                node_fraction: 0.5,
+                mean_uptime: SimDuration::from_hours(8.0),
+                mean_downtime: SimDuration::from_hours(2.0),
+                exempt: None,
+            }),
+            departures: Some(DepartureConfig {
+                fraction: 0.25,
+                at_frac: 0.6,
+                exempt: None,
+            }),
+            estimator_lag: SimDuration::from_mins(30.0),
+        };
+        let factory = RngFactory::new(4);
+        let mut p1 = FaultPlan::build(config, &t, &factory);
+        let mut p2 = FaultPlan::build(config, &t, &factory);
+        assert_eq!(p1.departed(), p2.departed());
+        for i in 0..t.len() {
+            assert_eq!(p1.contact_blocked(i), p2.contact_blocked(i));
+        }
+        for n in t.nodes() {
+            assert_eq!(p1.down_windows_of(n), p2.down_windows_of(n));
+        }
+        let a: Vec<bool> = (0..128).map(|_| p1.transfer_fails()).collect();
+        let b: Vec<bool> = (0..128).map(|_| p2.transfer_fails()).collect();
+        assert_eq!(a, b);
+        assert!(
+            a.iter().any(|&x| x),
+            "35% loss drew no failures in 128 tries"
+        );
+        assert!(a.iter().any(|&x| !x), "35% loss failed every transfer");
+    }
+}

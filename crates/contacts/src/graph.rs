@@ -264,9 +264,7 @@ impl ContactGraph {
                 .map(|i| {
                     (0..self.n)
                         .filter(|&j| j != i)
-                        .map(|j| {
-                            self.contact_probability(NodeId(i as u32), NodeId(j as u32), tau)
-                        })
+                        .map(|j| self.contact_probability(NodeId(i as u32), NodeId(j as u32), tau))
                         .sum()
                 })
                 .collect(),

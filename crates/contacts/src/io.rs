@@ -212,10 +212,7 @@ pub fn read_one_report<R: BufRead>(r: R) -> Result<ContactTrace, TraceIoError> {
         }
         let fields: Vec<&str> = line.split_whitespace().collect();
         if fields.len() != 5 || fields[1] != "CONN" {
-            return Err(parse_err(
-                line_no,
-                "expected `<time> CONN <a> <b> up|down`",
-            ));
+            return Err(parse_err(line_no, "expected `<time> CONN <a> <b> up|down`"));
         }
         let time_secs: f64 = fields[0]
             .parse()
@@ -255,7 +252,10 @@ pub fn read_one_report<R: BufRead>(r: R) -> Result<ContactTrace, TraceIoError> {
                 }
             }
             other => {
-                return Err(parse_err(line_no, &format!("expected up|down, got `{other}`")));
+                return Err(parse_err(
+                    line_no,
+                    &format!("expected up|down, got `{other}`"),
+                ));
             }
         }
     }
@@ -264,8 +264,7 @@ pub fn read_one_report<R: BufRead>(r: R) -> Result<ContactTrace, TraceIoError> {
     for ((a, b), start) in open {
         if last_time > start {
             contacts.push(
-                Contact::new(NodeId(a), NodeId(b), start, last_time)
-                    .expect("validated interval"),
+                Contact::new(NodeId(a), NodeId(b), start, last_time).expect("validated interval"),
             );
         }
     }

@@ -18,6 +18,10 @@
 //! * [`estimate`] — online pairwise contact-rate estimators (cumulative MLE,
 //!   EWMA, sliding window) that protocol nodes maintain from observed
 //!   contacts.
+//! * [`faults`] — deterministic fault injection ([`faults::FaultPlan`]):
+//!   transmission loss, contact truncation, node churn with rejoin,
+//!   permanent departures, and lagged estimator observations, all seeded
+//!   from dedicated [`RngFactory`](omn_sim::RngFactory) streams.
 //! * [`synth`] — synthetic mobility generators (heterogeneous pairwise
 //!   Poisson, community-structured, grid-cell random walk, diurnal
 //!   modulation) with presets calibrated to the published statistics of the
@@ -44,6 +48,7 @@
 
 mod contact;
 pub mod estimate;
+pub mod faults;
 mod graph;
 pub mod io;
 mod stats;

@@ -183,10 +183,10 @@ pub fn generate_cell_mobility(config: &CellMobilityConfig, factory: &RngFactory)
 
     let mut contacts: Vec<Contact> = Vec::new();
     let close = |open: &mut HashMap<(usize, usize), f64>,
-                     a: usize,
-                     b: usize,
-                     now: f64,
-                     contacts: &mut Vec<Contact>| {
+                 a: usize,
+                 b: usize,
+                 now: f64,
+                 contacts: &mut Vec<Contact>| {
         let key = if a < b { (a, b) } else { (b, a) };
         if let Some(start) = open.remove(&key) {
             if now > start {
@@ -224,7 +224,11 @@ pub fn generate_cell_mobility(config: &CellMobilityConfig, factory: &RngFactory)
         }
         // Open contacts with occupants of the new cell.
         for &other in &occupants[to] {
-            let key = if node < other { (node, other) } else { (other, node) };
+            let key = if node < other {
+                (node, other)
+            } else {
+                (other, node)
+            };
             open.entry(key).or_insert(now);
         }
         occupants[to].push(node);

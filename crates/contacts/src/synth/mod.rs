@@ -86,7 +86,10 @@ impl PairwiseConfig {
     /// Sets the Gamma shape of the rate distribution.
     #[must_use]
     pub fn rate_shape(mut self, shape: f64) -> PairwiseConfig {
-        assert!(shape > 0.0 && shape.is_finite(), "rate_shape must be positive");
+        assert!(
+            shape > 0.0 && shape.is_finite(),
+            "rate_shape must be positive"
+        );
         self.rate_shape = shape;
         self
     }
@@ -222,7 +225,9 @@ mod tests {
         // High-rate single config: check total contacts ≈ pairs*rate*span.
         let span = SimDuration::from_days(5.0);
         let rate = 1.0 / 3600.0;
-        let cfg = PairwiseConfig::new(12, span).mean_rate(rate).rate_shape(4.0);
+        let cfg = PairwiseConfig::new(12, span)
+            .mean_rate(rate)
+            .rate_shape(4.0);
         let trace = generate_pairwise(&cfg, &RngFactory::new(42));
         let pairs = 12.0 * 11.0 / 2.0;
         let expected = pairs * rate * span.as_secs();
@@ -245,12 +250,7 @@ mod tests {
         }
         for contacts in per_pair.values() {
             for w in contacts.windows(2) {
-                assert!(
-                    w[0].end() <= w[1].start(),
-                    "overlap: {} vs {}",
-                    w[0],
-                    w[1]
-                );
+                assert!(w[0].end() <= w[1].start(), "overlap: {} vs {}", w[0], w[1]);
             }
         }
     }
@@ -270,11 +270,15 @@ mod tests {
     fn heterogeneity_increases_with_small_shape() {
         let span = SimDuration::from_days(10.0);
         let skewed = generate_pairwise(
-            &PairwiseConfig::new(15, span).rate_shape(0.3).mean_rate(1.0 / 7200.0),
+            &PairwiseConfig::new(15, span)
+                .rate_shape(0.3)
+                .mean_rate(1.0 / 7200.0),
             &RngFactory::new(7),
         );
         let even = generate_pairwise(
-            &PairwiseConfig::new(15, span).rate_shape(20.0).mean_rate(1.0 / 7200.0),
+            &PairwiseConfig::new(15, span)
+                .rate_shape(20.0)
+                .mean_rate(1.0 / 7200.0),
             &RngFactory::new(7),
         );
         // With strong skew, fewer pairs account for the contacts.

@@ -160,9 +160,7 @@ mod tests {
         );
         // Denser than the campus trace by an order of magnitude.
         let campus = TraceStats::compute(&reality_like(&RngFactory::new(1)));
-        assert!(
-            stats.contacts_per_node_per_day > 5.0 * campus.contacts_per_node_per_day
-        );
+        assert!(stats.contacts_per_node_per_day > 5.0 * campus.contacts_per_node_per_day);
     }
 
     #[test]

@@ -152,7 +152,11 @@ pub fn generate_working_day(config: &WorkingDayConfig, factory: &RngFactory) -> 
     }
 
     // Co-location contacts: group visits per location, intersect pairwise.
-    visits.sort_by(|a, b| a.location.cmp(&b.location).then(a.start.total_cmp(&b.start)));
+    visits.sort_by(|a, b| {
+        a.location
+            .cmp(&b.location)
+            .then(a.start.total_cmp(&b.start))
+    });
 
     let mut contacts: Vec<Contact> = Vec::new();
     let mut i = 0;
@@ -203,7 +207,9 @@ mod tests {
 
     #[test]
     fn colleagues_meet_daily_strangers_rarely() {
-        let cfg = WorkingDayConfig::new(24, 5).offices(4).evening_probability(0.3);
+        let cfg = WorkingDayConfig::new(24, 5)
+            .offices(4)
+            .evening_probability(0.3);
         let trace = generate_working_day(&cfg, &RngFactory::new(1));
         // Two colleagues (same office): ~5 long contacts.
         let colleagues = trace.pair_contact_count(NodeId(0), NodeId(4));
@@ -262,7 +268,9 @@ mod tests {
 
     #[test]
     fn zero_evening_probability_isolates_offices() {
-        let cfg = WorkingDayConfig::new(12, 4).offices(3).evening_probability(0.0);
+        let cfg = WorkingDayConfig::new(12, 4)
+            .offices(3)
+            .evening_probability(0.0);
         let trace = generate_working_day(&cfg, &RngFactory::new(5));
         for c in trace.contacts() {
             assert_eq!(

@@ -95,9 +95,7 @@ pub fn reachability_within(
         .iter()
         .enumerate()
         .filter(|&(i, _)| i != source.index())
-        .filter(|(_, t)| {
-            t.is_some_and(|t| t.saturating_since(start).as_secs() <= deadline_secs)
-        })
+        .filter(|(_, t)| t.is_some_and(|t| t.saturating_since(start).as_secs() <= deadline_secs))
         .count();
     reached as f64 / others as f64
 }
@@ -163,7 +161,10 @@ mod tests {
 
     #[test]
     fn start_time_gates_contacts() {
-        let trace = TraceBuilder::new(2).contact(c(0, 1, 10.0, 11.0)).build().unwrap();
+        let trace = TraceBuilder::new(2)
+            .contact(c(0, 1, 10.0, 11.0))
+            .build()
+            .unwrap();
         // Data appears after the only contact ended: unreachable.
         let a = earliest_arrivals(&trace, NodeId(0), t(50.0));
         assert_eq!(a[1], None);

@@ -305,8 +305,7 @@ impl ContactTrace {
     /// meeting anyone.
     #[must_use]
     pub fn with_departures(&self, departed: &[NodeId], after: SimTime) -> ContactTrace {
-        let is_departed =
-            |n: NodeId| departed.contains(&n);
+        let is_departed = |n: NodeId| departed.contains(&n);
         let contacts: Vec<Contact> = self
             .contacts
             .iter()
@@ -334,10 +333,7 @@ impl ContactTrace {
     #[must_use]
     pub fn pair_contact_count(&self, x: NodeId, y: NodeId) -> usize {
         let (a, b) = if x < y { (x, y) } else { (y, x) };
-        self.contacts
-            .iter()
-            .filter(|c| c.pair() == (a, b))
-            .count()
+        self.contacts.iter().filter(|c| c.pair() == (a, b)).count()
     }
 }
 
@@ -388,7 +384,10 @@ mod tests {
 
     #[test]
     fn builder_rejects_zero_nodes() {
-        assert_eq!(TraceBuilder::new(0).build().unwrap_err(), TraceError::NoNodes);
+        assert_eq!(
+            TraceBuilder::new(0).build().unwrap_err(),
+            TraceError::NoNodes
+        );
     }
 
     #[test]
@@ -434,7 +433,10 @@ mod tests {
 
     #[test]
     fn scaling_scales_everything() {
-        let trace = TraceBuilder::new(2).contact(c(0, 1, 1.0, 2.0)).build().unwrap();
+        let trace = TraceBuilder::new(2)
+            .contact(c(0, 1, 1.0, 2.0))
+            .build()
+            .unwrap();
         let s = trace.scale_time(10.0);
         assert_eq!(s.contacts()[0].start(), t(10.0));
         assert_eq!(s.contacts()[0].end(), t(20.0));

@@ -170,4 +170,70 @@ proptest! {
             }
         }
     }
+
+    /// Fault plans are a pure function of (config, trace, seed): two builds
+    /// agree on every schedule and on every transmission-loss draw.
+    #[test]
+    fn fault_plans_are_deterministic(
+        seed in any::<u64>(),
+        loss in 0.0f64..1.0,
+        truncation in 0.0f64..1.0,
+        churn in 0.0f64..1.0,
+        dep_frac in 0.0f64..1.0,
+    ) {
+        use omn_contacts::faults::{DepartureConfig, DowntimeConfig, FaultConfig, FaultPlan};
+        let cfg = PairwiseConfig::new(10, SimDuration::from_days(2.0))
+            .mean_rate(1.0 / 3600.0);
+        let trace = generate_pairwise(&cfg, &RngFactory::new(seed));
+        let fc = FaultConfig {
+            transmission_loss: loss,
+            contact_failure: truncation,
+            downtime: Some(DowntimeConfig {
+                node_fraction: churn,
+                mean_uptime: SimDuration::from_hours(10.0),
+                mean_downtime: SimDuration::from_hours(4.0),
+                exempt: Some(NodeId(0)),
+            }),
+            departures: Some(DepartureConfig {
+                fraction: dep_frac,
+                at_frac: 0.5,
+                exempt: Some(NodeId(0)),
+            }),
+            estimator_lag: SimDuration::ZERO,
+        };
+        let factory = RngFactory::new(seed ^ 0x9e37_79b9);
+        let mut p1 = FaultPlan::build(fc, &trace, &factory);
+        let mut p2 = FaultPlan::build(fc, &trace, &factory);
+        prop_assert_eq!(p1.departed(), p2.departed());
+        for i in 0..trace.len() {
+            prop_assert_eq!(p1.contact_blocked(i), p2.contact_blocked(i));
+        }
+        for n in trace.nodes() {
+            prop_assert_eq!(p1.down_windows_of(n), p2.down_windows_of(n));
+            for w in p1.down_windows_of(n) {
+                prop_assert!(w.0 < w.1);
+            }
+        }
+        let draws1: Vec<bool> = (0..64).map(|_| p1.transfer_fails()).collect();
+        let draws2: Vec<bool> = (0..64).map(|_| p2.transfer_fails()).collect();
+        prop_assert_eq!(draws1, draws2);
+        // The exempt node is never scheduled down.
+        prop_assert!(p1.down_windows_of(NodeId(0)).is_empty());
+    }
+
+    /// An all-zero fault config yields an inert plan no matter the trace or
+    /// seed: nothing blocked, nobody down, no loss draw ever fires.
+    #[test]
+    fn zero_fault_config_is_always_inert(seed in any::<u64>(), nodes in 2usize..12) {
+        use omn_contacts::faults::{FaultConfig, FaultPlan};
+        let cfg = PairwiseConfig::new(nodes, SimDuration::from_days(1.0))
+            .mean_rate(1.0 / 1800.0);
+        let trace = generate_pairwise(&cfg, &RngFactory::new(seed));
+        let mut plan = FaultPlan::build(FaultConfig::default(), &trace, &RngFactory::new(seed));
+        prop_assert!(plan.is_inert());
+        prop_assert!(plan.departed().is_empty());
+        prop_assert!((0..trace.len()).all(|i| !plan.contact_blocked(i)));
+        prop_assert!((0..64).all(|_| !plan.transfer_fails()));
+        prop_assert!(plan.rejoin_events(trace.span()).is_empty());
+    }
 }

@@ -261,8 +261,7 @@ mod tests {
         let graph = omn_contacts::ContactGraph::from_trace(&trace);
         let _ = &graph;
         let model = overhead_model(scheme.hierarchy().unwrap(), scheme.plans());
-        let measured_per_version =
-            report.transmissions as f64 / report.version_count as f64;
+        let measured_per_version = report.transmissions as f64 / report.version_count as f64;
         assert!(
             measured_per_version <= model.per_version_upper_bound() + 1e-9,
             "measured {measured_per_version} vs bound {}",

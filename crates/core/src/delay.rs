@@ -129,7 +129,10 @@ impl DelayModel {
         if flat.len() == 1 {
             return flat.pop().expect("len checked");
         }
-        if flat.iter().all(|c| matches!(c, DelayModel::Exponential { .. })) {
+        if flat
+            .iter()
+            .all(|c| matches!(c, DelayModel::Exponential { .. }))
+        {
             let rates = flat
                 .iter()
                 .map(|c| match c {
@@ -162,9 +165,7 @@ impl DelayModel {
             DelayModel::Never => 0.0,
             DelayModel::Exponential { rate } => 1.0 - (-rate * t).exp(),
             DelayModel::Hypoexponential { rates } => hypo_cdf(rates, t),
-            DelayModel::MinOf(cs) => {
-                1.0 - cs.iter().map(|c| 1.0 - c.cdf(t)).product::<f64>()
-            }
+            DelayModel::MinOf(cs) => 1.0 - cs.iter().map(|c| 1.0 - c.cdf(t)).product::<f64>(),
             DelayModel::Sum(cs) => sum_cdf(cs, t),
         }
     }
@@ -217,9 +218,7 @@ impl DelayModel {
     pub fn mean(&self) -> Option<f64> {
         match self {
             DelayModel::Exponential { rate } => Some(1.0 / rate),
-            DelayModel::Hypoexponential { rates } => {
-                Some(rates.iter().map(|r| 1.0 / r).sum())
-            }
+            DelayModel::Hypoexponential { rates } => Some(rates.iter().map(|r| 1.0 / r).sum()),
             _ => None,
         }
     }
@@ -321,9 +320,7 @@ mod tests {
 
     fn monte_carlo_cdf(model: &DelayModel, t: f64, samples: usize, seed: u64) -> f64 {
         let mut rng = RngFactory::new(seed).stream("mc");
-        let hits = (0..samples)
-            .filter(|_| model.sample(&mut rng) <= t)
-            .count();
+        let hits = (0..samples).filter(|_| model.sample(&mut rng) <= t).count();
         hits as f64 / samples as f64
     }
 

@@ -250,10 +250,7 @@ mod tests {
         assert_eq!(s.current_version(t(10.0)), Some(1));
         assert_eq!(s.current_version(t(35.0)), Some(3));
         assert_eq!(s.birth_of(2), t(20.0));
-        assert_eq!(
-            s.mean_interval().unwrap(),
-            SimDuration::from_secs(10.0)
-        );
+        assert_eq!(s.mean_interval().unwrap(), SimDuration::from_secs(10.0));
     }
 
     #[test]
@@ -319,7 +316,7 @@ mod tests {
         tr.set_fresh(0, t(10.0)); // fresh for 10s
         tr.set_fresh(4, t(30.0)); // stale for 20s
         let (mean, timeline) = tr.finish(t(40.0)); // fresh for 10s
-        // (1.0*10 + 0*20 + 1.0*10) / 40 = 0.5
+                                                   // (1.0*10 + 0*20 + 1.0*10) / 40 = 0.5
         assert!((mean - 0.5).abs() < 1e-12);
         assert_eq!(timeline.len(), 3);
     }

@@ -105,9 +105,7 @@ impl RefreshHierarchy {
                         .copied()
                         .filter(|n| fanout.is_none_or(|f| h.children_of(*n).len() < f))
                         .collect();
-                    let parent = *candidates
-                        .choose(rng)
-                        .unwrap_or(&root);
+                    let parent = *candidates.choose(rng).unwrap_or(&root);
                     h.attach(m, parent);
                     in_tree.push(m);
                 }
@@ -148,8 +146,7 @@ impl RefreshHierarchy {
                     }
                 }
             }
-            let (cost, p, c) =
-                best.expect("fanout bound always leaves capacity on new leaves");
+            let (cost, p, c) = best.expect("fanout bound always leaves capacity on new leaves");
             h.attach(c, p);
             delay.insert(c, cost);
             in_tree.push(c);
@@ -242,8 +239,7 @@ impl RefreshHierarchy {
     /// for determinism.
     #[must_use]
     pub fn edges(&self) -> Vec<(NodeId, NodeId)> {
-        let mut es: Vec<(NodeId, NodeId)> =
-            self.parent.iter().map(|(&c, &p)| (p, c)).collect();
+        let mut es: Vec<(NodeId, NodeId)> = self.parent.iter().map(|(&c, &p)| (p, c)).collect();
         es.sort();
         es
     }
@@ -546,10 +542,7 @@ mod tests {
             HierarchyStrategy::GreedySed { fanout: None },
             &mut rng,
         );
-        assert_eq!(
-            h.path_from_root(NodeId(3)),
-            ids(&[0, 1, 2, 3])
-        );
+        assert_eq!(h.path_from_root(NodeId(3)), ids(&[0, 1, 2, 3]));
         assert_eq!(h.edges().len(), 3);
         assert!((h.mean_depth() - 2.0).abs() < 1e-12);
     }

@@ -123,7 +123,10 @@ impl ReplicationPlanner {
         hop_deadline: SimDuration,
         target: f64,
     ) -> ReplicationPlan {
-        assert!(target > 0.0 && target < 1.0, "target out of range: {target}");
+        assert!(
+            target > 0.0 && target < 1.0,
+            "target out of range: {target}"
+        );
         assert!(!hop_deadline.is_zero(), "zero hop deadline");
         let tau = hop_deadline.as_secs();
         let direct = DelayModel::from_contact_rate(graph.rate(parent, child)).cdf(tau);
@@ -151,9 +154,7 @@ impl ReplicationPlanner {
         };
         let mut miss = 1.0 - direct;
         for (p, r) in scored {
-            if plan.achieved_probability + 1e-12 >= target
-                || plan.relays.len() >= self.max_relays
-            {
+            if plan.achieved_probability + 1e-12 >= target || plan.relays.len() >= self.max_relays {
                 break;
             }
             miss *= 1.0 - p;
@@ -330,13 +331,7 @@ mod tests {
     fn relay_probability_closed_form() {
         let g = relay_graph();
         // Relay 4: Hypo[0.2, 0.2] at t=100 ≈ Erlang-2.
-        let p = ReplicationPlanner::relay_probability(
-            &g,
-            NodeId(0),
-            NodeId(4),
-            NodeId(1),
-            100.0,
-        );
+        let p = ReplicationPlanner::relay_probability(&g, NodeId(0), NodeId(4), NodeId(1), 100.0);
         let lt: f64 = 0.2 * 100.0;
         let erlang = 1.0 - (-lt).exp() * (1.0 + lt);
         assert!((p - erlang).abs() < 1e-3, "{p} vs {erlang}");

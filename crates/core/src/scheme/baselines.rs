@@ -48,21 +48,27 @@ impl RefreshScheme for EpidemicRefresh {
             _ => return,
         };
         if ctx.is_member(to) {
+            // Under injected transmission loss the delivery may fail; the
+            // flood retries naturally at the pair's next contact.
             ctx.deliver_version(from, to, v);
         } else if to != ctx.root() {
             let now = ctx.now();
-            let old = self.carried.insert(to, (v, now));
-            match old {
+            match self.carried.get(&to).copied() {
                 Some((ov, _)) if ov == v => {}
-                other => {
-                    if let Some((_, acquired)) = other {
-                        ctx.count(
-                            "relay-copy-seconds",
-                            now.saturating_since(acquired).as_secs() as u64,
-                        );
+                old => {
+                    // The relay handoff rides the same lossy channel as
+                    // member deliveries; a lost handoff leaves the old
+                    // carried copy in place.
+                    if ctx.attempt_transfer(from) {
+                        if let Some((_, acquired)) = old {
+                            ctx.count(
+                                "relay-copy-seconds",
+                                now.saturating_since(acquired).as_secs() as u64,
+                            );
+                        }
+                        self.carried.insert(to, (v, now));
+                        ctx.record_replica();
                     }
-                    ctx.record_transmission(from);
-                    ctx.record_replica();
                 }
             }
         }
@@ -154,6 +160,28 @@ mod tests {
         let mut s = EpidemicRefresh::new();
         s.on_contact(NodeId(1), NodeId(2), &mut h.ctx());
         assert_eq!(h.transmissions, 0);
+    }
+
+    #[test]
+    fn epidemic_retries_lossy_spread_on_later_contacts() {
+        let mut h = harness();
+        let mut s = EpidemicRefresh::new();
+        h.current_version = 1;
+        h.fail_all_transfers();
+        h.now = SimTime::from_secs(1.0);
+        // Both the relay handoff and the member delivery are lost.
+        s.on_contact(NodeId(0), NodeId(3), &mut h.ctx());
+        s.on_contact(NodeId(0), NodeId(1), &mut h.ctx());
+        assert_eq!(h.replicas, 0);
+        assert_eq!(h.member_versions[&NodeId(1)], 0);
+        assert_eq!(h.transmissions, 2, "lost attempts still cost transmissions");
+        // The flood self-heals once the channel recovers.
+        h.faults = None;
+        h.now = SimTime::from_secs(2.0);
+        s.on_contact(NodeId(0), NodeId(3), &mut h.ctx());
+        s.on_contact(NodeId(0), NodeId(1), &mut h.ctx());
+        assert_eq!(h.replicas, 1);
+        assert_eq!(h.member_versions[&NodeId(1)], 1);
     }
 
     #[test]

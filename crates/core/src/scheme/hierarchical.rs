@@ -1,7 +1,7 @@
 //! The paper's scheme: hierarchical refreshing with probabilistic
 //! replication and distributed maintenance.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use omn_contacts::{ContactGraph, NodeId};
 use omn_sim::{SimDuration, SimTime};
@@ -10,7 +10,7 @@ use crate::freshness::FreshnessRequirement;
 use crate::hierarchy::{HierarchyStrategy, RefreshHierarchy};
 use crate::replication::{ReplicationPlan, ReplicationPlanner};
 
-use super::{RefreshScheme, SchemeCtx};
+use super::{Delivery, RefreshScheme, SchemeCtx};
 
 /// Which contact-rate knowledge planning uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,6 +21,33 @@ pub enum PlanningMode {
     /// Plan from the rates estimated online from observed contacts
     /// (the deployable setting; needs periodic rebuilds to warm up).
     Estimated,
+}
+
+/// Failure-awareness knobs for the hierarchical scheme (used with the
+/// fault-injection layer; see `omn_contacts::faults`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResilienceConfig {
+    /// How many *extra* attempts a failed replication handoff or relay
+    /// delivery gets at later contacts. `0` keeps the transfer logic
+    /// fail-once (the non-resilient ablation).
+    pub max_relay_retries: u32,
+    /// A tree neighbor unheard-from for this many expected inter-contact
+    /// times is presumed down. Set to `f64::INFINITY` to disable the
+    /// failure detector (retry-only resilience).
+    pub suspect_after_icts: f64,
+    /// Silence must also exceed this floor before a suspicion fires, which
+    /// guards against over-eager verdicts from noisy early rate estimates.
+    pub min_silence: SimDuration,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> ResilienceConfig {
+        ResilienceConfig {
+            max_relay_retries: 2,
+            suspect_after_icts: 3.0,
+            min_silence: SimDuration::from_hours(1.0),
+        }
+    }
 }
 
 /// Configuration of the hierarchical scheme.
@@ -41,20 +68,22 @@ pub struct HierarchicalConfig {
     pub reparent: bool,
     /// Rate knowledge used for planning.
     pub planning: PlanningMode,
+    /// Failure awareness (bounded retry + failure detector), or `None` for
+    /// the classic fail-once protocol. With `None` — or with no fault plan
+    /// installed — behavior is bit-identical to the pre-resilience scheme.
+    pub resilience: Option<ResilienceConfig>,
 }
 
 impl Default for HierarchicalConfig {
     fn default() -> HierarchicalConfig {
         HierarchicalConfig {
             strategy: HierarchyStrategy::GreedySed { fanout: Some(3) },
-            replication: Some(FreshnessRequirement::new(
-                0.9,
-                SimDuration::from_hours(6.0),
-            )),
+            replication: Some(FreshnessRequirement::new(0.9, SimDuration::from_hours(6.0))),
             max_relays: 3,
             rebuild_every: None,
             reparent: false,
             planning: PlanningMode::Oracle,
+            resilience: None,
         }
     }
 }
@@ -70,6 +99,9 @@ struct RelayCopy {
     target: NodeId,
     /// When the relay received the copy (for buffer-occupancy accounting).
     acquired: SimTime,
+    /// Delivery attempts already lost to transmission failure; bounded by
+    /// `ResilienceConfig::max_relay_retries`.
+    retries: u32,
 }
 
 /// Hierarchical cache refreshing with probabilistic replication
@@ -92,7 +124,16 @@ pub struct HierarchicalScheme {
     /// `(relay, target, version)` triples already handed out, so a relay is
     /// preloaded at most once per version per child even after its copy is
     /// delivered or garbage-collected.
-    handled: std::collections::HashSet<(NodeId, NodeId, u64)>,
+    handled: HashSet<(NodeId, NodeId, u64)>,
+    /// `(relay, target, version)` handoffs lost to transmission failure and
+    /// how many attempts they have consumed, so retries stay bounded.
+    attempts: HashMap<(NodeId, NodeId, u64), u32>,
+    /// When each tree edge `(parent, child)` last saw its endpoints meet;
+    /// the failure detector's silence clock (resilience only).
+    edge_heard: HashMap<(NodeId, NodeId), SimTime>,
+    /// Standing suspicions `(watcher, watched)`, so each detected failure
+    /// is counted once until the watched node is heard from again.
+    suspects: HashSet<(NodeId, NodeId)>,
     next_rebuild: Option<SimTime>,
     /// Re-parenting improvement threshold: the new path delay must be below
     /// this fraction of the current one (hysteresis against flapping).
@@ -112,7 +153,10 @@ impl HierarchicalScheme {
             hierarchy: None,
             plans: HashMap::new(),
             relay_copies: HashMap::new(),
-            handled: std::collections::HashSet::new(),
+            handled: HashSet::new(),
+            attempts: HashMap::new(),
+            edge_heard: HashMap::new(),
+            suspects: HashSet::new(),
             next_rebuild: None,
             reparent_factor: 0.7,
             fixed: None,
@@ -190,6 +234,10 @@ impl HierarchicalScheme {
 
     fn rebuild(&mut self, ctx: &mut SchemeCtx<'_>) {
         ctx.count("rebuilds", 1);
+        // Fresh structure, fresh failure-detection state.
+        self.edge_heard.clear();
+        self.suspects.clear();
+        self.attempts.clear();
         if let Some((hierarchy, plans)) = self.fixed.take() {
             self.hierarchy = Some(hierarchy);
             self.plans = plans;
@@ -206,10 +254,8 @@ impl HierarchicalScheme {
             ctx.rng(),
         );
         self.plans = match self.config.replication {
-            Some(requirement) => {
-                ReplicationPlanner::new(requirement, self.config.max_relays)
-                    .plan_hierarchy(&hierarchy, &graph)
-            }
+            Some(requirement) => ReplicationPlanner::new(requirement, self.config.max_relays)
+                .plan_hierarchy(&hierarchy, &graph),
             None => HashMap::new(),
         };
         self.hierarchy = Some(hierarchy);
@@ -252,6 +298,90 @@ impl HierarchicalScheme {
             self.plans.retain(|&(_, c), _| c != x);
         }
     }
+
+    /// Checks whether the silence on tree edge `edge` has exceeded the
+    /// detection threshold, and if so registers the `(watcher, watched)`
+    /// suspicion. Returns true only for a *new* suspicion, so each detected
+    /// failure is counted once until the watched node is heard from again.
+    /// Pairs with no rate estimate are never suspected: silence is only
+    /// meaningful relative to an expected inter-contact time.
+    fn silence_exceeded(
+        &mut self,
+        edge: (NodeId, NodeId),
+        watcher: NodeId,
+        watched: NodeId,
+        now: SimTime,
+        res: &ResilienceConfig,
+        ctx: &SchemeCtx<'_>,
+    ) -> bool {
+        let heard = *self.edge_heard.entry(edge).or_insert(now);
+        let rate = ctx.estimated_rate(edge.0, edge.1);
+        if rate <= 0.0 {
+            return false;
+        }
+        let threshold = res.min_silence.as_secs().max(res.suspect_after_icts / rate);
+        now.saturating_since(heard).as_secs() > threshold
+            && self.suspects.insert((watcher, watched))
+    }
+
+    /// The failure detector, run by `x` while it meets `peer`: a tree
+    /// neighbor (child or parent) unheard-from for too long is presumed
+    /// down. A presumed-down child stops receiving replication effort; a
+    /// presumed-down parent is routed around by adopting the live `peer`
+    /// as the new parent when the tree allows it. The root is never
+    /// abandoned — when the source itself is down, the tree is kept intact
+    /// so members keep serving (stale-degrading) cached versions and
+    /// recovery is immediate at the source's first contact after rejoin.
+    fn detect_failures(&mut self, x: NodeId, peer: NodeId, ctx: &mut SchemeCtx<'_>) {
+        let Some(res) = self.config.resilience else {
+            return;
+        };
+        let now = ctx.now();
+        let (parent, children) = {
+            let Some(h) = self.hierarchy.as_ref() else {
+                return;
+            };
+            if !h.contains(x) {
+                return;
+            }
+            (h.parent_of(x), h.children_of(x).to_vec())
+        };
+
+        // Parent side: stop spending relays on a presumed-dead child.
+        for c in children {
+            if c == peer {
+                continue;
+            }
+            if self.silence_exceeded((x, c), x, c, now, &res, ctx) {
+                ctx.count("suspected-failures", 1);
+                if !ctx.node_is_down(c) {
+                    ctx.count("false-suspicions", 1);
+                }
+                self.plans.retain(|&(p, ch), _| !(p == x && ch == c));
+            }
+        }
+
+        // Child side: route around a presumed-dead parent via the node we
+        // are actually meeting right now.
+        if let Some(p) = parent {
+            if p != peer && self.silence_exceeded((p, x), x, p, now, &res, ctx) {
+                ctx.count("suspected-failures", 1);
+                if !ctx.node_is_down(p) {
+                    ctx.count("false-suspicions", 1);
+                }
+                if p != ctx.root() && (peer == ctx.root() || ctx.is_member(peer)) {
+                    let fanout = self.fanout_bound();
+                    if let Some(h) = self.hierarchy.as_mut() {
+                        if h.contains(peer) && h.reparent(x, peer, fanout).is_ok() {
+                            ctx.count("failure-reparents", 1);
+                            self.plans.retain(|&(_, ch), _| ch != x);
+                            self.edge_heard.insert((peer, x), now);
+                        }
+                    }
+                }
+            }
+        }
+    }
 }
 
 impl RefreshScheme for HierarchicalScheme {
@@ -266,15 +396,13 @@ impl RefreshScheme for HierarchicalScheme {
 
     fn on_start(&mut self, ctx: &mut SchemeCtx<'_>) {
         self.rebuild(ctx);
-        self.next_rebuild = self
-            .config
-            .rebuild_every
-            .map(|every| ctx.now() + every);
+        self.next_rebuild = self.config.rebuild_every.map(|every| ctx.now() + every);
     }
 
     fn on_version_birth(&mut self, version: u64, _ctx: &mut SchemeCtx<'_>) {
         // Bookkeeping for superseded versions is no longer needed.
         self.handled.retain(|&(_, _, v)| v >= version);
+        self.attempts.retain(|&(_, _, v), _| v >= version);
     }
 
     fn on_contact(&mut self, a: NodeId, b: NodeId, ctx: &mut SchemeCtx<'_>) {
@@ -286,12 +414,26 @@ impl RefreshScheme for HierarchicalScheme {
         }
 
         let current = ctx.current_version();
+        let resilient = self.config.resilience.is_some();
+        let max_retries = self.config.resilience.map_or(0, |r| r.max_relay_retries);
         for (x, y) in [(a, b), (b, a)] {
             let Some(h) = self.hierarchy.as_ref() else {
                 continue;
             };
 
-            // 1. Tree responsibility: x refreshes its child y.
+            // 0. Failure-detector clocks: meeting y clears any standing
+            // suspicion of it and restarts the silence clock on a tree
+            // edge between them (resilience only).
+            if resilient {
+                self.suspects.remove(&(x, y));
+                if h.parent_of(y) == Some(x) {
+                    self.edge_heard.insert((x, y), ctx.now());
+                }
+            }
+
+            // 1. Tree responsibility: x refreshes its child y. A delivery
+            // lost to transmission failure retries implicitly: y's cache is
+            // unchanged, so the next x–y contact attempts again.
             if h.parent_of(y) == Some(x) {
                 if let Some(vx) = ctx.version_of(x) {
                     if ctx.version_of(y).is_none_or(|vy| vy < vx) {
@@ -301,7 +443,9 @@ impl RefreshScheme for HierarchicalScheme {
             }
 
             // 2. Replication spawn: x holds the current version and meets a
-            // relay y designated for one of its child edges.
+            // relay y designated for one of its child edges. Under
+            // resilience, a handoff lost to transmission failure may be
+            // re-attempted at later contacts, up to the retry bound.
             if ctx.version_of(x) == Some(current) && !ctx.is_member(y) && y != ctx.root() {
                 for &c in h.children_of(x) {
                     let Some(plan) = self.plans.get(&(x, c)) else {
@@ -310,14 +454,26 @@ impl RefreshScheme for HierarchicalScheme {
                     if !plan.relays.contains(&y) {
                         continue;
                     }
-                    if self.handled.insert((y, c, current)) {
-                        self.relay_copies.entry(y).or_default().push(RelayCopy {
-                            version: current,
-                            target: c,
-                            acquired: ctx.now(),
-                        });
-                        ctx.record_transmission(x);
-                        ctx.record_replica();
+                    let key = (y, c, current);
+                    if self.handled.insert(key) {
+                        let prior = self.attempts.get(&key).copied().unwrap_or(0);
+                        if prior > 0 {
+                            ctx.count("replication-retries", 1);
+                        }
+                        if ctx.attempt_transfer(x) {
+                            self.attempts.remove(&key);
+                            self.relay_copies.entry(y).or_default().push(RelayCopy {
+                                version: current,
+                                target: c,
+                                acquired: ctx.now(),
+                                retries: 0,
+                            });
+                            ctx.record_replica();
+                        } else if prior < max_retries {
+                            // Unmark so a later contact tries again.
+                            self.attempts.insert(key, prior + 1);
+                            self.handled.remove(&key);
+                        }
                     }
                 }
             }
@@ -328,16 +484,25 @@ impl RefreshScheme for HierarchicalScheme {
             if let Some(copies) = self.relay_copies.get_mut(&x) {
                 let mut kept = Vec::with_capacity(copies.len());
                 let mut occupancy_secs = 0.0;
-                for copy in copies.drain(..) {
+                for mut copy in copies.drain(..) {
                     if copy.target == y {
-                        // Duty toward y done either way (delivered or
-                        // already superseded at y).
-                        ctx.deliver_version(x, y, copy.version);
-                        occupancy_secs +=
-                            ctx.now().saturating_since(copy.acquired).as_secs();
+                        match ctx.try_deliver(x, y, copy.version) {
+                            Delivery::Failed if copy.retries < max_retries => {
+                                // Keep the copy for another try at a later
+                                // x–y contact (resilience only).
+                                copy.retries += 1;
+                                ctx.count("relay-retries", 1);
+                                kept.push(copy);
+                            }
+                            _ => {
+                                // Duty toward y done either way (delivered,
+                                // already superseded, or out of retries).
+                                occupancy_secs +=
+                                    ctx.now().saturating_since(copy.acquired).as_secs();
+                            }
+                        }
                     } else if copy.version != ctx.current_version() {
-                        occupancy_secs +=
-                            ctx.now().saturating_since(copy.acquired).as_secs();
+                        occupancy_secs += ctx.now().saturating_since(copy.acquired).as_secs();
                     } else {
                         kept.push(copy);
                     }
@@ -351,6 +516,12 @@ impl RefreshScheme for HierarchicalScheme {
             // 4. Distributed maintenance.
             if self.config.reparent {
                 self.maybe_reparent(x, y, ctx);
+            }
+
+            // 5. Failure detection: prolonged silence on a tree edge marks
+            // the far endpoint as presumed down (resilience only).
+            if resilient {
+                self.detect_failures(x, y, ctx);
             }
         }
     }
@@ -390,10 +561,7 @@ mod tests {
     fn default_scheme() -> HierarchicalScheme {
         HierarchicalScheme::new(HierarchicalConfig {
             strategy: HierarchyStrategy::GreedySed { fanout: Some(2) },
-            replication: Some(FreshnessRequirement::new(
-                0.9,
-                SimDuration::from_secs(10.0),
-            )),
+            replication: Some(FreshnessRequirement::new(0.9, SimDuration::from_secs(10.0))),
             max_relays: 2,
             ..HierarchicalConfig::default()
         })
@@ -505,7 +673,11 @@ mod tests {
         s.on_contact(NodeId(3), NodeId(1), &mut h.ctx());
         h.now = SimTime::from_secs(8.0);
         s.on_contact(NodeId(3), NodeId(2), &mut h.ctx());
-        assert_eq!(h.member_versions[&NodeId(2)], 0, "stale copy must not deliver");
+        assert_eq!(
+            h.member_versions[&NodeId(2)],
+            0,
+            "stale copy must not deliver"
+        );
     }
 
     #[test]
@@ -538,17 +710,15 @@ mod tests {
         });
         // Force the star name check not to matter; enable reparenting.
         s.on_start(&mut h.ctx());
-        assert_eq!(
-            s.hierarchy().unwrap().parent_of(NodeId(2)),
-            Some(NodeId(0))
-        );
+        assert_eq!(s.hierarchy().unwrap().parent_of(NodeId(2)), Some(NodeId(0)));
         // Feed the estimator: 0–1 and 1–2 meet often; 0–2 rarely.
         for k in 0..50 {
             let t = SimTime::from_secs(10.0 + f64::from(k) * 10.0);
             h.rates.record_contact(NodeId(0), NodeId(1), t);
             h.rates.record_contact(NodeId(1), NodeId(2), t);
         }
-        h.rates.record_contact(NodeId(0), NodeId(2), SimTime::from_secs(400.0));
+        h.rates
+            .record_contact(NodeId(0), NodeId(2), SimTime::from_secs(400.0));
         h.now = SimTime::from_secs(510.0);
         // 2 meets 1: via-1 delay ≈ 10 + 10, current ≈ 500 → switch.
         s.on_contact(NodeId(2), NodeId(1), &mut h.ctx());
@@ -615,5 +785,169 @@ mod tests {
         s.on_contact(NodeId(0), NodeId(1), &mut h.ctx());
         let tree = s.hierarchy().unwrap();
         assert_eq!(tree.parent_of(NodeId(2)), Some(NodeId(1)));
+    }
+
+    /// Source 0, lone member 2 reachable mainly through relay 3 (same
+    /// shape as `relays_carry_versions_to_their_target`).
+    fn relay_graph() -> ContactGraph {
+        let mut g = ContactGraph::new(4);
+        g.set_rate(NodeId(0), NodeId(2), 0.001);
+        g.set_rate(NodeId(0), NodeId(3), 0.5);
+        g.set_rate(NodeId(3), NodeId(2), 0.5);
+        g
+    }
+
+    fn relay_scheme(resilience: Option<ResilienceConfig>) -> HierarchicalScheme {
+        HierarchicalScheme::new(HierarchicalConfig {
+            strategy: HierarchyStrategy::GreedySed { fanout: None },
+            replication: Some(FreshnessRequirement::new(
+                0.95,
+                SimDuration::from_secs(10.0),
+            )),
+            max_relays: 2,
+            resilience,
+            ..HierarchicalConfig::default()
+        })
+    }
+
+    /// Detection disabled; only the retry half of resilience active.
+    fn retry_only(max_relay_retries: u32) -> ResilienceConfig {
+        ResilienceConfig {
+            max_relay_retries,
+            suspect_after_icts: f64::INFINITY,
+            min_silence: SimDuration::from_hours(1.0),
+        }
+    }
+
+    #[test]
+    fn replication_handoff_retries_until_exhausted() {
+        let mut h = CtxHarness::new(relay_graph(), NodeId(0), vec![NodeId(2)]);
+        let mut s = relay_scheme(Some(retry_only(2)));
+        s.on_start(&mut h.ctx());
+        h.current_version = 1;
+        h.fail_all_transfers();
+
+        // Initial handoff attempt is lost on the air.
+        h.now = SimTime::from_secs(5.0);
+        s.on_contact(NodeId(0), NodeId(3), &mut h.ctx());
+        assert_eq!((h.transmissions, h.replicas), (1, 0));
+        // Two bounded retries at later contacts, also lost.
+        h.now = SimTime::from_secs(6.0);
+        s.on_contact(NodeId(0), NodeId(3), &mut h.ctx());
+        h.now = SimTime::from_secs(7.0);
+        s.on_contact(NodeId(0), NodeId(3), &mut h.ctx());
+        assert_eq!(h.transmissions, 3);
+        assert_eq!(h.extras.get("replication-retries"), 2);
+        // Retry budget spent: no further attempts even once loss clears.
+        h.now = SimTime::from_secs(8.0);
+        s.on_contact(NodeId(0), NodeId(3), &mut h.ctx());
+        h.faults = None;
+        h.now = SimTime::from_secs(9.0);
+        s.on_contact(NodeId(0), NodeId(3), &mut h.ctx());
+        assert_eq!((h.transmissions, h.replicas), (3, 0));
+    }
+
+    #[test]
+    fn non_resilient_handoff_fails_once_and_gives_up() {
+        let mut h = CtxHarness::new(relay_graph(), NodeId(0), vec![NodeId(2)]);
+        let mut s = relay_scheme(None);
+        s.on_start(&mut h.ctx());
+        h.current_version = 1;
+        h.fail_all_transfers();
+        h.now = SimTime::from_secs(5.0);
+        s.on_contact(NodeId(0), NodeId(3), &mut h.ctx());
+        assert_eq!((h.transmissions, h.replicas), (1, 0));
+        h.faults = None;
+        h.now = SimTime::from_secs(6.0);
+        s.on_contact(NodeId(0), NodeId(3), &mut h.ctx());
+        assert_eq!((h.transmissions, h.replicas), (1, 0), "fail-once: no retry");
+    }
+
+    #[test]
+    fn resilient_relay_retries_failed_delivery() {
+        let mut h = CtxHarness::new(relay_graph(), NodeId(0), vec![NodeId(2)]);
+        let mut s = relay_scheme(Some(retry_only(1)));
+        s.on_start(&mut h.ctx());
+        h.current_version = 1;
+        // Clean handoff to the relay...
+        h.now = SimTime::from_secs(5.0);
+        s.on_contact(NodeId(0), NodeId(3), &mut h.ctx());
+        assert_eq!(h.replicas, 1);
+        // ...then the delivery to the child is lost; the copy is retained.
+        h.fail_all_transfers();
+        h.now = SimTime::from_secs(8.0);
+        s.on_contact(NodeId(3), NodeId(2), &mut h.ctx());
+        assert_eq!(h.member_versions[&NodeId(2)], 0);
+        assert_eq!(h.extras.get("relay-retries"), 1);
+        // Next meeting retries and succeeds.
+        h.faults = None;
+        h.now = SimTime::from_secs(9.0);
+        s.on_contact(NodeId(3), NodeId(2), &mut h.ctx());
+        assert_eq!(h.member_versions[&NodeId(2)], 1);
+    }
+
+    #[test]
+    fn non_resilient_relay_drops_copy_on_failed_delivery() {
+        let mut h = CtxHarness::new(relay_graph(), NodeId(0), vec![NodeId(2)]);
+        let mut s = relay_scheme(None);
+        s.on_start(&mut h.ctx());
+        h.current_version = 1;
+        h.now = SimTime::from_secs(5.0);
+        s.on_contact(NodeId(0), NodeId(3), &mut h.ctx());
+        assert_eq!(h.replicas, 1);
+        h.fail_all_transfers();
+        h.now = SimTime::from_secs(8.0);
+        s.on_contact(NodeId(3), NodeId(2), &mut h.ctx());
+        h.faults = None;
+        let tx = h.transmissions;
+        h.now = SimTime::from_secs(9.0);
+        s.on_contact(NodeId(3), NodeId(2), &mut h.ctx());
+        assert_eq!(h.transmissions, tx, "copy was dropped on first failure");
+        assert_eq!(h.member_versions[&NodeId(2)], 0);
+    }
+
+    #[test]
+    fn failure_detector_reparents_around_silent_parent() {
+        let mut h = CtxHarness::new(graph(), NodeId(0), vec![NodeId(1), NodeId(2)]);
+        let mut s = HierarchicalScheme::new(HierarchicalConfig {
+            strategy: HierarchyStrategy::GreedySed { fanout: Some(2) },
+            replication: None,
+            resilience: Some(ResilienceConfig {
+                max_relay_retries: 0,
+                suspect_after_icts: 1.0,
+                min_silence: SimDuration::from_secs(50.0),
+            }),
+            ..HierarchicalConfig::default()
+        });
+        s.on_start(&mut h.ctx());
+        // Oracle build: chain 0→1→2.
+        assert_eq!(s.hierarchy().unwrap().parent_of(NodeId(2)), Some(NodeId(1)));
+        // Give the detector rate estimates (ICT ≈ 10 s on both edges).
+        for k in 0..11 {
+            let t = SimTime::from_secs(f64::from(k) * 10.0);
+            h.rates.record_contact(NodeId(0), NodeId(1), t);
+            h.rates.record_contact(NodeId(1), NodeId(2), t);
+        }
+        // Edge clocks start at the 1–2 meeting at t = 100.
+        h.now = SimTime::from_secs(100.0);
+        s.on_contact(NodeId(1), NodeId(2), &mut h.ctx());
+        assert_eq!(h.extras.get("suspected-failures"), 0);
+        // Node 1 then falls silent. At t = 200, 2 meets the root directly:
+        // silence (100 s) far exceeds both the 50 s floor and one expected
+        // ICT, so 2 presumes its parent 1 dead and re-parents under the
+        // root; the root likewise suspects its silent child 1.
+        h.now = SimTime::from_secs(200.0);
+        s.on_contact(NodeId(2), NodeId(0), &mut h.ctx());
+        let tree = s.hierarchy().unwrap();
+        assert_eq!(tree.parent_of(NodeId(2)), Some(NodeId(0)));
+        tree.validate(Some(2)).unwrap();
+        assert_eq!(h.extras.get("failure-reparents"), 1);
+        assert_eq!(h.extras.get("suspected-failures"), 2);
+        // No fault plan is installed, so both suspicions are false alarms.
+        assert_eq!(h.extras.get("false-suspicions"), 2);
+        // Repeat contacts do not re-count standing suspicions.
+        h.now = SimTime::from_secs(300.0);
+        s.on_contact(NodeId(2), NodeId(0), &mut h.ctx());
+        assert_eq!(h.extras.get("suspected-failures"), 2);
     }
 }

@@ -11,15 +11,31 @@ mod baselines;
 mod hierarchical;
 
 pub use baselines::{EpidemicRefresh, NoRefresh};
-pub use hierarchical::{HierarchicalConfig, HierarchicalScheme, PlanningMode};
+pub use hierarchical::{HierarchicalConfig, HierarchicalScheme, PlanningMode, ResilienceConfig};
 
 use std::collections::HashMap;
 
 use omn_contacts::estimate::PairRateTable;
+use omn_contacts::faults::FaultPlan;
 use omn_contacts::{ContactGraph, NodeId};
 use omn_sim::metrics::Registry;
 use omn_sim::SimTime;
 use rand::rngs::StdRng;
+
+/// Outcome of a fallible version delivery ([`SchemeCtx::try_deliver`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// The member cache was updated (one transmission counted).
+    Delivered,
+    /// Nothing to send: the target is not a member, already holds the
+    /// version (or newer), or the version is from the future. No
+    /// transmission is counted — identical to the pre-fault semantics.
+    Unneeded,
+    /// The transfer was attempted but lost to injected transmission
+    /// failure. The transmission is still counted against the sender (the
+    /// bytes went on the air), plus a `"failed-transmissions"` extra.
+    Failed,
+}
 
 /// A cache-freshness maintenance scheme.
 pub trait RefreshScheme: std::fmt::Debug {
@@ -62,6 +78,8 @@ pub struct SchemeCtx<'a> {
     pub(crate) per_node_tx: &'a mut Vec<u64>,
     pub(crate) extras: &'a mut Registry,
     pub(crate) rng: &'a mut StdRng,
+    /// Fault schedule for this run, if fault injection is enabled.
+    pub(crate) faults: Option<&'a mut FaultPlan>,
 }
 
 impl SchemeCtx<'_> {
@@ -110,23 +128,62 @@ impl SchemeCtx<'_> {
     /// Delivers `version` from node `from` to caching node `to`. Succeeds
     /// (and counts one transmission against the *sender's* refresh load)
     /// iff `to` is a member, the version is not from the future, and it is
-    /// newer than what `to` holds.
+    /// newer than what `to` holds. Equivalent to
+    /// `self.try_deliver(from, to, version) == Delivery::Delivered`;
+    /// schemes that distinguish lost transfers from unneeded ones (to
+    /// retry) should call [`SchemeCtx::try_deliver`] directly.
     pub fn deliver_version(&mut self, from: NodeId, to: NodeId, version: u64) -> bool {
+        self.try_deliver(from, to, version) == Delivery::Delivered
+    }
+
+    /// Delivers `version` from `from` to caching node `to`, reporting
+    /// whether the transfer was delivered, unneeded, or lost to injected
+    /// transmission failure (see [`Delivery`]). Without a fault plan this
+    /// never returns [`Delivery::Failed`].
+    pub fn try_deliver(&mut self, from: NodeId, to: NodeId, version: u64) -> Delivery {
         if !self.is_member(to) || version > self.current_version {
-            return false;
+            return Delivery::Unneeded;
         }
         let held = self.member_versions.get(&to).copied();
         if held.is_some_and(|h| h >= version) {
-            return false;
+            return Delivery::Unneeded;
+        }
+        if !self.attempt_transfer(from) {
+            return Delivery::Failed;
         }
         self.member_versions.insert(to, version);
         self.receipts
             .entry(to)
             .or_default()
             .push((self.now, version));
+        Delivery::Delivered
+    }
+
+    /// Counts a transmission by `from` and draws injected transmission
+    /// loss: returns `true` if the transfer went through, `false` if it was
+    /// lost (also counted under the `"failed-transmissions"` extra). With
+    /// no fault plan (or zero loss) this is exactly
+    /// [`SchemeCtx::record_transmission`] returning `true`.
+    pub fn attempt_transfer(&mut self, from: NodeId) -> bool {
         *self.transmissions += 1;
         self.per_node_tx[from.index()] += 1;
-        true
+        if self.faults.as_mut().is_some_and(|f| f.transfer_fails()) {
+            self.extras.add("failed-transmissions", 1);
+            false
+        } else {
+            true
+        }
+    }
+
+    /// Whether `node` is down (churned out or departed) right now,
+    /// according to the fault plan. Ground truth, not a detector verdict —
+    /// schemes use it only for accounting (e.g. classifying suspicions as
+    /// false); without a fault plan every node is up.
+    #[must_use]
+    pub fn node_is_down(&self, node: NodeId) -> bool {
+        self.faults
+            .as_ref()
+            .is_some_and(|f| f.node_down(node, self.now))
     }
 
     /// Counts a transmission by `from` that does not change a member cache
@@ -200,6 +257,8 @@ pub(crate) mod testutil {
         pub per_node_tx: Vec<u64>,
         pub extras: Registry,
         pub rng: StdRng,
+        /// Fault schedule passed into the ctx; `None` disables injection.
+        pub faults: Option<FaultPlan>,
     }
 
     impl CtxHarness {
@@ -224,7 +283,28 @@ pub(crate) mod testutil {
                 per_node_tx: vec![0; oracle_nodes],
                 extras: Registry::new(),
                 rng: omn_sim::RngFactory::new(1).stream("test-scheme"),
+                faults: None,
             }
+        }
+
+        /// Installs a plan with certain (probability-1) transmission loss,
+        /// so every `attempt_transfer`/`try_deliver` fails
+        /// deterministically until `self.faults` is cleared again.
+        pub fn fail_all_transfers(&mut self) {
+            use omn_contacts::faults::FaultConfig;
+            use omn_contacts::TraceBuilder;
+            let trace = TraceBuilder::new(self.oracle.node_count())
+                .span(SimTime::from_secs(1.0))
+                .build()
+                .expect("empty trace");
+            self.faults = Some(FaultPlan::build(
+                FaultConfig {
+                    transmission_loss: 1.0,
+                    ..FaultConfig::default()
+                },
+                &trace,
+                &omn_sim::RngFactory::new(1),
+            ));
         }
 
         pub fn ctx(&mut self) -> SchemeCtx<'_> {
@@ -242,6 +322,7 @@ pub(crate) mod testutil {
                 per_node_tx: &mut self.per_node_tx,
                 extras: &mut self.extras,
                 rng: &mut self.rng,
+                faults: self.faults.as_mut(),
             }
         }
     }
@@ -307,5 +388,36 @@ mod tests {
         drop(ctx);
         assert_eq!(h.transmissions, 1);
         assert_eq!(h.replicas, 1);
+    }
+
+    #[test]
+    fn injected_loss_fails_deliveries_but_counts_the_attempt() {
+        let mut h = harness();
+        h.current_version = 1;
+        h.fail_all_transfers();
+        let mut ctx = h.ctx();
+        // Unneeded outcomes are decided before the loss draw.
+        assert_eq!(ctx.try_deliver(NodeId(0), NodeId(3), 1), Delivery::Unneeded);
+        assert_eq!(ctx.try_deliver(NodeId(0), NodeId(1), 2), Delivery::Unneeded);
+        // A needed transfer goes on the air and is lost.
+        assert_eq!(ctx.try_deliver(NodeId(0), NodeId(1), 1), Delivery::Failed);
+        assert_eq!(ctx.version_of(NodeId(1)), Some(0));
+        assert!(!ctx.attempt_transfer(NodeId(0)));
+        drop(ctx);
+        assert_eq!(h.transmissions, 2, "lost transfers still count as load");
+        assert_eq!(h.extras.get("failed-transmissions"), 2);
+        assert_eq!(
+            h.receipts[&NodeId(1)].len(),
+            1,
+            "no receipt for a lost transfer"
+        );
+
+        // Clearing the plan restores infallible delivery.
+        h.faults = None;
+        let mut ctx = h.ctx();
+        assert_eq!(
+            ctx.try_deliver(NodeId(0), NodeId(1), 1),
+            Delivery::Delivered
+        );
     }
 }

@@ -348,7 +348,10 @@ mod tests {
 
     #[test]
     fn direct_delivery_on_direct_contact() {
-        let trace = TraceBuilder::new(2).contact(c(0, 1, 5.0, 6.0)).build().unwrap();
+        let trace = TraceBuilder::new(2)
+            .contact(c(0, 1, 5.0, 6.0))
+            .build()
+            .unwrap();
         let report = NetworkSimulator::new(SimConfig::default()).run(
             &trace,
             &mut DirectDelivery::new(),
@@ -458,14 +461,16 @@ mod tests {
     fn bandwidth_budget_limits_transfers() {
         // Node 0 has 3 messages for node 1; a single contact with budget 1
         // delivers only one.
-        let trace = TraceBuilder::new(2).contact(c(0, 1, 10.0, 11.0)).build().unwrap();
+        let trace = TraceBuilder::new(2)
+            .contact(c(0, 1, 10.0, 11.0))
+            .build()
+            .unwrap();
         let config = SimConfig {
             max_transfers_per_contact: Some(1),
             ..SimConfig::default()
         };
         let demands = [demand(0, 1, 0.0), demand(0, 1, 1.0), demand(0, 1, 2.0)];
-        let report =
-            NetworkSimulator::new(config).run(&trace, &mut Epidemic::new(), &demands);
+        let report = NetworkSimulator::new(config).run(&trace, &mut Epidemic::new(), &demands);
         assert_eq!(report.delivered, 1);
         assert_eq!(report.transmissions, 1);
     }

@@ -6,7 +6,11 @@ use omn_net::{workload, NetworkSimulator, SimConfig};
 use omn_sim::{RngFactory, SimDuration};
 use proptest::prelude::*;
 
-fn scenario(seed: u64, nodes: usize, msgs: usize) -> (omn_contacts::ContactTrace, Vec<omn_net::UnicastDemand>) {
+fn scenario(
+    seed: u64,
+    nodes: usize,
+    msgs: usize,
+) -> (omn_contacts::ContactTrace, Vec<omn_net::UnicastDemand>) {
     let f = RngFactory::new(seed);
     let trace = generate_pairwise(
         &PairwiseConfig::new(nodes, SimDuration::from_days(1.0)).mean_rate(1.0 / 3600.0),

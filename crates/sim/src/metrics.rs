@@ -305,7 +305,11 @@ impl Timeline {
         let first = self.points[0].1;
         (0..n)
             .map(|i| {
-                let frac = if n == 1 { 0.0 } else { i as f64 / (n - 1) as f64 };
+                let frac = if n == 1 {
+                    0.0
+                } else {
+                    i as f64 / (n - 1) as f64
+                };
                 let t = start + SimDuration::from_secs(span * frac);
                 (t, self.value_at(t).unwrap_or(first))
             })

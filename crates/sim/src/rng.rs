@@ -111,16 +111,32 @@ mod tests {
     #[test]
     fn streams_are_reproducible() {
         let f = RngFactory::new(7);
-        let xs: Vec<u64> = f.stream("a").sample_iter(rand::distributions::Standard).take(8).collect();
-        let ys: Vec<u64> = f.stream("a").sample_iter(rand::distributions::Standard).take(8).collect();
+        let xs: Vec<u64> = f
+            .stream("a")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        let ys: Vec<u64> = f
+            .stream("a")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
         assert_eq!(xs, ys);
     }
 
     #[test]
     fn distinct_labels_are_distinct_streams() {
         let f = RngFactory::new(7);
-        let xs: Vec<u64> = f.stream("a").sample_iter(rand::distributions::Standard).take(8).collect();
-        let ys: Vec<u64> = f.stream("b").sample_iter(rand::distributions::Standard).take(8).collect();
+        let xs: Vec<u64> = f
+            .stream("a")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        let ys: Vec<u64> = f
+            .stream("b")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
         assert_ne!(xs, ys);
     }
 

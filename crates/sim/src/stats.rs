@@ -181,7 +181,11 @@ impl EmpiricalCdf {
         let hi = self.sorted[self.sorted.len() - 1];
         (0..n)
             .map(|i| {
-                let frac = if n == 1 { 1.0 } else { i as f64 / (n - 1) as f64 };
+                let frac = if n == 1 {
+                    1.0
+                } else {
+                    i as f64 / (n - 1) as f64
+                };
                 let x = lo + (hi - lo) * frac;
                 (x, self.eval(x))
             })

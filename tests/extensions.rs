@@ -52,7 +52,9 @@ fn oracle_bound_lower_bounds_every_scheme() {
 fn working_day_trace_supports_the_full_freshness_stack() {
     let factory = RngFactory::new(12);
     let trace = generate_working_day(
-        &WorkingDayConfig::new(30, 6).offices(5).evening_probability(0.4),
+        &WorkingDayConfig::new(30, 6)
+            .offices(5)
+            .evening_probability(0.4),
         &factory,
     );
     let period = SimDuration::from_hours(24.0);
@@ -90,11 +92,7 @@ fn departures_reduce_freshness_monotonically_in_expectation() {
     let (source, members) = sim.select_roles(&trace);
 
     let freshness_with_departures = |count: usize| {
-        let departed: Vec<NodeId> = trace
-            .nodes()
-            .filter(|&n| n != source)
-            .take(count)
-            .collect();
+        let departed: Vec<NodeId> = trace.nodes().filter(|&n| n != source).take(count).collect();
         let failed = trace.with_departures(&departed, half);
         let mut scheme = sim.make_scheme(SchemeChoice::Epidemic);
         sim.run_with_roles(&failed, source, &members, scheme.as_mut(), &factory)

@@ -50,7 +50,10 @@ fn freshness_ordering_holds_on_both_traces() {
         let random = fresh(SchemeChoice::RandomTree);
         let none = fresh(SchemeChoice::NoRefresh);
 
-        assert!(epidemic >= hier, "{preset}: epidemic {epidemic} < hier {hier}");
+        assert!(
+            epidemic >= hier,
+            "{preset}: epidemic {epidemic} < hier {hier}"
+        );
         assert!(hier > no_repl, "{preset}: hier {hier} <= no-repl {no_repl}");
         assert!(
             no_repl > random,
