@@ -1,0 +1,36 @@
+//! End-to-end Criterion benchmark: one fixed-seed freshness-maintenance
+//! run on the full-size conference-like trace — the workload every
+//! experiment in the campaign repeats per seed, and the path the unified
+//! event kernel (Engine + ContactDriver + World) must keep fast.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use omn_bench::experiments::{config_for, trace_for};
+use omn_contacts::synth::presets::TracePreset;
+use omn_core::sim::{FreshnessSimulator, SchemeChoice};
+use omn_sim::RngFactory;
+
+fn bench_freshness_run(c: &mut Criterion) {
+    let preset = TracePreset::InfocomLike;
+    let seed = 11;
+    let trace = trace_for(preset, seed);
+    let config = config_for(preset);
+    let factory = RngFactory::new(seed);
+
+    c.bench_function("freshness/infocom_like_hierarchical_full", |b| {
+        b.iter(|| {
+            FreshnessSimulator::new(config).run(&trace, SchemeChoice::Hierarchical, &factory)
+        });
+    });
+
+    c.bench_function("freshness/infocom_like_epidemic_full", |b| {
+        b.iter(|| FreshnessSimulator::new(config).run(&trace, SchemeChoice::Epidemic, &factory));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_freshness_run
+}
+criterion_main!(benches);

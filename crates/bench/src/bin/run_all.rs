@@ -1,4 +1,8 @@
 //! Runs the complete reconstructed evaluation (E1-E13) in order.
+//!
+//! Seed replications run in parallel (one thread per seed, merged in seed
+//! order — byte-identical to serial). `--seeds a,b,c` overrides the seed
+//! set; `--serial` forces sequential execution.
 
 fn main() {
     use omn_bench::experiments as e;

@@ -4,7 +4,7 @@ use omn_contacts::synth::presets::TracePreset;
 use omn_contacts::TraceStats;
 use omn_sim::stats::mean_ci95;
 
-use crate::{banner, Table, SEEDS};
+use crate::{active_seeds, banner, per_seed, Table};
 
 /// Runs E1: prints one row per trace preset with node count, span,
 /// contacts, density, inter-contact and contact-duration statistics
@@ -22,6 +22,7 @@ pub fn run() {
         "mean degree",
     ]);
 
+    let seeds = active_seeds();
     for preset in TracePreset::ALL {
         let mut contacts = Vec::new();
         let mut per_day = Vec::new();
@@ -30,9 +31,11 @@ pub fn run() {
         let mut degree = Vec::new();
         let mut nodes = 0;
         let mut span_days = 0.0;
-        for &seed in &SEEDS {
+        let per = per_seed(&seeds, |seed| {
             let trace = crate::experiments::trace_for(preset, seed);
-            let stats = TraceStats::compute(&trace);
+            TraceStats::compute(&trace)
+        });
+        for stats in per {
             nodes = stats.node_count;
             span_days = stats.span.as_days();
             contacts.push(stats.total_contacts as f64);

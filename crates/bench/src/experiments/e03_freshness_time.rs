@@ -5,7 +5,7 @@ use omn_core::sim::{FreshnessSimulator, SchemeChoice};
 use omn_sim::RngFactory;
 
 use crate::experiments::{config_for, trace_for};
-use crate::{banner, window_mean, Table, SEEDS};
+use crate::{active_seeds, banner, per_seed, window_mean, Table};
 
 const POINTS: usize = 12;
 
@@ -15,23 +15,36 @@ const POINTS: usize = 12;
 /// with version-birth times).
 pub fn run() {
     banner("E3", "cache freshness ratio over time");
+    let seeds = active_seeds();
     for preset in TracePreset::ALL {
         println!("\ntrace: {preset}");
         let config = config_for(preset);
         let sim = FreshnessSimulator::new(config);
 
-        // series[scheme][window] accumulated over seeds.
-        let mut series = vec![vec![0.0f64; POINTS]; SchemeChoice::ALL.len()];
-        let mut span_secs = 0.0;
-        for &seed in &SEEDS {
+        // One independent (span, per-scheme window means) result per seed.
+        let per = per_seed(&seeds, |seed| {
             let trace = trace_for(preset, seed);
-            span_secs = trace.span().as_secs();
+            let span_secs = trace.span().as_secs();
+            let mut windows = vec![vec![0.0f64; POINTS]; SchemeChoice::ALL.len()];
             for (si, &choice) in SchemeChoice::ALL.iter().enumerate() {
                 let report = sim.run(&trace, choice, &RngFactory::new(seed));
-                for (pi, slot) in series[si].iter_mut().enumerate() {
+                for (pi, slot) in windows[si].iter_mut().enumerate() {
                     let a = span_secs * pi as f64 / POINTS as f64;
                     let b = span_secs * (pi + 1) as f64 / POINTS as f64;
-                    *slot += window_mean(&report.freshness_timeline, a, b) / SEEDS.len() as f64;
+                    *slot = window_mean(&report.freshness_timeline, a, b);
+                }
+            }
+            (span_secs, windows)
+        });
+
+        // series[scheme][window], folded in seed order for determinism.
+        let mut series = vec![vec![0.0f64; POINTS]; SchemeChoice::ALL.len()];
+        let mut span_secs = 0.0;
+        for (span, windows) in per {
+            span_secs = span;
+            for (si, scheme_windows) in windows.iter().enumerate() {
+                for (pi, w) in scheme_windows.iter().enumerate() {
+                    series[si][pi] += w / seeds.len() as f64;
                 }
             }
         }

@@ -13,7 +13,7 @@ use omn_core::sim::{FreshnessConfig, FreshnessSimulator, SchemeChoice};
 use omn_sim::RngFactory;
 
 use crate::experiments::{config_for, trace_for};
-use crate::{banner, fmt_ci, Table, SEEDS};
+use crate::{active_seeds, banner, fmt_ci, per_seed, Table};
 
 const REQUIREMENTS: [f64; 5] = [0.5, 0.6, 0.7, 0.8, 0.9];
 const MAX_RELAYS: usize = 16;
@@ -33,13 +33,9 @@ pub fn run() {
         "replicas/run",
     ]);
 
+    let seeds = active_seeds();
     for &q in &REQUIREMENTS {
-        let mut relays_per_edge = Vec::new();
-        let mut planned = Vec::new();
-        let mut sat = Vec::new();
-        let mut fresh = Vec::new();
-        let mut replicas = Vec::new();
-        for &seed in &SEEDS {
+        let per = per_seed(&seeds, |seed| {
             let base = config_for(preset);
             let requirement = FreshnessRequirement::new(q, base.requirement.deadline);
             let config = FreshnessConfig {
@@ -66,15 +62,31 @@ pub fn run() {
             let plans =
                 ReplicationPlanner::new(requirement, MAX_RELAYS).plan_hierarchy(&hierarchy, &graph);
             let edges = plans.len().max(1) as f64;
-            relays_per_edge
-                .push(plans.values().map(|p| p.relays.len() as f64).sum::<f64>() / edges);
-            planned.push(plans.values().map(|p| p.achieved_probability).sum::<f64>() / edges);
+            let relays = plans.values().map(|p| p.relays.len() as f64).sum::<f64>() / edges;
+            let hop_p = plans.values().map(|p| p.achieved_probability).sum::<f64>() / edges;
 
             // Measured view.
             let report = sim.run(&trace, SchemeChoice::Hierarchical, &RngFactory::new(seed));
-            sat.push(report.requirement_satisfaction);
-            fresh.push(report.mean_freshness);
-            replicas.push(report.replicas as f64);
+            (
+                relays,
+                hop_p,
+                report.requirement_satisfaction,
+                report.mean_freshness,
+                report.replicas as f64,
+            )
+        });
+
+        let mut relays_per_edge = Vec::new();
+        let mut planned = Vec::new();
+        let mut sat = Vec::new();
+        let mut fresh = Vec::new();
+        let mut replicas = Vec::new();
+        for (relays, hop_p, s, f, r) in per {
+            relays_per_edge.push(relays);
+            planned.push(hop_p);
+            sat.push(s);
+            fresh.push(f);
+            replicas.push(r);
         }
         table.row([
             format!("{q:.1}"),

@@ -7,7 +7,7 @@ use omn_core::sim::{FreshnessConfig, FreshnessSimulator, SchemeChoice};
 use omn_sim::{RngFactory, SimDuration};
 
 use crate::experiments::{config_for, trace_for};
-use crate::{banner, fmt_ci, Table, SEEDS};
+use crate::{active_seeds, banner, fmt_ci, per_seed, Table};
 
 const PERIODS_H: [f64; 5] = [2.0, 4.0, 8.0, 16.0, 32.0];
 const SCHEMES: [SchemeChoice; 4] = [
@@ -24,12 +24,11 @@ pub fn run() {
     let preset = TracePreset::InfocomLike;
     println!("trace: {preset}\n");
 
+    let seeds = active_seeds();
     let mut table = Table::new(["period (h)", "scheme", "mean freshness", "fresh-access"]);
     for &period_h in &PERIODS_H {
         for &choice in &SCHEMES {
-            let mut fresh = Vec::new();
-            let mut access = Vec::new();
-            for &seed in &SEEDS {
+            let (fresh, access): (Vec<f64>, Vec<f64>) = per_seed(&seeds, |seed| {
                 let base = config_for(preset);
                 let period = SimDuration::from_hours(period_h);
                 let config = FreshnessConfig {
@@ -43,9 +42,10 @@ pub fn run() {
                 let trace = trace_for(preset, seed);
                 let report =
                     FreshnessSimulator::new(config).run(&trace, choice, &RngFactory::new(seed));
-                fresh.push(report.mean_freshness);
-                access.push(report.fresh_access_ratio());
-            }
+                (report.mean_freshness, report.fresh_access_ratio())
+            })
+            .into_iter()
+            .unzip();
             table.row([
                 format!("{period_h:.0}"),
                 choice.name().to_owned(),

@@ -6,13 +6,14 @@ use omn_core::sim::{FreshnessSimulator, SchemeChoice};
 use omn_sim::RngFactory;
 
 use crate::experiments::{config_for, trace_for};
-use crate::{banner, fmt_ci, fmt_ci_count, Table, SEEDS};
+use crate::{active_seeds, banner, fmt_ci, fmt_ci_count, per_seed, Table};
 
 /// Runs E6 on both traces: per scheme, total transmissions, replicas,
 /// transmissions per version per caching node, and mean freshness (the
 /// trade-off the paper's overhead figure makes).
 pub fn run() {
     banner("E6", "overhead comparison");
+    let seeds = active_seeds();
     for preset in TracePreset::ALL {
         println!("\ntrace: {preset}");
         let config = config_for(preset);
@@ -31,9 +32,10 @@ pub fn run() {
             let mut per = Vec::new();
             let mut buf = Vec::new();
             let mut fresh = Vec::new();
-            for &seed in &SEEDS {
+            for report in per_seed(&seeds, |seed| {
                 let trace = trace_for(preset, seed);
-                let report = sim.run(&trace, choice, &RngFactory::new(seed));
+                sim.run(&trace, choice, &RngFactory::new(seed))
+            }) {
                 tx.push(report.transmissions as f64);
                 reps.push(report.replicas as f64);
                 per.push(report.overhead_per_version_per_member());

@@ -7,7 +7,7 @@ use omn_core::sim::{FreshnessConfig, FreshnessSimulator, SchemeChoice};
 use omn_sim::RngFactory;
 
 use crate::experiments::{config_for, trace_for};
-use crate::{banner, fmt_ci, Table, SEEDS};
+use crate::{active_seeds, banner, fmt_ci, per_seed, Table};
 
 const CACHING_NODES: [usize; 5] = [4, 8, 16, 24, 32];
 const SCHEMES: [SchemeChoice; 3] = [
@@ -31,11 +31,11 @@ pub fn run() {
         "p95 delay (h)",
         "mean freshness",
     ]);
+    let seeds = active_seeds();
     for &c in &CACHING_NODES {
         // Oracle bound: earliest possible arrival of each version at each
         // member via time-respecting contact paths.
-        let mut oracle_mean = Vec::new();
-        for &seed in &SEEDS {
+        let oracle_mean: Vec<f64> = per_seed(&seeds, |seed| {
             let config = FreshnessConfig {
                 caching_nodes: c,
                 ..config_for(preset)
@@ -50,10 +50,12 @@ pub fn run() {
                 let birth = omn_sim::SimTime::from_secs(v as f64 * period);
                 delays.extend(temporal::oracle_delays(&trace, source, birth, &members));
             }
-            if !delays.is_empty() {
-                oracle_mean.push(delays.iter().sum::<f64>() / delays.len() as f64 / 3600.0);
-            }
-        }
+            (!delays.is_empty())
+                .then(|| delays.iter().sum::<f64>() / delays.len() as f64 / 3600.0)
+        })
+        .into_iter()
+        .flatten()
+        .collect();
         table.row([
             c.to_string(),
             "(oracle bound)".to_owned(),
@@ -66,14 +68,14 @@ pub fn run() {
             let mut mean_d = Vec::new();
             let mut p95_d = Vec::new();
             let mut fresh = Vec::new();
-            for &seed in &SEEDS {
+            for mut report in per_seed(&seeds, |seed| {
                 let config = FreshnessConfig {
                     caching_nodes: c,
                     ..config_for(preset)
                 };
                 let trace = trace_for(preset, seed);
-                let mut report =
-                    FreshnessSimulator::new(config).run(&trace, choice, &RngFactory::new(seed));
+                FreshnessSimulator::new(config).run(&trace, choice, &RngFactory::new(seed))
+            }) {
                 if let Some(m) = report.refresh_delays.mean() {
                     mean_d.push(m / 3600.0);
                 }

@@ -13,7 +13,7 @@ use omn_core::sim::{FreshnessConfig, FreshnessSimulator, SchemeChoice};
 use omn_sim::{RngFactory, SimDuration};
 
 use crate::experiments::{config_for, trace_for};
-use crate::{banner, fmt_ci, Table, SEEDS};
+use crate::{active_seeds, banner, fmt_ci, per_seed, Table};
 
 /// Runs E8 on the conference trace.
 pub fn run() {
@@ -31,15 +31,13 @@ fn measure(
     config: FreshnessConfig,
     choice: SchemeChoice,
 ) -> (Vec<f64>, Vec<f64>) {
-    let mut fresh = Vec::new();
-    let mut sat = Vec::new();
-    for &seed in &SEEDS {
+    per_seed(&active_seeds(), |seed| {
         let trace = trace_for(preset, seed);
         let report = FreshnessSimulator::new(config).run(&trace, choice, &RngFactory::new(seed));
-        fresh.push(report.mean_freshness);
-        sat.push(report.requirement_satisfaction);
-    }
-    (fresh, sat)
+        (report.mean_freshness, report.requirement_satisfaction)
+    })
+    .into_iter()
+    .unzip()
 }
 
 fn replication_ablation(preset: TracePreset) {
@@ -130,9 +128,7 @@ fn maintenance_ablation(preset: TracePreset) {
             estimator: EstimatorKind::Cumulative,
             ..base
         };
-        let mut fresh = Vec::new();
-        let mut sat = Vec::new();
-        for &seed in &SEEDS {
+        let (fresh, sat): (Vec<f64>, Vec<f64>) = per_seed(&active_seeds(), |seed| {
             let trace = trace_for(preset, seed);
             let mut scheme = HierarchicalScheme::new(hconfig);
             let report = FreshnessSimulator::new(config).run_scheme(
@@ -140,9 +136,10 @@ fn maintenance_ablation(preset: TracePreset) {
                 &mut scheme,
                 &RngFactory::new(seed),
             );
-            fresh.push(report.mean_freshness);
-            sat.push(report.requirement_satisfaction);
-        }
+            (report.mean_freshness, report.requirement_satisfaction)
+        })
+        .into_iter()
+        .unzip();
         table.row([name.to_owned(), fmt_ci(&fresh, 3), fmt_ci(&sat, 3)]);
     }
     table.print();

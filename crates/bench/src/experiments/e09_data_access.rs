@@ -1,15 +1,18 @@
 //! E9 — Data-access validity with the full stack: the cooperative caching
 //! layer decides where items are cached and answers queries; the freshness
-//! layer decides whether those answers are *valid* (fresh).
+//! layer decides whether those answers are *valid* (fresh). A fault sweep
+//! re-runs the caching layer under transmission loss and node churn
+//! (injected through the shared [`ContactDriver`](omn_contacts::ContactDriver)).
 
 use omn_caching::query::QueryWorkload;
-use omn_caching::{CachingConfig, CachingSimulator, Catalog};
+use omn_caching::{AccessReport, CachingConfig, CachingSimulator, Catalog};
+use omn_contacts::faults::{DowntimeConfig, FaultConfig};
 use omn_contacts::synth::presets::TracePreset;
 use omn_core::sim::{FreshnessConfig, FreshnessReport, FreshnessSimulator, SchemeChoice};
 use omn_sim::{RngFactory, SimDuration};
 
 use crate::experiments::{config_for, trace_for};
-use crate::{banner, fmt_ci, Table, SEEDS};
+use crate::{active_seeds, banner, fmt_ci, fmt_ci_count, per_seed, Table};
 
 const SCHEMES: [SchemeChoice; 4] = [
     SchemeChoice::Hierarchical,
@@ -18,63 +21,111 @@ const SCHEMES: [SchemeChoice; 4] = [
     SchemeChoice::NoRefresh,
 ];
 
+/// The caching-layer fault scenarios of the sweep: label plus fault
+/// configuration (`None` = fault-free baseline).
+fn fault_scenarios() -> [(&'static str, Option<FaultConfig>); 3] {
+    [
+        ("fault-free", None),
+        (
+            "20% loss",
+            Some(FaultConfig {
+                transmission_loss: 0.2,
+                ..FaultConfig::default()
+            }),
+        ),
+        (
+            "25% churn",
+            Some(FaultConfig {
+                downtime: Some(DowntimeConfig {
+                    node_fraction: 0.25,
+                    mean_uptime: SimDuration::from_hours(18.0),
+                    mean_downtime: SimDuration::from_hours(6.0),
+                    exempt: None,
+                }),
+                ..FaultConfig::default()
+            }),
+        ),
+    ]
+}
+
+fn caching_run(
+    preset: TracePreset,
+    seed: u64,
+    faults: Option<FaultConfig>,
+) -> (AccessReport, Catalog, QueryWorkload) {
+    let factory = RngFactory::new(seed);
+    let trace = trace_for(preset, seed);
+    let base = config_for(preset);
+    let catalog = Catalog::uniform(&trace, 6, base.refresh_period, &factory);
+    let queries = QueryWorkload::zipf(&trace, &catalog, 400, 1.0, &factory);
+    let report = CachingSimulator::new(CachingConfig {
+        query_deadline: SimDuration::from_hours(12.0),
+        faults,
+        ..CachingConfig::default()
+    })
+    .run_seeded(&trace, &catalog, &queries, &factory);
+    (report, catalog, queries)
+}
+
 /// Runs E9 on the conference trace: the caching layer computes per-item
 /// caching sets and raw access success; each freshness scheme then
 /// maintains those sets, and the fresh-access ratio is reported per
-/// scheme, averaged over items and seeds.
+/// scheme, averaged over items and seeds. A final table sweeps the caching
+/// layer over loss and churn.
 pub fn run() {
     banner("E9", "data-access validity (caching + freshness stack)");
     let preset = TracePreset::InfocomLike;
     println!("trace: {preset}\n");
+    let seeds = active_seeds();
+
+    // One (access success, per-scheme item means) result per seed.
+    type SchemeMeans = Vec<Option<(f64, f64)>>;
+    let per: Vec<(f64, SchemeMeans)> = per_seed(&seeds, |seed| {
+        let factory = RngFactory::new(seed);
+        let trace = trace_for(preset, seed);
+        let base = config_for(preset);
+        let (caching_report, catalog, _) = caching_run(preset, seed, None);
+
+        // Freshness layer per scheme, over each item's caching set.
+        let per_scheme = SCHEMES
+            .iter()
+            .map(|&choice| {
+                let sim = FreshnessSimulator::new(FreshnessConfig {
+                    query_count: 100,
+                    ..base
+                });
+                let reports = sim.run_catalog(
+                    &trace,
+                    &catalog,
+                    &caching_report.cachers_per_item,
+                    choice,
+                    &factory,
+                );
+                (!reports.is_empty()).then(|| {
+                    let n = reports.len() as f64;
+                    let fresh = reports
+                        .iter()
+                        .map(FreshnessReport::fresh_access_ratio)
+                        .sum::<f64>()
+                        / n;
+                    let service = reports.iter().map(FreshnessReport::service_ratio).sum::<f64>()
+                        / n;
+                    (fresh, service)
+                })
+            })
+            .collect();
+        (caching_report.success_ratio(), per_scheme)
+    });
 
     let mut access_sr = Vec::new();
     let mut per_scheme_fresh: Vec<Vec<f64>> = vec![Vec::new(); SCHEMES.len()];
     let mut per_scheme_service: Vec<Vec<f64>> = vec![Vec::new(); SCHEMES.len()];
-
-    for &seed in &SEEDS {
-        let factory = RngFactory::new(seed);
-        let trace = trace_for(preset, seed);
-        let base = config_for(preset);
-
-        // Caching layer: place items, serve queries, report caching sets.
-        let catalog = Catalog::uniform(&trace, 6, base.refresh_period, &factory);
-        let queries = QueryWorkload::zipf(&trace, &catalog, 400, 1.0, &factory);
-        let caching_report = CachingSimulator::new(CachingConfig {
-            query_deadline: SimDuration::from_hours(12.0),
-            ..CachingConfig::default()
-        })
-        .run(&trace, &catalog, &queries);
-        access_sr.push(caching_report.success_ratio());
-
-        // Freshness layer per scheme, over each item's caching set.
-        for (si, &choice) in SCHEMES.iter().enumerate() {
-            let sim = FreshnessSimulator::new(FreshnessConfig {
-                query_count: 100,
-                ..base
-            });
-            let reports = sim.run_catalog(
-                &trace,
-                &catalog,
-                &caching_report.cachers_per_item,
-                choice,
-                &factory,
-            );
-            if !reports.is_empty() {
-                let n = reports.len() as f64;
-                per_scheme_fresh[si].push(
-                    reports
-                        .iter()
-                        .map(FreshnessReport::fresh_access_ratio)
-                        .sum::<f64>()
-                        / n,
-                );
-                per_scheme_service[si].push(
-                    reports
-                        .iter()
-                        .map(FreshnessReport::service_ratio)
-                        .sum::<f64>()
-                        / n,
-                );
+    for (sr, per_scheme) in per {
+        access_sr.push(sr);
+        for (si, entry) in per_scheme.into_iter().enumerate() {
+            if let Some((fresh, service)) = entry {
+                per_scheme_fresh[si].push(fresh);
+                per_scheme_service[si].push(service);
             }
         }
     }
@@ -97,5 +148,40 @@ pub fn run() {
         "\n(expected shape: service ratios are scheme-independent; the \
          *fresh*-access ratio is what freshness maintenance buys — \
          hierarchical close to epidemic, both far above no-refresh)"
+    );
+
+    // Fault sweep over the caching layer alone.
+    println!("\ncaching layer under faults:");
+    let mut fault_table = Table::new([
+        "scenario",
+        "success ratio",
+        "local hits",
+        "failed tx",
+        "down contacts",
+    ]);
+    for (label, faults) in fault_scenarios() {
+        let mut success = Vec::new();
+        let mut local = Vec::new();
+        let mut failed = Vec::new();
+        let mut down = Vec::new();
+        for (report, _, _) in per_seed(&seeds, |seed| caching_run(preset, seed, faults)) {
+            success.push(report.success_ratio());
+            local.push(report.local_hits as f64);
+            failed.push(report.extras.get("failed-transmissions") as f64);
+            down.push(report.extras.get("down-contacts") as f64);
+        }
+        fault_table.row([
+            label.to_owned(),
+            fmt_ci(&success, 3),
+            fmt_ci_count(&local),
+            fmt_ci_count(&failed),
+            fmt_ci_count(&down),
+        ]);
+    }
+    fault_table.print();
+    println!(
+        "\n(expected shape: loss lowers success as forwarded copies and \
+         responses are dropped mid-path; churn suppresses whole contacts, \
+         cutting both placement and query forwarding)"
     );
 }

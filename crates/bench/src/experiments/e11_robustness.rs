@@ -26,7 +26,7 @@ use omn_core::sim::FreshnessSimulator;
 use omn_sim::{RngFactory, SimDuration, SimTime};
 
 use crate::experiments::{config_for, trace_for};
-use crate::{banner, fmt_ci, window_mean, Table, SEEDS};
+use crate::{active_seeds, banner, fmt_ci, per_seed, window_mean, Table};
 
 const DEPART_FRACTIONS: [f64; 4] = [0.0, 0.1, 0.2, 0.4];
 
@@ -103,12 +103,13 @@ pub fn run() {
         "epidemic",
     ]);
 
+    let seeds = active_seeds();
     for &frac in &DEPART_FRACTIONS {
         let mut static_f = Vec::new();
         let mut maintained_f = Vec::new();
         let mut resilient_f = Vec::new();
         let mut epidemic_f = Vec::new();
-        for &seed in &SEEDS {
+        let per = per_seed(&seeds, |seed| {
             let mut base = config_for(preset);
             let factory = RngFactory::new(seed);
             let trace = trace_for(preset, seed);
@@ -137,19 +138,24 @@ pub fn run() {
                 )
             };
 
-            static_f.push(post(&mut static_scheme(
-                &base,
-                &healthy_graph,
-                source,
-                &members,
-                seed,
-            )));
-            maintained_f.push(post(&mut maintained_scheme(&base, None)));
-            resilient_f.push(post(&mut maintained_scheme(
-                &base,
-                Some(ResilienceConfig::default()),
-            )));
-            epidemic_f.push(post(&mut EpidemicRefresh::new()));
+            (
+                post(&mut static_scheme(
+                    &base,
+                    &healthy_graph,
+                    source,
+                    &members,
+                    seed,
+                )),
+                post(&mut maintained_scheme(&base, None)),
+                post(&mut maintained_scheme(&base, Some(ResilienceConfig::default()))),
+                post(&mut EpidemicRefresh::new()),
+            )
+        });
+        for (st, ma, re, ep) in per {
+            static_f.push(st);
+            maintained_f.push(ma);
+            resilient_f.push(re);
+            epidemic_f.push(ep);
         }
         table.row([
             format!("{:.0}%", frac * 100.0),

@@ -9,7 +9,7 @@ use omn_core::sim::{FreshnessConfig, FreshnessSimulator, SchemeChoice};
 use omn_sim::RngFactory;
 
 use crate::experiments::{config_for, trace_for};
-use crate::{banner, fmt_ci, Table, SEEDS};
+use crate::{active_seeds, banner, fmt_ci, per_seed, Table};
 
 const SCHEMES: [SchemeChoice; 4] = [
     SchemeChoice::Hierarchical,
@@ -35,19 +35,20 @@ pub fn run() {
         "mean freshness",
     ]);
 
+    let seeds = active_seeds();
     for &choice in &SCHEMES {
         let mut src_share = Vec::new();
         let mut max_share = Vec::new();
         let mut src_per_version = Vec::new();
         let mut fresh = Vec::new();
-        for &seed in &SEEDS {
+        for report in per_seed(&seeds, |seed| {
             let config = FreshnessConfig {
                 caching_nodes: 16,
                 ..config_for(preset)
             };
             let trace = trace_for(preset, seed);
-            let report =
-                FreshnessSimulator::new(config).run(&trace, choice, &RngFactory::new(seed));
+            FreshnessSimulator::new(config).run(&trace, choice, &RngFactory::new(seed))
+        }) {
             let total = report.transmissions.max(1) as f64;
             src_share.push(report.source_transmissions() as f64 / total);
             max_share.push(report.max_node_transmissions() as f64 / total);

@@ -22,7 +22,7 @@ use omn_core::sim::{FreshnessSimulator, SchemeChoice};
 use omn_sim::{RngFactory, SimDuration};
 
 use crate::experiments::{config_for, trace_for};
-use crate::{banner, fmt_ci, fmt_ci_count, Table, SEEDS};
+use crate::{active_seeds, banner, fmt_ci, fmt_ci_count, per_seed, Table};
 
 const LOSS_RATES: [f64; 4] = [0.0, 0.1, 0.2, 0.4];
 const CHURN_FRACTIONS: [f64; 3] = [0.0, 0.25, 0.5];
@@ -47,13 +47,14 @@ fn loss_sweep(preset: TracePreset) {
         "retries",
     ]);
 
+    let seeds = active_seeds();
     for &loss in &LOSS_RATES {
         let mut plain = Vec::new();
         let mut retry = Vec::new();
         let mut epidemic = Vec::new();
         let mut failed_tx = Vec::new();
         let mut retries = Vec::new();
-        for &seed in &SEEDS {
+        let per = per_seed(&seeds, |seed| {
             let trace = trace_for(preset, seed);
             let factory = RngFactory::new(seed);
             let mut base = config_for(preset);
@@ -62,19 +63,27 @@ fn loss_sweep(preset: TracePreset) {
                 ..FaultConfig::default()
             });
 
-            let r = FreshnessSimulator::new(base).run(&trace, SchemeChoice::Hierarchical, &factory);
-            plain.push(r.mean_freshness);
+            let p = FreshnessSimulator::new(base).run(&trace, SchemeChoice::Hierarchical, &factory);
 
             base.resilience = Some(retry_only());
             let r = FreshnessSimulator::new(base).run(&trace, SchemeChoice::Hierarchical, &factory);
-            retry.push(r.mean_freshness);
-            failed_tx.push(r.extras.get("failed-transmissions") as f64);
-            retries
-                .push((r.extras.get("replication-retries") + r.extras.get("relay-retries")) as f64);
 
             base.resilience = None;
-            let r = FreshnessSimulator::new(base).run(&trace, SchemeChoice::Epidemic, &factory);
-            epidemic.push(r.mean_freshness);
+            let e = FreshnessSimulator::new(base).run(&trace, SchemeChoice::Epidemic, &factory);
+            (
+                p.mean_freshness,
+                r.mean_freshness,
+                r.extras.get("failed-transmissions") as f64,
+                (r.extras.get("replication-retries") + r.extras.get("relay-retries")) as f64,
+                e.mean_freshness,
+            )
+        });
+        for (p, r, ft, rt, e) in per {
+            plain.push(p);
+            retry.push(r);
+            failed_tx.push(ft);
+            retries.push(rt);
+            epidemic.push(e);
         }
         table.row([
             format!("{:.0}%", loss * 100.0),
@@ -107,6 +116,7 @@ fn churn_sweep(preset: TracePreset) {
         "false susp.",
     ]);
 
+    let seeds = active_seeds();
     for &frac in &CHURN_FRACTIONS {
         let mut plain = Vec::new();
         let mut aware = Vec::new();
@@ -114,7 +124,7 @@ fn churn_sweep(preset: TracePreset) {
         let mut recovery_h = Vec::new();
         let mut suspected = Vec::new();
         let mut false_susp = Vec::new();
-        for &seed in &SEEDS {
+        let per = per_seed(&seeds, |seed| {
             let trace = trace_for(preset, seed);
             let factory = RngFactory::new(seed);
             let mut base = config_for(preset);
@@ -133,16 +143,26 @@ fn churn_sweep(preset: TracePreset) {
                 ..FaultConfig::default()
             });
 
-            let r = FreshnessSimulator::new(base).run(&trace, SchemeChoice::Hierarchical, &factory);
-            plain.push(r.mean_freshness);
+            let p = FreshnessSimulator::new(base).run(&trace, SchemeChoice::Hierarchical, &factory);
 
             base.resilience = Some(ResilienceConfig::default());
             let r = FreshnessSimulator::new(base).run(&trace, SchemeChoice::Hierarchical, &factory);
-            aware.push(r.mean_freshness);
-            rejoins.push(r.extras.get("rejoin-events") as f64);
-            recovery_h.push(r.recovery_delays.mean().unwrap_or(0.0) / 3600.0);
-            suspected.push(r.extras.get("suspected-failures") as f64);
-            false_susp.push(r.extras.get("false-suspicions") as f64);
+            (
+                p.mean_freshness,
+                r.mean_freshness,
+                r.extras.get("rejoin-events") as f64,
+                r.recovery_delays.mean().unwrap_or(0.0) / 3600.0,
+                r.extras.get("suspected-failures") as f64,
+                r.extras.get("false-suspicions") as f64,
+            )
+        });
+        for (p, a, rj, rec, su, fs) in per {
+            plain.push(p);
+            aware.push(a);
+            rejoins.push(rj);
+            recovery_h.push(rec);
+            suspected.push(su);
+            false_susp.push(fs);
         }
         table.row([
             format!("{:.0}%", frac * 100.0),

@@ -6,12 +6,18 @@
 //! `src/bin/`. `run_all` executes the full campaign.
 //!
 //! Results are averaged over several seeds with normal-approximation 95%
-//! confidence intervals, printed as `mean ± hw`.
+//! confidence intervals, printed as `mean ± hw`. Seed replications run in
+//! parallel through [`per_seed`] (one thread per seed, results merged in
+//! seed order, byte-identical to a serial run); `--seeds a,b,c` overrides
+//! the seed set and `--serial` forces sequential execution.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
+mod runner;
+
+pub use runner::{active_seeds, per_seed, serial_requested};
 
 use omn_sim::stats::mean_ci95;
 

@@ -1,0 +1,134 @@
+//! Parallel multi-seed execution.
+//!
+//! Every multi-replication experiment runs the same closure once per seed
+//! and folds the per-seed results in seed order. [`per_seed`] runs those
+//! closures on one thread per seed and joins the handles *in seed order*,
+//! so the merged results — and therefore every printed table — are
+//! byte-identical to a serial run: simulators draw only from per-seed
+//! [`RngFactory`](omn_sim::RngFactory) streams, threads share nothing, and
+//! floating-point folds happen on the caller's thread in a fixed order.
+//!
+//! Command-line control (honored by `run_all` and every `exp_*` binary):
+//!
+//! * `--seeds 11,23,37` (or `--seeds=11,23,37`) — replace the default
+//!   [`SEEDS`] set.
+//! * `--serial` — run seeds sequentially on the calling thread (useful for
+//!   profiling and for demonstrating serial/parallel equivalence).
+
+use std::thread;
+
+use crate::SEEDS;
+
+/// Runs `f` once per seed — in parallel, one thread per seed — and returns
+/// the results in seed order.
+///
+/// Runs serially on the calling thread when only one seed is given or when
+/// `--serial` is on the command line; the results are identical either way
+/// (each closure invocation is independent, and joins happen in seed
+/// order).
+///
+/// # Panics
+///
+/// Panics if `f` panics for any seed.
+pub fn per_seed<T: Send>(seeds: &[u64], f: impl Fn(u64) -> T + Sync) -> Vec<T> {
+    if seeds.len() <= 1 || serial_requested() {
+        return seeds.iter().map(|&s| f(s)).collect();
+    }
+    let f = &f;
+    thread::scope(|scope| {
+        let handles: Vec<_> = seeds
+            .iter()
+            .map(|&seed| scope.spawn(move || f(seed)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("seed worker panicked"))
+            .collect()
+    })
+}
+
+/// The seed set for this process: `--seeds a,b,c` from the command line,
+/// or the default [`SEEDS`].
+#[must_use]
+pub fn active_seeds() -> Vec<u64> {
+    seeds_from(std::env::args().skip(1))
+}
+
+/// Whether `--serial` is on the command line.
+#[must_use]
+pub fn serial_requested() -> bool {
+    std::env::args().skip(1).any(|a| a == "--serial")
+}
+
+fn seeds_from<I: Iterator<Item = String>>(mut args: I) -> Vec<u64> {
+    while let Some(arg) = args.next() {
+        let list = if let Some(rest) = arg.strip_prefix("--seeds=") {
+            Some(rest.to_owned())
+        } else if arg == "--seeds" {
+            args.next()
+        } else {
+            None
+        };
+        if let Some(list) = list {
+            let parsed: Vec<u64> = list
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(|s| {
+                    s.parse()
+                        .expect("--seeds takes a comma-separated list of integers")
+                })
+                .collect();
+            if !parsed.is_empty() {
+                return parsed;
+            }
+        }
+    }
+    SEEDS.to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> impl Iterator<Item = String> + '_ {
+        list.iter().map(|s| (*s).to_owned())
+    }
+
+    #[test]
+    fn default_seeds_without_flag() {
+        assert_eq!(seeds_from(args(&[])), SEEDS.to_vec());
+        assert_eq!(seeds_from(args(&["--serial"])), SEEDS.to_vec());
+    }
+
+    #[test]
+    fn parses_seed_list_forms() {
+        assert_eq!(seeds_from(args(&["--seeds", "1,2,3"])), vec![1, 2, 3]);
+        assert_eq!(seeds_from(args(&["--seeds=7"])), vec![7]);
+        assert_eq!(seeds_from(args(&["--seeds=4, 5"])), vec![4, 5]);
+    }
+
+    #[test]
+    fn empty_seed_list_falls_back_to_default() {
+        assert_eq!(seeds_from(args(&["--seeds="])), SEEDS.to_vec());
+    }
+
+    #[test]
+    fn per_seed_preserves_seed_order() {
+        let seeds: Vec<u64> = (0..32).collect();
+        let results = per_seed(&seeds, |s| s * s);
+        assert_eq!(results, seeds.iter().map(|s| s * s).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn per_seed_matches_serial_map() {
+        // The parallel path must merge to exactly what a serial map
+        // produces, including f64 bit patterns.
+        let seeds = SEEDS.to_vec();
+        let serial: Vec<f64> = seeds.iter().map(|&s| (s as f64).sqrt().sin()).collect();
+        let parallel = per_seed(&seeds, |s| (s as f64).sqrt().sin());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

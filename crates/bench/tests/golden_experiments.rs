@@ -1,0 +1,139 @@
+//! Golden-value tests pinning the headline numbers of E2 (analysis vs
+//! simulation) and E3 (freshness over time) against committed golden
+//! files.
+//!
+//! The pinned values are written with full bit patterns, so any change to
+//! the simulation kernel, the RNG stream layout, or the schemes that
+//! perturbs these runs fails loudly. To (re-)record the goldens after an
+//! intentional change:
+//!
+//! ```text
+//! OMN_BLESS_GOLDEN=1 cargo test -p omn-bench --test golden_experiments
+//! ```
+//!
+//! When no golden file has been recorded yet the comparison is skipped
+//! (with a note), but the always-on invariant assertions still run.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use omn_bench::experiments::{config_for, trace_for};
+use omn_contacts::synth::presets::TracePreset;
+use omn_contacts::synth::{generate_pairwise, PairwiseConfig};
+use omn_contacts::ContactGraph;
+use omn_core::analysis;
+use omn_core::scheme::{HierarchicalConfig, HierarchicalScheme};
+use omn_core::sim::{FreshnessConfig, FreshnessSimulator, SchemeChoice};
+use omn_sim::{RngFactory, SimDuration};
+
+/// One pinned scalar: label, human-readable value, exact bit pattern.
+fn line(out: &mut String, label: &str, v: f64) {
+    writeln!(out, "{label} {v:.12} bits={:016x}", v.to_bits()).unwrap();
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compares `rendered` against the committed golden file, or records it
+/// when `OMN_BLESS_GOLDEN` is set.
+fn check_golden(name: &str, rendered: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("OMN_BLESS_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("parent")).expect("mkdir golden");
+        std::fs::write(&path, rendered).expect("write golden");
+        return;
+    }
+    match std::fs::read_to_string(&path) {
+        Ok(expected) => assert_eq!(
+            expected, rendered,
+            "golden mismatch for {name}; if the change is intentional, \
+             re-record with OMN_BLESS_GOLDEN=1"
+        ),
+        Err(_) => eprintln!("note: golden file {name} not recorded yet (OMN_BLESS_GOLDEN=1 to pin)"),
+    }
+}
+
+#[test]
+fn e2_headline_numbers() {
+    // Mirrors the E2 setup: pairwise-exponential trace where the
+    // analytical assumptions hold by construction.
+    let factory = RngFactory::new(17);
+    let trace = generate_pairwise(
+        &PairwiseConfig::new(40, SimDuration::from_days(8.0))
+            .mean_rate(1.0 / 7200.0)
+            .rate_shape(1.5),
+        &factory,
+    );
+    let config = FreshnessConfig {
+        caching_nodes: 8,
+        refresh_period: SimDuration::from_hours(12.0),
+        query_count: 0,
+        ..FreshnessConfig::default()
+    };
+    let sim = FreshnessSimulator::new(config);
+    let (source, members) = sim.select_roles(&trace);
+    let graph = ContactGraph::from_trace(&trace);
+    let mut scheme = HierarchicalScheme::new(HierarchicalConfig {
+        replication: Some(config.requirement),
+        ..HierarchicalConfig::default()
+    });
+    let report = sim.run_with_roles(&trace, source, &members, &mut scheme, &factory);
+    let summary = analysis::analyze(
+        scheme.hierarchy().expect("built"),
+        scheme.plans(),
+        &graph,
+        config.refresh_period.as_secs(),
+        config.requirement,
+    );
+
+    // Always-on invariants, independent of the recorded golden.
+    assert!((0.0..=1.0).contains(&report.mean_freshness));
+    assert!((0.0..=1.0).contains(&report.requirement_satisfaction));
+    assert!((0.0..=1.0).contains(&summary.mean_freshness));
+    assert!(report.transmissions > 0);
+    assert!(report.version_count > 0);
+
+    let mut out = String::new();
+    line(&mut out, "sim_mean_freshness", report.mean_freshness);
+    line(&mut out, "sim_requirement_satisfaction", report.requirement_satisfaction);
+    line(&mut out, "analysis_mean_freshness", summary.mean_freshness);
+    line(&mut out, "analysis_within_deadline", summary.mean_within_deadline);
+    line(&mut out, "transmissions", report.transmissions as f64);
+    check_golden("e2_headline.txt", &out);
+}
+
+#[test]
+fn e3_headline_numbers() {
+    // One seed of the E3 configuration: the full-size conference trace,
+    // hierarchical vs epidemic vs no-refresh.
+    let preset = TracePreset::InfocomLike;
+    let seed = 11;
+    let trace = trace_for(preset, seed);
+    let config = config_for(preset);
+    let factory = RngFactory::new(seed);
+
+    let run = |choice| FreshnessSimulator::new(config).run(&trace, choice, &factory);
+    let hier = run(SchemeChoice::Hierarchical);
+    let epi = run(SchemeChoice::Epidemic);
+    let none = run(SchemeChoice::NoRefresh);
+
+    // Always-on invariants: refreshing must beat not refreshing.
+    for r in [&hier, &epi, &none] {
+        assert!((0.0..=1.0).contains(&r.mean_freshness));
+        assert!((0.0..=1.0).contains(&r.requirement_satisfaction));
+    }
+    assert!(hier.mean_freshness > none.mean_freshness);
+    assert!(epi.mean_freshness > none.mean_freshness);
+    assert!(hier.transmissions > 0);
+
+    let mut out = String::new();
+    line(&mut out, "hierarchical_mean_freshness", hier.mean_freshness);
+    line(&mut out, "hierarchical_satisfaction", hier.requirement_satisfaction);
+    line(&mut out, "hierarchical_transmissions", hier.transmissions as f64);
+    line(&mut out, "epidemic_mean_freshness", epi.mean_freshness);
+    line(&mut out, "no_refresh_mean_freshness", none.mean_freshness);
+    check_golden("e3_headline.txt", &out);
+}

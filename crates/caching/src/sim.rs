@@ -14,16 +14,44 @@
 //! gives the query success ratio, access delays, and protocol overhead —
 //! the data-access metrics of experiment E9 — plus the final set of nodes
 //! caching each item, which the cache-freshness layer consumes.
+//!
+//! The run executes on the shared `omn-sim` event kernel: a
+//! [`ContactDriver`] primes an [`Engine`] with one event per contact, query
+//! issues are scheduled at their issue instants, and query deadlines are
+//! first-class events ordered *after* contacts at the same instant (a query
+//! is still servable at a contact exactly at its deadline). With
+//! [`CachingConfig::faults`] set, churn suppresses contacts, truncation
+//! blocks them for data, and transmission loss fails individual hops.
 
-use omn_contacts::{ContactGraph, ContactTrace, NodeId};
-use omn_sim::metrics::SampleHistogram;
-use omn_sim::{SimDuration, SimTime};
+use omn_contacts::faults::FaultConfig;
+use omn_contacts::{ContactDriver, ContactFate, ContactGraph, ContactTrace, NodeId};
+use omn_sim::metrics::{Registry, SampleHistogram};
+use omn_sim::{Engine, EventClass, RngFactory, SimDuration, SimTime, SimWorld, World};
 
 use crate::item::{Catalog, DataItemId};
 use crate::ncl::{select_ncls, NclConfig};
 use crate::policy::{CachePolicy, Lru};
 use crate::query::{Query, QueryWorkload};
 use crate::store::CacheStore;
+
+/// Delivery classes for same-instant events. Deadlines fire *after*
+/// contacts: a query is still servable at a contact exactly at its
+/// deadline, matching the `<=` retain semantics of the pre-kernel loop.
+const CLASS_QUERY_ISSUE: EventClass = EventClass(20);
+const CLASS_CONTACT: EventClass = EventClass(60);
+const CLASS_QUERY_DEADLINE: EventClass = EventClass(200);
+
+/// The caching simulation's event alphabet.
+#[derive(Debug, Clone, Copy)]
+enum CachingEvent {
+    /// The `i`-th query of the workload is issued.
+    QueryIssue(usize),
+    /// The `i`-th contact of the trace starts.
+    Contact(usize),
+    /// The `i`-th query's deadline elapses: drop it and any in-flight
+    /// response.
+    QueryDeadline(usize),
+}
 
 /// Caching simulation parameters.
 #[derive(Debug, Clone)]
@@ -36,6 +64,11 @@ pub struct CachingConfig {
     pub query_deadline: SimDuration,
     /// Whether relays cache data passing through them.
     pub opportunistic_caching: bool,
+    /// Fault injection: `None` runs fault-free; `Some` materializes a
+    /// fault plan per run (seeded from the run's factory) and subjects
+    /// contacts and hop transfers to it. A plan with all probabilities at
+    /// zero is bit-identical to `None`.
+    pub faults: Option<FaultConfig>,
 }
 
 impl Default for CachingConfig {
@@ -45,13 +78,16 @@ impl Default for CachingConfig {
             cache_capacity: 16,
             query_deadline: SimDuration::from_hours(24.0),
             opportunistic_caching: true,
+            faults: None,
         }
     }
 }
 
-/// A query or response in flight, carried by exactly one node.
+/// A query or response in flight, carried by exactly one node. `qid`
+/// indexes the workload and keys deadline-driven removal.
 #[derive(Debug, Clone, Copy)]
 struct PendingQuery {
+    qid: usize,
     query: Query,
     carrier: NodeId,
     hops: u32,
@@ -59,6 +95,7 @@ struct PendingQuery {
 
 #[derive(Debug, Clone, Copy)]
 struct PendingResponse {
+    qid: usize,
     query: Query,
     version: u64,
     carrier: NodeId,
@@ -84,8 +121,13 @@ pub struct AccessReport {
     /// Access delays (seconds) of satisfied queries.
     pub delays: SampleHistogram,
     /// Message transfers performed by the protocol (placement + query +
-    /// response hops).
+    /// response hops). Failed hops (transmission loss) are included: the
+    /// send happened even if the receive did not.
     pub transmissions: u64,
+    /// Kernel and fault counters: `down-contacts` (suppressed by churn),
+    /// `blocked-contacts` (truncated), `failed-transmissions` (hops lost
+    /// to transmission loss). Empty without fault injection.
+    pub extras: Registry,
     /// Nodes caching each item at the end of the run (indexed by item id),
     /// including the item's source.
     pub cachers_per_item: Vec<Vec<NodeId>>,
@@ -130,6 +172,10 @@ impl CachingSimulator {
 
     /// Runs the protocol over `trace` for the given catalog and queries,
     /// with LRU replacement.
+    ///
+    /// Equivalent to [`CachingSimulator::run_seeded`] with a fixed default
+    /// factory: fault-free runs consume no randomness, so this remains
+    /// fully determined by the trace and workload.
     #[must_use]
     pub fn run(
         &self,
@@ -140,13 +186,22 @@ impl CachingSimulator {
         self.run_with_policy(trace, catalog, queries, &Lru)
     }
 
-    /// Runs the protocol with an explicit replacement policy.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the trace has no contacts when queries exist (nothing
-    /// could ever be delivered) — usually a sign of a misconfigured
-    /// scenario.
+    /// Runs the protocol with LRU replacement and an explicit RNG factory
+    /// (used to seed the fault plan when [`CachingConfig::faults`] is
+    /// set).
+    #[must_use]
+    pub fn run_seeded(
+        &self,
+        trace: &ContactTrace,
+        catalog: &Catalog,
+        queries: &QueryWorkload,
+        factory: &RngFactory,
+    ) -> AccessReport {
+        self.run_with_policy_seeded(trace, catalog, queries, &Lru, factory)
+    }
+
+    /// Runs the protocol with an explicit replacement policy and a fixed
+    /// default factory (see [`CachingSimulator::run`]).
     #[must_use]
     pub fn run_with_policy<P: CachePolicy + ?Sized>(
         &self,
@@ -154,6 +209,20 @@ impl CachingSimulator {
         catalog: &Catalog,
         queries: &QueryWorkload,
         policy: &P,
+    ) -> AccessReport {
+        self.run_with_policy_seeded(trace, catalog, queries, policy, &RngFactory::new(0))
+    }
+
+    /// Runs the protocol with an explicit replacement policy and RNG
+    /// factory.
+    #[must_use]
+    pub fn run_with_policy_seeded<P: CachePolicy + ?Sized>(
+        &self,
+        trace: &ContactTrace,
+        catalog: &Catalog,
+        queries: &QueryWorkload,
+        policy: &P,
+        factory: &RngFactory,
     ) -> AccessReport {
         let n = trace.node_count();
         let graph = ContactGraph::from_trace(trace);
@@ -184,6 +253,7 @@ impl CachingSimulator {
             local_hits: 0,
             delays: SampleHistogram::new(),
             transmissions: 0,
+            extras: Registry::new(),
             cachers_per_item: vec![Vec::new(); catalog.len()],
         };
 
@@ -205,7 +275,6 @@ impl CachingSimulator {
 
         let mut pending_queries: Vec<PendingQuery> = Vec::new();
         let mut pending_responses: Vec<PendingResponse> = Vec::new();
-        let mut next_query = 0usize;
         let qs = queries.queries();
 
         // Answer helper: does `node` hold an answer for `item` at `now`?
@@ -222,124 +291,201 @@ impl CachingSimulator {
                     .map(|e| e.version)
             };
 
-        for contact in trace.contacts() {
-            let now = contact.start();
+        // The shared substrate: the driver materializes the run's fault
+        // schedule and feeds the contact stream into the engine; the world
+        // carries the roster, clock mirror, and fault counters.
+        let mut driver = ContactDriver::new(trace, self.config.faults, factory);
+        let mut world = SimWorld::new(n, *factory);
+        let mut engine: Engine<CachingEvent> = Engine::new();
+        // Workload events after the final contact start can no longer be
+        // served; like the pre-kernel loop, they are not simulated (they
+        // still count as created-but-unsatisfied).
+        let last_contact_start = driver.last_contact_start();
+        let in_contact_range = |t: SimTime| last_contact_start.is_some_and(|last| t <= last);
+        let deadline = self.config.query_deadline;
 
-            // Issue queries that have become due.
-            while next_query < qs.len() && qs[next_query].issued <= now {
-                let q = qs[next_query];
-                next_query += 1;
-                if holds(&stores, q.requester, q.item, q.issued).is_some() {
-                    stores[q.requester.index()].access(q.item, q.issued);
-                    report.satisfied += 1;
-                    report.local_hits += 1;
-                    report.delays.record(0.0);
-                } else {
-                    pending_queries.push(PendingQuery {
-                        query: q,
-                        carrier: q.requester,
-                        hops: 0,
-                    });
-                }
+        for (i, q) in qs.iter().enumerate() {
+            if in_contact_range(q.issued) {
+                engine.schedule_at_class(q.issued, CLASS_QUERY_ISSUE, CachingEvent::QueryIssue(i));
             }
+        }
+        driver.prime(&mut engine, CLASS_CONTACT, CachingEvent::Contact);
 
-            // Expire overdue queries.
-            let deadline = self.config.query_deadline;
-            pending_queries.retain(|p| now.saturating_since(p.query.issued) <= deadline);
-            pending_responses.retain(|p| now.saturating_since(p.query.issued) <= deadline);
-
-            let (a, b) = contact.pair();
-
-            // 1. Placement forwarding.
-            for p in &mut placements {
-                let (carrier, peer) = if p.carrier == a {
-                    (a, b)
-                } else if p.carrier == b {
-                    (b, a)
-                } else {
-                    continue;
-                };
-                let meta = catalog.item(p.item);
-                if peer == p.target_ncl {
-                    stores[peer.index()].put(meta, 0, now, policy);
-                    report.transmissions += 1;
-                    p.carrier = peer; // parked at the NCL; retired below
-                } else if closer(peer, carrier, p.target_ncl) {
-                    if self.config.opportunistic_caching {
-                        stores[peer.index()].put(meta, 0, now, policy);
+        while let Some(ev) = engine.next_event() {
+            world.advance_to(ev.time);
+            match ev.payload {
+                // A due query: local hit or start searching, with a
+                // deadline timer for the search.
+                CachingEvent::QueryIssue(qid) => {
+                    let q = qs[qid];
+                    if holds(&stores, q.requester, q.item, q.issued).is_some() {
+                        stores[q.requester.index()].access(q.item, q.issued);
+                        report.satisfied += 1;
+                        report.local_hits += 1;
+                        report.delays.record(0.0);
+                    } else {
+                        pending_queries.push(PendingQuery {
+                            qid,
+                            query: q,
+                            carrier: q.requester,
+                            hops: 0,
+                        });
+                        let due = q.issued + deadline;
+                        if in_contact_range(due) {
+                            engine.schedule_at_class(
+                                due,
+                                CLASS_QUERY_DEADLINE,
+                                CachingEvent::QueryDeadline(qid),
+                            );
+                        }
                     }
-                    report.transmissions += 1;
-                    p.carrier = peer;
                 }
-            }
-            placements.retain(|p| p.carrier != p.target_ncl);
 
-            // 2. Query handling: answer or forward.
-            let mut answered: Vec<usize> = Vec::new();
-            for (idx, p) in pending_queries.iter_mut().enumerate() {
-                let (carrier, peer) = if p.carrier == a {
-                    (a, b)
-                } else if p.carrier == b {
-                    (b, a)
-                } else {
-                    continue;
-                };
-                // Peer can answer?
-                if let Some(version) = holds(&stores, peer, p.query.item, now) {
-                    report.transmissions += 1; // query handed to the answerer
-                    pending_responses.push(PendingResponse {
-                        query: p.query,
-                        version,
-                        carrier: peer,
-                        hops: p.hops + 1,
-                    });
-                    answered.push(idx);
-                    continue;
+                CachingEvent::QueryDeadline(qid) => {
+                    pending_queries.retain(|p| p.qid != qid);
+                    pending_responses.retain(|p| p.qid != qid);
                 }
-                // Otherwise forward toward the nearest NCL (by expected
-                // delay from the peer vs carrier, minimized over NCLs).
-                let best = |x: NodeId| {
-                    ncls.iter()
-                        .filter_map(|&ncl| delay_to(x, ncl))
-                        .fold(f64::INFINITY, f64::min)
-                };
-                if best(peer) + 1e-9 < best(carrier) {
-                    p.carrier = peer;
-                    p.hops += 1;
-                    report.transmissions += 1;
-                }
-            }
-            for idx in answered.into_iter().rev() {
-                pending_queries.swap_remove(idx);
-            }
 
-            // 3. Response return.
-            let mut delivered: Vec<usize> = Vec::new();
-            for (idx, r) in pending_responses.iter_mut().enumerate() {
-                let (carrier, peer) = if r.carrier == a {
-                    (a, b)
-                } else if r.carrier == b {
-                    (b, a)
-                } else {
-                    continue;
-                };
-                if peer == r.query.requester {
-                    report.transmissions += 1;
-                    report.satisfied += 1;
-                    report
-                        .delays
-                        .record(now.saturating_since(r.query.issued).as_secs());
-                    // Requester caches the received item.
-                    stores[peer.index()].put(catalog.item(r.query.item), r.version, now, policy);
-                    delivered.push(idx);
-                } else if closer(peer, carrier, r.query.requester) {
-                    r.carrier = peer;
-                    r.hops += 1;
-                    report.transmissions += 1;
+                CachingEvent::Contact(ci) => {
+                    let now = ev.time;
+                    let (a, b) = driver.contact(ci).pair();
+                    match driver.fate(ci, now) {
+                        ContactFate::Down => {
+                            world.metrics_mut().add("down-contacts", 1);
+                            continue;
+                        }
+                        ContactFate::Blocked => {
+                            world.metrics_mut().add("blocked-contacts", 1);
+                            continue;
+                        }
+                        ContactFate::Deliverable => {}
+                    }
+
+                    // 1. Placement forwarding. A hop lost to transmission
+                    // loss still counts as a transmission (the send
+                    // happened), but moves no data.
+                    for p in &mut placements {
+                        let (carrier, peer) = if p.carrier == a {
+                            (a, b)
+                        } else if p.carrier == b {
+                            (b, a)
+                        } else {
+                            continue;
+                        };
+                        let meta = catalog.item(p.item);
+                        if peer == p.target_ncl {
+                            report.transmissions += 1;
+                            if driver.transfer_fails() {
+                                world.metrics_mut().add("failed-transmissions", 1);
+                            } else {
+                                stores[peer.index()].put(meta, 0, now, policy);
+                                p.carrier = peer; // parked at the NCL; retired below
+                            }
+                        } else if closer(peer, carrier, p.target_ncl) {
+                            report.transmissions += 1;
+                            if driver.transfer_fails() {
+                                world.metrics_mut().add("failed-transmissions", 1);
+                            } else {
+                                if self.config.opportunistic_caching {
+                                    stores[peer.index()].put(meta, 0, now, policy);
+                                }
+                                p.carrier = peer;
+                            }
+                        }
+                    }
+                    placements.retain(|p| p.carrier != p.target_ncl);
+
+                    // 2. Query handling: answer or forward.
+                    let mut answered: Vec<usize> = Vec::new();
+                    for (idx, p) in pending_queries.iter_mut().enumerate() {
+                        let (carrier, peer) = if p.carrier == a {
+                            (a, b)
+                        } else if p.carrier == b {
+                            (b, a)
+                        } else {
+                            continue;
+                        };
+                        // Peer can answer?
+                        if let Some(version) = holds(&stores, peer, p.query.item, now) {
+                            report.transmissions += 1; // query handed to the answerer
+                            if driver.transfer_fails() {
+                                world.metrics_mut().add("failed-transmissions", 1);
+                            } else {
+                                pending_responses.push(PendingResponse {
+                                    qid: p.qid,
+                                    query: p.query,
+                                    version,
+                                    carrier: peer,
+                                    hops: p.hops + 1,
+                                });
+                                answered.push(idx);
+                            }
+                            continue;
+                        }
+                        // Otherwise forward toward the nearest NCL (by
+                        // expected delay from the peer vs carrier,
+                        // minimized over NCLs).
+                        let best = |x: NodeId| {
+                            ncls.iter()
+                                .filter_map(|&ncl| delay_to(x, ncl))
+                                .fold(f64::INFINITY, f64::min)
+                        };
+                        if best(peer) + 1e-9 < best(carrier) {
+                            report.transmissions += 1;
+                            if driver.transfer_fails() {
+                                world.metrics_mut().add("failed-transmissions", 1);
+                            } else {
+                                p.carrier = peer;
+                                p.hops += 1;
+                            }
+                        }
+                    }
+                    for idx in answered.into_iter().rev() {
+                        pending_queries.swap_remove(idx);
+                    }
+
+                    // 3. Response return.
+                    let mut delivered: Vec<usize> = Vec::new();
+                    for (idx, r) in pending_responses.iter_mut().enumerate() {
+                        let (carrier, peer) = if r.carrier == a {
+                            (a, b)
+                        } else if r.carrier == b {
+                            (b, a)
+                        } else {
+                            continue;
+                        };
+                        if peer == r.query.requester {
+                            report.transmissions += 1;
+                            if driver.transfer_fails() {
+                                world.metrics_mut().add("failed-transmissions", 1);
+                            } else {
+                                report.satisfied += 1;
+                                report
+                                    .delays
+                                    .record(now.saturating_since(r.query.issued).as_secs());
+                                // Requester caches the received item.
+                                stores[peer.index()].put(
+                                    catalog.item(r.query.item),
+                                    r.version,
+                                    now,
+                                    policy,
+                                );
+                                delivered.push(idx);
+                            }
+                        } else if closer(peer, carrier, r.query.requester) {
+                            report.transmissions += 1;
+                            if driver.transfer_fails() {
+                                world.metrics_mut().add("failed-transmissions", 1);
+                            } else {
+                                r.carrier = peer;
+                                r.hops += 1;
+                            }
+                        }
+                    }
+                    for idx in delivered.into_iter().rev() {
+                        pending_responses.swap_remove(idx);
+                    }
                 }
-            }
-            for idx in delivered.into_iter().rev() {
-                pending_responses.swap_remove(idx);
             }
         }
 
@@ -359,6 +505,7 @@ impl CachingSimulator {
             }
             report.cachers_per_item[item.id().index()] = cachers;
         }
+        report.extras = world.into_metrics();
         report
     }
 }
@@ -550,5 +697,75 @@ mod tests {
         assert_eq!(r1.satisfied, r2.satisfied);
         assert_eq!(r1.transmissions, r2.transmissions);
         assert_eq!(r1.cachers_per_item, r2.cachers_per_item);
+    }
+
+    fn fault_scenario() -> (omn_contacts::ContactTrace, Catalog, QueryWorkload) {
+        use omn_contacts::synth::{generate_pairwise, PairwiseConfig};
+        let factory = RngFactory::new(33);
+        let trace = generate_pairwise(
+            &PairwiseConfig::new(16, SimDuration::from_days(2.0)).mean_rate(1.0 / 3600.0),
+            &factory,
+        );
+        let catalog = Catalog::uniform(&trace, 6, SimDuration::from_hours(8.0), &factory);
+        let queries = QueryWorkload::zipf(&trace, &catalog, 200, 1.0, &factory);
+        (trace, catalog, queries)
+    }
+
+    #[test]
+    fn zero_fault_plan_is_bit_identical_to_no_plan() {
+        let (trace, catalog, queries) = fault_scenario();
+        let free = CachingSimulator::new(CachingConfig::default()).run(&trace, &catalog, &queries);
+        let zeroed = CachingSimulator::new(CachingConfig {
+            faults: Some(omn_contacts::faults::FaultConfig::default()),
+            ..CachingConfig::default()
+        })
+        .run_seeded(&trace, &catalog, &queries, &RngFactory::new(33));
+        assert_eq!(free.satisfied, zeroed.satisfied);
+        assert_eq!(free.local_hits, zeroed.local_hits);
+        assert_eq!(free.transmissions, zeroed.transmissions);
+        assert_eq!(free.cachers_per_item, zeroed.cachers_per_item);
+        assert_eq!(zeroed.extras.get("down-contacts"), 0);
+        assert_eq!(zeroed.extras.get("failed-transmissions"), 0);
+    }
+
+    #[test]
+    fn total_transmission_loss_leaves_only_local_hits() {
+        let (trace, catalog, queries) = fault_scenario();
+        let report = CachingSimulator::new(CachingConfig {
+            faults: Some(omn_contacts::faults::FaultConfig {
+                transmission_loss: 1.0,
+                ..omn_contacts::faults::FaultConfig::default()
+            }),
+            ..CachingConfig::default()
+        })
+        .run_seeded(&trace, &catalog, &queries, &RngFactory::new(33));
+        // Every hop fails: nothing remote can ever be satisfied, and every
+        // counted transmission is a failed one.
+        assert_eq!(report.satisfied, report.local_hits);
+        assert_eq!(report.extras.get("failed-transmissions"), report.transmissions);
+    }
+
+    #[test]
+    fn churn_suppresses_contacts() {
+        let (trace, catalog, queries) = fault_scenario();
+        let churned = CachingSimulator::new(CachingConfig {
+            faults: Some(omn_contacts::faults::FaultConfig {
+                downtime: Some(omn_contacts::faults::DowntimeConfig {
+                    node_fraction: 1.0,
+                    mean_uptime: SimDuration::from_hours(4.0),
+                    mean_downtime: SimDuration::from_hours(4.0),
+                    exempt: None,
+                }),
+                ..omn_contacts::faults::FaultConfig::default()
+            }),
+            ..CachingConfig::default()
+        })
+        .run_seeded(&trace, &catalog, &queries, &RngFactory::new(33));
+        // Heavy churn suppresses a substantial share of contacts; the run
+        // stays internally consistent.
+        assert!(churned.extras.get("down-contacts") > 0);
+        assert!(churned.satisfied <= churned.created);
+        assert!(churned.local_hits <= churned.satisfied);
+        assert_eq!(churned.delays.len(), churned.satisfied);
     }
 }

@@ -1,0 +1,294 @@
+//! The shared contact driver: one fault-filtered contact feed for every
+//! simulator.
+//!
+//! Before this module existed, each simulator in the workspace hand-rolled
+//! its own `for contact in trace.contacts()` loop, and only the freshness
+//! simulator consulted the [`FaultPlan`](crate::faults::FaultPlan). The
+//! [`ContactDriver`] centralizes that logic: it primes an
+//! [`Engine`](omn_sim::Engine) with one event per contact (in trace order,
+//! which [`TraceBuilder`](crate::TraceBuilder) guarantees is sorted by
+//! start time) and classifies each contact's *fate* — deliverable,
+//! suppressed by node downtime, or truncated — so every simulator applies
+//! churn, departures, truncation, and transmission loss with identical
+//! semantics.
+//!
+//! The driver lives in `omn-contacts` rather than `omn-sim` because it is
+//! the contact-shaped half of the substrate: `omn-sim` owns the generic
+//! kernel ([`Engine`](omn_sim::Engine), [`EventClass`](omn_sim::EventClass),
+//! [`World`](omn_sim::World)) and knows nothing about [`Contact`]s or fault
+//! plans, while this crate owns both.
+
+use omn_sim::{Engine, EventClass, RngFactory, SimDuration, SimTime};
+
+use crate::faults::{FaultConfig, FaultPlan};
+use crate::{Contact, ContactTrace, NodeId};
+
+/// What happens to a single contact once faults are applied, in layering
+/// order (checked by [`ContactDriver::fate`]):
+///
+/// 1. If either endpoint is down (churned out or departed), the contact is
+///    [`Down`](ContactFate::Down): the radios never meet, so rate
+///    estimators see nothing and no protocol exchange happens.
+/// 2. Otherwise, if the contact is truncated, it is
+///    [`Blocked`](ContactFate::Blocked): the radios sight each other (rate
+///    estimators record the contact) but no data can be transferred.
+/// 3. Otherwise it is [`Deliverable`](ContactFate::Deliverable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContactFate {
+    /// The contact proceeds normally; data may be exchanged.
+    Deliverable,
+    /// At least one endpoint is down; the contact never happens at all.
+    Down,
+    /// The contact is truncated: sighted by estimators, useless for data.
+    Blocked,
+}
+
+/// An ordered, fault-filtered contact feed for an [`Engine`].
+///
+/// Construct one per run with [`ContactDriver::new`], schedule the contact
+/// stream into the engine with [`ContactDriver::prime`], then query
+/// [`ContactDriver::fate`] as each contact event fires and
+/// [`ContactDriver::transfer_fails`] per attempted data transfer.
+///
+/// A driver built with `faults: None` performs no fault bookkeeping and
+/// consumes no randomness, so fault-free runs stay bit-identical to the
+/// pre-driver simulators.
+#[derive(Debug)]
+pub struct ContactDriver<'a> {
+    trace: &'a ContactTrace,
+    plan: Option<FaultPlan>,
+}
+
+impl<'a> ContactDriver<'a> {
+    /// Creates a driver over `trace`, materializing a [`FaultPlan`] from
+    /// `faults` (drawing from the factory's dedicated fault streams) when
+    /// one is configured.
+    #[must_use]
+    pub fn new(
+        trace: &'a ContactTrace,
+        faults: Option<FaultConfig>,
+        factory: &RngFactory,
+    ) -> ContactDriver<'a> {
+        let plan = faults.map(|config| FaultPlan::build(config, trace, factory));
+        ContactDriver { trace, plan }
+    }
+
+    /// Creates a driver over `trace` with an already-built plan (or none).
+    #[must_use]
+    pub fn with_plan(trace: &'a ContactTrace, plan: Option<FaultPlan>) -> ContactDriver<'a> {
+        ContactDriver { trace, plan }
+    }
+
+    /// The trace this driver feeds from.
+    #[must_use]
+    pub fn trace(&self) -> &'a ContactTrace {
+        self.trace
+    }
+
+    /// The `index`-th contact of the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn contact(&self, index: usize) -> &'a Contact {
+        &self.trace.contacts()[index]
+    }
+
+    /// The start time of the last contact in the trace, if any. Simulators
+    /// use this to bound workload processing: events after the final
+    /// contact can no longer influence any exchange.
+    #[must_use]
+    pub fn last_contact_start(&self) -> Option<SimTime> {
+        self.trace.contacts().last().map(Contact::start)
+    }
+
+    /// Schedules one event per contact into `engine`, in trace order, all
+    /// in delivery class `class`. `make` maps the contact's index in
+    /// `trace.contacts()` to the simulator's event payload.
+    pub fn prime<E>(
+        &self,
+        engine: &mut Engine<E>,
+        class: EventClass,
+        mut make: impl FnMut(usize) -> E,
+    ) {
+        for (i, c) in self.trace.contacts().iter().enumerate() {
+            engine.schedule_at_class(c.start(), class, make(i));
+        }
+    }
+
+    /// Classifies the `index`-th contact at instant `at` (normally its
+    /// start time). Without a plan every contact is
+    /// [`ContactFate::Deliverable`].
+    #[must_use]
+    pub fn fate(&self, index: usize, at: SimTime) -> ContactFate {
+        let Some(plan) = &self.plan else {
+            return ContactFate::Deliverable;
+        };
+        let (a, b) = self.trace.contacts()[index].pair();
+        if plan.node_down(a, at) || plan.node_down(b, at) {
+            ContactFate::Down
+        } else if plan.contact_blocked(index) {
+            ContactFate::Blocked
+        } else {
+            ContactFate::Deliverable
+        }
+    }
+
+    /// Draws whether the next attempted data transfer fails. Always `false`
+    /// without a plan; consumes no randomness when loss is zero.
+    pub fn transfer_fails(&mut self) -> bool {
+        self.plan.as_mut().is_some_and(FaultPlan::transfer_fails)
+    }
+
+    /// Whether `node` is down at instant `at`. Always `false` without a
+    /// plan.
+    #[must_use]
+    pub fn node_down(&self, node: NodeId, at: SimTime) -> bool {
+        self.plan.as_ref().is_some_and(|p| p.node_down(node, at))
+    }
+
+    /// The configured estimator observation lag (zero without a plan).
+    #[must_use]
+    pub fn estimator_lag(&self) -> SimDuration {
+        self.plan
+            .as_ref()
+            .map_or(SimDuration::ZERO, FaultPlan::estimator_lag)
+    }
+
+    /// All rejoin instants within `span` (empty without a plan).
+    #[must_use]
+    pub fn rejoin_events(&self, span: SimTime) -> Vec<(SimTime, NodeId)> {
+        self.plan
+            .as_ref()
+            .map_or_else(Vec::new, |p| p.rejoin_events(span))
+    }
+
+    /// The permanently departed nodes (empty without a plan).
+    #[must_use]
+    pub fn departed(&self) -> &[NodeId] {
+        self.plan.as_ref().map_or(&[], FaultPlan::departed)
+    }
+
+    /// The underlying fault plan, if one is active.
+    #[must_use]
+    pub fn plan(&self) -> Option<&FaultPlan> {
+        self.plan.as_ref()
+    }
+
+    /// Mutable access to the fault plan (e.g. so schemes can draw their own
+    /// transfer-loss decisions through it).
+    pub fn plan_mut(&mut self) -> Option<&mut FaultPlan> {
+        self.plan.as_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::DowntimeConfig;
+    use crate::synth::{generate_pairwise, PairwiseConfig};
+
+    fn trace(seed: u64) -> ContactTrace {
+        let config = PairwiseConfig::new(10, SimDuration::from_days(1.0));
+        generate_pairwise(&config, &RngFactory::new(seed))
+    }
+
+    #[test]
+    fn primes_contacts_in_trace_order() {
+        let t = trace(1);
+        let driver = ContactDriver::new(&t, None, &RngFactory::new(1));
+        let mut engine: Engine<usize> = Engine::new();
+        driver.prime(&mut engine, EventClass(60), |i| i);
+        assert_eq!(engine.pending(), t.len());
+        let mut seen = Vec::new();
+        let mut last = SimTime::ZERO;
+        while let Some(ev) = engine.next_event() {
+            assert!(ev.time >= last);
+            assert_eq!(ev.time, t.contacts()[ev.payload].start());
+            last = ev.time;
+            seen.push(ev.payload);
+        }
+        assert_eq!(seen, (0..t.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn driver_without_faults_is_transparent() {
+        let t = trace(2);
+        let mut driver = ContactDriver::new(&t, None, &RngFactory::new(2));
+        for i in 0..t.len() {
+            assert_eq!(
+                driver.fate(i, t.contacts()[i].start()),
+                ContactFate::Deliverable
+            );
+        }
+        assert!(!driver.transfer_fails());
+        assert!(driver.estimator_lag().is_zero());
+        assert!(driver.rejoin_events(t.span()).is_empty());
+        assert!(driver.departed().is_empty());
+        assert!(driver.plan().is_none());
+    }
+
+    #[test]
+    fn fate_layers_downtime_over_truncation() {
+        let t = trace(3);
+        let config = FaultConfig {
+            contact_failure: 1.0,
+            downtime: Some(DowntimeConfig {
+                node_fraction: 1.0,
+                mean_uptime: SimDuration::from_hours(2.0),
+                mean_downtime: SimDuration::from_hours(2.0),
+                exempt: None,
+            }),
+            ..FaultConfig::default()
+        };
+        let driver = ContactDriver::new(&t, Some(config), &RngFactory::new(3));
+        let plan = driver.plan().expect("plan must exist");
+        let mut down = 0;
+        let mut blocked = 0;
+        for (i, c) in t.contacts().iter().enumerate() {
+            let (a, b) = c.pair();
+            let fate = driver.fate(i, c.start());
+            if plan.node_down(a, c.start()) || plan.node_down(b, c.start()) {
+                assert_eq!(fate, ContactFate::Down);
+                down += 1;
+            } else {
+                // contact_failure = 1.0 truncates every surviving contact.
+                assert_eq!(fate, ContactFate::Blocked);
+                blocked += 1;
+            }
+        }
+        assert!(down > 0, "full churn produced no downtime suppression");
+        assert!(blocked > 0, "no contact survived churn to be truncated");
+    }
+
+    #[test]
+    fn fate_matches_plan_queries_for_reproducibility() {
+        let t = trace(4);
+        let config = FaultConfig {
+            contact_failure: 0.4,
+            ..FaultConfig::default()
+        };
+        let d1 = ContactDriver::new(&t, Some(config), &RngFactory::new(4));
+        let d2 = ContactDriver::new(&t, Some(config), &RngFactory::new(4));
+        for (i, c) in t.contacts().iter().enumerate() {
+            assert_eq!(d1.fate(i, c.start()), d2.fate(i, c.start()));
+        }
+    }
+
+    #[test]
+    fn last_contact_start_and_empty_trace() {
+        let t = trace(5);
+        let driver = ContactDriver::new(&t, None, &RngFactory::new(5));
+        assert_eq!(
+            driver.last_contact_start(),
+            Some(t.contacts().last().unwrap().start())
+        );
+        let empty = crate::TraceBuilder::new(3)
+            .span(SimTime::from_hours(1.0))
+            .build()
+            .expect("empty trace builds");
+        let d = ContactDriver::new(&empty, None, &RngFactory::new(5));
+        assert_eq!(d.last_contact_start(), None);
+    }
+}

@@ -18,6 +18,11 @@
 //! * [`estimate`] — online pairwise contact-rate estimators (cumulative MLE,
 //!   EWMA, sliding window) that protocol nodes maintain from observed
 //!   contacts.
+//! * [`ContactDriver`] — the shared contact feed for the event kernel: it
+//!   primes an [`Engine`](omn_sim::Engine) with one scheduled event per
+//!   contact and classifies each contact's fate (deliverable, down,
+//!   blocked) under the active fault plan, so every simulator applies
+//!   faults with identical semantics.
 //! * [`faults`] — deterministic fault injection ([`faults::FaultPlan`]):
 //!   transmission loss, contact truncation, node churn with rejoin,
 //!   permanent departures, and lagged estimator observations, all seeded
@@ -47,6 +52,7 @@
 #![warn(missing_debug_implementations)]
 
 mod contact;
+mod driver;
 pub mod estimate;
 pub mod faults;
 mod graph;
@@ -57,6 +63,7 @@ pub mod temporal;
 mod trace;
 
 pub use contact::{Contact, ContactError, NodeId};
+pub use driver::{ContactDriver, ContactFate};
 pub use graph::{Centrality, ContactGraph};
 pub use stats::TraceStats;
 pub use trace::{ContactTrace, TimelineEvent, TimelineKind, TraceBuilder, TraceError};

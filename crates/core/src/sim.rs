@@ -15,14 +15,23 @@
 //! Contacts are exchange opportunities at their start instant (the standard
 //! contact-trace simplification); versions born mid-contact propagate at
 //! the next contact.
+//!
+//! The run executes on the shared `omn-sim` event kernel: a
+//! [`ContactDriver`] primes an [`Engine`] with one event per contact, and
+//! version births, queries, expiry instants, churn rejoins and lagged
+//! estimator observations are first-class scheduled events. Same-instant
+//! events are ordered by [`EventClass`] (births before queries before
+//! expiries before rejoins before observations before contacts), which
+//! fixes the causal conventions the old hand-rolled loop encoded
+//! implicitly.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 
 use omn_contacts::estimate::{EstimatorKind, PairRateTable};
-use omn_contacts::faults::{FaultConfig, FaultPlan};
-use omn_contacts::{Centrality, ContactGraph, ContactTrace, NodeId};
+use omn_contacts::faults::FaultConfig;
+use omn_contacts::{Centrality, ContactDriver, ContactFate, ContactGraph, ContactTrace, NodeId};
 use omn_sim::metrics::{SampleHistogram, Timeline};
-use omn_sim::{RngFactory, SimDuration, SimTime};
+use omn_sim::{Engine, EventClass, RngFactory, SimDuration, SimTime, SimWorld, World};
 use rand::Rng;
 
 use crate::freshness::{FreshnessRequirement, FreshnessTracker, UpdateSchedule};
@@ -31,6 +40,35 @@ use crate::scheme::{
     EpidemicRefresh, HierarchicalConfig, HierarchicalScheme, NoRefresh, PlanningMode,
     RefreshScheme, ResilienceConfig, SchemeCtx,
 };
+
+/// Delivery classes for same-instant events, mirroring the drain order of
+/// the pre-kernel loop: a version born exactly when a contact starts is
+/// visible to that contact, a query issued at that instant sees the
+/// newly-born version, and rejoins/observations settle before the exchange.
+const CLASS_BIRTH: EventClass = EventClass(10);
+const CLASS_QUERY: EventClass = EventClass(20);
+const CLASS_EXPIRY: EventClass = EventClass(30);
+const CLASS_REJOIN: EventClass = EventClass(40);
+const CLASS_OBS: EventClass = EventClass(50);
+const CLASS_CONTACT: EventClass = EventClass(60);
+
+/// The freshness simulation's event alphabet.
+#[derive(Debug, Clone, Copy)]
+enum FreshnessEvent {
+    /// Version `v` is born (fires at its birth instant).
+    Birth(u64),
+    /// The `i`-th query of the sorted workload is issued.
+    Query(usize),
+    /// The `i`-th expiry instant elapses.
+    Expiry(usize),
+    /// A churned-out caching node comes back up.
+    Rejoin(NodeId),
+    /// A delayed estimator observation of a contact seen at the carried
+    /// instant becomes visible.
+    LaggedObs(NodeId, NodeId, SimTime),
+    /// The `i`-th contact of the trace starts.
+    Contact(usize),
+}
 
 /// The built-in schemes the evaluation compares.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -447,30 +485,31 @@ impl FreshnessSimulator {
         let mut rates = PairRateTable::new(self.config.estimator, SimTime::ZERO);
         let mut rng = factory.stream("scheme");
 
-        // Fault injection: materialize the run's fault schedule (dedicated
-        // RNG streams, so `None` and an all-zero plan are bit-identical).
-        let mut fault_plan = self
-            .config
-            .faults
-            .map(|fc| FaultPlan::build(fc, trace, factory));
-        let estimator_lag = fault_plan
-            .as_ref()
-            .map_or(SimDuration::ZERO, FaultPlan::estimator_lag);
+        // The shared substrate: the driver materializes the run's fault
+        // schedule (dedicated RNG streams, so `None` and an all-zero plan
+        // are bit-identical) and feeds the contact stream into the engine;
+        // the world carries the roster, clock mirror, and the counter
+        // registry that both the simulator and the scheme write to.
+        let mut driver = ContactDriver::new(trace, self.config.faults, factory);
+        let mut world = SimWorld::new(trace.node_count(), *factory);
+        let mut engine: Engine<FreshnessEvent> = Engine::new();
+        let estimator_lag = driver.estimator_lag();
+        // Workload events after the final contact start can no longer
+        // influence any exchange; like the pre-kernel loop, they are not
+        // simulated (version births are the exception — they still drive
+        // freshness decay — and expiries still drive availability).
+        let last_contact_start = driver.last_contact_start();
+        let in_contact_range = |t: SimTime| last_contact_start.is_some_and(|last| t <= last);
+
         // Rejoins of caching nodes drive the recovery-delay metric: how long
         // after coming back up a member waits to hold the current version.
-        let mut rejoins: VecDeque<(SimTime, NodeId)> = fault_plan
-            .as_ref()
-            .map(|p| {
-                p.rejoin_events(span)
-                    .into_iter()
-                    .filter(|&(_, n)| members.binary_search(&n).is_ok())
-                    .collect()
-            })
-            .unwrap_or_default();
+        for (t, n) in driver.rejoin_events(span) {
+            if members.binary_search(&n).is_ok() && in_contact_range(t) {
+                engine.schedule_at_class(t, CLASS_REJOIN, FreshnessEvent::Rejoin(n));
+            }
+        }
         let mut pending_recoveries: Vec<(SimTime, NodeId)> = Vec::new();
         let mut recovery_delays = SampleHistogram::new();
-        // Estimator observations delayed by the configured reporting lag.
-        let mut lagged_obs: VecDeque<(SimTime, NodeId, NodeId, SimTime)> = VecDeque::new();
 
         // All members hold version 0 at t=0 (placement done by the caching
         // layer).
@@ -481,7 +520,6 @@ impl FreshnessSimulator {
             .collect();
         let mut transmissions = 0u64;
         let mut replicas = 0u64;
-        let mut extras = omn_sim::metrics::Registry::new();
         let mut per_node_tx = vec![0u64; trace.node_count()];
         let mut tracker = FreshnessTracker::new(members.len(), members.len(), SimTime::ZERO);
         let mut current_version = 0u64;
@@ -492,7 +530,11 @@ impl FreshnessSimulator {
             Some(l) => schedule.births().iter().map(|&b| b + l).collect(),
             None => Vec::new(),
         };
-        let mut next_expiry = 0usize;
+        for (i, &te) in expiries.iter().enumerate() {
+            if te <= span {
+                engine.schedule_at_class(te, CLASS_EXPIRY, FreshnessEvent::Expiry(i));
+            }
+        }
         let mut avail = omn_sim::metrics::TimeWeightedMean::starting_at(SimTime::ZERO, 1.0);
         let avail_ratio = |mv: &HashMap<NodeId, u64>, now: SimTime| -> f64 {
             match lifetime {
@@ -522,7 +564,11 @@ impl FreshnessSimulator {
                 .collect()
         };
         queries.sort_by_key(|&(t, n)| (t, n));
-        let mut next_query = 0usize;
+        for (i, &(t, _)) in queries.iter().enumerate() {
+            if in_contact_range(t) {
+                engine.schedule_at_class(t, CLASS_QUERY, FreshnessEvent::Query(i));
+            }
+        }
         let mut pending_queries: Vec<(SimTime, NodeId)> = Vec::new();
         let mut queries_served = 0usize;
         let mut queries_fresh = 0usize;
@@ -544,185 +590,182 @@ impl FreshnessSimulator {
                     transmissions: &mut transmissions,
                     replicas: &mut replicas,
                     per_node_tx: &mut per_node_tx,
-                    extras: &mut extras,
+                    extras: world.metrics_mut(),
                     rng: &mut rng,
-                    faults: fault_plan.as_mut(),
+                    faults: driver.plan_mut(),
                 }
             };
         }
 
+        // Version births (version 0 is pre-placed at t = 0). Births after
+        // the final contact still fire: they drive freshness decay even
+        // though no scheme can react to them any more.
+        let births = schedule.births();
+        for (v, &birth) in births.iter().enumerate().skip(1) {
+            engine.schedule_at_class(birth, CLASS_BIRTH, FreshnessEvent::Birth(v as u64));
+        }
+        driver.prime(&mut engine, CLASS_CONTACT, FreshnessEvent::Contact);
+
         scheme.on_start(&mut ctx!(SimTime::ZERO));
 
-        let mut next_birth = 1u64;
-        let births = schedule.births();
-
-        for (ci, contact) in trace.contacts().iter().enumerate() {
-            let now = contact.start();
-
-            // Version births due before this contact.
-            while (next_birth as usize) < births.len() && births[next_birth as usize] <= now {
-                let birth = births[next_birth as usize];
-                current_version = next_birth;
-                scheme.on_version_birth(current_version, &mut ctx!(birth));
-                let fresh = member_versions
-                    .values()
-                    .filter(|&&v| v == current_version)
-                    .count();
-                tracker.set_fresh(fresh, birth);
-                next_birth += 1;
-            }
-
-            // Queries due before this contact: members and the source serve
-            // themselves immediately.
-            while next_query < queries.len() && queries[next_query].0 <= now {
-                let (issued, node) = queries[next_query];
-                next_query += 1;
-                let self_version = if node == source {
-                    Some(current_version)
-                } else if is_server(node) {
-                    member_versions.get(&node).copied()
-                } else {
-                    None
-                };
-                let self_serves = match self_version {
-                    None => false,
-                    Some(v) => !self.config.fresh_only_serving || v == current_version,
-                };
-                if self_serves {
-                    queries_served += 1;
-                    query_delays.record(0.0);
-                    if self_version == Some(current_version) {
-                        queries_fresh += 1;
+        while let Some(ev) = engine.next_event() {
+            world.advance_to(ev.time);
+            match ev.payload {
+                FreshnessEvent::Birth(v) => {
+                    let birth = ev.time;
+                    current_version = v;
+                    if in_contact_range(birth) {
+                        scheme.on_version_birth(current_version, &mut ctx!(birth));
                     }
-                } else {
-                    pending_queries.push((issued, node));
+                    let fresh = member_versions
+                        .values()
+                        .filter(|&&mv| mv == current_version)
+                        .count();
+                    tracker.set_fresh(fresh, birth);
                 }
-            }
 
-            // Expiry instants due before this contact.
-            while next_expiry < expiries.len() && expiries[next_expiry] <= now {
-                let te = expiries[next_expiry];
-                avail.update(te, avail_ratio(&member_versions, te));
-                next_expiry += 1;
-            }
-
-            // Member rejoins due before this contact: a node coming back up
-            // with a stale copy starts a recovery clock.
-            while rejoins.front().is_some_and(|&(t, _)| t <= now) {
-                let (t, n) = rejoins.pop_front().expect("front checked");
-                extras.add("rejoin-events", 1);
-                if member_versions.get(&n).copied() == Some(current_version) {
-                    recovery_delays.record(0.0);
-                } else {
-                    pending_recoveries.push((t, n));
-                }
-            }
-
-            // Estimator observations whose reporting lag has elapsed.
-            while lagged_obs.front().is_some_and(|&(due, ..)| due <= now) {
-                let (_, oa, ob, seen) = lagged_obs.pop_front().expect("front checked");
-                rates.record_contact(oa, ob, seen);
-            }
-
-            let (a, b) = contact.pair();
-            let mut suppressed = false;
-            if fault_plan
-                .as_ref()
-                .is_some_and(|p| p.node_down(a, now) || p.node_down(b, now))
-            {
-                // A down endpoint suppresses the contact entirely: no data
-                // transfer, and no radio sighting for the estimators.
-                extras.add("down-contacts", 1);
-                suppressed = true;
-            }
-            if !suppressed {
-                // Rate estimators sight the contact even when it is
-                // truncated for data, possibly after a reporting lag.
-                if estimator_lag.is_zero() {
-                    rates.record_contact(a, b, now);
-                } else {
-                    lagged_obs.push_back((now + estimator_lag, a, b, now));
-                }
-                if fault_plan.as_ref().is_some_and(|p| p.contact_blocked(ci)) {
-                    extras.add("blocked-contacts", 1);
-                    suppressed = true;
-                }
-            }
-            if !suppressed {
-                scheme.on_contact(a, b, &mut ctx!(now));
-            }
-
-            // Members recover once they again hold the current version.
-            if !pending_recoveries.is_empty() {
-                pending_recoveries.retain(|&(since, n)| {
-                    if member_versions.get(&n).copied() == Some(current_version) {
-                        recovery_delays.record(now.saturating_since(since).as_secs());
-                        false
-                    } else {
-                        true
-                    }
-                });
-            }
-
-            let fresh = member_versions
-                .values()
-                .filter(|&&v| v == current_version)
-                .count();
-            if fresh != tracker.fresh_count() {
-                tracker.set_fresh(fresh, now);
-            }
-            avail.update(now, avail_ratio(&member_versions, now));
-
-            // Serve pending queries whose holder meets a caching node — a
-            // suppressed contact cannot carry query traffic either.
-            if !suppressed && !pending_queries.is_empty() {
-                pending_queries.retain(|&(issued, node)| {
-                    let server = if node == a && is_server(b) {
-                        Some(b)
-                    } else if node == b && is_server(a) {
-                        Some(a)
+                // Queries: members and the source serve themselves
+                // immediately; everyone else waits for a contact with a
+                // server.
+                FreshnessEvent::Query(i) => {
+                    let (issued, node) = queries[i];
+                    let self_version = if node == source {
+                        Some(current_version)
+                    } else if is_server(node) {
+                        member_versions.get(&node).copied()
                     } else {
                         None
                     };
-                    match server {
-                        None => true,
-                        Some(s) => {
-                            let v = if s == source {
-                                Some(current_version)
-                            } else {
-                                member_versions.get(&s).copied()
-                            };
-                            if self.config.fresh_only_serving && v != Some(current_version) {
-                                return true; // decline: keep searching
+                    let self_serves = match self_version {
+                        None => false,
+                        Some(v) => !self.config.fresh_only_serving || v == current_version,
+                    };
+                    if self_serves {
+                        queries_served += 1;
+                        query_delays.record(0.0);
+                        if self_version == Some(current_version) {
+                            queries_fresh += 1;
+                        }
+                    } else {
+                        pending_queries.push((issued, node));
+                    }
+                }
+
+                FreshnessEvent::Expiry(i) => {
+                    let te = expiries[i];
+                    avail.update(te, avail_ratio(&member_versions, te));
+                }
+
+                // A node coming back up with a stale copy starts a
+                // recovery clock.
+                FreshnessEvent::Rejoin(n) => {
+                    world.metrics_mut().add("rejoin-events", 1);
+                    if member_versions.get(&n).copied() == Some(current_version) {
+                        recovery_delays.record(0.0);
+                    } else {
+                        pending_recoveries.push((ev.time, n));
+                    }
+                }
+
+                // An estimator observation whose reporting lag has elapsed.
+                FreshnessEvent::LaggedObs(oa, ob, seen) => {
+                    rates.record_contact(oa, ob, seen);
+                }
+
+                FreshnessEvent::Contact(ci) => {
+                    let now = ev.time;
+                    let (a, b) = driver.contact(ci).pair();
+                    let fate = driver.fate(ci, now);
+                    let mut suppressed = false;
+                    if fate == ContactFate::Down {
+                        // A down endpoint suppresses the contact entirely:
+                        // no data transfer, and no radio sighting for the
+                        // estimators.
+                        world.metrics_mut().add("down-contacts", 1);
+                        suppressed = true;
+                    } else {
+                        // Rate estimators sight the contact even when it is
+                        // truncated for data, possibly after a reporting
+                        // lag.
+                        if estimator_lag.is_zero() {
+                            rates.record_contact(a, b, now);
+                        } else {
+                            let due = now + estimator_lag;
+                            if in_contact_range(due) {
+                                engine.schedule_at_class(
+                                    due,
+                                    CLASS_OBS,
+                                    FreshnessEvent::LaggedObs(a, b, now),
+                                );
                             }
-                            queries_served += 1;
-                            query_delays.record(now.saturating_since(issued).as_secs());
-                            if v == Some(current_version) {
-                                queries_fresh += 1;
-                            }
-                            false
+                        }
+                        if fate == ContactFate::Blocked {
+                            world.metrics_mut().add("blocked-contacts", 1);
+                            suppressed = true;
                         }
                     }
-                });
-            }
-        }
+                    if !suppressed {
+                        scheme.on_contact(a, b, &mut ctx!(now));
+                    }
 
-        // Births after the last contact still count for freshness decay.
-        while (next_birth as usize) < births.len() {
-            let birth = births[next_birth as usize];
-            current_version = next_birth;
-            let fresh = member_versions
-                .values()
-                .filter(|&&v| v == current_version)
-                .count();
-            tracker.set_fresh(fresh, birth);
-            next_birth += 1;
-        }
-        // Expiries after the last contact still count for availability.
-        while next_expiry < expiries.len() && expiries[next_expiry] <= span {
-            let te = expiries[next_expiry];
-            avail.update(te, avail_ratio(&member_versions, te));
-            next_expiry += 1;
+                    // Members recover once they again hold the current
+                    // version.
+                    if !pending_recoveries.is_empty() {
+                        pending_recoveries.retain(|&(since, n)| {
+                            if member_versions.get(&n).copied() == Some(current_version) {
+                                recovery_delays.record(now.saturating_since(since).as_secs());
+                                false
+                            } else {
+                                true
+                            }
+                        });
+                    }
+
+                    let fresh = member_versions
+                        .values()
+                        .filter(|&&v| v == current_version)
+                        .count();
+                    if fresh != tracker.fresh_count() {
+                        tracker.set_fresh(fresh, now);
+                    }
+                    avail.update(now, avail_ratio(&member_versions, now));
+
+                    // Serve pending queries whose holder meets a caching
+                    // node — a suppressed contact cannot carry query
+                    // traffic either.
+                    if !suppressed && !pending_queries.is_empty() {
+                        pending_queries.retain(|&(issued, node)| {
+                            let server = if node == a && is_server(b) {
+                                Some(b)
+                            } else if node == b && is_server(a) {
+                                Some(a)
+                            } else {
+                                None
+                            };
+                            match server {
+                                None => true,
+                                Some(s) => {
+                                    let v = if s == source {
+                                        Some(current_version)
+                                    } else {
+                                        member_versions.get(&s).copied()
+                                    };
+                                    if self.config.fresh_only_serving && v != Some(current_version)
+                                    {
+                                        return true; // decline: keep searching
+                                    }
+                                    queries_served += 1;
+                                    query_delays.record(now.saturating_since(issued).as_secs());
+                                    if v == Some(current_version) {
+                                        queries_fresh += 1;
+                                    }
+                                    false
+                                }
+                            }
+                        });
+                    }
+                }
+            }
         }
 
         scheme.on_finish(&mut ctx!(span));
@@ -760,6 +803,7 @@ impl FreshnessSimulator {
             satisfied as f64 / satisfiable as f64
         };
 
+        let extras = world.into_metrics();
         FreshnessReport {
             scheme: scheme.name(),
             source,

@@ -1,15 +1,42 @@
 //! Trace-driven unicast delivery simulation.
+//!
+//! The simulator is driven by the shared `omn-sim` event kernel: a
+//! [`ContactDriver`] primes an [`Engine`] with one event per contact,
+//! demand creations are first-class scheduled events, and the engine
+//! delivers everything in `(time, class)` order — demands created exactly
+//! at a contact's start instant are injected before the contact is
+//! processed, matching the classic `created <= now` drain. When a
+//! [`FaultConfig`] is set, contacts whose endpoints are churned out are
+//! suppressed entirely, truncated contacts are sighted by the protocol
+//! (predictability updates) but carry no data, and each attempted transfer
+//! may be lost: a lost hop still counts as a transmission and consumes
+//! contact bandwidth (the send happened), but moves no message copy.
 
 use std::collections::{HashMap, HashSet};
 
-use omn_contacts::{ContactTrace, NodeId};
-use omn_sim::metrics::SampleHistogram;
-use omn_sim::{SimDuration, SimTime};
+use omn_contacts::faults::FaultConfig;
+use omn_contacts::{ContactDriver, ContactFate, ContactTrace, NodeId};
+use omn_sim::metrics::{Registry, SampleHistogram};
+use omn_sim::{Engine, EventClass, RngFactory, SimDuration, SimTime, SimWorld, World};
 
 use crate::buffer::{DropPolicy, MessageBuffer};
 use crate::message::{Message, MessageId};
 use crate::routing::{RoutingProtocol, TransferDecision};
 use crate::workload::UnicastDemand;
+
+/// Demand injections fire before any contact at the same instant.
+const CLASS_DEMAND: EventClass = EventClass(20);
+/// Contacts are processed after same-instant demand injections.
+const CLASS_CONTACT: EventClass = EventClass(60);
+
+/// Everything the delivery simulator schedules on the engine.
+#[derive(Debug, Clone, Copy)]
+enum NetEvent {
+    /// Inject the demand at this index into its source's buffer.
+    Demand(usize),
+    /// Process the contact at this index in the trace.
+    Contact(usize),
+}
 
 /// Simulation configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -25,6 +52,10 @@ pub struct SimConfig {
     /// Maximum successful transfers per contact (bandwidth proxy);
     /// `None` means unconstrained.
     pub max_transfers_per_contact: Option<usize>,
+    /// Optional fault injection (transmission loss, contact truncation,
+    /// churn, departures) applied through the shared [`ContactDriver`].
+    /// `None` runs fault-free and consumes no fault randomness.
+    pub faults: Option<FaultConfig>,
 }
 
 impl Default for SimConfig {
@@ -35,6 +66,7 @@ impl Default for SimConfig {
             ttl: None,
             message_size: 1024,
             max_transfers_per_contact: None,
+            faults: None,
         }
     }
 }
@@ -48,7 +80,9 @@ pub struct DeliveryReport {
     pub created: usize,
     /// Messages delivered (first copy reaching the destination).
     pub delivered: usize,
-    /// Successful message transfers (copies + handoffs + deliveries).
+    /// Message transfers attempted (copies + handoffs + deliveries).
+    /// Failed hops are included: the send happened even if the receive
+    /// did not.
     pub transmissions: u64,
     /// Buffer evictions under [`DropPolicy::DropOldest`].
     pub evictions: u64,
@@ -56,6 +90,9 @@ pub struct DeliveryReport {
     pub expired: u64,
     /// Delivery delays in seconds.
     pub delays: SampleHistogram,
+    /// Fault counters (`down-contacts`, `blocked-contacts`,
+    /// `failed-transmissions`); empty on fault-free runs.
+    pub extras: Registry,
 }
 
 impl DeliveryReport {
@@ -114,6 +151,10 @@ impl NetworkSimulator {
     /// Runs `protocol` over `trace` with the given demands (must be sorted
     /// by creation time, as produced by [`crate::workload::uniform_unicast`]).
     ///
+    /// Equivalent to [`NetworkSimulator::run_seeded`] with a fixed default
+    /// factory; fault-free configurations draw no randomness, so the fixed
+    /// seed is inert for them.
+    ///
     /// # Panics
     ///
     /// Panics if a demand references a node outside the trace or demands
@@ -124,6 +165,25 @@ impl NetworkSimulator {
         trace: &ContactTrace,
         protocol: &mut P,
         demands: &[UnicastDemand],
+    ) -> DeliveryReport {
+        self.run_seeded(trace, protocol, demands, &RngFactory::new(0))
+    }
+
+    /// Runs `protocol` over `trace`, seeding the fault plan (if
+    /// [`SimConfig::faults`] is set) from `factory`'s dedicated fault
+    /// streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a demand references a node outside the trace or demands
+    /// are not sorted by creation time.
+    #[must_use]
+    pub fn run_seeded<P: RoutingProtocol + ?Sized>(
+        &self,
+        trace: &ContactTrace,
+        protocol: &mut P,
+        demands: &[UnicastDemand],
+        factory: &RngFactory,
     ) -> DeliveryReport {
         let n = trace.node_count();
         assert!(
@@ -142,64 +202,105 @@ impl NetworkSimulator {
             evictions: 0,
             expired: 0,
             delays: SampleHistogram::new(),
+            extras: Registry::new(),
         };
 
-        let mut next_demand = 0usize;
-        let mut next_id = 0u64;
+        let mut driver = ContactDriver::new(trace, self.config.faults, factory);
+        let mut world = SimWorld::new(n, *factory);
+        let mut engine: Engine<NetEvent> = Engine::new();
+        let last_contact_start = driver.last_contact_start();
+        let in_contact_range = |t: SimTime| last_contact_start.is_some_and(|last| t <= last);
 
-        for contact in trace.contacts() {
-            let now = contact.start();
-            // Inject demands created up to this contact.
-            while next_demand < demands.len() && demands[next_demand].created <= now {
-                let d = demands[next_demand];
-                assert!(
-                    d.src.index() < n && d.dst.index() < n,
-                    "demand references node outside trace"
-                );
-                let msg = Message::new(
-                    MessageId(next_id),
-                    d.src,
-                    d.dst,
-                    self.config.message_size,
-                    d.created,
-                    self.config.ttl,
-                );
-                next_id += 1;
-                buffers[d.src.index()].insert(msg, protocol.initial_tokens(), d.created);
-                next_demand += 1;
+        // Demands created after the final contact can never be forwarded;
+        // they count as created but are never injected (exactly the set the
+        // old per-contact drain loop left behind).
+        for (i, d) in demands.iter().enumerate() {
+            if in_contact_range(d.created) {
+                engine.schedule_at_class(d.created, CLASS_DEMAND, NetEvent::Demand(i));
             }
+        }
+        driver.prime(&mut engine, CLASS_CONTACT, NetEvent::Contact);
 
-            let (a, b) = contact.pair();
-            report.expired += buffers[a.index()].purge_expired(now) as u64;
-            report.expired += buffers[b.index()].purge_expired(now) as u64;
-            protocol.on_contact(a, b, now);
+        let mut next_id = 0u64;
+        let mut failed_transmissions = 0u64;
 
-            let mut budget = self.config.max_transfers_per_contact.unwrap_or(usize::MAX);
-            // Messages received during this very contact must not be
-            // forwarded back within it (prevents same-contact ping-pong of
-            // handoff protocols).
-            let mut received_now: HashSet<(NodeId, MessageId)> = HashSet::new();
-            for (carrier, peer) in [(a, b), (b, a)] {
-                if budget == 0 {
-                    break;
+        while let Some(ev) = engine.next_event() {
+            world.advance_to(ev.time);
+            match ev.payload {
+                NetEvent::Demand(i) => {
+                    let d = demands[i];
+                    assert!(
+                        d.src.index() < n && d.dst.index() < n,
+                        "demand references node outside trace"
+                    );
+                    let msg = Message::new(
+                        MessageId(next_id),
+                        d.src,
+                        d.dst,
+                        self.config.message_size,
+                        d.created,
+                        self.config.ttl,
+                    );
+                    next_id += 1;
+                    buffers[d.src.index()].insert(msg, protocol.initial_tokens(), d.created);
                 }
-                self.exchange(
-                    carrier,
-                    peer,
-                    now,
-                    protocol,
-                    &mut buffers,
-                    &mut delivered,
-                    &mut report,
-                    &mut budget,
-                    &mut received_now,
-                );
+
+                NetEvent::Contact(ci) => {
+                    let now = ev.time;
+                    let (a, b) = driver.contact(ci).pair();
+                    let fate = driver.fate(ci, now);
+                    if fate == ContactFate::Down {
+                        // The radios never meet: no TTL accounting, no
+                        // protocol sighting, no exchange.
+                        world.metrics_mut().add("down-contacts", 1);
+                        continue;
+                    }
+                    report.expired += buffers[a.index()].purge_expired(now) as u64;
+                    report.expired += buffers[b.index()].purge_expired(now) as u64;
+                    protocol.on_contact(a, b, now);
+                    if fate == ContactFate::Blocked {
+                        // Sighted (predictability updated above) but
+                        // truncated before any data could move.
+                        world.metrics_mut().add("blocked-contacts", 1);
+                        continue;
+                    }
+
+                    let mut budget = self.config.max_transfers_per_contact.unwrap_or(usize::MAX);
+                    // Messages received during this very contact must not be
+                    // forwarded back within it (prevents same-contact
+                    // ping-pong of handoff protocols).
+                    let mut received_now: HashSet<(NodeId, MessageId)> = HashSet::new();
+                    for (carrier, peer) in [(a, b), (b, a)] {
+                        if budget == 0 {
+                            break;
+                        }
+                        self.exchange(
+                            carrier,
+                            peer,
+                            now,
+                            protocol,
+                            &mut buffers,
+                            &mut delivered,
+                            &mut report,
+                            &mut budget,
+                            &mut received_now,
+                            &mut driver,
+                            &mut failed_transmissions,
+                        );
+                    }
+                }
             }
         }
 
         for buf in &mut buffers {
             report.evictions += buf.take_evictions();
         }
+        if failed_transmissions > 0 {
+            world
+                .metrics_mut()
+                .add("failed-transmissions", failed_transmissions);
+        }
+        report.extras = world.into_metrics();
         report
     }
 
@@ -215,6 +316,8 @@ impl NetworkSimulator {
         report: &mut DeliveryReport,
         budget: &mut usize,
         received_now: &mut HashSet<(NodeId, MessageId)>,
+        driver: &mut ContactDriver<'_>,
+        failed_transmissions: &mut u64,
     ) {
         for id in buffers[carrier.index()].ids() {
             if *budget == 0 {
@@ -249,17 +352,28 @@ impl NetworkSimulator {
                 e.tokens = entry_mut.tokens;
             }
 
+            // A lost hop counts as a transmission and consumes budget (the
+            // send happened over the air), but moves no copy: the receiver
+            // gets nothing and the carrier keeps its buffer entry.
             match decision {
                 TransferDecision::Skip => {}
                 TransferDecision::Replicate { peer_tokens } => {
                     if peer == dst {
-                        delivered.insert(id, now);
-                        report.delivered += 1;
-                        report
-                            .delays
-                            .record(now.saturating_since(entry.message.created()).as_secs());
                         report.transmissions += 1;
-                        buffers[carrier.index()].remove(id);
+                        *budget -= 1;
+                        if driver.transfer_fails() {
+                            *failed_transmissions += 1;
+                        } else {
+                            delivered.insert(id, now);
+                            report.delivered += 1;
+                            report
+                                .delays
+                                .record(now.saturating_since(entry.message.created()).as_secs());
+                            buffers[carrier.index()].remove(id);
+                        }
+                    } else if driver.transfer_fails() {
+                        report.transmissions += 1;
+                        *failed_transmissions += 1;
                         *budget -= 1;
                     } else if buffers[peer.index()].insert(entry.message, peer_tokens, now) {
                         received_now.insert((peer, id));
@@ -269,13 +383,21 @@ impl NetworkSimulator {
                 }
                 TransferDecision::Handoff => {
                     if peer == dst {
-                        delivered.insert(id, now);
-                        report.delivered += 1;
-                        report
-                            .delays
-                            .record(now.saturating_since(entry.message.created()).as_secs());
                         report.transmissions += 1;
-                        buffers[carrier.index()].remove(id);
+                        *budget -= 1;
+                        if driver.transfer_fails() {
+                            *failed_transmissions += 1;
+                        } else {
+                            delivered.insert(id, now);
+                            report.delivered += 1;
+                            report
+                                .delays
+                                .record(now.saturating_since(entry.message.created()).as_secs());
+                            buffers[carrier.index()].remove(id);
+                        }
+                    } else if driver.transfer_fails() {
+                        report.transmissions += 1;
+                        *failed_transmissions += 1;
                         *budget -= 1;
                     } else if buffers[peer.index()].insert(entry.message, entry_mut.tokens, now) {
                         buffers[carrier.index()].remove(id);
@@ -293,6 +415,9 @@ impl NetworkSimulator {
 mod tests {
     use super::*;
     use crate::routing::{DirectDelivery, Epidemic, Prophet, SprayAndWait};
+    use crate::workload::uniform_unicast;
+    use omn_contacts::faults::DowntimeConfig;
+    use omn_contacts::synth::{generate_pairwise, PairwiseConfig};
     use omn_contacts::{Contact, TraceBuilder};
 
     fn t(s: f64) -> SimTime {
@@ -497,10 +622,6 @@ mod tests {
 
     #[test]
     fn deterministic_runs() {
-        use crate::workload::uniform_unicast;
-        use omn_contacts::synth::{generate_pairwise, PairwiseConfig};
-        use omn_sim::RngFactory;
-
         let f = RngFactory::new(4);
         let trace = generate_pairwise(
             &PairwiseConfig::new(12, SimDuration::from_days(1.0)).mean_rate(1.0 / 1800.0),
@@ -512,5 +633,93 @@ mod tests {
         let r2 = sim.run(&trace, &mut Epidemic::new(), &demands);
         assert_eq!(r1.delivered, r2.delivered);
         assert_eq!(r1.transmissions, r2.transmissions);
+    }
+
+    fn fault_scenario() -> (ContactTrace, Vec<UnicastDemand>) {
+        let f = RngFactory::new(9);
+        let trace = generate_pairwise(
+            &PairwiseConfig::new(16, SimDuration::from_days(2.0)).mean_rate(1.0 / 3600.0),
+            &f,
+        );
+        let demands = uniform_unicast(&trace, 60, &f);
+        (trace, demands)
+    }
+
+    #[test]
+    fn zero_fault_plan_is_bit_identical_to_no_plan() {
+        let (trace, demands) = fault_scenario();
+        let base = NetworkSimulator::new(SimConfig::default()).run(
+            &trace,
+            &mut Epidemic::new(),
+            &demands,
+        );
+        let config = SimConfig {
+            faults: Some(FaultConfig::default()),
+            ..SimConfig::default()
+        };
+        let zeroed = NetworkSimulator::new(config).run_seeded(
+            &trace,
+            &mut Epidemic::new(),
+            &demands,
+            &RngFactory::new(77),
+        );
+        assert_eq!(base.delivered, zeroed.delivered);
+        assert_eq!(base.transmissions, zeroed.transmissions);
+        assert_eq!(base.evictions, zeroed.evictions);
+        assert_eq!(base.expired, zeroed.expired);
+        assert_eq!(base.delays, zeroed.delays);
+        assert_eq!(zeroed.extras.get("down-contacts"), 0);
+        assert_eq!(zeroed.extras.get("blocked-contacts"), 0);
+        assert_eq!(zeroed.extras.get("failed-transmissions"), 0);
+    }
+
+    #[test]
+    fn total_transmission_loss_delivers_nothing() {
+        let (trace, demands) = fault_scenario();
+        let config = SimConfig {
+            faults: Some(FaultConfig {
+                transmission_loss: 1.0,
+                ..FaultConfig::default()
+            }),
+            ..SimConfig::default()
+        };
+        let report = NetworkSimulator::new(config).run_seeded(
+            &trace,
+            &mut Epidemic::new(),
+            &demands,
+            &RngFactory::new(77),
+        );
+        assert_eq!(report.delivered, 0);
+        assert!(report.transmissions > 0);
+        assert_eq!(
+            report.extras.get("failed-transmissions"),
+            report.transmissions
+        );
+    }
+
+    #[test]
+    fn churn_suppresses_contacts() {
+        let (trace, demands) = fault_scenario();
+        let config = SimConfig {
+            faults: Some(FaultConfig {
+                downtime: Some(DowntimeConfig {
+                    node_fraction: 1.0,
+                    mean_uptime: SimDuration::from_hours(4.0),
+                    mean_downtime: SimDuration::from_hours(4.0),
+                    exempt: None,
+                }),
+                ..FaultConfig::default()
+            }),
+            ..SimConfig::default()
+        };
+        let faulted = NetworkSimulator::new(config).run_seeded(
+            &trace,
+            &mut Epidemic::new(),
+            &demands,
+            &RngFactory::new(77),
+        );
+        assert!(faulted.extras.get("down-contacts") > 0);
+        assert!(faulted.delivered <= faulted.created);
+        assert_eq!(faulted.delays.len(), faulted.delivered);
     }
 }

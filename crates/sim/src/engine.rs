@@ -1,6 +1,6 @@
 //! The simulation engine: a virtual clock driving an event queue.
 
-use crate::queue::{EventHandle, EventQueue};
+use crate::queue::{EventClass, EventHandle, EventQueue};
 use crate::time::{SimDuration, SimTime};
 
 /// An event delivered by [`Engine::next_event`].
@@ -109,10 +109,38 @@ impl<E> Engine<E> {
         self.queue.schedule(at, payload)
     }
 
+    /// Schedules `payload` at absolute time `at` in the given delivery
+    /// class. At equal timestamps, events fire by ascending
+    /// [`EventClass`], then FIFO.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current time.
+    pub fn schedule_at_class(&mut self, at: SimTime, class: EventClass, payload: E) -> EventHandle {
+        assert!(
+            at >= self.now,
+            "Engine::schedule_at_class: {at} is before now ({})",
+            self.now
+        );
+        self.queue.schedule_with_class(at, class, payload)
+    }
+
     /// Schedules `payload` after a relative delay.
     pub fn schedule_in(&mut self, delay: SimDuration, payload: E) -> EventHandle {
         let at = self.now + delay;
         self.queue.schedule(at, payload)
+    }
+
+    /// Schedules `payload` after a relative delay in the given delivery
+    /// class.
+    pub fn schedule_in_class(
+        &mut self,
+        delay: SimDuration,
+        class: EventClass,
+        payload: E,
+    ) -> EventHandle {
+        let at = self.now + delay;
+        self.queue.schedule_with_class(at, class, payload)
     }
 
     /// Cancels a pending event, returning its payload if it had not yet
@@ -261,5 +289,16 @@ mod tests {
         e.schedule_at(t(1.0), "second");
         assert_eq!(e.next_event().unwrap().payload, "first");
         assert_eq!(e.next_event().unwrap().payload, "second");
+    }
+
+    #[test]
+    fn classes_order_delivery_at_equal_times() {
+        let mut e = Engine::new();
+        e.schedule_at_class(t(1.0), EventClass(60), "contact");
+        e.schedule_at_class(t(1.0), EventClass(10), "birth");
+        e.schedule_in_class(SimDuration::from_secs(1.0), EventClass(30), "expiry");
+        assert_eq!(e.next_event().unwrap().payload, "birth");
+        assert_eq!(e.next_event().unwrap().payload, "expiry");
+        assert_eq!(e.next_event().unwrap().payload, "contact");
     }
 }

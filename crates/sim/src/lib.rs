@@ -6,9 +6,11 @@
 //!
 //! * [`SimTime`] / [`SimDuration`] — finite, totally ordered virtual time.
 //! * [`EventQueue`] — a cancellable priority queue of timestamped events with
-//!   deterministic FIFO tie-breaking.
+//!   deterministic [`EventClass`]-then-FIFO tie-breaking.
 //! * [`Engine`] — a virtual clock driving an [`EventQueue`], with an optional
 //!   horizon.
+//! * [`World`] / [`SimWorld`] — the per-run state (node roster, clock, RNG
+//!   streams, metrics registry) every workspace simulator shares.
 //! * [`RngFactory`] — reproducible, independently seeded random-number
 //!   streams derived from a single master seed, so adding a new source of
 //!   randomness never perturbs existing ones.
@@ -49,8 +51,10 @@ mod queue;
 mod rng;
 pub mod stats;
 mod time;
+mod world;
 
 pub use engine::{Engine, ScheduledEvent};
-pub use queue::{EventHandle, EventQueue};
+pub use queue::{EventClass, EventHandle, EventQueue};
 pub use rng::{split_mix64, RngFactory};
 pub use time::{SimDuration, SimTime, TimeError};
+pub use world::{SimWorld, World};

@@ -1,9 +1,10 @@
 //! A cancellable, deterministic event queue.
 //!
-//! Events scheduled at equal times are delivered in scheduling order (FIFO),
-//! which keeps simulations reproducible regardless of heap internals.
-//! Cancellation is O(1): the payload is removed immediately and the heap
-//! entry becomes a tombstone that is skipped lazily on pop.
+//! Events scheduled at equal times are delivered by ascending
+//! [`EventClass`], then in scheduling order (FIFO), which keeps simulations
+//! reproducible regardless of heap internals. Cancellation is O(1): the
+//! payload is removed immediately and the heap entry becomes a tombstone
+//! that is skipped lazily on pop.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -17,9 +18,38 @@ use crate::time::SimTime;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventHandle(u64);
 
+/// A delivery-priority class for events that share a timestamp.
+///
+/// When several events are scheduled at the same instant, the queue delivers
+/// them by ascending class first and scheduling order (FIFO) second. This
+/// lets a simulator encode its causal conventions at a shared timestamp —
+/// e.g. "data births precede queries precede contacts" — without relying on
+/// the order in which it happened to enqueue them.
+///
+/// Classes are plain bytes; smaller fires earlier. Events scheduled without
+/// an explicit class get [`EventClass::DEFAULT`] (the midpoint, 128), so
+/// class-annotated events can be ordered both before and after legacy ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventClass(pub u8);
+
+impl EventClass {
+    /// The class used by [`EventQueue::schedule`]: the midpoint `128`.
+    pub const DEFAULT: EventClass = EventClass(128);
+}
+
+impl Default for EventClass {
+    fn default() -> EventClass {
+        EventClass::DEFAULT
+    }
+}
+
+// Field order matters: derived Ord compares (time, class, seq)
+// lexicographically, giving time-ordered delivery with class priority and
+// FIFO tie-breaking at equal (time, class).
 #[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
 struct HeapKey {
     time: SimTime,
+    class: EventClass,
     seq: u64,
 }
 
@@ -62,11 +92,24 @@ impl<E> EventQueue<E> {
         }
     }
 
-    /// Schedules `payload` at `time` and returns a cancellation handle.
+    /// Schedules `payload` at `time` with [`EventClass::DEFAULT`] and
+    /// returns a cancellation handle.
     pub fn schedule(&mut self, time: SimTime, payload: E) -> EventHandle {
+        self.schedule_with_class(time, EventClass::DEFAULT, payload)
+    }
+
+    /// Schedules `payload` at `time` in the given delivery class.
+    ///
+    /// At equal timestamps, events fire by ascending class, then FIFO.
+    pub fn schedule_with_class(
+        &mut self,
+        time: SimTime,
+        class: EventClass,
+        payload: E,
+    ) -> EventHandle {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse(HeapKey { time, seq }));
+        self.heap.push(Reverse(HeapKey { time, class, seq }));
         self.payloads.insert(seq, payload);
         EventHandle(seq)
     }
@@ -217,6 +260,50 @@ mod tests {
     fn from_iterator() {
         let q: EventQueue<u32> = vec![(t(2.0), 2), (t(1.0), 1)].into_iter().collect();
         assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn classes_order_events_at_equal_times() {
+        let mut q = EventQueue::new();
+        // Scheduled out of class order at the same instant.
+        q.schedule_with_class(t(1.0), EventClass(60), "contact");
+        q.schedule_with_class(t(1.0), EventClass(10), "birth");
+        q.schedule_with_class(t(1.0), EventClass(20), "query");
+        assert_eq!(q.pop(), Some((t(1.0), "birth")));
+        assert_eq!(q.pop(), Some((t(1.0), "query")));
+        assert_eq!(q.pop(), Some((t(1.0), "contact")));
+    }
+
+    #[test]
+    fn time_dominates_class() {
+        let mut q = EventQueue::new();
+        q.schedule_with_class(t(2.0), EventClass(0), "later");
+        q.schedule_with_class(t(1.0), EventClass(255), "earlier");
+        assert_eq!(q.pop(), Some((t(1.0), "earlier")));
+        assert_eq!(q.pop(), Some((t(2.0), "later")));
+    }
+
+    #[test]
+    fn equal_time_and_class_is_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..50 {
+            q.schedule_with_class(t(3.0), EventClass(7), i);
+        }
+        for i in 0..50 {
+            assert_eq!(q.pop(), Some((t(3.0), i)));
+        }
+    }
+
+    #[test]
+    fn default_class_is_midpoint() {
+        let mut q = EventQueue::new();
+        q.schedule(t(1.0), "default");
+        q.schedule_with_class(t(1.0), EventClass(129), "after");
+        q.schedule_with_class(t(1.0), EventClass(127), "before");
+        assert_eq!(EventClass::default(), EventClass::DEFAULT);
+        assert_eq!(q.pop(), Some((t(1.0), "before")));
+        assert_eq!(q.pop(), Some((t(1.0), "default")));
+        assert_eq!(q.pop(), Some((t(1.0), "after")));
     }
 
     #[test]
