@@ -1,0 +1,5 @@
+//! Binary wrapper for experiment `e14_joint_world`.
+
+fn main() {
+    omn_bench::experiments::e14_joint_world::run();
+}

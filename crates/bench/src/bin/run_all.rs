@@ -1,4 +1,4 @@
-//! Runs the complete reconstructed evaluation (E1-E13) in order.
+//! Runs the complete reconstructed evaluation (E1-E14) in order.
 //!
 //! Seed replications run in parallel (one thread per seed, merged in seed
 //! order — byte-identical to serial). `--seeds a,b,c` overrides the seed
@@ -19,4 +19,5 @@ fn main() {
     e::e11_robustness::run();
     e::e12_load_distribution::run();
     e::e13_fault_tolerance::run();
+    e::e14_joint_world::run();
 }

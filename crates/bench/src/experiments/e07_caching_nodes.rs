@@ -50,8 +50,7 @@ pub fn run() {
                 let birth = omn_sim::SimTime::from_secs(v as f64 * period);
                 delays.extend(temporal::oracle_delays(&trace, source, birth, &members));
             }
-            (!delays.is_empty())
-                .then(|| delays.iter().sum::<f64>() / delays.len() as f64 / 3600.0)
+            (!delays.is_empty()).then(|| delays.iter().sum::<f64>() / delays.len() as f64 / 3600.0)
         })
         .into_iter()
         .flatten()

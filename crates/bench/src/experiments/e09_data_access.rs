@@ -108,7 +108,10 @@ pub fn run() {
                         .map(FreshnessReport::fresh_access_ratio)
                         .sum::<f64>()
                         / n;
-                    let service = reports.iter().map(FreshnessReport::service_ratio).sum::<f64>()
+                    let service = reports
+                        .iter()
+                        .map(FreshnessReport::service_ratio)
+                        .sum::<f64>()
                         / n;
                     (fresh, service)
                 })

@@ -147,7 +147,10 @@ pub fn run() {
                     seed,
                 )),
                 post(&mut maintained_scheme(&base, None)),
-                post(&mut maintained_scheme(&base, Some(ResilienceConfig::default()))),
+                post(&mut maintained_scheme(
+                    &base,
+                    Some(ResilienceConfig::default()),
+                )),
                 post(&mut EpidemicRefresh::new()),
             )
         });

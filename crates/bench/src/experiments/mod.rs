@@ -15,6 +15,7 @@
 //! | E11 | [`e11_robustness`] | node-departure robustness (extension) |
 //! | E12 | [`e12_load_distribution`] | refresh-load distribution |
 //! | E13 | [`e13_fault_tolerance`] | loss + churn fault tolerance (extension) |
+//! | E14 | [`e14_joint_world`] | joint world: contact-capacity contention (extension) |
 
 pub mod e01_trace_stats;
 pub mod e02_delay_validation;
@@ -29,6 +30,7 @@ pub mod e10_routing_baselines;
 pub mod e11_robustness;
 pub mod e12_load_distribution;
 pub mod e13_fault_tolerance;
+pub mod e14_joint_world;
 
 use omn_contacts::synth::presets::TracePreset;
 use omn_contacts::ContactTrace;

@@ -65,7 +65,9 @@ fn seeds_from<I: Iterator<Item = String>>(mut args: I) -> Vec<u64> {
         let list = if let Some(rest) = arg.strip_prefix("--seeds=") {
             Some(rest.to_owned())
         } else if arg == "--seeds" {
-            args.next()
+            // A trailing `--seeds` with no value is a usage error, not a
+            // silent no-op (symmetric with the malformed-integer case).
+            Some(args.next().expect("--seeds requires a value"))
         } else {
             None
         };
@@ -91,7 +93,7 @@ fn seeds_from<I: Iterator<Item = String>>(mut args: I) -> Vec<u64> {
 mod tests {
     use super::*;
 
-    fn args(list: &[&str]) -> impl Iterator<Item = String> + '_ {
+    fn args<'a>(list: &'a [&'a str]) -> impl Iterator<Item = String> + 'a {
         list.iter().map(|s| (*s).to_owned())
     }
 
@@ -111,6 +113,18 @@ mod tests {
     #[test]
     fn empty_seed_list_falls_back_to_default() {
         assert_eq!(seeds_from(args(&["--seeds="])), SEEDS.to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "--seeds requires a value")]
+    fn trailing_seeds_flag_is_an_error() {
+        seeds_from(args(&["--seeds"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "comma-separated list of integers")]
+    fn malformed_seed_list_is_an_error() {
+        seeds_from(args(&["--seeds", "1,x,3"]));
     }
 
     #[test]

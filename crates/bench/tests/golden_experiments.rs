@@ -1,6 +1,6 @@
 //! Golden-value tests pinning the headline numbers of E2 (analysis vs
-//! simulation) and E3 (freshness over time) against committed golden
-//! files.
+//! simulation), E3 (freshness over time) and E14 (joint-world contention)
+//! against committed golden files.
 //!
 //! The pinned values are written with full bit patterns, so any change to
 //! the simulation kernel, the RNG stream layout, or the schemes that
@@ -12,16 +12,20 @@
 //! ```
 //!
 //! When no golden file has been recorded yet the comparison is skipped
-//! (with a note), but the always-on invariant assertions still run.
+//! (with a note), but the always-on invariant assertions still run. Set
+//! `OMN_REQUIRE_GOLDEN=1` (CI does) to turn a missing golden file into a
+//! hard failure instead, so the suite can never pass vacuously.
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
+use omn_bench::experiments::e14_joint_world::{joint_run, BUDGET, LOADS};
 use omn_bench::experiments::{config_for, trace_for};
 use omn_contacts::synth::presets::TracePreset;
 use omn_contacts::synth::{generate_pairwise, PairwiseConfig};
 use omn_contacts::ContactGraph;
 use omn_core::analysis;
+use omn_core::joint::ContentionPriority;
 use omn_core::scheme::{HierarchicalConfig, HierarchicalScheme};
 use omn_core::sim::{FreshnessConfig, FreshnessSimulator, SchemeChoice};
 use omn_sim::{RngFactory, SimDuration};
@@ -52,7 +56,13 @@ fn check_golden(name: &str, rendered: &str) {
             "golden mismatch for {name}; if the change is intentional, \
              re-record with OMN_BLESS_GOLDEN=1"
         ),
-        Err(_) => eprintln!("note: golden file {name} not recorded yet (OMN_BLESS_GOLDEN=1 to pin)"),
+        Err(_) if std::env::var_os("OMN_REQUIRE_GOLDEN").is_some() => panic!(
+            "golden file {name} is missing and OMN_REQUIRE_GOLDEN is set; \
+             record it with OMN_BLESS_GOLDEN=1 and commit it"
+        ),
+        Err(_) => {
+            eprintln!("note: golden file {name} not recorded yet (OMN_BLESS_GOLDEN=1 to pin)")
+        }
     }
 }
 
@@ -98,9 +108,17 @@ fn e2_headline_numbers() {
 
     let mut out = String::new();
     line(&mut out, "sim_mean_freshness", report.mean_freshness);
-    line(&mut out, "sim_requirement_satisfaction", report.requirement_satisfaction);
+    line(
+        &mut out,
+        "sim_requirement_satisfaction",
+        report.requirement_satisfaction,
+    );
     line(&mut out, "analysis_mean_freshness", summary.mean_freshness);
-    line(&mut out, "analysis_within_deadline", summary.mean_within_deadline);
+    line(
+        &mut out,
+        "analysis_within_deadline",
+        summary.mean_within_deadline,
+    );
     line(&mut out, "transmissions", report.transmissions as f64);
     check_golden("e2_headline.txt", &out);
 }
@@ -131,9 +149,117 @@ fn e3_headline_numbers() {
 
     let mut out = String::new();
     line(&mut out, "hierarchical_mean_freshness", hier.mean_freshness);
-    line(&mut out, "hierarchical_satisfaction", hier.requirement_satisfaction);
-    line(&mut out, "hierarchical_transmissions", hier.transmissions as f64);
+    line(
+        &mut out,
+        "hierarchical_satisfaction",
+        hier.requirement_satisfaction,
+    );
+    line(
+        &mut out,
+        "hierarchical_transmissions",
+        hier.transmissions as f64,
+    );
     line(&mut out, "epidemic_mean_freshness", epi.mean_freshness);
     line(&mut out, "no_refresh_mean_freshness", none.mean_freshness);
     check_golden("e3_headline.txt", &out);
+}
+
+#[test]
+fn e14_headline_numbers() {
+    // One seed of the E14 configuration: the joint world under a tight
+    // per-contact budget, sweeping the query load under query-first
+    // priority (the contention-sensitive direction), plus a refresh-first
+    // run at the heaviest load.
+    let preset = TracePreset::InfocomLike;
+    let seed = 11;
+
+    let swept: Vec<_> = LOADS
+        .iter()
+        .map(|&load| {
+            joint_run(
+                preset,
+                seed,
+                load,
+                Some(BUDGET),
+                ContentionPriority::QueryFirst,
+            )
+        })
+        .collect();
+    let refresh_first = joint_run(
+        preset,
+        seed,
+        LOADS[LOADS.len() - 1],
+        Some(BUDGET),
+        ContentionPriority::RefreshFirst,
+    );
+
+    // Always-on invariants, independent of the recorded golden.
+    for r in swept.iter().chain([&refresh_first]) {
+        assert!(
+            r.max_contact_used <= BUDGET,
+            "contact carried {} transfers over a budget of {BUDGET}",
+            r.max_contact_used
+        );
+        assert!(r.access.satisfied_fresh <= r.access.satisfied);
+    }
+    // The monotone trade-off: under a fixed budget, raising the query load
+    // consumes capacity refresh traffic needs, so mean cache freshness
+    // does not increase, and neither does the fresh-access ratio between
+    // the positive loads (at load 0 the ratio is trivially 0).
+    for w in swept.windows(2) {
+        let (lo, hi) = (&w[0], &w[1]);
+        let (f_lo, f_hi) = (
+            lo.mean_freshness().expect("items ran"),
+            hi.mean_freshness().expect("items ran"),
+        );
+        assert!(
+            f_hi <= f_lo,
+            "freshness increased with query load: {f_lo} -> {f_hi}"
+        );
+        if lo.access.created > 0 {
+            assert!(
+                hi.fresh_access_ratio() <= lo.fresh_access_ratio(),
+                "fresh-access ratio increased with query load: {} -> {}",
+                lo.fresh_access_ratio(),
+                hi.fresh_access_ratio()
+            );
+        }
+    }
+    // Refresh-first protects freshness relative to query-first at the same
+    // load.
+    let heaviest = swept.last().expect("loads");
+    assert!(
+        refresh_first.mean_freshness().expect("items ran")
+            >= heaviest.mean_freshness().expect("items ran")
+    );
+
+    let mut out = String::new();
+    for (r, &load) in swept.iter().zip(LOADS.iter()) {
+        line(
+            &mut out,
+            &format!("query_first_load{load}_mean_freshness"),
+            r.mean_freshness().expect("items ran"),
+        );
+        line(
+            &mut out,
+            &format!("query_first_load{load}_fresh_access"),
+            r.fresh_access_ratio(),
+        );
+        line(
+            &mut out,
+            &format!("query_first_load{load}_deferred"),
+            r.access.extras.get("budget-deferred-transmissions") as f64,
+        );
+    }
+    line(
+        &mut out,
+        "refresh_first_load1200_mean_freshness",
+        refresh_first.mean_freshness().expect("items ran"),
+    );
+    line(
+        &mut out,
+        "refresh_first_load1200_success",
+        refresh_first.access.success_ratio(),
+    );
+    check_golden("e14_headline.txt", &out);
 }

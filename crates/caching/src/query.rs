@@ -27,8 +27,7 @@ impl QueryWorkload {
     /// Builds a workload from raw queries (sorted internally).
     #[must_use]
     pub fn new(mut queries: Vec<Query>) -> QueryWorkload {
-        queries
-            .sort_by(|a, b| (a.issued, a.requester, a.item).cmp(&(b.issued, b.requester, b.item)));
+        queries.sort_by_key(|a| (a.issued, a.requester, a.item));
         QueryWorkload { queries }
     }
 

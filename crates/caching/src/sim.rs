@@ -24,9 +24,11 @@
 //! blocks them for data, and transmission loss fails individual hops.
 
 use omn_contacts::faults::FaultConfig;
-use omn_contacts::{ContactDriver, ContactFate, ContactGraph, ContactTrace, NodeId};
+use omn_contacts::{
+    ContactDriver, ContactFate, ContactGraph, ContactTrace, NodeId, TransferOutcome,
+};
 use omn_sim::metrics::{Registry, SampleHistogram};
-use omn_sim::{Engine, EventClass, RngFactory, SimDuration, SimTime, SimWorld, World};
+use omn_sim::{Engine, EventClass, RngFactory, SimDuration, SimTime, TransferBudget};
 
 use crate::item::{Catalog, DataItemId};
 use crate::ncl::{select_ncls, NclConfig};
@@ -41,16 +43,39 @@ const CLASS_QUERY_ISSUE: EventClass = EventClass(20);
 const CLASS_CONTACT: EventClass = EventClass(60);
 const CLASS_QUERY_DEADLINE: EventClass = EventClass(200);
 
-/// The caching simulation's event alphabet.
+/// A non-contact event of the caching layer: the timer alphabet a
+/// [`CachingRun`] asks its driving loop to schedule. Public so that a joint
+/// multi-layer world can interleave caching timers with other layers'
+/// events on a single engine.
 #[derive(Debug, Clone, Copy)]
-enum CachingEvent {
+pub enum CachingTimer {
     /// The `i`-th query of the workload is issued.
     QueryIssue(usize),
-    /// The `i`-th contact of the trace starts.
-    Contact(usize),
     /// The `i`-th query's deadline elapses: drop it and any in-flight
     /// response.
     QueryDeadline(usize),
+}
+
+impl CachingTimer {
+    /// The delivery class this timer must be scheduled in, preserving the
+    /// same-instant drain order of the standalone simulator (issues before
+    /// contacts, deadlines after contacts).
+    #[must_use]
+    pub fn class(&self) -> EventClass {
+        match self {
+            CachingTimer::QueryIssue(_) => CLASS_QUERY_ISSUE,
+            CachingTimer::QueryDeadline(_) => CLASS_QUERY_DEADLINE,
+        }
+    }
+}
+
+/// The standalone caching simulation's event alphabet.
+#[derive(Debug, Clone, Copy)]
+enum CachingEvent {
+    /// A scheduled caching-layer timer fires.
+    Timer(CachingTimer),
+    /// The `i`-th contact of the trace starts.
+    Contact(usize),
 }
 
 /// Caching simulation parameters.
@@ -116,6 +141,11 @@ pub struct AccessReport {
     pub created: usize,
     /// Queries answered within the deadline.
     pub satisfied: usize,
+    /// Of those, answered with a copy matching the item's current version
+    /// at service time. Standalone runs never advance versions, so this
+    /// always equals `satisfied` there; joint caching+freshness worlds
+    /// ([`crate::sim::CachingRun::set_version`]) make it a strict subset.
+    pub satisfied_fresh: usize,
     /// Of those, answered from the requester's own cache.
     pub local_hits: usize,
     /// Access delays (seconds) of satisfied queries.
@@ -148,6 +178,17 @@ impl AccessReport {
     #[must_use]
     pub fn mean_delay(&self) -> Option<f64> {
         self.delays.mean()
+    }
+
+    /// Satisfied-fresh / created, or 0 when no queries were issued: the
+    /// fraction of all queries answered with a current-version copy.
+    #[must_use]
+    pub fn fresh_access_ratio(&self) -> f64 {
+        if self.created == 0 {
+            0.0
+        } else {
+            self.satisfied_fresh as f64 / self.created as f64
+        }
     }
 }
 
@@ -215,6 +256,11 @@ impl CachingSimulator {
 
     /// Runs the protocol with an explicit replacement policy and RNG
     /// factory.
+    ///
+    /// A thin driving loop around one [`CachingRun`] participant: the
+    /// engine interleaves the participant's timers with the contact stream
+    /// of a dedicated [`ContactDriver`], with an unlimited per-contact
+    /// transfer budget (standalone runs own the whole contact).
     #[must_use]
     pub fn run_with_policy_seeded<P: CachePolicy + ?Sized>(
         &self,
@@ -224,38 +270,156 @@ impl CachingSimulator {
         policy: &P,
         factory: &RngFactory,
     ) -> AccessReport {
-        let n = trace.node_count();
         let graph = ContactGraph::from_trace(trace);
-        let ncls = select_ncls(&graph, &self.config.ncl);
+        // The driver materializes the run's fault schedule and feeds the
+        // contact stream into the engine; the registry carries the fault
+        // counters.
+        let mut driver = ContactDriver::new(trace, self.config.faults, factory);
+        let mut extras = Registry::new();
+        let (mut run, timers) = CachingRun::new(
+            &self.config,
+            trace,
+            &graph,
+            catalog,
+            queries,
+            policy,
+            &driver,
+        );
+        let mut engine: Engine<CachingEvent> = Engine::new();
+        for (t, timer) in timers {
+            engine.schedule_at_class(t, timer.class(), CachingEvent::Timer(timer));
+        }
+        driver.prime(&mut engine, CLASS_CONTACT, CachingEvent::Contact);
 
-        // All-pairs expected delays for gradient forwarding.
+        while let Some(ev) = engine.next_event() {
+            match ev.payload {
+                CachingEvent::Timer(CachingTimer::QueryIssue(qid)) => {
+                    if let Some((due, timer)) = run.on_query_issue(qid) {
+                        engine.schedule_at_class(due, timer.class(), CachingEvent::Timer(timer));
+                    }
+                }
+                CachingEvent::Timer(CachingTimer::QueryDeadline(qid)) => {
+                    run.on_query_deadline(qid);
+                }
+                CachingEvent::Contact(ci) => {
+                    let now = ev.time;
+                    let (a, b) = driver.contact(ci).pair();
+                    match driver.fate(ci, now) {
+                        ContactFate::Down => {
+                            extras.add("down-contacts", 1);
+                            continue;
+                        }
+                        ContactFate::Blocked => {
+                            extras.add("blocked-contacts", 1);
+                            continue;
+                        }
+                        ContactFate::Deliverable => {}
+                    }
+                    let mut budget = TransferBudget::unlimited();
+                    run.on_contact(a, b, now, &mut driver, &mut extras, &mut budget);
+                }
+            }
+        }
+
+        run.finish(trace.span(), extras)
+    }
+}
+
+/// Performs one budgeted hop: consumes budget, draws the loss fate, and
+/// maintains the transmission and fault counters. Returns whether the hop
+/// delivered (the caller then applies the data effect). An over-budget
+/// attempt is treated as never made: no loss draw, no transmission.
+fn budgeted_hop(
+    driver: &mut ContactDriver<'_>,
+    budget: &mut TransferBudget,
+    extras: &mut Registry,
+    transmissions: &mut u64,
+) -> bool {
+    match driver.budgeted_transfer(budget) {
+        TransferOutcome::OverBudget => {
+            extras.add("budget-deferred-transmissions", 1);
+            false
+        }
+        TransferOutcome::Lost => {
+            *transmissions += 1;
+            extras.add("failed-transmissions", 1);
+            false
+        }
+        TransferOutcome::Sent => {
+            *transmissions += 1;
+            true
+        }
+    }
+}
+
+/// One caching participant: the complete state of an NCL caching run
+/// (per-node stores, in-flight placements, queries and responses,
+/// counters), with one handler per event class.
+///
+/// Extracted from the standalone simulator loop so that a joint
+/// multi-layer world can drive it — alongside freshness participants —
+/// from a single engine over one shared contact stream, with every hop
+/// drawing on a per-contact [`TransferBudget`]. The standalone
+/// [`CachingSimulator`] is a thin driving loop around this struct and
+/// passes an unlimited budget per contact, which is bit-identical to the
+/// pre-extraction simulator.
+///
+/// Joint worlds additionally advance per-item versions
+/// ([`CachingRun::set_version`]) as the freshness layer births them,
+/// propagate refreshed copies into caches ([`CachingRun::refresh_copy`])
+/// and may demote stale replicas ([`CachingRun::demote_stale`]); queries
+/// answered with a current-version copy count as `satisfied_fresh`.
+#[derive(Debug)]
+pub struct CachingRun<'a, P: CachePolicy + ?Sized> {
+    catalog: &'a Catalog,
+    policy: &'a P,
+    qs: &'a [Query],
+    ncls: Vec<NodeId>,
+    /// All-pairs expected delays for gradient forwarding:
+    /// `delays[target][x]` is the expected delay from `x` to `target`.
+    delays: Vec<Vec<Option<f64>>>,
+    stores: Vec<CacheStore>,
+    placements: Vec<PlacementCopy>,
+    pending_queries: Vec<PendingQuery>,
+    pending_responses: Vec<PendingResponse>,
+    /// Current version per item (all zeros unless a freshness layer
+    /// advances them via [`CachingRun::set_version`]).
+    versions: Vec<u64>,
+    opportunistic: bool,
+    deadline: SimDuration,
+    last_contact_start: Option<SimTime>,
+    satisfied: usize,
+    satisfied_fresh: usize,
+    local_hits: usize,
+    delays_hist: SampleHistogram,
+    transmissions: u64,
+}
+
+impl<'a, P: CachePolicy + ?Sized> CachingRun<'a, P> {
+    /// Builds a participant plus the initial timers its driving loop must
+    /// schedule (the query issues — deadline timers are returned by
+    /// [`CachingRun::on_query_issue`], and contact events are primed by
+    /// the caller from the shared [`ContactDriver`]). Each timer goes into
+    /// the class [`CachingTimer::class`] reports.
+    ///
+    /// Queries issued after the final contact start can no longer be
+    /// served and are not scheduled (they still count as
+    /// created-but-unsatisfied).
+    #[must_use]
+    pub fn new(
+        config: &CachingConfig,
+        trace: &ContactTrace,
+        graph: &ContactGraph,
+        catalog: &'a Catalog,
+        queries: &'a QueryWorkload,
+        policy: &'a P,
+        driver: &ContactDriver<'_>,
+    ) -> (CachingRun<'a, P>, Vec<(SimTime, CachingTimer)>) {
+        let n = trace.node_count();
+        let ncls = select_ncls(graph, &config.ncl);
         let delays: Vec<Vec<Option<f64>>> = (0..n)
             .map(|i| graph.shortest_expected_delays(NodeId(i as u32)))
             .collect();
-        let delay_to = |x: NodeId, target: NodeId| delays[target.index()][x.index()];
-        // Strictly-closer test with a small margin to avoid ping-ponging on
-        // ties.
-        let closer = |candidate: NodeId, current: NodeId, target: NodeId| -> bool {
-            match (delay_to(candidate, target), delay_to(current, target)) {
-                (Some(c), Some(k)) => c + 1e-9 < k,
-                (Some(_), None) => true,
-                _ => false,
-            }
-        };
-
-        let mut stores: Vec<CacheStore> = (0..n)
-            .map(|_| CacheStore::new(self.config.cache_capacity))
-            .collect();
-
-        let mut report = AccessReport {
-            created: queries.len(),
-            satisfied: 0,
-            local_hits: 0,
-            delays: SampleHistogram::new(),
-            transmissions: 0,
-            extras: Registry::new(),
-            cachers_per_item: vec![Vec::new(); catalog.len()],
-        };
 
         // Placement: one copy per (item, NCL), initially at the source.
         // Sources cache their own items permanently (conceptually the
@@ -273,227 +437,328 @@ impl CachingSimulator {
             }
         }
 
-        let mut pending_queries: Vec<PendingQuery> = Vec::new();
-        let mut pending_responses: Vec<PendingResponse> = Vec::new();
-        let qs = queries.queries();
-
-        // Answer helper: does `node` hold an answer for `item` at `now`?
-        // The source always can.
-        let holds =
-            |stores: &[CacheStore], node: NodeId, item: DataItemId, now: SimTime| -> Option<u64> {
-                let meta = catalog.item(item);
-                if node == meta.source() {
-                    return Some(0);
-                }
-                stores[node.index()]
-                    .peek(item)
-                    .filter(|e| now.saturating_since(e.fetched_at) <= meta.lifetime())
-                    .map(|e| e.version)
-            };
-
-        // The shared substrate: the driver materializes the run's fault
-        // schedule and feeds the contact stream into the engine; the world
-        // carries the roster, clock mirror, and fault counters.
-        let mut driver = ContactDriver::new(trace, self.config.faults, factory);
-        let mut world = SimWorld::new(n, *factory);
-        let mut engine: Engine<CachingEvent> = Engine::new();
-        // Workload events after the final contact start can no longer be
-        // served; like the pre-kernel loop, they are not simulated (they
-        // still count as created-but-unsatisfied).
         let last_contact_start = driver.last_contact_start();
-        let in_contact_range = |t: SimTime| last_contact_start.is_some_and(|last| t <= last);
-        let deadline = self.config.query_deadline;
+        let qs = queries.queries();
+        let timers: Vec<(SimTime, CachingTimer)> = qs
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| last_contact_start.is_some_and(|last| q.issued <= last))
+            .map(|(i, q)| (q.issued, CachingTimer::QueryIssue(i)))
+            .collect();
 
-        for (i, q) in qs.iter().enumerate() {
-            if in_contact_range(q.issued) {
-                engine.schedule_at_class(q.issued, CLASS_QUERY_ISSUE, CachingEvent::QueryIssue(i));
-            }
+        let run = CachingRun {
+            catalog,
+            policy,
+            qs,
+            ncls,
+            delays,
+            stores: (0..n)
+                .map(|_| CacheStore::new(config.cache_capacity))
+                .collect(),
+            placements,
+            pending_queries: Vec::new(),
+            pending_responses: Vec::new(),
+            versions: vec![0; catalog.len()],
+            opportunistic: config.opportunistic_caching,
+            deadline: config.query_deadline,
+            last_contact_start,
+            satisfied: 0,
+            satisfied_fresh: 0,
+            local_hits: 0,
+            delays_hist: SampleHistogram::new(),
+            transmissions: 0,
+        };
+        (run, timers)
+    }
+
+    /// The network central locations the placement targets.
+    #[must_use]
+    pub fn ncls(&self) -> &[NodeId] {
+        &self.ncls
+    }
+
+    /// The current version of `item` as this layer knows it.
+    #[must_use]
+    pub fn version_of(&self, item: DataItemId) -> u64 {
+        self.versions[item.index()]
+    }
+
+    /// Advances `item`'s current version (a freshness-layer birth). Copies
+    /// already in caches keep their old version and become stale; a query
+    /// they answer no longer counts as `satisfied_fresh`.
+    pub fn set_version(&mut self, item: DataItemId, version: u64) {
+        self.versions[item.index()] = version;
+    }
+
+    /// Propagates a refreshed copy into `node`'s cache: if the node caches
+    /// `item` at an older version, the entry is updated in place (the
+    /// freshness layer already paid for the transmission). Nodes without a
+    /// copy are unaffected. Returns whether an entry was refreshed.
+    pub fn refresh_copy(
+        &mut self,
+        node: NodeId,
+        item: DataItemId,
+        version: u64,
+        now: SimTime,
+    ) -> bool {
+        if node == self.catalog.item(item).source() {
+            return false;
         }
-        driver.prime(&mut engine, CLASS_CONTACT, CachingEvent::Contact);
+        self.stores[node.index()].refresh(item, version, now)
+    }
 
-        while let Some(ev) = engine.next_event() {
-            world.advance_to(ev.time);
-            match ev.payload {
-                // A due query: local hit or start searching, with a
-                // deadline timer for the search.
-                CachingEvent::QueryIssue(qid) => {
-                    let q = qs[qid];
-                    if holds(&stores, q.requester, q.item, q.issued).is_some() {
-                        stores[q.requester.index()].access(q.item, q.issued);
-                        report.satisfied += 1;
-                        report.local_hits += 1;
-                        report.delays.record(0.0);
-                    } else {
-                        pending_queries.push(PendingQuery {
-                            qid,
-                            query: q,
-                            carrier: q.requester,
-                            hops: 0,
-                        });
-                        let due = q.issued + deadline;
-                        if in_contact_range(due) {
-                            engine.schedule_at_class(
-                                due,
-                                CLASS_QUERY_DEADLINE,
-                                CachingEvent::QueryDeadline(qid),
-                            );
-                        }
-                    }
-                }
-
-                CachingEvent::QueryDeadline(qid) => {
-                    pending_queries.retain(|p| p.qid != qid);
-                    pending_responses.retain(|p| p.qid != qid);
-                }
-
-                CachingEvent::Contact(ci) => {
-                    let now = ev.time;
-                    let (a, b) = driver.contact(ci).pair();
-                    match driver.fate(ci, now) {
-                        ContactFate::Down => {
-                            world.metrics_mut().add("down-contacts", 1);
-                            continue;
-                        }
-                        ContactFate::Blocked => {
-                            world.metrics_mut().add("blocked-contacts", 1);
-                            continue;
-                        }
-                        ContactFate::Deliverable => {}
-                    }
-
-                    // 1. Placement forwarding. A hop lost to transmission
-                    // loss still counts as a transmission (the send
-                    // happened), but moves no data.
-                    for p in &mut placements {
-                        let (carrier, peer) = if p.carrier == a {
-                            (a, b)
-                        } else if p.carrier == b {
-                            (b, a)
-                        } else {
-                            continue;
-                        };
-                        let meta = catalog.item(p.item);
-                        if peer == p.target_ncl {
-                            report.transmissions += 1;
-                            if driver.transfer_fails() {
-                                world.metrics_mut().add("failed-transmissions", 1);
-                            } else {
-                                stores[peer.index()].put(meta, 0, now, policy);
-                                p.carrier = peer; // parked at the NCL; retired below
-                            }
-                        } else if closer(peer, carrier, p.target_ncl) {
-                            report.transmissions += 1;
-                            if driver.transfer_fails() {
-                                world.metrics_mut().add("failed-transmissions", 1);
-                            } else {
-                                if self.config.opportunistic_caching {
-                                    stores[peer.index()].put(meta, 0, now, policy);
-                                }
-                                p.carrier = peer;
-                            }
-                        }
-                    }
-                    placements.retain(|p| p.carrier != p.target_ncl);
-
-                    // 2. Query handling: answer or forward.
-                    let mut answered: Vec<usize> = Vec::new();
-                    for (idx, p) in pending_queries.iter_mut().enumerate() {
-                        let (carrier, peer) = if p.carrier == a {
-                            (a, b)
-                        } else if p.carrier == b {
-                            (b, a)
-                        } else {
-                            continue;
-                        };
-                        // Peer can answer?
-                        if let Some(version) = holds(&stores, peer, p.query.item, now) {
-                            report.transmissions += 1; // query handed to the answerer
-                            if driver.transfer_fails() {
-                                world.metrics_mut().add("failed-transmissions", 1);
-                            } else {
-                                pending_responses.push(PendingResponse {
-                                    qid: p.qid,
-                                    query: p.query,
-                                    version,
-                                    carrier: peer,
-                                    hops: p.hops + 1,
-                                });
-                                answered.push(idx);
-                            }
-                            continue;
-                        }
-                        // Otherwise forward toward the nearest NCL (by
-                        // expected delay from the peer vs carrier,
-                        // minimized over NCLs).
-                        let best = |x: NodeId| {
-                            ncls.iter()
-                                .filter_map(|&ncl| delay_to(x, ncl))
-                                .fold(f64::INFINITY, f64::min)
-                        };
-                        if best(peer) + 1e-9 < best(carrier) {
-                            report.transmissions += 1;
-                            if driver.transfer_fails() {
-                                world.metrics_mut().add("failed-transmissions", 1);
-                            } else {
-                                p.carrier = peer;
-                                p.hops += 1;
-                            }
-                        }
-                    }
-                    for idx in answered.into_iter().rev() {
-                        pending_queries.swap_remove(idx);
-                    }
-
-                    // 3. Response return.
-                    let mut delivered: Vec<usize> = Vec::new();
-                    for (idx, r) in pending_responses.iter_mut().enumerate() {
-                        let (carrier, peer) = if r.carrier == a {
-                            (a, b)
-                        } else if r.carrier == b {
-                            (b, a)
-                        } else {
-                            continue;
-                        };
-                        if peer == r.query.requester {
-                            report.transmissions += 1;
-                            if driver.transfer_fails() {
-                                world.metrics_mut().add("failed-transmissions", 1);
-                            } else {
-                                report.satisfied += 1;
-                                report
-                                    .delays
-                                    .record(now.saturating_since(r.query.issued).as_secs());
-                                // Requester caches the received item.
-                                stores[peer.index()].put(
-                                    catalog.item(r.query.item),
-                                    r.version,
-                                    now,
-                                    policy,
-                                );
-                                delivered.push(idx);
-                            }
-                        } else if closer(peer, carrier, r.query.requester) {
-                            report.transmissions += 1;
-                            if driver.transfer_fails() {
-                                world.metrics_mut().add("failed-transmissions", 1);
-                            } else {
-                                r.carrier = peer;
-                                r.hops += 1;
-                            }
-                        }
-                    }
-                    for idx in delivered.into_iter().rev() {
-                        pending_responses.swap_remove(idx);
-                    }
+    /// Demotes replicas of `item` that lag the current version by more
+    /// than one: they are evicted, and for each demoted NCL a re-pull
+    /// placement copy is enqueued at the source. Returns
+    /// `(demoted, repulls)`.
+    pub fn demote_stale(&mut self, item: DataItemId, current: u64) -> (u64, u64) {
+        let source = self.catalog.item(item).source();
+        let mut demoted = 0u64;
+        let mut repulls = 0u64;
+        for (node, store) in self.stores.iter_mut().enumerate() {
+            let id = NodeId(node as u32);
+            if id == source {
+                continue;
+            }
+            if store
+                .peek(item)
+                .is_some_and(|e| e.version.saturating_add(1) < current)
+            {
+                store.remove(item);
+                demoted += 1;
+                if self.ncls.contains(&id) {
+                    self.placements.push(PlacementCopy {
+                        item,
+                        target_ncl: id,
+                        carrier: source,
+                    });
+                    repulls += 1;
                 }
             }
         }
+        (demoted, repulls)
+    }
 
+    /// Does `node` hold an answer for `item` at `now`? The source always
+    /// does (at the current version).
+    fn holds(
+        stores: &[CacheStore],
+        catalog: &Catalog,
+        versions: &[u64],
+        node: NodeId,
+        item: DataItemId,
+        now: SimTime,
+    ) -> Option<u64> {
+        let meta = catalog.item(item);
+        if node == meta.source() {
+            return Some(versions[item.index()]);
+        }
+        stores[node.index()]
+            .peek(item)
+            .filter(|e| now.saturating_since(e.fetched_at) <= meta.lifetime())
+            .map(|e| e.version)
+    }
+
+    /// Handles the issue of query `qid`: a local hit satisfies it
+    /// immediately, otherwise the query starts searching and the returned
+    /// deadline timer must be scheduled (it is `None` when the deadline
+    /// falls beyond the final contact and can never matter).
+    #[must_use = "a returned deadline timer must be scheduled"]
+    pub fn on_query_issue(&mut self, qid: usize) -> Option<(SimTime, CachingTimer)> {
+        let q = self.qs[qid];
+        if let Some(version) = Self::holds(
+            &self.stores,
+            self.catalog,
+            &self.versions,
+            q.requester,
+            q.item,
+            q.issued,
+        ) {
+            self.stores[q.requester.index()].access(q.item, q.issued);
+            self.satisfied += 1;
+            self.local_hits += 1;
+            self.delays_hist.record(0.0);
+            if version == self.versions[q.item.index()] {
+                self.satisfied_fresh += 1;
+            }
+            None
+        } else {
+            self.pending_queries.push(PendingQuery {
+                qid,
+                query: q,
+                carrier: q.requester,
+                hops: 0,
+            });
+            let due = q.issued + self.deadline;
+            self.last_contact_start
+                .is_some_and(|last| due <= last)
+                .then_some((due, CachingTimer::QueryDeadline(qid)))
+        }
+    }
+
+    /// Handles query `qid`'s deadline: the query and any in-flight
+    /// response are dropped.
+    pub fn on_query_deadline(&mut self, qid: usize) {
+        self.pending_queries.retain(|p| p.qid != qid);
+        self.pending_responses.retain(|p| p.qid != qid);
+    }
+
+    /// Handles a deliverable contact between `a` and `b`: placement
+    /// forwarding, query answering/forwarding, and response return, in
+    /// that order. Every hop draws on `budget`; the caller classifies the
+    /// contact's fate (only deliverable contacts reach this handler) and
+    /// owns the fault/budget counters in `extras`.
+    pub fn on_contact(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        now: SimTime,
+        driver: &mut ContactDriver<'_>,
+        extras: &mut Registry,
+        budget: &mut TransferBudget,
+    ) {
+        let CachingRun {
+            catalog,
+            policy,
+            ncls,
+            delays,
+            stores,
+            placements,
+            pending_queries,
+            pending_responses,
+            versions,
+            opportunistic,
+            satisfied,
+            satisfied_fresh,
+            delays_hist,
+            transmissions,
+            ..
+        } = self;
+        let opportunistic = *opportunistic;
+        let delay_to = |x: NodeId, target: NodeId| delays[target.index()][x.index()];
+        // Strictly-closer test with a small margin to avoid ping-ponging on
+        // ties.
+        let closer = |candidate: NodeId, current: NodeId, target: NodeId| -> bool {
+            match (delay_to(candidate, target), delay_to(current, target)) {
+                (Some(c), Some(k)) => c + 1e-9 < k,
+                (Some(_), None) => true,
+                _ => false,
+            }
+        };
+
+        // 1. Placement forwarding. A hop lost to transmission loss still
+        // counts as a transmission (the send happened), but moves no data.
+        for p in placements.iter_mut() {
+            let (carrier, peer) = if p.carrier == a {
+                (a, b)
+            } else if p.carrier == b {
+                (b, a)
+            } else {
+                continue;
+            };
+            let meta = catalog.item(p.item);
+            if peer == p.target_ncl {
+                if budgeted_hop(driver, budget, extras, transmissions) {
+                    stores[peer.index()].put(meta, versions[p.item.index()], now, *policy);
+                    p.carrier = peer; // parked at the NCL; retired below
+                }
+            } else if closer(peer, carrier, p.target_ncl)
+                && budgeted_hop(driver, budget, extras, transmissions)
+            {
+                if opportunistic {
+                    stores[peer.index()].put(meta, versions[p.item.index()], now, *policy);
+                }
+                p.carrier = peer;
+            }
+        }
+        placements.retain(|p| p.carrier != p.target_ncl);
+
+        // 2. Query handling: answer or forward.
+        let mut answered: Vec<usize> = Vec::new();
+        for (idx, p) in pending_queries.iter_mut().enumerate() {
+            let (carrier, peer) = if p.carrier == a {
+                (a, b)
+            } else if p.carrier == b {
+                (b, a)
+            } else {
+                continue;
+            };
+            // Peer can answer?
+            if let Some(version) = Self::holds(stores, catalog, versions, peer, p.query.item, now) {
+                // The query is handed to the answerer.
+                if budgeted_hop(driver, budget, extras, transmissions) {
+                    pending_responses.push(PendingResponse {
+                        qid: p.qid,
+                        query: p.query,
+                        version,
+                        carrier: peer,
+                        hops: p.hops + 1,
+                    });
+                    answered.push(idx);
+                }
+                continue;
+            }
+            // Otherwise forward toward the nearest NCL (by expected delay
+            // from the peer vs carrier, minimized over NCLs).
+            let best = |x: NodeId| {
+                ncls.iter()
+                    .filter_map(|&ncl| delay_to(x, ncl))
+                    .fold(f64::INFINITY, f64::min)
+            };
+            if best(peer) + 1e-9 < best(carrier)
+                && budgeted_hop(driver, budget, extras, transmissions)
+            {
+                p.carrier = peer;
+                p.hops += 1;
+            }
+        }
+        for idx in answered.into_iter().rev() {
+            pending_queries.swap_remove(idx);
+        }
+
+        // 3. Response return.
+        let mut delivered: Vec<usize> = Vec::new();
+        for (idx, r) in pending_responses.iter_mut().enumerate() {
+            let (carrier, peer) = if r.carrier == a {
+                (a, b)
+            } else if r.carrier == b {
+                (b, a)
+            } else {
+                continue;
+            };
+            if peer == r.query.requester {
+                if budgeted_hop(driver, budget, extras, transmissions) {
+                    *satisfied += 1;
+                    if r.version == versions[r.query.item.index()] {
+                        *satisfied_fresh += 1;
+                    }
+                    delays_hist.record(now.saturating_since(r.query.issued).as_secs());
+                    // Requester caches the received item.
+                    stores[peer.index()].put(catalog.item(r.query.item), r.version, now, *policy);
+                    delivered.push(idx);
+                }
+            } else if closer(peer, carrier, r.query.requester)
+                && budgeted_hop(driver, budget, extras, transmissions)
+            {
+                r.carrier = peer;
+                r.hops += 1;
+            }
+        }
+        for idx in delivered.into_iter().rev() {
+            pending_responses.swap_remove(idx);
+        }
+    }
+
+    /// Folds the run into a report. `end` is the trace span (cachers are
+    /// assessed for expiry at that instant); `extras` is the fault/budget
+    /// counter registry the driving loop maintained.
+    #[must_use]
+    pub fn finish(self, end: SimTime, extras: Registry) -> AccessReport {
+        let mut cachers_per_item = vec![Vec::new(); self.catalog.len()];
         // Final caching sets (source + nodes holding unexpired copies).
-        let end = trace.span();
-        for item in catalog.items() {
+        for item in self.catalog.items() {
             let mut cachers = vec![item.source()];
-            for (node, store) in stores.iter().enumerate() {
+            for (node, store) in self.stores.iter().enumerate() {
                 let id = NodeId(node as u32);
                 if id != item.source()
                     && store
@@ -503,10 +768,18 @@ impl CachingSimulator {
                     cachers.push(id);
                 }
             }
-            report.cachers_per_item[item.id().index()] = cachers;
+            cachers_per_item[item.id().index()] = cachers;
         }
-        report.extras = world.into_metrics();
-        report
+        AccessReport {
+            created: self.qs.len(),
+            satisfied: self.satisfied,
+            satisfied_fresh: self.satisfied_fresh,
+            local_hits: self.local_hits,
+            delays: self.delays_hist,
+            transmissions: self.transmissions,
+            extras,
+            cachers_per_item,
+        }
     }
 }
 
@@ -742,7 +1015,10 @@ mod tests {
         // Every hop fails: nothing remote can ever be satisfied, and every
         // counted transmission is a failed one.
         assert_eq!(report.satisfied, report.local_hits);
-        assert_eq!(report.extras.get("failed-transmissions"), report.transmissions);
+        assert_eq!(
+            report.extras.get("failed-transmissions"),
+            report.transmissions
+        );
     }
 
     #[test]

@@ -137,6 +137,22 @@ impl CacheStore {
         self.entries.remove(&item)
     }
 
+    /// Refreshes an already-cached copy of `item` in place to `version`
+    /// (stamping `fetched_at`), without inserting, evicting, or touching
+    /// access statistics. A node that never cached the item does not gain a
+    /// copy, which is what distinguishes this from [`CacheStore::put`].
+    /// Returns `true` if the entry existed and held an older version.
+    pub fn refresh(&mut self, item: DataItemId, version: u64, now: SimTime) -> bool {
+        match self.entries.get_mut(&item) {
+            Some(e) if version > e.version => {
+                e.version = version;
+                e.fetched_at = now;
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Drops copies older than their item lifetime; `lifetime_of` maps an
     /// item to its lifetime. Returns the number dropped.
     pub fn purge_expired<F>(&mut self, now: SimTime, lifetime_of: F) -> usize

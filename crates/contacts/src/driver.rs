@@ -18,7 +18,7 @@
 //! [`World`](omn_sim::World)) and knows nothing about [`Contact`]s or fault
 //! plans, while this crate owns both.
 
-use omn_sim::{Engine, EventClass, RngFactory, SimDuration, SimTime};
+use omn_sim::{Engine, EventClass, RngFactory, SimDuration, SimTime, TransferBudget};
 
 use crate::faults::{FaultConfig, FaultPlan};
 use crate::{Contact, ContactTrace, NodeId};
@@ -41,6 +41,20 @@ pub enum ContactFate {
     Down,
     /// The contact is truncated: sighted by estimators, useless for data.
     Blocked,
+}
+
+/// The result of one budget-constrained transfer attempt; see
+/// [`ContactDriver::budgeted_transfer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferOutcome {
+    /// The transfer went through (budget consumed, loss draw passed).
+    Sent,
+    /// The transfer was attempted but lost in transit (budget consumed,
+    /// loss draw failed). Counts as a transmission.
+    Lost,
+    /// The contact's capacity was already exhausted; nothing was sent, no
+    /// randomness was consumed, and no transmission happened.
+    OverBudget,
 }
 
 /// An ordered, fault-filtered contact feed for an [`Engine`].
@@ -139,6 +153,24 @@ impl<'a> ContactDriver<'a> {
     /// without a plan; consumes no randomness when loss is zero.
     pub fn transfer_fails(&mut self) -> bool {
         self.plan.as_mut().is_some_and(FaultPlan::transfer_fails)
+    }
+
+    /// Attempts one data transfer within a shared per-contact `budget`.
+    ///
+    /// The budget is checked *before* the loss draw: an over-budget
+    /// attempt consumes no randomness and must not be counted as a
+    /// transmission by the caller — the radios never got the airtime, so
+    /// nothing was sent and nothing could be lost. With an unlimited
+    /// budget this is bit-identical to calling
+    /// [`transfer_fails`](ContactDriver::transfer_fails) directly.
+    pub fn budgeted_transfer(&mut self, budget: &mut TransferBudget) -> TransferOutcome {
+        if !budget.try_consume() {
+            TransferOutcome::OverBudget
+        } else if self.transfer_fails() {
+            TransferOutcome::Lost
+        } else {
+            TransferOutcome::Sent
+        }
     }
 
     /// Whether `node` is down at instant `at`. Always `false` without a
@@ -274,6 +306,47 @@ mod tests {
         for (i, c) in t.contacts().iter().enumerate() {
             assert_eq!(d1.fate(i, c.start()), d2.fate(i, c.start()));
         }
+    }
+
+    #[test]
+    fn budgeted_transfer_checks_budget_before_loss_draw() {
+        let t = trace(6);
+        let config = FaultConfig {
+            transmission_loss: 0.5,
+            ..FaultConfig::default()
+        };
+        let mut d1 = ContactDriver::new(&t, Some(config), &RngFactory::new(6));
+        let mut d2 = ContactDriver::new(&t, Some(config), &RngFactory::new(6));
+        // d1: several attempts under a budget of 1 — only one real draw.
+        let mut b = TransferBudget::capped(1);
+        assert_ne!(d1.budgeted_transfer(&mut b), TransferOutcome::OverBudget);
+        assert_eq!(d1.budgeted_transfer(&mut b), TransferOutcome::OverBudget);
+        assert_eq!(d1.budgeted_transfer(&mut b), TransferOutcome::OverBudget);
+        assert_eq!(b.used(), 1);
+        // d2: one plain draw. The streams must stay aligned afterwards,
+        // proving denied attempts consume no randomness.
+        let _ = d2.transfer_fails();
+        for _ in 0..64 {
+            assert_eq!(d1.transfer_fails(), d2.transfer_fails());
+        }
+    }
+
+    #[test]
+    fn unlimited_budget_matches_plain_transfers() {
+        let t = trace(7);
+        let config = FaultConfig {
+            transmission_loss: 0.3,
+            ..FaultConfig::default()
+        };
+        let mut d1 = ContactDriver::new(&t, Some(config), &RngFactory::new(7));
+        let mut d2 = ContactDriver::new(&t, Some(config), &RngFactory::new(7));
+        let mut b = TransferBudget::unlimited();
+        for _ in 0..64 {
+            let outcome = d1.budgeted_transfer(&mut b);
+            let failed = d2.transfer_fails();
+            assert_eq!(outcome == TransferOutcome::Lost, failed);
+        }
+        assert_eq!(b.used(), 64);
     }
 
     #[test]

@@ -63,7 +63,7 @@ pub mod temporal;
 mod trace;
 
 pub use contact::{Contact, ContactError, NodeId};
-pub use driver::{ContactDriver, ContactFate};
+pub use driver::{ContactDriver, ContactFate, TransferOutcome};
 pub use graph::{Centrality, ContactGraph};
 pub use stats::TraceStats;
 pub use trace::{ContactTrace, TimelineEvent, TimelineKind, TraceBuilder, TraceError};

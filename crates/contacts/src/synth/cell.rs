@@ -256,7 +256,7 @@ mod tests {
     fn produces_contacts() {
         let cfg = CellMobilityConfig::new(20, SimDuration::from_days(1.0)).grid(4, 4);
         let trace = generate_cell_mobility(&cfg, &RngFactory::new(1));
-        assert!(trace.len() > 0, "expected contacts on a dense small grid");
+        assert!(!trace.is_empty(), "expected contacts on a dense small grid");
         assert_eq!(trace.node_count(), 20);
     }
 

@@ -260,7 +260,7 @@ mod tests {
         let span = SimDuration::from_hours(10.0);
         let cfg = PairwiseConfig::new(8, span).mean_rate(1.0 / 1800.0);
         let trace = generate_pairwise(&cfg, &RngFactory::new(3));
-        assert!(trace.len() > 0);
+        assert!(!trace.is_empty());
         for c in trace.contacts() {
             assert!(c.end() <= SimTime::ZERO + span);
         }

@@ -169,7 +169,7 @@ mod tests {
         for preset in TracePreset::ALL {
             let small = preset.generate_small(&f);
             assert!(small.node_count() <= 24);
-            assert!(small.len() > 0, "{preset} small variant is empty");
+            assert!(!small.is_empty(), "{preset} small variant is empty");
         }
     }
 

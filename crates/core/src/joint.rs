@@ -1,0 +1,415 @@
+//! The joint caching + freshness world.
+//!
+//! The paper's two layers — cooperative NCL caching (data access,
+//! [`omn_caching`]) and distributed cache-freshness maintenance
+//! ([`crate::sim`]) — were previously evaluated in *separate* simulations:
+//! a caching pass produced the per-item caching sets, and an independent
+//! freshness pass replayed the same trace against those sets. That misses
+//! the resource coupling the paper's overhead analysis worries about: a
+//! contact is one finite transmission opportunity, and refresh traffic,
+//! query forwarding and cache placement all compete for it.
+//!
+//! [`JointSimulator`] runs both layers in **one** [`Engine`] over a
+//! **single shared** [`ContactDriver`]:
+//!
+//! * every contact is delivered to the caching layer and to every per-item
+//!   freshness participant at the same instant;
+//! * each contact carries an optional transfer budget
+//!   ([`JointConfig::contact_budget`]): refresh transmissions and
+//!   placement/query/response hops draw from the same pool, in an order
+//!   set by [`ContentionPriority`];
+//! * the caching layer observes per-item staleness: version births advance
+//!   the item's current version ([`CachingRun::set_version`]), members'
+//!   refreshed copies are reconciled into the cache stores
+//!   ([`CachingRun::refresh_copy`] — no extra transmission, the refresh
+//!   layer already paid for the transfer), and, with
+//!   [`JointConfig::demote_stale`], replicas lagging more than one version
+//!   are evicted and re-pulled from the source
+//!   ([`CachingRun::demote_stale`]).
+//!
+//! Each layer standalone is a special case: with
+//! [`JointConfig::freshness`] `None` the joint run is bit-identical to
+//! [`omn_caching::CachingSimulator`], and with an empty query workload, no
+//! faults, no budget cap and demotion off, each freshness participant is
+//! bit-identical to [`crate::sim::FreshnessSimulator::run_with_roles`]
+//! over the same roles (both invariants are regression-tested).
+
+use omn_caching::policy::Lru;
+use omn_caching::query::QueryWorkload;
+use omn_caching::{AccessReport, CachingConfig, CachingRun, CachingTimer, Catalog, DataItemId};
+use omn_contacts::faults::FaultConfig;
+use omn_contacts::{ContactDriver, ContactFate, ContactGraph, ContactTrace, NodeId};
+use omn_sim::metrics::Registry;
+use omn_sim::{Engine, EventClass, RngFactory, TransferBudget};
+
+use crate::scheme::RefreshScheme;
+use crate::sim::{
+    FreshnessConfig, FreshnessReport, FreshnessRun, FreshnessSimulator, FreshnessTimer,
+    SchemeChoice,
+};
+
+/// Delivery class for contact events, shared with both layers' standalone
+/// loops: freshness timers (classes 10–50) and query issues (20) settle
+/// before the exchange, query deadlines (200) after it.
+const CLASS_CONTACT: EventClass = EventClass(60);
+
+/// Who transmits first when a budgeted contact cannot carry everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContentionPriority {
+    /// Freshness refresh transmissions drain the budget first; caching
+    /// traffic (placement, queries, responses) gets the remainder.
+    RefreshFirst,
+    /// Caching traffic first; refresh transmissions get the remainder.
+    QueryFirst,
+    /// The budget is split evenly between the layers; an odd unit
+    /// alternates between them by contact-index parity.
+    FairInterleave,
+}
+
+/// Joint-world parameters.
+///
+/// The fault plan of the shared contact substrate comes from
+/// [`JointConfig::faults`]; the per-layer `faults` fields inside
+/// [`CachingConfig`] and [`FreshnessConfig`] are ignored here (a joint
+/// world has exactly one driver).
+#[derive(Debug, Clone)]
+pub struct JointConfig {
+    /// Caching-layer parameters (NCL selection, capacities, deadline).
+    pub caching: CachingConfig,
+    /// Freshness-layer parameters, or `None` to run the caching layer
+    /// alone (bit-identical to the standalone caching simulator).
+    pub freshness: Option<FreshnessConfig>,
+    /// The refresh scheme every item's freshness participant runs.
+    pub scheme: SchemeChoice,
+    /// Per-contact transfer budget shared by both layers (`None` =
+    /// unlimited, the standalone semantics).
+    pub contact_budget: Option<u32>,
+    /// Which layer transmits first under a tight budget.
+    pub priority: ContentionPriority,
+    /// Whether cache placement demotes replicas lagging the current
+    /// version by more than one and re-pulls them from the source.
+    pub demote_stale: bool,
+    /// Fault injection for the shared contact substrate.
+    pub faults: Option<FaultConfig>,
+}
+
+impl Default for JointConfig {
+    fn default() -> JointConfig {
+        JointConfig {
+            caching: CachingConfig::default(),
+            freshness: Some(FreshnessConfig::default()),
+            scheme: SchemeChoice::Hierarchical,
+            contact_budget: None,
+            priority: ContentionPriority::RefreshFirst,
+            demote_stale: false,
+            faults: None,
+        }
+    }
+}
+
+/// The joint world's event alphabet.
+#[derive(Debug, Clone, Copy)]
+enum JointEvent {
+    /// A caching-layer timer fires.
+    Caching(CachingTimer),
+    /// A timer of the `i`-th freshness participant fires.
+    Freshness(usize, FreshnessTimer),
+    /// The `i`-th contact of the trace starts.
+    Contact(usize),
+}
+
+/// Results of a joint run.
+#[derive(Debug, Clone)]
+pub struct JointReport {
+    /// The caching layer's data-access report. Its `extras` registry
+    /// additionally carries the joint counters:
+    /// `budget-deferred-transmissions` (hops denied by an exhausted
+    /// contact budget), `refreshed-cache-entries` (cache copies
+    /// reconciled from refreshed members), `stale-demotions` and
+    /// `stale-repull-placements` (with demotion on).
+    pub access: AccessReport,
+    /// Per-item freshness reports (items whose caching set was empty are
+    /// skipped, like [`FreshnessSimulator::run_catalog`]).
+    pub freshness: Vec<(DataItemId, FreshnessReport)>,
+    /// The largest number of transfers any single contact carried across
+    /// both layers — never exceeds the configured budget.
+    pub max_contact_used: u32,
+}
+
+impl JointReport {
+    /// Mean cache freshness across items (unweighted), or `None` when no
+    /// item had a caching set.
+    #[must_use]
+    pub fn mean_freshness(&self) -> Option<f64> {
+        if self.freshness.is_empty() {
+            return None;
+        }
+        let sum: f64 = self.freshness.iter().map(|(_, r)| r.mean_freshness).sum();
+        Some(sum / self.freshness.len() as f64)
+    }
+
+    /// Fraction of all queries answered with a current-version copy.
+    #[must_use]
+    pub fn fresh_access_ratio(&self) -> f64 {
+        self.access.fresh_access_ratio()
+    }
+}
+
+/// One per-item freshness participant of the joint world.
+struct Participant<'a> {
+    item: DataItemId,
+    run: FreshnessRun<'a>,
+}
+
+/// The joint caching + freshness simulator.
+#[derive(Debug, Clone)]
+pub struct JointSimulator {
+    config: JointConfig,
+}
+
+impl JointSimulator {
+    /// Creates a simulator.
+    #[must_use]
+    pub fn new(config: JointConfig) -> JointSimulator {
+        JointSimulator { config }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &JointConfig {
+        &self.config
+    }
+
+    /// Runs both layers over `trace` in one engine with LRU replacement.
+    ///
+    /// Freshness roles per item mirror [`FreshnessSimulator::run_catalog`]
+    /// over the NCL set: item `i`'s members are the NCLs minus its source
+    /// (items with no member are skipped), and each participant draws from
+    /// an independent child RNG stream keyed by the item id, so
+    /// one-layer-disabled joint runs reproduce the standalone simulators
+    /// bit for bit.
+    #[must_use]
+    pub fn run(
+        &self,
+        trace: &ContactTrace,
+        catalog: &Catalog,
+        queries: &QueryWorkload,
+        factory: &RngFactory,
+    ) -> JointReport {
+        let graph = ContactGraph::from_trace(trace);
+        let mut driver = ContactDriver::new(trace, self.config.faults, factory);
+        let mut extras = Registry::new();
+        let mut engine: Engine<JointEvent> = Engine::new();
+
+        let (mut caching, caching_timers) = CachingRun::new(
+            &self.config.caching,
+            trace,
+            &graph,
+            catalog,
+            queries,
+            &Lru,
+            &driver,
+        );
+
+        // Freshness participants: one per item with a non-empty caching
+        // set, over the NCLs as members.
+        let mut parts: Vec<Participant<'_>> = Vec::new();
+        let mut schemes: Vec<Box<dyn RefreshScheme>> = Vec::new();
+        let mut part_timers: Vec<Vec<(omn_sim::SimTime, FreshnessTimer)>> = Vec::new();
+        if let Some(fc) = &self.config.freshness {
+            let fsim = FreshnessSimulator::new(*fc);
+            for item in catalog.items() {
+                let mut members: Vec<NodeId> = caching
+                    .ncls()
+                    .iter()
+                    .copied()
+                    .filter(|&n| n != item.source())
+                    .collect();
+                members.sort();
+                members.dedup();
+                if members.is_empty() {
+                    continue;
+                }
+                let child = factory.child(u64::from(item.id().0));
+                let (run, timers) =
+                    FreshnessRun::new(fc, trace, &graph, item.source(), &members, &driver, &child);
+                parts.push(Participant {
+                    item: item.id(),
+                    run,
+                });
+                schemes.push(fsim.make_scheme(self.config.scheme));
+                part_timers.push(timers);
+            }
+        }
+
+        // Schedule in the standalone order: each layer's timers, then the
+        // contact stream (same-instant ties are broken by event class, so
+        // only within-class FIFO matters).
+        for (pi, timers) in part_timers.into_iter().enumerate() {
+            for (t, timer) in timers {
+                engine.schedule_at_class(t, timer.class(), JointEvent::Freshness(pi, timer));
+            }
+        }
+        for (t, timer) in caching_timers {
+            engine.schedule_at_class(t, timer.class(), JointEvent::Caching(timer));
+        }
+        driver.prime(&mut engine, CLASS_CONTACT, JointEvent::Contact);
+
+        for (pi, p) in parts.iter_mut().enumerate() {
+            p.run
+                .on_start(schemes[pi].as_mut(), driver.plan_mut(), None);
+        }
+
+        let mut max_contact_used = 0u32;
+        while let Some(ev) = engine.next_event() {
+            let now = ev.time;
+            match ev.payload {
+                JointEvent::Caching(CachingTimer::QueryIssue(qid)) => {
+                    if let Some((due, timer)) = caching.on_query_issue(qid) {
+                        engine.schedule_at_class(due, timer.class(), JointEvent::Caching(timer));
+                    }
+                }
+                JointEvent::Caching(CachingTimer::QueryDeadline(qid)) => {
+                    caching.on_query_deadline(qid);
+                }
+                JointEvent::Freshness(pi, FreshnessTimer::Birth(v)) => {
+                    let item = parts[pi].item;
+                    parts[pi]
+                        .run
+                        .on_birth(v, now, schemes[pi].as_mut(), driver.plan_mut(), None);
+                    // Cache placement observes the birth: copies in caches
+                    // are now stale.
+                    caching.set_version(item, v);
+                    if self.config.demote_stale {
+                        let (demoted, repulls) = caching.demote_stale(item, v);
+                        extras.add("stale-demotions", demoted);
+                        extras.add("stale-repull-placements", repulls);
+                    }
+                }
+                JointEvent::Freshness(pi, FreshnessTimer::Query(i)) => parts[pi].run.on_query(i),
+                JointEvent::Freshness(pi, FreshnessTimer::Expiry(i)) => parts[pi].run.on_expiry(i),
+                JointEvent::Freshness(pi, FreshnessTimer::Rejoin(n)) => {
+                    parts[pi].run.on_rejoin(n, now);
+                }
+                JointEvent::Freshness(pi, FreshnessTimer::LaggedObs(a, b, seen)) => {
+                    parts[pi].run.on_lagged_obs(a, b, seen);
+                }
+                JointEvent::Contact(ci) => {
+                    let (a, b) = driver.contact(ci).pair();
+                    let fate = driver.fate(ci, now);
+                    match fate {
+                        ContactFate::Down => extras.add("down-contacts", 1),
+                        ContactFate::Blocked => extras.add("blocked-contacts", 1),
+                        ContactFate::Deliverable => {}
+                    }
+
+                    // Freshness participants always see the contact (they
+                    // handle fate themselves — estimator sightings survive
+                    // truncation); caching traffic only moves on
+                    // deliverable contacts.
+                    macro_rules! fresh_layer {
+                        ($budget:expr) => {
+                            for pi in 0..parts.len() {
+                                if let Some((due, timer)) = parts[pi].run.on_contact(
+                                    a,
+                                    b,
+                                    fate,
+                                    now,
+                                    schemes[pi].as_mut(),
+                                    driver.plan_mut(),
+                                    $budget,
+                                ) {
+                                    engine.schedule_at_class(
+                                        due,
+                                        timer.class(),
+                                        JointEvent::Freshness(pi, timer),
+                                    );
+                                }
+                            }
+                        };
+                    }
+                    macro_rules! cache_layer {
+                        ($budget:expr) => {
+                            if fate == ContactFate::Deliverable {
+                                caching.on_contact(a, b, now, &mut driver, &mut extras, $budget);
+                            }
+                        };
+                    }
+
+                    let mk = |c: Option<u32>| match c {
+                        None => TransferBudget::unlimited(),
+                        Some(cap) => TransferBudget::capped(cap),
+                    };
+                    let used = match self.config.priority {
+                        ContentionPriority::RefreshFirst => {
+                            let mut budget = mk(self.config.contact_budget);
+                            fresh_layer!(Some(&mut budget));
+                            cache_layer!(&mut budget);
+                            budget.used()
+                        }
+                        ContentionPriority::QueryFirst => {
+                            let mut budget = mk(self.config.contact_budget);
+                            cache_layer!(&mut budget);
+                            fresh_layer!(Some(&mut budget));
+                            budget.used()
+                        }
+                        ContentionPriority::FairInterleave => {
+                            let (fresh_cap, cache_cap) = match self.config.contact_budget {
+                                None => (None, None),
+                                Some(cap) => {
+                                    let half = cap / 2;
+                                    let odd = cap % 2;
+                                    if ci % 2 == 0 {
+                                        (Some(half + odd), Some(half))
+                                    } else {
+                                        (Some(half), Some(half + odd))
+                                    }
+                                }
+                            };
+                            let mut fresh_budget = mk(fresh_cap);
+                            let mut cache_budget = mk(cache_cap);
+                            fresh_layer!(Some(&mut fresh_budget));
+                            cache_layer!(&mut cache_budget);
+                            fresh_budget.used() + cache_budget.used()
+                        }
+                    };
+                    max_contact_used = max_contact_used.max(used);
+
+                    // Reconcile refreshed members into the cache stores:
+                    // a member that holds a newer version than its cached
+                    // entry effectively refreshed that entry (the refresh
+                    // layer already paid for the transfer, so no budget is
+                    // drawn).
+                    if fate == ContactFate::Deliverable {
+                        for p in &parts {
+                            for node in [a, b] {
+                                if let Some(&v) = p.run.member_versions().get(&node) {
+                                    if caching.refresh_copy(node, p.item, v, now) {
+                                        extras.add("refreshed-cache-entries", 1);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let freshness: Vec<(DataItemId, FreshnessReport)> = parts
+            .into_iter()
+            .zip(schemes.iter_mut())
+            .map(|(p, scheme)| {
+                (
+                    p.item,
+                    p.run.finish(scheme.as_mut(), driver.plan_mut(), None),
+                )
+            })
+            .collect();
+        let access = caching.finish(trace.span(), extras);
+        JointReport {
+            access,
+            freshness,
+            max_contact_used,
+        }
+    }
+}

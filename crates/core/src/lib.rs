@@ -68,6 +68,7 @@ pub mod analysis;
 pub mod delay;
 pub mod freshness;
 pub mod hierarchy;
+pub mod joint;
 pub mod replication;
 pub mod scheme;
 pub mod sim;

@@ -19,7 +19,7 @@ use omn_contacts::estimate::PairRateTable;
 use omn_contacts::faults::FaultPlan;
 use omn_contacts::{ContactGraph, NodeId};
 use omn_sim::metrics::Registry;
-use omn_sim::SimTime;
+use omn_sim::{SimTime, TransferBudget};
 use rand::rngs::StdRng;
 
 /// Outcome of a fallible version delivery ([`SchemeCtx::try_deliver`]).
@@ -80,6 +80,11 @@ pub struct SchemeCtx<'a> {
     pub(crate) rng: &'a mut StdRng,
     /// Fault schedule for this run, if fault injection is enabled.
     pub(crate) faults: Option<&'a mut FaultPlan>,
+    /// Shared per-contact transfer budget, when the scheme runs inside a
+    /// joint world where refresh traffic contends with query traffic.
+    /// `None` (every standalone run) means unlimited capacity and is
+    /// bit-identical to the pre-budget behavior.
+    pub(crate) budget: Option<&'a mut TransferBudget>,
 }
 
 impl SchemeCtx<'_> {
@@ -165,6 +170,16 @@ impl SchemeCtx<'_> {
     /// no fault plan (or zero loss) this is exactly
     /// [`SchemeCtx::record_transmission`] returning `true`.
     pub fn attempt_transfer(&mut self, from: NodeId) -> bool {
+        // Contact capacity is checked before anything else: an over-budget
+        // attempt never reaches the radio, so it counts no transmission and
+        // draws no loss randomness. Schemes observe it as a failed
+        // delivery and fall back to their retry/recovery paths.
+        if let Some(budget) = self.budget.as_mut() {
+            if !budget.try_consume() {
+                self.extras.add("budget-deferred-transmissions", 1);
+                return false;
+            }
+        }
         *self.transmissions += 1;
         self.per_node_tx[from.index()] += 1;
         if self.faults.as_mut().is_some_and(|f| f.transfer_fails()) {
@@ -323,6 +338,7 @@ pub(crate) mod testutil {
                 extras: &mut self.extras,
                 rng: &mut self.rng,
                 faults: self.faults.as_mut(),
+                budget: None,
             }
         }
     }
@@ -364,7 +380,6 @@ mod tests {
         assert!(!ctx.deliver_version(NodeId(0), NodeId(2), 3));
         // Non-members fail.
         assert!(!ctx.deliver_version(NodeId(0), NodeId(3), 1));
-        drop(ctx);
         assert_eq!(h.transmissions, 1);
         assert_eq!(h.receipts[&NodeId(1)].len(), 2);
     }
@@ -385,7 +400,6 @@ mod tests {
         let mut ctx = h.ctx();
         ctx.record_transmission(NodeId(0));
         ctx.record_replica();
-        drop(ctx);
         assert_eq!(h.transmissions, 1);
         assert_eq!(h.replicas, 1);
     }
@@ -403,7 +417,6 @@ mod tests {
         assert_eq!(ctx.try_deliver(NodeId(0), NodeId(1), 1), Delivery::Failed);
         assert_eq!(ctx.version_of(NodeId(1)), Some(0));
         assert!(!ctx.attempt_transfer(NodeId(0)));
-        drop(ctx);
         assert_eq!(h.transmissions, 2, "lost transfers still count as load");
         assert_eq!(h.extras.get("failed-transmissions"), 2);
         assert_eq!(

@@ -28,10 +28,11 @@
 use std::collections::HashMap;
 
 use omn_contacts::estimate::{EstimatorKind, PairRateTable};
-use omn_contacts::faults::FaultConfig;
+use omn_contacts::faults::{FaultConfig, FaultPlan};
 use omn_contacts::{Centrality, ContactDriver, ContactFate, ContactGraph, ContactTrace, NodeId};
-use omn_sim::metrics::{SampleHistogram, Timeline};
-use omn_sim::{Engine, EventClass, RngFactory, SimDuration, SimTime, SimWorld, World};
+use omn_sim::metrics::{Registry, SampleHistogram, Timeline};
+use omn_sim::{Engine, EventClass, RngFactory, SimDuration, SimTime, TransferBudget};
+use rand::rngs::StdRng;
 use rand::Rng;
 
 use crate::freshness::{FreshnessRequirement, FreshnessTracker, UpdateSchedule};
@@ -52,9 +53,12 @@ const CLASS_REJOIN: EventClass = EventClass(40);
 const CLASS_OBS: EventClass = EventClass(50);
 const CLASS_CONTACT: EventClass = EventClass(60);
 
-/// The freshness simulation's event alphabet.
+/// A non-contact event of one freshness participant: the timer alphabet a
+/// [`FreshnessRun`] asks its driving loop to schedule. Public so that a
+/// joint multi-layer world can interleave freshness timers with other
+/// layers' events on a single engine.
 #[derive(Debug, Clone, Copy)]
-enum FreshnessEvent {
+pub enum FreshnessTimer {
     /// Version `v` is born (fires at its birth instant).
     Birth(u64),
     /// The `i`-th query of the sorted workload is issued.
@@ -66,6 +70,31 @@ enum FreshnessEvent {
     /// A delayed estimator observation of a contact seen at the carried
     /// instant becomes visible.
     LaggedObs(NodeId, NodeId, SimTime),
+}
+
+impl FreshnessTimer {
+    /// The delivery class this timer must be scheduled in, preserving the
+    /// same-instant drain order of the standalone simulator (births before
+    /// queries before expiries before rejoins before observations, all
+    /// before contacts).
+    #[must_use]
+    pub fn class(&self) -> EventClass {
+        match self {
+            FreshnessTimer::Birth(_) => CLASS_BIRTH,
+            FreshnessTimer::Query(_) => CLASS_QUERY,
+            FreshnessTimer::Expiry(_) => CLASS_EXPIRY,
+            FreshnessTimer::Rejoin(_) => CLASS_REJOIN,
+            FreshnessTimer::LaggedObs(..) => CLASS_OBS,
+        }
+    }
+}
+
+/// The standalone freshness simulation's event alphabet.
+#[derive(Debug, Clone, Copy)]
+enum FreshnessEvent {
+    /// A participant timer (birth, query, expiry, rejoin, lagged
+    /// observation).
+    Timer(FreshnessTimer),
     /// The `i`-th contact of the trace starts.
     Contact(usize),
 }
@@ -450,6 +479,11 @@ impl FreshnessSimulator {
     /// Runs an arbitrary scheme with explicit roles (e.g. the caching sets
     /// produced by the cooperative caching layer).
     ///
+    /// A thin driving loop around one [`FreshnessRun`] participant: the
+    /// engine interleaves the participant's timers with the contact stream
+    /// of a dedicated [`ContactDriver`], with no transfer budget (standalone
+    /// runs own the whole contact).
+    ///
     /// # Panics
     ///
     /// Panics if `members` is empty, unsorted, contains duplicates or the
@@ -463,6 +497,124 @@ impl FreshnessSimulator {
         scheme: &mut dyn RefreshScheme,
         factory: &RngFactory,
     ) -> FreshnessReport {
+        let oracle = ContactGraph::from_trace(trace);
+        // The driver materializes the run's fault schedule (dedicated RNG
+        // streams, so `None` and an all-zero plan are bit-identical) and
+        // feeds the contact stream into the engine.
+        let mut driver = ContactDriver::new(trace, self.config.faults, factory);
+        let (mut run, timers) = FreshnessRun::new(
+            &self.config,
+            trace,
+            &oracle,
+            source,
+            members,
+            &driver,
+            factory,
+        );
+        let mut engine: Engine<FreshnessEvent> = Engine::new();
+        for (t, timer) in timers {
+            engine.schedule_at_class(t, timer.class(), FreshnessEvent::Timer(timer));
+        }
+        driver.prime(&mut engine, CLASS_CONTACT, FreshnessEvent::Contact);
+
+        run.on_start(scheme, driver.plan_mut(), None);
+        while let Some(ev) = engine.next_event() {
+            match ev.payload {
+                FreshnessEvent::Timer(FreshnessTimer::Birth(v)) => {
+                    run.on_birth(v, ev.time, scheme, driver.plan_mut(), None);
+                }
+                FreshnessEvent::Timer(FreshnessTimer::Query(i)) => run.on_query(i),
+                FreshnessEvent::Timer(FreshnessTimer::Expiry(i)) => run.on_expiry(i),
+                FreshnessEvent::Timer(FreshnessTimer::Rejoin(n)) => run.on_rejoin(n, ev.time),
+                FreshnessEvent::Timer(FreshnessTimer::LaggedObs(a, b, seen)) => {
+                    run.on_lagged_obs(a, b, seen);
+                }
+                FreshnessEvent::Contact(ci) => {
+                    let (a, b) = driver.contact(ci).pair();
+                    let fate = driver.fate(ci, ev.time);
+                    if let Some((due, timer)) =
+                        run.on_contact(a, b, fate, ev.time, scheme, driver.plan_mut(), None)
+                    {
+                        engine.schedule_at_class(due, timer.class(), FreshnessEvent::Timer(timer));
+                    }
+                }
+            }
+        }
+        run.finish(scheme, driver.plan_mut(), None)
+    }
+}
+
+/// One freshness participant: the complete per-item state of a freshness
+/// run (member caches, receipts, rate estimators, workload, counters),
+/// with one handler per event class.
+///
+/// Extracted from the standalone simulator loop so that a joint
+/// multi-layer world ([`crate::joint`]) can drive many participants — and
+/// a cooperative-caching layer — from a single engine over one shared
+/// contact stream, with refresh transmissions drawing on a per-contact
+/// [`TransferBudget`]. The standalone
+/// [`FreshnessSimulator::run_with_roles`] is a thin driving loop around
+/// this struct and passes `budget: None` everywhere, which is bit-identical
+/// to the pre-extraction simulator.
+#[derive(Debug)]
+pub struct FreshnessRun<'a> {
+    source: NodeId,
+    members: Vec<NodeId>,
+    schedule: UpdateSchedule,
+    oracle: &'a ContactGraph,
+    rates: PairRateTable,
+    rng: StdRng,
+    member_versions: HashMap<NodeId, u64>,
+    receipts: HashMap<NodeId, Vec<(SimTime, u64)>>,
+    transmissions: u64,
+    replicas: u64,
+    per_node_tx: Vec<u64>,
+    tracker: FreshnessTracker,
+    current_version: u64,
+    lifetime: Option<SimDuration>,
+    expiries: Vec<SimTime>,
+    avail: omn_sim::metrics::TimeWeightedMean,
+    queries: Vec<(SimTime, NodeId)>,
+    pending_queries: Vec<(SimTime, NodeId)>,
+    queries_served: usize,
+    queries_fresh: usize,
+    query_delays: SampleHistogram,
+    pending_recoveries: Vec<(SimTime, NodeId)>,
+    recovery_delays: SampleHistogram,
+    extras: Registry,
+    estimator_lag: SimDuration,
+    last_contact_start: Option<SimTime>,
+    span: SimTime,
+    fresh_only_serving: bool,
+    requirement_deadline: SimDuration,
+}
+
+impl<'a> FreshnessRun<'a> {
+    /// Builds a participant plus the initial timers its driving loop must
+    /// schedule (member rejoins, copy expiries, query issues, version
+    /// births — contact events are primed by the caller from the shared
+    /// [`ContactDriver`]). Each timer goes into the class
+    /// [`FreshnessTimer::class`] reports.
+    ///
+    /// Workload events after the final contact start can no longer
+    /// influence any exchange and are not scheduled (version births are
+    /// the exception — they still drive freshness decay — and expiries
+    /// still drive availability).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty, unsorted, contains duplicates or the
+    /// source, or references nodes outside the trace.
+    #[must_use]
+    pub fn new(
+        config: &FreshnessConfig,
+        trace: &ContactTrace,
+        oracle: &'a ContactGraph,
+        source: NodeId,
+        members: &[NodeId],
+        driver: &ContactDriver<'_>,
+        factory: &RngFactory,
+    ) -> (FreshnessRun<'a>, Vec<(SimTime, FreshnessTimer)>) {
         assert!(!members.is_empty(), "need at least one caching node");
         assert!(
             members.windows(2).all(|w| w[0] < w[1]),
@@ -476,83 +628,41 @@ impl FreshnessSimulator {
         );
 
         let span = trace.span();
-        let schedule = if self.config.poisson_updates {
-            UpdateSchedule::poisson(self.config.refresh_period, span, factory)
+        let schedule = if config.poisson_updates {
+            UpdateSchedule::poisson(config.refresh_period, span, factory)
         } else {
-            UpdateSchedule::periodic(self.config.refresh_period, span)
+            UpdateSchedule::periodic(config.refresh_period, span)
         };
-        let oracle = ContactGraph::from_trace(trace);
-        let mut rates = PairRateTable::new(self.config.estimator, SimTime::ZERO);
-        let mut rng = factory.stream("scheme");
-
-        // The shared substrate: the driver materializes the run's fault
-        // schedule (dedicated RNG streams, so `None` and an all-zero plan
-        // are bit-identical) and feeds the contact stream into the engine;
-        // the world carries the roster, clock mirror, and the counter
-        // registry that both the simulator and the scheme write to.
-        let mut driver = ContactDriver::new(trace, self.config.faults, factory);
-        let mut world = SimWorld::new(trace.node_count(), *factory);
-        let mut engine: Engine<FreshnessEvent> = Engine::new();
         let estimator_lag = driver.estimator_lag();
-        // Workload events after the final contact start can no longer
-        // influence any exchange; like the pre-kernel loop, they are not
-        // simulated (version births are the exception — they still drive
-        // freshness decay — and expiries still drive availability).
         let last_contact_start = driver.last_contact_start();
         let in_contact_range = |t: SimTime| last_contact_start.is_some_and(|last| t <= last);
+
+        let mut timers: Vec<(SimTime, FreshnessTimer)> = Vec::new();
 
         // Rejoins of caching nodes drive the recovery-delay metric: how long
         // after coming back up a member waits to hold the current version.
         for (t, n) in driver.rejoin_events(span) {
             if members.binary_search(&n).is_ok() && in_contact_range(t) {
-                engine.schedule_at_class(t, CLASS_REJOIN, FreshnessEvent::Rejoin(n));
+                timers.push((t, FreshnessTimer::Rejoin(n)));
             }
         }
-        let mut pending_recoveries: Vec<(SimTime, NodeId)> = Vec::new();
-        let mut recovery_delays = SampleHistogram::new();
-
-        // All members hold version 0 at t=0 (placement done by the caching
-        // layer).
-        let mut member_versions: HashMap<NodeId, u64> = members.iter().map(|&m| (m, 0)).collect();
-        let mut receipts: HashMap<NodeId, Vec<(SimTime, u64)>> = members
-            .iter()
-            .map(|&m| (m, vec![(SimTime::ZERO, 0u64)]))
-            .collect();
-        let mut transmissions = 0u64;
-        let mut replicas = 0u64;
-        let mut per_node_tx = vec![0u64; trace.node_count()];
-        let mut tracker = FreshnessTracker::new(members.len(), members.len(), SimTime::ZERO);
-        let mut current_version = 0u64;
 
         // Availability: fraction of members holding an unexpired copy.
-        let lifetime = self.config.lifetime;
+        let lifetime = config.lifetime;
         let expiries: Vec<SimTime> = match lifetime {
             Some(l) => schedule.births().iter().map(|&b| b + l).collect(),
             None => Vec::new(),
         };
         for (i, &te) in expiries.iter().enumerate() {
             if te <= span {
-                engine.schedule_at_class(te, CLASS_EXPIRY, FreshnessEvent::Expiry(i));
+                timers.push((te, FreshnessTimer::Expiry(i)));
             }
         }
-        let mut avail = omn_sim::metrics::TimeWeightedMean::starting_at(SimTime::ZERO, 1.0);
-        let avail_ratio = |mv: &HashMap<NodeId, u64>, now: SimTime| -> f64 {
-            match lifetime {
-                None => 1.0,
-                Some(l) => {
-                    let alive = mv
-                        .values()
-                        .filter(|&&v| schedule.birth_of(v) + l > now)
-                        .count();
-                    alive as f64 / mv.len().max(1) as f64
-                }
-            }
-        };
 
         // Query workload: uniform nodes and times.
         let mut queries: Vec<(SimTime, NodeId)> = {
             let mut qrng = factory.stream("fresh-queries");
-            (0..self.config.query_count)
+            (0..config.query_count)
                 .map(|_| {
                     (
                         SimTime::from_secs(
@@ -566,222 +676,341 @@ impl FreshnessSimulator {
         queries.sort_by_key(|&(t, n)| (t, n));
         for (i, &(t, _)) in queries.iter().enumerate() {
             if in_contact_range(t) {
-                engine.schedule_at_class(t, CLASS_QUERY, FreshnessEvent::Query(i));
+                timers.push((t, FreshnessTimer::Query(i)));
             }
-        }
-        let mut pending_queries: Vec<(SimTime, NodeId)> = Vec::new();
-        let mut queries_served = 0usize;
-        let mut queries_fresh = 0usize;
-        let mut query_delays = SampleHistogram::new();
-
-        let is_server = |n: NodeId| n == source || members.binary_search(&n).is_ok();
-
-        macro_rules! ctx {
-            ($now:expr) => {
-                SchemeCtx {
-                    now: $now,
-                    current_version,
-                    root: source,
-                    members,
-                    member_versions: &mut member_versions,
-                    receipts: &mut receipts,
-                    rates: &rates,
-                    oracle: &oracle,
-                    transmissions: &mut transmissions,
-                    replicas: &mut replicas,
-                    per_node_tx: &mut per_node_tx,
-                    extras: world.metrics_mut(),
-                    rng: &mut rng,
-                    faults: driver.plan_mut(),
-                }
-            };
         }
 
         // Version births (version 0 is pre-placed at t = 0). Births after
         // the final contact still fire: they drive freshness decay even
         // though no scheme can react to them any more.
-        let births = schedule.births();
-        for (v, &birth) in births.iter().enumerate().skip(1) {
-            engine.schedule_at_class(birth, CLASS_BIRTH, FreshnessEvent::Birth(v as u64));
+        for (v, &birth) in schedule.births().iter().enumerate().skip(1) {
+            timers.push((birth, FreshnessTimer::Birth(v as u64)));
         }
-        driver.prime(&mut engine, CLASS_CONTACT, FreshnessEvent::Contact);
 
-        scheme.on_start(&mut ctx!(SimTime::ZERO));
+        let run = FreshnessRun {
+            source,
+            // All members hold version 0 at t=0 (placement done by the
+            // caching layer).
+            member_versions: members.iter().map(|&m| (m, 0)).collect(),
+            receipts: members
+                .iter()
+                .map(|&m| (m, vec![(SimTime::ZERO, 0u64)]))
+                .collect(),
+            tracker: FreshnessTracker::new(members.len(), members.len(), SimTime::ZERO),
+            members: members.to_vec(),
+            schedule,
+            oracle,
+            rates: PairRateTable::new(config.estimator, SimTime::ZERO),
+            rng: factory.stream("scheme"),
+            transmissions: 0,
+            replicas: 0,
+            per_node_tx: vec![0u64; trace.node_count()],
+            current_version: 0,
+            lifetime,
+            expiries,
+            avail: omn_sim::metrics::TimeWeightedMean::starting_at(SimTime::ZERO, 1.0),
+            queries,
+            pending_queries: Vec::new(),
+            queries_served: 0,
+            queries_fresh: 0,
+            query_delays: SampleHistogram::new(),
+            pending_recoveries: Vec::new(),
+            recovery_delays: SampleHistogram::new(),
+            extras: Registry::new(),
+            estimator_lag,
+            last_contact_start,
+            span,
+            fresh_only_serving: config.fresh_only_serving,
+            requirement_deadline: config.requirement.deadline,
+        };
+        (run, timers)
+    }
 
-        while let Some(ev) = engine.next_event() {
-            world.advance_to(ev.time);
-            match ev.payload {
-                FreshnessEvent::Birth(v) => {
-                    let birth = ev.time;
-                    current_version = v;
-                    if in_contact_range(birth) {
-                        scheme.on_version_birth(current_version, &mut ctx!(birth));
-                    }
-                    let fresh = member_versions
-                        .values()
-                        .filter(|&&mv| mv == current_version)
-                        .count();
-                    tracker.set_fresh(fresh, birth);
-                }
+    /// The caching nodes of this participant (sorted).
+    #[must_use]
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
 
-                // Queries: members and the source serve themselves
-                // immediately; everyone else waits for a contact with a
-                // server.
-                FreshnessEvent::Query(i) => {
-                    let (issued, node) = queries[i];
-                    let self_version = if node == source {
-                        Some(current_version)
-                    } else if is_server(node) {
-                        member_versions.get(&node).copied()
-                    } else {
-                        None
-                    };
-                    let self_serves = match self_version {
-                        None => false,
-                        Some(v) => !self.config.fresh_only_serving || v == current_version,
-                    };
-                    if self_serves {
-                        queries_served += 1;
-                        query_delays.record(0.0);
-                        if self_version == Some(current_version) {
-                            queries_fresh += 1;
-                        }
-                    } else {
-                        pending_queries.push((issued, node));
-                    }
-                }
+    /// The cache version each member currently holds.
+    #[must_use]
+    pub fn member_versions(&self) -> &HashMap<NodeId, u64> {
+        &self.member_versions
+    }
 
-                FreshnessEvent::Expiry(i) => {
-                    let te = expiries[i];
-                    avail.update(te, avail_ratio(&member_versions, te));
-                }
+    /// The version currently held by the source.
+    #[must_use]
+    pub fn current_version(&self) -> u64 {
+        self.current_version
+    }
 
-                // A node coming back up with a stale copy starts a
-                // recovery clock.
-                FreshnessEvent::Rejoin(n) => {
-                    world.metrics_mut().add("rejoin-events", 1);
-                    if member_versions.get(&n).copied() == Some(current_version) {
-                        recovery_delays.record(0.0);
-                    } else {
-                        pending_recoveries.push((ev.time, n));
-                    }
-                }
+    fn in_contact_range(&self, t: SimTime) -> bool {
+        self.last_contact_start.is_some_and(|last| t <= last)
+    }
 
-                // An estimator observation whose reporting lag has elapsed.
-                FreshnessEvent::LaggedObs(oa, ob, seen) => {
-                    rates.record_contact(oa, ob, seen);
-                }
+    fn is_server(&self, n: NodeId) -> bool {
+        n == self.source || self.members.binary_search(&n).is_ok()
+    }
 
-                FreshnessEvent::Contact(ci) => {
-                    let now = ev.time;
-                    let (a, b) = driver.contact(ci).pair();
-                    let fate = driver.fate(ci, now);
-                    let mut suppressed = false;
-                    if fate == ContactFate::Down {
-                        // A down endpoint suppresses the contact entirely:
-                        // no data transfer, and no radio sighting for the
-                        // estimators.
-                        world.metrics_mut().add("down-contacts", 1);
-                        suppressed = true;
-                    } else {
-                        // Rate estimators sight the contact even when it is
-                        // truncated for data, possibly after a reporting
-                        // lag.
-                        if estimator_lag.is_zero() {
-                            rates.record_contact(a, b, now);
-                        } else {
-                            let due = now + estimator_lag;
-                            if in_contact_range(due) {
-                                engine.schedule_at_class(
-                                    due,
-                                    CLASS_OBS,
-                                    FreshnessEvent::LaggedObs(a, b, now),
-                                );
-                            }
-                        }
-                        if fate == ContactFate::Blocked {
-                            world.metrics_mut().add("blocked-contacts", 1);
-                            suppressed = true;
-                        }
-                    }
-                    if !suppressed {
-                        scheme.on_contact(a, b, &mut ctx!(now));
-                    }
-
-                    // Members recover once they again hold the current
-                    // version.
-                    if !pending_recoveries.is_empty() {
-                        pending_recoveries.retain(|&(since, n)| {
-                            if member_versions.get(&n).copied() == Some(current_version) {
-                                recovery_delays.record(now.saturating_since(since).as_secs());
-                                false
-                            } else {
-                                true
-                            }
-                        });
-                    }
-
-                    let fresh = member_versions
-                        .values()
-                        .filter(|&&v| v == current_version)
-                        .count();
-                    if fresh != tracker.fresh_count() {
-                        tracker.set_fresh(fresh, now);
-                    }
-                    avail.update(now, avail_ratio(&member_versions, now));
-
-                    // Serve pending queries whose holder meets a caching
-                    // node — a suppressed contact cannot carry query
-                    // traffic either.
-                    if !suppressed && !pending_queries.is_empty() {
-                        pending_queries.retain(|&(issued, node)| {
-                            let server = if node == a && is_server(b) {
-                                Some(b)
-                            } else if node == b && is_server(a) {
-                                Some(a)
-                            } else {
-                                None
-                            };
-                            match server {
-                                None => true,
-                                Some(s) => {
-                                    let v = if s == source {
-                                        Some(current_version)
-                                    } else {
-                                        member_versions.get(&s).copied()
-                                    };
-                                    if self.config.fresh_only_serving && v != Some(current_version)
-                                    {
-                                        return true; // decline: keep searching
-                                    }
-                                    queries_served += 1;
-                                    query_delays.record(now.saturating_since(issued).as_secs());
-                                    if v == Some(current_version) {
-                                        queries_fresh += 1;
-                                    }
-                                    false
-                                }
-                            }
-                        });
-                    }
-                }
+    fn avail_ratio(&self, now: SimTime) -> f64 {
+        match self.lifetime {
+            None => 1.0,
+            Some(l) => {
+                let alive = self
+                    .member_versions
+                    .values()
+                    .filter(|&&v| self.schedule.birth_of(v) + l > now)
+                    .count();
+                alive as f64 / self.member_versions.len().max(1) as f64
             }
         }
+    }
 
-        scheme.on_finish(&mut ctx!(span));
+    fn ctx<'b>(
+        &'b mut self,
+        now: SimTime,
+        faults: Option<&'b mut FaultPlan>,
+        budget: Option<&'b mut TransferBudget>,
+    ) -> SchemeCtx<'b> {
+        SchemeCtx {
+            now,
+            current_version: self.current_version,
+            root: self.source,
+            members: &self.members,
+            member_versions: &mut self.member_versions,
+            receipts: &mut self.receipts,
+            rates: &self.rates,
+            oracle: self.oracle,
+            transmissions: &mut self.transmissions,
+            replicas: &mut self.replicas,
+            per_node_tx: &mut self.per_node_tx,
+            extras: &mut self.extras,
+            rng: &mut self.rng,
+            faults,
+            budget,
+        }
+    }
 
-        let (mean_freshness, freshness_timeline) = tracker.finish(span);
-        let mean_availability = avail.finish(span);
+    /// Delivers the scheme's start hook (once, before any event).
+    pub fn on_start(
+        &mut self,
+        scheme: &mut dyn RefreshScheme,
+        faults: Option<&mut FaultPlan>,
+        budget: Option<&mut TransferBudget>,
+    ) {
+        scheme.on_start(&mut self.ctx(SimTime::ZERO, faults, budget));
+    }
+
+    /// Handles the birth of version `v` at `now`.
+    pub fn on_birth(
+        &mut self,
+        v: u64,
+        now: SimTime,
+        scheme: &mut dyn RefreshScheme,
+        faults: Option<&mut FaultPlan>,
+        budget: Option<&mut TransferBudget>,
+    ) {
+        self.current_version = v;
+        if self.in_contact_range(now) {
+            scheme.on_version_birth(v, &mut self.ctx(now, faults, budget));
+        }
+        let fresh = self
+            .member_versions
+            .values()
+            .filter(|&&mv| mv == self.current_version)
+            .count();
+        self.tracker.set_fresh(fresh, now);
+    }
+
+    /// Handles the issue of query `i`: members and the source serve
+    /// themselves immediately; everyone else waits for a contact with a
+    /// server.
+    pub fn on_query(&mut self, i: usize) {
+        let (issued, node) = self.queries[i];
+        let self_version = if node == self.source {
+            Some(self.current_version)
+        } else if self.is_server(node) {
+            self.member_versions.get(&node).copied()
+        } else {
+            None
+        };
+        let self_serves = match self_version {
+            None => false,
+            Some(v) => !self.fresh_only_serving || v == self.current_version,
+        };
+        if self_serves {
+            self.queries_served += 1;
+            self.query_delays.record(0.0);
+            if self_version == Some(self.current_version) {
+                self.queries_fresh += 1;
+            }
+        } else {
+            self.pending_queries.push((issued, node));
+        }
+    }
+
+    /// Handles the `i`-th copy-expiry instant.
+    pub fn on_expiry(&mut self, i: usize) {
+        let te = self.expiries[i];
+        let ratio = self.avail_ratio(te);
+        self.avail.update(te, ratio);
+    }
+
+    /// Handles a caching node coming back up: a node rejoining with a
+    /// stale copy starts a recovery clock.
+    pub fn on_rejoin(&mut self, n: NodeId, now: SimTime) {
+        self.extras.add("rejoin-events", 1);
+        if self.member_versions.get(&n).copied() == Some(self.current_version) {
+            self.recovery_delays.record(0.0);
+        } else {
+            self.pending_recoveries.push((now, n));
+        }
+    }
+
+    /// Handles an estimator observation whose reporting lag has elapsed.
+    pub fn on_lagged_obs(&mut self, a: NodeId, b: NodeId, seen: SimTime) {
+        self.rates.record_contact(a, b, seen);
+    }
+
+    /// Handles a contact between `a` and `b` with the fate the shared
+    /// driver assigned it. Refresh transmissions the scheme makes draw on
+    /// `budget` when one is given (joint worlds); `None` means unlimited
+    /// capacity.
+    ///
+    /// Returns a lagged estimator observation the driving loop must
+    /// schedule, if the fault plan configures an estimator lag.
+    #[must_use = "a returned lagged observation must be scheduled"]
+    #[allow(clippy::too_many_arguments)]
+    pub fn on_contact(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        fate: ContactFate,
+        now: SimTime,
+        scheme: &mut dyn RefreshScheme,
+        faults: Option<&mut FaultPlan>,
+        budget: Option<&mut TransferBudget>,
+    ) -> Option<(SimTime, FreshnessTimer)> {
+        let mut lagged = None;
+        let mut suppressed = false;
+        if fate == ContactFate::Down {
+            // A down endpoint suppresses the contact entirely: no data
+            // transfer, and no radio sighting for the estimators.
+            self.extras.add("down-contacts", 1);
+            suppressed = true;
+        } else {
+            // Rate estimators sight the contact even when it is truncated
+            // for data, possibly after a reporting lag.
+            if self.estimator_lag.is_zero() {
+                self.rates.record_contact(a, b, now);
+            } else {
+                let due = now + self.estimator_lag;
+                if self.in_contact_range(due) {
+                    lagged = Some((due, FreshnessTimer::LaggedObs(a, b, now)));
+                }
+            }
+            if fate == ContactFate::Blocked {
+                self.extras.add("blocked-contacts", 1);
+                suppressed = true;
+            }
+        }
+        if !suppressed {
+            scheme.on_contact(a, b, &mut self.ctx(now, faults, budget));
+        }
+
+        // Members recover once they again hold the current version.
+        if !self.pending_recoveries.is_empty() {
+            let member_versions = &self.member_versions;
+            let current_version = self.current_version;
+            let recovery_delays = &mut self.recovery_delays;
+            self.pending_recoveries.retain(|&(since, n)| {
+                if member_versions.get(&n).copied() == Some(current_version) {
+                    recovery_delays.record(now.saturating_since(since).as_secs());
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+
+        let fresh = self
+            .member_versions
+            .values()
+            .filter(|&&v| v == self.current_version)
+            .count();
+        if fresh != self.tracker.fresh_count() {
+            self.tracker.set_fresh(fresh, now);
+        }
+        let ratio = self.avail_ratio(now);
+        self.avail.update(now, ratio);
+
+        // Serve pending queries whose holder meets a caching node — a
+        // suppressed contact cannot carry query traffic either.
+        if !suppressed && !self.pending_queries.is_empty() {
+            let source = self.source;
+            let members = &self.members;
+            let member_versions = &self.member_versions;
+            let current_version = self.current_version;
+            let fresh_only_serving = self.fresh_only_serving;
+            let queries_served = &mut self.queries_served;
+            let queries_fresh = &mut self.queries_fresh;
+            let query_delays = &mut self.query_delays;
+            self.pending_queries.retain(|&(issued, node)| {
+                let is_server = |n: NodeId| n == source || members.binary_search(&n).is_ok();
+                let server = if node == a && is_server(b) {
+                    Some(b)
+                } else if node == b && is_server(a) {
+                    Some(a)
+                } else {
+                    None
+                };
+                match server {
+                    None => true,
+                    Some(s) => {
+                        let v = if s == source {
+                            Some(current_version)
+                        } else {
+                            member_versions.get(&s).copied()
+                        };
+                        if fresh_only_serving && v != Some(current_version) {
+                            return true; // decline: keep searching
+                        }
+                        *queries_served += 1;
+                        query_delays.record(now.saturating_since(issued).as_secs());
+                        if v == Some(current_version) {
+                            *queries_fresh += 1;
+                        }
+                        false
+                    }
+                }
+            });
+        }
+        lagged
+    }
+
+    /// Delivers the scheme's finish hook and folds the run into a report.
+    #[must_use]
+    pub fn finish(
+        mut self,
+        scheme: &mut dyn RefreshScheme,
+        faults: Option<&mut FaultPlan>,
+        budget: Option<&mut TransferBudget>,
+    ) -> FreshnessReport {
+        let span = self.span;
+        scheme.on_finish(&mut self.ctx(span, faults, budget));
+
+        let (mean_freshness, freshness_timeline) = self.tracker.finish(span);
+        let mean_availability = self.avail.finish(span);
 
         // Refresh delays and requirement satisfaction from receipts.
         let mut refresh_delays = SampleHistogram::new();
-        let deadline = self.config.requirement.deadline;
+        let deadline = self.requirement_deadline;
         let mut satisfied = 0usize;
         let mut satisfiable = 0usize;
-        for &m in members {
-            let recs = &receipts[&m];
-            for v in 1..schedule.version_count() {
-                let birth = schedule.birth_of(v);
+        for &m in &self.members {
+            let recs = &self.receipts[&m];
+            for v in 1..self.schedule.version_count() {
+                let birth = self.schedule.birth_of(v);
                 // First time m held a version ≥ v.
                 let first = recs.iter().find(|&&(_, rv)| rv >= v).map(|&(t, _)| t);
                 if let Some(t) = first {
@@ -803,26 +1032,25 @@ impl FreshnessSimulator {
             satisfied as f64 / satisfiable as f64
         };
 
-        let extras = world.into_metrics();
         FreshnessReport {
             scheme: scheme.name(),
-            source,
-            members: members.to_vec(),
-            version_count: schedule.version_count(),
+            source: self.source,
+            version_count: self.schedule.version_count(),
             mean_freshness,
             freshness_timeline,
             mean_availability,
             refresh_delays,
             requirement_satisfaction,
-            transmissions,
-            replicas,
-            per_node_transmissions: per_node_tx,
-            extras,
-            queries_total: self.config.query_count,
-            queries_served,
-            queries_fresh,
-            query_delays,
-            recovery_delays,
+            transmissions: self.transmissions,
+            replicas: self.replicas,
+            per_node_transmissions: self.per_node_tx,
+            extras: self.extras,
+            queries_total: self.queries.len(),
+            queries_served: self.queries_served,
+            queries_fresh: self.queries_fresh,
+            query_delays: self.query_delays,
+            recovery_delays: self.recovery_delays,
+            members: self.members,
         }
     }
 }
@@ -1078,9 +1306,9 @@ mod tests {
 
     #[test]
     fn extras_expose_scheme_internals() {
-        let trace = small_trace(14);
+        let trace = small_trace(1);
         let sim = FreshnessSimulator::new(config());
-        let f = RngFactory::new(14);
+        let f = RngFactory::new(1);
         let hier = sim.run(&trace, SchemeChoice::Hierarchical, &f);
         assert_eq!(hier.extras.get("rebuilds"), 1, "built once at start");
         assert!(

@@ -6,7 +6,7 @@ use omn_contacts::synth::{generate_pairwise, PairwiseConfig};
 use omn_contacts::ContactGraph;
 use omn_core::analysis;
 use omn_core::freshness::FreshnessRequirement;
-use omn_core::scheme::{HierarchicalConfig, HierarchicalScheme, RefreshScheme};
+use omn_core::scheme::{HierarchicalConfig, HierarchicalScheme};
 use omn_core::sim::{FreshnessConfig, FreshnessSimulator, SchemeChoice};
 use omn_sim::{RngFactory, SimDuration};
 

@@ -648,11 +648,8 @@ mod tests {
     #[test]
     fn zero_fault_plan_is_bit_identical_to_no_plan() {
         let (trace, demands) = fault_scenario();
-        let base = NetworkSimulator::new(SimConfig::default()).run(
-            &trace,
-            &mut Epidemic::new(),
-            &demands,
-        );
+        let base =
+            NetworkSimulator::new(SimConfig::default()).run(&trace, &mut Epidemic::new(), &demands);
         let config = SimConfig {
             faults: Some(FaultConfig::default()),
             ..SimConfig::default()

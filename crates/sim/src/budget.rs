@@ -1,0 +1,115 @@
+//! Per-contact transfer budgets.
+//!
+//! An opportunistic contact is a finite transmission opportunity: the two
+//! radios are in range for a bounded window and can exchange a bounded
+//! number of data units. When several protocol layers (cache placement,
+//! query forwarding, freshness refresh) share one contact, they must share
+//! that capacity. [`TransferBudget`] is the accounting primitive: each
+//! layer calls [`try_consume`](TransferBudget::try_consume) before
+//! transmitting, and a consumer that finds the budget exhausted must treat
+//! the transfer as never attempted (no loss draw, no transmission
+//! counter).
+//!
+//! [`TransferBudget::unlimited`] performs no accounting beyond a used
+//! count, so single-layer simulators that pass an unlimited budget behave
+//! bit-identically to code that never consulted a budget at all.
+
+/// A (possibly capped) number of data transfers available within one
+/// contact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransferBudget {
+    capacity: Option<u32>,
+    used: u32,
+}
+
+impl TransferBudget {
+    /// A budget that never runs out (standalone single-layer semantics).
+    #[must_use]
+    pub fn unlimited() -> Self {
+        TransferBudget {
+            capacity: None,
+            used: 0,
+        }
+    }
+
+    /// A budget allowing exactly `capacity` transfers.
+    #[must_use]
+    pub fn capped(capacity: u32) -> Self {
+        TransferBudget {
+            capacity: Some(capacity),
+            used: 0,
+        }
+    }
+
+    /// The configured capacity (`None` = unlimited).
+    #[must_use]
+    pub fn capacity(&self) -> Option<u32> {
+        self.capacity
+    }
+
+    /// Consumes one transfer if any capacity remains; returns whether the
+    /// transfer may proceed.
+    pub fn try_consume(&mut self) -> bool {
+        if self.capacity.is_some_and(|cap| self.used >= cap) {
+            return false;
+        }
+        self.used += 1;
+        true
+    }
+
+    /// Whether at least one transfer remains.
+    #[must_use]
+    pub fn has_remaining(&self) -> bool {
+        self.capacity.is_none_or(|cap| self.used < cap)
+    }
+
+    /// Transfers consumed so far.
+    #[must_use]
+    pub fn used(&self) -> u32 {
+        self.used
+    }
+
+    /// Transfers still available (`None` = unlimited).
+    #[must_use]
+    pub fn remaining(&self) -> Option<u32> {
+        self.capacity.map(|cap| cap.saturating_sub(self.used))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_exhausts() {
+        let mut b = TransferBudget::unlimited();
+        for _ in 0..10_000 {
+            assert!(b.try_consume());
+        }
+        assert_eq!(b.used(), 10_000);
+        assert_eq!(b.remaining(), None);
+        assert!(b.has_remaining());
+    }
+
+    #[test]
+    fn capped_stops_exactly_at_capacity() {
+        let mut b = TransferBudget::capped(3);
+        assert_eq!(b.remaining(), Some(3));
+        assert!(b.try_consume());
+        assert!(b.try_consume());
+        assert!(b.try_consume());
+        assert!(!b.has_remaining());
+        assert!(!b.try_consume());
+        assert!(!b.try_consume());
+        assert_eq!(b.used(), 3, "denied attempts must not count as used");
+        assert_eq!(b.remaining(), Some(0));
+    }
+
+    #[test]
+    fn zero_capacity_denies_everything() {
+        let mut b = TransferBudget::capped(0);
+        assert!(!b.has_remaining());
+        assert!(!b.try_consume());
+        assert_eq!(b.used(), 0);
+    }
+}

@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod budget;
 mod engine;
 pub mod metrics;
 mod queue;
@@ -53,6 +54,7 @@ pub mod stats;
 mod time;
 mod world;
 
+pub use budget::TransferBudget;
 pub use engine::{Engine, ScheduledEvent};
 pub use queue::{EventClass, EventHandle, EventQueue};
 pub use rng::{split_mix64, RngFactory};

@@ -296,9 +296,14 @@ impl Timeline {
     /// Resamples the step function onto `n` evenly spaced instants across
     /// `[start, end]`, carrying the last value forward. Instants before the
     /// first point get the first point's value.
+    ///
+    /// Contract: `start <= end`. An inverted range describes no instants,
+    /// so it yields an empty vec (it previously clamped the span to zero
+    /// and returned `n` copies of the value at `start`, silently
+    /// mislabeling every point).
     #[must_use]
     pub fn resample(&self, start: SimTime, end: SimTime, n: usize) -> Vec<(SimTime, f64)> {
-        if self.points.is_empty() || n == 0 {
+        if self.points.is_empty() || n == 0 || end < start {
             return Vec::new();
         }
         let span = end.saturating_since(start).as_secs();
@@ -468,6 +473,16 @@ mod tests {
         assert_eq!(pts[1].1, 1.0); // t=5
         assert_eq!(pts[2].1, 2.0); // t=10
         assert_eq!(pts[4].1, 2.0); // t=20
+    }
+
+    #[test]
+    fn timeline_resample_inverted_range_is_empty() {
+        let mut tl = Timeline::new();
+        tl.push(t(0.0), 1.0);
+        tl.push(t(10.0), 2.0);
+        assert!(tl.resample(t(20.0), t(0.0), 5).is_empty());
+        // Degenerate-but-valid range still yields n copies of one instant.
+        assert_eq!(tl.resample(t(10.0), t(10.0), 3).len(), 3);
     }
 
     #[test]

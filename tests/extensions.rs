@@ -50,7 +50,7 @@ fn oracle_bound_lower_bounds_every_scheme() {
 
 #[test]
 fn working_day_trace_supports_the_full_freshness_stack() {
-    let factory = RngFactory::new(12);
+    let factory = RngFactory::new(7);
     let trace = generate_working_day(
         &WorkingDayConfig::new(30, 6)
             .offices(5)

@@ -1,0 +1,212 @@
+//! Offline drop-in subset of the `criterion` benchmark API.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! a minimal harness with the same programming model: `criterion_group!`
+//! (field form with `name` / `config` / `targets`), `criterion_main!`,
+//! [`Criterion::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], and [`black_box`].
+//!
+//! Timing model: each benchmark runs `sample_size` samples of one
+//! iteration each and reports min / mean / max wall-clock time per
+//! iteration — enough to smoke-test every bench path and eyeball relative
+//! cost, without upstream's statistical machinery. `--test` (as passed by
+//! `cargo bench -- --test`) runs each target once and reports pass/fail
+//! only.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+/// Opaque value barrier; the stub uses a volatile-free best effort
+/// (`std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; accepted and ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Per-benchmark measurement driver.
+pub struct Bencher {
+    iters: u64,
+    /// Nanoseconds per iteration collected by the last `iter*` call.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(iters: u64) -> Self {
+        Bencher {
+            iters,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Times `routine`, one sample per configured iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed().as_secs_f64() * 1e9);
+        }
+    }
+
+    /// Times `routine` on inputs built (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed().as_secs_f64() * 1e9);
+        }
+    }
+}
+
+/// The harness entry point, mirroring upstream's builder surface.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 10,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many samples each benchmark collects.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs (or, under `--test`, smoke-runs) one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let iters = if self.test_mode {
+            1
+        } else {
+            self.sample_size as u64
+        };
+        let mut b = Bencher::new(iters);
+        f(&mut b);
+        if self.test_mode {
+            println!("test-mode {id}: ok");
+        } else if b.samples.is_empty() {
+            println!("{id}: no samples recorded");
+        } else {
+            let n = b.samples.len() as f64;
+            let mean = b.samples.iter().sum::<f64>() / n;
+            let min = b.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = b.samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            println!(
+                "{id}: mean {} (min {}, max {}) over {} samples",
+                fmt_ns(mean),
+                fmt_ns(min),
+                fmt_ns(max),
+                b.samples.len()
+            );
+        }
+        self
+    }
+
+    /// Upstream compatibility hook; the stub has no CLI of its own beyond
+    /// `--test` detection, which already happened in `default()`.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Declares a benchmark group; supports both the positional and the
+/// `name` / `config` / `targets` field forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion {
+            sample_size: 3,
+            test_mode: false,
+        };
+        let mut runs = 0;
+        c.bench_function("t", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion {
+            sample_size: 4,
+            test_mode: false,
+        };
+        let mut setups = 0;
+        c.bench_function("t", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 8]
+                },
+                |v| v.len(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(setups, 4);
+    }
+}

@@ -1,0 +1,437 @@
+//! Offline drop-in subset of the `rand` 0.8 API.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the small slice of `rand` it actually uses: [`rngs::StdRng`] seeded via
+//! [`SeedableRng::from_seed`], the [`Rng`] extension methods (`gen`,
+//! `gen_bool`, `gen_range`, `sample`, `sample_iter`), the
+//! [`distributions::Standard`] distribution, and
+//! [`seq::SliceRandom`] (`shuffle` / `choose`).
+//!
+//! The generator is xoshiro256++ (public domain, Blackman & Vigna), seeded
+//! from the same 32-byte seeds the workspace's `RngFactory` produces. The
+//! exact output stream differs from upstream `rand`'s ChaCha12-based
+//! `StdRng`; everything in this repository that depends on determinism pins
+//! its own golden values against *this* implementation, which is fully
+//! deterministic and portable.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Low-level source of randomness: 64 random bits per call.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (upper half of [`Self::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A random generator constructible from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// The seed type (a byte array).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Creates a generator from the full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanded via SplitMix64.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// User-facing extension methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value from the [`distributions::Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        distributions::Distribution::sample(&distributions::Standard, self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p={p} not in [0, 1]");
+        self.gen::<f64>() < p
+    }
+
+    /// Samples uniformly from `range`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Samples a value from `distr`.
+    fn sample<T, D: distributions::Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+
+    /// Consumes the generator into an iterator of samples from `distr`.
+    fn sample_iter<T, D>(self, distr: D) -> distributions::DistIter<D, Self, T>
+    where
+        D: distributions::Distribution<T>,
+        Self: Sized,
+    {
+        distr.sample_iter(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard seeded generator: xoshiro256++.
+    ///
+    /// Not the upstream ChaCha12 `StdRng`; see the crate docs.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn step(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.step()
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+                *word = u64::from_le_bytes(bytes);
+            }
+            // xoshiro must not start from the all-zero state.
+            if s == [0, 0, 0, 0] {
+                s = [
+                    0x9e37_79b9_7f4a_7c15,
+                    0xbf58_476d_1ce4_e5b9,
+                    0x94d0_49bb_1331_11eb,
+                    0x2545_f491_4f6c_dd1d,
+                ];
+            }
+            StdRng { s }
+        }
+    }
+}
+
+pub mod distributions {
+    use super::{Rng, RngCore};
+    use std::marker::PhantomData;
+
+    /// A distribution over values of type `T`.
+    pub trait Distribution<T> {
+        /// Draws one sample.
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+
+        /// Turns the distribution plus a generator into an iterator.
+        fn sample_iter<R>(self, rng: R) -> DistIter<Self, R, T>
+        where
+            R: RngCore,
+            Self: Sized,
+        {
+            DistIter {
+                distr: self,
+                rng,
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    /// Iterator of samples; see [`Distribution::sample_iter`].
+    pub struct DistIter<D, R, T> {
+        distr: D,
+        rng: R,
+        _marker: PhantomData<T>,
+    }
+
+    impl<D, R, T> Iterator for DistIter<D, R, T>
+    where
+        D: Distribution<T>,
+        R: RngCore,
+    {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            Some(self.distr.sample(&mut self.rng))
+        }
+    }
+
+    /// The "natural" uniform distribution: full range for integers,
+    /// `[0, 1)` for floats, fair coin for `bool`.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    impl Distribution<u64> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Distribution<u32> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+            rng.next_u32()
+        }
+    }
+
+    impl Distribution<usize> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+            rng.next_u64() as usize
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 uniform mantissa bits -> [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    pub mod uniform {
+        use super::super::Rng;
+        use super::{Distribution, Standard};
+        use std::ops::Range;
+
+        /// Types samplable from a uniform range; mirrors upstream's trait
+        /// so a `Range<{float}>` literal still resolves through the single
+        /// blanket [`SampleRange`] impl (and then defaults to `f64`).
+        pub trait SampleUniform: Copy + PartialOrd {
+            /// Draws uniformly from `[lo, hi)`.
+            fn sample_in<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+        }
+
+        macro_rules! int_uniform {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_in<R: Rng + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                        let span = (hi as u128).wrapping_sub(lo as u128);
+                        // Modulo with a 64-bit draw: bias is < 2^-32 for the
+                        // span sizes used in this workspace (all far below
+                        // 2^32), which is negligible for simulation purposes.
+                        let draw = (rng.next_u64() as u128) % span;
+                        (lo as i128 + draw as i128) as $t
+                    }
+                }
+            )*};
+        }
+
+        int_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+        macro_rules! float_uniform {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_in<R: Rng + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                        let u: $t = Distribution::<$t>::sample(&Standard, rng);
+                        lo + u * (hi - lo)
+                    }
+                }
+            )*};
+        }
+
+        float_uniform!(f32, f64);
+
+        /// A range that can be sampled from directly; the bound behind
+        /// [`Rng::gen_range`](crate::Rng::gen_range).
+        pub trait SampleRange<T> {
+            /// Draws one value uniformly from the range.
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        impl<T: SampleUniform + std::fmt::Debug> SampleRange<T> for Range<T> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+                assert!(
+                    self.start < self.end,
+                    "cannot sample empty range {:?}..{:?}",
+                    self.start,
+                    self.end
+                );
+                T::sample_in(self.start, self.end, rng)
+            }
+        }
+    }
+}
+
+pub mod seq {
+    use super::Rng;
+
+    /// Slice helpers: in-place shuffle and uniform choice.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Fisher-Yates shuffle.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly random element, or `None` when empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get((rng.next_u64() % self.len() as u64) as usize)
+            }
+        }
+    }
+}
+
+/// Re-export so `use rand::prelude::*` keeps working if anything adds it.
+pub mod prelude {
+    pub use super::distributions::Distribution;
+    pub use super::rngs::StdRng;
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+// `Range` is referenced in the uniform module via `std::ops::Range`; keep the
+// top-level import used so the crate stays warning-free.
+#[allow(unused)]
+fn _range_marker(_: Range<u8>) {}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::Standard;
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = StdRng::from_seed([7; 32]);
+        let mut b = StdRng::from_seed([7; 32]);
+        let xs: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        assert_eq!(xs, ys);
+        let mut c = StdRng::from_seed([8; 32]);
+        let zs: Vec<u64> = (0..8).map(|_| c.gen()).collect();
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3u32..17);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(-2.0f64..4.5);
+            assert!((-2.0..4.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_permutation_and_choose_in_slice() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert!(v.contains(v.choose(&mut rng).unwrap()));
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn sample_iter_streams() {
+        let rng = StdRng::seed_from_u64(13);
+        let xs: Vec<u64> = rng.sample_iter(Standard).take(4).collect();
+        assert_eq!(xs.len(), 4);
+    }
+}

@@ -1,0 +1,159 @@
+//! Offline drop-in subset of the `rand_distr` 0.4 API.
+//!
+//! Provides exactly the distributions this workspace samples: [`Exp`]
+//! (inversion method) and [`Gamma`] (Marsaglia-Tsang squeeze with a
+//! Box-Muller normal, plus the Ahrens-Dieter boost for shape < 1). The
+//! sampled streams differ numerically from upstream `rand_distr`, but all
+//! determinism guarantees in this repository are pinned against this
+//! implementation.
+
+#![forbid(unsafe_code)]
+
+pub use rand::distributions::Distribution;
+use rand::Rng;
+
+/// Error type for invalid distribution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Exponential distribution with rate `lambda` (mean `1 / lambda`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// Creates the distribution; `lambda` must be finite and positive.
+    pub fn new(lambda: f64) -> Result<Self, ParamError> {
+        if lambda.is_finite() && lambda > 0.0 {
+            Ok(Exp { lambda })
+        } else {
+            Err(ParamError("Exp requires a finite positive rate"))
+        }
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inversion: u in [0, 1) so 1 - u in (0, 1] and the log is finite.
+        let u: f64 = rng.gen();
+        -(1.0 - u).ln() / self.lambda
+    }
+}
+
+/// Gamma distribution with the given `shape` and `scale` (mean
+/// `shape * scale`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gamma {
+    shape: f64,
+    scale: f64,
+}
+
+impl Gamma {
+    /// Creates the distribution; both parameters must be finite and
+    /// positive.
+    pub fn new(shape: f64, scale: f64) -> Result<Self, ParamError> {
+        if shape.is_finite() && shape > 0.0 && scale.is_finite() && scale > 0.0 {
+            Ok(Gamma { shape, scale })
+        } else {
+            Err(ParamError("Gamma requires finite positive shape and scale"))
+        }
+    }
+
+    /// One standard-normal draw via Box-Muller (the second value of the
+    /// pair is discarded to keep the sampler stateless).
+    fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        loop {
+            let u1: f64 = rng.gen();
+            if u1 <= f64::MIN_POSITIVE {
+                continue;
+            }
+            let u2: f64 = rng.gen();
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+
+    /// Marsaglia-Tsang (2000) for shape >= 1.
+    fn sample_shape_ge_one<R: Rng + ?Sized>(shape: f64, rng: &mut R) -> f64 {
+        let d = shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let x = Self::standard_normal(rng);
+            let v = (1.0 + c * x).powi(3);
+            if v <= 0.0 {
+                continue;
+            }
+            let u: f64 = rng.gen();
+            let x2 = x * x;
+            if u < 1.0 - 0.0331 * x2 * x2 {
+                return d * v;
+            }
+            if u > f64::MIN_POSITIVE && u.ln() < 0.5 * x2 + d * (1.0 - v + v.ln()) {
+                return d * v;
+            }
+        }
+    }
+}
+
+impl Distribution<f64> for Gamma {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.shape >= 1.0 {
+            Self::sample_shape_ge_one(self.shape, rng) * self.scale
+        } else {
+            // Ahrens-Dieter boost: Gamma(a) = Gamma(a + 1) * U^(1/a).
+            let g = Self::sample_shape_ge_one(self.shape + 1.0, rng);
+            let u: f64 = rng.gen();
+            // u == 0 would yield 0, which is a valid (measure-zero) draw.
+            g * u.powf(1.0 / self.shape) * self.scale
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Exp::new(0.0).is_err());
+        assert!(Exp::new(-1.0).is_err());
+        assert!(Exp::new(f64::NAN).is_err());
+        assert!(Gamma::new(0.0, 1.0).is_err());
+        assert!(Gamma::new(1.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn exp_mean_close() {
+        let d = Exp::new(0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "exp mean {mean}");
+    }
+
+    #[test]
+    fn gamma_mean_close() {
+        for (shape, scale) in [(0.5, 2.0), (1.5, 0.7), (4.0, 1.3)] {
+            let d = Gamma::new(shape, scale).unwrap();
+            let mut rng = StdRng::seed_from_u64(2);
+            let n = 200_000;
+            let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+            let expect = shape * scale;
+            assert!(
+                (mean - expect).abs() / expect < 0.05,
+                "gamma({shape},{scale}) mean {mean} vs {expect}"
+            );
+            assert!((0..1000).all(|_| d.sample(&mut rng) >= 0.0));
+        }
+    }
+}

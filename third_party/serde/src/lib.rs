@@ -1,0 +1,19 @@
+//! Offline drop-in subset of the `serde` API.
+//!
+//! The workspace only *derives* `Serialize` / `Deserialize` as forward-
+//! looking markers on its data types — nothing actually serializes yet
+//! (trace IO is a hand-rolled text format). This stub therefore provides
+//! the two traits as markers plus the derive macros, which is exactly the
+//! surface the workspace consumes. When a real serialization backend is
+//! needed, swap the path dependency back to upstream serde; the derive
+//! sites need no changes.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker form of serde's `Serialize` trait.
+pub trait Serialize {}
+
+/// Marker form of serde's `Deserialize` trait.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,51 @@
+//! Derive macros for the vendored serde stub: emit empty marker-trait
+//! impls for the deriving type. `#[serde(...)]` helper attributes (e.g.
+//! `#[serde(transparent)]`) are accepted and ignored, matching how the
+//! workspace uses them today (no serialization backend is wired up).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the name of the `struct` / `enum` a derive is attached to.
+///
+/// Walks past attributes, doc comments, and visibility; the token after the
+/// `struct` / `enum` keyword is the type name. Generic types are not
+/// supported by the stub (nothing in the workspace derives serde on one).
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" {
+                match tokens.next() {
+                    Some(TokenTree::Ident(name)) => {
+                        if let Some(TokenTree::Punct(p)) = tokens.next() {
+                            assert!(
+                                p.as_char() != '<',
+                                "serde stub derive does not support generic types"
+                            );
+                        }
+                        return name.to_string();
+                    }
+                    other => panic!("expected type name after `{word}`, found {other:?}"),
+                }
+            }
+        }
+    }
+    panic!("serde stub derive: no `struct` or `enum` found in input")
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl serde::Serialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .unwrap()
+}
