@@ -5,8 +5,11 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
+use omn_bench::experiments::e15_scalability::scale_config;
 use omn_bench::experiments::{config_for, trace_for};
 use omn_contacts::synth::presets::TracePreset;
+use omn_contacts::synth::sharded::ShardedCommunitySource;
+use omn_contacts::ContactSource;
 use omn_core::sim::{FreshnessSimulator, SchemeChoice};
 use omn_sim::RngFactory;
 
@@ -28,9 +31,27 @@ fn bench_freshness_run(c: &mut Criterion) {
     });
 }
 
+fn bench_sharded_stream(c: &mut Criterion) {
+    // The E15 substrate: drain a 1000-node sharded community stream
+    // through the k-way merge — the generation cost every scalability
+    // point pays per contact.
+    let cfg = scale_config(1000);
+    let factory = RngFactory::new(11);
+    c.bench_function("contacts/sharded_stream_1000_nodes_1_day", |b| {
+        b.iter(|| {
+            let mut source = ShardedCommunitySource::new(&cfg, &factory);
+            let mut n = 0usize;
+            while source.next_contact().is_some() {
+                n += 1;
+            }
+            n
+        });
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_freshness_run
+    targets = bench_freshness_run, bench_sharded_stream
 }
 criterion_main!(benches);

@@ -1,0 +1,288 @@
+//! Criterion trend tracking without extra dependencies.
+//!
+//! Criterion writes each benchmark's statistics to
+//! `target/criterion/<name...>/new/estimates.json` after a measured run.
+//! This tool walks that tree, extracts every benchmark's mean point
+//! estimate (nanoseconds), and compares it against a committed/cached
+//! baseline file of `name value` lines:
+//!
+//! ```text
+//! cargo bench -p omn-bench --bench freshness      # measured run
+//! cargo run -p omn-bench --bin bench_trend        # compare vs baseline
+//! cargo run -p omn-bench --bin bench_trend -- --update   # (re-)record
+//! ```
+//!
+//! A benchmark that got more than `--threshold` percent slower (default
+//! 15) fails the comparison with exit code 1; `--warn-only` downgrades
+//! that to a warning, which is what CI uses (shared runners are noisy —
+//! the trend is advisory there, authoritative on a quiet machine). New
+//! and vanished benchmarks are reported but never fail.
+//!
+//! The JSON extraction is deliberately hand-rolled: the bench crate has no
+//! JSON dependency, and the one field needed — `"mean": {"point_estimate":
+//! N}` — is stable across Criterion versions.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Default regression threshold, percent.
+const DEFAULT_THRESHOLD: f64 = 15.0;
+
+fn main() -> ExitCode {
+    let mut criterion_dir = PathBuf::from("target/criterion");
+    let mut baseline_path = PathBuf::from("crates/bench/bench_baseline.txt");
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut update = false;
+    let mut warn_only = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--criterion-dir" => criterion_dir = required(&mut args, "--criterion-dir").into(),
+            "--baseline" => baseline_path = required(&mut args, "--baseline").into(),
+            "--threshold" => {
+                threshold = required(&mut args, "--threshold")
+                    .parse()
+                    .expect("--threshold takes a percentage")
+            }
+            "--update" => update = true,
+            "--warn-only" => warn_only = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let current = collect_means(&criterion_dir);
+    if current.is_empty() {
+        eprintln!(
+            "no Criterion estimates under {} — run a measured `cargo bench` first \
+             (`--test` mode does not produce estimates)",
+            criterion_dir.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    for (name, mean) in &current {
+        println!("{name}: mean {}", fmt_ns(*mean));
+    }
+
+    if update {
+        let mut out = String::new();
+        for (name, mean) in &current {
+            out.push_str(&format!("{name} {mean}\n"));
+        }
+        std::fs::write(&baseline_path, out).expect("write baseline");
+        println!("baseline updated: {}", baseline_path.display());
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(s) => parse_baseline(&s),
+        Err(_) => {
+            println!(
+                "no baseline at {} — record one with --update",
+                baseline_path.display()
+            );
+            return ExitCode::SUCCESS;
+        }
+    };
+
+    let regressions = compare(&current, &baseline, threshold);
+    for line in &regressions {
+        eprintln!("REGRESSION: {line}");
+    }
+    for (name, _) in &current {
+        if !baseline.iter().any(|(b, _)| b == name) {
+            println!("new benchmark (not in baseline): {name}");
+        }
+    }
+    for (name, _) in &baseline {
+        if !current.iter().any(|(c, _)| c == name) {
+            println!("benchmark vanished from this run: {name}");
+        }
+    }
+
+    if regressions.is_empty() {
+        println!(
+            "no regressions beyond {threshold}% against {}",
+            baseline_path.display()
+        );
+        ExitCode::SUCCESS
+    } else if warn_only {
+        println!(
+            "{} regression(s) beyond {threshold}% (warn-only)",
+            regressions.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn required(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    args.next()
+        .unwrap_or_else(|| panic!("{flag} requires a value"))
+}
+
+/// Walks `dir` for `new/estimates.json` files and returns
+/// `(benchmark name, mean point estimate in ns)`, sorted by name. The
+/// benchmark name is the path between the criterion root and `new/`,
+/// joined with `/` — exactly the `group/function` id Criterion was given.
+fn collect_means(dir: &Path) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    walk(dir, dir, &mut out);
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<(String, f64)>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if !path.is_dir() {
+            continue;
+        }
+        if path.file_name().is_some_and(|n| n == "new") {
+            let estimates = path.join("estimates.json");
+            let Ok(json) = std::fs::read_to_string(&estimates) else {
+                continue;
+            };
+            let Some(mean) = extract_mean(&json) else {
+                continue;
+            };
+            let name = dir
+                .strip_prefix(root)
+                .expect("walk stays under root")
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            if !name.is_empty() {
+                out.push((name, mean));
+            }
+        } else {
+            walk(root, &path, out);
+        }
+    }
+}
+
+/// Extracts `"mean": {... "point_estimate": N ...}` from Criterion's
+/// estimates JSON.
+fn extract_mean(json: &str) -> Option<f64> {
+    let mean = json.find("\"mean\"")?;
+    let rest = &json[mean..];
+    let pe = rest.find("\"point_estimate\"")?;
+    let after = rest[pe + "\"point_estimate\"".len()..].trim_start();
+    let after = after.strip_prefix(':')?.trim_start();
+    let end = after
+        .find(|c: char| !(c.is_ascii_digit() || ".eE+-".contains(c)))
+        .unwrap_or(after.len());
+    after[..end].parse().ok()
+}
+
+/// Parses `name value` baseline lines (blank lines and `#` comments
+/// allowed).
+fn parse_baseline(s: &str) -> Vec<(String, f64)> {
+    s.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| {
+            let (name, value) = l.rsplit_once(' ')?;
+            Some((name.trim().to_owned(), value.trim().parse().ok()?))
+        })
+        .collect()
+}
+
+/// Returns one description per benchmark whose mean grew more than
+/// `threshold` percent over its baseline.
+fn compare(current: &[(String, f64)], baseline: &[(String, f64)], threshold: f64) -> Vec<String> {
+    let mut out = Vec::new();
+    for (name, mean) in current {
+        let Some((_, base)) = baseline.iter().find(|(b, _)| b == name) else {
+            continue;
+        };
+        if *base <= 0.0 {
+            continue;
+        }
+        let delta = (mean - base) / base * 100.0;
+        if delta > threshold {
+            out.push(format!(
+                "{name}: {} -> {} (+{delta:.1}%)",
+                fmt_ns(*base),
+                fmt_ns(*mean)
+            ));
+        }
+    }
+    out
+}
+
+/// Human-readable nanoseconds.
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_mean_point_estimate() {
+        let json = r#"{"mean":{"confidence_interval":{"confidence_level":0.95,
+            "lower_bound":1.0,"upper_bound":3.0},"point_estimate":123456.789,
+            "standard_error":1.0},"median":{"point_estimate":9.0}}"#;
+        assert_eq!(extract_mean(json), Some(123456.789));
+        assert_eq!(extract_mean("{}"), None);
+        // Scientific notation survives the scrape.
+        assert_eq!(
+            extract_mean(r#"{"mean":{"point_estimate":1.5e6}}"#),
+            Some(1.5e6)
+        );
+    }
+
+    #[test]
+    fn baseline_round_trips() {
+        let parsed = parse_baseline("# comment\nfreshness/a 120.5\n\ncontacts/b 3e4\n");
+        assert_eq!(
+            parsed,
+            vec![
+                ("freshness/a".to_owned(), 120.5),
+                ("contacts/b".to_owned(), 3e4)
+            ]
+        );
+    }
+
+    #[test]
+    fn compare_flags_only_regressions_beyond_threshold() {
+        let baseline = vec![
+            ("a".to_owned(), 100.0),
+            ("b".to_owned(), 100.0),
+            ("gone".to_owned(), 100.0),
+        ];
+        let current = vec![
+            ("a".to_owned(), 114.0), // +14% — under threshold
+            ("b".to_owned(), 130.0), // +30% — regression
+            ("new".to_owned(), 50.0),
+        ];
+        let regressions = compare(&current, &baseline, 15.0);
+        assert_eq!(regressions.len(), 1);
+        assert!(regressions[0].starts_with("b:"), "{}", regressions[0]);
+    }
+
+    #[test]
+    fn improvements_never_fail() {
+        let baseline = vec![("a".to_owned(), 100.0)];
+        let current = vec![("a".to_owned(), 20.0)];
+        assert!(compare(&current, &baseline, 15.0).is_empty());
+    }
+}

@@ -1,0 +1,5 @@
+//! Binary wrapper for experiment `e15_scalability`.
+
+fn main() {
+    omn_bench::experiments::e15_scalability::run();
+}

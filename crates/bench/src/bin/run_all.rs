@@ -1,8 +1,9 @@
-//! Runs the complete reconstructed evaluation (E1-E14) in order.
+//! Runs the complete reconstructed evaluation (E1-E15) in order.
 //!
 //! Seed replications run in parallel (one thread per seed, merged in seed
 //! order — byte-identical to serial). `--seeds a,b,c` overrides the seed
-//! set; `--serial` forces sequential execution.
+//! set; `--nodes a,b,c` overrides E15's node-count sweep; `--serial`
+//! forces sequential execution.
 
 fn main() {
     use omn_bench::experiments as e;
@@ -20,4 +21,5 @@ fn main() {
     e::e12_load_distribution::run();
     e::e13_fault_tolerance::run();
     e::e14_joint_world::run();
+    e::e15_scalability::run();
 }

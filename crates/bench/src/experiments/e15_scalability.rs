@@ -1,0 +1,174 @@
+//! E15 — Scalability with network size: the streaming contact pipeline
+//! (sharded generation → pull-based driver) run from 10² to 10⁴ nodes.
+//!
+//! Nothing in this sweep materializes the contact trace: the
+//! [`ShardedCommunitySource`] generates contacts shard-by-shard with
+//! O(shards) resident state, and the [`ContactDriver`] pulls them one
+//! event at a time, keeping only a bounded residency window. The headline
+//! claim — checked by the golden test and printed per row — is that the
+//! peak number of resident contacts stays **sublinear** in the number of
+//! contacts pulled, so memory no longer scales with trace length.
+
+use std::time::Instant;
+
+use omn_contacts::synth::sharded::{ShardedCommunityConfig, ShardedCommunitySource};
+use omn_core::freshness::FreshnessRequirement;
+use omn_core::scheme::PlanningMode;
+use omn_core::sim::{
+    FreshnessConfig, FreshnessReport, FreshnessSimulator, SchemeChoice, StreamStats,
+};
+use omn_sim::{RngFactory, SimDuration, SimTime};
+
+use crate::{active_nodes, active_seeds, banner, fmt_ci, per_seed, Table};
+
+/// The default node-count sweep (`--nodes` overrides it). Roughly
+/// half-decade steps from 10² to 10⁴.
+pub const NODE_COUNTS: [usize; 5] = [100, 316, 1000, 3162, 10_000];
+
+/// The schemes compared at each size: the paper's tree scheme (cheap, but
+/// starved of usable pairwise rates when mixing is uniform) and epidemic
+/// flooding (the reachability upper bound, with cost that grows with the
+/// contact volume).
+const SCHEMES: [SchemeChoice; 2] = [SchemeChoice::Hierarchical, SchemeChoice::Epidemic];
+
+/// Hours of the stream given to role selection (rate warm-up window).
+const WARMUP_HOURS: f64 = 6.0;
+
+/// Shards for a node count: ~50-node communities, at least one.
+#[must_use]
+pub fn shards_for(nodes: usize) -> usize {
+    (nodes / 50).max(1)
+}
+
+/// The sharded-generator configuration for a node count: one simulated
+/// day, with cross-shard mixing raised to one bridge contact per node
+/// every two hours so refresh paths exist between shards (the default
+/// once-a-day rate leaves the caching set unreachable from the source at
+/// large node counts, and the sweep would measure an idle scheme).
+#[must_use]
+pub fn scale_config(nodes: usize) -> ShardedCommunityConfig {
+    ShardedCommunityConfig::new(nodes, shards_for(nodes), SimDuration::from_days(1.0))
+        .bridge_rate(1.0 / (2.0 * 3600.0))
+}
+
+/// The freshness configuration of the sweep: deployable planning
+/// (estimated rates, periodic rebuilds), no query workload — E15 measures
+/// the pipeline, not data access.
+#[must_use]
+fn sweep_config() -> FreshnessConfig {
+    let period = SimDuration::from_hours(4.0);
+    FreshnessConfig {
+        caching_nodes: 8,
+        refresh_period: period,
+        requirement: FreshnessRequirement::new(0.9, period),
+        lifetime: Some(period * 2.0),
+        planning: PlanningMode::Estimated,
+        rebuild_every: Some(SimDuration::from_hours(6.0)),
+        query_count: 0,
+        ..FreshnessConfig::default()
+    }
+}
+
+/// One measured sweep point.
+#[derive(Debug)]
+pub struct ScalePoint {
+    /// The freshness report of the run.
+    pub report: FreshnessReport,
+    /// Pull-pipeline statistics (contacts pulled, peak resident).
+    pub stats: StreamStats,
+    /// Wall-clock seconds for the whole point (warm-up + run).
+    pub wall: f64,
+}
+
+/// Runs one (node count, scheme, seed) point of the sweep: selects roles
+/// from a streamed warm-up window, then drives the scheme over a fresh
+/// stream of the same source. Both passes draw from the same
+/// [`RngFactory`], so the warm-up window is a prefix of the run's stream.
+#[must_use]
+pub fn run_point(nodes: usize, choice: SchemeChoice, seed: u64) -> ScalePoint {
+    let start = Instant::now();
+    let cfg = scale_config(nodes);
+    let factory = RngFactory::new(seed);
+    let sim = FreshnessSimulator::new(sweep_config());
+
+    let mut warmup = ShardedCommunitySource::new(&cfg, &factory);
+    let (source, members, oracle) =
+        sim.select_roles_streamed(&mut warmup, SimTime::from_hours(WARMUP_HOURS));
+    drop(warmup);
+
+    let stream = ShardedCommunitySource::new(&cfg, &factory);
+    let mut scheme = sim.make_scheme(choice);
+    let (report, stats) =
+        sim.run_streamed(stream, &oracle, source, &members, scheme.as_mut(), &factory);
+    ScalePoint {
+        report,
+        stats,
+        wall: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Runs E15: node-count sweep of the streaming pipeline, reporting
+/// freshness, refresh overhead, stream volume, peak residency, and
+/// wall-clock per point.
+pub fn run() {
+    banner("E15", "scalability with network size (streaming pipeline)");
+    println!(
+        "generator: sharded communities (~50 nodes/shard), 1 simulated day\n\
+         planning: estimated rates, roles from a {WARMUP_HOURS:.0}-hour streamed warm-up\n"
+    );
+    let mut table = Table::new([
+        "nodes",
+        "shards",
+        "scheme",
+        "contacts",
+        "peak resident",
+        "mean freshness",
+        "tx/member/version",
+        "wall (s)",
+    ]);
+    let seeds = active_seeds();
+    for &n in &active_nodes(&NODE_COUNTS) {
+        for &choice in &SCHEMES {
+            let points = per_seed(&seeds, |seed| run_point(n, choice, seed));
+            let contacts: Vec<f64> = points
+                .iter()
+                .map(|p| p.stats.contacts_total as f64)
+                .collect();
+            let peak: Vec<f64> = points
+                .iter()
+                .map(|p| p.stats.peak_resident as f64)
+                .collect();
+            let fresh: Vec<f64> = points.iter().map(|p| p.report.mean_freshness).collect();
+            let overhead: Vec<f64> = points
+                .iter()
+                .map(|p| {
+                    let denom = (p.report.members.len() as u64 * p.report.version_count).max(1);
+                    p.report.transmissions as f64 / denom as f64
+                })
+                .collect();
+            let wall: Vec<f64> = points.iter().map(|p| p.wall).collect();
+            table.row([
+                n.to_string(),
+                shards_for(n).to_string(),
+                choice.name().to_owned(),
+                fmt_ci(&contacts, 0),
+                fmt_ci(&peak, 0),
+                fmt_ci(&fresh, 3),
+                fmt_ci(&overhead, 2),
+                fmt_ci(&wall, 2),
+            ]);
+        }
+    }
+    table.print();
+    println!(
+        "\n(expected shape: contacts grow ~linearly with nodes — uniform \
+         per-shard rates over fixed-size shards — while peak residency \
+         tracks the shard count plus the driver's overlap window, staying \
+         orders of magnitude below the stream volume; that gap is the \
+         memory model that lets one process sweep 10⁴+ nodes. Epidemic \
+         flooding keeps freshness high at every size but its per-member \
+         cost grows with the contact volume; the tree scheme stays cheap \
+         but starves when uniform mixing gives it no usable pairwise \
+         rates — the regime the paper's community traces avoid)"
+    );
+}

@@ -16,6 +16,7 @@
 //! | E12 | [`e12_load_distribution`] | refresh-load distribution |
 //! | E13 | [`e13_fault_tolerance`] | loss + churn fault tolerance (extension) |
 //! | E14 | [`e14_joint_world`] | joint world: contact-capacity contention (extension) |
+//! | E15 | [`e15_scalability`] | scalability with network size: streaming pipeline (extension) |
 
 pub mod e01_trace_stats;
 pub mod e02_delay_validation;
@@ -31,6 +32,7 @@ pub mod e11_robustness;
 pub mod e12_load_distribution;
 pub mod e13_fault_tolerance;
 pub mod e14_joint_world;
+pub mod e15_scalability;
 
 use omn_contacts::synth::presets::TracePreset;
 use omn_contacts::ContactTrace;

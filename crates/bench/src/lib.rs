@@ -17,7 +17,7 @@
 pub mod experiments;
 mod runner;
 
-pub use runner::{active_seeds, per_seed, serial_requested};
+pub use runner::{active_nodes, active_seeds, per_seed, serial_requested};
 
 use omn_sim::stats::mean_ci95;
 

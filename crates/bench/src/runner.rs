@@ -12,6 +12,8 @@
 //!
 //! * `--seeds 11,23,37` (or `--seeds=11,23,37`) — replace the default
 //!   [`SEEDS`] set.
+//! * `--nodes 100,1000` (or `--nodes=100,1000`) — replace the node-count
+//!   sweep of experiments that scale with network size (E15).
 //! * `--serial` — run seeds sequentially on the calling thread (useful for
 //!   profiling and for demonstrating serial/parallel equivalence).
 
@@ -54,39 +56,75 @@ pub fn active_seeds() -> Vec<u64> {
     seeds_from(std::env::args().skip(1))
 }
 
+/// The node-count sweep for this process: `--nodes a,b,c` from the command
+/// line, or the experiment's `default` sweep.
+#[must_use]
+pub fn active_nodes(default: &[usize]) -> Vec<usize> {
+    nodes_from(std::env::args().skip(1), default)
+}
+
 /// Whether `--serial` is on the command line.
 #[must_use]
 pub fn serial_requested() -> bool {
     std::env::args().skip(1).any(|a| a == "--serial")
 }
 
-fn seeds_from<I: Iterator<Item = String>>(mut args: I) -> Vec<u64> {
+fn seeds_from<I: Iterator<Item = String>>(args: I) -> Vec<u64> {
+    match parse_list_flag(args, "--seeds") {
+        Some(seeds) => seeds,
+        None => SEEDS.to_vec(),
+    }
+}
+
+fn nodes_from<I: Iterator<Item = String>>(args: I, default: &[usize]) -> Vec<usize> {
+    match parse_list_flag(args, "--nodes") {
+        Some(nodes) => nodes.into_iter().map(|n: u64| n as usize).collect(),
+        None => default.to_vec(),
+    }
+}
+
+/// Parses `--flag a,b,c` / `--flag=a,b,c` into a non-empty integer list.
+/// Returns `None` when the flag is absent or its list is empty (callers
+/// fall back to their default sweep).
+///
+/// # Panics
+///
+/// A trailing flag with no value, or a malformed integer in the list, is a
+/// usage error, not a silent no-op.
+fn parse_list_flag<T, I>(mut args: I, flag: &str) -> Option<Vec<T>>
+where
+    T: std::str::FromStr,
+    I: Iterator<Item = String>,
+{
+    let prefix = format!("{flag}=");
     while let Some(arg) = args.next() {
-        let list = if let Some(rest) = arg.strip_prefix("--seeds=") {
+        let list = if let Some(rest) = arg.strip_prefix(&prefix) {
             Some(rest.to_owned())
-        } else if arg == "--seeds" {
-            // A trailing `--seeds` with no value is a usage error, not a
-            // silent no-op (symmetric with the malformed-integer case).
-            Some(args.next().expect("--seeds requires a value"))
+        } else if arg == flag {
+            Some(
+                args.next()
+                    .unwrap_or_else(|| panic!("{flag} requires a value")),
+            )
         } else {
             None
         };
         if let Some(list) = list {
-            let parsed: Vec<u64> = list
+            let parsed: Vec<T> = list
                 .split(',')
                 .map(str::trim)
                 .filter(|s| !s.is_empty())
                 .map(|s| {
-                    s.parse()
-                        .expect("--seeds takes a comma-separated list of integers")
+                    s.parse().unwrap_or_else(|_| {
+                        panic!("{flag} takes a comma-separated list of integers")
+                    })
                 })
                 .collect();
             if !parsed.is_empty() {
-                return parsed;
+                return Some(parsed);
             }
         }
     }
-    SEEDS.to_vec()
+    None
 }
 
 #[cfg(test)]
@@ -125,6 +163,40 @@ mod tests {
     #[should_panic(expected = "comma-separated list of integers")]
     fn malformed_seed_list_is_an_error() {
         seeds_from(args(&["--seeds", "1,x,3"]));
+    }
+
+    #[test]
+    fn parses_node_list_forms() {
+        let default = [100usize, 1000];
+        assert_eq!(
+            nodes_from(args(&["--nodes", "10,20"]), &default),
+            vec![10, 20]
+        );
+        assert_eq!(nodes_from(args(&["--nodes=316"]), &default), vec![316]);
+        assert_eq!(nodes_from(args(&[]), &default), default.to_vec());
+        assert_eq!(nodes_from(args(&["--nodes="]), &default), default.to_vec());
+        // `--seeds` and `--nodes` coexist without stealing each other's
+        // values.
+        assert_eq!(
+            nodes_from(args(&["--seeds", "1,2", "--nodes", "50"]), &default),
+            vec![50]
+        );
+        assert_eq!(
+            seeds_from(args(&["--seeds", "1,2", "--nodes", "50"])),
+            vec![1, 2]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "--nodes requires a value")]
+    fn trailing_nodes_flag_is_an_error() {
+        nodes_from(args(&["--nodes"]), &[100]);
+    }
+
+    #[test]
+    #[should_panic(expected = "--nodes takes a comma-separated list of integers")]
+    fn malformed_node_list_is_an_error() {
+        nodes_from(args(&["--nodes", "100,big,300"]), &[100]);
     }
 
     #[test]

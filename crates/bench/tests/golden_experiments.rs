@@ -1,6 +1,7 @@
 //! Golden-value tests pinning the headline numbers of E2 (analysis vs
-//! simulation), E3 (freshness over time) and E14 (joint-world contention)
-//! against committed golden files.
+//! simulation), E3 (freshness over time), E14 (joint-world contention) and
+//! E15 (streaming scalability) against committed golden files, plus the
+//! streamed-vs-materialized identity check of the pull-based driver.
 //!
 //! The pinned values are written with full bit patterns, so any change to
 //! the simulation kernel, the RNG stream layout, or the schemes that
@@ -20,10 +21,11 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 use omn_bench::experiments::e14_joint_world::{joint_run, BUDGET, LOADS};
+use omn_bench::experiments::e15_scalability::{run_point, shards_for};
 use omn_bench::experiments::{config_for, trace_for};
 use omn_contacts::synth::presets::TracePreset;
 use omn_contacts::synth::{generate_pairwise, PairwiseConfig};
-use omn_contacts::ContactGraph;
+use omn_contacts::{ContactGraph, TraceSource};
 use omn_core::analysis;
 use omn_core::joint::ContentionPriority;
 use omn_core::scheme::{HierarchicalConfig, HierarchicalScheme};
@@ -262,4 +264,113 @@ fn e14_headline_numbers() {
         refresh_first.access.success_ratio(),
     );
     check_golden("e14_headline.txt", &out);
+}
+
+#[test]
+fn e15_headline_numbers() {
+    // The smallest point of the E15 sweep, one seed per scheme. Wall-clock
+    // is deliberately excluded: only simulation outputs are pinned.
+    let nodes = 100;
+    let seed = 11;
+    let hier = run_point(nodes, SchemeChoice::Hierarchical, seed);
+    let epi = run_point(nodes, SchemeChoice::Epidemic, seed);
+
+    // Always-on invariants, independent of the recorded golden.
+    for p in [&hier, &epi] {
+        assert!((0.0..=1.0).contains(&p.report.mean_freshness));
+        assert!(p.stats.contacts_total > 0);
+        // The memory-model claim: the pull pipeline never holds more than
+        // the generator's per-stream lookahead plus the driver's bounded
+        // window — far below (and independent of) the stream volume.
+        assert!(
+            p.stats.peak_resident < p.stats.contacts_total,
+            "peak residency {} is not below the stream volume {}",
+            p.stats.peak_resident,
+            p.stats.contacts_total
+        );
+        assert!(
+            p.stats.peak_resident <= shards_for(nodes) + 8,
+            "peak residency {} exceeds the O(shards) bound",
+            p.stats.peak_resident
+        );
+    }
+    // Both schemes pull the identical contact stream.
+    assert_eq!(hier.stats.contacts_total, epi.stats.contacts_total);
+    assert!(epi.report.transmissions > hier.report.transmissions);
+
+    let mut out = String::new();
+    line(&mut out, "hier_mean_freshness", hier.report.mean_freshness);
+    line(
+        &mut out,
+        "hier_satisfaction",
+        hier.report.requirement_satisfaction,
+    );
+    line(
+        &mut out,
+        "hier_transmissions",
+        hier.report.transmissions as f64,
+    );
+    line(&mut out, "epi_mean_freshness", epi.report.mean_freshness);
+    line(&mut out, "contacts_total", hier.stats.contacts_total as f64);
+    line(&mut out, "peak_resident", hier.stats.peak_resident as f64);
+    check_golden("e15_headline.txt", &out);
+}
+
+#[test]
+fn streamed_run_matches_materialized_run() {
+    // The tentpole identity: driving a simulation from a streamed
+    // `TraceSource` must be bit-identical to the materialized
+    // `run_with_roles` path on the same trace — same roles, same scheme,
+    // same RNG factory.
+    let factory = RngFactory::new(17);
+    let trace = generate_pairwise(
+        &PairwiseConfig::new(40, SimDuration::from_days(8.0))
+            .mean_rate(1.0 / 7200.0)
+            .rate_shape(1.5),
+        &factory,
+    );
+    let config = FreshnessConfig {
+        caching_nodes: 8,
+        refresh_period: SimDuration::from_hours(12.0),
+        query_count: 120,
+        ..FreshnessConfig::default()
+    };
+    let sim = FreshnessSimulator::new(config);
+    let (source, members) = sim.select_roles(&trace);
+    let oracle = ContactGraph::from_trace(&trace);
+
+    let mut scheme_a = sim.make_scheme(SchemeChoice::Hierarchical);
+    let materialized = sim.run_with_roles(&trace, source, &members, scheme_a.as_mut(), &factory);
+    let mut scheme_b = sim.make_scheme(SchemeChoice::Hierarchical);
+    let (streamed, stats) = sim.run_streamed(
+        TraceSource::new(&trace),
+        &oracle,
+        source,
+        &members,
+        scheme_b.as_mut(),
+        &factory,
+    );
+
+    assert_eq!(stats.contacts_total, trace.len());
+    assert_eq!(
+        materialized.mean_freshness.to_bits(),
+        streamed.mean_freshness.to_bits()
+    );
+    assert_eq!(
+        materialized.requirement_satisfaction.to_bits(),
+        streamed.requirement_satisfaction.to_bits()
+    );
+    assert_eq!(
+        materialized.mean_availability.to_bits(),
+        streamed.mean_availability.to_bits()
+    );
+    assert_eq!(materialized.transmissions, streamed.transmissions);
+    assert_eq!(materialized.replicas, streamed.replicas);
+    assert_eq!(materialized.version_count, streamed.version_count);
+    assert_eq!(materialized.queries_served, streamed.queries_served);
+    assert_eq!(materialized.queries_fresh, streamed.queries_fresh);
+    assert_eq!(
+        materialized.per_node_transmissions,
+        streamed.per_node_transmissions
+    );
 }

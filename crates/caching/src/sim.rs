@@ -25,7 +25,7 @@
 
 use omn_contacts::faults::FaultConfig;
 use omn_contacts::{
-    ContactDriver, ContactFate, ContactGraph, ContactTrace, NodeId, TransferOutcome,
+    ContactDriver, ContactFate, ContactGraph, ContactSource, ContactTrace, NodeId, TransferOutcome,
 };
 use omn_sim::metrics::{Registry, SampleHistogram};
 use omn_sim::{Engine, EventClass, RngFactory, SimDuration, SimTime, TransferBudget};
@@ -276,20 +276,13 @@ impl CachingSimulator {
         // counters.
         let mut driver = ContactDriver::new(trace, self.config.faults, factory);
         let mut extras = Registry::new();
-        let (mut run, timers) = CachingRun::new(
-            &self.config,
-            trace,
-            &graph,
-            catalog,
-            queries,
-            policy,
-            &driver,
-        );
+        let (mut run, timers) =
+            CachingRun::new(&self.config, &graph, catalog, queries, policy, &driver);
         let mut engine: Engine<CachingEvent> = Engine::new();
         for (t, timer) in timers {
             engine.schedule_at_class(t, timer.class(), CachingEvent::Timer(timer));
         }
-        driver.prime(&mut engine, CLASS_CONTACT, CachingEvent::Contact);
+        driver.begin(&mut engine, CLASS_CONTACT, CachingEvent::Contact);
 
         while let Some(ev) = engine.next_event() {
             match ev.payload {
@@ -303,6 +296,7 @@ impl CachingSimulator {
                 }
                 CachingEvent::Contact(ci) => {
                     let now = ev.time;
+                    driver.advance(ci, &mut engine, CLASS_CONTACT, CachingEvent::Contact);
                     let (a, b) = driver.contact(ci).pair();
                     match driver.fate(ci, now) {
                         ContactFate::Down => {
@@ -321,7 +315,7 @@ impl CachingSimulator {
             }
         }
 
-        run.finish(trace.span(), extras)
+        run.finish(driver.span(), extras)
     }
 }
 
@@ -329,8 +323,8 @@ impl CachingSimulator {
 /// maintains the transmission and fault counters. Returns whether the hop
 /// delivered (the caller then applies the data effect). An over-budget
 /// attempt is treated as never made: no loss draw, no transmission.
-fn budgeted_hop(
-    driver: &mut ContactDriver<'_>,
+fn budgeted_hop<S: ContactSource>(
+    driver: &mut ContactDriver<S>,
     budget: &mut TransferBudget,
     extras: &mut Registry,
     transmissions: &mut u64,
@@ -406,16 +400,15 @@ impl<'a, P: CachePolicy + ?Sized> CachingRun<'a, P> {
     /// served and are not scheduled (they still count as
     /// created-but-unsatisfied).
     #[must_use]
-    pub fn new(
+    pub fn new<S: ContactSource>(
         config: &CachingConfig,
-        trace: &ContactTrace,
         graph: &ContactGraph,
         catalog: &'a Catalog,
         queries: &'a QueryWorkload,
         policy: &'a P,
-        driver: &ContactDriver<'_>,
+        driver: &ContactDriver<S>,
     ) -> (CachingRun<'a, P>, Vec<(SimTime, CachingTimer)>) {
-        let n = trace.node_count();
+        let n = driver.node_count();
         let ncls = select_ncls(graph, &config.ncl);
         let delays: Vec<Vec<Option<f64>>> = (0..n)
             .map(|i| graph.shortest_expected_delays(NodeId(i as u32)))
@@ -608,12 +601,12 @@ impl<'a, P: CachePolicy + ?Sized> CachingRun<'a, P> {
     /// that order. Every hop draws on `budget`; the caller classifies the
     /// contact's fate (only deliverable contacts reach this handler) and
     /// owns the fault/budget counters in `extras`.
-    pub fn on_contact(
+    pub fn on_contact<S: ContactSource>(
         &mut self,
         a: NodeId,
         b: NodeId,
         now: SimTime,
-        driver: &mut ContactDriver<'_>,
+        driver: &mut ContactDriver<S>,
         extras: &mut Registry,
         budget: &mut TransferBudget,
     ) {

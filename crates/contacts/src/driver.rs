@@ -4,13 +4,28 @@
 //! Before this module existed, each simulator in the workspace hand-rolled
 //! its own `for contact in trace.contacts()` loop, and only the freshness
 //! simulator consulted the [`FaultPlan`](crate::faults::FaultPlan). The
-//! [`ContactDriver`] centralizes that logic: it primes an
-//! [`Engine`](omn_sim::Engine) with one event per contact (in trace order,
-//! which [`TraceBuilder`](crate::TraceBuilder) guarantees is sorted by
-//! start time) and classifies each contact's *fate* — deliverable,
-//! suppressed by node downtime, or truncated — so every simulator applies
-//! churn, departures, truncation, and transmission loss with identical
-//! semantics.
+//! [`ContactDriver`] centralizes that logic: it feeds contacts from a
+//! [`ContactSource`] into an [`Engine`](omn_sim::Engine) and classifies each
+//! contact's *fate* — deliverable, suppressed by node downtime, or truncated
+//! — so every simulator applies churn, departures, truncation, and
+//! transmission loss with identical semantics.
+//!
+//! Two feeding modes exist:
+//!
+//! * **Pull** ([`begin`](ContactDriver::begin) +
+//!   [`advance`](ContactDriver::advance)) — the driver schedules only the
+//!   next upcoming contact; each contact handler calls `advance` to evict
+//!   consumed contacts and pull/schedule the next one. At most two contacts
+//!   are resident in the driver at any instant, so memory scales with the
+//!   source's internal state (O(shards) for the sharded generator), not
+//!   with the total contact count. Because the source yields contacts in
+//!   nondecreasing start order and contact events share one
+//!   [`EventClass`](omn_sim::EventClass), the event interleaving — and
+//!   therefore every simulation result — is bit-identical to priming.
+//! * **Prime** ([`prime`](ContactDriver::prime)) — the classic mode: drain
+//!   the whole source up front and schedule one event per contact. Kept for
+//!   the explicit pull≡prime equivalence tests and for callers that need
+//!   random access to contacts.
 //!
 //! The driver lives in `omn-contacts` rather than `omn-sim` because it is
 //! the contact-shaped half of the substrate: `omn-sim` owns the generic
@@ -18,9 +33,12 @@
 //! [`World`](omn_sim::World)) and knows nothing about [`Contact`]s or fault
 //! plans, while this crate owns both.
 
+use std::collections::VecDeque;
+
 use omn_sim::{Engine, EventClass, RngFactory, SimDuration, SimTime, TransferBudget};
 
 use crate::faults::{FaultConfig, FaultPlan};
+use crate::source::{ContactSource, LastContact, TraceSource};
 use crate::{Contact, ContactTrace, NodeId};
 
 /// What happens to a single contact once faults are applied, in layering
@@ -59,8 +77,11 @@ pub enum TransferOutcome {
 
 /// An ordered, fault-filtered contact feed for an [`Engine`].
 ///
-/// Construct one per run with [`ContactDriver::new`], schedule the contact
-/// stream into the engine with [`ContactDriver::prime`], then query
+/// Construct one per run with [`ContactDriver::new`] (over a materialized
+/// trace) or [`ContactDriver::from_source`] (over any stream), feed the
+/// engine with [`begin`](ContactDriver::begin)/
+/// [`advance`](ContactDriver::advance) (pull mode) or
+/// [`prime`](ContactDriver::prime) (drain up front), then query
 /// [`ContactDriver::fate`] as each contact event fires and
 /// [`ContactDriver::transfer_fails`] per attempted data transfer.
 ///
@@ -68,78 +89,240 @@ pub enum TransferOutcome {
 /// consumes no randomness, so fault-free runs stay bit-identical to the
 /// pre-driver simulators.
 #[derive(Debug)]
-pub struct ContactDriver<'a> {
-    trace: &'a ContactTrace,
+pub struct ContactDriver<S> {
+    source: S,
     plan: Option<FaultPlan>,
+    /// Contacts pulled from the source and not yet evicted; entry `k` is the
+    /// contact with stream index `base + k`.
+    resident: VecDeque<Contact>,
+    /// Stream index of `resident.front()`.
+    base: usize,
+    /// Total contacts pulled from the source so far (`base +
+    /// resident.len()`).
+    pulled: usize,
+    /// Start time of the most recently pulled contact, for the sorted-order
+    /// debug assertion.
+    last_start: Option<SimTime>,
+    /// High-water mark of driver-resident contacts plus the source's
+    /// buffered state at pull time (see
+    /// [`peak_resident`](ContactDriver::peak_resident)).
+    peak_resident: usize,
 }
 
-impl<'a> ContactDriver<'a> {
-    /// Creates a driver over `trace`, materializing a [`FaultPlan`] from
-    /// `faults` (drawing from the factory's dedicated fault streams) when
-    /// one is configured.
+impl<'a> ContactDriver<TraceSource<'a>> {
+    /// Creates a driver over a materialized `trace`, building a
+    /// [`FaultPlan`] from `faults` (drawing from the factory's dedicated
+    /// fault streams) when one is configured.
     #[must_use]
     pub fn new(
         trace: &'a ContactTrace,
         faults: Option<FaultConfig>,
         factory: &RngFactory,
-    ) -> ContactDriver<'a> {
-        let plan = faults.map(|config| FaultPlan::build(config, trace, factory));
-        ContactDriver { trace, plan }
+    ) -> ContactDriver<TraceSource<'a>> {
+        ContactDriver::from_source(TraceSource::new(trace), faults, factory)
     }
 
     /// Creates a driver over `trace` with an already-built plan (or none).
     #[must_use]
-    pub fn with_plan(trace: &'a ContactTrace, plan: Option<FaultPlan>) -> ContactDriver<'a> {
-        ContactDriver { trace, plan }
+    pub fn with_plan(
+        trace: &'a ContactTrace,
+        plan: Option<FaultPlan>,
+    ) -> ContactDriver<TraceSource<'a>> {
+        ContactDriver::from_source_with_plan(TraceSource::new(trace), plan)
     }
 
     /// The trace this driver feeds from.
     #[must_use]
     pub fn trace(&self) -> &'a ContactTrace {
-        self.trace
+        self.source.trace()
+    }
+}
+
+impl<S: ContactSource> ContactDriver<S> {
+    /// Creates a driver over any [`ContactSource`], building a
+    /// [`FaultPlan`] from `faults` when one is configured. The plan needs
+    /// only the source's node count and span, so it works over streams of
+    /// unknown length.
+    #[must_use]
+    pub fn from_source(
+        source: S,
+        faults: Option<FaultConfig>,
+        factory: &RngFactory,
+    ) -> ContactDriver<S> {
+        let plan = faults
+            .map(|config| FaultPlan::build(config, source.node_count(), source.span(), factory));
+        ContactDriver::from_source_with_plan(source, plan)
     }
 
-    /// The `index`-th contact of the trace.
+    /// Creates a driver over a source with an already-built plan (or none).
+    #[must_use]
+    pub fn from_source_with_plan(source: S, plan: Option<FaultPlan>) -> ContactDriver<S> {
+        ContactDriver {
+            source,
+            plan,
+            resident: VecDeque::new(),
+            base: 0,
+            pulled: 0,
+            last_start: None,
+            peak_resident: 0,
+        }
+    }
+
+    /// Number of nodes in the source's population.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.source.node_count()
+    }
+
+    /// Total simulated span of the source.
+    #[must_use]
+    pub fn span(&self) -> SimTime {
+        self.source.span()
+    }
+
+    /// The contact with stream index `index`.
+    ///
+    /// In pull mode only the current contact (and the one scheduled after
+    /// it) are resident; in primed mode every contact is.
     ///
     /// # Panics
     ///
-    /// Panics if `index` is out of range.
+    /// Panics if `index` has not been pulled yet or was already evicted by
+    /// [`advance`](ContactDriver::advance).
     #[must_use]
-    pub fn contact(&self, index: usize) -> &'a Contact {
-        &self.trace.contacts()[index]
+    pub fn contact(&self, index: usize) -> Contact {
+        assert!(
+            index >= self.base && index < self.pulled,
+            "contact {index} is not resident (resident range {}..{})",
+            self.base,
+            self.pulled
+        );
+        self.resident[index - self.base]
     }
 
-    /// The start time of the last contact in the trace, if any. Simulators
-    /// use this to bound workload processing: events after the final
-    /// contact can no longer influence any exchange.
+    /// The start time of the final contact the source will yield, if known.
+    /// A streaming source of unknown length conservatively reports the span
+    /// (events up to the span may still influence an exchange). Simulators
+    /// use this to bound workload processing.
     #[must_use]
     pub fn last_contact_start(&self) -> Option<SimTime> {
-        self.trace.contacts().last().map(Contact::start)
+        match self.source.last_contact() {
+            LastContact::Known(t) => t,
+            LastContact::Unknown => Some(self.source.span()),
+        }
     }
 
-    /// Schedules one event per contact into `engine`, in trace order, all
-    /// in delivery class `class`. `make` maps the contact's index in
-    /// `trace.contacts()` to the simulator's event payload.
+    /// Pulls one contact from the source, recording it as resident and
+    /// debug-asserting the source's ordering contract.
+    fn pull(&mut self) -> Option<Contact> {
+        let c = self.source.next_contact()?;
+        debug_assert!(
+            self.last_start.is_none_or(|prev| c.start() >= prev),
+            "ContactSource yielded out-of-order contact {} after start {:?}",
+            c,
+            self.last_start
+        );
+        self.last_start = Some(c.start());
+        self.resident.push_back(c);
+        self.pulled += 1;
+        self.peak_resident = self
+            .peak_resident
+            .max(self.resident.len() + self.source.resident_hint());
+        Some(c)
+    }
+
+    /// Drains the whole source and schedules one event per contact into
+    /// `engine`, in stream order, all in delivery class `class`. `make`
+    /// maps the contact's stream index to the simulator's event payload.
+    ///
+    /// This keeps every contact resident; use
+    /// [`begin`](ContactDriver::begin)/[`advance`](ContactDriver::advance)
+    /// to stream with O(1) resident contacts instead.
     pub fn prime<E>(
-        &self,
+        &mut self,
         engine: &mut Engine<E>,
         class: EventClass,
         mut make: impl FnMut(usize) -> E,
     ) {
-        for (i, c) in self.trace.contacts().iter().enumerate() {
-            engine.schedule_at_class(c.start(), class, make(i));
+        while let Some(c) = self.pull() {
+            engine.schedule_at_class(c.start(), class, make(self.pulled - 1));
         }
     }
 
-    /// Classifies the `index`-th contact at instant `at` (normally its
-    /// start time). Without a plan every contact is
-    /// [`ContactFate::Deliverable`].
+    /// Starts pull mode: pulls the first contact (if any) and schedules it.
+    /// Pair with [`advance`](ContactDriver::advance) from each contact
+    /// handler.
+    pub fn begin<E>(
+        &mut self,
+        engine: &mut Engine<E>,
+        class: EventClass,
+        make: impl FnOnce(usize) -> E,
+    ) {
+        debug_assert_eq!(self.pulled, 0, "begin() on an already-fed driver");
+        if let Some(c) = self.pull() {
+            engine.schedule_at_class(c.start(), class, make(self.pulled - 1));
+        }
+    }
+
+    /// Advances the pull window from the handler of contact `current`:
+    /// evicts contacts before `current`, then pulls and schedules the next
+    /// contact (if the source has one). Call this at the top of the
+    /// contact-event handler, before querying
+    /// [`contact`](ContactDriver::contact) or
+    /// [`fate`](ContactDriver::fate) for `current`.
+    ///
+    /// Exactly one contact event is in flight at a time, and the source's
+    /// nondecreasing start order means the newly scheduled event never lies
+    /// in the past — so the engine's (time, class, FIFO) order reproduces
+    /// the primed interleaving exactly.
+    pub fn advance<E>(
+        &mut self,
+        current: usize,
+        engine: &mut Engine<E>,
+        class: EventClass,
+        make: impl FnOnce(usize) -> E,
+    ) {
+        while self.base < current {
+            self.resident.pop_front();
+            self.base += 1;
+        }
+        if let Some(c) = self.pull() {
+            engine.schedule_at_class(c.start(), class, make(self.pulled - 1));
+        }
+    }
+
+    /// High-water mark of contacts resident in memory, sampled at every
+    /// pull: the driver's own window plus whatever the source kept buffered
+    /// at that moment ([`ContactSource::resident_hint`]). In pull mode over
+    /// an incremental source this stays O(source state) regardless of how
+    /// many contacts the run processes; over a materialized
+    /// [`TraceSource`] it reports the full trace (plus the bounded window),
+    /// which is exactly the memory the streaming pipeline exists to avoid.
     #[must_use]
-    pub fn fate(&self, index: usize, at: SimTime) -> ContactFate {
-        let Some(plan) = &self.plan else {
+    pub fn peak_resident(&self) -> usize {
+        self.peak_resident
+    }
+
+    /// Total contacts pulled from the source so far.
+    #[must_use]
+    pub fn contacts_pulled(&self) -> usize {
+        self.pulled
+    }
+
+    /// Classifies the contact with stream index `index` at instant `at`
+    /// (normally its start time). Without a plan every contact is
+    /// [`ContactFate::Deliverable`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is not resident (see
+    /// [`contact`](ContactDriver::contact)).
+    #[must_use]
+    pub fn fate(&mut self, index: usize, at: SimTime) -> ContactFate {
+        let (a, b) = self.contact(index).pair();
+        let Some(plan) = &mut self.plan else {
             return ContactFate::Deliverable;
         };
-        let (a, b) = self.trace.contacts()[index].pair();
         if plan.node_down(a, at) || plan.node_down(b, at) {
             ContactFate::Down
         } else if plan.contact_blocked(index) {
@@ -229,7 +412,7 @@ mod tests {
     #[test]
     fn primes_contacts_in_trace_order() {
         let t = trace(1);
-        let driver = ContactDriver::new(&t, None, &RngFactory::new(1));
+        let mut driver = ContactDriver::new(&t, None, &RngFactory::new(1));
         let mut engine: Engine<usize> = Engine::new();
         driver.prime(&mut engine, EventClass(60), |i| i);
         assert_eq!(engine.pending(), t.len());
@@ -245,9 +428,32 @@ mod tests {
     }
 
     #[test]
+    fn pull_mode_fires_the_same_events_as_priming() {
+        let t = trace(8);
+        let mut driver = ContactDriver::new(&t, None, &RngFactory::new(8));
+        let mut engine: Engine<usize> = Engine::new();
+        driver.begin(&mut engine, EventClass(60), |i| i);
+        assert_eq!(engine.pending(), 1.min(t.len()));
+        let mut seen = Vec::new();
+        while let Some(ev) = engine.next_event() {
+            let ci = ev.payload;
+            driver.advance(ci, &mut engine, EventClass(60), |i| i);
+            assert_eq!(ev.time, driver.contact(ci).start());
+            seen.push(ci);
+        }
+        assert_eq!(seen, (0..t.len()).collect::<Vec<_>>());
+        assert_eq!(driver.contacts_pulled(), t.len());
+        // Only the current and next contacts are ever resident in the
+        // driver's own window.
+        assert!(driver.peak_resident() - t.len() <= 2);
+    }
+
+    #[test]
     fn driver_without_faults_is_transparent() {
         let t = trace(2);
         let mut driver = ContactDriver::new(&t, None, &RngFactory::new(2));
+        let mut engine: Engine<usize> = Engine::new();
+        driver.prime(&mut engine, EventClass(60), |i| i);
         for i in 0..t.len() {
             assert_eq!(
                 driver.fate(i, t.contacts()[i].start()),
@@ -274,14 +480,16 @@ mod tests {
             }),
             ..FaultConfig::default()
         };
-        let driver = ContactDriver::new(&t, Some(config), &RngFactory::new(3));
-        let plan = driver.plan().expect("plan must exist");
+        let mut driver = ContactDriver::new(&t, Some(config), &RngFactory::new(3));
+        let mut engine: Engine<usize> = Engine::new();
+        driver.prime(&mut engine, EventClass(60), |i| i);
+        let reference = driver.plan().expect("plan must exist").clone();
         let mut down = 0;
         let mut blocked = 0;
         for (i, c) in t.contacts().iter().enumerate() {
             let (a, b) = c.pair();
             let fate = driver.fate(i, c.start());
-            if plan.node_down(a, c.start()) || plan.node_down(b, c.start()) {
+            if reference.node_down(a, c.start()) || reference.node_down(b, c.start()) {
                 assert_eq!(fate, ContactFate::Down);
                 down += 1;
             } else {
@@ -301,8 +509,12 @@ mod tests {
             contact_failure: 0.4,
             ..FaultConfig::default()
         };
-        let d1 = ContactDriver::new(&t, Some(config), &RngFactory::new(4));
-        let d2 = ContactDriver::new(&t, Some(config), &RngFactory::new(4));
+        let mut d1 = ContactDriver::new(&t, Some(config), &RngFactory::new(4));
+        let mut d2 = ContactDriver::new(&t, Some(config), &RngFactory::new(4));
+        let mut e1: Engine<usize> = Engine::new();
+        let mut e2: Engine<usize> = Engine::new();
+        d1.prime(&mut e1, EventClass(60), |i| i);
+        d2.prime(&mut e2, EventClass(60), |i| i);
         for (i, c) in t.contacts().iter().enumerate() {
             assert_eq!(d1.fate(i, c.start()), d2.fate(i, c.start()));
         }
@@ -363,5 +575,58 @@ mod tests {
             .expect("empty trace builds");
         let d = ContactDriver::new(&empty, None, &RngFactory::new(5));
         assert_eq!(d.last_contact_start(), None);
+    }
+
+    /// A deliberately broken source that yields contacts in descending
+    /// start order.
+    struct Unsorted {
+        left: Vec<Contact>,
+    }
+
+    impl ContactSource for Unsorted {
+        fn node_count(&self) -> usize {
+            3
+        }
+        fn span(&self) -> SimTime {
+            SimTime::from_hours(1.0)
+        }
+        fn next_contact(&mut self) -> Option<Contact> {
+            self.left.pop()
+        }
+        fn last_contact(&self) -> crate::source::LastContact {
+            crate::source::LastContact::Unknown
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "out-of-order contact")]
+    fn unsorted_source_is_rejected_in_debug_builds() {
+        let c = |s: f64| {
+            Contact::new(
+                NodeId(0),
+                NodeId(1),
+                SimTime::from_secs(s),
+                SimTime::from_secs(s + 1.0),
+            )
+            .unwrap()
+        };
+        // pop() yields 30 then 10: out of order.
+        let src = Unsorted {
+            left: vec![c(10.0), c(30.0)],
+        };
+        let mut driver = ContactDriver::from_source(src, None, &RngFactory::new(1));
+        let mut engine: Engine<usize> = Engine::new();
+        driver.begin(&mut engine, EventClass(60), |i| i);
+        while let Some(ev) = engine.next_event() {
+            driver.advance(ev.payload, &mut engine, EventClass(60), |i| i);
+        }
+    }
+
+    #[test]
+    fn streamed_unknown_length_source_reports_span_as_last_contact() {
+        let src = Unsorted { left: Vec::new() };
+        let driver = ContactDriver::from_source(src, None, &RngFactory::new(1));
+        assert_eq!(driver.last_contact_start(), Some(SimTime::from_hours(1.0)));
     }
 }

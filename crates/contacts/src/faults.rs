@@ -1,13 +1,20 @@
 //! Deterministic fault injection for contact-driven simulations.
 //!
-//! A [`FaultPlan`] precomputes every fault a simulation run will experience
+//! A [`FaultPlan`] derives every fault a simulation run will experience
 //! from a [`FaultConfig`] and an [`RngFactory`], so that runs are fully
-//! reproducible: the same seed, trace, and config always yield the same
+//! reproducible: the same seed, population, and config always yield the same
 //! blocked contacts, downtime windows, departures, and transmission-loss
 //! draws. Each fault kind draws from its own named stream, so enabling one
 //! kind never perturbs another — and a plan whose probabilities are all zero
 //! consumes no randomness at all, leaving fault-free runs bit-identical to
 //! runs without a plan.
+//!
+//! A plan needs only the node count and span up front — never the contacts
+//! themselves — so it works unchanged over streaming
+//! [`ContactSource`](crate::ContactSource)s whose contact count is unknown
+//! until the stream ends. Per-contact truncation flags are drawn lazily in
+//! contact-index order, which makes them bit-identical to an eager pass over
+//! a materialized trace regardless of query order.
 //!
 //! Fault kinds (all independent, all optional):
 //!
@@ -33,7 +40,7 @@ use rand::Rng;
 
 use omn_sim::{RngFactory, SimDuration, SimTime};
 
-use crate::{ContactTrace, NodeId};
+use crate::NodeId;
 
 /// Transient node downtime (churn): nodes go down and come back.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -90,15 +97,19 @@ impl Default for FaultConfig {
     }
 }
 
-/// A fully materialized, reproducible fault schedule for one run over one
-/// trace. Built once with [`FaultPlan::build`]; queried by the simulator as
-/// the run unfolds.
+/// A reproducible fault schedule for one run over one node population.
+/// Built once with [`FaultPlan::build`]; queried by the simulator as the run
+/// unfolds. Downtime and departures are materialized up front (they depend
+/// only on the population and span); contact-truncation flags are drawn
+/// lazily in contact-index order so the plan never needs the contact count.
 #[derive(Debug, Clone)]
 pub struct FaultPlan {
     config: FaultConfig,
-    /// Per-contact truncation flags, indexed by position in
-    /// `trace.contacts()`.
+    /// Cache of per-contact truncation flags, extended on demand in index
+    /// order from `block_rng`.
     blocked: Vec<bool>,
+    /// Stream for truncation draws; `Some` iff `contact_failure > 0`.
+    block_rng: Option<StdRng>,
     /// Per-node sorted `[from, to)` downtime windows. Departures appear as a
     /// final window ending at `SimTime::from_secs(f64::MAX)`.
     down_windows: Vec<Vec<(SimTime, SimTime)>>,
@@ -123,7 +134,8 @@ fn assert_probability(value: f64, what: &str) {
 }
 
 impl FaultPlan {
-    /// Materializes a fault schedule for `trace` from `config`.
+    /// Builds a fault schedule for a population of `node_count` nodes over
+    /// `span` from `config`.
     ///
     /// Draws from the factory streams `"fault-contacts"`,
     /// `"fault-downtime"` (indexed per node), `"fault-departures"`, and
@@ -136,30 +148,26 @@ impl FaultPlan {
     /// Panics if any probability or fraction lies outside `[0, 1]`, or if a
     /// downtime config has a non-positive mean up/down period.
     #[must_use]
-    pub fn build(config: FaultConfig, trace: &ContactTrace, factory: &RngFactory) -> FaultPlan {
+    pub fn build(
+        config: FaultConfig,
+        node_count: usize,
+        span: SimTime,
+        factory: &RngFactory,
+    ) -> FaultPlan {
         assert_probability(config.transmission_loss, "transmission_loss");
         assert_probability(config.contact_failure, "contact_failure");
-        let span = trace.span();
+        let nodes = || (0..node_count as u32).map(NodeId);
 
-        let blocked = if config.contact_failure > 0.0 {
-            let mut rng = factory.stream("fault-contacts");
-            trace
-                .contacts()
-                .iter()
-                .map(|_| rng.gen_bool(config.contact_failure))
-                .collect()
-        } else {
-            vec![false; trace.len()]
-        };
+        let block_rng = (config.contact_failure > 0.0).then(|| factory.stream("fault-contacts"));
 
-        let mut down_windows: Vec<Vec<(SimTime, SimTime)>> = vec![Vec::new(); trace.node_count()];
+        let mut down_windows: Vec<Vec<(SimTime, SimTime)>> = vec![Vec::new(); node_count];
         if let Some(dt) = config.downtime {
             assert_probability(dt.node_fraction, "downtime.node_fraction");
             assert!(
                 dt.mean_uptime.as_secs() > 0.0 && dt.mean_downtime.as_secs() > 0.0,
                 "FaultPlan: downtime mean up/down periods must be positive"
             );
-            for node in trace.nodes() {
+            for node in nodes() {
                 if Some(node) == dt.exempt {
                     continue;
                 }
@@ -181,7 +189,7 @@ impl FaultPlan {
         if let Some(dep) = config.departures {
             assert_probability(dep.fraction, "departures.fraction");
             assert_probability(dep.at_frac, "departures.at_frac");
-            let mut pool: Vec<NodeId> = trace.nodes().filter(|&n| Some(n) != dep.exempt).collect();
+            let mut pool: Vec<NodeId> = nodes().filter(|&n| Some(n) != dep.exempt).collect();
             let mut rng = factory.stream("fault-departures");
             pool.shuffle(&mut rng);
             // Round over the eligible pool, not floor over the raw node
@@ -202,7 +210,8 @@ impl FaultPlan {
 
         FaultPlan {
             config,
-            blocked,
+            blocked: Vec::new(),
+            block_rng,
             down_windows,
             departed,
             tx_rng: factory.stream("fault-transmissions"),
@@ -219,16 +228,26 @@ impl FaultPlan {
     #[must_use]
     pub fn is_inert(&self) -> bool {
         self.config.transmission_loss == 0.0
-            && self.blocked.iter().all(|&b| !b)
+            && self.config.contact_failure == 0.0
             && self.down_windows.iter().all(Vec::is_empty)
             && self.config.estimator_lag.is_zero()
     }
 
-    /// Whether the `index`-th contact of the trace is truncated (carries no
-    /// data). Out-of-range indices are never blocked.
+    /// Whether the `index`-th contact of the run is truncated (carries no
+    /// data).
+    ///
+    /// Flags are drawn lazily from the `"fault-contacts"` stream in index
+    /// order and cached, so any query order yields the same flags an eager
+    /// pass over a materialized trace would.
     #[must_use]
-    pub fn contact_blocked(&self, index: usize) -> bool {
-        self.blocked.get(index).copied().unwrap_or(false)
+    pub fn contact_blocked(&mut self, index: usize) -> bool {
+        let Some(rng) = self.block_rng.as_mut() else {
+            return false;
+        };
+        while self.blocked.len() <= index {
+            self.blocked.push(rng.gen_bool(self.config.contact_failure));
+        }
+        self.blocked[index]
     }
 
     /// Whether `node` is down (churned out or departed) at instant `at`.
@@ -289,16 +308,21 @@ impl FaultPlan {
 mod tests {
     use super::*;
     use crate::synth::{generate_pairwise, PairwiseConfig};
+    use crate::ContactTrace;
 
     fn trace(seed: u64) -> ContactTrace {
         let config = PairwiseConfig::new(12, SimDuration::from_days(2.0));
         generate_pairwise(&config, &RngFactory::new(seed))
     }
 
+    fn build_for(config: FaultConfig, t: &ContactTrace, factory: &RngFactory) -> FaultPlan {
+        FaultPlan::build(config, t.node_count(), t.span(), factory)
+    }
+
     #[test]
     fn default_config_is_inert() {
         let t = trace(1);
-        let mut plan = FaultPlan::build(FaultConfig::default(), &t, &RngFactory::new(1));
+        let mut plan = build_for(FaultConfig::default(), &t, &RngFactory::new(1));
         assert!(plan.is_inert());
         assert!((0..t.len()).all(|i| !plan.contact_blocked(i)));
         assert!(plan.departed().is_empty());
@@ -324,7 +348,7 @@ mod tests {
             }),
             ..FaultConfig::default()
         };
-        let plan = FaultPlan::build(config, &t, &RngFactory::new(2));
+        let plan = build_for(config, &t, &RngFactory::new(2));
         assert_eq!(plan.departed().len(), (0.3f64 * 11.0).round() as usize);
         assert!(!plan.departed().contains(&exempt));
         // Departed nodes are down from the departure instant to forever.
@@ -353,7 +377,7 @@ mod tests {
             }),
             ..FaultConfig::default()
         };
-        let plan = FaultPlan::build(config, &t, &RngFactory::new(3));
+        let plan = build_for(config, &t, &RngFactory::new(3));
         assert!(plan.down_windows_of(NodeId(0)).is_empty());
         let mut any = false;
         for n in t.nodes() {
@@ -392,8 +416,8 @@ mod tests {
             estimator_lag: SimDuration::from_mins(30.0),
         };
         let factory = RngFactory::new(4);
-        let mut p1 = FaultPlan::build(config, &t, &factory);
-        let mut p2 = FaultPlan::build(config, &t, &factory);
+        let mut p1 = build_for(config, &t, &factory);
+        let mut p2 = build_for(config, &t, &factory);
         assert_eq!(p1.departed(), p2.departed());
         for i in 0..t.len() {
             assert_eq!(p1.contact_blocked(i), p2.contact_blocked(i));
@@ -409,5 +433,22 @@ mod tests {
             "35% loss drew no failures in 128 tries"
         );
         assert!(a.iter().any(|&x| !x), "35% loss failed every transfer");
+    }
+
+    #[test]
+    fn lazy_blocked_flags_match_any_query_order() {
+        let config = FaultConfig {
+            contact_failure: 0.4,
+            ..FaultConfig::default()
+        };
+        let factory = RngFactory::new(7);
+        let mut forward = FaultPlan::build(config, 5, SimTime::from_hours(1.0), &factory);
+        let mut scattered = FaultPlan::build(config, 5, SimTime::from_hours(1.0), &factory);
+        let in_order: Vec<bool> = (0..64).map(|i| forward.contact_blocked(i)).collect();
+        // Query far ahead first, then backfill: flags must not change.
+        let ahead = scattered.contact_blocked(63);
+        assert_eq!(ahead, in_order[63]);
+        let backfill: Vec<bool> = (0..64).map(|i| scattered.contact_blocked(i)).collect();
+        assert_eq!(backfill, in_order);
     }
 }

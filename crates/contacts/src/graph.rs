@@ -11,6 +11,14 @@
 //!   (total contact rate), delay-closeness, betweenness, and the
 //!   contact-probability metric `Σj (1 − e^(−λij·τ))` — the expected number
 //!   of distinct nodes met within a window `τ`.
+//!
+//! The graph is stored as per-node sorted adjacency lists rather than a
+//! dense `n × n` matrix, so memory scales with the number of node pairs
+//! that actually meet — contact graphs are sparse at large `n`, and the
+//! E15 scalability sweep builds graphs over 10⁴+ nodes. Every algorithm
+//! visits neighbors in ascending node-id order, exactly as the dense
+//! row scan did, so rates, shortest paths, and centrality scores are
+//! bit-identical to the dense representation.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -59,8 +67,11 @@ pub enum Centrality {
 #[derive(Debug, Clone, PartialEq)]
 pub struct ContactGraph {
     n: usize,
-    /// Row-major upper-triangle-mirrored dense matrix of rates (per second).
-    rates: Vec<f64>,
+    /// Per-node adjacency `(peer, rate)`, sorted by peer id. Entries exist
+    /// only for positive rates (setting a rate to zero removes the edge),
+    /// so the representation is canonical and derived equality matches the
+    /// dense matrix's.
+    adj: Vec<Vec<(u32, f64)>>,
 }
 
 impl ContactGraph {
@@ -74,7 +85,7 @@ impl ContactGraph {
         assert!(n > 0, "ContactGraph::new: need at least one node");
         ContactGraph {
             n,
-            rates: vec![0.0; n * n],
+            adj: vec![Vec::new(); n],
         }
     }
 
@@ -91,22 +102,51 @@ impl ContactGraph {
         let mut g = ContactGraph::new(trace.node_count());
         for c in trace.contacts() {
             let (a, b) = c.pair();
-            let idx = g.idx(a.index(), b.index());
-            g.rates[idx] += 1.0 / span;
-            let idx = g.idx(b.index(), a.index());
-            g.rates[idx] += 1.0 / span;
+            g.add_rate_dir(a.index(), b.index(), 1.0 / span);
+            g.add_rate_dir(b.index(), a.index(), 1.0 / span);
         }
         g
     }
 
-    fn idx(&self, i: usize, j: usize) -> usize {
-        i * self.n + j
+    /// Accumulates `delta` onto the directed entry `i → j`, keeping the row
+    /// sorted. Accumulation order per edge follows the caller's call order,
+    /// exactly as `rates[idx] += delta` did on the dense matrix.
+    fn add_rate_dir(&mut self, i: usize, j: usize, delta: f64) {
+        let row = &mut self.adj[i];
+        match row.binary_search_by_key(&(j as u32), |&(k, _)| k) {
+            Ok(pos) => row[pos].1 += delta,
+            Err(pos) => row.insert(pos, (j as u32, delta)),
+        }
+    }
+
+    fn set_rate_dir(&mut self, i: usize, j: usize, rate: f64) {
+        let row = &mut self.adj[i];
+        match row.binary_search_by_key(&(j as u32), |&(k, _)| k) {
+            Ok(pos) => {
+                if rate > 0.0 {
+                    row[pos].1 = rate;
+                } else {
+                    row.remove(pos);
+                }
+            }
+            Err(pos) => {
+                if rate > 0.0 {
+                    row.insert(pos, (j as u32, rate));
+                }
+            }
+        }
     }
 
     /// Number of nodes.
     #[must_use]
     pub fn node_count(&self) -> usize {
         self.n
+    }
+
+    /// Number of node pairs with a positive contact rate.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
     }
 
     /// Sets the symmetric rate between two nodes.
@@ -125,10 +165,8 @@ impl ContactGraph {
             rate.is_finite() && rate >= 0.0,
             "ContactGraph::set_rate: invalid rate {rate}"
         );
-        let ij = self.idx(a.index(), b.index());
-        let ji = self.idx(b.index(), a.index());
-        self.rates[ij] = rate;
-        self.rates[ji] = rate;
+        self.set_rate_dir(a.index(), b.index(), rate);
+        self.set_rate_dir(b.index(), a.index(), rate);
     }
 
     /// The contact rate between two nodes (zero if they never meet).
@@ -137,7 +175,9 @@ impl ContactGraph {
         if a == b {
             return 0.0;
         }
-        self.rates[self.idx(a.index(), b.index())]
+        let row = &self.adj[a.index()];
+        row.binary_search_by_key(&b.0, |&(k, _)| k)
+            .map_or(0.0, |pos| row[pos].1)
     }
 
     /// Expected direct meeting delay `1/λ`, or `None` if the pair never
@@ -155,13 +195,10 @@ impl ContactGraph {
         1.0 - (-self.rate(a, b) * tau.as_secs()).exp()
     }
 
-    /// Neighbors of `node` with non-zero rate, as `(peer, rate)`.
+    /// Neighbors of `node` with non-zero rate, as `(peer, rate)`, in
+    /// ascending peer order.
     pub fn neighbors(&self, node: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
-        let i = node.index();
-        (0..self.n).filter_map(move |j| {
-            let r = self.rates[self.idx(i, j)];
-            (j != i && r > 0.0).then_some((NodeId(j as u32), r))
-        })
+        self.adj[node.index()].iter().map(|&(j, r)| (NodeId(j), r))
     }
 
     /// Shortest expected delays from `src` to every node (Dijkstra with edge
@@ -213,11 +250,10 @@ impl ContactGraph {
             if dist[u] != Some(d) {
                 continue; // stale entry
             }
-            for j in 0..self.n {
-                let r = self.rates[self.idx(u, j)];
-                if j == u || r <= 0.0 {
-                    continue;
-                }
+            // Ascending-peer adjacency: identical relaxation order to the
+            // dense `for j in 0..n` scan, hence identical float results.
+            for &(j, r) in &self.adj[u] {
+                let j = j as usize;
                 let nd = d + 1.0 / r;
                 if dist[j].is_none_or(|old| nd < old) {
                     dist[j] = Some(nd);
@@ -233,11 +269,11 @@ impl ContactGraph {
     #[must_use]
     pub fn centrality_scores(&self, metric: Centrality) -> Vec<f64> {
         match metric {
-            Centrality::Degree => (0..self.n)
-                .map(|i| self.neighbors(NodeId(i as u32)).count() as f64)
-                .collect(),
-            Centrality::WeightedDegree => (0..self.n)
-                .map(|i| self.neighbors(NodeId(i as u32)).map(|(_, r)| r).sum())
+            Centrality::Degree => self.adj.iter().map(|row| row.len() as f64).collect(),
+            Centrality::WeightedDegree => self
+                .adj
+                .iter()
+                .map(|row| row.iter().map(|&(_, r)| r).sum())
                 .collect(),
             Centrality::Closeness => (0..self.n)
                 .map(|i| {
@@ -260,11 +296,14 @@ impl ContactGraph {
                 })
                 .collect(),
             Centrality::Betweenness => self.betweenness(),
+            // Absent pairs contribute exactly `1 − e⁰ = 0.0`, and `x + 0.0`
+            // is bit-identical to `x` for the non-negative partial sums
+            // here, so summing only stored neighbors matches the dense
+            // all-pairs sum bit for bit.
             Centrality::ContactProbability(tau) => (0..self.n)
                 .map(|i| {
-                    (0..self.n)
-                        .filter(|&j| j != i)
-                        .map(|j| self.contact_probability(NodeId(i as u32), NodeId(j as u32), tau))
+                    self.neighbors(NodeId(i as u32))
+                        .map(|(j, _)| self.contact_probability(NodeId(i as u32), j, tau))
                         .sum()
                 })
                 .collect(),
@@ -322,11 +361,8 @@ impl ContactGraph {
                 }
                 settled[u] = true;
                 stack.push(u);
-                for j in 0..n {
-                    let r = self.rates[self.idx(u, j)];
-                    if j == u || r <= 0.0 {
-                        continue;
-                    }
+                for &(j, r) in &self.adj[u] {
+                    let j = j as usize;
                     let nd = d + 1.0 / r;
                     if nd < dist[j] - 1e-12 {
                         dist[j] = nd;
@@ -516,5 +552,28 @@ mod tests {
     fn set_rate_rejects_negative() {
         let mut g = ContactGraph::new(2);
         g.set_rate(NodeId(0), NodeId(1), -1.0);
+    }
+
+    #[test]
+    fn zeroing_a_rate_removes_the_edge() {
+        let mut g = line_graph();
+        g.set_rate(NodeId(1), NodeId(2), 0.0);
+        assert_eq!(g.rate(NodeId(1), NodeId(2)), 0.0);
+        assert_eq!(g.edge_count(), 2);
+        // Canonical representation: equal to a graph that never had the
+        // edge at all.
+        let mut fresh = ContactGraph::new(4);
+        fresh.set_rate(NodeId(0), NodeId(1), 1.0);
+        fresh.set_rate(NodeId(2), NodeId(3), 1.0);
+        assert_eq!(g, fresh);
+    }
+
+    #[test]
+    fn sparse_storage_scales_with_edges_not_nodes() {
+        let mut g = ContactGraph::new(100_000);
+        g.set_rate(NodeId(0), NodeId(99_999), 0.5);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.rate(NodeId(99_999), NodeId(0)), 0.5);
+        assert_eq!(g.neighbors(NodeId(50)).count(), 0);
     }
 }

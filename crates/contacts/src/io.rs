@@ -20,6 +20,7 @@ use std::io::{BufRead, Write};
 use omn_sim::SimTime;
 
 use crate::contact::{Contact, NodeId};
+use crate::source::{ContactSource, LastContact};
 use crate::trace::{ContactTrace, TraceBuilder};
 
 /// Error produced while reading a trace.
@@ -175,6 +176,183 @@ fn parse_err(line: usize, message: &str) -> TraceIoError {
     TraceIoError::Parse {
         line,
         message: message.to_owned(),
+    }
+}
+
+/// A [`ContactSource`] that streams a v1 text trace line by line instead of
+/// loading it into a `Vec` first.
+///
+/// The reader consumes the `nodes`/`span` headers eagerly (they must appear
+/// before the first contact line) and then parses one contact per
+/// [`next_contact`](ContactSource::next_contact) call, so resident memory is
+/// one line regardless of file size. Contact lines must already be sorted
+/// by `(start, end, pair)` — the order [`write_trace`] emits — which the
+/// driver debug-asserts downstream.
+///
+/// I/O or parse failures end the stream; inspect them afterwards with
+/// [`StreamingTraceSource::error`]. (A pull-based stream has no other
+/// channel to report a mid-stream failure.)
+#[derive(Debug)]
+pub struct StreamingTraceSource<R> {
+    lines: std::io::Lines<R>,
+    /// 0-based count of lines already consumed (so the next line is
+    /// `line_no + 1`, 1-based).
+    line_no: usize,
+    nodes: usize,
+    span: SimTime,
+    done: bool,
+    error: Option<TraceIoError>,
+}
+
+impl<R: BufRead> StreamingTraceSource<R> {
+    /// Opens a v1 text trace for streaming, consuming the header.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the `nodes` or `span` header is missing,
+    /// malformed, or interleaved after contact lines.
+    pub fn open(r: R) -> Result<StreamingTraceSource<R>, TraceIoError> {
+        let mut lines = r.lines();
+        let mut line_no = 0usize;
+        let mut nodes: Option<usize> = None;
+        let mut span: Option<SimTime> = None;
+        while nodes.is_none() || span.is_none() {
+            let Some(line) = lines.next() else {
+                return Err(TraceIoError::Invalid(
+                    "missing `nodes`/`span` header".into(),
+                ));
+            };
+            line_no += 1;
+            let line = line?;
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            match parts.next().expect("non-empty line has a first token") {
+                "nodes" => {
+                    let v = parts
+                        .next()
+                        .ok_or_else(|| parse_err(line_no, "missing node count"))?;
+                    nodes = Some(
+                        v.parse::<usize>()
+                            .map_err(|e| parse_err(line_no, &format!("bad node count: {e}")))?,
+                    );
+                }
+                "span" => {
+                    let v = parts
+                        .next()
+                        .ok_or_else(|| parse_err(line_no, "missing span"))?;
+                    let secs = v
+                        .parse::<f64>()
+                        .map_err(|e| parse_err(line_no, &format!("bad span: {e}")))?;
+                    span = Some(
+                        SimTime::try_from_secs(secs)
+                            .map_err(|e| parse_err(line_no, &format!("bad span: {e}")))?,
+                    );
+                }
+                _ => {
+                    return Err(parse_err(
+                        line_no,
+                        "contact line before `nodes`/`span` header (streaming \
+                         reads need the header first)",
+                    ));
+                }
+            }
+        }
+        Ok(StreamingTraceSource {
+            lines,
+            line_no,
+            nodes: nodes.expect("loop exits with nodes set"),
+            span: span.expect("loop exits with span set"),
+            done: false,
+            error: None,
+        })
+    }
+
+    /// The error that terminated the stream early, if any.
+    #[must_use]
+    pub fn error(&self) -> Option<&TraceIoError> {
+        self.error.as_ref()
+    }
+
+    fn parse_contact(&mut self, line: &str) -> Result<Contact, TraceIoError> {
+        let line_no = self.line_no;
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 4 {
+            return Err(parse_err(
+                line_no,
+                &format!("expected `a b start end`, got {} fields", fields.len()),
+            ));
+        }
+        let a: u32 = fields[0]
+            .parse()
+            .map_err(|e| parse_err(line_no, &format!("bad node id: {e}")))?;
+        let b: u32 = fields[1]
+            .parse()
+            .map_err(|e| parse_err(line_no, &format!("bad node id: {e}")))?;
+        if a as usize >= self.nodes || b as usize >= self.nodes {
+            return Err(parse_err(line_no, "node id out of range"));
+        }
+        let start: f64 = fields[2]
+            .parse()
+            .map_err(|e| parse_err(line_no, &format!("bad start: {e}")))?;
+        let end: f64 = fields[3]
+            .parse()
+            .map_err(|e| parse_err(line_no, &format!("bad end: {e}")))?;
+        let start = SimTime::try_from_secs(start)
+            .map_err(|e| parse_err(line_no, &format!("bad start: {e}")))?;
+        let end = SimTime::try_from_secs(end)
+            .map_err(|e| parse_err(line_no, &format!("bad end: {e}")))?;
+        if end > self.span {
+            return Err(parse_err(line_no, "contact extends past span"));
+        }
+        Contact::new(NodeId(a), NodeId(b), start, end)
+            .map_err(|e| parse_err(line_no, &format!("bad contact: {e}")))
+    }
+}
+
+impl<R: BufRead> ContactSource for StreamingTraceSource<R> {
+    fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    fn span(&self) -> SimTime {
+        self.span
+    }
+
+    fn next_contact(&mut self) -> Option<Contact> {
+        while !self.done {
+            let Some(line) = self.lines.next() else {
+                self.done = true;
+                break;
+            };
+            self.line_no += 1;
+            let line = match line {
+                Ok(l) => l,
+                Err(e) => {
+                    self.error = Some(TraceIoError::Io(e));
+                    self.done = true;
+                    break;
+                }
+            };
+            let line = line.trim().to_owned();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            match self.parse_contact(&line) {
+                Ok(c) => return Some(c),
+                Err(e) => {
+                    self.error = Some(e);
+                    self.done = true;
+                }
+            }
+        }
+        None
+    }
+
+    fn last_contact(&self) -> LastContact {
+        LastContact::Unknown
     }
 }
 
@@ -434,5 +612,85 @@ mod tests {
         let text = "# Scenario X\n\n5 CONN 0 1 up\n9 CONN 0 1 down\n";
         let trace = read_one_report(text.as_bytes()).unwrap();
         assert_eq!(trace.len(), 1);
+    }
+
+    #[test]
+    fn streaming_source_yields_the_same_contacts_as_read_trace() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        let mut src = StreamingTraceSource::open(buf.as_slice()).unwrap();
+        assert_eq!(src.node_count(), trace.node_count());
+        assert_eq!(src.span(), trace.span());
+        let streamed: Vec<Contact> = std::iter::from_fn(|| src.next_contact()).collect();
+        assert_eq!(streamed, trace.contacts());
+        assert!(src.error().is_none());
+        assert_eq!(src.next_contact(), None, "stays exhausted");
+    }
+
+    #[test]
+    fn streaming_source_skips_comments_and_blanks() {
+        let text = "# header\nnodes 2\nspan 50\n# mid\n\n0 1 1 2\n\n0 1 5 6\n";
+        let mut src = StreamingTraceSource::open(text.as_bytes()).unwrap();
+        let streamed: Vec<Contact> = std::iter::from_fn(|| src.next_contact()).collect();
+        assert_eq!(streamed.len(), 2);
+        assert!(src.error().is_none());
+    }
+
+    #[test]
+    fn streaming_source_requires_header_first() {
+        let err = StreamingTraceSource::open("0 1 1 2\nnodes 2\nspan 50\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceIoError::Parse { line: 1, .. }), "{err}");
+        let err = StreamingTraceSource::open("nodes 2\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceIoError::Invalid(_)), "{err}");
+    }
+
+    #[test]
+    fn streaming_source_records_parse_errors_and_stops() {
+        let text = "nodes 2\nspan 50\n0 1 1 2\n0 1 oops 9\n0 1 10 11\n";
+        let mut src = StreamingTraceSource::open(text.as_bytes()).unwrap();
+        assert!(src.next_contact().is_some());
+        // The malformed line ends the stream; the valid line after it is
+        // never reached.
+        assert_eq!(src.next_contact(), None);
+        assert_eq!(src.next_contact(), None);
+        match src.error() {
+            Some(TraceIoError::Parse { line, .. }) => assert_eq!(*line, 4),
+            other => panic!("expected recorded parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn streaming_source_rejects_out_of_range_and_past_span() {
+        let text = "nodes 2\nspan 50\n0 9 1 2\n";
+        let mut src = StreamingTraceSource::open(text.as_bytes()).unwrap();
+        assert_eq!(src.next_contact(), None);
+        assert!(src.error().is_some());
+
+        let text = "nodes 2\nspan 50\n0 1 40 60\n";
+        let mut src = StreamingTraceSource::open(text.as_bytes()).unwrap();
+        assert_eq!(src.next_contact(), None);
+        assert!(matches!(src.error(), Some(TraceIoError::Parse { .. })));
+    }
+
+    #[test]
+    fn streaming_source_drives_a_contact_driver() {
+        use crate::ContactDriver;
+        use omn_sim::{Engine, EventClass, RngFactory};
+
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        let src = StreamingTraceSource::open(buf.as_slice()).unwrap();
+        let mut driver = ContactDriver::from_source(src, None, &RngFactory::new(1));
+        let mut engine: Engine<usize> = Engine::new();
+        driver.begin(&mut engine, EventClass(60), |i| i);
+        let mut starts = Vec::new();
+        while let Some(ev) = engine.next_event() {
+            driver.advance(ev.payload, &mut engine, EventClass(60), |i| i);
+            starts.push(driver.contact(ev.payload).start());
+        }
+        let expected: Vec<SimTime> = trace.contacts().iter().map(Contact::start).collect();
+        assert_eq!(starts, expected);
     }
 }

@@ -18,9 +18,15 @@
 //! * [`estimate`] — online pairwise contact-rate estimators (cumulative MLE,
 //!   EWMA, sliding window) that protocol nodes maintain from observed
 //!   contacts.
+//! * [`ContactSource`] — an ordered contact stream pulled lazily: a cursor
+//!   over a materialized trace ([`TraceSource`]), a line-by-line file
+//!   reader ([`io::StreamingTraceSource`]), or a sharded large-N generator
+//!   ([`synth::sharded::ShardedCommunitySource`]) whose resident memory is
+//!   O(shards) instead of O(contacts).
 //! * [`ContactDriver`] — the shared contact feed for the event kernel: it
-//!   primes an [`Engine`](omn_sim::Engine) with one scheduled event per
-//!   contact and classifies each contact's fate (deliverable, down,
+//!   pulls contacts from a [`ContactSource`] (scheduling each into the
+//!   [`Engine`](omn_sim::Engine) as the run unfolds, or priming everything
+//!   up front) and classifies each contact's fate (deliverable, down,
 //!   blocked) under the active fault plan, so every simulator applies
 //!   faults with identical semantics.
 //! * [`faults`] — deterministic fault injection ([`faults::FaultPlan`]):
@@ -57,6 +63,7 @@ pub mod estimate;
 pub mod faults;
 mod graph;
 pub mod io;
+pub mod source;
 mod stats;
 pub mod synth;
 pub mod temporal;
@@ -65,5 +72,6 @@ mod trace;
 pub use contact::{Contact, ContactError, NodeId};
 pub use driver::{ContactDriver, ContactFate, TransferOutcome};
 pub use graph::{Centrality, ContactGraph};
+pub use source::{ContactSource, LastContact, TraceSource};
 pub use stats::TraceStats;
 pub use trace::{ContactTrace, TimelineEvent, TimelineKind, TraceBuilder, TraceError};

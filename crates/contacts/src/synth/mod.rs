@@ -23,6 +23,7 @@ pub mod cell;
 pub mod community;
 pub mod diurnal;
 pub mod presets;
+pub mod sharded;
 pub mod working_day;
 
 use omn_sim::{RngFactory, SimDuration, SimTime};

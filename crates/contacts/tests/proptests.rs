@@ -202,8 +202,8 @@ proptest! {
             estimator_lag: SimDuration::ZERO,
         };
         let factory = RngFactory::new(seed ^ 0x9e37_79b9);
-        let mut p1 = FaultPlan::build(fc, &trace, &factory);
-        let mut p2 = FaultPlan::build(fc, &trace, &factory);
+        let mut p1 = FaultPlan::build(fc, trace.node_count(), trace.span(), &factory);
+        let mut p2 = FaultPlan::build(fc, trace.node_count(), trace.span(), &factory);
         prop_assert_eq!(p1.departed(), p2.departed());
         for i in 0..trace.len() {
             prop_assert_eq!(p1.contact_blocked(i), p2.contact_blocked(i));
@@ -229,11 +229,43 @@ proptest! {
         let cfg = PairwiseConfig::new(nodes, SimDuration::from_days(1.0))
             .mean_rate(1.0 / 1800.0);
         let trace = generate_pairwise(&cfg, &RngFactory::new(seed));
-        let mut plan = FaultPlan::build(FaultConfig::default(), &trace, &RngFactory::new(seed));
+        let mut plan = FaultPlan::build(
+            FaultConfig::default(),
+            trace.node_count(),
+            trace.span(),
+            &RngFactory::new(seed),
+        );
         prop_assert!(plan.is_inert());
         prop_assert!(plan.departed().is_empty());
         prop_assert!((0..trace.len()).all(|i| !plan.contact_blocked(i)));
         prop_assert!((0..64).all(|_| !plan.transfer_fails()));
         prop_assert!(plan.rejoin_events(trace.span()).is_empty());
+    }
+
+    /// The sharded generator's streaming k-way merge yields exactly the
+    /// contact sequence of its materialized-and-sorted counterpart, for
+    /// arbitrary shard counts and seeds.
+    #[test]
+    fn sharded_stream_equals_materialized(
+        seed in any::<u64>(),
+        nodes in 2usize..80,
+        shards_hint in 1usize..12,
+        hours in 1.0f64..48.0,
+    ) {
+        use omn_contacts::synth::sharded::{generate_sharded, ShardedCommunityConfig, ShardedCommunitySource};
+        use omn_contacts::ContactSource;
+        let shards = shards_hint.min(nodes);
+        let cfg = ShardedCommunityConfig::new(nodes, shards, SimDuration::from_hours(hours));
+        let factory = RngFactory::new(seed);
+        let mut src = ShardedCommunitySource::new(&cfg, &factory);
+        let streamed: Vec<Contact> = std::iter::from_fn(|| src.next_contact()).collect();
+        let trace = generate_sharded(&cfg, &factory);
+        prop_assert_eq!(streamed.as_slice(), trace.contacts());
+        // Streamed order obeys the trace sort key.
+        for w in streamed.windows(2) {
+            prop_assert!(
+                (w[0].start(), w[0].end(), w[0].pair()) <= (w[1].start(), w[1].end(), w[1].pair())
+            );
+        }
     }
 }

@@ -203,7 +203,6 @@ impl JointSimulator {
 
         let (mut caching, caching_timers) = CachingRun::new(
             &self.config.caching,
-            trace,
             &graph,
             catalog,
             queries,
@@ -232,7 +231,7 @@ impl JointSimulator {
                 }
                 let child = factory.child(u64::from(item.id().0));
                 let (run, timers) =
-                    FreshnessRun::new(fc, trace, &graph, item.source(), &members, &driver, &child);
+                    FreshnessRun::new(fc, &graph, item.source(), &members, &driver, &child);
                 parts.push(Participant {
                     item: item.id(),
                     run,
@@ -253,7 +252,7 @@ impl JointSimulator {
         for (t, timer) in caching_timers {
             engine.schedule_at_class(t, timer.class(), JointEvent::Caching(timer));
         }
-        driver.prime(&mut engine, CLASS_CONTACT, JointEvent::Contact);
+        driver.begin(&mut engine, CLASS_CONTACT, JointEvent::Contact);
 
         for (pi, p) in parts.iter_mut().enumerate() {
             p.run
@@ -295,6 +294,7 @@ impl JointSimulator {
                     parts[pi].run.on_lagged_obs(a, b, seen);
                 }
                 JointEvent::Contact(ci) => {
+                    driver.advance(ci, &mut engine, CLASS_CONTACT, JointEvent::Contact);
                     let (a, b) = driver.contact(ci).pair();
                     let fate = driver.fate(ci, now);
                     match fate {

@@ -307,17 +307,13 @@ pub(crate) mod testutil {
         /// deterministically until `self.faults` is cleared again.
         pub fn fail_all_transfers(&mut self) {
             use omn_contacts::faults::FaultConfig;
-            use omn_contacts::TraceBuilder;
-            let trace = TraceBuilder::new(self.oracle.node_count())
-                .span(SimTime::from_secs(1.0))
-                .build()
-                .expect("empty trace");
             self.faults = Some(FaultPlan::build(
                 FaultConfig {
                     transmission_loss: 1.0,
                     ..FaultConfig::default()
                 },
-                &trace,
+                self.oracle.node_count(),
+                SimTime::from_secs(1.0),
                 &omn_sim::RngFactory::new(1),
             ));
         }

@@ -29,7 +29,9 @@ use std::collections::HashMap;
 
 use omn_contacts::estimate::{EstimatorKind, PairRateTable};
 use omn_contacts::faults::{FaultConfig, FaultPlan};
-use omn_contacts::{Centrality, ContactDriver, ContactFate, ContactGraph, ContactTrace, NodeId};
+use omn_contacts::{
+    Centrality, ContactDriver, ContactFate, ContactGraph, ContactSource, ContactTrace, NodeId,
+};
 use omn_sim::metrics::{Registry, SampleHistogram, Timeline};
 use omn_sim::{Engine, EventClass, RngFactory, SimDuration, SimTime, TransferBudget};
 use rand::rngs::StdRng;
@@ -501,21 +503,101 @@ impl FreshnessSimulator {
         // The driver materializes the run's fault schedule (dedicated RNG
         // streams, so `None` and an all-zero plan are bit-identical) and
         // feeds the contact stream into the engine.
-        let mut driver = ContactDriver::new(trace, self.config.faults, factory);
-        let (mut run, timers) = FreshnessRun::new(
-            &self.config,
-            trace,
-            &oracle,
-            source,
-            members,
-            &driver,
-            factory,
-        );
+        let driver = ContactDriver::new(trace, self.config.faults, factory);
+        self.drive(driver, &oracle, source, members, scheme, factory)
+            .0
+    }
+
+    /// Runs an arbitrary scheme over a streamed [`ContactSource`] with
+    /// explicit roles, pulling contacts lazily so only a bounded window is
+    /// ever resident (the memory model behind the E15 scalability sweep).
+    ///
+    /// The planning oracle must be supplied by the caller — typically a
+    /// contact-rate graph built from a warm-up pass over a second instance
+    /// of the same source ([`FreshnessSimulator::select_roles_streamed`]).
+    /// Returns the report plus the [`StreamStats`] of the pull pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty, unsorted, contains duplicates or the
+    /// source, or references nodes outside the source.
+    #[must_use]
+    pub fn run_streamed<S: ContactSource>(
+        &self,
+        contacts: S,
+        oracle: &ContactGraph,
+        source: NodeId,
+        members: &[NodeId],
+        scheme: &mut dyn RefreshScheme,
+        factory: &RngFactory,
+    ) -> (FreshnessReport, StreamStats) {
+        let driver = ContactDriver::from_source(contacts, self.config.faults, factory);
+        self.drive(driver, oracle, source, members, scheme, factory)
+    }
+
+    /// Selects the source and caching nodes for a streamed run from a
+    /// bounded warm-up window: pulls contacts from `warmup` until the first
+    /// contact starting after `cutoff`, accumulates pairwise contact rates,
+    /// and ranks nodes by degree centrality (closeness needs all-pairs
+    /// shortest paths, which does not scale to the 10⁴-node streamed sweeps
+    /// this path exists for). Returns the roles plus the warm-up graph,
+    /// which doubles as the planning oracle for
+    /// [`FreshnessSimulator::run_streamed`].
+    ///
+    /// `warmup` should be a *fresh* instance of the run's source (same
+    /// config and factory): the warm-up pass consumes it, leaving the run's
+    /// own instance untouched.
+    #[must_use]
+    pub fn select_roles_streamed<S: ContactSource>(
+        &self,
+        warmup: &mut S,
+        cutoff: SimTime,
+    ) -> (NodeId, Vec<NodeId>, ContactGraph) {
+        let n = warmup.node_count();
+        let window = cutoff.as_secs().max(f64::MIN_POSITIVE);
+        let mut graph = ContactGraph::new(n);
+        while let Some(c) = warmup.next_contact() {
+            if c.start() > cutoff {
+                break;
+            }
+            let (a, b) = c.pair();
+            let rate = graph.rate(a, b) + 1.0 / window;
+            graph.set_rate(a, b, rate);
+        }
+        let ranked = graph.top_k(Centrality::Degree, n);
+        let source = match self.config.source {
+            SourceSelection::Node(node) => node,
+            SourceSelection::MostCentral => ranked[0],
+            SourceSelection::MedianCentral => ranked[ranked.len() / 2],
+        };
+        let mut members: Vec<NodeId> = ranked
+            .into_iter()
+            .filter(|&m| m != source)
+            .take(self.config.caching_nodes)
+            .collect();
+        members.sort();
+        (source, members, graph)
+    }
+
+    /// The shared event loop: schedules the participant's timers, pulls
+    /// the contact stream through the engine one event at a time, and
+    /// folds the run into a report.
+    fn drive<S: ContactSource>(
+        &self,
+        mut driver: ContactDriver<S>,
+        oracle: &ContactGraph,
+        source: NodeId,
+        members: &[NodeId],
+        scheme: &mut dyn RefreshScheme,
+        factory: &RngFactory,
+    ) -> (FreshnessReport, StreamStats) {
+        let (mut run, timers) =
+            FreshnessRun::new(&self.config, oracle, source, members, &driver, factory);
         let mut engine: Engine<FreshnessEvent> = Engine::new();
         for (t, timer) in timers {
             engine.schedule_at_class(t, timer.class(), FreshnessEvent::Timer(timer));
         }
-        driver.prime(&mut engine, CLASS_CONTACT, FreshnessEvent::Contact);
+        driver.begin(&mut engine, CLASS_CONTACT, FreshnessEvent::Contact);
 
         run.on_start(scheme, driver.plan_mut(), None);
         while let Some(ev) = engine.next_event() {
@@ -530,6 +612,7 @@ impl FreshnessSimulator {
                     run.on_lagged_obs(a, b, seen);
                 }
                 FreshnessEvent::Contact(ci) => {
+                    driver.advance(ci, &mut engine, CLASS_CONTACT, FreshnessEvent::Contact);
                     let (a, b) = driver.contact(ci).pair();
                     let fate = driver.fate(ci, ev.time);
                     if let Some((due, timer)) =
@@ -540,8 +623,25 @@ impl FreshnessSimulator {
                 }
             }
         }
-        run.finish(scheme, driver.plan_mut(), None)
+        let stats = StreamStats {
+            contacts_total: driver.contacts_pulled(),
+            peak_resident: driver.peak_resident(),
+        };
+        (run.finish(scheme, driver.plan_mut(), None), stats)
     }
+}
+
+/// Kernel-side statistics of a streamed freshness run: how much of the
+/// contact stream was pulled and how much of it was ever resident at once.
+/// `peak_resident` staying far below (and sublinear in) `contacts_total` is
+/// the memory-model claim of the streaming pipeline, reported by E15.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamStats {
+    /// Contacts pulled from the source over the whole run.
+    pub contacts_total: usize,
+    /// Peak number of contacts resident at once across the driver's
+    /// pull window and the source's own buffered state.
+    pub peak_resident: usize,
 }
 
 /// One freshness participant: the complete per-item state of a freshness
@@ -604,17 +704,17 @@ impl<'a> FreshnessRun<'a> {
     /// # Panics
     ///
     /// Panics if `members` is empty, unsorted, contains duplicates or the
-    /// source, or references nodes outside the trace.
+    /// source, or references nodes outside the driver's contact source.
     #[must_use]
-    pub fn new(
+    pub fn new<S: ContactSource>(
         config: &FreshnessConfig,
-        trace: &ContactTrace,
         oracle: &'a ContactGraph,
         source: NodeId,
         members: &[NodeId],
-        driver: &ContactDriver<'_>,
+        driver: &ContactDriver<S>,
         factory: &RngFactory,
     ) -> (FreshnessRun<'a>, Vec<(SimTime, FreshnessTimer)>) {
+        let node_count = driver.node_count();
         assert!(!members.is_empty(), "need at least one caching node");
         assert!(
             members.windows(2).all(|w| w[0] < w[1]),
@@ -622,12 +722,11 @@ impl<'a> FreshnessRun<'a> {
         );
         assert!(!members.contains(&source), "source cannot be a member");
         assert!(
-            members.iter().all(|m| m.index() < trace.node_count())
-                && source.index() < trace.node_count(),
+            members.iter().all(|m| m.index() < node_count) && source.index() < node_count,
             "roles outside the trace"
         );
 
-        let span = trace.span();
+        let span = driver.span();
         let schedule = if config.poisson_updates {
             UpdateSchedule::poisson(config.refresh_period, span, factory)
         } else {
@@ -668,7 +767,7 @@ impl<'a> FreshnessRun<'a> {
                         SimTime::from_secs(
                             qrng.gen_range(0.0..span.as_secs().max(f64::MIN_POSITIVE)),
                         ),
-                        NodeId(qrng.gen_range(0..trace.node_count() as u32)),
+                        NodeId(qrng.gen_range(0..node_count as u32)),
                     )
                 })
                 .collect()
@@ -704,7 +803,7 @@ impl<'a> FreshnessRun<'a> {
             rng: factory.stream("scheme"),
             transmissions: 0,
             replicas: 0,
-            per_node_tx: vec![0u64; trace.node_count()],
+            per_node_tx: vec![0u64; node_count],
             current_version: 0,
             lifetime,
             expiries,

@@ -15,7 +15,7 @@
 use std::collections::{HashMap, HashSet};
 
 use omn_contacts::faults::FaultConfig;
-use omn_contacts::{ContactDriver, ContactFate, ContactTrace, NodeId};
+use omn_contacts::{ContactDriver, ContactFate, ContactSource, ContactTrace, NodeId};
 use omn_sim::metrics::{Registry, SampleHistogram};
 use omn_sim::{Engine, EventClass, RngFactory, SimDuration, SimTime, SimWorld, World};
 
@@ -219,7 +219,7 @@ impl NetworkSimulator {
                 engine.schedule_at_class(d.created, CLASS_DEMAND, NetEvent::Demand(i));
             }
         }
-        driver.prime(&mut engine, CLASS_CONTACT, NetEvent::Contact);
+        driver.begin(&mut engine, CLASS_CONTACT, NetEvent::Contact);
 
         let mut next_id = 0u64;
         let mut failed_transmissions = 0u64;
@@ -247,6 +247,7 @@ impl NetworkSimulator {
 
                 NetEvent::Contact(ci) => {
                     let now = ev.time;
+                    driver.advance(ci, &mut engine, CLASS_CONTACT, NetEvent::Contact);
                     let (a, b) = driver.contact(ci).pair();
                     let fate = driver.fate(ci, now);
                     if fate == ContactFate::Down {
@@ -305,7 +306,7 @@ impl NetworkSimulator {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn exchange<P: RoutingProtocol + ?Sized>(
+    fn exchange<P: RoutingProtocol + ?Sized, S: ContactSource>(
         &self,
         carrier: NodeId,
         peer: NodeId,
@@ -316,7 +317,7 @@ impl NetworkSimulator {
         report: &mut DeliveryReport,
         budget: &mut usize,
         received_now: &mut HashSet<(NodeId, MessageId)>,
-        driver: &mut ContactDriver<'_>,
+        driver: &mut ContactDriver<S>,
         failed_transmissions: &mut u64,
     ) {
         for id in buffers[carrier.index()].ids() {

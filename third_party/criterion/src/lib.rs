@@ -12,9 +12,15 @@
 //! cost, without upstream's statistical machinery. `--test` (as passed by
 //! `cargo bench -- --test`) runs each target once and reports pass/fail
 //! only.
+//!
+//! Like upstream, a measured run persists each benchmark's estimates to
+//! `<target>/criterion/<id...>/new/estimates.json` (a minimal document
+//! carrying `"mean": {"point_estimate": ns}` plus min/max), so trend
+//! tooling (`omn-bench`'s `bench_trend`) can compare runs over time.
 
 #![forbid(unsafe_code)]
 
+use std::path::PathBuf;
 use std::time::Instant;
 
 /// Opaque value barrier; the stub uses a volatile-free best effort
@@ -119,6 +125,7 @@ impl Criterion {
                 fmt_ns(max),
                 b.samples.len()
             );
+            persist_estimates(id, mean, min, max, b.samples.len());
         }
         self
     }
@@ -128,6 +135,44 @@ impl Criterion {
     pub fn configure_from_args(self) -> Self {
         self
     }
+}
+
+/// Writes `<target>/criterion/<id...>/new/estimates.json` in the upstream
+/// layout (benchmark ids containing `/` become nested directories). Silent
+/// best-effort: benches must not fail because the filesystem is read-only.
+fn persist_estimates(id: &str, mean: f64, min: f64, max: f64, samples: usize) {
+    let Some(root) = criterion_dir() else {
+        return;
+    };
+    let mut dir = root;
+    for part in id.split('/').filter(|p| !p.is_empty()) {
+        dir.push(part);
+    }
+    dir.push("new");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let json = format!(
+        "{{\"mean\":{{\"point_estimate\":{mean}}},\
+           \"min\":{{\"point_estimate\":{min}}},\
+           \"max\":{{\"point_estimate\":{max}}},\
+           \"sample_count\":{samples}}}\n"
+    );
+    let _ = std::fs::write(dir.join("estimates.json"), json);
+}
+
+/// Locates `<target>/criterion` by walking up from the running bench
+/// executable (which lives under `<target>/<profile>/deps/`) to the
+/// nearest ancestor directory named `target` — the same resolution
+/// upstream uses when `CARGO_TARGET_DIR` is unset.
+fn criterion_dir() -> Option<PathBuf> {
+    if let Some(dir) = std::env::var_os("CARGO_TARGET_DIR") {
+        return Some(PathBuf::from(dir).join("criterion"));
+    }
+    let exe = std::env::current_exe().ok()?;
+    exe.ancestors()
+        .find(|a| a.file_name().is_some_and(|n| n == "target"))
+        .map(|t| t.join("criterion"))
 }
 
 fn fmt_ns(ns: f64) -> String {
