@@ -9,9 +9,12 @@ use omn_bench::experiments::e15_scalability::scale_config;
 use omn_bench::experiments::{config_for, trace_for};
 use omn_contacts::synth::presets::TracePreset;
 use omn_contacts::synth::sharded::ShardedCommunitySource;
+use omn_contacts::synth::{generate_pairwise, PairwiseConfig};
 use omn_contacts::ContactSource;
 use omn_core::sim::{FreshnessSimulator, SchemeChoice};
-use omn_sim::RngFactory;
+use omn_sim::{RngFactory, SimDuration};
+use omn_traces::haggle::{write_haggle, HaggleFormat};
+use omn_traces::{IdPolicy, IngestConfig, TraceReader};
 
 fn bench_freshness_run(c: &mut Criterion) {
     let preset = TracePreset::InfocomLike;
@@ -49,9 +52,40 @@ fn bench_sharded_stream(c: &mut Criterion) {
     });
 }
 
+fn bench_trace_parse(c: &mut Criterion) {
+    // The E16 ingestion path: parse + normalize an in-memory ~1 MiB Haggle
+    // dump (deterministic synthetic contents, so the byte volume is fixed
+    // and the mean time converts directly to MB/s).
+    let config = PairwiseConfig::new(30, SimDuration::from_days(1.5))
+        .mean_rate(1.0 / 3600.0)
+        .mean_contact_duration(SimDuration::from_secs(120.0));
+    let trace = generate_pairwise(&config, &RngFactory::new(11));
+    let mut dump = Vec::new();
+    write_haggle(&trace, &mut dump).expect("in-memory write");
+    let mb = dump.len() as f64 / 1e6;
+    println!(
+        "traces/haggle_parse_1mb input: {:.2} MB, {} contacts",
+        mb,
+        trace.len()
+    );
+
+    c.bench_function("traces/haggle_parse_1mb", |b| {
+        b.iter(|| {
+            let cfg = IngestConfig::new(trace.node_count(), trace.span()).ids(IdPolicy::Dense);
+            let mut reader = TraceReader::new(dump.as_slice(), HaggleFormat::new(), cfg);
+            let mut n = 0usize;
+            while reader.next_contact().is_some() {
+                n += 1;
+            }
+            assert!(reader.error().is_none());
+            n
+        });
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_freshness_run, bench_sharded_stream
+    targets = bench_freshness_run, bench_sharded_stream, bench_trace_parse
 }
 criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Binary wrapper for experiment `e16_real_traces`.
+//!
+//! `--trace path [--trace-format reality|haggle|omn-v1]` runs the
+//! campaign on one dataset file instead of the built-in registry.
+
+fn main() {
+    omn_bench::experiments::e16_real_traces::run();
+}

@@ -1,9 +1,10 @@
-//! Runs the complete reconstructed evaluation (E1-E15) in order.
+//! Runs the complete reconstructed evaluation (E1-E16) in order.
 //!
 //! Seed replications run in parallel (one thread per seed, merged in seed
 //! order — byte-identical to serial). `--seeds a,b,c` overrides the seed
-//! set; `--nodes a,b,c` overrides E15's node-count sweep; `--serial`
-//! forces sequential execution.
+//! set; `--nodes a,b,c` overrides E15's node-count sweep; `--trace path`
+//! (with optional `--trace-format name`) points E16 at one dataset file;
+//! `--serial` forces sequential execution.
 
 fn main() {
     use omn_bench::experiments as e;
@@ -22,4 +23,5 @@ fn main() {
     e::e13_fault_tolerance::run();
     e::e14_joint_world::run();
     e::e15_scalability::run();
+    e::e16_real_traces::run();
 }

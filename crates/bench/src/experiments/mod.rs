@@ -17,6 +17,7 @@
 //! | E13 | [`e13_fault_tolerance`] | loss + churn fault tolerance (extension) |
 //! | E14 | [`e14_joint_world`] | joint world: contact-capacity contention (extension) |
 //! | E15 | [`e15_scalability`] | scalability with network size: streaming pipeline (extension) |
+//! | E16 | [`e16_real_traces`] | real traces: ingestion, calibration, freshness (extension) |
 
 pub mod e01_trace_stats;
 pub mod e02_delay_validation;
@@ -33,6 +34,7 @@ pub mod e12_load_distribution;
 pub mod e13_fault_tolerance;
 pub mod e14_joint_world;
 pub mod e15_scalability;
+pub mod e16_real_traces;
 
 use omn_contacts::synth::presets::TracePreset;
 use omn_contacts::ContactTrace;

@@ -14,6 +14,11 @@
 //!   [`SEEDS`] set.
 //! * `--nodes 100,1000` (or `--nodes=100,1000`) — replace the node-count
 //!   sweep of experiments that scale with network size (E15).
+//! * `--trace path` (or `--trace=path`) — run the real-trace experiment
+//!   (E16) on one dataset file instead of the built-in registry.
+//! * `--trace-format name` (or `--trace-format=name`) — the dump format of
+//!   `--trace` (`reality`, `haggle`, or `omn-v1`); sniffed from the file
+//!   when omitted.
 //! * `--serial` — run seeds sequentially on the calling thread (useful for
 //!   profiling and for demonstrating serial/parallel equivalence).
 
@@ -67,6 +72,32 @@ pub fn active_nodes(default: &[usize]) -> Vec<usize> {
 #[must_use]
 pub fn serial_requested() -> bool {
     std::env::args().skip(1).any(|a| a == "--serial")
+}
+
+/// A `--trace` override: run the real-trace experiment on one dataset file
+/// instead of the built-in registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceOverride {
+    /// Path of the dataset file.
+    pub path: String,
+    /// Dump-format name from `--trace-format`, if given (otherwise the
+    /// experiment sniffs the format from the file).
+    pub format: Option<String>,
+}
+
+/// The `--trace` / `--trace-format` override for this process, if any.
+#[must_use]
+pub fn active_trace() -> Option<TraceOverride> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    trace_from(argv.iter().cloned())
+}
+
+fn trace_from<I: Iterator<Item = String> + Clone>(args: I) -> Option<TraceOverride> {
+    let path = parse_str_flag(args.clone(), "--trace")?;
+    Some(TraceOverride {
+        path,
+        format: parse_str_flag(args, "--trace-format"),
+    })
 }
 
 fn seeds_from<I: Iterator<Item = String>>(args: I) -> Vec<u64> {
@@ -127,11 +158,44 @@ where
     None
 }
 
+/// Parses `--flag value` / `--flag=value` into a string. Returns `None`
+/// when the flag is absent or its value is empty.
+///
+/// # Panics
+///
+/// A trailing flag with no value (or one followed by another `--flag`) is
+/// a usage error, not a silent no-op.
+fn parse_str_flag<I: Iterator<Item = String>>(mut args: I, flag: &str) -> Option<String> {
+    let prefix = format!("{flag}=");
+    while let Some(arg) = args.next() {
+        let value = if let Some(rest) = arg.strip_prefix(&prefix) {
+            Some(rest.to_owned())
+        } else if arg == flag {
+            let next = args
+                .next()
+                .unwrap_or_else(|| panic!("{flag} requires a value"));
+            if next.starts_with("--") {
+                panic!("{flag} requires a value");
+            }
+            Some(next)
+        } else {
+            None
+        };
+        if let Some(value) = value {
+            let value = value.trim();
+            if !value.is_empty() {
+                return Some(value.to_owned());
+            }
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn args<'a>(list: &'a [&'a str]) -> impl Iterator<Item = String> + 'a {
+    fn args<'a>(list: &'a [&'a str]) -> impl Iterator<Item = String> + Clone + 'a {
         list.iter().map(|s| (*s).to_owned())
     }
 
@@ -197,6 +261,51 @@ mod tests {
     #[should_panic(expected = "--nodes takes a comma-separated list of integers")]
     fn malformed_node_list_is_an_error() {
         nodes_from(args(&["--nodes", "100,big,300"]), &[100]);
+    }
+
+    #[test]
+    fn parses_trace_override_forms() {
+        assert_eq!(trace_from(args(&[])), None);
+        assert_eq!(
+            trace_from(args(&["--trace", "datasets/reality.csv"])),
+            Some(TraceOverride {
+                path: "datasets/reality.csv".to_owned(),
+                format: None,
+            })
+        );
+        assert_eq!(
+            trace_from(args(&["--trace=a.dat", "--trace-format", "haggle"])),
+            Some(TraceOverride {
+                path: "a.dat".to_owned(),
+                format: Some("haggle".to_owned()),
+            })
+        );
+        // `--trace-format` alone is not an override.
+        assert_eq!(trace_from(args(&["--trace-format", "haggle"])), None);
+        // The shared parsers don't steal each other's values.
+        assert_eq!(
+            trace_from(args(&["--seeds", "1,2", "--trace", "t.csv"])),
+            Some(TraceOverride {
+                path: "t.csv".to_owned(),
+                format: None,
+            })
+        );
+        assert_eq!(
+            seeds_from(args(&["--seeds", "1,2", "--trace", "t.csv"])),
+            vec![1, 2]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "--trace requires a value")]
+    fn trailing_trace_flag_is_an_error() {
+        trace_from(args(&["--trace"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "--trace requires a value")]
+    fn trace_flag_followed_by_flag_is_an_error() {
+        trace_from(args(&["--trace", "--trace-format", "haggle"]));
     }
 
     #[test]

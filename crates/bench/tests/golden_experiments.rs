@@ -1,6 +1,7 @@
 //! Golden-value tests pinning the headline numbers of E2 (analysis vs
-//! simulation), E3 (freshness over time), E14 (joint-world contention) and
-//! E15 (streaming scalability) against committed golden files, plus the
+//! simulation), E3 (freshness over time), E14 (joint-world contention),
+//! E15 (streaming scalability) and E16 (real-trace ingestion and
+//! calibration) against committed golden files, plus the
 //! streamed-vs-materialized identity check of the pull-based driver.
 //!
 //! The pinned values are written with full bit patterns, so any change to
@@ -22,6 +23,7 @@ use std::path::PathBuf;
 
 use omn_bench::experiments::e14_joint_world::{joint_run, BUDGET, LOADS};
 use omn_bench::experiments::e15_scalability::{run_point, shards_for};
+use omn_bench::experiments::e16_real_traces::{repo_root, seed_point};
 use omn_bench::experiments::{config_for, trace_for};
 use omn_contacts::synth::presets::TracePreset;
 use omn_contacts::synth::{generate_pairwise, PairwiseConfig};
@@ -314,6 +316,83 @@ fn e15_headline_numbers() {
     line(&mut out, "contacts_total", hier.stats.contacts_total as f64);
     line(&mut out, "peak_resident", hier.stats.peak_resident as f64);
     check_golden("e15_headline.txt", &out);
+}
+
+#[test]
+fn e16_headline_numbers() {
+    // The vendored MIT Reality fixture, one seed: ingestion is pinned by
+    // the registry checksum, so everything downstream — the fitted model,
+    // the calibration check, and the freshness runs on the real and the
+    // fitted-synthetic trace — is deterministic. Wall-clock throughput is
+    // deliberately excluded.
+    let specs = omn_traces::registry(&repo_root());
+    let spec = specs
+        .iter()
+        .find(|s| s.name == "mit-reality")
+        .expect("vendored reality fixture is registered");
+    let ingested = spec.ingest().expect("fixture ingests cleanly");
+    let cal = omn_traces::Calibration::fit(&ingested.trace);
+    let point = seed_point(&ingested.trace, &cal, 11);
+
+    // Always-on invariants, independent of the recorded golden.
+    assert!(ingested.stats.merged > 0, "sighting runs must merge");
+    assert_eq!(ingested.stats.dropped(), 0, "{:?}", ingested.stats);
+    assert!(cal.mean_rate > 0.0 && cal.pair_coverage > 0.5);
+    assert!(
+        (0.2..=5.0).contains(&point.check.intensity_ratio),
+        "calibrated intensity ratio {} is far from 1",
+        point.check.intensity_ratio
+    );
+    for r in point.real.iter().chain(point.synth.iter()) {
+        assert!((0.0..=1.0).contains(&r.mean_freshness));
+        assert!((0.0..=1.0).contains(&r.requirement_satisfaction));
+        assert!(r.transmissions > 0);
+    }
+    // Epidemic flooding is at least as fresh as the tree scheme on the
+    // real trace, at higher overhead.
+    assert!(point.real[1].mean_freshness >= point.real[0].mean_freshness);
+    assert!(point.real[1].transmissions > point.real[0].transmissions);
+
+    let mut out = String::new();
+    line(&mut out, "real_contacts", ingested.trace.len() as f64);
+    line(&mut out, "real_intensity", point.check.real_intensity);
+    line(&mut out, "fitted_mean_rate", cal.mean_rate);
+    line(&mut out, "fitted_rate_shape", cal.rate_shape);
+    line(
+        &mut out,
+        "fitted_exp_ks",
+        cal.ict_ks_exponential.expect("repeat pairs exist"),
+    );
+    line(&mut out, "synth_intensity", point.check.synth_intensity);
+    line(
+        &mut out,
+        "ict_ks",
+        point
+            .check
+            .ict_ks
+            .expect("both traces have repeat meetings"),
+    );
+    line(
+        &mut out,
+        "real_hier_mean_freshness",
+        point.real[0].mean_freshness,
+    );
+    line(
+        &mut out,
+        "real_epi_mean_freshness",
+        point.real[1].mean_freshness,
+    );
+    line(
+        &mut out,
+        "real_hier_transmissions",
+        point.real[0].transmissions as f64,
+    );
+    line(
+        &mut out,
+        "synth_hier_mean_freshness",
+        point.synth[0].mean_freshness,
+    );
+    check_golden("e16_headline.txt", &out);
 }
 
 #[test]

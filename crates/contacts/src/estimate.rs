@@ -297,6 +297,17 @@ impl PairRateTable {
         self.pairs.len()
     }
 
+    /// Feeds every contact start of a materialized trace into the table,
+    /// in trace order.
+    ///
+    /// This is how offline calibration replays an ingested dataset through
+    /// the same estimator the protocol nodes run online.
+    pub fn observe_trace(&mut self, trace: &crate::ContactTrace) {
+        for c in trace.contacts() {
+            self.record_contact(c.a(), c.b(), c.start());
+        }
+    }
+
     /// Exports the table into a [`crate::ContactGraph`] snapshot as of
     /// `now`, for use by centralized planners.
     #[must_use]
@@ -383,6 +394,25 @@ mod tests {
         let g = table.to_graph(3, t(100.0));
         assert!((g.rate(NodeId(0), NodeId(1)) - 0.02).abs() < 1e-12);
         assert_eq!(g.rate(NodeId(1), NodeId(2)), 0.0);
+    }
+
+    #[test]
+    fn observe_trace_matches_manual_feed() {
+        use crate::contact::Contact;
+        use crate::trace::TraceBuilder;
+
+        let trace = TraceBuilder::new(3)
+            .span(t(100.0))
+            .contact(Contact::new(NodeId(0), NodeId(1), t(10.0), t(12.0)).unwrap())
+            .contact(Contact::new(NodeId(1), NodeId(2), t(20.0), t(25.0)).unwrap())
+            .contact(Contact::new(NodeId(0), NodeId(1), t(60.0), t(61.0)).unwrap())
+            .build()
+            .unwrap();
+        let mut table = PairRateTable::new(EstimatorKind::Cumulative, SimTime::ZERO);
+        table.observe_trace(&trace);
+        assert_eq!(table.observed_pairs(), 2);
+        assert!((table.rate(NodeId(0), NodeId(1), t(100.0)) - 0.02).abs() < 1e-12);
+        assert!((table.rate(NodeId(1), NodeId(2), t(100.0)) - 0.01).abs() < 1e-12);
     }
 
     #[test]

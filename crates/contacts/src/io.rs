@@ -19,22 +19,141 @@ use std::io::{BufRead, Write};
 
 use omn_sim::SimTime;
 
-use crate::contact::{Contact, NodeId};
+use crate::contact::{Contact, ContactError, NodeId};
 use crate::source::{ContactSource, LastContact};
 use crate::trace::{ContactTrace, TraceBuilder};
+
+/// What exactly was wrong with a malformed record.
+///
+/// Every reader in this module — and the real-dataset readers in the
+/// `omn-traces` crate — reports malformed input through this typed kind
+/// instead of a free-form string or a panic, so callers can branch on the
+/// failure class (skip-and-count in lenient ingestion, abort in strict).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ParseErrorKind {
+    /// Wrong number of fields on the line.
+    FieldCount {
+        /// Human-readable shape of the expected record.
+        expected: &'static str,
+        /// How many fields the line actually had.
+        got: usize,
+    },
+    /// A required field or header is absent.
+    Missing(&'static str),
+    /// A field failed numeric conversion.
+    Number {
+        /// Which field.
+        field: &'static str,
+        /// The offending token.
+        token: String,
+    },
+    /// A time value was rejected (negative, non-finite…).
+    Time {
+        /// Which field.
+        field: &'static str,
+        /// Why the time was rejected.
+        reason: String,
+    },
+    /// A token that should be one of a fixed set of words was not.
+    Token {
+        /// Which field.
+        field: &'static str,
+        /// The offending token.
+        token: String,
+    },
+    /// The record does not form a valid contact interval.
+    Contact(ContactError),
+    /// A node id is outside the declared population.
+    NodeOutOfRange {
+        /// The raw node id on the line.
+        id: u64,
+        /// The declared population size.
+        limit: usize,
+    },
+    /// More distinct raw node ids than the declared population (id
+    /// remapping ran out of dense ids).
+    NodeLimit {
+        /// The declared population size.
+        limit: usize,
+    },
+    /// The record extends past the declared span.
+    PastSpan,
+    /// The record is out of time order.
+    OutOfOrder,
+    /// A contact line appeared before the `nodes`/`span` header.
+    HeaderFirst,
+    /// A `down` event without a matching `up` (connectivity reports).
+    OrphanDown,
+    /// A duplicate `up` for an already-open connection.
+    DuplicateUp,
+}
+
+impl fmt::Display for ParseErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseErrorKind::FieldCount { expected, got } => {
+                write!(f, "expected {expected}, got {got} fields")
+            }
+            ParseErrorKind::Missing(field) => write!(f, "missing {field}"),
+            ParseErrorKind::Number { field, token } => {
+                write!(f, "bad {field}: `{token}` is not a number")
+            }
+            ParseErrorKind::Time { field, reason } => write!(f, "bad {field}: {reason}"),
+            ParseErrorKind::Token { field, token } => write!(f, "bad {field}: `{token}`"),
+            ParseErrorKind::Contact(e) => write!(f, "bad contact: {e}"),
+            ParseErrorKind::NodeOutOfRange { id, limit } => {
+                write!(f, "node id {id} out of range (population {limit})")
+            }
+            ParseErrorKind::NodeLimit { limit } => {
+                write!(f, "more than {limit} distinct node ids")
+            }
+            ParseErrorKind::PastSpan => write!(f, "contact extends past span"),
+            ParseErrorKind::OutOfOrder => write!(f, "events out of time order"),
+            ParseErrorKind::HeaderFirst => write!(
+                f,
+                "contact line before `nodes`/`span` header (streaming reads \
+                 need the header first)"
+            ),
+            ParseErrorKind::OrphanDown => write!(f, "`down` without matching `up`"),
+            ParseErrorKind::DuplicateUp => write!(f, "duplicate `up` for open connection"),
+        }
+    }
+}
+
+/// A malformed record: the 1-based line it occurred on plus the typed
+/// failure kind.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line number of the offending record.
+    pub line: usize,
+    /// What was wrong with it.
+    pub kind: ParseErrorKind,
+}
+
+impl ParseError {
+    /// Creates a parse error for `line`.
+    #[must_use]
+    pub fn new(line: usize, kind: ParseErrorKind) -> ParseError {
+        ParseError { line, kind }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error on line {}: {}", self.line, self.kind)
+    }
+}
+
+impl std::error::Error for ParseError {}
 
 /// Error produced while reading a trace.
 #[derive(Debug)]
 pub enum TraceIoError {
     /// Underlying I/O failure.
     Io(std::io::Error),
-    /// A malformed line, with its 1-based line number and a description.
-    Parse {
-        /// 1-based line number.
-        line: usize,
-        /// What was wrong.
-        message: String,
-    },
+    /// A malformed record, with its 1-based line number and typed kind.
+    Parse(ParseError),
     /// The trace content failed validation (bad node ids, span…).
     Invalid(String),
 }
@@ -43,9 +162,7 @@ impl fmt::Display for TraceIoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TraceIoError::Io(e) => write!(f, "i/o error: {e}"),
-            TraceIoError::Parse { line, message } => {
-                write!(f, "parse error on line {line}: {message}")
-            }
+            TraceIoError::Parse(e) => write!(f, "{e}"),
             TraceIoError::Invalid(msg) => write!(f, "invalid trace: {msg}"),
         }
     }
@@ -55,7 +172,8 @@ impl std::error::Error for TraceIoError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             TraceIoError::Io(e) => Some(e),
-            _ => None,
+            TraceIoError::Parse(e) => Some(e),
+            TraceIoError::Invalid(_) => None,
         }
     }
 }
@@ -63,6 +181,12 @@ impl std::error::Error for TraceIoError {
 impl From<std::io::Error> for TraceIoError {
     fn from(e: std::io::Error) -> TraceIoError {
         TraceIoError::Io(e)
+    }
+}
+
+impl From<ParseError> for TraceIoError {
+    fn from(e: ParseError) -> TraceIoError {
+        TraceIoError::Parse(e)
     }
 }
 
@@ -113,22 +237,22 @@ pub fn read_trace<R: BufRead>(r: R) -> Result<ContactTrace, TraceIoError> {
             "nodes" => {
                 let v = parts
                     .next()
-                    .ok_or_else(|| parse_err(line_no, "missing node count"))?;
+                    .ok_or_else(|| parse_err(line_no, ParseErrorKind::Missing("node count")))?;
                 nodes = Some(
                     v.parse::<usize>()
-                        .map_err(|e| parse_err(line_no, &format!("bad node count: {e}")))?,
+                        .map_err(|_| parse_err(line_no, number_kind("node count", v)))?,
                 );
             }
             "span" => {
                 let v = parts
                     .next()
-                    .ok_or_else(|| parse_err(line_no, "missing span"))?;
+                    .ok_or_else(|| parse_err(line_no, ParseErrorKind::Missing("span")))?;
                 let secs = v
                     .parse::<f64>()
-                    .map_err(|e| parse_err(line_no, &format!("bad span: {e}")))?;
+                    .map_err(|_| parse_err(line_no, number_kind("span", v)))?;
                 span = Some(
                     SimTime::try_from_secs(secs)
-                        .map_err(|e| parse_err(line_no, &format!("bad span: {e}")))?,
+                        .map_err(|e| parse_err(line_no, time_kind("span", &e)))?,
                 );
             }
             _ => {
@@ -136,27 +260,30 @@ pub fn read_trace<R: BufRead>(r: R) -> Result<ContactTrace, TraceIoError> {
                 if fields.len() != 4 {
                     return Err(parse_err(
                         line_no,
-                        &format!("expected `a b start end`, got {} fields", fields.len()),
+                        ParseErrorKind::FieldCount {
+                            expected: "`a b start end`",
+                            got: fields.len(),
+                        },
                     ));
                 }
                 let a: u32 = fields[0]
                     .parse()
-                    .map_err(|e| parse_err(line_no, &format!("bad node id: {e}")))?;
+                    .map_err(|_| parse_err(line_no, number_kind("node id", fields[0])))?;
                 let b: u32 = fields[1]
                     .parse()
-                    .map_err(|e| parse_err(line_no, &format!("bad node id: {e}")))?;
+                    .map_err(|_| parse_err(line_no, number_kind("node id", fields[1])))?;
                 let start: f64 = fields[2]
                     .parse()
-                    .map_err(|e| parse_err(line_no, &format!("bad start: {e}")))?;
+                    .map_err(|_| parse_err(line_no, number_kind("start", fields[2])))?;
                 let end: f64 = fields[3]
                     .parse()
-                    .map_err(|e| parse_err(line_no, &format!("bad end: {e}")))?;
+                    .map_err(|_| parse_err(line_no, number_kind("end", fields[3])))?;
                 let start = SimTime::try_from_secs(start)
-                    .map_err(|e| parse_err(line_no, &format!("bad start: {e}")))?;
+                    .map_err(|e| parse_err(line_no, time_kind("start", &e)))?;
                 let end = SimTime::try_from_secs(end)
-                    .map_err(|e| parse_err(line_no, &format!("bad end: {e}")))?;
+                    .map_err(|e| parse_err(line_no, time_kind("end", &e)))?;
                 let contact = Contact::new(NodeId(a), NodeId(b), start, end)
-                    .map_err(|e| parse_err(line_no, &format!("bad contact: {e}")))?;
+                    .map_err(|e| parse_err(line_no, ParseErrorKind::Contact(e)))?;
                 contacts.push(contact);
             }
         }
@@ -172,10 +299,21 @@ pub fn read_trace<R: BufRead>(r: R) -> Result<ContactTrace, TraceIoError> {
         .map_err(|e| TraceIoError::Invalid(e.to_string()))
 }
 
-fn parse_err(line: usize, message: &str) -> TraceIoError {
-    TraceIoError::Parse {
-        line,
-        message: message.to_owned(),
+fn parse_err(line: usize, kind: ParseErrorKind) -> TraceIoError {
+    TraceIoError::Parse(ParseError::new(line, kind))
+}
+
+fn number_kind(field: &'static str, token: &str) -> ParseErrorKind {
+    ParseErrorKind::Number {
+        field,
+        token: token.to_owned(),
+    }
+}
+
+fn time_kind(field: &'static str, reason: &dyn fmt::Display) -> ParseErrorKind {
+    ParseErrorKind::Time {
+        field,
+        reason: reason.to_string(),
     }
 }
 
@@ -233,30 +371,26 @@ impl<R: BufRead> StreamingTraceSource<R> {
                 "nodes" => {
                     let v = parts
                         .next()
-                        .ok_or_else(|| parse_err(line_no, "missing node count"))?;
+                        .ok_or_else(|| parse_err(line_no, ParseErrorKind::Missing("node count")))?;
                     nodes = Some(
                         v.parse::<usize>()
-                            .map_err(|e| parse_err(line_no, &format!("bad node count: {e}")))?,
+                            .map_err(|_| parse_err(line_no, number_kind("node count", v)))?,
                     );
                 }
                 "span" => {
                     let v = parts
                         .next()
-                        .ok_or_else(|| parse_err(line_no, "missing span"))?;
+                        .ok_or_else(|| parse_err(line_no, ParseErrorKind::Missing("span")))?;
                     let secs = v
                         .parse::<f64>()
-                        .map_err(|e| parse_err(line_no, &format!("bad span: {e}")))?;
+                        .map_err(|_| parse_err(line_no, number_kind("span", v)))?;
                     span = Some(
                         SimTime::try_from_secs(secs)
-                            .map_err(|e| parse_err(line_no, &format!("bad span: {e}")))?,
+                            .map_err(|e| parse_err(line_no, time_kind("span", &e)))?,
                     );
                 }
                 _ => {
-                    return Err(parse_err(
-                        line_no,
-                        "contact line before `nodes`/`span` header (streaming \
-                         reads need the header first)",
-                    ));
+                    return Err(parse_err(line_no, ParseErrorKind::HeaderFirst));
                 }
             }
         }
@@ -282,33 +416,44 @@ impl<R: BufRead> StreamingTraceSource<R> {
         if fields.len() != 4 {
             return Err(parse_err(
                 line_no,
-                &format!("expected `a b start end`, got {} fields", fields.len()),
+                ParseErrorKind::FieldCount {
+                    expected: "`a b start end`",
+                    got: fields.len(),
+                },
             ));
         }
         let a: u32 = fields[0]
             .parse()
-            .map_err(|e| parse_err(line_no, &format!("bad node id: {e}")))?;
+            .map_err(|_| parse_err(line_no, number_kind("node id", fields[0])))?;
         let b: u32 = fields[1]
             .parse()
-            .map_err(|e| parse_err(line_no, &format!("bad node id: {e}")))?;
-        if a as usize >= self.nodes || b as usize >= self.nodes {
-            return Err(parse_err(line_no, "node id out of range"));
+            .map_err(|_| parse_err(line_no, number_kind("node id", fields[1])))?;
+        for id in [a, b] {
+            if id as usize >= self.nodes {
+                return Err(parse_err(
+                    line_no,
+                    ParseErrorKind::NodeOutOfRange {
+                        id: u64::from(id),
+                        limit: self.nodes,
+                    },
+                ));
+            }
         }
         let start: f64 = fields[2]
             .parse()
-            .map_err(|e| parse_err(line_no, &format!("bad start: {e}")))?;
+            .map_err(|_| parse_err(line_no, number_kind("start", fields[2])))?;
         let end: f64 = fields[3]
             .parse()
-            .map_err(|e| parse_err(line_no, &format!("bad end: {e}")))?;
+            .map_err(|_| parse_err(line_no, number_kind("end", fields[3])))?;
         let start = SimTime::try_from_secs(start)
-            .map_err(|e| parse_err(line_no, &format!("bad start: {e}")))?;
-        let end = SimTime::try_from_secs(end)
-            .map_err(|e| parse_err(line_no, &format!("bad end: {e}")))?;
+            .map_err(|e| parse_err(line_no, time_kind("start", &e)))?;
+        let end =
+            SimTime::try_from_secs(end).map_err(|e| parse_err(line_no, time_kind("end", &e)))?;
         if end > self.span {
-            return Err(parse_err(line_no, "contact extends past span"));
+            return Err(parse_err(line_no, ParseErrorKind::PastSpan));
         }
         Contact::new(NodeId(a), NodeId(b), start, end)
-            .map_err(|e| parse_err(line_no, &format!("bad contact: {e}")))
+            .map_err(|e| parse_err(line_no, ParseErrorKind::Contact(e)))
     }
 }
 
@@ -389,39 +534,57 @@ pub fn read_one_report<R: BufRead>(r: R) -> Result<ContactTrace, TraceIoError> {
             continue;
         }
         let fields: Vec<&str> = line.split_whitespace().collect();
-        if fields.len() != 5 || fields[1] != "CONN" {
-            return Err(parse_err(line_no, "expected `<time> CONN <a> <b> up|down`"));
+        if fields.len() != 5 {
+            return Err(parse_err(
+                line_no,
+                ParseErrorKind::FieldCount {
+                    expected: "`<time> CONN <a> <b> up|down`",
+                    got: fields.len(),
+                },
+            ));
+        }
+        if fields[1] != "CONN" {
+            return Err(parse_err(
+                line_no,
+                ParseErrorKind::Token {
+                    field: "record type (expected CONN)",
+                    token: fields[1].to_owned(),
+                },
+            ));
         }
         let time_secs: f64 = fields[0]
             .parse()
-            .map_err(|e| parse_err(line_no, &format!("bad time: {e}")))?;
+            .map_err(|_| parse_err(line_no, number_kind("time", fields[0])))?;
         let time = SimTime::try_from_secs(time_secs)
-            .map_err(|e| parse_err(line_no, &format!("bad time: {e}")))?;
+            .map_err(|e| parse_err(line_no, time_kind("time", &e)))?;
         if time < last_time {
-            return Err(parse_err(line_no, "events out of time order"));
+            return Err(parse_err(line_no, ParseErrorKind::OutOfOrder));
         }
         last_time = time;
         let a: u32 = fields[2]
             .parse()
-            .map_err(|e| parse_err(line_no, &format!("bad node id: {e}")))?;
+            .map_err(|_| parse_err(line_no, number_kind("node id", fields[2])))?;
         let b: u32 = fields[3]
             .parse()
-            .map_err(|e| parse_err(line_no, &format!("bad node id: {e}")))?;
+            .map_err(|_| parse_err(line_no, number_kind("node id", fields[3])))?;
         if a == b {
-            return Err(parse_err(line_no, "self connection"));
+            return Err(parse_err(
+                line_no,
+                ParseErrorKind::Contact(ContactError::SelfContact),
+            ));
         }
         max_node = max_node.max(a).max(b);
         let key = if a < b { (a, b) } else { (b, a) };
         match fields[4] {
             "up" => {
                 if open.insert(key, time).is_some() {
-                    return Err(parse_err(line_no, "duplicate `up` for open connection"));
+                    return Err(parse_err(line_no, ParseErrorKind::DuplicateUp));
                 }
             }
             "down" => {
                 let start = open
                     .remove(&key)
-                    .ok_or_else(|| parse_err(line_no, "`down` without matching `up`"))?;
+                    .ok_or_else(|| parse_err(line_no, ParseErrorKind::OrphanDown))?;
                 if time > start {
                     contacts.push(
                         Contact::new(NodeId(key.0), NodeId(key.1), start, time)
@@ -432,7 +595,10 @@ pub fn read_one_report<R: BufRead>(r: R) -> Result<ContactTrace, TraceIoError> {
             other => {
                 return Err(parse_err(
                     line_no,
-                    &format!("expected up|down, got `{other}`"),
+                    ParseErrorKind::Token {
+                        field: "event (expected up|down)",
+                        token: other.to_owned(),
+                    },
                 ));
             }
         }
@@ -510,7 +676,13 @@ mod tests {
     fn reports_line_numbers() {
         let text = "nodes 2\n0 1 oops 2\n";
         match read_trace(text.as_bytes()).unwrap_err() {
-            TraceIoError::Parse { line, .. } => assert_eq!(line, 2),
+            TraceIoError::Parse(e) => {
+                assert_eq!(e.line, 2);
+                assert!(matches!(
+                    e.kind,
+                    ParseErrorKind::Number { field: "start", .. }
+                ));
+            }
             other => panic!("expected parse error, got {other}"),
         }
     }
@@ -518,10 +690,12 @@ mod tests {
     #[test]
     fn rejects_wrong_field_count() {
         let text = "nodes 2\n0 1 5\n";
-        assert!(matches!(
-            read_trace(text.as_bytes()).unwrap_err(),
-            TraceIoError::Parse { .. }
-        ));
+        match read_trace(text.as_bytes()).unwrap_err() {
+            TraceIoError::Parse(e) => {
+                assert!(matches!(e.kind, ParseErrorKind::FieldCount { got: 3, .. }));
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
     }
 
     #[test]
@@ -529,7 +703,10 @@ mod tests {
         let text = "nodes 2\n1 1 0 5\n";
         let err = read_trace(text.as_bytes()).unwrap_err();
         match err {
-            TraceIoError::Parse { message, .. } => assert!(message.contains("same node")),
+            TraceIoError::Parse(e) => {
+                assert_eq!(e.kind, ParseErrorKind::Contact(ContactError::SelfContact));
+                assert!(e.to_string().contains("same node"));
+            }
             other => panic!("unexpected {other}"),
         }
     }
@@ -545,8 +722,10 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = parse_err(7, "bad things");
-        assert!(e.to_string().contains("line 7"));
+        let e = parse_err(7, ParseErrorKind::PastSpan);
+        let rendered = e.to_string();
+        assert!(rendered.contains("line 7"), "{rendered}");
+        assert!(rendered.contains("past span"), "{rendered}");
     }
 
     #[test]
@@ -640,7 +819,16 @@ mod tests {
     #[test]
     fn streaming_source_requires_header_first() {
         let err = StreamingTraceSource::open("0 1 1 2\nnodes 2\nspan 50\n".as_bytes()).unwrap_err();
-        assert!(matches!(err, TraceIoError::Parse { line: 1, .. }), "{err}");
+        assert!(
+            matches!(
+                &err,
+                TraceIoError::Parse(ParseError {
+                    line: 1,
+                    kind: ParseErrorKind::HeaderFirst,
+                })
+            ),
+            "{err}"
+        );
         let err = StreamingTraceSource::open("nodes 2\n".as_bytes()).unwrap_err();
         assert!(matches!(err, TraceIoError::Invalid(_)), "{err}");
     }
@@ -655,7 +843,7 @@ mod tests {
         assert_eq!(src.next_contact(), None);
         assert_eq!(src.next_contact(), None);
         match src.error() {
-            Some(TraceIoError::Parse { line, .. }) => assert_eq!(*line, 4),
+            Some(TraceIoError::Parse(e)) => assert_eq!(e.line, 4),
             other => panic!("expected recorded parse error, got {other:?}"),
         }
     }
@@ -665,12 +853,20 @@ mod tests {
         let text = "nodes 2\nspan 50\n0 9 1 2\n";
         let mut src = StreamingTraceSource::open(text.as_bytes()).unwrap();
         assert_eq!(src.next_contact(), None);
-        assert!(src.error().is_some());
+        match src.error() {
+            Some(TraceIoError::Parse(e)) => {
+                assert_eq!(e.kind, ParseErrorKind::NodeOutOfRange { id: 9, limit: 2 })
+            }
+            other => panic!("expected out-of-range error, got {other:?}"),
+        }
 
         let text = "nodes 2\nspan 50\n0 1 40 60\n";
         let mut src = StreamingTraceSource::open(text.as_bytes()).unwrap();
         assert_eq!(src.next_contact(), None);
-        assert!(matches!(src.error(), Some(TraceIoError::Parse { .. })));
+        match src.error() {
+            Some(TraceIoError::Parse(e)) => assert_eq!(e.kind, ParseErrorKind::PastSpan),
+            other => panic!("expected past-span error, got {other:?}"),
+        }
     }
 
     #[test]

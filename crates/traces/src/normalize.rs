@@ -1,0 +1,576 @@
+//! Record normalization shared by every dataset reader.
+//!
+//! Real contact dumps are messier than the internal v1 format: node ids are
+//! arbitrary (MAC-derived, 1-based, sparse), the same pair can be reported
+//! twice for one physical encounter (both radios scan), and proximity is
+//! sampled rather than edge-triggered, so one encounter appears as a run of
+//! short sightings. The [`Normalizer`] turns a stream of [`RawRecord`]s into
+//! valid, stream-ordered [`Contact`]s:
+//!
+//! * **id remapping** — raw 64-bit ids become dense [`NodeId`]s, either in
+//!   first-seen order ([`IdPolicy::FirstSeen`]) or taken verbatim
+//!   ([`IdPolicy::Dense`]);
+//! * **duplicate/overlap merging** — same-pair records whose gap is at most
+//!   `merge_gap` coalesce into one contact;
+//! * **strict vs lenient policy** — malformed, out-of-order, or
+//!   past-span records either abort ingestion ([`RecordPolicy::Strict`])
+//!   with a typed [`ParseError`], or are skipped and counted
+//!   ([`RecordPolicy::Lenient`]).
+//!
+//! Memory is bounded by the number of concurrently-open pairs plus the
+//! reorder window introduced by merging — not by the file size — so the
+//! normalizer preserves the streaming property of the readers built on it.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+use omn_contacts::io::{ParseError, ParseErrorKind};
+use omn_contacts::{Contact, ContactError, NodeId};
+use omn_sim::SimTime;
+
+/// One record as it appears in a dataset file, before normalization: raw
+/// (possibly sparse, possibly unordered) node ids and a sighting interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RawRecord {
+    /// First raw node id, as written in the file.
+    pub a: u64,
+    /// Second raw node id, as written in the file.
+    pub b: u64,
+    /// Sighting start (seconds from trace origin).
+    pub start: SimTime,
+    /// Sighting end (seconds from trace origin).
+    pub end: SimTime,
+}
+
+/// What to do with records that fail validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordPolicy {
+    /// Abort ingestion with a typed [`ParseError`] at the offending line.
+    Strict,
+    /// Skip the record and count it in [`IngestStats`].
+    Lenient,
+}
+
+/// How raw node ids map to dense [`NodeId`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdPolicy {
+    /// Assign dense ids in order of first appearance (the normal mode for
+    /// real datasets, whose ids are arbitrary).
+    FirstSeen,
+    /// Use raw ids verbatim; every id must already be `< nodes`. This keeps
+    /// identities stable, which round-trip tests rely on.
+    Dense,
+}
+
+/// Normalization parameters for one ingestion run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IngestConfig {
+    /// Population size of the resulting trace.
+    pub nodes: usize,
+    /// Span of the resulting trace; records past it are rejected (strict)
+    /// or clamped/skipped (lenient).
+    pub span: SimTime,
+    /// Malformed-record policy.
+    pub policy: RecordPolicy,
+    /// Node-id mapping policy.
+    pub ids: IdPolicy,
+    /// Same-pair records whose gap is `<= merge_gap` seconds coalesce into
+    /// one contact. Zero merges only overlapping/abutting records.
+    pub merge_gap: f64,
+}
+
+impl IngestConfig {
+    /// Strict ingestion with first-seen id mapping and no gap merging.
+    #[must_use]
+    pub fn new(nodes: usize, span: SimTime) -> IngestConfig {
+        IngestConfig {
+            nodes,
+            span,
+            policy: RecordPolicy::Strict,
+            ids: IdPolicy::FirstSeen,
+            merge_gap: 0.0,
+        }
+    }
+
+    /// Sets the malformed-record policy.
+    #[must_use]
+    pub fn policy(mut self, policy: RecordPolicy) -> IngestConfig {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the id-mapping policy.
+    #[must_use]
+    pub fn ids(mut self, ids: IdPolicy) -> IngestConfig {
+        self.ids = ids;
+        self
+    }
+
+    /// Sets the same-pair merge gap in seconds.
+    #[must_use]
+    pub fn merge_gap(mut self, gap: f64) -> IngestConfig {
+        assert!(gap >= 0.0 && gap.is_finite(), "merge_gap must be >= 0");
+        self.merge_gap = gap;
+        self
+    }
+}
+
+/// Counters for what lenient normalization did to the record stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Records accepted (after merging they may share a contact).
+    pub records: u64,
+    /// Records skipped because they were malformed (self-contact, empty
+    /// interval, unparseable line).
+    pub malformed: u64,
+    /// Records skipped because they regressed the time order.
+    pub out_of_order: u64,
+    /// Records merged into an already-open same-pair contact.
+    pub merged: u64,
+    /// Records whose end was clamped to the span.
+    pub clamped: u64,
+    /// Records skipped because their node ids could not be mapped.
+    pub unmapped: u64,
+    /// Records skipped because they start at or past the span.
+    pub past_span: u64,
+}
+
+impl IngestStats {
+    /// Total records dropped (not represented in the output at all).
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.malformed + self.out_of_order + self.unmapped + self.past_span
+    }
+}
+
+/// Wrapper giving [`Contact`] the total `(start, end, a, b)` order the
+/// contact driver expects, so closed contacts can sit in a heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ByStreamOrder(Contact);
+
+impl ByStreamOrder {
+    fn key(&self) -> (f64, f64, u32, u32) {
+        let c = &self.0;
+        (c.start().as_secs(), c.end().as_secs(), c.a().0, c.b().0)
+    }
+}
+
+impl Eq for ByStreamOrder {}
+
+impl Ord for ByStreamOrder {
+    fn cmp(&self, other: &ByStreamOrder) -> Ordering {
+        let (s1, e1, a1, b1) = self.key();
+        let (s2, e2, a2, b2) = other.key();
+        s1.total_cmp(&s2)
+            .then(e1.total_cmp(&e2))
+            .then(a1.cmp(&a2))
+            .then(b1.cmp(&b2))
+    }
+}
+
+impl PartialOrd for ByStreamOrder {
+    fn partial_cmp(&self, other: &ByStreamOrder) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Streaming record normalizer (see the module docs for what it does).
+///
+/// Records must be pushed in nondecreasing `start` order (real dumps are
+/// sorted; violations are handled per [`RecordPolicy`]). Contacts become
+/// available from [`pop_ready`](Normalizer::pop_ready) as soon as no future
+/// record can precede them in `(start, end, pair)` order.
+#[derive(Debug)]
+pub struct Normalizer {
+    config: IngestConfig,
+    id_map: HashMap<u64, NodeId>,
+    /// Per-pair contact currently being extended by merging.
+    open: HashMap<(NodeId, NodeId), (SimTime, SimTime)>,
+    /// Closed contacts not yet safe to release.
+    ready: BinaryHeap<std::cmp::Reverse<ByStreamOrder>>,
+    /// Largest record start accepted so far.
+    watermark: SimTime,
+    finished: bool,
+    stats: IngestStats,
+}
+
+impl Normalizer {
+    /// Creates a normalizer for one ingestion run.
+    #[must_use]
+    pub fn new(config: IngestConfig) -> Normalizer {
+        Normalizer {
+            config,
+            id_map: HashMap::new(),
+            open: HashMap::new(),
+            ready: BinaryHeap::new(),
+            watermark: SimTime::ZERO,
+            finished: false,
+            stats: IngestStats::default(),
+        }
+    }
+
+    /// Counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> IngestStats {
+        self.stats
+    }
+
+    /// The raw-id → dense-id mapping built so far.
+    #[must_use]
+    pub fn id_map(&self) -> &HashMap<u64, NodeId> {
+        &self.id_map
+    }
+
+    /// Counts a line the reader skipped as malformed before it could become
+    /// a record (lenient parse failures).
+    pub fn count_malformed(&mut self) {
+        self.stats.malformed += 1;
+    }
+
+    fn map_id(&mut self, raw: u64, line: usize) -> Result<Option<NodeId>, ParseError> {
+        match self.config.ids {
+            IdPolicy::Dense => {
+                if raw < self.config.nodes as u64 {
+                    Ok(Some(NodeId(
+                        u32::try_from(raw).expect("raw < nodes <= u32::MAX"),
+                    )))
+                } else if self.config.policy == RecordPolicy::Strict {
+                    Err(ParseError::new(
+                        line,
+                        ParseErrorKind::NodeOutOfRange {
+                            id: raw,
+                            limit: self.config.nodes,
+                        },
+                    ))
+                } else {
+                    Ok(None)
+                }
+            }
+            IdPolicy::FirstSeen => {
+                if let Some(&id) = self.id_map.get(&raw) {
+                    return Ok(Some(id));
+                }
+                let next = self.id_map.len();
+                if next < self.config.nodes {
+                    let id = NodeId(u32::try_from(next).expect("next < nodes <= u32::MAX"));
+                    self.id_map.insert(raw, id);
+                    Ok(Some(id))
+                } else if self.config.policy == RecordPolicy::Strict {
+                    Err(ParseError::new(
+                        line,
+                        ParseErrorKind::NodeLimit {
+                            limit: self.config.nodes,
+                        },
+                    ))
+                } else {
+                    Ok(None)
+                }
+            }
+        }
+    }
+
+    /// Feeds one record, read from 1-based `line`.
+    ///
+    /// # Errors
+    ///
+    /// Under [`RecordPolicy::Strict`], returns a [`ParseError`] for
+    /// self-contacts, empty intervals, out-of-order or past-span records,
+    /// and unmappable node ids. Under [`RecordPolicy::Lenient`] those
+    /// records are counted and skipped instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`finish`](Normalizer::finish).
+    pub fn push(&mut self, rec: RawRecord, line: usize) -> Result<(), ParseError> {
+        assert!(!self.finished, "Normalizer::push after finish");
+        let strict = self.config.policy == RecordPolicy::Strict;
+
+        if rec.a == rec.b {
+            if strict {
+                return Err(ParseError::new(
+                    line,
+                    ParseErrorKind::Contact(ContactError::SelfContact),
+                ));
+            }
+            self.stats.malformed += 1;
+            return Ok(());
+        }
+        if rec.end <= rec.start {
+            if strict {
+                return Err(ParseError::new(
+                    line,
+                    ParseErrorKind::Contact(ContactError::EmptyInterval),
+                ));
+            }
+            self.stats.malformed += 1;
+            return Ok(());
+        }
+        if rec.start >= self.config.span {
+            if strict {
+                return Err(ParseError::new(line, ParseErrorKind::PastSpan));
+            }
+            self.stats.past_span += 1;
+            return Ok(());
+        }
+        let mut end = rec.end;
+        if end > self.config.span {
+            if strict {
+                return Err(ParseError::new(line, ParseErrorKind::PastSpan));
+            }
+            end = self.config.span;
+            self.stats.clamped += 1;
+        }
+        if rec.start < self.watermark {
+            if strict {
+                return Err(ParseError::new(line, ParseErrorKind::OutOfOrder));
+            }
+            self.stats.out_of_order += 1;
+            return Ok(());
+        }
+
+        let (Some(a), Some(b)) = (self.map_id(rec.a, line)?, self.map_id(rec.b, line)?) else {
+            // Lenient id overflow: the record references a node we cannot
+            // represent. (Strict already returned above.)
+            self.stats.unmapped += 1;
+            return Ok(());
+        };
+
+        self.watermark = self.watermark.max(rec.start);
+        self.stats.records += 1;
+
+        let key = if a < b { (a, b) } else { (b, a) };
+        match self.open.get_mut(&key) {
+            Some((_, open_end))
+                if rec.start.as_secs() <= open_end.as_secs() + self.config.merge_gap =>
+            {
+                *open_end = (*open_end).max(end);
+                self.stats.merged += 1;
+            }
+            Some(slot) => {
+                let (old_start, old_end) = *slot;
+                *slot = (rec.start, end);
+                self.close(key, old_start, old_end);
+            }
+            None => {
+                self.open.insert(key, (rec.start, end));
+            }
+        }
+        Ok(())
+    }
+
+    fn close(&mut self, key: (NodeId, NodeId), start: SimTime, end: SimTime) {
+        let contact =
+            Contact::new(key.0, key.1, start, end).expect("normalizer keeps intervals valid");
+        self.ready.push(std::cmp::Reverse(ByStreamOrder(contact)));
+    }
+
+    /// Declares the record stream over, closing every still-open contact so
+    /// the remaining output can drain.
+    pub fn finish(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        let open: Vec<_> = self.open.drain().collect();
+        for (key, (start, end)) in open {
+            self.close(key, start, end);
+        }
+    }
+
+    /// Next contact that is safe to release in `(start, end, pair)` order,
+    /// or `None` if every released contact must wait for more input (or the
+    /// stream is fully drained after [`finish`](Normalizer::finish)).
+    pub fn pop_ready(&mut self) -> Option<Contact> {
+        let head_start = self.ready.peek()?.0 .0.start();
+        if !self.finished {
+            // A still-open contact with an earlier start, or a future record
+            // at the watermark, could still order before the heap head.
+            let open_min = self
+                .open
+                .values()
+                .map(|(s, _)| s.as_secs())
+                .fold(f64::INFINITY, f64::min);
+            let bound = self.watermark.as_secs().min(open_min);
+            if head_start.as_secs() >= bound {
+                return None;
+            }
+        }
+        Some(self.ready.pop().expect("peeked above").0 .0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    fn rec(a: u64, b: u64, start: f64, end: f64) -> RawRecord {
+        RawRecord {
+            a,
+            b,
+            start: t(start),
+            end: t(end),
+        }
+    }
+
+    fn drain(norm: &mut Normalizer) -> Vec<Contact> {
+        norm.finish();
+        std::iter::from_fn(|| norm.pop_ready()).collect()
+    }
+
+    #[test]
+    fn remaps_first_seen_ids_densely() {
+        let mut norm = Normalizer::new(IngestConfig::new(3, t(100.0)));
+        norm.push(rec(900, 17, 0.0, 5.0), 1).unwrap();
+        norm.push(rec(17, 4, 10.0, 12.0), 2).unwrap();
+        let contacts = drain(&mut norm);
+        assert_eq!(contacts.len(), 2);
+        assert_eq!(contacts[0].pair(), (NodeId(0), NodeId(1)));
+        assert_eq!(contacts[1].pair(), (NodeId(1), NodeId(2)));
+        assert_eq!(norm.id_map()[&900], NodeId(0));
+    }
+
+    #[test]
+    fn dense_policy_uses_raw_ids() {
+        let mut norm = Normalizer::new(IngestConfig::new(5, t(100.0)).ids(IdPolicy::Dense));
+        norm.push(rec(4, 2, 0.0, 5.0), 1).unwrap();
+        let contacts = drain(&mut norm);
+        assert_eq!(contacts[0].pair(), (NodeId(2), NodeId(4)));
+    }
+
+    #[test]
+    fn dense_policy_rejects_out_of_range() {
+        let mut norm = Normalizer::new(IngestConfig::new(3, t(100.0)).ids(IdPolicy::Dense));
+        let err = norm.push(rec(0, 3, 0.0, 5.0), 9).unwrap_err();
+        assert_eq!(err.line, 9);
+        assert!(matches!(
+            err.kind,
+            ParseErrorKind::NodeOutOfRange { id: 3, limit: 3 }
+        ));
+    }
+
+    #[test]
+    fn first_seen_policy_rejects_population_overflow() {
+        let mut norm = Normalizer::new(IngestConfig::new(2, t(100.0)));
+        norm.push(rec(10, 20, 0.0, 5.0), 1).unwrap();
+        let err = norm.push(rec(10, 30, 10.0, 15.0), 2).unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::NodeLimit { limit: 2 }));
+
+        // Lenient mode skips and counts instead.
+        let mut norm =
+            Normalizer::new(IngestConfig::new(2, t(100.0)).policy(RecordPolicy::Lenient));
+        norm.push(rec(10, 20, 0.0, 5.0), 1).unwrap();
+        norm.push(rec(10, 30, 10.0, 15.0), 2).unwrap();
+        assert_eq!(norm.stats().unmapped, 1);
+        assert_eq!(drain(&mut norm).len(), 1);
+    }
+
+    #[test]
+    fn merges_same_pair_within_gap() {
+        let mut norm = Normalizer::new(IngestConfig::new(2, t(1000.0)).merge_gap(10.0));
+        norm.push(rec(0, 1, 0.0, 5.0), 1).unwrap();
+        norm.push(rec(0, 1, 12.0, 20.0), 2).unwrap(); // gap 7 <= 10: merge
+        norm.push(rec(0, 1, 40.0, 50.0), 3).unwrap(); // gap 20 > 10: new contact
+        let contacts = drain(&mut norm);
+        assert_eq!(contacts.len(), 2);
+        assert_eq!(contacts[0].start(), t(0.0));
+        assert_eq!(contacts[0].end(), t(20.0));
+        assert_eq!(contacts[1].start(), t(40.0));
+        assert_eq!(norm.stats().merged, 1);
+    }
+
+    #[test]
+    fn merges_duplicate_overlapping_reports() {
+        // Both radios report the same encounter with slightly different
+        // windows — a single contact covering the union must come out.
+        let mut norm = Normalizer::new(IngestConfig::new(2, t(1000.0)));
+        norm.push(rec(0, 1, 10.0, 30.0), 1).unwrap();
+        norm.push(rec(1, 0, 12.0, 28.0), 2).unwrap();
+        let contacts = drain(&mut norm);
+        assert_eq!(contacts.len(), 1);
+        assert_eq!(contacts[0].start(), t(10.0));
+        assert_eq!(contacts[0].end(), t(30.0));
+    }
+
+    #[test]
+    fn strict_rejects_and_lenient_skips_bad_records() {
+        for (bad, kind_check) in [
+            (rec(1, 1, 0.0, 5.0), "self"),
+            (rec(0, 1, 5.0, 5.0), "empty"),
+            (rec(0, 1, 2000.0, 2001.0), "past-span"),
+        ] {
+            let mut strict = Normalizer::new(IngestConfig::new(4, t(1000.0)));
+            assert!(strict.push(bad, 3).is_err(), "strict accepts {kind_check}");
+
+            let mut lenient =
+                Normalizer::new(IngestConfig::new(4, t(1000.0)).policy(RecordPolicy::Lenient));
+            lenient.push(bad, 3).unwrap();
+            assert!(drain(&mut lenient).is_empty());
+            assert_eq!(lenient.stats().dropped(), 1, "{kind_check} not counted");
+        }
+    }
+
+    #[test]
+    fn strict_rejects_out_of_order_lenient_skips() {
+        let mut strict = Normalizer::new(IngestConfig::new(4, t(1000.0)));
+        strict.push(rec(0, 1, 50.0, 60.0), 1).unwrap();
+        let err = strict.push(rec(2, 3, 10.0, 20.0), 2).unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::OutOfOrder);
+        assert_eq!(err.line, 2);
+
+        let mut lenient =
+            Normalizer::new(IngestConfig::new(4, t(1000.0)).policy(RecordPolicy::Lenient));
+        lenient.push(rec(0, 1, 50.0, 60.0), 1).unwrap();
+        lenient.push(rec(2, 3, 10.0, 20.0), 2).unwrap();
+        assert_eq!(lenient.stats().out_of_order, 1);
+        assert_eq!(drain(&mut lenient).len(), 1);
+    }
+
+    #[test]
+    fn lenient_clamps_past_span_end() {
+        let mut norm =
+            Normalizer::new(IngestConfig::new(2, t(100.0)).policy(RecordPolicy::Lenient));
+        norm.push(rec(0, 1, 90.0, 150.0), 1).unwrap();
+        let contacts = drain(&mut norm);
+        assert_eq!(contacts[0].end(), t(100.0));
+        assert_eq!(norm.stats().clamped, 1);
+    }
+
+    #[test]
+    fn releases_in_stream_order_despite_interleaved_closing() {
+        // Pair (0,1) opens first but closes last; pair (2,3) opens later and
+        // closes first. Output must still be sorted by (start, end, pair).
+        let mut norm = Normalizer::new(IngestConfig::new(4, t(1000.0)).ids(IdPolicy::Dense));
+        norm.push(rec(0, 1, 0.0, 500.0), 1).unwrap();
+        norm.push(rec(2, 3, 10.0, 20.0), 2).unwrap();
+        norm.push(rec(2, 3, 100.0, 110.0), 3).unwrap(); // closes first (2,3)
+                                                        // (2,3)@10 is closed but cannot be released: (0,1)@0 is still open.
+        assert!(norm.pop_ready().is_none());
+        let contacts = drain(&mut norm);
+        let starts: Vec<f64> = contacts.iter().map(|c| c.start().as_secs()).collect();
+        assert_eq!(starts, vec![0.0, 10.0, 100.0]);
+        let mut sorted = contacts.clone();
+        sorted.sort_by(|x, y| {
+            x.start()
+                .as_secs()
+                .total_cmp(&y.start().as_secs())
+                .then(x.end().as_secs().total_cmp(&y.end().as_secs()))
+        });
+        assert_eq!(contacts, sorted);
+    }
+
+    #[test]
+    fn incremental_release_before_finish() {
+        let mut norm = Normalizer::new(IngestConfig::new(4, t(1000.0)).ids(IdPolicy::Dense));
+        norm.push(rec(0, 1, 0.0, 5.0), 1).unwrap();
+        norm.push(rec(0, 1, 100.0, 110.0), 2).unwrap();
+        // First (0,1) contact closed; watermark 100, new open starts at 100,
+        // so [0,5) is safe to release without finish().
+        let c = norm.pop_ready().expect("released incrementally");
+        assert_eq!(c.start(), t(0.0));
+        assert!(norm.pop_ready().is_none());
+    }
+}

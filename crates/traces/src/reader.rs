@@ -1,0 +1,166 @@
+//! Generic line-by-line dataset reader.
+//!
+//! [`TraceReader`] follows the `omn_contacts::io::StreamingTraceSource`
+//! template: it implements [`ContactSource`] by parsing one line per pull,
+//! feeding records through a [`Normalizer`], and releasing contacts in
+//! `(start, end, pair)` stream order. Resident memory is one line plus the
+//! normalizer's open-pair window, regardless of file size.
+//!
+//! A pull-based stream has no channel to report a mid-stream failure, so —
+//! exactly like `StreamingTraceSource` — an I/O error or (under
+//! [`RecordPolicy::Strict`](crate::normalize::RecordPolicy)) a parse error
+//! ends the stream, and the caller inspects it afterwards through
+//! [`TraceReader::error`].
+
+use std::collections::HashMap;
+use std::io::BufRead;
+
+use omn_contacts::io::{ParseError, TraceIoError};
+use omn_contacts::{Contact, ContactSource, LastContact, NodeId};
+use omn_sim::SimTime;
+
+use crate::normalize::{IngestConfig, IngestStats, Normalizer, RawRecord, RecordPolicy};
+
+/// A line-oriented dataset format: how one line becomes a [`RawRecord`].
+pub trait LineFormat {
+    /// Short format name for reports (`"reality"`, `"haggle"`).
+    fn name(&self) -> &'static str;
+
+    /// Parses one line. `Ok(None)` means the line carries no record
+    /// (comment, blank, tolerated header row).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] at `line_no` for malformed lines.
+    fn parse_line(&mut self, line: &str, line_no: usize) -> Result<Option<RawRecord>, ParseError>;
+
+    /// The same-pair merge gap (seconds) this format needs so that one
+    /// physical encounter, reported as several records, becomes one contact.
+    fn default_merge_gap(&self) -> f64 {
+        0.0
+    }
+}
+
+/// A [`ContactSource`] that streams a dataset file line by line through a
+/// [`Normalizer`].
+#[derive(Debug)]
+pub struct TraceReader<R, F> {
+    lines: std::io::Lines<R>,
+    format: F,
+    policy: RecordPolicy,
+    norm: Normalizer,
+    nodes: usize,
+    span: SimTime,
+    line_no: usize,
+    bytes: u64,
+    done: bool,
+    error: Option<TraceIoError>,
+}
+
+impl<R: BufRead, F: LineFormat> TraceReader<R, F> {
+    /// Opens a dataset for streaming. `config.merge_gap` of zero is widened
+    /// to the format's default merge gap.
+    #[must_use]
+    pub fn new(r: R, format: F, mut config: IngestConfig) -> TraceReader<R, F> {
+        if config.merge_gap == 0.0 {
+            config.merge_gap = format.default_merge_gap();
+        }
+        TraceReader {
+            lines: r.lines(),
+            policy: config.policy,
+            norm: Normalizer::new(config),
+            nodes: config.nodes,
+            span: config.span,
+            format,
+            line_no: 0,
+            bytes: 0,
+            done: false,
+            error: None,
+        }
+    }
+
+    /// The error that terminated the stream early, if any.
+    #[must_use]
+    pub fn error(&self) -> Option<&TraceIoError> {
+        self.error.as_ref()
+    }
+
+    /// Normalization counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> IngestStats {
+        self.norm.stats()
+    }
+
+    /// Raw-id → dense-id mapping built so far.
+    #[must_use]
+    pub fn node_map(&self) -> &HashMap<u64, NodeId> {
+        self.norm.id_map()
+    }
+
+    /// Bytes of input consumed so far (for throughput reporting).
+    #[must_use]
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes
+    }
+
+    fn fail(&mut self, e: TraceIoError) {
+        self.error = Some(e);
+        self.done = true;
+    }
+}
+
+impl<R: BufRead, F: LineFormat> ContactSource for TraceReader<R, F> {
+    fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    fn span(&self) -> SimTime {
+        self.span
+    }
+
+    fn next_contact(&mut self) -> Option<Contact> {
+        loop {
+            if let Some(c) = self.norm.pop_ready() {
+                return Some(c);
+            }
+            if self.done {
+                return None;
+            }
+            let Some(line) = self.lines.next() else {
+                self.done = true;
+                self.norm.finish();
+                continue;
+            };
+            self.line_no += 1;
+            let line = match line {
+                Ok(l) => l,
+                Err(e) => {
+                    self.fail(TraceIoError::Io(e));
+                    return None;
+                }
+            };
+            // +1 for the newline the Lines iterator strips.
+            self.bytes += line.len() as u64 + 1;
+            let record = match self.format.parse_line(&line, self.line_no) {
+                Ok(r) => r,
+                Err(e) => {
+                    if self.policy == RecordPolicy::Lenient {
+                        self.norm.count_malformed();
+                        continue;
+                    }
+                    self.fail(TraceIoError::Parse(e));
+                    return None;
+                }
+            };
+            let Some(record) = record else { continue };
+            if let Err(e) = self.norm.push(record, self.line_no) {
+                self.fail(TraceIoError::Parse(e));
+                return None;
+            }
+        }
+    }
+
+    fn last_contact(&self) -> LastContact {
+        LastContact::Unknown
+    }
+}

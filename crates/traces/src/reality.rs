@@ -1,0 +1,198 @@
+//! MIT Reality Mining Bluetooth-proximity dump format.
+//!
+//! The Reality Mining study (Eagle & Pentland, MIT, 2004–2005) logged
+//! periodic Bluetooth device discovery on ~100 phones. The common
+//! redistribution of its proximity table is a CSV of *sightings*:
+//!
+//! ```text
+//! timestamp,id_a,id_b
+//! 1096854000,27,84
+//! 1096854300,27,84
+//! ```
+//!
+//! one row per scan in which `id_a` observed `id_b`, with `timestamp` in
+//! unix seconds and ids arbitrary device indices. A physical encounter shows
+//! up as a *run* of rows at the scan period (~300 s), often reported by both
+//! devices; the reader therefore expands each sighting into a
+//! `[t, t + scan_interval)` window and merges same-pair windows whose gap is
+//! at most one scan interval, recovering contact intervals from the sampled
+//! sightings. Timestamps are rebased to the first record so traces start at
+//! zero. An optional leading header row is tolerated.
+
+use std::io::Write;
+
+use omn_contacts::io::{ParseError, ParseErrorKind};
+use omn_contacts::ContactTrace;
+use omn_sim::SimTime;
+
+use crate::normalize::RawRecord;
+use crate::reader::LineFormat;
+
+/// Default Bluetooth scan period of the Reality deployment, seconds.
+pub const DEFAULT_SCAN_INTERVAL: f64 = 300.0;
+
+/// Parser state for the Reality sighting CSV.
+#[derive(Debug, Clone)]
+pub struct RealityFormat {
+    scan_interval: f64,
+    /// Unix timestamp of the first record; later rows are rebased to it.
+    origin: Option<f64>,
+}
+
+impl RealityFormat {
+    /// Creates a parser with the deployment's default 300 s scan period.
+    #[must_use]
+    pub fn new() -> RealityFormat {
+        RealityFormat::with_scan_interval(DEFAULT_SCAN_INTERVAL)
+    }
+
+    /// Creates a parser for a deployment with a different scan period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scan_interval` is not positive and finite.
+    #[must_use]
+    pub fn with_scan_interval(scan_interval: f64) -> RealityFormat {
+        assert!(
+            scan_interval > 0.0 && scan_interval.is_finite(),
+            "scan_interval must be positive"
+        );
+        RealityFormat {
+            scan_interval,
+            origin: None,
+        }
+    }
+
+    /// The scan period this parser assumes.
+    #[must_use]
+    pub fn scan_interval(&self) -> f64 {
+        self.scan_interval
+    }
+}
+
+impl Default for RealityFormat {
+    fn default() -> RealityFormat {
+        RealityFormat::new()
+    }
+}
+
+impl LineFormat for RealityFormat {
+    fn name(&self) -> &'static str {
+        "reality"
+    }
+
+    fn parse_line(&mut self, line: &str, line_no: usize) -> Result<Option<RawRecord>, ParseError> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(None);
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() != 3 {
+            return Err(ParseError::new(
+                line_no,
+                ParseErrorKind::FieldCount {
+                    expected: "`timestamp,id_a,id_b`",
+                    got: fields.len(),
+                },
+            ));
+        }
+        let Ok(timestamp) = fields[0].parse::<f64>() else {
+            if line_no == 1 {
+                // Tolerated column-name header row.
+                return Ok(None);
+            }
+            return Err(ParseError::new(
+                line_no,
+                ParseErrorKind::Number {
+                    field: "timestamp",
+                    token: fields[0].to_owned(),
+                },
+            ));
+        };
+        if !timestamp.is_finite() || timestamp < 0.0 {
+            return Err(ParseError::new(
+                line_no,
+                ParseErrorKind::Time {
+                    field: "timestamp",
+                    reason: format!("`{timestamp}` is not a valid unix time"),
+                },
+            ));
+        }
+        let a = parse_id(fields[1], line_no)?;
+        let b = parse_id(fields[2], line_no)?;
+        let origin = *self.origin.get_or_insert(timestamp);
+        let rebased = timestamp - origin;
+        let start = SimTime::try_from_secs(rebased).map_err(|e| {
+            ParseError::new(
+                line_no,
+                ParseErrorKind::Time {
+                    field: "timestamp",
+                    reason: e.to_string(),
+                },
+            )
+        })?;
+        Ok(Some(RawRecord {
+            a,
+            b,
+            start,
+            end: SimTime::from_secs(rebased + self.scan_interval),
+        }))
+    }
+
+    fn default_merge_gap(&self) -> f64 {
+        // Consecutive scans of one encounter are one scan period apart;
+        // windows already abut, so any gap up to one period is the same
+        // encounter seen with a missed scan.
+        self.scan_interval
+    }
+}
+
+fn parse_id(token: &str, line_no: usize) -> Result<u64, ParseError> {
+    token.parse::<u64>().map_err(|_| {
+        ParseError::new(
+            line_no,
+            ParseErrorKind::Number {
+                field: "node id",
+                token: token.to_owned(),
+            },
+        )
+    })
+}
+
+/// Writes a trace as a Reality-style sighting CSV: each contact becomes one
+/// sighting per scan period from its start (exclusive of its end), offset by
+/// `origin` unix seconds, globally sorted by `(timestamp, id_a, id_b)`.
+///
+/// The encoding is *sampled*, so re-ingesting only reproduces the trace
+/// exactly when every contact is aligned to the scan grid and same-pair
+/// contacts are separated by more than one scan period (otherwise sighting
+/// runs coalesce) — the round-trip tests generate such traces.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_reality<W: Write>(
+    trace: &ContactTrace,
+    scan_interval: f64,
+    origin: f64,
+    mut w: W,
+) -> std::io::Result<()> {
+    assert!(
+        scan_interval > 0.0 && scan_interval.is_finite(),
+        "scan_interval must be positive"
+    );
+    let mut rows: Vec<(f64, u32, u32)> = Vec::new();
+    for c in trace.contacts() {
+        let mut t = c.start().as_secs();
+        while t < c.end().as_secs() {
+            rows.push((origin + t, c.a().0, c.b().0));
+            t += scan_interval;
+        }
+    }
+    rows.sort_by(|x, y| x.0.total_cmp(&y.0).then(x.1.cmp(&y.1)).then(x.2.cmp(&y.2)));
+    writeln!(w, "timestamp,id_a,id_b")?;
+    for (t, a, b) in rows {
+        writeln!(w, "{t},{a},{b}")?;
+    }
+    Ok(())
+}

@@ -1,0 +1,483 @@
+//! Dataset registry: where trace files live, which parser reads them, and
+//! what an ingested file is expected to contain.
+//!
+//! A [`TraceSpec`] names a dataset file (format, path, pinned checksum,
+//! expected node count and span). [`registry`] returns the built-in specs,
+//! preferring a locally-obtained full dataset under `datasets/` and falling
+//! back to the small fixture excerpts vendored under `tests/data/` — so CI
+//! and fresh clones ingest real-format files without any download.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, Read};
+use std::path::{Path, PathBuf};
+
+use omn_contacts::io::{StreamingTraceSource, TraceIoError};
+use omn_contacts::{Contact, ContactSource, ContactTrace, LastContact, TraceBuilder};
+use omn_sim::SimTime;
+
+use crate::haggle::HaggleFormat;
+use crate::normalize::{IngestConfig, IngestStats, RecordPolicy};
+use crate::reader::TraceReader;
+use crate::reality::RealityFormat;
+
+/// The dataset dump formats the crate can ingest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// MIT Reality Bluetooth sighting CSV ([`crate::reality`]).
+    Reality,
+    /// Haggle/Infocom'06 contact-interval table ([`crate::haggle`]).
+    Haggle,
+    /// The repo's own v1 text format
+    /// ([`omn_contacts::io::StreamingTraceSource`]).
+    OmnV1,
+}
+
+impl TraceFormat {
+    /// All formats, in reporting order.
+    pub const ALL: [TraceFormat; 3] = [
+        TraceFormat::Reality,
+        TraceFormat::Haggle,
+        TraceFormat::OmnV1,
+    ];
+
+    /// The flag/report name of the format.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceFormat::Reality => "reality",
+            TraceFormat::Haggle => "haggle",
+            TraceFormat::OmnV1 => "omn-v1",
+        }
+    }
+
+    /// Parses a `--trace-format` flag value.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<TraceFormat> {
+        TraceFormat::ALL.into_iter().find(|f| f.name() == name)
+    }
+
+    /// Guesses the format from the first few content lines of `path`:
+    /// the v1 header marks [`TraceFormat::OmnV1`], comma-separated triples
+    /// mark [`TraceFormat::Reality`], whitespace-separated 4–6 column rows
+    /// mark [`TraceFormat::Haggle`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from opening or reading the file.
+    pub fn sniff(path: &Path) -> std::io::Result<Option<TraceFormat>> {
+        let r = BufReader::new(File::open(path)?);
+        for line in r.lines().take(50) {
+            let line = line?;
+            let line = line.trim();
+            if line.contains("omn-contacts v1") || line.starts_with("nodes ") {
+                return Ok(Some(TraceFormat::OmnV1));
+            }
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line.split(',').count() == 3 {
+                return Ok(Some(TraceFormat::Reality));
+            }
+            let cols = line.split_whitespace().count();
+            if (4..=6).contains(&cols) {
+                return Ok(Some(TraceFormat::Haggle));
+            }
+            // First content line matched nothing — keep looking only past a
+            // possible header row.
+        }
+        Ok(None)
+    }
+}
+
+impl std::fmt::Display for TraceFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One registered dataset file and what ingesting it should produce.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSpec {
+    /// Short display name.
+    pub name: &'static str,
+    /// Which parser reads the file.
+    pub format: TraceFormat,
+    /// Where the file lives.
+    pub path: PathBuf,
+    /// Population size to ingest with (distinct devices in the file).
+    pub expected_nodes: usize,
+    /// Span to ingest with, in days.
+    pub expected_span_days: f64,
+    /// Pinned FNV-1a 64 checksum of the file bytes; verified when `Some`.
+    pub checksum: Option<u64>,
+}
+
+impl TraceSpec {
+    /// The ingest configuration this spec implies (lenient: real dumps have
+    /// stray records, and the counters report what was dropped).
+    #[must_use]
+    pub fn ingest_config(&self) -> IngestConfig {
+        IngestConfig::new(
+            self.expected_nodes,
+            SimTime::from_days(self.expected_span_days),
+        )
+        .policy(RecordPolicy::Lenient)
+    }
+
+    /// Ingests the file into a materialized trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the file cannot be read, fails its pinned
+    /// checksum, or does not normalize into a valid trace.
+    pub fn ingest(&self) -> Result<Ingested, TraceIoError> {
+        if let Some(expected) = self.checksum {
+            let actual = file_checksum(&self.path)?;
+            if actual != expected {
+                return Err(TraceIoError::Invalid(format!(
+                    "{}: checksum mismatch: file {actual:#018x}, registry pins {expected:#018x}",
+                    self.path.display()
+                )));
+            }
+        }
+        ingest_file(&self.path, self.format, self.ingest_config())
+    }
+}
+
+/// Built-in dataset registry rooted at `root` (the repository root).
+///
+/// For each dataset, prefers the locally-obtained full file under
+/// `datasets/` (see the README for how to obtain the public releases) and
+/// falls back to the vendored excerpt under `tests/data/`. Datasets with
+/// neither file present are omitted — callers fall back to the calibrated
+/// synthetic presets.
+#[must_use]
+pub fn registry(root: &Path) -> Vec<TraceSpec> {
+    let mut specs = Vec::new();
+    let candidates = [
+        (
+            "mit-reality",
+            TraceFormat::Reality,
+            "datasets/reality.csv",
+            97,
+            270.0,
+            "tests/data/reality_excerpt.txt",
+            REALITY_EXCERPT_NODES,
+            REALITY_EXCERPT_SPAN_DAYS,
+            Some(REALITY_EXCERPT_CHECKSUM),
+        ),
+        (
+            "infocom06",
+            TraceFormat::Haggle,
+            "datasets/infocom06.dat",
+            78,
+            3.9,
+            "tests/data/infocom06_excerpt.dat",
+            INFOCOM_EXCERPT_NODES,
+            INFOCOM_EXCERPT_SPAN_DAYS,
+            Some(INFOCOM_EXCERPT_CHECKSUM),
+        ),
+    ];
+    for (name, format, full, full_nodes, full_days, fixture, fx_nodes, fx_days, fx_sum) in
+        candidates
+    {
+        let full_path = root.join(full);
+        let fixture_path = root.join(fixture);
+        if full_path.exists() {
+            specs.push(TraceSpec {
+                name,
+                format,
+                path: full_path,
+                expected_nodes: full_nodes,
+                expected_span_days: full_days,
+                checksum: None,
+            });
+        } else if fixture_path.exists() {
+            specs.push(TraceSpec {
+                name,
+                format,
+                path: fixture_path,
+                expected_nodes: fx_nodes,
+                expected_span_days: fx_days,
+                checksum: fx_sum,
+            });
+        }
+    }
+    specs
+}
+
+/// Node count of the vendored Reality excerpt.
+pub const REALITY_EXCERPT_NODES: usize = 12;
+/// Span (days) of the vendored Reality excerpt.
+pub const REALITY_EXCERPT_SPAN_DAYS: f64 = 2.0;
+/// Pinned FNV-1a 64 checksum of the vendored Reality excerpt.
+pub const REALITY_EXCERPT_CHECKSUM: u64 = 0x0b98_48e3_b1f8_8131;
+/// Node count of the vendored Infocom'06 excerpt.
+pub const INFOCOM_EXCERPT_NODES: usize = 15;
+/// Span (days) of the vendored Infocom'06 excerpt.
+pub const INFOCOM_EXCERPT_SPAN_DAYS: f64 = 1.0;
+/// Pinned FNV-1a 64 checksum of the vendored Infocom'06 excerpt.
+pub const INFOCOM_EXCERPT_CHECKSUM: u64 = 0xe7a7_1ebf_ba45_293f;
+
+/// FNV-1a 64-bit hash of a byte stream.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// FNV-1a 64 checksum of a file, streamed in 64 KiB chunks.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn file_checksum(path: &Path) -> Result<u64, TraceIoError> {
+    let mut f = File::open(path)?;
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut buf = vec![0u8; 64 * 1024];
+    loop {
+        let n = f.read(&mut buf)?;
+        if n == 0 {
+            return Ok(hash);
+        }
+        for &b in &buf[..n] {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// A [`ContactSource`] over any registered dataset format, with uniform
+/// access to the stream-terminating error and ingestion counters.
+#[derive(Debug)]
+pub enum DatasetSource {
+    /// Reality sighting CSV.
+    Reality(TraceReader<BufReader<File>, RealityFormat>),
+    /// Haggle contact table.
+    Haggle(TraceReader<BufReader<File>, HaggleFormat>),
+    /// The repo's own v1 text format.
+    OmnV1(StreamingTraceSource<BufReader<File>>),
+}
+
+impl DatasetSource {
+    /// The error that terminated the stream early, if any.
+    #[must_use]
+    pub fn error(&self) -> Option<&TraceIoError> {
+        match self {
+            DatasetSource::Reality(r) => r.error(),
+            DatasetSource::Haggle(r) => r.error(),
+            DatasetSource::OmnV1(r) => r.error(),
+        }
+    }
+
+    /// Normalization counters (zero for the v1 format, which is exact).
+    #[must_use]
+    pub fn stats(&self) -> IngestStats {
+        match self {
+            DatasetSource::Reality(r) => r.stats(),
+            DatasetSource::Haggle(r) => r.stats(),
+            DatasetSource::OmnV1(_) => IngestStats::default(),
+        }
+    }
+
+    /// Distinct raw node ids seen so far (v1 reports its declared count).
+    #[must_use]
+    pub fn nodes_seen(&self) -> usize {
+        match self {
+            DatasetSource::Reality(r) => r.node_map().len(),
+            DatasetSource::Haggle(r) => r.node_map().len(),
+            DatasetSource::OmnV1(r) => r.node_count(),
+        }
+    }
+}
+
+impl ContactSource for DatasetSource {
+    fn node_count(&self) -> usize {
+        match self {
+            DatasetSource::Reality(r) => r.node_count(),
+            DatasetSource::Haggle(r) => r.node_count(),
+            DatasetSource::OmnV1(r) => r.node_count(),
+        }
+    }
+
+    fn span(&self) -> SimTime {
+        match self {
+            DatasetSource::Reality(r) => r.span(),
+            DatasetSource::Haggle(r) => r.span(),
+            DatasetSource::OmnV1(r) => r.span(),
+        }
+    }
+
+    fn next_contact(&mut self) -> Option<Contact> {
+        match self {
+            DatasetSource::Reality(r) => r.next_contact(),
+            DatasetSource::Haggle(r) => r.next_contact(),
+            DatasetSource::OmnV1(r) => r.next_contact(),
+        }
+    }
+
+    fn last_contact(&self) -> LastContact {
+        match self {
+            DatasetSource::Reality(r) => r.last_contact(),
+            DatasetSource::Haggle(r) => r.last_contact(),
+            DatasetSource::OmnV1(r) => r.last_contact(),
+        }
+    }
+}
+
+/// Opens a dataset file as a streaming [`ContactSource`].
+///
+/// For [`TraceFormat::OmnV1`] the file's own header provides node count and
+/// span; `config` applies to the headerless real formats.
+///
+/// # Errors
+///
+/// Returns an error if the file cannot be opened (or, for v1, its header is
+/// malformed).
+pub fn open_source(
+    path: &Path,
+    format: TraceFormat,
+    config: IngestConfig,
+) -> Result<DatasetSource, TraceIoError> {
+    let r = BufReader::new(File::open(path)?);
+    Ok(match format {
+        TraceFormat::Reality => {
+            DatasetSource::Reality(TraceReader::new(r, RealityFormat::new(), config))
+        }
+        TraceFormat::Haggle => {
+            DatasetSource::Haggle(TraceReader::new(r, HaggleFormat::new(), config))
+        }
+        TraceFormat::OmnV1 => DatasetSource::OmnV1(StreamingTraceSource::open(r)?),
+    })
+}
+
+/// What a lenient reconnaissance pass over a file found.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeReport {
+    /// Distinct node ids in the file.
+    pub nodes: usize,
+    /// Latest contact end.
+    pub span: SimTime,
+    /// Contacts the file normalizes into.
+    pub contacts: u64,
+    /// Bytes read.
+    pub bytes: u64,
+}
+
+/// Discovers a headerless file's population and span with a lenient pass,
+/// so user-supplied `--trace` files need no sidecar metadata.
+///
+/// # Errors
+///
+/// Returns an error if the file cannot be read.
+pub fn probe(path: &Path, format: TraceFormat) -> Result<ProbeReport, TraceIoError> {
+    let config =
+        IngestConfig::new(1 << 20, SimTime::from_days(365_000.0)).policy(RecordPolicy::Lenient);
+    let mut src = open_source(path, format, config)?;
+    let mut contacts = 0u64;
+    let mut span = SimTime::ZERO;
+    while let Some(c) = src.next_contact() {
+        contacts += 1;
+        span = span.max(c.end());
+    }
+    if let Some(e) = src.error() {
+        return Err(TraceIoError::Invalid(format!(
+            "{}: probe failed: {e}",
+            path.display()
+        )));
+    }
+    let bytes = match &src {
+        DatasetSource::Reality(r) => r.bytes_read(),
+        DatasetSource::Haggle(r) => r.bytes_read(),
+        DatasetSource::OmnV1(_) => 0,
+    };
+    Ok(ProbeReport {
+        nodes: src.nodes_seen(),
+        span,
+        contacts,
+        bytes,
+    })
+}
+
+/// A fully-ingested dataset file.
+#[derive(Debug, Clone)]
+pub struct Ingested {
+    /// The materialized, validated trace.
+    pub trace: ContactTrace,
+    /// Normalization counters.
+    pub stats: IngestStats,
+    /// Bytes of input consumed.
+    pub bytes: u64,
+    /// FNV-1a 64 checksum of the file.
+    pub checksum: u64,
+    /// The format that was parsed.
+    pub format: TraceFormat,
+    /// Distinct raw node ids seen.
+    pub nodes_seen: usize,
+}
+
+/// Ingests a dataset file into a materialized [`ContactTrace`].
+///
+/// # Errors
+///
+/// Returns an error if the file cannot be read, a record fails under the
+/// configured policy, or the normalized contacts violate trace invariants.
+pub fn ingest_file(
+    path: &Path,
+    format: TraceFormat,
+    config: IngestConfig,
+) -> Result<Ingested, TraceIoError> {
+    let checksum = file_checksum(path)?;
+    let mut src = open_source(path, format, config)?;
+    let mut contacts = Vec::new();
+    while let Some(c) = src.next_contact() {
+        contacts.push(c);
+    }
+    if let Some(e) = src.error() {
+        return Err(TraceIoError::Invalid(format!("{}: {e}", path.display())));
+    }
+    let bytes = match &src {
+        DatasetSource::Reality(r) => r.bytes_read(),
+        DatasetSource::Haggle(r) => r.bytes_read(),
+        DatasetSource::OmnV1(_) => std::fs::metadata(path).map(|m| m.len()).unwrap_or(0),
+    };
+    let (nodes, span) = (src.node_count(), src.span());
+    let trace = TraceBuilder::new(nodes)
+        .span(span)
+        .contacts(contacts)
+        .build()
+        .map_err(|e| TraceIoError::Invalid(e.to_string()))?;
+    Ok(Ingested {
+        trace,
+        stats: src.stats(),
+        bytes,
+        checksum,
+        format,
+        nodes_seen: src.nodes_seen(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_names_round_trip() {
+        for f in TraceFormat::ALL {
+            assert_eq!(TraceFormat::from_name(f.name()), Some(f));
+        }
+        assert_eq!(TraceFormat::from_name("csv"), None);
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+}

@@ -1,0 +1,267 @@
+//! Tests over the vendored dataset fixture excerpts and over malformed /
+//! out-of-order inputs.
+
+use std::path::{Path, PathBuf};
+
+use omn_contacts::io::{ParseErrorKind, TraceIoError};
+use omn_contacts::{ContactSource, TraceStats};
+use omn_sim::SimTime;
+use omn_traces::haggle::HaggleFormat;
+use omn_traces::reader::TraceReader;
+use omn_traces::reality::RealityFormat;
+use omn_traces::registry::{self, file_checksum};
+use omn_traces::{
+    ingest_file, probe, registry as builtin_registry, Calibration, IngestConfig, RecordPolicy,
+    TraceFormat,
+};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn fixture(name: &str) -> PathBuf {
+    repo_root().join("tests/data").join(name)
+}
+
+#[test]
+fn registry_finds_both_fixtures() {
+    let specs = builtin_registry(&repo_root());
+    let names: Vec<&str> = specs.iter().map(|s| s.name).collect();
+    assert_eq!(names, vec!["mit-reality", "infocom06"]);
+}
+
+#[test]
+fn reality_fixture_ingests_with_pinned_checksum() {
+    let specs = builtin_registry(&repo_root());
+    let spec = specs.iter().find(|s| s.name == "mit-reality").unwrap();
+    assert_eq!(spec.format, TraceFormat::Reality);
+    let ingested = spec.ingest().expect("fixture ingests cleanly");
+    assert_eq!(ingested.trace.node_count(), registry::REALITY_EXCERPT_NODES);
+    assert_eq!(ingested.nodes_seen, registry::REALITY_EXCERPT_NODES);
+    assert!(ingested.trace.len() > 50, "got {}", ingested.trace.len());
+    assert_eq!(ingested.checksum, registry::REALITY_EXCERPT_CHECKSUM);
+    // Sighting runs merged: far fewer contacts than sighting rows.
+    assert!(ingested.stats.merged > 0);
+    assert_eq!(ingested.stats.dropped(), 0, "{:?}", ingested.stats);
+    let stats = TraceStats::compute(&ingested.trace);
+    assert!(stats.contacts_per_node_per_day > 1.0);
+}
+
+#[test]
+fn infocom_fixture_ingests_with_pinned_checksum() {
+    let specs = builtin_registry(&repo_root());
+    let spec = specs.iter().find(|s| s.name == "infocom06").unwrap();
+    assert_eq!(spec.format, TraceFormat::Haggle);
+    let ingested = spec.ingest().expect("fixture ingests cleanly");
+    assert_eq!(ingested.trace.node_count(), registry::INFOCOM_EXCERPT_NODES);
+    assert_eq!(ingested.checksum, registry::INFOCOM_EXCERPT_CHECKSUM);
+    assert!(ingested.trace.len() > 100, "got {}", ingested.trace.len());
+    assert_eq!(ingested.stats.dropped(), 0, "{:?}", ingested.stats);
+}
+
+#[test]
+fn checksum_mismatch_is_rejected() {
+    let specs = builtin_registry(&repo_root());
+    let mut spec = specs.into_iter().next().unwrap();
+    spec.checksum = Some(0xdead_beef);
+    let err = spec.ingest().unwrap_err();
+    assert!(
+        err.to_string().contains("checksum mismatch"),
+        "unexpected error: {err}"
+    );
+}
+
+#[test]
+fn sniff_recognizes_all_formats() {
+    assert_eq!(
+        TraceFormat::sniff(&fixture("reality_excerpt.txt")).unwrap(),
+        Some(TraceFormat::Reality)
+    );
+    assert_eq!(
+        TraceFormat::sniff(&fixture("infocom06_excerpt.dat")).unwrap(),
+        Some(TraceFormat::Haggle)
+    );
+    let dir = std::env::temp_dir();
+    let v1 = dir.join("omn_traces_sniff_v1.txt");
+    std::fs::write(&v1, "# omn-contacts v1\nnodes 2\nspan 10\n0 1 1 2\n").unwrap();
+    assert_eq!(TraceFormat::sniff(&v1).unwrap(), Some(TraceFormat::OmnV1));
+    std::fs::remove_file(&v1).ok();
+}
+
+#[test]
+fn probe_discovers_population_and_span() {
+    let report = probe(&fixture("reality_excerpt.txt"), TraceFormat::Reality).unwrap();
+    assert_eq!(report.nodes, registry::REALITY_EXCERPT_NODES);
+    assert!(report.span.as_days() < registry::REALITY_EXCERPT_SPAN_DAYS + 0.1);
+    assert!(report.contacts > 0);
+    assert!(report.bytes > 0);
+
+    let report = probe(&fixture("infocom06_excerpt.dat"), TraceFormat::Haggle).unwrap();
+    assert_eq!(report.nodes, registry::INFOCOM_EXCERPT_NODES);
+    assert!(report.contacts > 100);
+}
+
+#[test]
+fn fixture_calibration_is_sane() {
+    let ingested = ingest_file(
+        &fixture("infocom06_excerpt.dat"),
+        TraceFormat::Haggle,
+        IngestConfig::new(
+            registry::INFOCOM_EXCERPT_NODES,
+            SimTime::from_days(registry::INFOCOM_EXCERPT_SPAN_DAYS),
+        )
+        .policy(RecordPolicy::Lenient),
+    )
+    .unwrap();
+    let cal = Calibration::fit(&ingested.trace);
+    assert!(cal.mean_rate > 0.0);
+    assert!(cal.pair_coverage > 0.5, "coverage {}", cal.pair_coverage);
+    // The fitted preset must be generable.
+    let _ = omn_contacts::synth::generate_pairwise(&cal.preset(), &omn_sim::RngFactory::new(1));
+}
+
+#[test]
+fn file_checksum_matches_in_memory_hash() {
+    let path = fixture("infocom06_excerpt.dat");
+    let bytes = std::fs::read(&path).unwrap();
+    assert_eq!(file_checksum(&path).unwrap(), registry::fnv1a64(&bytes));
+}
+
+// ---- malformed-line and out-of-order behavior ----
+
+fn strict_config(nodes: usize, span_secs: f64) -> IngestConfig {
+    IngestConfig::new(nodes, SimTime::from_secs(span_secs))
+}
+
+#[test]
+fn strict_haggle_reports_malformed_line_number() {
+    let text = "1 2 100 200 1 0\n1 2 banana 400 2 100\n3 4 500 600 1 0\n";
+    let mut reader = TraceReader::new(
+        text.as_bytes(),
+        HaggleFormat::new(),
+        strict_config(8, 1000.0),
+    );
+    let contacts: Vec<_> = std::iter::from_fn(|| reader.next_contact()).collect();
+    // The stream ends at the malformed line; nothing after it is parsed.
+    assert!(contacts.is_empty());
+    match reader.error() {
+        Some(TraceIoError::Parse(e)) => {
+            assert_eq!(e.line, 2);
+            assert!(
+                matches!(e.kind, ParseErrorKind::Number { field: "start", .. }),
+                "{:?}",
+                e.kind
+            );
+        }
+        other => panic!("expected parse error, got {other:?}"),
+    }
+}
+
+#[test]
+fn lenient_haggle_skips_malformed_and_counts() {
+    let text = "1 2 100 200 1 0\n1 2 banana 400 2 100\nnot a line\n3 4 500 600 1 0\n";
+    let mut reader = TraceReader::new(
+        text.as_bytes(),
+        HaggleFormat::new(),
+        strict_config(8, 1000.0).policy(RecordPolicy::Lenient),
+    );
+    let contacts: Vec<_> = std::iter::from_fn(|| reader.next_contact()).collect();
+    assert_eq!(contacts.len(), 2);
+    assert_eq!(reader.stats().malformed, 2);
+    assert!(reader.error().is_none());
+}
+
+#[test]
+fn strict_haggle_rejects_out_of_order_rows() {
+    let text = "1 2 500 600 1 0\n3 4 100 200 1 0\n";
+    let mut reader = TraceReader::new(
+        text.as_bytes(),
+        HaggleFormat::new(),
+        strict_config(8, 1000.0),
+    );
+    assert!(std::iter::from_fn(|| reader.next_contact())
+        .next()
+        .is_none());
+    match reader.error() {
+        Some(TraceIoError::Parse(e)) => {
+            assert_eq!(e.line, 2);
+            assert_eq!(e.kind, ParseErrorKind::OutOfOrder);
+        }
+        other => panic!("expected out-of-order error, got {other:?}"),
+    }
+}
+
+#[test]
+fn lenient_haggle_skips_out_of_order_rows() {
+    let text = "1 2 500 600 1 0\n3 4 100 200 1 0\n5 6 700 800 1 0\n";
+    let mut reader = TraceReader::new(
+        text.as_bytes(),
+        HaggleFormat::new(),
+        strict_config(8, 1000.0).policy(RecordPolicy::Lenient),
+    );
+    let contacts: Vec<_> = std::iter::from_fn(|| reader.next_contact()).collect();
+    assert_eq!(contacts.len(), 2);
+    assert_eq!(reader.stats().out_of_order, 1);
+}
+
+#[test]
+fn strict_reality_reports_malformed_line_number() {
+    let text = "timestamp,id_a,id_b\n100,1,2\n200,oops,2\n";
+    let mut reader = TraceReader::new(
+        text.as_bytes(),
+        RealityFormat::new(),
+        strict_config(8, 100_000.0),
+    );
+    assert!(std::iter::from_fn(|| reader.next_contact())
+        .next()
+        .is_none());
+    match reader.error() {
+        Some(TraceIoError::Parse(e)) => {
+            assert_eq!(e.line, 3);
+            assert!(
+                matches!(
+                    e.kind,
+                    ParseErrorKind::Number {
+                        field: "node id",
+                        ..
+                    }
+                ),
+                "{:?}",
+                e.kind
+            );
+        }
+        other => panic!("expected parse error, got {other:?}"),
+    }
+}
+
+#[test]
+fn reality_header_row_is_tolerated_only_on_first_line() {
+    let text = "timestamp,id_a,id_b\n100,1,2\n400,1,2\n";
+    let mut reader = TraceReader::new(
+        text.as_bytes(),
+        RealityFormat::new(),
+        strict_config(4, 100_000.0),
+    );
+    let contacts: Vec<_> = std::iter::from_fn(|| reader.next_contact()).collect();
+    assert_eq!(
+        contacts.len(),
+        1,
+        "consecutive scans merge into one contact"
+    );
+    assert!(reader.error().is_none());
+
+    let text = "100,1,2\ntimestamp,id_a,id_b\n";
+    let mut reader = TraceReader::new(
+        text.as_bytes(),
+        RealityFormat::new(),
+        strict_config(4, 100_000.0),
+    );
+    assert!(std::iter::from_fn(|| reader.next_contact())
+        .next()
+        .is_none());
+    assert!(
+        matches!(reader.error(), Some(TraceIoError::Parse(e)) if e.line == 2),
+        "{:?}",
+        reader.error()
+    );
+}
