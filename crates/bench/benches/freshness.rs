@@ -12,7 +12,7 @@ use omn_contacts::synth::sharded::ShardedCommunitySource;
 use omn_contacts::synth::{generate_pairwise, PairwiseConfig};
 use omn_contacts::ContactSource;
 use omn_core::sim::{FreshnessSimulator, SchemeChoice};
-use omn_sim::{RngFactory, SimDuration};
+use omn_sim::{OracleMode, RngFactory, SimDuration};
 use omn_traces::haggle::{write_haggle, HaggleFormat};
 use omn_traces::{IdPolicy, IngestConfig, TraceReader};
 
@@ -31,6 +31,28 @@ fn bench_freshness_run(c: &mut Criterion) {
 
     c.bench_function("freshness/infocom_like_epidemic_full", |b| {
         b.iter(|| FreshnessSimulator::new(config).run(&trace, SchemeChoice::Epidemic, &factory));
+    });
+}
+
+fn bench_oracle_overhead(c: &mut Criterion) {
+    // The always-on-oracles claim: running the full invariant-oracle suite
+    // must cost well under 5% of a full run. Two identical runs differ
+    // only in oracle mode; both land in the bench_trend baseline, so the
+    // ratio stays auditable run over run.
+    let preset = TracePreset::InfocomLike;
+    let seed = 11;
+    let trace = trace_for(preset, seed);
+    let factory = RngFactory::new(seed);
+    let mut on = config_for(preset);
+    on.oracle_mode = OracleMode::Campaign;
+    let mut off = config_for(preset);
+    off.oracle_mode = OracleMode::Off;
+
+    c.bench_function("freshness/oracles_campaign", |b| {
+        b.iter(|| FreshnessSimulator::new(on).run(&trace, SchemeChoice::Hierarchical, &factory));
+    });
+    c.bench_function("freshness/oracles_off", |b| {
+        b.iter(|| FreshnessSimulator::new(off).run(&trace, SchemeChoice::Hierarchical, &factory));
     });
 }
 
@@ -86,6 +108,6 @@ fn bench_trace_parse(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_freshness_run, bench_sharded_stream, bench_trace_parse
+    targets = bench_freshness_run, bench_oracle_overhead, bench_sharded_stream, bench_trace_parse
 }
 criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Binary wrapper for experiment `e17_chaos`.
+
+fn main() {
+    omn_bench::experiments::e17_chaos::run();
+}

@@ -1,27 +1,85 @@
-//! Runs the complete reconstructed evaluation (E1-E16) in order.
+//! Runs the complete reconstructed evaluation (E1-E17) in order.
 //!
 //! Seed replications run in parallel (one thread per seed, merged in seed
 //! order — byte-identical to serial). `--seeds a,b,c` overrides the seed
 //! set; `--nodes a,b,c` overrides E15's node-count sweep; `--trace path`
 //! (with optional `--trace-format name`) points E16 at one dataset file;
 //! `--serial` forces sequential execution.
+//!
+//! A panicking experiment no longer takes the campaign down with it: each
+//! experiment runs under `catch_unwind`, the campaign continues, and the
+//! run ends with a per-experiment timing summary. Any failure makes the
+//! process exit nonzero, so CI still catches it.
 
-fn main() {
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Renders a panic payload the way the default hook would.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "<non-string panic payload>"
+    }
+}
+
+fn main() -> ExitCode {
     use omn_bench::experiments as e;
-    e::e01_trace_stats::run();
-    e::e02_delay_validation::run();
-    e::e03_freshness_time::run();
-    e::e04_freshness_requirement::run();
-    e::e05_refresh_period::run();
-    e::e06_overhead::run();
-    e::e07_caching_nodes::run();
-    e::e08_ablation::run();
-    e::e09_data_access::run();
-    e::e10_routing_baselines::run();
-    e::e11_robustness::run();
-    e::e12_load_distribution::run();
-    e::e13_fault_tolerance::run();
-    e::e14_joint_world::run();
-    e::e15_scalability::run();
-    e::e16_real_traces::run();
+    let experiments: [(&str, fn()); 17] = [
+        ("E1", e::e01_trace_stats::run),
+        ("E2", e::e02_delay_validation::run),
+        ("E3", e::e03_freshness_time::run),
+        ("E4", e::e04_freshness_requirement::run),
+        ("E5", e::e05_refresh_period::run),
+        ("E6", e::e06_overhead::run),
+        ("E7", e::e07_caching_nodes::run),
+        ("E8", e::e08_ablation::run),
+        ("E9", e::e09_data_access::run),
+        ("E10", e::e10_routing_baselines::run),
+        ("E11", e::e11_robustness::run),
+        ("E12", e::e12_load_distribution::run),
+        ("E13", e::e13_fault_tolerance::run),
+        ("E14", e::e14_joint_world::run),
+        ("E15", e::e15_scalability::run),
+        ("E16", e::e16_real_traces::run),
+        ("E17", e::e17_chaos::run),
+    ];
+
+    let mut timings: Vec<(&str, f64, bool)> = Vec::new();
+    let mut failed: Vec<&str> = Vec::new();
+    for (id, run) in experiments {
+        let start = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(run));
+        let secs = start.elapsed().as_secs_f64();
+        let ok = outcome.is_ok();
+        if let Err(payload) = outcome {
+            println!(
+                "\n!!! {id} FAILED after {secs:.1} s: {}",
+                panic_message(&*payload)
+            );
+            failed.push(id);
+        }
+        timings.push((id, secs, ok));
+    }
+
+    println!("\n=== campaign summary ===");
+    for (id, secs, ok) in &timings {
+        println!(
+            "{id:<4} {secs:>8.1} s  {}",
+            if *ok { "ok" } else { "FAILED" }
+        );
+    }
+    if failed.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "\n{} experiment(s) failed: {}",
+            failed.len(),
+            failed.join(", ")
+        );
+        ExitCode::FAILURE
+    }
 }

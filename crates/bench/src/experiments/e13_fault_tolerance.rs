@@ -17,7 +17,7 @@
 
 use omn_contacts::faults::{DowntimeConfig, FaultConfig};
 use omn_contacts::synth::presets::TracePreset;
-use omn_core::scheme::ResilienceConfig;
+use omn_core::scheme::{ResilienceConfig, RetryPolicy};
 use omn_core::sim::{FreshnessSimulator, SchemeChoice};
 use omn_sim::{RngFactory, SimDuration};
 
@@ -30,7 +30,7 @@ const CHURN_FRACTIONS: [f64; 3] = [0.0, 0.25, 0.5];
 /// Retry-only resilience: bounded retransmissions, failure detector off.
 fn retry_only() -> ResilienceConfig {
     ResilienceConfig {
-        max_relay_retries: 3,
+        retry: RetryPolicy::fixed(3),
         suspect_after_icts: f64::INFINITY,
         ..ResilienceConfig::default()
     }

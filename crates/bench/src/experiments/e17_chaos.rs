@@ -1,0 +1,227 @@
+//! E17 — chaos campaign: the degradation envelope under adversarial and
+//! crash-recovery faults (extension beyond the reconstructed evaluation).
+//!
+//! One sweep over the conference trace climbs a ladder of chaos
+//! intensities from fault-free to extreme, at every rung combining all
+//! three adversarial fault kinds of the fault layer
+//! ([`omn_contacts::faults::FaultPlan`]):
+//!
+//! * **stale-version corruption** — transfers deliver a replayed stale
+//!   version the receiver's monotonicity check must reject,
+//! * **crash with state loss** — nodes vanish and rejoin amnesiac, forcing
+//!   re-attachment from scratch, and
+//! * **correlated regional outages** — whole id-blocks of nodes go down
+//!   together.
+//!
+//! Every run executes with the full invariant-oracle suite in campaign
+//! mode and the failure-aware hierarchy (exponential-backoff retry with
+//! timeout escalation, failure detector with re-parenting). The campaign
+//! asserts the degradation envelope: mean freshness declines monotonically
+//! as chaos intensifies, and not a single protocol invariant — version
+//! monotonicity, tree structure, budget accounting, timer liveness — is
+//! violated at any rung.
+
+use omn_contacts::faults::{DowntimeConfig, FaultConfig, RegionalOutageConfig};
+use omn_contacts::synth::presets::TracePreset;
+use omn_contacts::NodeId;
+use omn_core::scheme::{ResilienceConfig, RetryPolicy};
+use omn_core::sim::{FreshnessReport, FreshnessSimulator, SchemeChoice};
+use omn_sim::{OracleMode, OracleReport, RngFactory, SimDuration};
+
+use crate::experiments::{config_for, trace_for};
+use crate::{active_seeds, banner, fmt_ci, fmt_ci_count, per_seed, Table};
+
+/// One rung of the chaos ladder: how intense each fault kind is.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosLevel {
+    /// Human-readable rung name.
+    pub name: &'static str,
+    /// Probability that a successful transfer is a stale-version replay.
+    pub corruption: f64,
+    /// Fraction of nodes subject to crash-with-state-loss windows.
+    pub crash_fraction: f64,
+    /// Number of correlated regional outage events over the span.
+    pub outages: u32,
+}
+
+/// The chaos ladder, fault-free to extreme. The zero rung configures no
+/// fault at all (the plan is inert), so it doubles as the campaign's
+/// baseline.
+pub const LEVELS: [ChaosLevel; 5] = [
+    ChaosLevel {
+        name: "zero",
+        corruption: 0.0,
+        crash_fraction: 0.0,
+        outages: 0,
+    },
+    ChaosLevel {
+        name: "mild",
+        corruption: 0.10,
+        crash_fraction: 0.15,
+        outages: 1,
+    },
+    ChaosLevel {
+        name: "moderate",
+        corruption: 0.25,
+        crash_fraction: 0.35,
+        outages: 3,
+    },
+    ChaosLevel {
+        name: "severe",
+        corruption: 0.45,
+        crash_fraction: 0.60,
+        outages: 6,
+    },
+    ChaosLevel {
+        name: "extreme",
+        corruption: 0.70,
+        crash_fraction: 0.85,
+        outages: 10,
+    },
+];
+
+/// The fault configuration of one rung. Zero-intensity kinds stay `None`
+/// so the zero rung builds a fully inert plan.
+fn fault_config(level: ChaosLevel, source: NodeId) -> FaultConfig {
+    FaultConfig {
+        corruption: level.corruption,
+        crashes: (level.crash_fraction > 0.0).then_some(DowntimeConfig {
+            node_fraction: level.crash_fraction,
+            // The data source never crashes: graceful degradation when
+            // members fail is the point, a dead source stalls everything.
+            mean_uptime: SimDuration::from_hours(18.0),
+            mean_downtime: SimDuration::from_hours(6.0),
+            exempt: Some(source),
+        }),
+        regional: (level.outages > 0).then_some(RegionalOutageConfig {
+            regions: 4,
+            outages: level.outages,
+            mean_duration: SimDuration::from_hours(6.0),
+        }),
+        ..FaultConfig::default()
+    }
+}
+
+/// One chaos run of the E17 configuration: conference trace, failure-aware
+/// hierarchy (exponential-backoff retry with escalation, failure detector,
+/// periodic rebuild), all invariant oracles in campaign mode, and the
+/// given rung's fault mix.
+#[must_use]
+pub fn chaos_run(preset: TracePreset, seed: u64, level: ChaosLevel) -> FreshnessReport {
+    let trace = trace_for(preset, seed);
+    let factory = RngFactory::new(seed);
+    let mut base = config_for(preset);
+    base.rebuild_every = Some(SimDuration::from_hours(12.0));
+    base.reparent = true;
+    // Campaign mode explicitly (not from the environment): the whole point
+    // of E17 is asserting on the accumulated oracle report, which `off`
+    // would silence. Oracles are pure observers, so the mode never
+    // perturbs the simulated outcome.
+    base.oracle_mode = OracleMode::Campaign;
+    let (source, _) = FreshnessSimulator::new(base).select_roles(&trace);
+    base.faults = Some(fault_config(level, source));
+    base.resilience = Some(ResilienceConfig {
+        retry: RetryPolicy::exponential(3, SimDuration::from_hours(1.0)),
+        ..ResilienceConfig::default()
+    });
+    FreshnessSimulator::new(base).run(&trace, SchemeChoice::Hierarchical, &factory)
+}
+
+/// Runs E17 on the conference trace: the chaos-intensity ladder, with the
+/// degradation-envelope assertions (monotone freshness decline over the
+/// seed means, zero invariant violations anywhere).
+///
+/// # Panics
+///
+/// Panics if any run records an invariant violation, or if the seed-mean
+/// freshness ever *rises* from one rung to the next.
+pub fn run() {
+    banner("E17", "chaos campaign: degradation envelope (extension)");
+    let preset = TracePreset::InfocomLike;
+    println!(
+        "trace: {preset}; corruption + crash-with-state-loss + regional outages,\n\
+         failure-aware hierarchy (exponential backoff, escalation, re-parenting),\n\
+         invariant oracles in campaign mode\n"
+    );
+    let mut table = Table::new([
+        "intensity",
+        "freshness",
+        "corrupted tx",
+        "rejected replays",
+        "crash rejoins",
+        "reattaches",
+        "escalations",
+        "violations",
+    ]);
+
+    let seeds = active_seeds();
+    let mut envelope: Vec<f64> = Vec::new();
+    let mut merged = OracleReport::new();
+    let mut runs = 0usize;
+    for &level in &LEVELS {
+        let mut freshness = Vec::new();
+        let mut corrupted = Vec::new();
+        let mut rejected = Vec::new();
+        let mut rejoins = Vec::new();
+        let mut reattaches = Vec::new();
+        let mut escalations = Vec::new();
+        let per = per_seed(&seeds, |seed| {
+            let r = chaos_run(preset, seed, level);
+            (
+                r.mean_freshness,
+                r.extras.get("corrupted-transfers") as f64,
+                r.extras.get("corrupted-rejections") as f64,
+                r.extras.get("crash-rejoins") as f64,
+                r.extras.get("crash-reattaches") as f64,
+                r.extras.get("retry-escalations") as f64,
+                r.oracle,
+            )
+        });
+        for (f, ct, cr, rj, ra, esc, oracle) in per {
+            freshness.push(f);
+            corrupted.push(ct);
+            rejected.push(cr);
+            rejoins.push(rj);
+            reattaches.push(ra);
+            escalations.push(esc);
+            merged.merge(&oracle);
+            runs += 1;
+        }
+        envelope.push(freshness.iter().sum::<f64>() / freshness.len() as f64);
+        table.row([
+            level.name.to_owned(),
+            fmt_ci(&freshness, 3),
+            fmt_ci_count(&corrupted),
+            fmt_ci_count(&rejected),
+            fmt_ci_count(&rejoins),
+            fmt_ci_count(&reattaches),
+            fmt_ci_count(&escalations),
+            merged.total().to_string(),
+        ]);
+    }
+    table.print();
+
+    assert!(
+        merged.is_clean(),
+        "invariant violations under chaos: {merged:?}"
+    );
+    for (w, pair) in envelope.windows(2).enumerate() {
+        assert!(
+            pair[1] <= pair[0] + 1e-9,
+            "freshness rose from {} to {} between rungs {} and {}",
+            pair[0],
+            pair[1],
+            LEVELS[w].name,
+            LEVELS[w + 1].name
+        );
+    }
+    println!(
+        "\n(degradation envelope held: mean freshness declined monotonically \
+         {:.3} -> {:.3} across the ladder, with zero invariant violations \
+         over {runs} oracle-audited runs — every stale replay was rejected, \
+         every amnesiac rejoiner re-attached, and the tree stayed a bounded-\
+         fanout forest throughout)",
+        envelope.first().copied().unwrap_or(0.0),
+        envelope.last().copied().unwrap_or(0.0),
+    );
+}

@@ -18,6 +18,7 @@
 //! | E14 | [`e14_joint_world`] | joint world: contact-capacity contention (extension) |
 //! | E15 | [`e15_scalability`] | scalability with network size: streaming pipeline (extension) |
 //! | E16 | [`e16_real_traces`] | real traces: ingestion, calibration, freshness (extension) |
+//! | E17 | [`e17_chaos`] | chaos campaign: degradation envelope under adversarial faults (extension) |
 
 pub mod e01_trace_stats;
 pub mod e02_delay_validation;
@@ -35,6 +36,7 @@ pub mod e13_fault_tolerance;
 pub mod e14_joint_world;
 pub mod e15_scalability;
 pub mod e16_real_traces;
+pub mod e17_chaos;
 
 use omn_contacts::synth::presets::TracePreset;
 use omn_contacts::ContactTrace;

@@ -24,6 +24,7 @@ use std::path::PathBuf;
 use omn_bench::experiments::e14_joint_world::{joint_run, BUDGET, LOADS};
 use omn_bench::experiments::e15_scalability::{run_point, shards_for};
 use omn_bench::experiments::e16_real_traces::{repo_root, seed_point};
+use omn_bench::experiments::e17_chaos::{chaos_run, LEVELS};
 use omn_bench::experiments::{config_for, trace_for};
 use omn_contacts::synth::presets::TracePreset;
 use omn_contacts::synth::{generate_pairwise, PairwiseConfig};
@@ -393,6 +394,75 @@ fn e16_headline_numbers() {
         point.synth[0].mean_freshness,
     );
     check_golden("e16_headline.txt", &out);
+}
+
+#[test]
+fn e17_headline_numbers() {
+    // One seed of the E17 chaos ladder: every rung runs with the full
+    // oracle suite in campaign mode, so the pinned numbers double as an
+    // invariant audit — any change to the fault streams, the retry
+    // policy's deterministic jitter, or the crash-recovery path perturbs
+    // these runs and fails loudly.
+    let preset = TracePreset::InfocomLike;
+    let seed = 11;
+    let runs: Vec<_> = LEVELS
+        .iter()
+        .map(|&level| (level, chaos_run(preset, seed, level)))
+        .collect();
+
+    // Always-on invariants, independent of the recorded golden.
+    for (level, r) in &runs {
+        assert!((0.0..=1.0).contains(&r.mean_freshness));
+        assert!(
+            r.oracle.is_clean(),
+            "invariant violations at rung {}: {:?}",
+            level.name,
+            r.oracle
+        );
+        // Every corrupted transfer is a stale replay the receiver must
+        // reject — none may ever be absorbed.
+        assert_eq!(
+            r.extras.get("corrupted-transfers"),
+            r.extras.get("corrupted-rejections"),
+            "a stale replay was absorbed at rung {}",
+            level.name
+        );
+    }
+    // The single-seed envelope endpoints: extreme chaos must not beat the
+    // fault-free baseline (per-rung monotonicity is asserted over seed
+    // means inside `e17_chaos::run`, where the noise averages out).
+    let zero = &runs.first().expect("ladder is non-empty").1;
+    let extreme = &runs.last().expect("ladder is non-empty").1;
+    assert!(extreme.mean_freshness <= zero.mean_freshness);
+    // The adversarial rungs actually fired all three fault kinds.
+    assert!(extreme.extras.get("corrupted-transfers") > 0);
+    assert!(extreme.extras.get("crash-rejoins") > 0);
+    assert!(extreme.extras.get("rejoin-events") > extreme.extras.get("crash-rejoins"));
+
+    let mut out = String::new();
+    for (level, r) in &runs {
+        line(
+            &mut out,
+            &format!("{}_mean_freshness", level.name),
+            r.mean_freshness,
+        );
+        line(
+            &mut out,
+            &format!("{}_corrupted_rejections", level.name),
+            r.extras.get("corrupted-rejections") as f64,
+        );
+        line(
+            &mut out,
+            &format!("{}_crash_rejoins", level.name),
+            r.extras.get("crash-rejoins") as f64,
+        );
+        line(
+            &mut out,
+            &format!("{}_oracle_violations", level.name),
+            r.oracle.total() as f64,
+        );
+    }
+    check_golden("e17_headline.txt", &out);
 }
 
 #[test]

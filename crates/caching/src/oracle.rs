@@ -1,0 +1,80 @@
+//! Invariant oracles for the caching layer.
+//!
+//! The joint caching+freshness world (the `omn-core` joint driver)
+//! dispatches [`OracleObs::CacheOccupancy`] observations after every
+//! contact that
+//! could have moved cache copies; [`CacheCapacityOracle`] audits that no
+//! node's bounded [`crate::CacheStore`] ever holds more replicas than its
+//! configured capacity — the replacement policy must evict, never
+//! overflow.
+
+use omn_sim::{InvariantOracle, OracleObs, OracleSink, SimTime, Violation};
+
+/// Cache-capacity invariant: a node never stores more replicas than its
+/// bounded cache allows.
+#[derive(Debug, Default)]
+pub struct CacheCapacityOracle;
+
+impl CacheCapacityOracle {
+    /// Creates the oracle.
+    #[must_use]
+    pub fn new() -> CacheCapacityOracle {
+        CacheCapacityOracle
+    }
+}
+
+impl InvariantOracle for CacheCapacityOracle {
+    fn name(&self) -> &'static str {
+        "cache-capacity"
+    }
+
+    fn on_event(&mut self, at: SimTime, obs: &OracleObs, sink: &mut OracleSink) {
+        if let OracleObs::CacheOccupancy {
+            node,
+            stored,
+            capacity,
+        } = *obs
+        {
+            sink.check(stored <= capacity, || Violation {
+                invariant: "cache-overflow",
+                at,
+                node: Some(node),
+                detail: format!("{stored} replicas stored against capacity {capacity}"),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omn_sim::OracleMode;
+
+    #[test]
+    fn flags_overflow_only() {
+        let mut o = CacheCapacityOracle::new();
+        let mut s = OracleSink::new(OracleMode::Campaign);
+        o.on_event(
+            SimTime::from_secs(1.0),
+            &OracleObs::CacheOccupancy {
+                node: 4,
+                stored: 3,
+                capacity: 3,
+            },
+            &mut s,
+        );
+        assert!(s.report().is_clean());
+        o.on_event(
+            SimTime::from_secs(2.0),
+            &OracleObs::CacheOccupancy {
+                node: 4,
+                stored: 4,
+                capacity: 3,
+            },
+            &mut s,
+        );
+        assert_eq!(s.report().count("cache-overflow"), 1);
+        let first = s.report().first_violation("cache-overflow").unwrap();
+        assert!(first.contains("node 4"), "{first}");
+    }
+}

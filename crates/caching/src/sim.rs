@@ -470,6 +470,14 @@ impl<'a, P: CachePolicy + ?Sized> CachingRun<'a, P> {
         &self.ncls
     }
 
+    /// Current cache occupancy of `node` as `(stored, capacity)` — the
+    /// observable the cache-capacity invariant oracle audits.
+    #[must_use]
+    pub fn store_occupancy(&self, node: NodeId) -> (usize, usize) {
+        let store = &self.stores[node.index()];
+        (store.len(), store.capacity())
+    }
+
     /// The current version of `item` as this layer knows it.
     #[must_use]
     pub fn version_of(&self, item: DataItemId) -> u64 {

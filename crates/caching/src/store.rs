@@ -55,6 +55,12 @@ impl CacheStore {
         self.entries.len()
     }
 
+    /// The configured capacity (maximum items held at once).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// True if nothing is cached.
     #[must_use]
     pub fn is_empty(&self) -> bool {

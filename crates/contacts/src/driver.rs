@@ -37,7 +37,7 @@ use std::collections::VecDeque;
 
 use omn_sim::{Engine, EventClass, RngFactory, SimDuration, SimTime, TransferBudget};
 
-use crate::faults::{FaultConfig, FaultPlan};
+use crate::faults::{FaultConfig, FaultPlan, Rejoin};
 use crate::source::{ContactSource, LastContact, TraceSource};
 use crate::{Contact, ContactTrace, NodeId};
 
@@ -371,12 +371,18 @@ impl<S: ContactSource> ContactDriver<S> {
             .map_or(SimDuration::ZERO, FaultPlan::estimator_lag)
     }
 
-    /// All rejoin instants within `span` (empty without a plan).
+    /// All rejoins within the source span, sorted (empty without a plan).
+    /// Precomputed at plan build time; queries are allocation-free.
     #[must_use]
-    pub fn rejoin_events(&self, span: SimTime) -> Vec<(SimTime, NodeId)> {
-        self.plan
-            .as_ref()
-            .map_or_else(Vec::new, |p| p.rejoin_events(span))
+    pub fn rejoin_events(&self) -> &[Rejoin] {
+        self.plan.as_ref().map_or(&[], FaultPlan::rejoin_events)
+    }
+
+    /// Draws whether the next successful data transfer is corrupted into a
+    /// stale-version replay. Always `false` without a plan; consumes no
+    /// randomness when corruption is zero.
+    pub fn transfer_corrupts(&mut self) -> bool {
+        self.plan.as_mut().is_some_and(FaultPlan::transfer_corrupts)
     }
 
     /// The permanently departed nodes (empty without a plan).
@@ -461,8 +467,9 @@ mod tests {
             );
         }
         assert!(!driver.transfer_fails());
+        assert!(!driver.transfer_corrupts());
         assert!(driver.estimator_lag().is_zero());
-        assert!(driver.rejoin_events(t.span()).is_empty());
+        assert!(driver.rejoin_events().is_empty());
         assert!(driver.departed().is_empty());
         assert!(driver.plan().is_none());
     }

@@ -33,6 +33,19 @@
 //!   models departure as a downtime window that never ends.
 //! * **Estimator lag** — rate-estimator observations are delayed by a fixed
 //!   lag, modelling stale control-plane state.
+//! * **Stale-version corruption** — an adversarial fault: a data transfer
+//!   delivers a *stale* version in place of the real payload, one a naive
+//!   receiver (no version check) would happily absorb. The protocol's
+//!   version-monotonicity check must reject it; the invariant oracles
+//!   verify that it does.
+//! * **Crash with state loss** — like churn, but the node comes back with
+//!   empty protocol state (hierarchy position, estimator rows, relay
+//!   copies) and must re-attach from scratch. Rejoins from these windows
+//!   carry [`Rejoin::state_loss`].
+//! * **Correlated regional outages** — a whole region (contiguous block of
+//!   node ids, matching the community generators' id-block layout) goes
+//!   down together for a window, modelling a powered-down building or
+//!   jammed area rather than independent per-node churn.
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -68,6 +81,23 @@ pub struct DepartureConfig {
     pub exempt: Option<NodeId>,
 }
 
+/// Correlated regional outages: a whole contiguous block of node ids goes
+/// down together for a window.
+///
+/// Nodes are partitioned into [`regions`](RegionalOutageConfig::regions)
+/// equal contiguous id blocks — the same layout the community generators
+/// use — and each outage event takes one uniformly chosen region down for
+/// an exponentially distributed window starting uniformly in the span.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegionalOutageConfig {
+    /// Number of regions the population is partitioned into (≥ 1).
+    pub regions: usize,
+    /// Number of outage events drawn over the span.
+    pub outages: u32,
+    /// Mean outage duration (exponentially distributed).
+    pub mean_duration: SimDuration,
+}
+
 /// Configuration for a [`FaultPlan`]. The default is fault-free.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultConfig {
@@ -83,6 +113,16 @@ pub struct FaultConfig {
     pub departures: Option<DepartureConfig>,
     /// Delay before a contact observation reaches the rate estimators.
     pub estimator_lag: SimDuration,
+    /// Probability (in `[0, 1]`) that a successful data transfer delivers
+    /// a stale version in place of the real payload (adversarial replay).
+    pub corruption: f64,
+    /// Crash-with-state-loss windows, or `None`. Shares the
+    /// [`DowntimeConfig`] shape with churn, but rejoins from these windows
+    /// report [`Rejoin::state_loss`]: the node must rebuild its protocol
+    /// state from scratch.
+    pub crashes: Option<DowntimeConfig>,
+    /// Correlated regional outages, or `None`.
+    pub regional: Option<RegionalOutageConfig>,
 }
 
 impl Default for FaultConfig {
@@ -93,8 +133,26 @@ impl Default for FaultConfig {
             downtime: None,
             departures: None,
             estimator_lag: SimDuration::ZERO,
+            corruption: 0.0,
+            crashes: None,
+            regional: None,
         }
     }
+}
+
+/// One node returning to the network after a downtime, crash, or regional
+/// outage window, precomputed by [`FaultPlan::build`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Rejoin {
+    /// When the node comes back.
+    pub at: SimTime,
+    /// The rejoining node.
+    pub node: NodeId,
+    /// Whether the window was a crash: the node lost all protocol state
+    /// (hierarchy position, estimator rows, pending copies) and must
+    /// re-attach from scratch. Churn and regional-outage rejoins keep
+    /// their state (`false`).
+    pub state_loss: bool,
 }
 
 /// A reproducible fault schedule for one run over one node population.
@@ -111,13 +169,29 @@ pub struct FaultPlan {
     /// Stream for truncation draws; `Some` iff `contact_failure > 0`.
     block_rng: Option<StdRng>,
     /// Per-node sorted `[from, to)` downtime windows. Departures appear as a
-    /// final window ending at `SimTime::from_secs(f64::MAX)`.
+    /// final window ending at `SimTime::from_secs(f64::MAX)`. Crash and
+    /// regional-outage windows are kept separately (`crash_windows`,
+    /// `regional_windows`).
     down_windows: Vec<Vec<(SimTime, SimTime)>>,
+    /// Per-node sorted `[from, to)` crash windows (state lost on rejoin).
+    crash_windows: Vec<Vec<(SimTime, SimTime)>>,
+    /// Sorted `[from, to)` windows during which a whole region is down,
+    /// with the region index.
+    regional_windows: Vec<(SimTime, SimTime, usize)>,
+    /// Number of regions the population is partitioned into (0 = no
+    /// regional faults configured).
+    regions: usize,
     /// Nodes that permanently depart, sorted.
     departed: Vec<NodeId>,
+    /// Every rejoin within the build span, sorted, precomputed once at
+    /// build time from all three window kinds.
+    rejoins: Vec<Rejoin>,
     /// Stream for per-transfer loss draws. Untouched when
     /// `transmission_loss` is zero.
     tx_rng: StdRng,
+    /// Stream for per-transfer corruption draws. Untouched when
+    /// `corruption` is zero.
+    corrupt_rng: StdRng,
 }
 
 /// Samples an exponential with the given mean (seconds) via inversion.
@@ -133,20 +207,34 @@ fn assert_probability(value: f64, what: &str) {
     );
 }
 
+/// The region a node belongs to: `regions` equal contiguous id blocks
+/// (the community generators' layout). Returns 0 when no regional faults
+/// are configured (`regions == 0`).
+fn region_of(node: NodeId, node_count: usize, regions: usize) -> usize {
+    if regions == 0 || node_count == 0 {
+        return 0;
+    }
+    (node.index() * regions / node_count).min(regions - 1)
+}
+
 impl FaultPlan {
     /// Builds a fault schedule for a population of `node_count` nodes over
     /// `span` from `config`.
     ///
     /// Draws from the factory streams `"fault-contacts"`,
-    /// `"fault-downtime"` (indexed per node), `"fault-departures"`, and
-    /// `"fault-transmissions"` — never from streams the simulator itself
-    /// uses, so adding a plan cannot perturb protocol or workload
-    /// randomness.
+    /// `"fault-downtime"` (indexed per node), `"fault-departures"`,
+    /// `"fault-transmissions"`, `"fault-crashes"` (indexed per node),
+    /// `"fault-regional"`, and `"fault-corruption"` — never from streams
+    /// the simulator itself uses, so adding a plan cannot perturb protocol
+    /// or workload randomness. Every fault kind only draws when its
+    /// intensity is nonzero, so e.g. enabling corruption never shifts the
+    /// downtime schedule.
     ///
     /// # Panics
     ///
-    /// Panics if any probability or fraction lies outside `[0, 1]`, or if a
-    /// downtime config has a non-positive mean up/down period.
+    /// Panics if any probability or fraction lies outside `[0, 1]`, if a
+    /// downtime/crash config has a non-positive mean up/down period, or if
+    /// a regional config has zero regions or a non-positive mean duration.
     #[must_use]
     pub fn build(
         config: FaultConfig,
@@ -156,32 +244,73 @@ impl FaultPlan {
     ) -> FaultPlan {
         assert_probability(config.transmission_loss, "transmission_loss");
         assert_probability(config.contact_failure, "contact_failure");
+        assert_probability(config.corruption, "corruption");
         let nodes = || (0..node_count as u32).map(NodeId);
 
         let block_rng = (config.contact_failure > 0.0).then(|| factory.stream("fault-contacts"));
 
-        let mut down_windows: Vec<Vec<(SimTime, SimTime)>> = vec![Vec::new(); node_count];
-        if let Some(dt) = config.downtime {
-            assert_probability(dt.node_fraction, "downtime.node_fraction");
+        // Churn and crash windows share one generator, differing only in
+        // the named stream and the config they read.
+        let windows_from = |dt: DowntimeConfig, stream: &str, what: &str| {
+            assert_probability(dt.node_fraction, &format!("{what}.node_fraction"));
             assert!(
                 dt.mean_uptime.as_secs() > 0.0 && dt.mean_downtime.as_secs() > 0.0,
-                "FaultPlan: downtime mean up/down periods must be positive"
+                "FaultPlan: {what} mean up/down periods must be positive"
             );
+            let mut windows: Vec<Vec<(SimTime, SimTime)>> = vec![Vec::new(); node_count];
             for node in nodes() {
                 if Some(node) == dt.exempt {
                     continue;
                 }
-                let mut rng = factory.stream_indexed("fault-downtime", u64::from(node.0));
+                let mut rng = factory.stream_indexed(stream, u64::from(node.0));
                 if !rng.gen_bool(dt.node_fraction) {
                     continue;
                 }
                 let mut t = exp_secs(&mut rng, dt.mean_uptime.as_secs());
                 while t < span.as_secs() {
                     let down = exp_secs(&mut rng, dt.mean_downtime.as_secs());
-                    down_windows[node.index()]
+                    windows[node.index()]
                         .push((SimTime::from_secs(t), SimTime::from_secs(t + down)));
                     t += down + exp_secs(&mut rng, dt.mean_uptime.as_secs());
                 }
+            }
+            windows
+        };
+
+        let mut down_windows = match config.downtime {
+            Some(dt) => windows_from(dt, "fault-downtime", "downtime"),
+            None => vec![Vec::new(); node_count],
+        };
+        let crash_windows = match config.crashes {
+            Some(dt) => windows_from(dt, "fault-crashes", "crashes"),
+            None => vec![Vec::new(); node_count],
+        };
+
+        let mut regional_windows: Vec<(SimTime, SimTime, usize)> = Vec::new();
+        let mut regions = 0;
+        if let Some(reg) = config.regional {
+            assert!(
+                reg.regions > 0,
+                "FaultPlan: regional.regions must be positive"
+            );
+            assert!(
+                reg.mean_duration.as_secs() > 0.0,
+                "FaultPlan: regional.mean_duration must be positive"
+            );
+            regions = reg.regions;
+            if reg.outages > 0 {
+                let mut rng = factory.stream("fault-regional");
+                for _ in 0..reg.outages {
+                    let region = rng.gen_range(0..reg.regions);
+                    let from = rng.gen::<f64>() * span.as_secs();
+                    let len = exp_secs(&mut rng, reg.mean_duration.as_secs());
+                    regional_windows.push((
+                        SimTime::from_secs(from),
+                        SimTime::from_secs(from + len),
+                        region,
+                    ));
+                }
+                regional_windows.sort_unstable();
             }
         }
 
@@ -208,13 +337,52 @@ impl FaultPlan {
             windows.sort_unstable();
         }
 
+        // Precompute every rejoin inside the span once, so the hot path
+        // hands out a slice instead of re-sorting a fresh Vec per query.
+        let mut rejoins: Vec<Rejoin> = Vec::new();
+        let mut collect = |windows: &[Vec<(SimTime, SimTime)>], state_loss: bool| {
+            for (i, ws) in windows.iter().enumerate() {
+                for &(_, to) in ws {
+                    if to < span {
+                        rejoins.push(Rejoin {
+                            at: to,
+                            node: NodeId(i as u32),
+                            state_loss,
+                        });
+                    }
+                }
+            }
+        };
+        collect(&down_windows, false);
+        collect(&crash_windows, true);
+        for &(_, to, region) in &regional_windows {
+            if to >= span {
+                continue;
+            }
+            for node in nodes() {
+                if region_of(node, node_count, regions) == region {
+                    rejoins.push(Rejoin {
+                        at: to,
+                        node,
+                        state_loss: false,
+                    });
+                }
+            }
+        }
+        rejoins.sort_unstable();
+
         FaultPlan {
             config,
             blocked: Vec::new(),
             block_rng,
             down_windows,
+            crash_windows,
+            regional_windows,
+            regions,
             departed,
+            rejoins,
             tx_rng: factory.stream("fault-transmissions"),
+            corrupt_rng: factory.stream("fault-corruption"),
         }
     }
 
@@ -229,7 +397,10 @@ impl FaultPlan {
     pub fn is_inert(&self) -> bool {
         self.config.transmission_loss == 0.0
             && self.config.contact_failure == 0.0
+            && self.config.corruption == 0.0
             && self.down_windows.iter().all(Vec::is_empty)
+            && self.crash_windows.iter().all(Vec::is_empty)
+            && self.regional_windows.is_empty()
             && self.config.estimator_lag.is_zero()
     }
 
@@ -250,21 +421,58 @@ impl FaultPlan {
         self.blocked[index]
     }
 
-    /// Whether `node` is down (churned out or departed) at instant `at`.
+    /// Whether `node` is down (churned out, departed, crashed, or inside a
+    /// regional outage) at instant `at`.
     #[must_use]
     pub fn node_down(&self, node: NodeId, at: SimTime) -> bool {
+        let inside = |ws: &[(SimTime, SimTime)]| ws.iter().any(|&(from, to)| from <= at && at < to);
         self.down_windows
             .get(node.index())
-            .is_some_and(|ws| ws.iter().any(|&(from, to)| from <= at && at < to))
+            .is_some_and(|ws| inside(ws))
+            || self
+                .crash_windows
+                .get(node.index())
+                .is_some_and(|ws| inside(ws))
+            || self.region_down(node, at)
+    }
+
+    /// Whether `node`'s region is inside an outage window at `at`.
+    fn region_down(&self, node: NodeId, at: SimTime) -> bool {
+        if self.regional_windows.is_empty() {
+            return false;
+        }
+        let region = region_of(node, self.down_windows.len(), self.regions);
+        self.regional_windows
+            .iter()
+            .any(|&(from, to, r)| r == region && from <= at && at < to)
     }
 
     /// The sorted `[from, to)` downtime windows of `node`. Departure shows
-    /// up as a window ending at `SimTime::from_secs(f64::MAX)`.
+    /// up as a window ending at `SimTime::from_secs(f64::MAX)`. Crash and
+    /// regional-outage windows are reported separately
+    /// ([`crash_windows_of`](FaultPlan::crash_windows_of),
+    /// [`regional_windows`](FaultPlan::regional_windows)).
     #[must_use]
     pub fn down_windows_of(&self, node: NodeId) -> &[(SimTime, SimTime)] {
         self.down_windows
             .get(node.index())
             .map_or(&[], Vec::as_slice)
+    }
+
+    /// The sorted `[from, to)` crash windows of `node` (state lost on
+    /// rejoin).
+    #[must_use]
+    pub fn crash_windows_of(&self, node: NodeId) -> &[(SimTime, SimTime)] {
+        self.crash_windows
+            .get(node.index())
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// The sorted `[from, to)` regional outage windows with their region
+    /// index.
+    #[must_use]
+    pub fn regional_windows(&self) -> &[(SimTime, SimTime, usize)] {
+        &self.regional_windows
     }
 
     /// The nodes that permanently depart, sorted by id.
@@ -273,21 +481,15 @@ impl FaultPlan {
         &self.departed
     }
 
-    /// All rejoin instants within `span`, sorted: one `(time, node)` entry
-    /// per downtime window that ends before the end of the trace. Departed
-    /// nodes never rejoin.
+    /// All rejoins within the build span, sorted: one [`Rejoin`] per
+    /// downtime, crash, or regional-outage window that ends before the end
+    /// of the trace. Departed nodes never rejoin. Precomputed once at
+    /// [`build`](FaultPlan::build) time, mirroring
+    /// [`down_windows_of`](FaultPlan::down_windows_of) — queries are
+    /// allocation-free.
     #[must_use]
-    pub fn rejoin_events(&self, span: SimTime) -> Vec<(SimTime, NodeId)> {
-        let mut events: Vec<(SimTime, NodeId)> = Vec::new();
-        for (i, windows) in self.down_windows.iter().enumerate() {
-            for &(_, to) in windows {
-                if to < span {
-                    events.push((to, NodeId(i as u32)));
-                }
-            }
-        }
-        events.sort_unstable();
-        events
+    pub fn rejoin_events(&self) -> &[Rejoin] {
+        &self.rejoins
     }
 
     /// The configured estimator observation lag.
@@ -301,6 +503,14 @@ impl FaultPlan {
     /// plans stay bit-identical to no plan at all.
     pub fn transfer_fails(&mut self) -> bool {
         self.config.transmission_loss > 0.0 && self.tx_rng.gen_bool(self.config.transmission_loss)
+    }
+
+    /// Draws whether the next successful data transfer is corrupted into a
+    /// stale-version replay. Consumes no randomness when the configured
+    /// corruption probability is zero, so inert plans stay bit-identical
+    /// to no plan at all.
+    pub fn transfer_corrupts(&mut self) -> bool {
+        self.config.corruption > 0.0 && self.corrupt_rng.gen_bool(self.config.corruption)
     }
 }
 
@@ -360,9 +570,9 @@ mod tests {
         }
         // And they never rejoin.
         assert!(plan
-            .rejoin_events(t.span())
+            .rejoin_events()
             .iter()
-            .all(|&(_, n)| !plan.departed().contains(&n)));
+            .all(|r| !plan.departed().contains(&r.node)));
     }
 
     #[test]
@@ -391,9 +601,116 @@ mod tests {
             }
         }
         assert!(any, "full-fraction churn produced no downtime at all");
-        // Every window that closes inside the trace is a rejoin event.
-        let rejoins = plan.rejoin_events(t.span());
+        // Every window that closes inside the trace is a rejoin event,
+        // sorted, and churn rejoins keep node state.
+        let rejoins = plan.rejoin_events();
         assert!(rejoins.windows(2).all(|p| p[0] <= p[1]));
+        assert!(rejoins.iter().all(|r| !r.state_loss));
+        let windows_in_span: usize = t
+            .nodes()
+            .map(|n| {
+                plan.down_windows_of(n)
+                    .iter()
+                    .filter(|w| w.1 < t.span())
+                    .count()
+            })
+            .sum();
+        assert_eq!(rejoins.len(), windows_in_span);
+    }
+
+    #[test]
+    fn crash_windows_rejoin_with_state_loss() {
+        let t = trace(9);
+        let config = FaultConfig {
+            crashes: Some(DowntimeConfig {
+                node_fraction: 1.0,
+                mean_uptime: SimDuration::from_hours(6.0),
+                mean_downtime: SimDuration::from_hours(2.0),
+                exempt: Some(NodeId(0)),
+            }),
+            ..FaultConfig::default()
+        };
+        let plan = build_for(config, &t, &RngFactory::new(9));
+        assert!(!plan.is_inert());
+        assert!(plan.crash_windows_of(NodeId(0)).is_empty());
+        let rejoins = plan.rejoin_events();
+        assert!(!rejoins.is_empty(), "full-fraction crashes never rejoined");
+        assert!(rejoins.iter().all(|r| r.state_loss));
+        // Crashed nodes are down inside their windows.
+        let mut checked = false;
+        for n in t.nodes() {
+            if let Some(&(from, to)) = plan.crash_windows_of(n).first() {
+                let mid = SimTime::from_secs((from.as_secs() + to.as_secs()) / 2.0);
+                assert!(plan.node_down(n, mid));
+                assert!(plan.down_windows_of(n).is_empty());
+                checked = true;
+            }
+        }
+        assert!(checked);
+    }
+
+    #[test]
+    fn regional_outages_take_whole_regions_down_together() {
+        let t = trace(10);
+        let config = FaultConfig {
+            regional: Some(RegionalOutageConfig {
+                regions: 3,
+                outages: 4,
+                mean_duration: SimDuration::from_hours(4.0),
+            }),
+            ..FaultConfig::default()
+        };
+        let plan = build_for(config, &t, &RngFactory::new(10));
+        assert!(!plan.is_inert());
+        let windows = plan.regional_windows();
+        assert_eq!(windows.len(), 4);
+        assert!(windows.windows(2).all(|p| p[0] <= p[1]));
+        // Every node of the affected region is down together; nodes of
+        // other regions are untouched (no churn configured).
+        let (from, to, region) = windows[0];
+        let mid = SimTime::from_secs((from.as_secs() + to.as_secs().min(t.span().as_secs())) / 2.0);
+        let nodes_per_region = 12 / 3;
+        for n in t.nodes() {
+            let expected = n.index() / nodes_per_region == region;
+            assert_eq!(
+                plan.node_down(n, mid),
+                expected
+                    || windows.iter().any(|&(f, t2, r)| {
+                        r == n.index() / nodes_per_region && f <= mid && mid < t2
+                    }),
+                "node {n:?} region membership mismatch"
+            );
+        }
+        // Outage ends inside the span rejoin every node of the region,
+        // with state intact.
+        for r in plan.rejoin_events() {
+            assert!(!r.state_loss);
+        }
+    }
+
+    #[test]
+    fn corruption_draws_are_reproducible_and_lazy() {
+        let factory = RngFactory::new(11);
+        let config = FaultConfig {
+            corruption: 0.4,
+            ..FaultConfig::default()
+        };
+        let mut p1 = FaultPlan::build(config, 5, SimTime::from_hours(1.0), &factory);
+        let mut p2 = FaultPlan::build(config, 5, SimTime::from_hours(1.0), &factory);
+        let a: Vec<bool> = (0..128).map(|_| p1.transfer_corrupts()).collect();
+        let b: Vec<bool> = (0..128).map(|_| p2.transfer_corrupts()).collect();
+        assert_eq!(a, b);
+        assert!(a.iter().any(|&x| x), "40% corruption never fired");
+        assert!(a.iter().any(|&x| !x), "40% corruption always fired");
+        // Zero-probability corruption draws nothing and stays inert.
+        let mut inert = FaultPlan::build(
+            FaultConfig::default(),
+            5,
+            SimTime::from_hours(1.0),
+            &factory,
+        );
+        assert!(inert.is_inert());
+        assert!((0..64).all(|_| !inert.transfer_corrupts()));
     }
 
     #[test]
@@ -414,6 +731,18 @@ mod tests {
                 exempt: None,
             }),
             estimator_lag: SimDuration::from_mins(30.0),
+            corruption: 0.15,
+            crashes: Some(DowntimeConfig {
+                node_fraction: 0.4,
+                mean_uptime: SimDuration::from_hours(12.0),
+                mean_downtime: SimDuration::from_hours(1.0),
+                exempt: None,
+            }),
+            regional: Some(RegionalOutageConfig {
+                regions: 3,
+                outages: 2,
+                mean_duration: SimDuration::from_hours(2.0),
+            }),
         };
         let factory = RngFactory::new(4);
         let mut p1 = build_for(config, &t, &factory);

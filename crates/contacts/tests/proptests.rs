@@ -180,8 +180,13 @@ proptest! {
         truncation in 0.0f64..1.0,
         churn in 0.0f64..1.0,
         dep_frac in 0.0f64..1.0,
+        corruption in 0.0f64..1.0,
+        crash in 0.0f64..1.0,
+        outages in 0u32..6,
     ) {
-        use omn_contacts::faults::{DepartureConfig, DowntimeConfig, FaultConfig, FaultPlan};
+        use omn_contacts::faults::{
+            DepartureConfig, DowntimeConfig, FaultConfig, FaultPlan, RegionalOutageConfig,
+        };
         let cfg = PairwiseConfig::new(10, SimDuration::from_days(2.0))
             .mean_rate(1.0 / 3600.0);
         let trace = generate_pairwise(&cfg, &RngFactory::new(seed));
@@ -200,6 +205,18 @@ proptest! {
                 exempt: Some(NodeId(0)),
             }),
             estimator_lag: SimDuration::ZERO,
+            corruption,
+            crashes: Some(DowntimeConfig {
+                node_fraction: crash,
+                mean_uptime: SimDuration::from_hours(16.0),
+                mean_downtime: SimDuration::from_hours(2.0),
+                exempt: Some(NodeId(0)),
+            }),
+            regional: Some(RegionalOutageConfig {
+                regions: 2,
+                outages,
+                mean_duration: SimDuration::from_hours(3.0),
+            }),
         };
         let factory = RngFactory::new(seed ^ 0x9e37_79b9);
         let mut p1 = FaultPlan::build(fc, trace.node_count(), trace.span(), &factory);
@@ -210,15 +227,22 @@ proptest! {
         }
         for n in trace.nodes() {
             prop_assert_eq!(p1.down_windows_of(n), p2.down_windows_of(n));
-            for w in p1.down_windows_of(n) {
+            prop_assert_eq!(p1.crash_windows_of(n), p2.crash_windows_of(n));
+            for w in p1.down_windows_of(n).iter().chain(p1.crash_windows_of(n)) {
                 prop_assert!(w.0 < w.1);
             }
         }
-        let draws1: Vec<bool> = (0..64).map(|_| p1.transfer_fails()).collect();
-        let draws2: Vec<bool> = (0..64).map(|_| p2.transfer_fails()).collect();
+        prop_assert_eq!(p1.regional_windows(), p2.regional_windows());
+        prop_assert_eq!(p1.regional_windows().len(), outages as usize);
+        prop_assert_eq!(p1.rejoin_events(), p2.rejoin_events());
+        let draws1: Vec<(bool, bool)> =
+            (0..64).map(|_| (p1.transfer_fails(), p1.transfer_corrupts())).collect();
+        let draws2: Vec<(bool, bool)> =
+            (0..64).map(|_| (p2.transfer_fails(), p2.transfer_corrupts())).collect();
         prop_assert_eq!(draws1, draws2);
-        // The exempt node is never scheduled down.
+        // The exempt node is never scheduled down or crashed.
         prop_assert!(p1.down_windows_of(NodeId(0)).is_empty());
+        prop_assert!(p1.crash_windows_of(NodeId(0)).is_empty());
     }
 
     /// An all-zero fault config yields an inert plan no matter the trace or
@@ -239,7 +263,148 @@ proptest! {
         prop_assert!(plan.departed().is_empty());
         prop_assert!((0..trace.len()).all(|i| !plan.contact_blocked(i)));
         prop_assert!((0..64).all(|_| !plan.transfer_fails()));
-        prop_assert!(plan.rejoin_events(trace.span()).is_empty());
+        prop_assert!((0..64).all(|_| !plan.transfer_corrupts()));
+        prop_assert!(plan.rejoin_events().is_empty());
+    }
+
+    /// Zero-intensity corruption / crash / regional configs are inert: the
+    /// plan reports inert, never fires any of the new faults, and its
+    /// legacy schedules are bit-identical to a plan built without the new
+    /// kinds configured at all (extending the PR 1 zero-fault pattern).
+    #[test]
+    fn zero_intensity_new_faults_are_inert(
+        seed in any::<u64>(),
+        loss in 0.0f64..1.0,
+        truncation in 0.0f64..1.0,
+        churn in 0.0f64..1.0,
+    ) {
+        use omn_contacts::faults::{
+            DowntimeConfig, FaultConfig, FaultPlan, RegionalOutageConfig,
+        };
+        let legacy = FaultConfig {
+            transmission_loss: loss,
+            contact_failure: truncation,
+            downtime: Some(DowntimeConfig {
+                node_fraction: churn,
+                mean_uptime: SimDuration::from_hours(12.0),
+                mean_downtime: SimDuration::from_hours(3.0),
+                exempt: Some(NodeId(0)),
+            }),
+            ..FaultConfig::default()
+        };
+        let with_zero_new = FaultConfig {
+            corruption: 0.0,
+            crashes: Some(DowntimeConfig {
+                node_fraction: 0.0,
+                mean_uptime: SimDuration::from_hours(12.0),
+                mean_downtime: SimDuration::from_hours(3.0),
+                exempt: None,
+            }),
+            regional: Some(RegionalOutageConfig {
+                regions: 4,
+                outages: 0,
+                mean_duration: SimDuration::from_hours(3.0),
+            }),
+            ..legacy
+        };
+        let span = SimTime::from_days(2.0);
+        let factory = RngFactory::new(seed);
+        let mut base = FaultPlan::build(legacy, 10, span, &factory);
+        let mut zeroed = FaultPlan::build(with_zero_new, 10, span, &factory);
+        prop_assert_eq!(base.is_inert(), zeroed.is_inert());
+        for n in (0..10u32).map(NodeId) {
+            prop_assert_eq!(base.down_windows_of(n), zeroed.down_windows_of(n));
+            prop_assert!(zeroed.crash_windows_of(n).is_empty());
+        }
+        prop_assert!(zeroed.regional_windows().is_empty());
+        prop_assert_eq!(base.rejoin_events(), zeroed.rejoin_events());
+        prop_assert!((0..64).all(|_| !zeroed.transfer_corrupts()));
+        for i in 0..64 {
+            prop_assert_eq!(base.contact_blocked(i), zeroed.contact_blocked(i));
+        }
+        let a: Vec<bool> = (0..64).map(|_| base.transfer_fails()).collect();
+        let b: Vec<bool> = (0..64).map(|_| zeroed.transfer_fails()).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// A fault plan is a pure function of (config, node count, span, seed):
+    /// building over a streamed `ShardedCommunitySource` versus its
+    /// materialized trace yields bit-identical fault schedules, regardless
+    /// of whether the truncation flags are queried lazily along the stream
+    /// or eagerly over the trace.
+    #[test]
+    fn fault_plans_agree_between_streamed_and_materialized(
+        seed in any::<u64>(),
+        nodes in 4usize..40,
+        shards_hint in 1usize..6,
+        truncation in 0.0f64..1.0,
+        crash in 0.0f64..1.0,
+        outages in 0u32..4,
+    ) {
+        use omn_contacts::faults::{
+            DowntimeConfig, FaultConfig, FaultPlan, RegionalOutageConfig,
+        };
+        use omn_contacts::synth::sharded::{
+            generate_sharded, ShardedCommunityConfig, ShardedCommunitySource,
+        };
+        use omn_contacts::ContactSource;
+        let shards = shards_hint.min(nodes);
+        let cfg = ShardedCommunityConfig::new(nodes, shards, SimDuration::from_hours(24.0));
+        let factory = RngFactory::new(seed);
+        let fc = FaultConfig {
+            contact_failure: truncation,
+            corruption: 0.5,
+            crashes: Some(DowntimeConfig {
+                node_fraction: crash,
+                mean_uptime: SimDuration::from_hours(10.0),
+                mean_downtime: SimDuration::from_hours(2.0),
+                exempt: None,
+            }),
+            regional: Some(RegionalOutageConfig {
+                regions: shards,
+                outages,
+                mean_duration: SimDuration::from_hours(4.0),
+            }),
+            ..FaultConfig::default()
+        };
+        let fault_factory = RngFactory::new(seed ^ 0x5bd1_e995);
+
+        // Streamed: the plan sees only the source's metadata, flags drawn
+        // lazily as contacts arrive.
+        let mut src = ShardedCommunitySource::new(&cfg, &factory);
+        let mut streamed_plan =
+            FaultPlan::build(fc, src.node_count(), src.span(), &fault_factory);
+        let mut streamed_flags = Vec::new();
+        let mut idx = 0;
+        while src.next_contact().is_some() {
+            streamed_flags.push(streamed_plan.contact_blocked(idx));
+            idx += 1;
+        }
+
+        // Materialized: same config over the equivalent trace, flags drawn
+        // eagerly.
+        let trace = generate_sharded(&cfg, &factory);
+        let mut mat_plan =
+            FaultPlan::build(fc, trace.node_count(), trace.span(), &fault_factory);
+        let mat_flags: Vec<bool> =
+            (0..trace.len()).map(|i| mat_plan.contact_blocked(i)).collect();
+
+        prop_assert_eq!(streamed_flags, mat_flags);
+        prop_assert_eq!(streamed_plan.rejoin_events(), mat_plan.rejoin_events());
+        prop_assert_eq!(streamed_plan.regional_windows(), mat_plan.regional_windows());
+        for n in trace.nodes() {
+            prop_assert_eq!(
+                streamed_plan.crash_windows_of(n),
+                mat_plan.crash_windows_of(n)
+            );
+            prop_assert_eq!(
+                streamed_plan.down_windows_of(n),
+                mat_plan.down_windows_of(n)
+            );
+        }
+        let a: Vec<bool> = (0..32).map(|_| streamed_plan.transfer_corrupts()).collect();
+        let b: Vec<bool> = (0..32).map(|_| mat_plan.transfer_corrupts()).collect();
+        prop_assert_eq!(a, b);
     }
 
     /// The sharded generator's streaming k-way merge yields exactly the

@@ -40,8 +40,12 @@ use omn_caching::{AccessReport, CachingConfig, CachingRun, CachingTimer, Catalog
 use omn_contacts::faults::FaultConfig;
 use omn_contacts::{ContactDriver, ContactFate, ContactGraph, ContactTrace, NodeId};
 use omn_sim::metrics::Registry;
-use omn_sim::{Engine, EventClass, RngFactory, TransferBudget};
+use omn_sim::{
+    Engine, EventClass, OracleMode, OracleObs, OracleReport, OracleSink, RngFactory, SimWorld,
+    TransferBudget,
+};
 
+use crate::oracle::BudgetOracle;
 use crate::scheme::RefreshScheme;
 use crate::sim::{
     FreshnessConfig, FreshnessReport, FreshnessRun, FreshnessSimulator, FreshnessTimer,
@@ -134,6 +138,10 @@ pub struct JointReport {
     /// The largest number of transfers any single contact carried across
     /// both layers — never exceeds the configured budget.
     pub max_contact_used: u32,
+    /// Joint-level invariant violations (budget accounting across both
+    /// layers, cache-capacity bounds). Per-item freshness violations live
+    /// in each [`FreshnessReport::oracle`].
+    pub oracle: OracleReport,
 }
 
 impl JointReport {
@@ -200,6 +208,22 @@ impl JointSimulator {
         let mut driver = ContactDriver::new(trace, self.config.faults, factory);
         let mut extras = Registry::new();
         let mut engine: Engine<JointEvent> = Engine::new();
+
+        // The joint-level oracle world audits the cross-layer invariants:
+        // per-contact budget accounting and cache-capacity bounds. Each
+        // freshness participant keeps its own per-item world for version
+        // monotonicity and timer liveness.
+        let oracle_mode = self
+            .config
+            .freshness
+            .as_ref()
+            .map_or_else(OracleMode::from_env, |fc| fc.oracle_mode);
+        let mut world = SimWorld::new(driver.node_count(), *factory);
+        world.set_oracle_sink(OracleSink::new(oracle_mode));
+        if oracle_mode != OracleMode::Off {
+            world.install_oracle(Box::new(BudgetOracle::new()));
+            world.install_oracle(Box::new(omn_caching::oracle::CacheCapacityOracle::new()));
+        }
 
         let (mut caching, caching_timers) = CachingRun::new(
             &self.config.caching,
@@ -287,8 +311,15 @@ impl JointSimulator {
                 }
                 JointEvent::Freshness(pi, FreshnessTimer::Query(i)) => parts[pi].run.on_query(i),
                 JointEvent::Freshness(pi, FreshnessTimer::Expiry(i)) => parts[pi].run.on_expiry(i),
-                JointEvent::Freshness(pi, FreshnessTimer::Rejoin(n)) => {
-                    parts[pi].run.on_rejoin(n, now);
+                JointEvent::Freshness(pi, FreshnessTimer::Rejoin(n, lost)) => {
+                    parts[pi].run.on_rejoin(
+                        n,
+                        lost,
+                        now,
+                        schemes[pi].as_mut(),
+                        driver.plan_mut(),
+                        None,
+                    );
                 }
                 JointEvent::Freshness(pi, FreshnessTimer::LaggedObs(a, b, seen)) => {
                     parts[pi].run.on_lagged_obs(a, b, seen);
@@ -375,6 +406,25 @@ impl JointSimulator {
                     };
                     max_contact_used = max_contact_used.max(used);
 
+                    // Joint-level invariant observations: the budget this
+                    // contact retired, and the cache occupancy of the two
+                    // endpoints that could have gained copies.
+                    if world.has_oracles() {
+                        world.advance_to(now);
+                        world.oracle_event(&OracleObs::BudgetRetired {
+                            used,
+                            capacity: self.config.contact_budget,
+                        });
+                        for node in [a, b] {
+                            let (stored, capacity) = caching.store_occupancy(node);
+                            world.oracle_event(&OracleObs::CacheOccupancy {
+                                node: u64::from(node.0),
+                                stored: u64::try_from(stored).unwrap_or(u64::MAX),
+                                capacity: u64::try_from(capacity).unwrap_or(u64::MAX),
+                            });
+                        }
+                    }
+
                     // Reconcile refreshed members into the cache stores:
                     // a member that holds a newer version than its cached
                     // entry effectively refreshed that entry (the refresh
@@ -406,10 +456,13 @@ impl JointSimulator {
             })
             .collect();
         let access = caching.finish(trace.span(), extras);
+        world.advance_to(trace.span());
+        world.oracle_end_of_run();
         JointReport {
             access,
             freshness,
             max_contact_used,
+            oracle: world.take_oracle_report(),
         }
     }
 }

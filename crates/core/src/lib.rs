@@ -45,6 +45,12 @@
 //!   freshness over time, refresh delays, fresh-query ratios and overhead
 //!   for any scheme.
 //!
+//! * **Invariant oracles** ([`oracle`]): always-on checkers (version
+//!   monotonicity, budget accounting, timer liveness) that every run
+//!   dispatches protocol observations to, so fault-injection campaigns can
+//!   assert the protocol's safety invariants held *throughout* the run and
+//!   not just that it terminated.
+//!
 //! # Example
 //!
 //! ```
@@ -69,6 +75,7 @@ pub mod delay;
 pub mod freshness;
 pub mod hierarchy;
 pub mod joint;
+pub mod oracle;
 pub mod replication;
 pub mod scheme;
 pub mod sim;

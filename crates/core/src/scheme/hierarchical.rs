@@ -4,7 +4,7 @@
 use std::collections::{HashMap, HashSet};
 
 use omn_contacts::{ContactGraph, NodeId};
-use omn_sim::{SimDuration, SimTime};
+use omn_sim::{split_mix64, SimDuration, SimTime};
 
 use crate::freshness::FreshnessRequirement;
 use crate::hierarchy::{HierarchyStrategy, RefreshHierarchy};
@@ -23,14 +23,112 @@ pub enum PlanningMode {
     Estimated,
 }
 
+/// When — and how soon — the hierarchical scheme re-attempts a transfer
+/// lost to transmission failure, corruption, or budget contention.
+///
+/// The classic protocol retried at the very next contact, a bounded number
+/// of times; [`RetryPolicy::fixed`] reproduces that behavior exactly (zero
+/// backoff, no jitter, no escalation) and is the default. Configurable
+/// backoff spaces retries out so a flaky edge is not hammered at every
+/// meeting, and optional escalation gives up on a tree edge whose direct
+/// deliveries keep failing and re-parents around it instead of waiting for
+/// the silence detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// How many *extra* attempts a failed replication handoff or relay
+    /// delivery gets at later contacts. `0` keeps the transfer logic
+    /// fail-once (the non-resilient ablation).
+    pub max_attempts: u32,
+    /// Minimum wait after a failed attempt before the next try is allowed;
+    /// [`SimDuration::ZERO`] retries at the very next contact (the classic
+    /// behavior).
+    pub base_backoff: SimDuration,
+    /// Multiplier applied to the wait per consecutive failure (values
+    /// below 1 are treated as 1).
+    pub backoff_factor: f64,
+    /// Deterministic jitter fraction in `[0, 1]`: each wait is stretched
+    /// by up to this fraction, keyed by hashing the (endpoints, version,
+    /// attempt) tuple through SplitMix64. No RNG stream is consumed, so
+    /// enabling jitter never perturbs any other randomness in the run.
+    pub jitter: f64,
+    /// After this many consecutive failed direct refresh deliveries on a
+    /// tree edge, the child stops waiting for the silence detector and
+    /// re-parents under the next live member (or the root) it meets.
+    /// `None` never escalates.
+    pub escalate_after: Option<u32>,
+}
+
+impl RetryPolicy {
+    /// The classic fixed-bound policy: up to `max_attempts` retries, each
+    /// allowed at the very next contact. Bit-identical to the historical
+    /// bounded-retry protocol.
+    #[must_use]
+    pub fn fixed(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts,
+            base_backoff: SimDuration::ZERO,
+            backoff_factor: 1.0,
+            jitter: 0.0,
+            escalate_after: None,
+        }
+    }
+
+    /// Exponential backoff: the k-th retry waits `base · 2^k`, stretched
+    /// by up to 25% deterministic jitter, and an edge failing
+    /// `max_attempts` direct deliveries in a row escalates to
+    /// re-parenting.
+    #[must_use]
+    pub fn exponential(max_attempts: u32, base: SimDuration) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts,
+            base_backoff: base,
+            backoff_factor: 2.0,
+            jitter: 0.25,
+            escalate_after: Some(max_attempts.max(1)),
+        }
+    }
+
+    /// The earliest instant the attempt after `attempt` failures may go
+    /// out, given the latest failure happened at `failed_at`. `key`
+    /// seeds the deterministic jitter; pass anything stable for the
+    /// retried transfer (e.g. a hash of its endpoints and version).
+    #[must_use]
+    pub fn next_attempt_at(&self, failed_at: SimTime, attempt: u32, key: u64) -> SimTime {
+        if self.base_backoff.is_zero() {
+            return failed_at;
+        }
+        let exp = i32::try_from(attempt.min(30)).unwrap_or(30);
+        let mut wait = self.base_backoff.as_secs() * self.backoff_factor.max(1.0).powi(exp);
+        if self.jitter > 0.0 {
+            let mixed = split_mix64(key ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            #[allow(clippy::cast_precision_loss)]
+            let frac = (mixed >> 11) as f64 / (1u64 << 53) as f64;
+            wait *= 1.0 + self.jitter.min(1.0) * frac;
+        }
+        failed_at + SimDuration::from_secs(wait)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy::fixed(2)
+    }
+}
+
+/// A stable per-transfer hash key for [`RetryPolicy`] jitter, built from
+/// the transfer's endpoints and version.
+#[must_use]
+fn retry_key(a: NodeId, b: NodeId, version: u64) -> u64 {
+    (u64::from(a.0) << 48) ^ (u64::from(b.0) << 32) ^ version
+}
+
 /// Failure-awareness knobs for the hierarchical scheme (used with the
 /// fault-injection layer; see `omn_contacts::faults`).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ResilienceConfig {
-    /// How many *extra* attempts a failed replication handoff or relay
-    /// delivery gets at later contacts. `0` keeps the transfer logic
-    /// fail-once (the non-resilient ablation).
-    pub max_relay_retries: u32,
+    /// Retry behavior for failed replication handoffs and relay
+    /// deliveries.
+    pub retry: RetryPolicy,
     /// A tree neighbor unheard-from for this many expected inter-contact
     /// times is presumed down. Set to `f64::INFINITY` to disable the
     /// failure detector (retry-only resilience).
@@ -43,7 +141,7 @@ pub struct ResilienceConfig {
 impl Default for ResilienceConfig {
     fn default() -> ResilienceConfig {
         ResilienceConfig {
-            max_relay_retries: 2,
+            retry: RetryPolicy::fixed(2),
             suspect_after_icts: 3.0,
             min_silence: SimDuration::from_hours(1.0),
         }
@@ -93,15 +191,18 @@ type PlannedStructure = (RefreshHierarchy, HashMap<(NodeId, NodeId), Replication
 
 /// A relay copy of a version, owned by a non-caching relay node, destined
 /// for a specific child.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 struct RelayCopy {
     version: u64,
     target: NodeId,
     /// When the relay received the copy (for buffer-occupancy accounting).
     acquired: SimTime,
     /// Delivery attempts already lost to transmission failure; bounded by
-    /// `ResilienceConfig::max_relay_retries`.
+    /// [`RetryPolicy::max_attempts`].
     retries: u32,
+    /// The earliest instant the next delivery attempt may go out (retry
+    /// backoff; [`SimTime::ZERO`] = no restriction).
+    not_before: SimTime,
 }
 
 /// Hierarchical cache refreshing with probabilistic replication
@@ -125,9 +226,14 @@ pub struct HierarchicalScheme {
     /// preloaded at most once per version per child even after its copy is
     /// delivered or garbage-collected.
     handled: HashSet<(NodeId, NodeId, u64)>,
-    /// `(relay, target, version)` handoffs lost to transmission failure and
-    /// how many attempts they have consumed, so retries stay bounded.
-    attempts: HashMap<(NodeId, NodeId, u64), u32>,
+    /// `(relay, target, version)` handoffs lost to transmission failure:
+    /// how many attempts they have consumed (so retries stay bounded) and
+    /// when the next attempt is allowed (retry backoff).
+    attempts: HashMap<(NodeId, NodeId, u64), (u32, SimTime)>,
+    /// Consecutive failed *direct* refresh deliveries per tree edge
+    /// `(parent, child)`; feeds [`RetryPolicy::escalate_after`]. Reset on
+    /// a successful delivery.
+    edge_failures: HashMap<(NodeId, NodeId), u32>,
     /// When each tree edge `(parent, child)` last saw its endpoints meet;
     /// the failure detector's silence clock (resilience only).
     edge_heard: HashMap<(NodeId, NodeId), SimTime>,
@@ -155,6 +261,7 @@ impl HierarchicalScheme {
             relay_copies: HashMap::new(),
             handled: HashSet::new(),
             attempts: HashMap::new(),
+            edge_failures: HashMap::new(),
             edge_heard: HashMap::new(),
             suspects: HashSet::new(),
             next_rebuild: None,
@@ -238,29 +345,31 @@ impl HierarchicalScheme {
         self.edge_heard.clear();
         self.suspects.clear();
         self.attempts.clear();
+        self.edge_failures.clear();
         if let Some((hierarchy, plans)) = self.fixed.take() {
             self.hierarchy = Some(hierarchy);
             self.plans = plans;
-            self.relay_copies.clear();
-            return;
+        } else {
+            let graph = self.planning_graph(ctx);
+            let members: Vec<NodeId> = ctx.members().to_vec();
+            let hierarchy = RefreshHierarchy::build(
+                ctx.root(),
+                &members,
+                &graph,
+                self.config.strategy,
+                ctx.rng(),
+            );
+            self.plans = match self.config.replication {
+                Some(requirement) => ReplicationPlanner::new(requirement, self.config.max_relays)
+                    .plan_hierarchy(&hierarchy, &graph),
+                None => HashMap::new(),
+            };
+            self.hierarchy = Some(hierarchy);
         }
-        let graph = self.planning_graph(ctx);
-        let members: Vec<NodeId> = ctx.members().to_vec();
-        let hierarchy = RefreshHierarchy::build(
-            ctx.root(),
-            &members,
-            &graph,
-            self.config.strategy,
-            ctx.rng(),
-        );
-        self.plans = match self.config.replication {
-            Some(requirement) => ReplicationPlanner::new(requirement, self.config.max_relays)
-                .plan_hierarchy(&hierarchy, &graph),
-            None => HashMap::new(),
-        };
-        self.hierarchy = Some(hierarchy);
         // Old relay copies address the old tree; drop them.
         self.relay_copies.clear();
+        self.check_tree(ctx, None);
+        self.check_membership(ctx);
     }
 
     fn fanout_bound(&self) -> Option<usize> {
@@ -296,6 +405,75 @@ impl HierarchicalScheme {
             ctx.count("reparent-events", 1);
             // The plan for the old edge no longer applies.
             self.plans.retain(|&(_, c), _| c != x);
+            self.check_tree(ctx, Some(x));
+        }
+    }
+
+    /// In-place structural invariant check: after any tree mutation the
+    /// hierarchy must still be an acyclic, fanout-bounded tree. Reported
+    /// through the run's oracle sink; a no-op when oracles are off.
+    fn check_tree(&self, ctx: &mut SchemeCtx<'_>, node: Option<NodeId>) {
+        if !ctx.oracle_active() {
+            return;
+        }
+        if let Some(h) = self.hierarchy.as_ref() {
+            if let Err(e) = h.validate(self.fanout_bound()) {
+                ctx.oracle_check(false, "tree-structure", node, || e);
+            }
+        }
+    }
+
+    /// In-place membership invariant check: every caching member must be
+    /// attached somewhere in the refresh tree (no orphan beyond the
+    /// detector's reach). Reported through the run's oracle sink.
+    fn check_membership(&self, ctx: &mut SchemeCtx<'_>) {
+        if !ctx.oracle_active() {
+            return;
+        }
+        let Some(h) = self.hierarchy.as_ref() else {
+            return;
+        };
+        let orphans: Vec<NodeId> = ctx
+            .members()
+            .iter()
+            .copied()
+            .filter(|&m| !h.contains(m))
+            .collect();
+        for m in orphans {
+            ctx.oracle_check(false, "member-orphaned", Some(m), || {
+                "caching member not attached to the refresh tree".to_string()
+            });
+        }
+    }
+
+    /// Retry-policy escalation: when the direct parent→child edge toward
+    /// `x` has failed `esc` consecutive deliveries, `x` stops waiting for
+    /// the silence detector and re-parents under the live peer `y` it is
+    /// meeting right now (fanout permitting, root never abandoned).
+    fn maybe_escalate(&mut self, x: NodeId, y: NodeId, esc: u32, ctx: &mut SchemeCtx<'_>) {
+        let Some(p) = self.hierarchy.as_ref().and_then(|h| h.parent_of(x)) else {
+            return;
+        };
+        if p == y || p == ctx.root() {
+            return;
+        }
+        if self.edge_failures.get(&(p, x)).copied().unwrap_or(0) < esc {
+            return;
+        }
+        if y != ctx.root() && !ctx.is_member(y) {
+            return;
+        }
+        let fanout = self.fanout_bound();
+        let reparented = self
+            .hierarchy
+            .as_mut()
+            .is_some_and(|h| h.contains(y) && h.reparent(x, y, fanout).is_ok());
+        if reparented {
+            ctx.count("retry-escalations", 1);
+            self.edge_failures.remove(&(p, x));
+            self.plans.retain(|&(_, ch), _| ch != x);
+            self.edge_heard.insert((y, x), ctx.now());
+            self.check_tree(ctx, Some(x));
         }
     }
 
@@ -371,12 +549,15 @@ impl HierarchicalScheme {
                 }
                 if p != ctx.root() && (peer == ctx.root() || ctx.is_member(peer)) {
                     let fanout = self.fanout_bound();
-                    if let Some(h) = self.hierarchy.as_mut() {
-                        if h.contains(peer) && h.reparent(x, peer, fanout).is_ok() {
-                            ctx.count("failure-reparents", 1);
-                            self.plans.retain(|&(_, ch), _| ch != x);
-                            self.edge_heard.insert((peer, x), now);
-                        }
+                    let reparented = self
+                        .hierarchy
+                        .as_mut()
+                        .is_some_and(|h| h.contains(peer) && h.reparent(x, peer, fanout).is_ok());
+                    if reparented {
+                        ctx.count("failure-reparents", 1);
+                        self.plans.retain(|&(_, ch), _| ch != x);
+                        self.edge_heard.insert((peer, x), now);
+                        self.check_tree(ctx, Some(x));
                     }
                 }
             }
@@ -415,7 +596,10 @@ impl RefreshScheme for HierarchicalScheme {
 
         let current = ctx.current_version();
         let resilient = self.config.resilience.is_some();
-        let max_retries = self.config.resilience.map_or(0, |r| r.max_relay_retries);
+        let retry = self
+            .config
+            .resilience
+            .map_or(RetryPolicy::fixed(0), |r| r.retry);
         for (x, y) in [(a, b), (b, a)] {
             let Some(h) = self.hierarchy.as_ref() else {
                 continue;
@@ -433,11 +617,16 @@ impl RefreshScheme for HierarchicalScheme {
 
             // 1. Tree responsibility: x refreshes its child y. A delivery
             // lost to transmission failure retries implicitly: y's cache is
-            // unchanged, so the next x–y contact attempts again.
+            // unchanged, so the next x–y contact attempts again. Consecutive
+            // direct-delivery failures per edge feed retry escalation.
             if h.parent_of(y) == Some(x) {
                 if let Some(vx) = ctx.version_of(x) {
                     if ctx.version_of(y).is_none_or(|vy| vy < vx) {
-                        ctx.deliver_version(x, y, vx);
+                        if ctx.try_deliver(x, y, vx) == Delivery::Failed {
+                            *self.edge_failures.entry((x, y)).or_insert(0) += 1;
+                        } else {
+                            self.edge_failures.remove(&(x, y));
+                        }
                     }
                 }
             }
@@ -445,7 +634,8 @@ impl RefreshScheme for HierarchicalScheme {
             // 2. Replication spawn: x holds the current version and meets a
             // relay y designated for one of its child edges. Under
             // resilience, a handoff lost to transmission failure may be
-            // re-attempted at later contacts, up to the retry bound.
+            // re-attempted at later contacts, up to the retry bound and
+            // respecting the policy's backoff.
             if ctx.version_of(x) == Some(current) && !ctx.is_member(y) && y != ctx.root() {
                 for &c in h.children_of(x) {
                     let Some(plan) = self.plans.get(&(x, c)) else {
@@ -455,25 +645,39 @@ impl RefreshScheme for HierarchicalScheme {
                         continue;
                     }
                     let key = (y, c, current);
-                    if self.handled.insert(key) {
-                        let prior = self.attempts.get(&key).copied().unwrap_or(0);
-                        if prior > 0 {
-                            ctx.count("replication-retries", 1);
-                        }
-                        if ctx.attempt_transfer(x) {
-                            self.attempts.remove(&key);
-                            self.relay_copies.entry(y).or_default().push(RelayCopy {
-                                version: current,
-                                target: c,
-                                acquired: ctx.now(),
-                                retries: 0,
-                            });
-                            ctx.record_replica();
-                        } else if prior < max_retries {
-                            // Unmark so a later contact tries again.
-                            self.attempts.insert(key, prior + 1);
-                            self.handled.remove(&key);
-                        }
+                    if self.handled.contains(&key) {
+                        continue;
+                    }
+                    let (prior, not_before) = self
+                        .attempts
+                        .get(&key)
+                        .copied()
+                        .unwrap_or((0, SimTime::ZERO));
+                    if ctx.now() < not_before {
+                        ctx.count("retry-backoff-deferrals", 1);
+                        continue;
+                    }
+                    self.handled.insert(key);
+                    if prior > 0 {
+                        ctx.count("replication-retries", 1);
+                    }
+                    if ctx.attempt_transfer(x) {
+                        self.attempts.remove(&key);
+                        self.relay_copies.entry(y).or_default().push(RelayCopy {
+                            version: current,
+                            target: c,
+                            acquired: ctx.now(),
+                            retries: 0,
+                            not_before: SimTime::ZERO,
+                        });
+                        ctx.record_replica();
+                    } else if prior < retry.max_attempts {
+                        // Unmark so a later contact (past the backoff
+                        // window) tries again.
+                        let next =
+                            retry.next_attempt_at(ctx.now(), prior, retry_key(y, c, current));
+                        self.attempts.insert(key, (prior + 1, next));
+                        self.handled.remove(&key);
                     }
                 }
             }
@@ -486,11 +690,24 @@ impl RefreshScheme for HierarchicalScheme {
                 let mut occupancy_secs = 0.0;
                 for mut copy in copies.drain(..) {
                     if copy.target == y {
+                        if ctx.now() < copy.not_before {
+                            // Still inside the backoff window: hold the copy
+                            // without spending an attempt.
+                            ctx.count("retry-backoff-deferrals", 1);
+                            kept.push(copy);
+                            continue;
+                        }
                         match ctx.try_deliver(x, y, copy.version) {
-                            Delivery::Failed if copy.retries < max_retries => {
+                            Delivery::Failed if copy.retries < retry.max_attempts => {
                                 // Keep the copy for another try at a later
                                 // x–y contact (resilience only).
+                                let prior = copy.retries;
                                 copy.retries += 1;
+                                copy.not_before = retry.next_attempt_at(
+                                    ctx.now(),
+                                    prior,
+                                    retry_key(x, y, copy.version),
+                                );
                                 ctx.count("relay-retries", 1);
                                 kept.push(copy);
                             }
@@ -523,6 +740,41 @@ impl RefreshScheme for HierarchicalScheme {
             if resilient {
                 self.detect_failures(x, y, ctx);
             }
+
+            // 5b. Retry escalation: an edge whose direct deliveries keep
+            // failing is routed around without waiting for silence.
+            if let Some(esc) = retry.escalate_after {
+                if esc > 0 {
+                    self.maybe_escalate(x, y, esc, ctx);
+                }
+            }
+        }
+    }
+
+    fn on_state_loss(&mut self, n: NodeId, ctx: &mut SchemeCtx<'_>) {
+        ctx.count("crash-state-losses", 1);
+        // The crashed node's protocol state is gone: drop every suspicion,
+        // silence clock, failure streak, and pending retry that involves it.
+        self.suspects.retain(|&(w, s)| w != n && s != n);
+        self.edge_heard.retain(|&(a, b), _| a != n && b != n);
+        self.edge_failures.retain(|&(a, b), _| a != n && b != n);
+        self.attempts.retain(|&(_, target, _), _| target != n);
+        self.handled.retain(|&(_, target, _)| target != n);
+        // Re-attach the amnesiac node directly under the root (fanout
+        // permitting): it remembers nothing about its old parent, and the
+        // root is the one address every member knows.
+        let root = ctx.root();
+        let fanout = self.fanout_bound();
+        let reattached = self.hierarchy.as_mut().is_some_and(|h| {
+            h.contains(n)
+                && h.parent_of(n).is_some_and(|p| p != root)
+                && h.reparent(n, root, fanout).is_ok()
+        });
+        if reattached {
+            ctx.count("crash-reattaches", 1);
+            self.plans.retain(|&(_, c), _| c != n);
+            self.edge_heard.insert((root, n), ctx.now());
+            self.check_tree(ctx, Some(n));
         }
     }
 
@@ -538,6 +790,10 @@ impl RefreshScheme for HierarchicalScheme {
         if occupancy_secs > 0.0 {
             ctx.count("relay-copy-seconds", occupancy_secs as u64);
         }
+        // End-of-run structural sweep: the tree must still be sound and no
+        // member may have been left orphaned.
+        self.check_tree(ctx, None);
+        self.check_membership(ctx);
     }
 }
 
@@ -811,9 +1067,9 @@ mod tests {
     }
 
     /// Detection disabled; only the retry half of resilience active.
-    fn retry_only(max_relay_retries: u32) -> ResilienceConfig {
+    fn retry_only(max_attempts: u32) -> ResilienceConfig {
         ResilienceConfig {
-            max_relay_retries,
+            retry: RetryPolicy::fixed(max_attempts),
             suspect_after_icts: f64::INFINITY,
             min_silence: SimDuration::from_hours(1.0),
         }
@@ -913,7 +1169,7 @@ mod tests {
             strategy: HierarchyStrategy::GreedySed { fanout: Some(2) },
             replication: None,
             resilience: Some(ResilienceConfig {
-                max_relay_retries: 0,
+                retry: RetryPolicy::fixed(0),
                 suspect_after_icts: 1.0,
                 min_silence: SimDuration::from_secs(50.0),
             }),
@@ -949,5 +1205,133 @@ mod tests {
         h.now = SimTime::from_secs(300.0);
         s.on_contact(NodeId(2), NodeId(0), &mut h.ctx());
         assert_eq!(h.extras.get("suspected-failures"), 2);
+    }
+
+    #[test]
+    fn fixed_policy_has_no_backoff_and_no_escalation() {
+        let p = RetryPolicy::fixed(3);
+        let t = SimTime::from_secs(40.0);
+        assert_eq!(p.next_attempt_at(t, 0, 123), t);
+        assert_eq!(p.next_attempt_at(t, 5, 99), t);
+        assert_eq!(p.escalate_after, None);
+        assert_eq!(RetryPolicy::default(), RetryPolicy::fixed(2));
+    }
+
+    #[test]
+    fn exponential_backoff_grows_and_jitter_is_deterministic() {
+        let p = RetryPolicy::exponential(4, SimDuration::from_secs(100.0));
+        let t = SimTime::from_secs(0.0);
+        let w0 = p.next_attempt_at(t, 0, 7).as_secs();
+        let w1 = p.next_attempt_at(t, 1, 7).as_secs();
+        let w2 = p.next_attempt_at(t, 2, 7).as_secs();
+        // Each wait lands in [base·2^k, base·2^k·1.25).
+        assert!((100.0..125.0).contains(&w0), "w0 = {w0}");
+        assert!((200.0..250.0).contains(&w1), "w1 = {w1}");
+        assert!((400.0..500.0).contains(&w2), "w2 = {w2}");
+        // Same key, same attempt: bit-identical. Different key: different
+        // jitter (with overwhelming probability for these constants).
+        assert_eq!(p.next_attempt_at(t, 1, 7).as_secs(), w1);
+        assert_ne!(p.next_attempt_at(t, 1, 8).as_secs(), w1);
+        assert_eq!(p.escalate_after, Some(4));
+    }
+
+    #[test]
+    fn relay_backoff_defers_retries_until_the_window_passes() {
+        let mut h = CtxHarness::new(relay_graph(), NodeId(0), vec![NodeId(2)]);
+        let res = ResilienceConfig {
+            retry: RetryPolicy {
+                max_attempts: 2,
+                base_backoff: SimDuration::from_secs(10.0),
+                backoff_factor: 2.0,
+                jitter: 0.0,
+                escalate_after: None,
+            },
+            suspect_after_icts: f64::INFINITY,
+            min_silence: SimDuration::from_hours(1.0),
+        };
+        let mut s = relay_scheme(Some(res));
+        s.on_start(&mut h.ctx());
+        h.current_version = 1;
+        // Clean handoff to the relay, then the delivery fails at t = 8.
+        h.now = SimTime::from_secs(5.0);
+        s.on_contact(NodeId(0), NodeId(3), &mut h.ctx());
+        h.fail_all_transfers();
+        h.now = SimTime::from_secs(8.0);
+        s.on_contact(NodeId(3), NodeId(2), &mut h.ctx());
+        assert_eq!(h.extras.get("relay-retries"), 1);
+        // A meeting 5 s later is inside the 10 s backoff window: deferred,
+        // no transmission spent.
+        h.faults = None;
+        let tx = h.transmissions;
+        h.now = SimTime::from_secs(13.0);
+        s.on_contact(NodeId(3), NodeId(2), &mut h.ctx());
+        assert_eq!(h.transmissions, tx, "backoff must defer the attempt");
+        assert_eq!(h.extras.get("retry-backoff-deferrals"), 1);
+        assert_eq!(h.member_versions[&NodeId(2)], 0);
+        // Past the window the retry goes out and succeeds.
+        h.now = SimTime::from_secs(19.0);
+        s.on_contact(NodeId(3), NodeId(2), &mut h.ctx());
+        assert_eq!(h.member_versions[&NodeId(2)], 1);
+    }
+
+    #[test]
+    fn escalation_reparents_after_consecutive_direct_failures() {
+        let mut h = CtxHarness::new(graph(), NodeId(0), vec![NodeId(1), NodeId(2)]);
+        let mut s = HierarchicalScheme::new(HierarchicalConfig {
+            strategy: HierarchyStrategy::GreedySed { fanout: Some(2) },
+            replication: None,
+            resilience: Some(ResilienceConfig {
+                retry: RetryPolicy {
+                    escalate_after: Some(2),
+                    ..RetryPolicy::fixed(0)
+                },
+                suspect_after_icts: f64::INFINITY,
+                min_silence: SimDuration::from_hours(1.0),
+            }),
+            ..HierarchicalConfig::default()
+        });
+        s.on_start(&mut h.ctx());
+        assert_eq!(s.hierarchy().unwrap().parent_of(NodeId(2)), Some(NodeId(1)));
+        // Parent 1 holds version 1; its two direct deliveries to child 2
+        // are lost on the air.
+        h.current_version = 1;
+        h.member_versions.insert(NodeId(1), 1);
+        h.fail_all_transfers();
+        h.now = SimTime::from_secs(10.0);
+        s.on_contact(NodeId(1), NodeId(2), &mut h.ctx());
+        h.now = SimTime::from_secs(20.0);
+        s.on_contact(NodeId(1), NodeId(2), &mut h.ctx());
+        assert_eq!(h.extras.get("failed-transmissions"), 2);
+        // The child then meets the root: with two consecutive failures on
+        // its parent edge it escalates and re-parents under the root.
+        h.faults = None;
+        h.now = SimTime::from_secs(30.0);
+        s.on_contact(NodeId(2), NodeId(0), &mut h.ctx());
+        let tree = s.hierarchy().unwrap();
+        assert_eq!(tree.parent_of(NodeId(2)), Some(NodeId(0)));
+        tree.validate(Some(2)).unwrap();
+        assert_eq!(h.extras.get("retry-escalations"), 1);
+        assert!(h.world.oracle_report().is_clean());
+    }
+
+    #[test]
+    fn state_loss_reattaches_the_amnesiac_node_under_the_root() {
+        let mut h = CtxHarness::new(graph(), NodeId(0), vec![NodeId(1), NodeId(2)]);
+        let mut s = default_scheme();
+        s.on_start(&mut h.ctx());
+        assert_eq!(s.hierarchy().unwrap().parent_of(NodeId(2)), Some(NodeId(1)));
+        h.now = SimTime::from_secs(100.0);
+        s.on_state_loss(NodeId(2), &mut h.ctx());
+        let tree = s.hierarchy().unwrap();
+        assert_eq!(tree.parent_of(NodeId(2)), Some(NodeId(0)));
+        tree.validate(Some(2)).unwrap();
+        assert_eq!(h.extras.get("crash-state-losses"), 1);
+        assert_eq!(h.extras.get("crash-reattaches"), 1);
+        // A node already under the root keeps its attachment.
+        s.on_state_loss(NodeId(1), &mut h.ctx());
+        assert_eq!(s.hierarchy().unwrap().parent_of(NodeId(1)), Some(NodeId(0)));
+        assert_eq!(h.extras.get("crash-state-losses"), 2);
+        assert_eq!(h.extras.get("crash-reattaches"), 1);
+        assert!(h.world.oracle_report().is_clean());
     }
 }

@@ -11,7 +11,9 @@ mod baselines;
 mod hierarchical;
 
 pub use baselines::{EpidemicRefresh, NoRefresh};
-pub use hierarchical::{HierarchicalConfig, HierarchicalScheme, PlanningMode, ResilienceConfig};
+pub use hierarchical::{
+    HierarchicalConfig, HierarchicalScheme, PlanningMode, ResilienceConfig, RetryPolicy,
+};
 
 use std::collections::HashMap;
 
@@ -19,7 +21,7 @@ use omn_contacts::estimate::PairRateTable;
 use omn_contacts::faults::FaultPlan;
 use omn_contacts::{ContactGraph, NodeId};
 use omn_sim::metrics::Registry;
-use omn_sim::{SimTime, TransferBudget};
+use omn_sim::{OracleMode, OracleObs, SimTime, SimWorld, TransferBudget, Violation};
 use rand::rngs::StdRng;
 
 /// Outcome of a fallible version delivery ([`SchemeCtx::try_deliver`]).
@@ -55,6 +57,15 @@ pub trait RefreshScheme: std::fmt::Debug {
     /// Called at the start of every contact.
     fn on_contact(&mut self, a: NodeId, b: NodeId, ctx: &mut SchemeCtx<'_>);
 
+    /// Called when a caching node rejoins after a crash that wiped its
+    /// state (cache contents *and* protocol state). The scheme must drop
+    /// everything it believed about `node` — detector clocks, pending
+    /// retries, tree knowledge the node itself held — and re-attach it.
+    /// Defaults to a no-op: stateless baselines have nothing to lose.
+    fn on_state_loss(&mut self, node: NodeId, ctx: &mut SchemeCtx<'_>) {
+        let _ = (node, ctx);
+    }
+
     /// Called once after the last event (with `ctx.now()` at the trace
     /// end), e.g. to flush occupancy accounting for copies still held.
     fn on_finish(&mut self, ctx: &mut SchemeCtx<'_>) {
@@ -85,6 +96,10 @@ pub struct SchemeCtx<'a> {
     /// `None` (every standalone run) means unlimited capacity and is
     /// bit-identical to the pre-budget behavior.
     pub(crate) budget: Option<&'a mut TransferBudget>,
+    /// The run's [`SimWorld`]: installed invariant oracles and the
+    /// violation sink. Oracles are pure observers, so dispatching through
+    /// here never perturbs a run.
+    pub(crate) world: &'a mut SimWorld,
 }
 
 impl SchemeCtx<'_> {
@@ -143,8 +158,17 @@ impl SchemeCtx<'_> {
 
     /// Delivers `version` from `from` to caching node `to`, reporting
     /// whether the transfer was delivered, unneeded, or lost to injected
-    /// transmission failure (see [`Delivery`]). Without a fault plan this
-    /// never returns [`Delivery::Failed`].
+    /// transmission failure or corruption (see [`Delivery`]). Without a
+    /// fault plan this never returns [`Delivery::Failed`].
+    ///
+    /// A *corrupted* transfer models an adversarial or bit-rotted payload:
+    /// the bytes go on the air (budget and transmission accounting as for
+    /// any attempt), but what arrives is a stale-version replay. The
+    /// receiver's version check rejects it — the cache never regresses,
+    /// which is exactly what the version-monotonicity oracle proves — and
+    /// the delivery reports [`Delivery::Failed`] so the scheme retries
+    /// later. Counted under `"corrupted-transfers"` (drawn corrupt) and
+    /// `"corrupted-rejections"` (survived the air and was refused).
     pub fn try_deliver(&mut self, from: NodeId, to: NodeId, version: u64) -> Delivery {
         if !self.is_member(to) || version > self.current_version {
             return Delivery::Unneeded;
@@ -153,7 +177,18 @@ impl SchemeCtx<'_> {
         if held.is_some_and(|h| h >= version) {
             return Delivery::Unneeded;
         }
+        // The corruption draw happens once per needed transfer, from its
+        // own dedicated stream, so enabling loss/budget faults never
+        // perturbs the corruption schedule (and vice versa).
+        let corrupted = self.faults.as_mut().is_some_and(|f| f.transfer_corrupts());
+        if corrupted {
+            self.extras.add("corrupted-transfers", 1);
+        }
         if !self.attempt_transfer(from) {
+            return Delivery::Failed;
+        }
+        if corrupted {
+            self.extras.add("corrupted-rejections", 1);
             return Delivery::Failed;
         }
         self.member_versions.insert(to, version);
@@ -161,6 +196,10 @@ impl SchemeCtx<'_> {
             .entry(to)
             .or_default()
             .push((self.now, version));
+        self.observe(&OracleObs::Absorb {
+            node: u64::from(to.0),
+            version,
+        });
         Delivery::Delivered
     }
 
@@ -249,6 +288,43 @@ impl SchemeCtx<'_> {
     pub fn rng(&mut self) -> &mut StdRng {
         self.rng
     }
+
+    /// Whether invariant checking is active for this run. Schemes guard
+    /// non-trivial in-place checks (e.g. full tree validation) behind this
+    /// so [`OracleMode::Off`] runs pay nothing.
+    #[must_use]
+    pub fn oracle_active(&self) -> bool {
+        self.world.oracle_mode() != OracleMode::Off
+    }
+
+    /// Reports an in-place invariant check to the run's oracle sink:
+    /// records (campaign) or panics (strict) unless `ok` holds. The detail
+    /// string is only built on failure.
+    pub fn oracle_check(
+        &mut self,
+        ok: bool,
+        invariant: &'static str,
+        node: Option<NodeId>,
+        detail: impl FnOnce() -> String,
+    ) {
+        if ok {
+            return;
+        }
+        let at = self.now;
+        self.world.oracle_sink_mut().check(false, || Violation {
+            invariant,
+            at,
+            node: node.map(|n| u64::from(n.0)),
+            detail: detail(),
+        });
+    }
+
+    /// Dispatches a protocol observation to every installed oracle, at the
+    /// current event time.
+    pub fn observe(&mut self, obs: &OracleObs) {
+        self.world.advance_to(self.now);
+        self.world.oracle_event(obs);
+    }
 }
 
 #[cfg(test)]
@@ -274,6 +350,9 @@ pub(crate) mod testutil {
         pub rng: StdRng,
         /// Fault schedule passed into the ctx; `None` disables injection.
         pub faults: Option<FaultPlan>,
+        /// Oracle world (campaign-mode sink by default, no oracles
+        /// installed).
+        pub world: SimWorld,
     }
 
     impl CtxHarness {
@@ -299,6 +378,11 @@ pub(crate) mod testutil {
                 extras: Registry::new(),
                 rng: omn_sim::RngFactory::new(1).stream("test-scheme"),
                 faults: None,
+                world: {
+                    let mut w = SimWorld::new(oracle_nodes, omn_sim::RngFactory::new(1));
+                    w.set_oracle_sink(omn_sim::OracleSink::new(OracleMode::Campaign));
+                    w
+                },
             }
         }
 
@@ -310,6 +394,22 @@ pub(crate) mod testutil {
             self.faults = Some(FaultPlan::build(
                 FaultConfig {
                     transmission_loss: 1.0,
+                    ..FaultConfig::default()
+                },
+                self.oracle.node_count(),
+                SimTime::from_secs(1.0),
+                &omn_sim::RngFactory::new(1),
+            ));
+        }
+
+        /// Installs a plan with certain (probability-1) corruption, so
+        /// every needed transfer arrives as a stale replay the receiver
+        /// must reject.
+        pub fn corrupt_all_transfers(&mut self) {
+            use omn_contacts::faults::FaultConfig;
+            self.faults = Some(FaultPlan::build(
+                FaultConfig {
+                    corruption: 1.0,
                     ..FaultConfig::default()
                 },
                 self.oracle.node_count(),
@@ -335,6 +435,7 @@ pub(crate) mod testutil {
                 rng: &mut self.rng,
                 faults: self.faults.as_mut(),
                 budget: None,
+                world: &mut self.world,
             }
         }
     }
@@ -428,5 +529,77 @@ mod tests {
             ctx.try_deliver(NodeId(0), NodeId(1), 1),
             Delivery::Delivered
         );
+    }
+
+    #[test]
+    fn corrupted_transfers_are_rejected_and_never_regress_the_cache() {
+        let mut h = harness();
+        h.current_version = 2;
+        h.world
+            .install_oracle(Box::new(crate::oracle::VersionOrderOracle::new()));
+        h.corrupt_all_transfers();
+        let mut ctx = h.ctx();
+        // Unneeded outcomes are decided before the corruption draw.
+        assert_eq!(ctx.try_deliver(NodeId(0), NodeId(3), 1), Delivery::Unneeded);
+        // A needed transfer goes on the air, arrives corrupted (a stale
+        // replay), and is refused: the cache keeps what it held.
+        assert_eq!(ctx.try_deliver(NodeId(0), NodeId(1), 2), Delivery::Failed);
+        assert_eq!(ctx.version_of(NodeId(1)), Some(0));
+        assert_eq!(h.transmissions, 1, "the corrupted bytes went on the air");
+        assert_eq!(h.extras.get("corrupted-transfers"), 1);
+        assert_eq!(h.extras.get("corrupted-rejections"), 1);
+        assert_eq!(
+            h.receipts[&NodeId(1)].len(),
+            1,
+            "no receipt for a rejected transfer"
+        );
+
+        // Clearing the plan lets the retried delivery through, and the
+        // monotonicity oracle saw no regression at any point.
+        h.faults = None;
+        let mut ctx = h.ctx();
+        assert_eq!(
+            ctx.try_deliver(NodeId(0), NodeId(1), 2),
+            Delivery::Delivered
+        );
+        assert!(h.world.oracle_report().is_clean());
+    }
+
+    #[test]
+    fn a_naive_receiver_would_trip_the_version_oracle() {
+        // The oracle exists to prove the scheme rejects stale replays; a
+        // hypothetical naive receiver that absorbed one is caught.
+        let mut h = harness();
+        h.world
+            .install_oracle(Box::new(crate::oracle::VersionOrderOracle::new()));
+        h.current_version = 3;
+        let mut ctx = h.ctx();
+        assert_eq!(
+            ctx.try_deliver(NodeId(0), NodeId(1), 3),
+            Delivery::Delivered
+        );
+        // Simulate the naive absorb of an older payload.
+        ctx.observe(&omn_sim::OracleObs::Absorb {
+            node: 1,
+            version: 1,
+        });
+        assert_eq!(h.world.oracle_report().count("version-monotonicity"), 1);
+    }
+
+    #[test]
+    fn oracle_check_routes_through_the_sink() {
+        let mut h = harness();
+        let mut ctx = h.ctx();
+        assert!(ctx.oracle_active());
+        ctx.oracle_check(true, "tree-structure", None, || unreachable!());
+        ctx.oracle_check(false, "tree-structure", Some(NodeId(2)), || {
+            "cycle via 2".into()
+        });
+        let report = h.world.oracle_report();
+        assert_eq!(report.count("tree-structure"), 1);
+        assert!(report
+            .first_violation("tree-structure")
+            .unwrap()
+            .contains("node 2"));
     }
 }

@@ -33,12 +33,16 @@ use omn_contacts::{
     Centrality, ContactDriver, ContactFate, ContactGraph, ContactSource, ContactTrace, NodeId,
 };
 use omn_sim::metrics::{Registry, SampleHistogram, Timeline};
-use omn_sim::{Engine, EventClass, RngFactory, SimDuration, SimTime, TransferBudget};
+use omn_sim::{
+    Engine, EventClass, OracleMode, OracleObs, OracleReport, OracleSink, RngFactory, SimDuration,
+    SimTime, SimWorld, TransferBudget,
+};
 use rand::rngs::StdRng;
 use rand::Rng;
 
 use crate::freshness::{FreshnessRequirement, FreshnessTracker, UpdateSchedule};
 use crate::hierarchy::HierarchyStrategy;
+use crate::oracle::{BudgetOracle, TimerLivenessOracle, VersionOrderOracle};
 use crate::scheme::{
     EpidemicRefresh, HierarchicalConfig, HierarchicalScheme, NoRefresh, PlanningMode,
     RefreshScheme, ResilienceConfig, SchemeCtx,
@@ -67,8 +71,9 @@ pub enum FreshnessTimer {
     Query(usize),
     /// The `i`-th expiry instant elapses.
     Expiry(usize),
-    /// A churned-out caching node comes back up.
-    Rejoin(NodeId),
+    /// A churned-out caching node comes back up; the flag carries whether
+    /// the downtime was a crash that wiped the node's state.
+    Rejoin(NodeId, bool),
     /// A delayed estimator observation of a contact seen at the carried
     /// instant becomes visible.
     LaggedObs(NodeId, NodeId, SimTime),
@@ -85,7 +90,7 @@ impl FreshnessTimer {
             FreshnessTimer::Birth(_) => CLASS_BIRTH,
             FreshnessTimer::Query(_) => CLASS_QUERY,
             FreshnessTimer::Expiry(_) => CLASS_EXPIRY,
-            FreshnessTimer::Rejoin(_) => CLASS_REJOIN,
+            FreshnessTimer::Rejoin(..) => CLASS_REJOIN,
             FreshnessTimer::LaggedObs(..) => CLASS_OBS,
         }
     }
@@ -208,6 +213,11 @@ pub struct FreshnessConfig {
     /// retry + failure detector); `None` keeps the classic fail-once
     /// protocol.
     pub resilience: Option<ResilienceConfig>,
+    /// How protocol invariant oracles handle violations: accumulate into
+    /// the report (campaign), panic on the first (strict), or skip the
+    /// checks entirely (off; only for overhead measurement). Defaults to
+    /// the `OMN_ORACLE` environment variable's choice.
+    pub oracle_mode: OracleMode,
 }
 
 impl Default for FreshnessConfig {
@@ -230,6 +240,7 @@ impl Default for FreshnessConfig {
             fresh_only_serving: false,
             faults: None,
             resilience: None,
+            oracle_mode: OracleMode::from_env(),
         }
     }
 }
@@ -286,6 +297,9 @@ pub struct FreshnessReport {
     /// held the current version (0 when its copy was still current). Empty
     /// without fault injection.
     pub recovery_delays: SampleHistogram,
+    /// Protocol invariant violations observed during the run (always empty
+    /// under strict mode, which panics at the first one instead).
+    pub oracle: OracleReport,
 }
 
 impl FreshnessReport {
@@ -607,7 +621,9 @@ impl FreshnessSimulator {
                 }
                 FreshnessEvent::Timer(FreshnessTimer::Query(i)) => run.on_query(i),
                 FreshnessEvent::Timer(FreshnessTimer::Expiry(i)) => run.on_expiry(i),
-                FreshnessEvent::Timer(FreshnessTimer::Rejoin(n)) => run.on_rejoin(n, ev.time),
+                FreshnessEvent::Timer(FreshnessTimer::Rejoin(n, lost)) => {
+                    run.on_rejoin(n, lost, ev.time, scheme, driver.plan_mut(), None);
+                }
                 FreshnessEvent::Timer(FreshnessTimer::LaggedObs(a, b, seen)) => {
                     run.on_lagged_obs(a, b, seen);
                 }
@@ -687,6 +703,9 @@ pub struct FreshnessRun<'a> {
     span: SimTime,
     fresh_only_serving: bool,
     requirement_deadline: SimDuration,
+    /// The run's oracle world: clock mirror plus installed invariant
+    /// oracles and their violation sink.
+    world: SimWorld,
 }
 
 impl<'a> FreshnessRun<'a> {
@@ -740,9 +759,10 @@ impl<'a> FreshnessRun<'a> {
 
         // Rejoins of caching nodes drive the recovery-delay metric: how long
         // after coming back up a member waits to hold the current version.
-        for (t, n) in driver.rejoin_events(span) {
-            if members.binary_search(&n).is_ok() && in_contact_range(t) {
-                timers.push((t, FreshnessTimer::Rejoin(n)));
+        // Crash rejoins additionally carry the state-loss flag.
+        for r in driver.rejoin_events() {
+            if members.binary_search(&r.node).is_ok() && in_contact_range(r.at) {
+                timers.push((r.at, FreshnessTimer::Rejoin(r.node, r.state_loss)));
             }
         }
 
@@ -786,6 +806,20 @@ impl<'a> FreshnessRun<'a> {
             timers.push((birth, FreshnessTimer::Birth(v as u64)));
         }
 
+        // The oracle world: version monotonicity, budget accounting, and
+        // birth-timer liveness are watched on every run (campaign mode is
+        // counters-only; strict panics at the first violation; off skips
+        // installation so the dispatch hooks are no-ops).
+        let mut world = SimWorld::new(node_count, *factory);
+        world.set_oracle_sink(OracleSink::new(config.oracle_mode));
+        if config.oracle_mode != OracleMode::Off {
+            world.install_oracle(Box::new(VersionOrderOracle::new()));
+            world.install_oracle(Box::new(BudgetOracle::new()));
+            world.install_oracle(Box::new(TimerLivenessOracle::new(
+                schedule.version_count().saturating_sub(1),
+            )));
+        }
+
         let run = FreshnessRun {
             source,
             // All members hold version 0 at t=0 (placement done by the
@@ -821,6 +855,7 @@ impl<'a> FreshnessRun<'a> {
             span,
             fresh_only_serving: config.fresh_only_serving,
             requirement_deadline: config.requirement.deadline,
+            world,
         };
         (run, timers)
     }
@@ -887,6 +922,7 @@ impl<'a> FreshnessRun<'a> {
             rng: &mut self.rng,
             faults,
             budget,
+            world: &mut self.world,
         }
     }
 
@@ -910,6 +946,8 @@ impl<'a> FreshnessRun<'a> {
         budget: Option<&mut TransferBudget>,
     ) {
         self.current_version = v;
+        self.world.advance_to(now);
+        self.world.oracle_timer("birth");
         if self.in_contact_range(now) {
             scheme.on_version_birth(v, &mut self.ctx(now, faults, budget));
         }
@@ -956,9 +994,33 @@ impl<'a> FreshnessRun<'a> {
     }
 
     /// Handles a caching node coming back up: a node rejoining with a
-    /// stale copy starts a recovery clock.
-    pub fn on_rejoin(&mut self, n: NodeId, now: SimTime) {
+    /// stale copy starts a recovery clock. A crash rejoin (`state_loss`)
+    /// additionally wipes the node's cache back to version 0 and tells the
+    /// scheme to rebuild the node's protocol state — the oracle world is
+    /// notified first, so the monotonicity watermark resets and the
+    /// re-absorption of older versions registers as legitimate recovery.
+    pub fn on_rejoin(
+        &mut self,
+        n: NodeId,
+        state_loss: bool,
+        now: SimTime,
+        scheme: &mut dyn RefreshScheme,
+        faults: Option<&mut FaultPlan>,
+        budget: Option<&mut TransferBudget>,
+    ) {
         self.extras.add("rejoin-events", 1);
+        if state_loss {
+            self.extras.add("crash-rejoins", 1);
+            // The cache is gone; keep the map entry (the availability and
+            // freshness denominators count the node) but drop it to the
+            // pre-placement version.
+            self.member_versions.insert(n, 0);
+            self.world.advance_to(now);
+            self.world.oracle_event(&OracleObs::StateLoss {
+                node: u64::from(n.0),
+            });
+            scheme.on_state_loss(n, &mut self.ctx(now, faults, budget));
+        }
         if self.member_versions.get(&n).copied() == Some(self.current_version) {
             self.recovery_delays.record(0.0);
         } else {
@@ -1014,6 +1076,10 @@ impl<'a> FreshnessRun<'a> {
             }
         }
         if !suppressed {
+            if self.world.has_oracles() {
+                self.world.advance_to(now);
+                self.world.oracle_contact(u64::from(a.0), u64::from(b.0));
+            }
             scheme.on_contact(a, b, &mut self.ctx(now, faults, budget));
         }
 
@@ -1097,6 +1163,9 @@ impl<'a> FreshnessRun<'a> {
     ) -> FreshnessReport {
         let span = self.span;
         scheme.on_finish(&mut self.ctx(span, faults, budget));
+        self.world.advance_to(span);
+        self.world.oracle_end_of_run();
+        let oracle = self.world.take_oracle_report();
 
         let (mean_freshness, freshness_timeline) = self.tracker.finish(span);
         let mean_availability = self.avail.finish(span);
@@ -1149,6 +1218,7 @@ impl<'a> FreshnessRun<'a> {
             queries_fresh: self.queries_fresh,
             query_delays: self.query_delays,
             recovery_delays: self.recovery_delays,
+            oracle,
             members: self.members,
         }
     }

@@ -7,7 +7,7 @@ use omn_contacts::faults::{DowntimeConfig, FaultConfig};
 use omn_contacts::synth::{generate_pairwise, PairwiseConfig};
 use omn_contacts::ContactTrace;
 use omn_core::freshness::FreshnessRequirement;
-use omn_core::scheme::ResilienceConfig;
+use omn_core::scheme::{ResilienceConfig, RetryPolicy};
 use omn_core::sim::{FreshnessConfig, FreshnessReport, FreshnessSimulator, SchemeChoice};
 use omn_sim::{RngFactory, SimDuration};
 
@@ -116,7 +116,7 @@ fn retry_recovers_freshness_under_loss() {
     let retry = FreshnessSimulator::new(FreshnessConfig {
         faults,
         resilience: Some(ResilienceConfig {
-            max_relay_retries: 3,
+            retry: RetryPolicy::fixed(3),
             suspect_after_icts: f64::INFINITY,
             ..ResilienceConfig::default()
         }),

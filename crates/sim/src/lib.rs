@@ -14,6 +14,10 @@
 //! * [`RngFactory`] — reproducible, independently seeded random-number
 //!   streams derived from a single master seed, so adding a new source of
 //!   randomness never perturbs existing ones.
+//! * [`oracle`] — always-on protocol invariant oracles: per-event hooks
+//!   installed on a [`SimWorld`] that either panic on the first violation
+//!   (strict mode, CI) or accumulate per-run violation counters (campaign
+//!   mode).
 //! * [`metrics`] — counters, time-weighted averages, sample histograms and
 //!   timelines for measuring simulations.
 //! * [`stats`] — summary statistics, empirical CDFs and confidence intervals
@@ -48,6 +52,7 @@
 mod budget;
 mod engine;
 pub mod metrics;
+pub mod oracle;
 mod queue;
 mod rng;
 pub mod stats;
@@ -56,6 +61,7 @@ mod world;
 
 pub use budget::TransferBudget;
 pub use engine::{Engine, ScheduledEvent};
+pub use oracle::{InvariantOracle, OracleMode, OracleObs, OracleReport, OracleSink, Violation};
 pub use queue::{EventClass, EventHandle, EventQueue};
 pub use rng::{split_mix64, RngFactory};
 pub use time::{SimDuration, SimTime, TimeError};

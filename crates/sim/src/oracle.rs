@@ -1,0 +1,375 @@
+//! Always-on protocol invariant oracles.
+//!
+//! A simulation that merely *runs* under faults proves very little: the
+//! interesting question is whether the protocol's safety invariants — tree
+//! acyclicity, version monotonicity, budget accounting — held at every
+//! event while the world misbehaved. This module is the substrate for
+//! checking exactly that, continuously and cheaply.
+//!
+//! The pieces:
+//!
+//! * [`InvariantOracle`] — the hook trait. An oracle receives cheap
+//!   callbacks as the run unfolds ([`on_event`](InvariantOracle::on_event),
+//!   [`on_contact`](InvariantOracle::on_contact),
+//!   [`on_timer`](InvariantOracle::on_timer)) and a final
+//!   [`end_of_run`](InvariantOracle::end_of_run) sweep. Protocol-specific
+//!   observations arrive as [`OracleObs`] payloads through `on_event`, so
+//!   concrete oracles living in higher crates (`omn-core`, `omn-caching`)
+//!   can track protocol state without this crate knowing about schemes.
+//! * [`OracleSink`] — where violations go. In [`OracleMode::Campaign`]
+//!   (the default) violations accumulate into an [`OracleReport`] of
+//!   per-invariant counters so a chaos campaign can assert "zero
+//!   violations" across thousands of events. In [`OracleMode::Strict`]
+//!   (CI: `OMN_ORACLE=strict`) the first violation panics with full event
+//!   context, turning every test run into an invariant check.
+//! * [`Violation`] — one observed inconsistency, carrying the invariant
+//!   name, the event time, the node involved (if any), and a free-form
+//!   detail string.
+//!
+//! Oracles are installed on a [`SimWorld`](crate::SimWorld) via
+//! [`install_oracle`](crate::SimWorld::install_oracle); simulators dispatch
+//! the hooks from their event loops. Oracles never draw randomness and
+//! never mutate simulation state, so an installed oracle cannot perturb a
+//! run — enabling them is bit-identity-safe by construction.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// How observed invariant violations are handled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OracleMode {
+    /// Accumulate violations into an [`OracleReport`] (campaign mode, the
+    /// default): the run completes and the report is asserted afterwards.
+    #[default]
+    Campaign,
+    /// Panic on the first violation with full context (CI mode, selected
+    /// by `OMN_ORACLE=strict`).
+    Strict,
+    /// Drop violations entirely. Only used to measure oracle overhead;
+    /// never the default.
+    Off,
+}
+
+impl OracleMode {
+    /// Resolves the mode from the `OMN_ORACLE` environment variable:
+    /// `strict` → [`OracleMode::Strict`], `off` → [`OracleMode::Off`],
+    /// anything else (including unset) → [`OracleMode::Campaign`].
+    #[must_use]
+    pub fn from_env() -> OracleMode {
+        match std::env::var("OMN_ORACLE").as_deref() {
+            Ok("strict") => OracleMode::Strict,
+            Ok("off") => OracleMode::Off,
+            _ => OracleMode::Campaign,
+        }
+    }
+}
+
+/// One observed invariant violation, with enough context to debug it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Stable name of the violated invariant (e.g. `"tree-structure"`).
+    pub invariant: &'static str,
+    /// Virtual time of the event during which the violation was observed.
+    pub at: SimTime,
+    /// The node most directly involved, if the invariant is node-scoped.
+    pub node: Option<u64>,
+    /// Human-readable description of what was inconsistent.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] at {:?}", self.invariant, self.at)?;
+        if let Some(node) = self.node {
+            write!(f, " node {node}")?;
+        }
+        write!(f, ": {}", self.detail)
+    }
+}
+
+/// Per-run accumulated invariant-violation counters (campaign mode).
+///
+/// Counts violations per invariant name and keeps the first violation's
+/// rendered context per invariant for diagnosis. A clean run reports
+/// [`is_clean`](OracleReport::is_clean).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OracleReport {
+    counts: BTreeMap<&'static str, u64>,
+    first: BTreeMap<&'static str, String>,
+}
+
+impl OracleReport {
+    /// An empty (clean) report.
+    #[must_use]
+    pub fn new() -> OracleReport {
+        OracleReport::default()
+    }
+
+    /// Records one violation.
+    pub fn record(&mut self, violation: &Violation) {
+        *self.counts.entry(violation.invariant).or_insert(0) += 1;
+        self.first
+            .entry(violation.invariant)
+            .or_insert_with(|| violation.to_string());
+    }
+
+    /// Number of violations recorded against `invariant`.
+    #[must_use]
+    pub fn count(&self, invariant: &str) -> u64 {
+        self.counts.get(invariant).copied().unwrap_or(0)
+    }
+
+    /// Total violations across all invariants.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Whether no violation was recorded.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// The rendered context of the first violation recorded against
+    /// `invariant`, if any.
+    #[must_use]
+    pub fn first_violation(&self, invariant: &str) -> Option<&str> {
+        self.first.get(invariant).map(String::as_str)
+    }
+
+    /// Iterates `(invariant, count)` pairs in invariant-name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counts.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Folds another report's counts into this one (multi-seed merging).
+    pub fn merge(&mut self, other: &OracleReport) {
+        for (&inv, &n) in &other.counts {
+            *self.counts.entry(inv).or_insert(0) += n;
+        }
+        for (&inv, first) in &other.first {
+            self.first.entry(inv).or_insert_with(|| first.clone());
+        }
+    }
+}
+
+/// The violation funnel shared by every oracle of a run.
+///
+/// Protocol code and oracles report through
+/// [`violation`](OracleSink::violation); the sink either panics (strict)
+/// or accumulates (campaign) according to its [`OracleMode`].
+#[derive(Debug, Clone, Default)]
+pub struct OracleSink {
+    mode: OracleMode,
+    report: OracleReport,
+}
+
+impl OracleSink {
+    /// Creates a sink with an explicit mode.
+    #[must_use]
+    pub fn new(mode: OracleMode) -> OracleSink {
+        OracleSink {
+            mode,
+            report: OracleReport::new(),
+        }
+    }
+
+    /// Creates a sink whose mode is resolved from `OMN_ORACLE` (see
+    /// [`OracleMode::from_env`]).
+    #[must_use]
+    pub fn from_env() -> OracleSink {
+        OracleSink::new(OracleMode::from_env())
+    }
+
+    /// The sink's mode.
+    #[must_use]
+    pub fn mode(&self) -> OracleMode {
+        self.mode
+    }
+
+    /// Reports one violation.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the rendered violation in [`OracleMode::Strict`].
+    pub fn violation(&mut self, violation: Violation) {
+        match self.mode {
+            OracleMode::Strict => panic!("invariant oracle violation: {violation}"),
+            OracleMode::Campaign => self.report.record(&violation),
+            OracleMode::Off => {}
+        }
+    }
+
+    /// Convenience: reports a violation unless `ok` holds. The violation
+    /// is only constructed on failure, keeping the passing path
+    /// allocation-free.
+    pub fn check(&mut self, ok: bool, make: impl FnOnce() -> Violation) {
+        if !ok {
+            self.violation(make());
+        }
+    }
+
+    /// The accumulated report (empty in strict mode, which panics
+    /// instead).
+    #[must_use]
+    pub fn report(&self) -> &OracleReport {
+        &self.report
+    }
+
+    /// Consumes the sink, returning its report.
+    #[must_use]
+    pub fn into_report(self) -> OracleReport {
+        self.report
+    }
+}
+
+/// A protocol-specific observation routed to every installed oracle
+/// through [`InvariantOracle::on_event`].
+///
+/// The variants name the cross-layer facts the concrete oracles need; the
+/// payloads stay in substrate vocabulary (node indices, [`SimTime`]
+/// versions, [`TransferBudget`](crate::TransferBudget) accounting) so this
+/// crate needs no knowledge of schemes or caches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OracleObs {
+    /// A node absorbed (stored) a data version, identified by its
+    /// monotone version number.
+    Absorb {
+        /// The absorbing node.
+        node: u64,
+        /// The version number absorbed.
+        version: u64,
+    },
+    /// A per-contact transfer budget was retired at the end of a contact.
+    BudgetRetired {
+        /// Transfers consumed within the contact.
+        used: u32,
+        /// The configured capacity (`None` = unlimited).
+        capacity: Option<u32>,
+    },
+    /// A node's cache occupancy changed.
+    CacheOccupancy {
+        /// The caching node.
+        node: u64,
+        /// Replicas currently stored.
+        stored: u64,
+        /// The node's configured capacity.
+        capacity: u64,
+    },
+    /// A node crashed and rejoined with its state wiped. Oracles that track
+    /// per-node history (e.g. version watermarks) must forget the node:
+    /// after a provable state loss, re-absorbing an older version is
+    /// legitimate recovery, not a monotonicity violation.
+    StateLoss {
+        /// The node whose state was lost.
+        node: u64,
+    },
+}
+
+/// A continuously checked protocol invariant.
+///
+/// Implementations keep whatever mirror state they need, receive cheap
+/// callbacks as the run unfolds, and report inconsistencies through the
+/// provided [`OracleSink`]. All hooks default to no-ops so an oracle only
+/// pays for the events it watches. Oracles must be pure observers: no
+/// randomness, no influence on simulation state.
+pub trait InvariantOracle: fmt::Debug {
+    /// Stable name of the oracle (for diagnostics).
+    fn name(&self) -> &'static str;
+
+    /// Called for protocol-specific observations (see [`OracleObs`]).
+    fn on_event(&mut self, at: SimTime, obs: &OracleObs, sink: &mut OracleSink) {
+        let _ = (at, obs, sink);
+    }
+
+    /// Called once per contact event, with the contact's endpoints.
+    fn on_contact(&mut self, at: SimTime, a: u64, b: u64, sink: &mut OracleSink) {
+        let _ = (at, a, b, sink);
+    }
+
+    /// Called once per protocol timer firing, with a stable timer label.
+    fn on_timer(&mut self, at: SimTime, label: &str, sink: &mut OracleSink) {
+        let _ = (at, label, sink);
+    }
+
+    /// Called once when the run ends, for final-state sweeps.
+    fn end_of_run(&mut self, at: SimTime, sink: &mut OracleSink) {
+        let _ = (at, sink);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(invariant: &'static str, node: Option<u64>) -> Violation {
+        Violation {
+            invariant,
+            at: SimTime::from_secs(42.0),
+            node,
+            detail: "broken".into(),
+        }
+    }
+
+    #[test]
+    fn campaign_mode_accumulates_counts() {
+        let mut sink = OracleSink::new(OracleMode::Campaign);
+        sink.violation(v("tree-structure", Some(3)));
+        sink.violation(v("tree-structure", Some(4)));
+        sink.violation(v("budget-overspent", None));
+        let report = sink.report();
+        assert_eq!(report.count("tree-structure"), 2);
+        assert_eq!(report.count("budget-overspent"), 1);
+        assert_eq!(report.count("unknown"), 0);
+        assert_eq!(report.total(), 3);
+        assert!(!report.is_clean());
+        let first = report.first_violation("tree-structure").unwrap();
+        assert!(first.contains("node 3"), "first kept: {first}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invariant oracle violation")]
+    fn strict_mode_panics_with_context() {
+        let mut sink = OracleSink::new(OracleMode::Strict);
+        sink.violation(v("version-monotonicity", Some(7)));
+    }
+
+    #[test]
+    fn check_only_builds_violation_on_failure() {
+        let mut sink = OracleSink::new(OracleMode::Campaign);
+        sink.check(true, || unreachable!("passing check must not build"));
+        sink.check(false, || v("liveness", None));
+        assert_eq!(sink.report().total(), 1);
+    }
+
+    #[test]
+    fn off_mode_drops_everything() {
+        let mut sink = OracleSink::new(OracleMode::Off);
+        sink.violation(v("tree-structure", None));
+        assert!(sink.report().is_clean());
+    }
+
+    #[test]
+    fn reports_merge_across_seeds() {
+        let mut a = OracleReport::new();
+        let mut b = OracleReport::new();
+        a.record(&v("x", None));
+        b.record(&v("x", Some(1)));
+        b.record(&v("y", None));
+        a.merge(&b);
+        assert_eq!(a.count("x"), 2);
+        assert_eq!(a.count("y"), 1);
+        assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    fn violation_renders_all_context() {
+        let text = v("tree-structure", Some(9)).to_string();
+        assert!(text.contains("tree-structure"));
+        assert!(text.contains("node 9"));
+        assert!(text.contains("broken"));
+    }
+}
