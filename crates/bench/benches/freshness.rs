@@ -105,9 +105,41 @@ fn bench_trace_parse(c: &mut Criterion) {
     });
 }
 
+fn bench_wire_codec(c: &mut Criterion) {
+    // The E18 wire path: every exchange between async node tasks encodes
+    // a protocol message into a serialized omn-net frame and decodes it
+    // on arrival, so this round trip is paid twice per message — at the
+    // 10^4-node firehose scale, millions of times per simulated day.
+    use omn_contacts::NodeId;
+    use omn_core::protocol::{PeerSummary, ProtocolMsg};
+    use omn_node::codec;
+    use std::hint::black_box;
+
+    let summary = ProtocolMsg::Summary(PeerSummary {
+        node: NodeId(7),
+        is_member: true,
+        cache: Some(41),
+        carried: Some(40),
+    });
+    let refresh = ProtocolMsg::Refresh { version: 42 };
+    let at = omn_sim::SimTime::from_secs(86_400.0);
+
+    c.bench_function("node/message_encode_decode", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for msg in [&summary, &refresh] {
+                let bytes = codec::encode(black_box(9), NodeId(3), NodeId(7), at, msg);
+                let (_, _, decoded) = codec::decode(black_box(&bytes)).expect("round trip");
+                n += usize::from(decoded == *msg);
+            }
+            n
+        });
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_freshness_run, bench_oracle_overhead, bench_sharded_stream, bench_trace_parse
+    targets = bench_freshness_run, bench_oracle_overhead, bench_sharded_stream, bench_trace_parse, bench_wire_codec
 }
 criterion_main!(benches);

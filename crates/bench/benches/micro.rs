@@ -135,7 +135,7 @@ fn bench_simulations(c: &mut Criterion) {
         &PairwiseConfig::new(20, SimDuration::from_days(1.0)).mean_rate(1.0 / 1800.0),
         &factory,
     );
-    let demands = workload::uniform_unicast(&routing_trace, 50, &factory);
+    let demands = workload::uniform_unicast(&routing_trace, 50, &factory).unwrap();
     c.bench_function("sim/routing_epidemic_20_nodes", |b| {
         b.iter(|| {
             NetworkSimulator::new(SimConfig::default()).run(

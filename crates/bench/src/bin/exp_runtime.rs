@@ -1,0 +1,5 @@
+//! Binary wrapper for experiment `e18_runtime`.
+
+fn main() {
+    omn_bench::experiments::e18_runtime::run();
+}

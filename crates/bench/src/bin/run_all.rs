@@ -1,4 +1,4 @@
-//! Runs the complete reconstructed evaluation (E1-E17) in order.
+//! Runs the complete reconstructed evaluation (E1-E18) in order.
 //!
 //! Seed replications run in parallel (one thread per seed, merged in seed
 //! order — byte-identical to serial). `--seeds a,b,c` overrides the seed
@@ -28,7 +28,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
 
 fn main() -> ExitCode {
     use omn_bench::experiments as e;
-    let experiments: [(&str, fn()); 17] = [
+    let experiments: [(&str, fn()); 18] = [
         ("E1", e::e01_trace_stats::run),
         ("E2", e::e02_delay_validation::run),
         ("E3", e::e03_freshness_time::run),
@@ -46,6 +46,7 @@ fn main() -> ExitCode {
         ("E15", e::e15_scalability::run),
         ("E16", e::e16_real_traces::run),
         ("E17", e::e17_chaos::run),
+        ("E18", e::e18_runtime::run),
     ];
 
     let mut timings: Vec<(&str, f64, bool)> = Vec::new();

@@ -69,7 +69,8 @@ pub fn run() {
             let per = per_seed(&seeds, |seed| {
                 let factory = RngFactory::new(seed);
                 let trace = trace_for(preset, seed);
-                let demands = workload::uniform_unicast(&trace, 200, &factory);
+                let demands = workload::uniform_unicast(&trace, 200, &factory)
+                    .expect("routing trace has enough nodes");
                 let run_with = |faults: Option<FaultConfig>| {
                     let mut protocol = make();
                     NetworkSimulator::new(SimConfig {

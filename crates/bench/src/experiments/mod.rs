@@ -19,6 +19,7 @@
 //! | E15 | [`e15_scalability`] | scalability with network size: streaming pipeline (extension) |
 //! | E16 | [`e16_real_traces`] | real traces: ingestion, calibration, freshness (extension) |
 //! | E17 | [`e17_chaos`] | chaos campaign: degradation envelope under adversarial faults (extension) |
+//! | E18 | [`e18_runtime`] | async node runtime: DES cross-validation + wire throughput (extension) |
 
 pub mod e01_trace_stats;
 pub mod e02_delay_validation;
@@ -37,6 +38,7 @@ pub mod e14_joint_world;
 pub mod e15_scalability;
 pub mod e16_real_traces;
 pub mod e17_chaos;
+pub mod e18_runtime;
 
 use omn_contacts::synth::presets::TracePreset;
 use omn_contacts::ContactTrace;

@@ -1,7 +1,8 @@
 //! Golden-value tests pinning the headline numbers of E2 (analysis vs
 //! simulation), E3 (freshness over time), E14 (joint-world contention),
-//! E15 (streaming scalability) and E16 (real-trace ingestion and
-//! calibration) against committed golden files, plus the
+//! E15 (streaming scalability), E16 (real-trace ingestion and
+//! calibration), E17 (chaos ladder) and E18 (async-runtime
+//! cross-validation) against committed golden files, plus the
 //! streamed-vs-materialized identity check of the pull-based driver.
 //!
 //! The pinned values are written with full bit patterns, so any change to
@@ -25,12 +26,14 @@ use omn_bench::experiments::e14_joint_world::{joint_run, BUDGET, LOADS};
 use omn_bench::experiments::e15_scalability::{run_point, shards_for};
 use omn_bench::experiments::e16_real_traces::{repo_root, seed_point};
 use omn_bench::experiments::e17_chaos::{chaos_run, LEVELS};
+use omn_bench::experiments::e18_runtime::{assert_cross, cross_point};
 use omn_bench::experiments::{config_for, trace_for};
 use omn_contacts::synth::presets::TracePreset;
 use omn_contacts::synth::{generate_pairwise, PairwiseConfig};
 use omn_contacts::{ContactGraph, TraceSource};
 use omn_core::analysis;
 use omn_core::joint::ContentionPriority;
+use omn_core::protocol::ProtocolMode;
 use omn_core::scheme::{HierarchicalConfig, HierarchicalScheme};
 use omn_core::sim::{FreshnessConfig, FreshnessSimulator, SchemeChoice};
 use omn_sim::{RngFactory, SimDuration};
@@ -463,6 +466,52 @@ fn e17_headline_numbers() {
         );
     }
     check_golden("e17_headline.txt", &out);
+}
+
+#[test]
+fn e18_headline_numbers() {
+    // One seed of the E18 cross-validation: the async node runtime in
+    // lockstep mode against the DES, for both locally-decidable protocol
+    // modes. The pinned values are the *runtime's* numbers; the always-on
+    // assertion is that they coincide exactly with the DES, so the golden
+    // doubles as a pin on both executions. Wall-clock and the firehose
+    // throughput sweep are deliberately excluded — only deterministic
+    // observables are recorded.
+    let seed = 11;
+    let mut out = String::new();
+    for (mode, name) in [
+        (ProtocolMode::HierTree, "tree"),
+        (ProtocolMode::Epidemic, "epidemic"),
+    ] {
+        let point = cross_point(seed, mode);
+        assert_cross(&point, &format!("golden seed {seed} {name}"));
+        line(
+            &mut out,
+            &format!("{name}_mean_freshness"),
+            point.rt.mean_freshness,
+        );
+        line(
+            &mut out,
+            &format!("{name}_transmissions"),
+            point.rt.transmissions as f64,
+        );
+        line(
+            &mut out,
+            &format!("{name}_replicas"),
+            point.rt.replicas as f64,
+        );
+        line(
+            &mut out,
+            &format!("{name}_frames_received"),
+            point.rt.messages_received as f64,
+        );
+        line(
+            &mut out,
+            &format!("{name}_version_count"),
+            point.rt.version_count as f64,
+        );
+    }
+    check_golden("e18_headline.txt", &out);
 }
 
 #[test]

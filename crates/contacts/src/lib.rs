@@ -63,6 +63,7 @@ pub mod estimate;
 pub mod faults;
 mod graph;
 pub mod io;
+pub mod link;
 pub mod source;
 mod stats;
 pub mod synth;
@@ -72,6 +73,7 @@ mod trace;
 pub use contact::{Contact, ContactError, NodeId};
 pub use driver::{ContactDriver, ContactFate, TransferOutcome};
 pub use graph::{Centrality, ContactGraph};
+pub use link::{LinkEvent, LinkEventKind, LinkEvents};
 pub use source::{ContactSource, LastContact, TraceSource};
 pub use stats::TraceStats;
 pub use trace::{ContactTrace, TimelineEvent, TimelineKind, TraceBuilder, TraceError};

@@ -1,0 +1,219 @@
+//! Link-level view of a contact stream: every [`Contact`] becomes a pair
+//! of *link up* / *link down* events, delivered in global time order.
+//!
+//! The async node runtime (`omn-node`) replays any [`ContactSource`]
+//! through this adapter: its link supervisor consumes the event stream and
+//! raises/tears down the per-pair channels accordingly. The adapter is
+//! pull-based and keeps only the not-yet-closed links resident, so it
+//! scales to the same sharded large-N sources as the DES driver.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use omn_sim::SimTime;
+
+use crate::contact::{Contact, NodeId};
+use crate::source::ContactSource;
+
+/// What happened to a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkEventKind {
+    /// The pair came into range (contact start).
+    Up,
+    /// The pair moved out of range (contact end).
+    Down,
+}
+
+/// One link transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkEvent {
+    /// When the transition happens.
+    pub at: SimTime,
+    /// Up or down.
+    pub kind: LinkEventKind,
+    /// The link's endpoints, normalized so `pair.0 < pair.1`.
+    pub pair: (NodeId, NodeId),
+}
+
+/// Merges a contact stream (sorted by start time, as every
+/// [`ContactSource`] guarantees) into a single time-ordered stream of
+/// [`LinkEvent`]s.
+///
+/// Ties are deterministic: at equal times, downs precede ups (a pair whose
+/// contact ends exactly when another begins sees a clean down/up cycle),
+/// and events of the same kind order by endpoint pair.
+#[derive(Debug)]
+pub struct LinkEvents<S> {
+    source: S,
+    /// Open links waiting for their down event, ordered by (end, pair).
+    pending_down: BinaryHeap<Reverse<(SimTime, NodeId, NodeId)>>,
+    /// The next contact pulled but not yet turned into an up event.
+    lookahead: Option<Contact>,
+    exhausted: bool,
+}
+
+impl<S: ContactSource> LinkEvents<S> {
+    /// Wraps a contact source.
+    #[must_use]
+    pub fn new(source: S) -> LinkEvents<S> {
+        LinkEvents {
+            source,
+            pending_down: BinaryHeap::new(),
+            lookahead: None,
+            exhausted: false,
+        }
+    }
+
+    /// Number of nodes in the underlying source.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.source.node_count()
+    }
+
+    /// Total simulated span of the underlying source.
+    #[must_use]
+    pub fn span(&self) -> SimTime {
+        self.source.span()
+    }
+
+    /// Links currently open (up without a delivered down yet).
+    #[must_use]
+    pub fn open_links(&self) -> usize {
+        self.pending_down.len()
+    }
+
+    /// Pulls the next link event, or `None` when the stream is exhausted.
+    pub fn next_event(&mut self) -> Option<LinkEvent> {
+        if self.lookahead.is_none() && !self.exhausted {
+            self.lookahead = self.source.next_contact();
+            self.exhausted = self.lookahead.is_none();
+        }
+        match (&self.lookahead, self.pending_down.peek()) {
+            // A pending down at or before the next up fires first.
+            (Some(c), Some(&Reverse((end, _, _)))) if end <= c.start() => self.pop_down(),
+            (Some(_), _) => {
+                let c = self.lookahead.take().expect("lookahead checked above");
+                self.pending_down.push(Reverse((c.end(), c.a(), c.b())));
+                Some(LinkEvent {
+                    at: c.start(),
+                    kind: LinkEventKind::Up,
+                    pair: (c.a(), c.b()),
+                })
+            }
+            (None, Some(_)) => self.pop_down(),
+            (None, None) => None,
+        }
+    }
+
+    fn pop_down(&mut self) -> Option<LinkEvent> {
+        let Reverse((end, a, b)) = self.pending_down.pop()?;
+        Some(LinkEvent {
+            at: end,
+            kind: LinkEventKind::Down,
+            pair: (a, b),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::TraceSource;
+    use crate::trace::TraceBuilder;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn events(contacts: &[(u32, u32, f64, f64)]) -> Vec<LinkEvent> {
+        let mut b = TraceBuilder::new(8).span(t(1000.0));
+        for &(a, x, s, e) in contacts {
+            b = b.contact(Contact::new(NodeId(a), NodeId(x), t(s), t(e)).unwrap());
+        }
+        let trace = b.build().unwrap();
+        let mut link = LinkEvents::new(TraceSource::new(&trace));
+        let mut out = Vec::new();
+        while let Some(ev) = link.next_event() {
+            out.push(ev);
+        }
+        out
+    }
+
+    #[test]
+    fn one_contact_two_events() {
+        let evs = events(&[(0, 1, 10.0, 20.0)]);
+        assert_eq!(
+            evs,
+            vec![
+                LinkEvent {
+                    at: t(10.0),
+                    kind: LinkEventKind::Up,
+                    pair: (NodeId(0), NodeId(1)),
+                },
+                LinkEvent {
+                    at: t(20.0),
+                    kind: LinkEventKind::Down,
+                    pair: (NodeId(0), NodeId(1)),
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn overlapping_contacts_interleave_in_time_order() {
+        let evs = events(&[(0, 1, 10.0, 50.0), (2, 3, 20.0, 30.0)]);
+        let times: Vec<f64> = evs.iter().map(|e| e.at.as_secs()).collect();
+        assert_eq!(times, vec![10.0, 20.0, 30.0, 50.0]);
+        assert_eq!(evs[1].pair, (NodeId(2), NodeId(3)));
+        assert_eq!(evs[2].kind, LinkEventKind::Down);
+        assert_eq!(evs[3].pair, (NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn back_to_back_same_pair_downs_before_ups() {
+        let evs = events(&[(0, 1, 10.0, 20.0), (0, 1, 20.0, 30.0)]);
+        let kinds: Vec<LinkEventKind> = evs.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                LinkEventKind::Up,
+                LinkEventKind::Down,
+                LinkEventKind::Up,
+                LinkEventKind::Down,
+            ]
+        );
+    }
+
+    #[test]
+    fn every_up_has_a_down_and_order_is_monotone() {
+        let evs = events(&[
+            (0, 1, 5.0, 100.0),
+            (1, 2, 6.0, 7.0),
+            (2, 3, 6.5, 90.0),
+            (0, 3, 8.0, 9.0),
+            (4, 5, 9.0, 9.5),
+        ]);
+        assert_eq!(evs.len(), 10);
+        let ups = evs.iter().filter(|e| e.kind == LinkEventKind::Up).count();
+        assert_eq!(ups, 5);
+        for w in evs.windows(2) {
+            assert!(w[0].at <= w[1].at, "events out of order: {w:?}");
+        }
+    }
+
+    #[test]
+    fn open_links_tracks_residency() {
+        let trace = TraceBuilder::new(4)
+            .span(t(1000.0))
+            .contact(Contact::new(NodeId(0), NodeId(1), t(1.0), t(100.0)).unwrap())
+            .contact(Contact::new(NodeId(2), NodeId(3), t(2.0), t(50.0)).unwrap())
+            .build()
+            .unwrap();
+        let mut link = LinkEvents::new(TraceSource::new(&trace));
+        assert_eq!(link.next_event().unwrap().kind, LinkEventKind::Up);
+        assert_eq!(link.next_event().unwrap().kind, LinkEventKind::Up);
+        assert_eq!(link.open_links(), 2);
+        assert_eq!(link.next_event().unwrap().at, t(50.0));
+        assert_eq!(link.open_links(), 1);
+    }
+}

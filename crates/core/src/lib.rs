@@ -36,10 +36,17 @@
 //!   distributions composed from the hop models, and predicted freshness
 //!   `1 − E[min(D, T)]/T`, validated against simulation (experiment E2).
 //!
+//! * **Sans-io protocol core** ([`protocol`]): the scheme and its
+//!   epidemic baseline as pure, transport- and clock-agnostic state
+//!   machines — an env-generic global formulation driven by the DES, and
+//!   a per-node [`protocol::NodeProtocol`] (`on_contact_up / on_message /
+//!   on_timer → Vec<Effect>`) that the async `omn-node` runtime
+//!   instantiates once per node.
+//!
 //! * **Baselines** ([`scheme`]): source-only refreshing, epidemic flooding
 //!   of updates, random hierarchies, and no refreshing at all — everything
 //!   the evaluation compares against, behind one [`scheme::RefreshScheme`]
-//!   trait.
+//!   trait. The schemes are thin DES adapters over the [`protocol`] cores.
 //!
 //! * **Simulator** ([`sim`]): a trace-driven simulator measuring cache
 //!   freshness over time, refresh delays, fresh-query ratios and overhead
@@ -76,6 +83,7 @@ pub mod freshness;
 pub mod hierarchy;
 pub mod joint;
 pub mod oracle;
+pub mod protocol;
 pub mod replication;
 pub mod scheme;
 pub mod sim;

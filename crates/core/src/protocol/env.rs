@@ -1,0 +1,114 @@
+//! The environment a protocol core runs against.
+//!
+//! [`ProtocolEnv`] abstracts everything the refresh protocol needs from the
+//! world around it — the clock, membership, cache state, the lossy
+//! transfer channel, rate knowledge, randomness, and the oracle sink —
+//! without naming the discrete-event simulator. The DES adapter implements
+//! it for `SchemeCtx` (call-for-call identical to the historical in-place
+//! scheme, so goldens are preserved), and any other runtime — the async
+//! `omn-node` runtime, a test harness, a real deployment shim — can
+//! implement it over its own state.
+
+use omn_contacts::{ContactGraph, NodeId};
+use omn_sim::SimTime;
+use rand::rngs::StdRng;
+
+/// Outcome of a fallible version delivery ([`ProtocolEnv::try_deliver`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// The member cache was updated (one transmission counted).
+    Delivered,
+    /// Nothing to send: the target is not a member, already holds the
+    /// version (or newer), or the version is from the future. No
+    /// transmission is counted — identical to the pre-fault semantics.
+    Unneeded,
+    /// The transfer was attempted but lost to injected transmission
+    /// failure. The transmission is still counted against the sender (the
+    /// bytes went on the air), plus a `"failed-transmissions"` extra.
+    Failed,
+}
+
+/// Everything the transport- and clock-agnostic protocol cores are allowed
+/// to observe and mutate. One method per capability; no method exposes the
+/// event loop, so a core driven through this trait is a pure state machine
+/// over injected time, randomness, and channel outcomes.
+pub trait ProtocolEnv {
+    /// Current time as the environment sees it.
+    fn now(&self) -> SimTime;
+
+    /// The version currently held by the source.
+    fn current_version(&self) -> u64;
+
+    /// The data source.
+    fn root(&self) -> NodeId;
+
+    /// The caching nodes (excluding the source), sorted.
+    fn members(&self) -> &[NodeId];
+
+    /// True if `node` is a caching node.
+    fn is_member(&self, node: NodeId) -> bool {
+        self.members().binary_search(&node).is_ok()
+    }
+
+    /// The version held by `node`: the source always holds the current
+    /// version; members hold their cached version; other nodes hold
+    /// nothing (cores track their own relay carriage).
+    fn version_of(&self, node: NodeId) -> Option<u64>;
+
+    /// Delivers `version` from `from` to caching node `to`, reporting
+    /// whether the transfer was delivered, unneeded, or lost to injected
+    /// transmission failure or corruption (see [`Delivery`]).
+    fn try_deliver(&mut self, from: NodeId, to: NodeId, version: u64) -> Delivery;
+
+    /// Convenience: [`ProtocolEnv::try_deliver`] collapsed to a success
+    /// flag, for cores that never retry.
+    fn deliver_version(&mut self, from: NodeId, to: NodeId, version: u64) -> bool {
+        self.try_deliver(from, to, version) == Delivery::Delivered
+    }
+
+    /// Counts a transmission by `from` and draws injected transmission
+    /// loss: returns `true` if the transfer went through.
+    fn attempt_transfer(&mut self, from: NodeId) -> bool;
+
+    /// Counts a replica creation (a copy handed to a non-caching relay).
+    fn record_replica(&mut self);
+
+    /// Adds to a protocol-specific named counter (e.g. `"rebuilds"`,
+    /// `"relay-copy-seconds"`).
+    fn count(&mut self, name: &str, n: u64);
+
+    /// The estimated contact rate between two nodes as observed so far.
+    fn estimated_rate(&self, a: NodeId, b: NodeId) -> f64;
+
+    /// A snapshot of the estimated contact graph.
+    fn estimated_graph(&self) -> ContactGraph;
+
+    /// The oracle contact graph (true trace-wide rates); available to
+    /// cores configured for oracle planning.
+    fn oracle_graph(&self) -> &ContactGraph;
+
+    /// Total nodes in the network.
+    fn node_count(&self) -> usize;
+
+    /// Whether `node` is down right now according to injected ground
+    /// truth; used only for accounting (classifying suspicions as false).
+    fn node_is_down(&self, node: NodeId) -> bool;
+
+    /// The protocol's random stream (deterministic per run).
+    fn rng(&mut self) -> &mut StdRng;
+
+    /// Whether invariant checking is active; cores guard non-trivial
+    /// in-place checks behind this so oracle-off runs pay nothing.
+    fn oracle_active(&self) -> bool;
+
+    /// Reports an in-place invariant check to the environment's oracle
+    /// sink: records (campaign) or panics (strict) unless `ok` holds. The
+    /// detail string is only built on failure.
+    fn oracle_check(
+        &mut self,
+        ok: bool,
+        invariant: &'static str,
+        node: Option<NodeId>,
+        detail: impl FnOnce() -> String,
+    );
+}

@@ -300,6 +300,10 @@ pub struct FreshnessReport {
     /// Protocol invariant violations observed during the run (always empty
     /// under strict mode, which panics at the first one instead).
     pub oracle: OracleReport,
+    /// The cache version each member held at the end of the run, sorted by
+    /// node id — the per-node version vector runtime cross-validation
+    /// (E18) compares against.
+    pub final_member_versions: Vec<(NodeId, u64)>,
 }
 
 impl FreshnessReport {
@@ -1219,6 +1223,15 @@ impl<'a> FreshnessRun<'a> {
             query_delays: self.query_delays,
             recovery_delays: self.recovery_delays,
             oracle,
+            final_member_versions: {
+                let mut fv: Vec<(NodeId, u64)> = self
+                    .members
+                    .iter()
+                    .map(|&m| (m, self.member_versions.get(&m).copied().unwrap_or(0)))
+                    .collect();
+                fv.sort_unstable();
+                fv
+            },
             members: self.members,
         }
     }

@@ -13,6 +13,9 @@
 //! * [`NetworkSimulator`] — a trace-driven delivery simulator that runs a
 //!   workload of unicast messages through a protocol and reports delivery
 //!   ratio, delay, and overhead.
+//! * [`wire`] — the length-prefixed binary frame format the async node
+//!   runtime (`omn-node`) ships over real byte channels; every decode
+//!   failure is a typed [`WireError`], never a panic.
 //!
 //! # Example
 //!
@@ -27,7 +30,7 @@
 //!     &PairwiseConfig::new(16, SimDuration::from_days(1.0)).mean_rate(1.0 / 1800.0),
 //!     &factory,
 //! );
-//! let workload = workload::uniform_unicast(&trace, 50, &factory);
+//! let workload = workload::uniform_unicast(&trace, 50, &factory).unwrap();
 //! let report = NetworkSimulator::new(SimConfig::default())
 //!     .run(&trace, &mut Epidemic::new(), &workload);
 //! assert!(report.delivery_ratio() > 0.5);
@@ -41,10 +44,12 @@ mod buffer;
 mod message;
 pub mod routing;
 mod sim;
+pub mod wire;
 pub mod workload;
 
 pub use buffer::{BufferEntry, DropPolicy, MessageBuffer};
 pub use message::{Message, MessageId};
 pub use routing::{RoutingProtocol, TransferDecision};
 pub use sim::{DeliveryReport, NetworkSimulator, SimConfig};
-pub use workload::UnicastDemand;
+pub use wire::{Frame, WireError};
+pub use workload::{UnicastDemand, WorkloadError};

@@ -344,9 +344,7 @@ impl NetworkSimulator {
                 continue;
             }
 
-            let mut entry_mut = *buffers[carrier.index()]
-                .get(id)
-                .expect("entry exists, checked above");
+            let mut entry_mut = entry;
             let decision = protocol.decide(carrier, peer, &mut entry_mut, now);
             // Persist token mutations made by the protocol.
             if let Some(e) = buffers[carrier.index()].get_mut(id) {
@@ -628,7 +626,7 @@ mod tests {
             &PairwiseConfig::new(12, SimDuration::from_days(1.0)).mean_rate(1.0 / 1800.0),
             &f,
         );
-        let demands = uniform_unicast(&trace, 40, &f);
+        let demands = uniform_unicast(&trace, 40, &f).unwrap();
         let sim = NetworkSimulator::new(SimConfig::default());
         let r1 = sim.run(&trace, &mut Epidemic::new(), &demands);
         let r2 = sim.run(&trace, &mut Epidemic::new(), &demands);
@@ -642,7 +640,7 @@ mod tests {
             &PairwiseConfig::new(16, SimDuration::from_days(2.0)).mean_rate(1.0 / 3600.0),
             &f,
         );
-        let demands = uniform_unicast(&trace, 60, &f);
+        let demands = uniform_unicast(&trace, 60, &f).unwrap();
         (trace, demands)
     }
 

@@ -1,8 +1,35 @@
 //! Unicast traffic workloads.
 
+use std::fmt;
+
 use omn_contacts::{ContactTrace, NodeId};
 use omn_sim::{RngFactory, SimTime};
 use rand::Rng;
+
+/// Why a workload could not be generated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// The trace has too few nodes to draw distinct endpoints from.
+    TooFewNodes {
+        /// Nodes present in the trace.
+        nodes: usize,
+        /// Nodes required.
+        required: usize,
+    },
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::TooFewNodes { nodes, required } => write!(
+                f,
+                "workload needs at least {required} nodes, trace has {nodes}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
 
 /// One unicast demand: deliver a message from `src` to `dst`, created at
 /// `created`.
@@ -21,17 +48,22 @@ pub struct UnicastDemand {
 /// distinct endpoints. Deterministic given the factory (stream
 /// `"unicast-workload"`). Demands are returned sorted by creation time.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the trace has fewer than two nodes.
-#[must_use]
+/// Returns [`WorkloadError::TooFewNodes`] if the trace has fewer than two
+/// nodes (no distinct endpoint pair exists).
 pub fn uniform_unicast(
     trace: &ContactTrace,
     count: usize,
     factory: &RngFactory,
-) -> Vec<UnicastDemand> {
+) -> Result<Vec<UnicastDemand>, WorkloadError> {
     let n = trace.node_count();
-    assert!(n >= 2, "uniform_unicast: need at least two nodes");
+    if n < 2 {
+        return Err(WorkloadError::TooFewNodes {
+            nodes: n,
+            required: 2,
+        });
+    }
     let mut rng = factory.stream("unicast-workload");
     let horizon = trace.span().as_secs() * 0.7;
     let mut demands: Vec<UnicastDemand> = (0..count)
@@ -51,7 +83,7 @@ pub fn uniform_unicast(
         })
         .collect();
     demands.sort_by_key(|d| (d.created, d.src, d.dst));
-    demands
+    Ok(demands)
 }
 
 #[cfg(test)]
@@ -68,7 +100,7 @@ mod tests {
 
     #[test]
     fn generates_requested_count_sorted() {
-        let demands = uniform_unicast(&trace(10), 50, &RngFactory::new(1));
+        let demands = uniform_unicast(&trace(10), 50, &RngFactory::new(1)).unwrap();
         assert_eq!(demands.len(), 50);
         for w in demands.windows(2) {
             assert!(w[0].created <= w[1].created);
@@ -77,7 +109,7 @@ mod tests {
 
     #[test]
     fn endpoints_are_distinct_and_in_range() {
-        for d in uniform_unicast(&trace(5), 100, &RngFactory::new(2)) {
+        for d in uniform_unicast(&trace(5), 100, &RngFactory::new(2)).unwrap() {
             assert_ne!(d.src, d.dst);
             assert!(d.src.index() < 5 && d.dst.index() < 5);
             assert!(d.created.as_secs() <= 700.0);
@@ -88,12 +120,22 @@ mod tests {
     fn deterministic() {
         let t = trace(8);
         let f = RngFactory::new(3);
-        assert_eq!(uniform_unicast(&t, 20, &f), uniform_unicast(&t, 20, &f));
+        assert_eq!(
+            uniform_unicast(&t, 20, &f).unwrap(),
+            uniform_unicast(&t, 20, &f).unwrap()
+        );
     }
 
     #[test]
-    #[should_panic(expected = "two nodes")]
-    fn rejects_tiny_network() {
-        let _ = uniform_unicast(&trace(1), 1, &RngFactory::new(1));
+    fn rejects_tiny_network_with_typed_error() {
+        let err = uniform_unicast(&trace(1), 1, &RngFactory::new(1)).unwrap_err();
+        assert_eq!(
+            err,
+            WorkloadError::TooFewNodes {
+                nodes: 1,
+                required: 2
+            }
+        );
+        assert!(err.to_string().contains("at least 2 nodes"));
     }
 }

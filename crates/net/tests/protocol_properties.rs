@@ -16,7 +16,7 @@ fn scenario(
         &PairwiseConfig::new(nodes, SimDuration::from_days(1.0)).mean_rate(1.0 / 3600.0),
         &f,
     );
-    let demands = workload::uniform_unicast(&trace, msgs, &f);
+    let demands = workload::uniform_unicast(&trace, msgs, &f).unwrap();
     (trace, demands)
 }
 

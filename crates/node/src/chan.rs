@@ -1,0 +1,382 @@
+//! Bounded multi-producer single-consumer channels usable from both async
+//! tasks (futures polled by [`rt::Executor`](crate::rt::Executor)) and
+//! plain threads (the blocking link supervisor).
+//!
+//! The capacity bounds every node's inbox, so a runtime with 10⁴ node
+//! tasks has O(nodes × capacity) worst-case buffering, not unbounded
+//! growth. Senders block (or return `Pending`) when the queue is full;
+//! receivers when it is empty. Closure is bidirectional: dropping the
+//! receiver fails subsequent sends, dropping the last sender drains the
+//! receiver to `None`.
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Waker};
+
+/// The send side of the channel was used after the receiver went away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Closed;
+
+impl std::fmt::Display for Closed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "channel closed")
+    }
+}
+
+impl std::error::Error for Closed {}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    capacity: usize,
+    senders: usize,
+    receiver_alive: bool,
+    recv_waker: Option<Waker>,
+    send_wakers: Vec<Waker>,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    /// Signalled when an item arrives or all senders are gone.
+    recv_ready: Condvar,
+    /// Signalled when space frees up or the receiver is gone.
+    send_ready: Condvar,
+}
+
+impl<T> Shared<T> {
+    fn wake_receiver(state: &mut State<T>) -> Option<Waker> {
+        state.recv_waker.take()
+    }
+
+    fn wake_senders(state: &mut State<T>) -> Vec<Waker> {
+        std::mem::take(&mut state.send_wakers)
+    }
+}
+
+/// Creates a bounded channel with room for `capacity` queued items
+/// (at least one).
+#[must_use]
+pub fn channel<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            capacity: capacity.max(1),
+            senders: 1,
+            receiver_alive: true,
+            recv_waker: None,
+            send_wakers: Vec::new(),
+        }),
+        recv_ready: Condvar::new(),
+        send_ready: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+/// The sending half. Cloneable; the channel closes for the receiver when
+/// the last clone drops.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> std::fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sender").finish_non_exhaustive()
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Sender<T> {
+        self.shared
+            .state
+            .lock()
+            .expect("channel state poisoned")
+            .senders += 1;
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let waker = {
+            let mut state = self.shared.state.lock().expect("channel state poisoned");
+            state.senders -= 1;
+            if state.senders == 0 {
+                Shared::wake_receiver(&mut state)
+            } else {
+                None
+            }
+        };
+        if let Some(w) = waker {
+            w.wake();
+        }
+        self.shared.recv_ready.notify_all();
+    }
+}
+
+impl<T> Sender<T> {
+    /// Sends `value`, waiting asynchronously for space. Fails if the
+    /// receiver has been dropped.
+    pub fn send(&self, value: T) -> SendFuture<'_, T> {
+        SendFuture {
+            shared: &self.shared,
+            value: Some(value),
+        }
+    }
+
+    /// Enqueues immediately, ignoring the capacity bound. Node tasks use
+    /// this lane for peer-to-peer wire frames: a task that blocked on a
+    /// peer's full inbox while its own inbox is full would deadlock any
+    /// cyclic traffic pattern, so peer traffic trades strict boundedness
+    /// for liveness (it stays transitively bounded because the
+    /// supervisor's dispatch lane *is* capacity-bounded). Fails if the
+    /// receiver has been dropped.
+    pub fn send_relaxed(&self, value: T) -> Result<(), Closed> {
+        let mut state = self.shared.state.lock().expect("channel state poisoned");
+        if !state.receiver_alive {
+            return Err(Closed);
+        }
+        state.queue.push_back(value);
+        let waker = Shared::wake_receiver(&mut state);
+        drop(state);
+        if let Some(w) = waker {
+            w.wake();
+        }
+        self.shared.recv_ready.notify_one();
+        Ok(())
+    }
+
+    /// Sends `value` from a plain thread, blocking while the queue is
+    /// full. Fails if the receiver has been dropped.
+    pub fn send_blocking(&self, value: T) -> Result<(), Closed> {
+        let mut state = self.shared.state.lock().expect("channel state poisoned");
+        loop {
+            if !state.receiver_alive {
+                return Err(Closed);
+            }
+            if state.queue.len() < state.capacity {
+                state.queue.push_back(value);
+                let waker = Shared::wake_receiver(&mut state);
+                drop(state);
+                if let Some(w) = waker {
+                    w.wake();
+                }
+                self.shared.recv_ready.notify_one();
+                return Ok(());
+            }
+            state = self
+                .shared
+                .send_ready
+                .wait(state)
+                .expect("channel state poisoned");
+        }
+    }
+}
+
+/// Future returned by [`Sender::send`].
+pub struct SendFuture<'a, T> {
+    shared: &'a Shared<T>,
+    value: Option<T>,
+}
+
+impl<T> std::fmt::Debug for SendFuture<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SendFuture").finish_non_exhaustive()
+    }
+}
+
+// The future never projects a pin into `value`; it moves it out whole
+// under `&mut self` access, so unconditional `Unpin` is sound.
+impl<T> Unpin for SendFuture<'_, T> {}
+
+impl<T> Future for SendFuture<'_, T> {
+    type Output = Result<(), Closed>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        let mut state = this.shared.state.lock().expect("channel state poisoned");
+        if !state.receiver_alive {
+            this.value = None;
+            return Poll::Ready(Err(Closed));
+        }
+        if state.queue.len() < state.capacity {
+            let value = this.value.take().expect("send future polled after ready");
+            state.queue.push_back(value);
+            let waker = Shared::wake_receiver(&mut state);
+            drop(state);
+            if let Some(w) = waker {
+                w.wake();
+            }
+            this.shared.recv_ready.notify_one();
+            Poll::Ready(Ok(()))
+        } else {
+            state.send_wakers.push(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// The receiving half (single consumer).
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> std::fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Receiver").finish_non_exhaustive()
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let wakers = {
+            let mut state = self.shared.state.lock().expect("channel state poisoned");
+            state.receiver_alive = false;
+            Shared::wake_senders(&mut state)
+        };
+        for w in wakers {
+            w.wake();
+        }
+        self.shared.send_ready.notify_all();
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receives the next item, waiting asynchronously; `None` once every
+    /// sender has dropped and the queue is drained.
+    pub fn recv(&mut self) -> RecvFuture<'_, T> {
+        RecvFuture {
+            shared: &self.shared,
+        }
+    }
+
+    /// Receives from a plain thread, blocking while the queue is empty;
+    /// `None` once every sender has dropped and the queue is drained.
+    pub fn recv_blocking(&mut self) -> Option<T> {
+        let mut state = self.shared.state.lock().expect("channel state poisoned");
+        loop {
+            if let Some(v) = state.queue.pop_front() {
+                let wakers = Shared::wake_senders(&mut state);
+                drop(state);
+                for w in wakers {
+                    w.wake();
+                }
+                self.shared.send_ready.notify_all();
+                return Some(v);
+            }
+            if state.senders == 0 {
+                return None;
+            }
+            state = self
+                .shared
+                .recv_ready
+                .wait(state)
+                .expect("channel state poisoned");
+        }
+    }
+
+    /// Pops an item if one is queued, without waiting.
+    pub fn try_recv(&mut self) -> Option<T> {
+        let mut state = self.shared.state.lock().expect("channel state poisoned");
+        let v = state.queue.pop_front()?;
+        let wakers = Shared::wake_senders(&mut state);
+        drop(state);
+        for w in wakers {
+            w.wake();
+        }
+        self.shared.send_ready.notify_all();
+        Some(v)
+    }
+}
+
+/// Future returned by [`Receiver::recv`].
+pub struct RecvFuture<'a, T> {
+    shared: &'a Shared<T>,
+}
+
+impl<T> std::fmt::Debug for RecvFuture<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecvFuture").finish_non_exhaustive()
+    }
+}
+
+impl<T> Future for RecvFuture<'_, T> {
+    type Output = Option<T>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut state = self.shared.state.lock().expect("channel state poisoned");
+        if let Some(v) = state.queue.pop_front() {
+            let wakers = Shared::wake_senders(&mut state);
+            drop(state);
+            for w in wakers {
+                w.wake();
+            }
+            self.shared.send_ready.notify_all();
+            return Poll::Ready(Some(v));
+        }
+        if state.senders == 0 {
+            return Poll::Ready(None);
+        }
+        state.recv_waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocking_send_and_recv_round_trip() {
+        let (tx, mut rx) = channel::<u64>(2);
+        let h = std::thread::spawn(move || {
+            for v in 0..100 {
+                tx.send_blocking(v).unwrap();
+            }
+        });
+        let mut got = Vec::new();
+        while let Some(v) = rx.recv_blocking() {
+            got.push(v);
+        }
+        h.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drop() {
+        let (tx, rx) = channel::<u64>(1);
+        drop(rx);
+        assert_eq!(tx.send_blocking(1), Err(Closed));
+    }
+
+    #[test]
+    fn try_recv_is_non_blocking() {
+        let (tx, mut rx) = channel::<u64>(4);
+        assert_eq!(rx.try_recv(), None);
+        tx.send_blocking(7).unwrap();
+        assert_eq!(rx.try_recv(), Some(7));
+        assert_eq!(rx.try_recv(), None);
+    }
+
+    #[test]
+    fn capacity_bounds_the_queue() {
+        let (tx, mut rx) = channel::<u64>(3);
+        for v in 0..3 {
+            tx.send_blocking(v).unwrap();
+        }
+        // A fourth send must wait for the receiver to make room.
+        let t = std::thread::spawn(move || tx.send_blocking(3));
+        assert_eq!(rx.recv_blocking(), Some(0));
+        t.join().unwrap().unwrap();
+        assert_eq!(rx.recv_blocking(), Some(1));
+        assert_eq!(rx.recv_blocking(), Some(2));
+        assert_eq!(rx.recv_blocking(), Some(3));
+    }
+}

@@ -1,0 +1,203 @@
+//! A minimal multi-threaded async executor.
+//!
+//! The container this workspace builds in has no async runtime crate, so
+//! `omn-node` brings its own: a classic wake-queue executor built from
+//! `std::task::Wake`, a `Mutex`/`Condvar` injector queue, and a fixed pool
+//! of worker threads. It supports exactly what the node runtime needs —
+//! `spawn` + cooperative wakeups from the bounded channels in
+//! [`chan`](crate::chan) — and nothing more (no IO reactor, no timers;
+//! simulated time is driven by the link supervisor).
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+use std::thread::JoinHandle;
+
+type BoxFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
+
+/// Shared executor state: the ready queue and shutdown flag.
+struct Shared {
+    ready: Mutex<VecDeque<Arc<Task>>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// One spawned task. `queued` deduplicates wakeups: a task is pushed onto
+/// the ready queue at most once until a worker picks it up.
+struct Task {
+    future: Mutex<Option<BoxFuture>>,
+    queued: AtomicBool,
+    shared: Arc<Shared>,
+}
+
+impl Wake for Task {
+    fn wake(self: Arc<Self>) {
+        if !self.queued.swap(true, Ordering::AcqRel) {
+            let shared = Arc::clone(&self.shared);
+            shared
+                .ready
+                .lock()
+                .expect("executor queue poisoned")
+                .push_back(self);
+            shared.available.notify_one();
+        }
+    }
+}
+
+/// The executor: spawn futures, then [`Executor::shutdown`] to join the
+/// workers once all communication has quiesced.
+pub struct Executor {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl Executor {
+    /// Starts a pool of `threads` workers (at least one).
+    #[must_use]
+    pub fn new(threads: usize) -> Executor {
+        let shared = Arc::new(Shared {
+            ready: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..threads.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("omn-node-worker-{i}"))
+                    .spawn(move || worker(&shared))
+                    .expect("spawn executor worker")
+            })
+            .collect();
+        Executor { shared, workers }
+    }
+
+    /// Spawns a future onto the pool.
+    pub fn spawn<F>(&self, future: F)
+    where
+        F: Future<Output = ()> + Send + 'static,
+    {
+        let task = Arc::new(Task {
+            future: Mutex::new(Some(Box::pin(future))),
+            queued: AtomicBool::new(false),
+            shared: Arc::clone(&self.shared),
+        });
+        task.wake();
+    }
+
+    /// Stops the workers after the ready queue drains of running work and
+    /// joins them. Tasks still pending on a channel are dropped in place
+    /// (their futures are simply never polled again).
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.available.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.available.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker(shared: &Arc<Shared>) {
+    loop {
+        let task = {
+            let mut ready = shared.ready.lock().expect("executor queue poisoned");
+            loop {
+                if let Some(t) = ready.pop_front() {
+                    break t;
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                ready = shared
+                    .available
+                    .wait(ready)
+                    .expect("executor queue poisoned");
+            }
+        };
+        // Clear the dedup flag *before* polling: a wake that lands during
+        // the poll re-queues the task (the second worker then briefly
+        // blocks on the future mutex, which is fine).
+        task.queued.store(false, Ordering::Release);
+        let waker = Waker::from(Arc::clone(&task));
+        let mut cx = Context::from_waker(&waker);
+        let mut slot = task.future.lock().expect("task future poisoned");
+        if let Some(fut) = slot.as_mut() {
+            if let Poll::Ready(()) = fut.as_mut().poll(&mut cx) {
+                *slot = None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::mpsc;
+
+    #[test]
+    fn spawned_futures_run_to_completion() {
+        let exec = Executor::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..64 {
+            let counter = Arc::clone(&counter);
+            let tx = tx.clone();
+            exec.spawn(async move {
+                counter.fetch_add(1, Ordering::SeqCst);
+                tx.send(()).unwrap();
+            });
+        }
+        for _ in 0..64 {
+            rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+        exec.shutdown();
+    }
+
+    #[test]
+    fn tasks_resume_after_cross_task_wakeups() {
+        let exec = Executor::new(2);
+        let (tx, rx) = crate::chan::channel::<u32>(4);
+        let (done_tx, done_rx) = mpsc::channel();
+        exec.spawn(async move {
+            let mut sum = 0;
+            let mut rx = rx;
+            while let Some(v) = rx.recv().await {
+                sum += v;
+            }
+            done_tx.send(sum).unwrap();
+        });
+        exec.spawn(async move {
+            for v in 1..=100u32 {
+                tx.send(v).await.unwrap();
+            }
+        });
+        let sum = done_rx
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .unwrap();
+        assert_eq!(sum, 5050);
+        exec.shutdown();
+    }
+}

@@ -57,7 +57,7 @@ fn caching_and_routing_runs_are_deterministic() {
     assert_eq!(a.transmissions, b.transmissions);
     assert_eq!(a.cachers_per_item, b.cachers_per_item);
 
-    let demands = workload::uniform_unicast(&trace, 80, &factory);
+    let demands = workload::uniform_unicast(&trace, 80, &factory).unwrap();
     let net = NetworkSimulator::new(SimConfig::default());
     let r1 = net.run(&trace, &mut Prophet::new(), &demands);
     let r2 = net.run(&trace, &mut Prophet::new(), &demands);

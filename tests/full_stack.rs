@@ -87,7 +87,7 @@ fn routing_layer_agrees_with_contact_graph_reachability() {
 
     let factory = RngFactory::new(3);
     let trace = TracePreset::RealityLike.generate_small(&factory);
-    let demands = workload::uniform_unicast(&trace, 60, &factory);
+    let demands = workload::uniform_unicast(&trace, 60, &factory).unwrap();
     let report =
         NetworkSimulator::new(SimConfig::default()).run(&trace, &mut Epidemic::new(), &demands);
 
