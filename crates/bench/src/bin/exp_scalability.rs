@@ -1,5 +1,14 @@
 //! Binary wrapper for experiment `e15_scalability`.
+//!
+//! `--headline` runs the single 10⁶-node point instead of the sweep;
+//! `--threads n` / `--window-mins m` select the window-barrier parallel
+//! pipeline (output is bit-identical to the serial default); `--no-wall`
+//! hides wall-clock columns for byte-for-byte diffing.
 
 fn main() {
-    omn_bench::experiments::e15_scalability::run();
+    if omn_bench::headline_requested() {
+        omn_bench::experiments::e15_scalability::run_headline();
+    } else {
+        omn_bench::experiments::e15_scalability::run();
+    }
 }

@@ -18,7 +18,8 @@ pub mod experiments;
 mod runner;
 
 pub use runner::{
-    active_nodes, active_seeds, active_trace, per_seed, serial_requested, TraceOverride,
+    active_nodes, active_seeds, active_threads, active_trace, active_window_mins,
+    headline_requested, per_seed, serial_requested, wall_hidden, TraceOverride,
 };
 
 use omn_sim::stats::mean_ci95;

@@ -21,6 +21,15 @@
 //!   when omitted.
 //! * `--serial` — run seeds sequentially on the calling thread (useful for
 //!   profiling and for demonstrating serial/parallel equivalence).
+//! * `--threads n` (or `--threads=n`) — generator threads for the
+//!   window-barrier parallel contact pipeline (E15); 0 (default) keeps
+//!   the classic serial source. Output is bit-identical either way.
+//! * `--window-mins m` (or `--window-mins=m`) — barrier window of the
+//!   parallel pipeline in simulated minutes (default: span/64).
+//! * `--no-wall` — hide wall-clock columns so two runs can be
+//!   byte-for-byte diffed (the CI determinism job).
+//! * `--headline` — run the single large headline point instead of the
+//!   sweep (E15: 10⁶ nodes, one seed).
 
 use std::thread;
 
@@ -72,6 +81,61 @@ pub fn active_nodes(default: &[usize]) -> Vec<usize> {
 #[must_use]
 pub fn serial_requested() -> bool {
     std::env::args().skip(1).any(|a| a == "--serial")
+}
+
+/// The merge-thread count for experiments with a parallel contact
+/// pipeline (E15): `--threads n`. 0 — the default — runs the classic
+/// serial source; `n ≥ 1` runs the window-barrier parallel source on `n`
+/// generator threads (bit-identical output either way).
+#[must_use]
+pub fn active_threads() -> usize {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    threads_from(argv.into_iter())
+}
+
+/// The barrier-window override for the parallel contact pipeline:
+/// `--window-mins m` (simulated minutes). `None` uses the source's
+/// default window; the choice batches differently but never changes the
+/// merged stream.
+#[must_use]
+pub fn active_window_mins() -> Option<f64> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    window_from(argv.into_iter())
+}
+
+/// Whether `--no-wall` is on the command line: hide wall-clock columns so
+/// two runs of the same sweep can be byte-for-byte diffed (the CI
+/// determinism job).
+#[must_use]
+pub fn wall_hidden() -> bool {
+    std::env::args().skip(1).any(|a| a == "--no-wall")
+}
+
+/// Whether `--headline` is on the command line: run the single large
+/// headline point instead of the sweep.
+#[must_use]
+pub fn headline_requested() -> bool {
+    std::env::args().skip(1).any(|a| a == "--headline")
+}
+
+fn threads_from<I: Iterator<Item = String> + Clone>(args: I) -> usize {
+    parse_str_flag(args, "--threads").map_or(0, |s| {
+        s.parse()
+            .unwrap_or_else(|_| panic!("--threads takes a thread count"))
+    })
+}
+
+fn window_from<I: Iterator<Item = String> + Clone>(args: I) -> Option<f64> {
+    parse_str_flag(args, "--window-mins").map(|s| {
+        let mins: f64 = s
+            .parse()
+            .unwrap_or_else(|_| panic!("--window-mins takes a minute count"));
+        assert!(
+            mins.is_finite() && mins > 0.0,
+            "--window-mins takes a positive minute count"
+        );
+        mins
+    })
 }
 
 /// A `--trace` override: run the real-trace experiment on one dataset file
@@ -306,6 +370,33 @@ mod tests {
     #[should_panic(expected = "--trace requires a value")]
     fn trace_flag_followed_by_flag_is_an_error() {
         trace_from(args(&["--trace", "--trace-format", "haggle"]));
+    }
+
+    #[test]
+    fn parses_threads_and_window_forms() {
+        assert_eq!(threads_from(args(&[])), 0);
+        assert_eq!(threads_from(args(&["--threads", "4"])), 4);
+        assert_eq!(threads_from(args(&["--threads=2"])), 2);
+        assert_eq!(window_from(args(&[])), None);
+        assert_eq!(window_from(args(&["--window-mins", "73"])), Some(73.0));
+        assert_eq!(window_from(args(&["--window-mins=7.5"])), Some(7.5));
+        // The shared parsers don't steal each other's values.
+        assert_eq!(
+            threads_from(args(&["--window-mins", "73", "--threads", "2"])),
+            2
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "--threads takes a thread count")]
+    fn malformed_threads_flag_is_an_error() {
+        threads_from(args(&["--threads", "many"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "--window-mins takes a positive minute count")]
+    fn nonpositive_window_flag_is_an_error() {
+        window_from(args(&["--window-mins", "0"]));
     }
 
     #[test]

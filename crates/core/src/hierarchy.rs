@@ -20,10 +20,77 @@
 //!   same fanout bound: the ablation for contact-awareness.
 
 use std::collections::HashMap;
+use std::fmt;
 
 use omn_contacts::{ContactGraph, NodeId};
 use rand::seq::SliceRandom;
 use rand::Rng;
+
+/// A structural failure of a hierarchy lookup or mutation.
+///
+/// Distributed maintenance mutates trees concurrently with lookups: a
+/// crashed-and-not-yet-reattached node, or a member a stale fixed plan never
+/// attached, is simply *not in the tree* at lookup time. Those are protocol
+/// states to handle, not programming errors, so the lookup API reports them
+/// as typed errors (`try_*` variants) instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HierarchyError {
+    /// The node has no parent chain: it is neither the root nor attached.
+    NotInHierarchy(NodeId),
+    /// The node is not a member (mutations only apply to members).
+    NotAMember(NodeId),
+    /// The node is already attached (re-attachment would fork the chain).
+    AlreadyAttached(NodeId),
+    /// The parent chain from this node never reaches the root.
+    CyclicChain(NodeId),
+    /// The move would place a node inside its own subtree.
+    WouldCycle {
+        /// The node being moved.
+        child: NodeId,
+        /// The requested parent, which descends from `child`.
+        new_parent: NodeId,
+    },
+    /// The requested parent already has `fanout` children.
+    AtFanoutBound(NodeId),
+    /// The move is a no-op (same parent, or self-parenting).
+    NoOpReparent(NodeId),
+    /// A member dangles: its chain leaves the parent map before the root.
+    DanglingChain(NodeId),
+    /// The parent map and member set disagree.
+    MemberMapMismatch,
+    /// A children list disagrees with the parent map.
+    ChildListMismatch {
+        /// The parent whose children list is inconsistent.
+        parent: NodeId,
+        /// The child whose parent pointer disagrees.
+        child: NodeId,
+    },
+}
+
+impl fmt::Display for HierarchyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            HierarchyError::NotInHierarchy(n) => write!(f, "{n} is not in the hierarchy"),
+            HierarchyError::NotAMember(n) => write!(f, "{n} is not a member"),
+            HierarchyError::AlreadyAttached(n) => write!(f, "{n} is already attached"),
+            HierarchyError::CyclicChain(n) => write!(f, "cycle detected in hierarchy at {n}"),
+            HierarchyError::WouldCycle { child, new_parent } => {
+                write!(f, "{new_parent} is in {child}'s subtree")
+            }
+            HierarchyError::AtFanoutBound(n) => write!(f, "{n} is at its fanout bound"),
+            HierarchyError::NoOpReparent(n) => write!(f, "no-op reparent of {n}"),
+            HierarchyError::DanglingChain(n) => write!(f, "{n} dangles off the root chain"),
+            HierarchyError::MemberMapMismatch => {
+                write!(f, "parent map does not match member set")
+            }
+            HierarchyError::ChildListMismatch { parent, child } => {
+                write!(f, "children list of {parent} disagrees for {child}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HierarchyError {}
 
 /// Penalty hop delay (seconds) used for pairs that have never been observed
 /// to meet; large enough to lose against any real path, finite so that a
@@ -210,29 +277,56 @@ impl RefreshHierarchy {
         self.path_from_root(node).len() - 1
     }
 
+    /// Tree depth of `node` (root = 0), or an error if `node` is not in
+    /// the hierarchy.
+    ///
+    /// # Errors
+    ///
+    /// [`HierarchyError::NotInHierarchy`] for a detached node,
+    /// [`HierarchyError::CyclicChain`] for a corrupted parent map.
+    pub fn try_depth_of(&self, node: NodeId) -> Result<usize, HierarchyError> {
+        Ok(self.try_path_from_root(node)?.len() - 1)
+    }
+
     /// The path `root, …, node`.
     ///
     /// # Panics
     ///
     /// Panics if `node` is not in the hierarchy (or the parent map is
-    /// cyclic, which `validate` rules out).
+    /// cyclic, which `validate` rules out). Mid-maintenance callers that
+    /// can race a detach (crash re-attachment, stale plans) must use
+    /// [`RefreshHierarchy::try_path_from_root`] instead.
     #[must_use]
     pub fn path_from_root(&self, node: NodeId) -> Vec<NodeId> {
+        self.try_path_from_root(node)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The path `root, …, node`, or an error when `node` is currently
+    /// detached.
+    ///
+    /// # Errors
+    ///
+    /// [`HierarchyError::NotInHierarchy`] if the chain from `node` leaves
+    /// the parent map before reaching the root (the node was never
+    /// attached, or a crash-with-state-loss dropped it and re-attachment
+    /// has not happened yet); [`HierarchyError::CyclicChain`] if the chain
+    /// never terminates.
+    pub fn try_path_from_root(&self, node: NodeId) -> Result<Vec<NodeId>, HierarchyError> {
         let mut path = vec![node];
         let mut cur = node;
         while cur != self.root {
-            cur = *self
-                .parent
-                .get(&cur)
-                .unwrap_or_else(|| panic!("{cur} is not in the hierarchy"));
+            cur = match self.parent.get(&cur) {
+                Some(&p) => p,
+                None => return Err(HierarchyError::NotInHierarchy(cur)),
+            };
             path.push(cur);
-            assert!(
-                path.len() <= self.members.len() + 2,
-                "cycle detected in hierarchy"
-            );
+            if path.len() > self.members.len() + 2 {
+                return Err(HierarchyError::CyclicChain(node));
+            }
         }
         path.reverse();
-        path
+        Ok(path)
     }
 
     /// All `(parent, child)` responsibility edges, children in sorted order
@@ -282,14 +376,30 @@ impl RefreshHierarchy {
     /// Panics if `node` is not in the hierarchy.
     #[must_use]
     pub fn expected_path_delay(&self, node: NodeId, graph: &ContactGraph) -> f64 {
-        self.path_from_root(node)
+        self.try_expected_path_delay(node, graph)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`RefreshHierarchy::expected_path_delay`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RefreshHierarchy::try_path_from_root`] errors for a
+    /// detached `node`.
+    pub fn try_expected_path_delay(
+        &self,
+        node: NodeId,
+        graph: &ContactGraph,
+    ) -> Result<f64, HierarchyError> {
+        Ok(self
+            .try_path_from_root(node)?
             .windows(2)
             .map(|w| {
                 graph
                     .expected_delay(w[0], w[1])
                     .unwrap_or(DISCONNECTED_HOP_PENALTY)
             })
-            .sum()
+            .sum())
     }
 
     /// Expected refresh delay of `node` along its tree path with an
@@ -304,7 +414,28 @@ impl RefreshHierarchy {
     where
         F: Fn(NodeId, NodeId) -> f64,
     {
-        self.path_from_root(node)
+        self.try_expected_path_delay_with(node, rate)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`RefreshHierarchy::expected_path_delay_with`]:
+    /// the distributed-maintenance path, where a lookup can legitimately
+    /// race a crash-with-state-loss detach.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RefreshHierarchy::try_path_from_root`] errors for a
+    /// detached `node`.
+    pub fn try_expected_path_delay_with<F>(
+        &self,
+        node: NodeId,
+        rate: F,
+    ) -> Result<f64, HierarchyError>
+    where
+        F: Fn(NodeId, NodeId) -> f64,
+    {
+        Ok(self
+            .try_path_from_root(node)?
             .windows(2)
             .map(|w| {
                 let r = rate(w[0], w[1]);
@@ -314,7 +445,7 @@ impl RefreshHierarchy {
                     DISCONNECTED_HOP_PENALTY
                 }
             })
-            .sum()
+            .sum())
     }
 
     /// Moves `child` under `new_parent` (distributed re-parenting).
@@ -329,23 +460,23 @@ impl RefreshHierarchy {
         child: NodeId,
         new_parent: NodeId,
         fanout: Option<usize>,
-    ) -> Result<(), String> {
+    ) -> Result<(), HierarchyError> {
         let old_parent = self
             .parent_of(child)
-            .ok_or_else(|| format!("{child} is not a member"))?;
+            .ok_or(HierarchyError::NotAMember(child))?;
         if !self.contains(new_parent) {
-            return Err(format!("{new_parent} is not in the hierarchy"));
+            return Err(HierarchyError::NotInHierarchy(new_parent));
         }
         if new_parent == old_parent || new_parent == child {
-            return Err("no-op reparent".to_owned());
+            return Err(HierarchyError::NoOpReparent(child));
         }
         // Cycle check: new_parent must not descend from child.
-        if self.path_from_root(new_parent).contains(&child) {
-            return Err(format!("{new_parent} is in {child}'s subtree"));
+        if self.try_path_from_root(new_parent)?.contains(&child) {
+            return Err(HierarchyError::WouldCycle { child, new_parent });
         }
         if let Some(f) = fanout {
             if self.children_of(new_parent).len() >= f {
-                return Err(format!("{new_parent} is at its fanout bound"));
+                return Err(HierarchyError::AtFanoutBound(new_parent));
             }
         }
         if let Some(siblings) = self.children.get_mut(&old_parent) {
@@ -355,6 +486,68 @@ impl RefreshHierarchy {
         Ok(())
     }
 
+    /// Re-attaches a currently *detached* member under `parent` — the
+    /// repair path for orphans: a member a stale fixed plan never placed,
+    /// or one whose parent pointer was dropped by a crash with state loss.
+    /// The node is added to the member set if it is not already there.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`HierarchyError::AlreadyAttached`] if `child` already
+    /// has a parent chain (use [`RefreshHierarchy::reparent`] to move it),
+    /// [`HierarchyError::NotInHierarchy`] if `parent` is itself detached,
+    /// [`HierarchyError::NoOpReparent`] on self-attachment, or
+    /// [`HierarchyError::AtFanoutBound`] if `parent` is full.
+    pub fn attach_member(
+        &mut self,
+        child: NodeId,
+        parent: NodeId,
+        fanout: Option<usize>,
+    ) -> Result<(), HierarchyError> {
+        if self.contains(child) {
+            return Err(HierarchyError::AlreadyAttached(child));
+        }
+        if !self.contains(parent) {
+            return Err(HierarchyError::NotInHierarchy(parent));
+        }
+        if child == parent {
+            return Err(HierarchyError::NoOpReparent(child));
+        }
+        if let Some(f) = fanout {
+            if self.children_of(parent).len() >= f {
+                return Err(HierarchyError::AtFanoutBound(parent));
+            }
+        }
+        if !self.members.contains(&child) {
+            self.members.push(child);
+            self.members.sort();
+        }
+        self.attach(child, parent);
+        Ok(())
+    }
+
+    /// A node of the tree with spare child capacity under `fanout`,
+    /// breadth-first from the root (so repairs attach as high up as
+    /// possible), or `None` only if every attached node is full.
+    #[must_use]
+    pub fn first_open_host(&self, fanout: Option<usize>) -> Option<NodeId> {
+        let mut frontier = vec![self.root];
+        let mut next = Vec::new();
+        while !frontier.is_empty() {
+            for &n in &frontier {
+                if fanout.is_none_or(|f| self.children_of(n).len() < f) {
+                    return Some(n);
+                }
+                next.extend_from_slice(self.children_of(n));
+            }
+            // children_of lists are in attach order; sort each level so
+            // the host choice is deterministic.
+            next.sort();
+            frontier = std::mem::take(&mut next);
+        }
+        None
+    }
+
     /// Checks structural invariants: every member has a parent chain
     /// reaching the root, children lists mirror the parent map, and any
     /// fanout bound holds.
@@ -362,40 +555,36 @@ impl RefreshHierarchy {
     /// # Errors
     ///
     /// Returns a description of the first violated invariant.
-    pub fn validate(&self, fanout: Option<usize>) -> Result<(), String> {
+    pub fn validate(&self, fanout: Option<usize>) -> Result<(), HierarchyError> {
         for &m in &self.members {
             if !self.parent.contains_key(&m) {
-                return Err(format!("member {m} has no parent"));
+                return Err(HierarchyError::NotInHierarchy(m));
             }
-            // path_from_root panics on cycles; convert to error via check.
             let mut cur = m;
             let mut steps = 0;
             while cur != self.root {
                 match self.parent.get(&cur) {
                     Some(&p) => cur = p,
-                    None => return Err(format!("{cur} dangles off the root chain")),
+                    None => return Err(HierarchyError::DanglingChain(cur)),
                 }
                 steps += 1;
                 if steps > self.members.len() + 1 {
-                    return Err(format!("cycle through {m}"));
+                    return Err(HierarchyError::CyclicChain(m));
                 }
             }
         }
         if self.parent.len() != self.members.len() {
-            return Err("parent map does not match member set".to_owned());
+            return Err(HierarchyError::MemberMapMismatch);
         }
-        for (parent, children) in &self.children {
-            for c in children {
-                if self.parent.get(c) != Some(parent) {
-                    return Err(format!("children list of {parent} disagrees for {c}"));
+        for (&parent, children) in &self.children {
+            for &c in children {
+                if self.parent.get(&c) != Some(&parent) {
+                    return Err(HierarchyError::ChildListMismatch { parent, child: c });
                 }
             }
             if let Some(f) = fanout {
                 if children.len() > f {
-                    return Err(format!(
-                        "{parent} has {} children, bound is {f}",
-                        children.len()
-                    ));
+                    return Err(HierarchyError::AtFanoutBound(parent));
                 }
             }
         }
@@ -589,6 +778,98 @@ mod tests {
         // Zero rates cost the penalty.
         let d = h.expected_path_delay_with(NodeId(1), |_, _| 0.0);
         assert!(d >= DISCONNECTED_HOP_PENALTY);
+    }
+
+    #[test]
+    fn try_lookups_report_detached_nodes_instead_of_panicking() {
+        let g = line_graph();
+        let mut rng = RngFactory::new(1).stream("h");
+        let h = RefreshHierarchy::build(
+            NodeId(0),
+            &ids(&[1, 2, 3]),
+            &g,
+            HierarchyStrategy::GreedySed { fanout: None },
+            &mut rng,
+        );
+        // Node 9 was never attached.
+        assert_eq!(
+            h.try_path_from_root(NodeId(9)),
+            Err(HierarchyError::NotInHierarchy(NodeId(9)))
+        );
+        assert_eq!(
+            h.try_depth_of(NodeId(9)),
+            Err(HierarchyError::NotInHierarchy(NodeId(9)))
+        );
+        assert!(h.try_expected_path_delay(NodeId(9), &g).is_err());
+        assert!(h
+            .try_expected_path_delay_with(NodeId(9), |_, _| 1.0)
+            .is_err());
+        // Attached nodes agree with the panicking API.
+        assert_eq!(
+            h.try_path_from_root(NodeId(3)).unwrap(),
+            h.path_from_root(NodeId(3))
+        );
+        assert_eq!(h.try_depth_of(NodeId(3)).unwrap(), h.depth_of(NodeId(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "is not in the hierarchy")]
+    fn panicking_lookup_still_panics_for_detached_nodes() {
+        let g = line_graph();
+        let mut rng = RngFactory::new(1).stream("h");
+        let h = RefreshHierarchy::build(NodeId(0), &[], &g, HierarchyStrategy::Star, &mut rng);
+        let _ = h.path_from_root(NodeId(7));
+    }
+
+    #[test]
+    fn attach_member_repairs_an_orphan() {
+        let g = line_graph();
+        let mut rng = RngFactory::new(1).stream("h");
+        let mut h = RefreshHierarchy::build(
+            NodeId(0),
+            &ids(&[1, 2]),
+            &g,
+            HierarchyStrategy::Star,
+            &mut rng,
+        );
+        // Node 3 is a world member the (stale) tree never placed.
+        assert!(!h.contains(NodeId(3)));
+        h.attach_member(NodeId(3), NodeId(0), None).unwrap();
+        assert!(h.contains(NodeId(3)));
+        assert_eq!(h.parent_of(NodeId(3)), Some(NodeId(0)));
+        assert_eq!(h.members(), ids(&[1, 2, 3]).as_slice());
+        h.validate(None).unwrap();
+        // Double attachment is rejected.
+        assert_eq!(
+            h.attach_member(NodeId(3), NodeId(0), None),
+            Err(HierarchyError::AlreadyAttached(NodeId(3)))
+        );
+        // Fanout-bound parents are rejected.
+        assert_eq!(
+            h.attach_member(NodeId(4), NodeId(0), Some(3)),
+            Err(HierarchyError::AtFanoutBound(NodeId(0)))
+        );
+    }
+
+    #[test]
+    fn first_open_host_walks_breadth_first() {
+        let g = line_graph();
+        let mut rng = RngFactory::new(1).stream("h");
+        let mut h = RefreshHierarchy::build(
+            NodeId(0),
+            &ids(&[1, 2, 3]),
+            &g,
+            HierarchyStrategy::GreedySed { fanout: None },
+            &mut rng,
+        );
+        // Chain 0→1→2→3: with fanout 1, nodes 0..=2 are full; the first
+        // open host is the deepest node, 3.
+        assert_eq!(h.first_open_host(Some(1)), Some(NodeId(3)));
+        assert_eq!(h.first_open_host(None), Some(NodeId(0)));
+        // 0→{1,3}, 1→2: at fanout 2 the root is full, its first child
+        // with spare capacity (1) hosts.
+        h.reparent(NodeId(3), NodeId(0), None).unwrap();
+        assert_eq!(h.first_open_host(Some(2)), Some(NodeId(1)));
     }
 
     #[test]

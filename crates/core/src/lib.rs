@@ -89,4 +89,4 @@ pub mod scheme;
 pub mod sim;
 
 pub use freshness::{FreshnessRequirement, UpdateSchedule};
-pub use hierarchy::RefreshHierarchy;
+pub use hierarchy::{HierarchyError, RefreshHierarchy};

@@ -420,8 +420,16 @@ impl HierarchicalCore {
                 return; // never observed to meet: no basis to switch
             }
         };
-        let current = h.expected_path_delay_with(x, rate);
-        let via_y = h.expected_path_delay_with(y, rate) + hop;
+        // Fallible lookups: x or y may sit on a chain a crash with state
+        // loss broke and re-attachment has not repaired yet. A failed
+        // lookup just means "no basis to switch this contact".
+        let (Ok(current), Ok(via_parent)) = (
+            h.try_expected_path_delay_with(x, rate),
+            h.try_expected_path_delay_with(y, rate),
+        ) else {
+            return;
+        };
+        let via_y = via_parent + hop;
         if via_y < current * self.reparent_factor && h.reparent(x, y, fanout).is_ok() {
             env.count("reparent-events", 1);
             // The plan for the old edge no longer applies.
@@ -439,7 +447,7 @@ impl HierarchicalCore {
         }
         if let Some(h) = self.hierarchy.as_ref() {
             if let Err(e) = h.validate(self.fanout_bound()) {
-                env.oracle_check(false, "tree-structure", node, || e);
+                env.oracle_check(false, "tree-structure", node, || e.to_string());
             }
         }
     }
@@ -776,20 +784,51 @@ impl HierarchicalCore {
         self.edge_failures.retain(|&(a, b), _| a != n && b != n);
         self.attempts.retain(|&(_, target, _), _| target != n);
         self.handled.retain(|&(_, target, _)| target != n);
-        // Re-attach the amnesiac node directly under the root (fanout
-        // permitting): it remembers nothing about its old parent, and the
-        // root is the one address every member knows.
+        // Re-attach the amnesiac node directly under the root: it
+        // remembers nothing about its old parent, and the root is the one
+        // address every member knows. Three cases need repairing, all
+        // reachable from the E17 fault ladder:
+        //
+        //  * the common one — n is attached under some non-root parent and
+        //    simply moves to the root;
+        //  * the root (or fallback host) is at its fanout bound — attach
+        //    under the shallowest node with spare capacity instead of
+        //    leaving n behind a possibly-dead chain;
+        //  * n is not in the tree at all (a stale fixed plan never placed
+        //    it, or its chain was severed) — it must be *inserted*, not
+        //    re-parented; skipping it here is what used to leave orphans
+        //    for later lookups to trip over.
         let root = env.root();
         let fanout = self.fanout_bound();
-        let reattached = self.hierarchy.as_mut().is_some_and(|h| {
-            h.contains(n)
-                && h.parent_of(n).is_some_and(|p| p != root)
-                && h.reparent(n, root, fanout).is_ok()
-        });
+        let mut reattached = false;
+        let mut parent = root;
+        if let Some(h) = self.hierarchy.as_mut() {
+            if h.contains(n) {
+                if h.parent_of(n).is_some_and(|p| p != root) {
+                    reattached = h.reparent(n, root, fanout).is_ok();
+                    if !reattached {
+                        // Root full: any node with spare capacity outside
+                        // n's own subtree keeps n reachable.
+                        if let Some(host) = h.first_open_host(fanout) {
+                            parent = host;
+                            reattached = host != n && h.reparent(n, host, fanout).is_ok();
+                        }
+                    }
+                }
+            } else if n != root && env.is_member(n) {
+                reattached = h.attach_member(n, root, fanout).is_ok();
+                if !reattached {
+                    if let Some(host) = h.first_open_host(fanout) {
+                        parent = host;
+                        reattached = h.attach_member(n, host, fanout).is_ok();
+                    }
+                }
+            }
+        }
         if reattached {
             env.count("crash-reattaches", 1);
             self.plans.retain(|&(_, c), _| c != n);
-            self.edge_heard.insert((root, n), env.now());
+            self.edge_heard.insert((parent, n), env.now());
             self.check_tree(env, Some(n));
         }
     }

@@ -207,7 +207,12 @@ impl ReplicationPlanner {
             let member_req = requirement_of(m);
             let tau = member_req.deadline.as_secs();
             let q = member_req.probability;
-            let path = hierarchy.path_from_root(m);
+            // A member whose chain is severed (stale plan, unrepaired
+            // crash) gets no replication effort rather than a panic: the
+            // maintenance layer re-attaches it at its next rejoin.
+            let Ok(path) = hierarchy.try_path_from_root(m) else {
+                continue;
+            };
             let weights: Vec<f64> = path
                 .windows(2)
                 .map(|w| {

@@ -664,4 +664,94 @@ mod tests {
         assert_eq!(h.extras.get("crash-reattaches"), 1);
         assert!(h.world.oracle_report().is_clean());
     }
+
+    /// E17-shaped regression: a *stale* fixed plan (planned on a
+    /// pre-failure network) never placed member 2, and 2 later rejoins
+    /// from a crash with state loss. The lookup of the orphan used to be
+    /// the `"{cur} is not in the hierarchy"` panic path; now the contact
+    /// is survived, and the state-loss rejoin inserts the orphan back
+    /// into the tree.
+    #[test]
+    fn state_loss_inserts_a_member_the_stale_plan_orphaned() {
+        let g = graph();
+        let mut rng = omn_sim::RngFactory::new(1).stream("h");
+        // The plan was drawn while node 2 was down: it only covers [1].
+        let stale = crate::hierarchy::RefreshHierarchy::build(
+            NodeId(0),
+            &[NodeId(1)],
+            &g,
+            HierarchyStrategy::Star,
+            &mut rng,
+        );
+        let mut h = CtxHarness::new(g, NodeId(0), vec![NodeId(1), NodeId(2)]);
+        let mut s = HierarchicalScheme::with_fixed_plan(
+            HierarchicalConfig {
+                strategy: HierarchyStrategy::GreedySed { fanout: Some(2) },
+                reparent: true,
+                resilience: Some(ResilienceConfig::default()),
+                ..HierarchicalConfig::default()
+            },
+            stale,
+            std::collections::HashMap::new(),
+        );
+        s.on_start(&mut h.ctx());
+        assert!(!s.hierarchy().unwrap().contains(NodeId(2)));
+
+        // Contacts involving the orphan must not panic (they used to trip
+        // hierarchy path lookups mid-maintenance).
+        h.current_version = 1;
+        h.now = SimTime::from_secs(50.0);
+        s.on_contact(NodeId(1), NodeId(2), &mut h.ctx());
+        s.on_contact(NodeId(2), NodeId(1), &mut h.ctx());
+
+        // The crash rejoin re-inserts the orphan under the root.
+        h.now = SimTime::from_secs(100.0);
+        s.on_state_loss(NodeId(2), &mut h.ctx());
+        let tree = s.hierarchy().unwrap();
+        assert_eq!(tree.parent_of(NodeId(2)), Some(NodeId(0)));
+        assert!(tree.members().contains(&NodeId(2)));
+        tree.validate(Some(2)).unwrap();
+        assert_eq!(h.extras.get("crash-reattaches"), 1);
+        // The install-time membership sweep correctly flagged the stale
+        // plan's orphan; after the repair, no further violation accrues.
+        let before = h.world.oracle_report().total();
+        s.on_finish(&mut h.ctx());
+        assert_eq!(h.world.oracle_report().total(), before);
+    }
+
+    /// The other half of the re-attachment race: the root is at its
+    /// fanout bound when the amnesiac node tries to come home. It must
+    /// attach under the shallowest open host instead of being skipped.
+    #[test]
+    fn state_loss_falls_back_to_an_open_host_when_the_root_is_full() {
+        let g = graph();
+        let mut rng = omn_sim::RngFactory::new(1).stream("h");
+        // 0→{1, 2}, 2→{3}: the root is full at fanout 2.
+        let mut tree = crate::hierarchy::RefreshHierarchy::build(
+            NodeId(0),
+            &[NodeId(1), NodeId(2)],
+            &g,
+            HierarchyStrategy::Star,
+            &mut rng,
+        );
+        tree.attach_member(NodeId(3), NodeId(2), Some(2)).unwrap();
+        let mut h = CtxHarness::new(g, NodeId(0), vec![NodeId(1), NodeId(2), NodeId(3)]);
+        let mut s = HierarchicalScheme::with_fixed_plan(
+            HierarchicalConfig {
+                strategy: HierarchyStrategy::GreedySed { fanout: Some(2) },
+                ..HierarchicalConfig::default()
+            },
+            tree,
+            std::collections::HashMap::new(),
+        );
+        s.on_start(&mut h.ctx());
+        h.now = SimTime::from_secs(100.0);
+        s.on_state_loss(NodeId(3), &mut h.ctx());
+        let tree = s.hierarchy().unwrap();
+        // Root full → breadth-first fallback lands on child 1.
+        assert_eq!(tree.parent_of(NodeId(3)), Some(NodeId(1)));
+        tree.validate(Some(2)).unwrap();
+        assert_eq!(h.extras.get("crash-reattaches"), 1);
+        assert!(h.world.oracle_report().is_clean());
+    }
 }

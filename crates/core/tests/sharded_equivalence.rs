@@ -1,0 +1,191 @@
+//! Property: the window-barrier parallel sharded pipeline
+//! ([`ParallelShardedSource`]) is observationally *bit-identical* to the
+//! serial k-way merge ([`ShardedCommunitySource`]) all the way through a
+//! full freshness run — not merely "statistically similar". Final member
+//! versions, the time-weighted mean freshness down to the last `f64` bit,
+//! transmission totals and their per-node attribution, replica counts,
+//! and oracle verdicts all coincide for any thread count and any window
+//! size, with or without an injected fault plan.
+//!
+//! This is the determinism contract of the sharded engine (the
+//! window-barrier merge replays the serial heap's per-stream-FIFO order
+//! exactly; the protocol replay itself stays serial), pinned across
+//! random worlds in the style of `replay_equivalence`.
+
+use omn_contacts::faults::{DowntimeConfig, FaultConfig};
+use omn_contacts::synth::sharded::{
+    ParallelShardedSource, ShardedCommunityConfig, ShardedCommunitySource,
+};
+use omn_contacts::{ContactGraph, ContactSource, NodeId};
+use omn_core::hierarchy::HierarchyStrategy;
+use omn_core::scheme::{HierarchicalConfig, HierarchicalScheme, PlanningMode};
+use omn_core::sim::{FreshnessConfig, FreshnessReport, FreshnessSimulator, StreamStats};
+use omn_sim::{OracleMode, RngFactory, SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn world(
+    seed: u64,
+    nodes: usize,
+    shards: usize,
+    hours: f64,
+) -> (ShardedCommunityConfig, RngFactory) {
+    let factory = RngFactory::new(seed);
+    let config = ShardedCommunityConfig::new(nodes, shards, SimDuration::from_hours(hours))
+        .bridge_rate(1.0 / (2.0 * 3600.0));
+    (config, factory)
+}
+
+fn simulator(faults: Option<FaultConfig>) -> FreshnessSimulator {
+    FreshnessSimulator::new(FreshnessConfig {
+        refresh_period: SimDuration::from_secs(4.0 * 3600.0),
+        query_count: 0,
+        lifetime: None,
+        oracle_mode: OracleMode::Campaign,
+        faults,
+        ..FreshnessConfig::default()
+    })
+}
+
+fn scheme() -> HierarchicalScheme {
+    HierarchicalScheme::new(HierarchicalConfig {
+        strategy: HierarchyStrategy::GreedySed { fanout: Some(3) },
+        replication: None,
+        max_relays: 2,
+        rebuild_every: None,
+        reparent: true,
+        planning: PlanningMode::Oracle,
+        resilience: None,
+    })
+}
+
+/// Roles come from one serial warm-up pass so every run under comparison
+/// uses the exact same root, members, and planning oracle.
+fn roles(
+    sim: &FreshnessSimulator,
+    config: &ShardedCommunityConfig,
+    factory: &RngFactory,
+) -> (NodeId, Vec<NodeId>, ContactGraph) {
+    let cutoff = SimTime::from_secs((6.0_f64 * 3600.0).min(config.span.as_secs() / 2.0));
+    let mut warmup = ShardedCommunitySource::new(config, factory);
+    sim.select_roles_streamed(&mut warmup, cutoff)
+}
+
+fn run_with<S: ContactSource>(
+    sim: &FreshnessSimulator,
+    contacts: S,
+    oracle: &ContactGraph,
+    root: NodeId,
+    members: &[NodeId],
+    factory: &RngFactory,
+) -> (FreshnessReport, StreamStats) {
+    let mut scheme = scheme();
+    sim.run_streamed(contacts, oracle, root, members, &mut scheme, factory)
+}
+
+/// Every observable a downstream experiment folds over must coincide
+/// exactly; `mean_freshness` is compared at the bit level because the
+/// time-weighted accumulation order is part of the contract.
+fn assert_bit_identical(label: &str, a: &FreshnessReport, b: &FreshnessReport) {
+    assert_eq!(
+        a.final_member_versions, b.final_member_versions,
+        "{label}: versions"
+    );
+    assert_eq!(
+        a.mean_freshness.to_bits(),
+        b.mean_freshness.to_bits(),
+        "{label}: mean freshness {} vs {}",
+        a.mean_freshness,
+        b.mean_freshness
+    );
+    assert_eq!(a.transmissions, b.transmissions, "{label}: transmissions");
+    assert_eq!(
+        a.per_node_transmissions, b.per_node_transmissions,
+        "{label}: per-node tx"
+    );
+    assert_eq!(a.replicas, b.replicas, "{label}: replicas");
+    assert_eq!(a.version_count, b.version_count, "{label}: versions born");
+    assert_eq!(
+        a.oracle.total(),
+        b.oracle.total(),
+        "{label}: oracle violations"
+    );
+}
+
+fn chaos(seed_bit: bool) -> FaultConfig {
+    FaultConfig {
+        transmission_loss: 0.2,
+        contact_failure: 0.1,
+        crashes: seed_bit.then(|| DowntimeConfig {
+            node_fraction: 0.3,
+            mean_uptime: SimDuration::from_hours(6.0),
+            mean_downtime: SimDuration::from_hours(1.0),
+            exempt: None,
+        }),
+        ..FaultConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// `sharded(threads=k, any window) == sharded(threads=1) == serial`
+    /// across random worlds, shard counts, and window sizes, fault-free.
+    #[test]
+    fn parallel_run_is_bit_identical_to_serial(
+        seed in any::<u64>(),
+        nodes in 20usize..60,
+        shards in 1usize..6,
+        hours in 12u32..28,
+        threads in 2usize..5,
+        divisor in 3u32..40,
+    ) {
+        let shards = shards.min(nodes);
+        let (config, factory) = world(seed, nodes, shards, f64::from(hours));
+        let sim = simulator(None);
+        let (root, members, oracle) = roles(&sim, &config, &factory);
+        prop_assert!(!members.is_empty(), "warm-up window produced no members");
+
+        let serial = ShardedCommunitySource::new(&config, &factory);
+        let (base, base_stats) = run_with(&sim, serial, &oracle, root, &members, &factory);
+
+        let one = ParallelShardedSource::new(&config, &factory, 1);
+        let (r1, s1) = run_with(&sim, one, &oracle, root, &members, &factory);
+        assert_bit_identical("threads=1", &base, &r1);
+        prop_assert_eq!(base_stats.contacts_total, s1.contacts_total);
+
+        let window = config.span / f64::from(divisor);
+        let many = ParallelShardedSource::with_window(&config, &factory, threads, window);
+        let (rk, sk) = run_with(&sim, many, &oracle, root, &members, &factory);
+        assert_bit_identical("threads=k", &base, &rk);
+        prop_assert_eq!(base_stats.contacts_total, sk.contacts_total);
+        prop_assert!(base.oracle.is_clean());
+    }
+
+    /// The same identity holds under an injected fault plan (loss, dead
+    /// contacts, optionally crash-with-state-loss churn): the plan is
+    /// materialized from the shared factory and indexes contacts by their
+    /// merged global order, which the parallel merge reproduces exactly.
+    #[test]
+    fn parallel_run_is_bit_identical_under_faults(
+        seed in any::<u64>(),
+        nodes in 20usize..48,
+        shards in 2usize..5,
+        threads in 2usize..5,
+        divisor in 3u32..24,
+        crashes in any::<bool>(),
+    ) {
+        let shards = shards.min(nodes);
+        let (config, factory) = world(seed, nodes, shards, 18.0);
+        let sim = simulator(Some(chaos(crashes)));
+        let (root, members, oracle) = roles(&sim, &config, &factory);
+        prop_assert!(!members.is_empty(), "warm-up window produced no members");
+
+        let serial = ShardedCommunitySource::new(&config, &factory);
+        let (base, _) = run_with(&sim, serial, &oracle, root, &members, &factory);
+
+        let window = config.span / f64::from(divisor);
+        let many = ParallelShardedSource::with_window(&config, &factory, threads, window);
+        let (rk, _) = run_with(&sim, many, &oracle, root, &members, &factory);
+        assert_bit_identical("faulted threads=k", &base, &rk);
+    }
+}

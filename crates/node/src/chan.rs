@@ -12,7 +12,7 @@
 use std::collections::VecDeque;
 use std::future::Future;
 use std::pin::Pin;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::task::{Context, Poll, Waker};
 
 /// The send side of the channel was used after the receiver went away.
@@ -45,6 +45,16 @@ struct Shared<T> {
 }
 
 impl<T> Shared<T> {
+    /// Locks the channel state, recovering from a poisoned mutex. Every
+    /// critical section in this module finishes its queue/counter
+    /// mutation before touching anything that can panic, so the state a
+    /// panicking peer left behind is still coherent — cascading its
+    /// panic into every other task sharing the channel would turn one
+    /// task failure into a whole-runtime abort.
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     fn wake_receiver(state: &mut State<T>) -> Option<Waker> {
         state.recv_waker.take()
     }
@@ -92,11 +102,7 @@ impl<T> std::fmt::Debug for Sender<T> {
 
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Sender<T> {
-        self.shared
-            .state
-            .lock()
-            .expect("channel state poisoned")
-            .senders += 1;
+        self.shared.lock().senders += 1;
         Sender {
             shared: Arc::clone(&self.shared),
         }
@@ -106,7 +112,7 @@ impl<T> Clone for Sender<T> {
 impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
         let waker = {
-            let mut state = self.shared.state.lock().expect("channel state poisoned");
+            let mut state = self.shared.lock();
             state.senders -= 1;
             if state.senders == 0 {
                 Shared::wake_receiver(&mut state)
@@ -139,7 +145,7 @@ impl<T> Sender<T> {
     /// supervisor's dispatch lane *is* capacity-bounded). Fails if the
     /// receiver has been dropped.
     pub fn send_relaxed(&self, value: T) -> Result<(), Closed> {
-        let mut state = self.shared.state.lock().expect("channel state poisoned");
+        let mut state = self.shared.lock();
         if !state.receiver_alive {
             return Err(Closed);
         }
@@ -156,7 +162,7 @@ impl<T> Sender<T> {
     /// Sends `value` from a plain thread, blocking while the queue is
     /// full. Fails if the receiver has been dropped.
     pub fn send_blocking(&self, value: T) -> Result<(), Closed> {
-        let mut state = self.shared.state.lock().expect("channel state poisoned");
+        let mut state = self.shared.lock();
         loop {
             if !state.receiver_alive {
                 return Err(Closed);
@@ -175,7 +181,7 @@ impl<T> Sender<T> {
                 .shared
                 .send_ready
                 .wait(state)
-                .expect("channel state poisoned");
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 }
@@ -201,13 +207,18 @@ impl<T> Future for SendFuture<'_, T> {
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
         let this = self.get_mut();
-        let mut state = this.shared.state.lock().expect("channel state poisoned");
+        let mut state = this.shared.lock();
         if !state.receiver_alive {
             this.value = None;
             return Poll::Ready(Err(Closed));
         }
         if state.queue.len() < state.capacity {
-            let value = this.value.take().expect("send future polled after ready");
+            // Polling again after completion is a caller bug, but a
+            // recoverable one: the value is long gone, so report the
+            // send as failed instead of tearing the task down.
+            let Some(value) = this.value.take() else {
+                return Poll::Ready(Err(Closed));
+            };
             state.queue.push_back(value);
             let waker = Shared::wake_receiver(&mut state);
             drop(state);
@@ -237,7 +248,7 @@ impl<T> std::fmt::Debug for Receiver<T> {
 impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
         let wakers = {
-            let mut state = self.shared.state.lock().expect("channel state poisoned");
+            let mut state = self.shared.lock();
             state.receiver_alive = false;
             Shared::wake_senders(&mut state)
         };
@@ -260,7 +271,7 @@ impl<T> Receiver<T> {
     /// Receives from a plain thread, blocking while the queue is empty;
     /// `None` once every sender has dropped and the queue is drained.
     pub fn recv_blocking(&mut self) -> Option<T> {
-        let mut state = self.shared.state.lock().expect("channel state poisoned");
+        let mut state = self.shared.lock();
         loop {
             if let Some(v) = state.queue.pop_front() {
                 let wakers = Shared::wake_senders(&mut state);
@@ -278,13 +289,13 @@ impl<T> Receiver<T> {
                 .shared
                 .recv_ready
                 .wait(state)
-                .expect("channel state poisoned");
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Pops an item if one is queued, without waiting.
     pub fn try_recv(&mut self) -> Option<T> {
-        let mut state = self.shared.state.lock().expect("channel state poisoned");
+        let mut state = self.shared.lock();
         let v = state.queue.pop_front()?;
         let wakers = Shared::wake_senders(&mut state);
         drop(state);
@@ -311,7 +322,7 @@ impl<T> Future for RecvFuture<'_, T> {
     type Output = Option<T>;
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
-        let mut state = self.shared.state.lock().expect("channel state poisoned");
+        let mut state = self.shared.lock();
         if let Some(v) = state.queue.pop_front() {
             let wakers = Shared::wake_senders(&mut state);
             drop(state);
@@ -363,6 +374,23 @@ mod tests {
         tx.send_blocking(7).unwrap();
         assert_eq!(rx.try_recv(), Some(7));
         assert_eq!(rx.try_recv(), None);
+    }
+
+    #[test]
+    fn send_future_reports_closed_when_polled_after_completion() {
+        struct Noop;
+        impl std::task::Wake for Noop {
+            fn wake(self: Arc<Self>) {}
+        }
+        let waker = Waker::from(Arc::new(Noop));
+        let mut cx = Context::from_waker(&waker);
+        let (tx, mut rx) = channel::<u64>(2);
+        let mut fut = tx.send(5);
+        assert_eq!(Pin::new(&mut fut).poll(&mut cx), Poll::Ready(Ok(())));
+        // The value was consumed by the first poll; a second poll is a
+        // caller bug and reports failure instead of panicking.
+        assert_eq!(Pin::new(&mut fut).poll(&mut cx), Poll::Ready(Err(Closed)));
+        assert_eq!(rx.try_recv(), Some(5));
     }
 
     #[test]

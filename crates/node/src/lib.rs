@@ -43,4 +43,4 @@ pub mod transport;
 
 pub use codec::CodecError;
 pub use report::{FirehoseReport, NodeReport, RuntimeReport};
-pub use runtime::{run_firehose, run_lockstep, RuntimeConfig};
+pub use runtime::{run_firehose, run_lockstep, RuntimeConfig, RuntimeError};

@@ -63,6 +63,9 @@ pub struct RuntimeReport {
     pub messages_received: u64,
     /// Received frames dropped as undecodable.
     pub decode_errors: u64,
+    /// Supervisor-side channel failures: a node task died or a handshake
+    /// ack went missing, aborting the replay. 0 on a healthy run.
+    pub channel_errors: u64,
     /// Invariant-oracle verdict for the run.
     pub oracle: OracleReport,
 }
@@ -83,6 +86,9 @@ pub struct FirehoseReport {
     pub messages_received: u64,
     /// Received frames dropped as undecodable.
     pub decode_errors: u64,
+    /// Supervisor-side channel failures (dead node tasks, lost acks).
+    /// 0 on a healthy run.
+    pub channel_errors: u64,
     /// Wall-clock time from first dispatch to full drain.
     pub elapsed: std::time::Duration,
 }

@@ -12,7 +12,7 @@ use std::collections::VecDeque;
 use std::future::Future;
 use std::pin::Pin;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::task::{Context, Poll, Wake, Waker};
 use std::thread::JoinHandle;
 
@@ -23,6 +23,16 @@ struct Shared {
     ready: Mutex<VecDeque<Arc<Task>>>,
     available: Condvar,
     shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Locks the ready queue, recovering from a poisoned mutex: a worker
+    /// that panicked inside a task poll never leaves the queue itself
+    /// half-mutated (pushes and pops are single operations), so the
+    /// remaining workers can keep scheduling the surviving tasks.
+    fn ready(&self) -> MutexGuard<'_, VecDeque<Arc<Task>>> {
+        self.ready.lock().unwrap_or_else(PoisonError::into_inner)
+    }
 }
 
 /// One spawned task. `queued` deduplicates wakeups: a task is pushed onto
@@ -37,11 +47,7 @@ impl Wake for Task {
     fn wake(self: Arc<Self>) {
         if !self.queued.swap(true, Ordering::AcqRel) {
             let shared = Arc::clone(&self.shared);
-            shared
-                .ready
-                .lock()
-                .expect("executor queue poisoned")
-                .push_back(self);
+            shared.ready().push_back(self);
             shared.available.notify_one();
         }
     }
@@ -121,7 +127,7 @@ impl Drop for Executor {
 fn worker(shared: &Arc<Shared>) {
     loop {
         let task = {
-            let mut ready = shared.ready.lock().expect("executor queue poisoned");
+            let mut ready = shared.ready();
             loop {
                 if let Some(t) = ready.pop_front() {
                     break t;
@@ -132,7 +138,7 @@ fn worker(shared: &Arc<Shared>) {
                 ready = shared
                     .available
                     .wait(ready)
-                    .expect("executor queue poisoned");
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
         // Clear the dedup flag *before* polling: a wake that lands during
@@ -141,7 +147,17 @@ fn worker(shared: &Arc<Shared>) {
         task.queued.store(false, Ordering::Release);
         let waker = Waker::from(Arc::clone(&task));
         let mut cx = Context::from_waker(&waker);
-        let mut slot = task.future.lock().expect("task future poisoned");
+        let mut slot = match task.future.lock() {
+            Ok(slot) => slot,
+            // The task panicked mid-poll on another worker: its future
+            // is in an unknown state and must never be polled again.
+            // Drop it in place; the rest of the pool keeps running.
+            Err(poisoned) => {
+                let mut slot = poisoned.into_inner();
+                *slot = None;
+                slot
+            }
+        };
         if let Some(fut) = slot.as_mut() {
             if let Poll::Ready(()) = fut.as_mut().poll(&mut cx) {
                 *slot = None;

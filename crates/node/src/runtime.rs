@@ -68,6 +68,36 @@ impl RuntimeConfig {
     }
 }
 
+/// A runtime-internal channel or handshake failure: a node task died (or
+/// a channel closed) while the supervisor still needed it. The
+/// supervisors recover by aborting the replay and reporting the tally in
+/// [`RuntimeReport::channel_errors`] / [`FirehoseReport::channel_errors`]
+/// instead of panicking mid-run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// A node's inbox closed while the supervisor was dispatching to it.
+    InboxClosed(NodeId),
+    /// The shared ack channel closed before the expected reply arrived.
+    AckChannelClosed,
+    /// A node replied out of protocol: the wrong ack for the handshake
+    /// step (named by the reply the supervisor was waiting for).
+    UnexpectedAck(&'static str),
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::InboxClosed(n) => write!(f, "inbox of node {n} closed"),
+            RuntimeError::AckChannelClosed => write!(f, "ack channel closed"),
+            RuntimeError::UnexpectedAck(step) => {
+                write!(f, "unexpected ack while waiting for {step}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
 /// Everything a node task can be told.
 enum NodeMsg {
     /// Lockstep: report your [`PeerSummary`] (acked with
@@ -206,7 +236,14 @@ impl NodeTask {
         for effect in effects {
             match effect {
                 Effect::Send { to, msg } => {
-                    let tx = peer_tx.expect("Send effect outside a link context");
+                    // A Send effect is only honorable inside a link
+                    // context; a protocol emitting one elsewhere is a
+                    // bug, but dropping the frame and recording it keeps
+                    // the rest of the network running.
+                    let Some(tx) = peer_tx else {
+                        bump(&mut self.counts, "send-effect-without-link", 1);
+                        continue;
+                    };
                     self.wire_send(t, to, &msg, tx);
                 }
                 Effect::CacheWrite { version } => {
@@ -360,20 +397,22 @@ struct Lockstep {
 }
 
 impl Lockstep {
-    fn expect_flush_done(&mut self) {
+    fn expect_flush_done(&mut self) -> Result<(), RuntimeError> {
         match self.acks.recv_blocking() {
-            Some(Ack::FlushDone) => {}
-            _ => unreachable!("node task hung up before FlushDone"),
+            Some(Ack::FlushDone) => Ok(()),
+            Some(_) => Err(RuntimeError::UnexpectedAck("FlushDone")),
+            None => Err(RuntimeError::AckChannelClosed),
         }
     }
 
     /// Flushes `node` and absorbs the events its queued work produced.
-    fn flush_and_drain(&mut self, node: NodeId) {
+    fn flush_and_drain(&mut self, node: NodeId) -> Result<(), RuntimeError> {
         self.inboxes[node.index()]
             .send_blocking(NodeMsg::Flush)
-            .expect("node inbox closed");
-        self.expect_flush_done();
+            .map_err(|_| RuntimeError::InboxClosed(node))?;
+        self.expect_flush_done()?;
         self.drain_events();
+        Ok(())
     }
 
     fn drain_events(&mut self) {
@@ -404,17 +443,18 @@ impl Lockstep {
 
     /// Fires every pending birth at or before `upto` (the DES orders
     /// births before contacts at equal instants).
-    fn fire_births_through(&mut self, upto: SimTime) {
+    fn fire_births_through(&mut self, upto: SimTime) -> Result<(), RuntimeError> {
         while let Some(&Reverse((at, node, version))) = self.wheel.peek() {
             if at > upto {
                 break;
             }
             self.wheel.pop();
-            self.fire_birth(at, NodeId(node), version);
+            self.fire_birth(at, NodeId(node), version)?;
         }
+        Ok(())
     }
 
-    fn fire_birth(&mut self, at: SimTime, node: NodeId, version: u64) {
+    fn fire_birth(&mut self, at: SimTime, node: NodeId, version: u64) -> Result<(), RuntimeError> {
         self.world.advance_to(at);
         self.world.oracle_timer("birth");
         self.current_version = version;
@@ -423,49 +463,53 @@ impl Lockstep {
                 t: at,
                 kind: TimerKind::VersionBirth(version),
             })
-            .expect("node inbox closed");
-        self.flush_and_drain(node);
+            .map_err(|_| RuntimeError::InboxClosed(node))?;
+        self.flush_and_drain(node)?;
         // A birth always re-marks freshness, even when nothing changed —
         // the DES's on_birth discipline.
         self.tracker.set_fresh(self.fresh_count(), at);
+        Ok(())
     }
 
     /// Replays one contact as two quiesced directional passes.
-    fn contact(&mut self, at: SimTime, a: NodeId, b: NodeId) {
+    fn contact(&mut self, at: SimTime, a: NodeId, b: NodeId) -> Result<(), RuntimeError> {
         if self.world.has_oracles() {
             self.world.advance_to(at);
             self.world.oracle_contact(u64::from(a.0), u64::from(b.0));
         }
         for (x, y) in [(a, b), (b, a)] {
-            let summary = self.probe(y);
+            let summary = self.probe(y)?;
             self.inboxes[x.index()]
                 .send_blocking(NodeMsg::LinkUp {
                     t: at,
                     peer: summary,
                     peer_tx: self.inboxes[y.index()].clone(),
                 })
-                .expect("node inbox closed");
+                .map_err(|_| RuntimeError::InboxClosed(x))?;
             match self.acks.recv_blocking() {
                 Some(Ack::PassDone) => {}
-                _ => unreachable!("node task hung up before PassDone"),
+                Some(_) => return Err(RuntimeError::UnexpectedAck("PassDone")),
+                None => return Err(RuntimeError::AckChannelClosed),
             }
             // FIFO: y's inbox already holds any frame x wired to it, so
             // this flush certifies the absorb happened and is drained.
-            self.flush_and_drain(y);
+            self.flush_and_drain(y)?;
         }
         let fresh = self.fresh_count();
         if fresh != self.tracker.fresh_count() {
             self.tracker.set_fresh(fresh, at);
         }
+        Ok(())
     }
 
-    fn probe(&mut self, node: NodeId) -> PeerSummary {
+    fn probe(&mut self, node: NodeId) -> Result<PeerSummary, RuntimeError> {
         self.inboxes[node.index()]
             .send_blocking(NodeMsg::Probe)
-            .expect("node inbox closed");
+            .map_err(|_| RuntimeError::InboxClosed(node))?;
         match self.acks.recv_blocking() {
-            Some(Ack::Summary(s)) => s,
-            _ => unreachable!("node task hung up before Summary"),
+            Some(Ack::Summary(s)) => Ok(s),
+            Some(_) => Err(RuntimeError::UnexpectedAck("Summary")),
+            None => Err(RuntimeError::AckChannelClosed),
         }
     }
 
@@ -484,11 +528,15 @@ impl Lockstep {
 /// `tree` is required in [`ProtocolMode::HierTree`] and must be the same
 /// tree the DES's scheme builds (root, members, oracle contact graph).
 ///
+/// Internal runtime failures (a node task dying mid-handshake, a closed
+/// channel) abort the replay instead of panicking: the remaining events
+/// are skipped and the failure count lands in
+/// [`RuntimeReport::channel_errors`] (0 on a healthy run).
+///
 /// # Panics
 ///
-/// Panics on an internal runtime protocol violation (a node task dying
-/// mid-handshake) and, in [`OracleMode::Strict`], on the first invariant
-/// violation — exactly like the DES.
+/// Panics in [`OracleMode::Strict`] on the first invariant violation —
+/// exactly like the DES.
 #[must_use]
 pub fn run_lockstep<S: ContactSource>(
     contacts: S,
@@ -532,41 +580,73 @@ pub fn run_lockstep<S: ContactSource>(
         wheel: BinaryHeap::new(),
     };
 
+    let mut channel_errors = 0u64;
+
     // Start barrier: every task runs on_start before its first flush ack,
     // which seeds the timer wheel with the root's first birth.
+    let mut started = 0usize;
     for i in 0..node_count {
-        sup.inboxes[i]
-            .send_blocking(NodeMsg::Flush)
-            .expect("node inbox closed");
+        if sup.inboxes[i].send_blocking(NodeMsg::Flush).is_ok() {
+            started += 1;
+        } else {
+            channel_errors += 1;
+        }
     }
-    for _ in 0..node_count {
-        sup.expect_flush_done();
+    for _ in 0..started {
+        if sup.expect_flush_done().is_err() {
+            channel_errors += 1;
+            break;
+        }
     }
     sup.drain_events();
 
     let mut link = LinkEvents::new(contacts);
+    let mut aborted = false;
     while let Some(ev) = link.next_event() {
-        sup.fire_births_through(ev.at);
-        if ev.kind == LinkEventKind::Up {
-            sup.contact(ev.at, ev.pair.0, ev.pair.1);
+        let step = sup.fire_births_through(ev.at).and_then(|()| {
+            if ev.kind == LinkEventKind::Up {
+                sup.contact(ev.at, ev.pair.0, ev.pair.1)
+            } else {
+                Ok(())
+            }
+        });
+        if step.is_err() {
+            // The network is wedged (a task died mid-handshake); replay
+            // cannot continue deterministically, so stop here and let
+            // the report carry the error count.
+            channel_errors += 1;
+            aborted = true;
+            break;
         }
     }
     // Births after the final contact still fire: they drive freshness
     // decay even though no node can react any more.
-    sup.fire_births_through(span);
+    if !aborted && sup.fire_births_through(span).is_err() {
+        channel_errors += 1;
+    }
 
     // Shutdown: collect per-node tallies, then drain any final events.
+    let mut expected = 0usize;
     for i in 0..node_count {
-        sup.inboxes[i]
+        if sup.inboxes[i]
             .send_blocking(NodeMsg::Shutdown { t: span })
-            .expect("node inbox closed");
+            .is_ok()
+        {
+            expected += 1;
+        } else {
+            channel_errors += 1;
+        }
     }
-    let mut reports: Vec<NodeReport> = Vec::with_capacity(node_count);
-    for _ in 0..node_count {
+    let mut reports: Vec<NodeReport> = Vec::with_capacity(expected);
+    while reports.len() < expected {
         match sup.acks.recv_blocking() {
             Some(Ack::Done(r)) => reports.push(r),
-            Some(_) => unreachable!("unexpected ack during shutdown"),
-            None => unreachable!("node task hung up before Done"),
+            // A stray ack from an aborted handshake; skip it.
+            Some(_) => channel_errors += 1,
+            None => {
+                channel_errors += 1;
+                break;
+            }
         }
     }
     sup.drain_events();
@@ -628,6 +708,7 @@ pub fn run_lockstep<S: ContactSource>(
         final_member_versions,
         messages_received,
         decode_errors,
+        channel_errors,
         oracle,
     }
 }
@@ -668,71 +749,98 @@ pub fn run_firehose<S: ContactSource>(
     let mut link = LinkEvents::new(contacts);
     let mut next_birth = 0usize;
     let mut contact_count = 0u64;
-    let dispatch = |at: SimTime, a: NodeId, b: NodeId| {
-        for (x, y) in [(a, b), (b, a)] {
-            inboxes[x.index()]
-                .send_blocking(NodeMsg::Announce {
-                    t: at,
-                    peer: y,
-                    peer_tx: inboxes[y.index()].clone(),
-                })
-                .expect("node inbox closed");
-        }
-    };
+    let mut channel_errors = 0u64;
     while let Some(ev) = link.next_event() {
         while next_birth < births.len() && births[next_birth] <= ev.at {
-            inboxes[root.index()]
+            if inboxes[root.index()]
                 .send_blocking(NodeMsg::Timer {
                     t: births[next_birth],
                     kind: TimerKind::VersionBirth(next_birth as u64 + 1),
                 })
-                .expect("root inbox closed");
+                .is_err()
+            {
+                channel_errors += 1;
+            }
             next_birth += 1;
         }
         if ev.kind == LinkEventKind::Up {
             contact_count += 1;
-            dispatch(ev.at, ev.pair.0, ev.pair.1);
+            for (x, y) in [(ev.pair.0, ev.pair.1), (ev.pair.1, ev.pair.0)] {
+                if inboxes[x.index()]
+                    .send_blocking(NodeMsg::Announce {
+                        t: ev.at,
+                        peer: y,
+                        peer_tx: inboxes[y.index()].clone(),
+                    })
+                    .is_err()
+                {
+                    channel_errors += 1;
+                }
+            }
         }
     }
     while next_birth < births.len() {
-        inboxes[root.index()]
+        if inboxes[root.index()]
             .send_blocking(NodeMsg::Timer {
                 t: births[next_birth],
                 kind: TimerKind::VersionBirth(next_birth as u64 + 1),
             })
-            .expect("root inbox closed");
+            .is_err()
+        {
+            channel_errors += 1;
+        }
         next_birth += 1;
     }
 
     // Quiesce: each round's flush certifies one causality hop has fully
     // drained (announce → summary frame → refresh frame → absorb).
     for _ in 0..3 {
+        let mut expected = 0usize;
         for tx in &inboxes {
-            tx.send_blocking(NodeMsg::Flush).expect("node inbox closed");
+            if tx.send_blocking(NodeMsg::Flush).is_ok() {
+                expected += 1;
+            } else {
+                channel_errors += 1;
+            }
         }
-        for _ in 0..node_count {
+        let mut done = 0usize;
+        while done < expected {
             match acks.recv_blocking() {
-                Some(Ack::FlushDone) => {}
-                _ => unreachable!("node task hung up before FlushDone"),
+                Some(Ack::FlushDone) => done += 1,
+                Some(_) => channel_errors += 1,
+                None => {
+                    channel_errors += 1;
+                    break;
+                }
             }
         }
     }
 
+    let mut expected = 0usize;
     for tx in &inboxes {
-        tx.send_blocking(NodeMsg::Shutdown { t: span })
-            .expect("node inbox closed");
+        if tx.send_blocking(NodeMsg::Shutdown { t: span }).is_ok() {
+            expected += 1;
+        } else {
+            channel_errors += 1;
+        }
     }
     let mut messages_sent = 0;
     let mut messages_received = 0;
     let mut decode_errors = 0;
-    for _ in 0..node_count {
+    let mut done = 0usize;
+    while done < expected {
         match acks.recv_blocking() {
             Some(Ack::Done(r)) => {
                 messages_sent += r.msgs_sent;
                 messages_received += r.msgs_received;
                 decode_errors += r.decode_errors;
+                done += 1;
             }
-            _ => unreachable!("node task hung up before Done"),
+            Some(_) => channel_errors += 1,
+            None => {
+                channel_errors += 1;
+                break;
+            }
         }
     }
     let elapsed = start.elapsed();
@@ -745,6 +853,7 @@ pub fn run_firehose<S: ContactSource>(
         messages_sent,
         messages_received,
         decode_errors,
+        channel_errors,
         elapsed,
     }
 }

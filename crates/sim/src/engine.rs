@@ -189,6 +189,34 @@ impl<E> Engine<E> {
         }
     }
 
+    /// Delivers the next event at or before `bound`, advancing the clock to
+    /// its timestamp.
+    ///
+    /// This is the window-barrier stepping primitive for sharded runs: a
+    /// sub-engine is drained `while let Some(ev) = e.next_event_through(to)`
+    /// inside each synchronization window. Returns `None` once every
+    /// remaining event lies strictly after `bound` (or after the horizon);
+    /// the clock then advances to `bound` — clamped to the horizon — so the
+    /// engine stands exactly at the barrier and follow-up events scheduled
+    /// from the next window can never be in its past.
+    pub fn next_event_through(&mut self, bound: SimTime) -> Option<ScheduledEvent<E>> {
+        let limit = match self.horizon {
+            Some(h) => h.min(bound),
+            None => bound,
+        };
+        match self.queue.peek_time() {
+            Some(t) if t <= limit => {
+                let (time, payload) = self.queue.pop().expect("peeked event must pop");
+                self.now = time;
+                Some(ScheduledEvent { time, payload })
+            }
+            _ => {
+                self.now = self.now.max(limit);
+                None
+            }
+        }
+    }
+
     /// Runs the simulation to completion (or to the horizon), invoking
     /// `handler` for each event. The handler receives the engine so it can
     /// schedule follow-up events.
@@ -289,6 +317,42 @@ mod tests {
         e.schedule_at(t(1.0), "second");
         assert_eq!(e.next_event().unwrap().payload, "first");
         assert_eq!(e.next_event().unwrap().payload, "second");
+    }
+
+    #[test]
+    fn next_event_through_stops_at_the_barrier() {
+        let mut e = Engine::new();
+        e.schedule_at(t(1.0), "a");
+        e.schedule_at(t(5.0), "b");
+        e.schedule_at(t(5.0), "c");
+        e.schedule_at(t(9.0), "d");
+        let mut first = Vec::new();
+        while let Some(ev) = e.next_event_through(t(5.0)) {
+            first.push(ev.payload);
+        }
+        assert_eq!(first, ["a", "b", "c"]);
+        assert_eq!(e.now(), t(5.0));
+        assert_eq!(e.pending(), 1);
+        // The next window picks up exactly where the barrier left off.
+        assert_eq!(
+            e.next_event_through(t(10.0)).map(|ev| ev.payload),
+            Some("d")
+        );
+        assert!(e.next_event_through(t(10.0)).is_none());
+        assert_eq!(e.now(), t(10.0));
+    }
+
+    #[test]
+    fn next_event_through_respects_horizon() {
+        let mut e = Engine::with_horizon(t(4.0));
+        e.schedule_at(t(3.0), 1);
+        e.schedule_at(t(6.0), 2);
+        assert_eq!(e.next_event_through(t(10.0)).map(|ev| ev.payload), Some(1));
+        // The barrier is clamped to the horizon: the t=6 event stays
+        // pending and the clock stops at the horizon, not the bound.
+        assert!(e.next_event_through(t(10.0)).is_none());
+        assert_eq!(e.now(), t(4.0));
+        assert_eq!(e.pending(), 1);
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub mod metrics;
 pub mod oracle;
 mod queue;
 mod rng;
+mod shard;
 pub mod stats;
 mod time;
 mod world;
@@ -64,5 +65,6 @@ pub use engine::{Engine, ScheduledEvent};
 pub use oracle::{InvariantOracle, OracleMode, OracleObs, OracleReport, OracleSink, Violation};
 pub use queue::{EventClass, EventHandle, EventQueue};
 pub use rng::{split_mix64, RngFactory};
+pub use shard::{ShardWindow, ShardWorker, ShardedRunner};
 pub use time::{SimDuration, SimTime, TimeError};
 pub use world::{SimWorld, World};

@@ -1,0 +1,439 @@
+//! Windowed shard execution: per-shard workers advanced in lockstep
+//! time windows, optionally on a pool of OS threads.
+//!
+//! This is the intra-seed counterpart of the per-seed `per_seed` runner in
+//! `omn-bench`: one *world* is partitioned into shards, each shard produces
+//! its slice of the workload window by window, and the windows are
+//! reassembled **in shard order** at every barrier. Because each worker owns
+//! its own RNG stream (split off a [`crate::RngFactory`]) and the reassembly
+//! order is fixed, the merged output is bit-identical for any thread count —
+//! `sharded(k)` on `n` threads equals `sharded(k)` on one thread equals the
+//! fully serial run.
+//!
+//! The synchronization model is *conservative*: a window `[from, to)` is a
+//! barrier — every shard finishes the window before any consumer sees it, so
+//! cross-shard items are exchanged at window boundaries while intra-shard
+//! work proceeds freely (and in parallel) within a window.
+
+use crate::time::{SimDuration, SimTime};
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+
+/// One shard of a partitioned workload.
+///
+/// A worker is a stateful generator: each [`ShardWorker::fill`] call must
+/// append exactly the items whose timestamp falls in `[from, to)`, in the
+/// shard's own generation order, resuming where the previous window left
+/// off. Windows are issued in increasing, gap-free order starting at
+/// [`SimTime::ZERO`].
+pub trait ShardWorker: Send {
+    /// The item produced by this shard (a contact, an event, ...).
+    type Item: Send;
+
+    /// Appends this shard's items with timestamps in `[from, to)` to `out`,
+    /// in generation order.
+    fn fill(&mut self, from: SimTime, to: SimTime, out: &mut Vec<Self::Item>);
+}
+
+/// One completed synchronization window: every shard's batch for
+/// `[from, to)`, indexed by shard.
+#[derive(Debug)]
+pub struct ShardWindow<T> {
+    /// Inclusive window start.
+    pub from: SimTime,
+    /// Exclusive window end (clamped to the span on the last window).
+    pub to: SimTime,
+    /// Per-shard item batches, indexed by shard, each in that shard's
+    /// generation order.
+    pub batches: Vec<Vec<T>>,
+}
+
+/// Commands sent to a worker thread: the bounds of the next window.
+type WindowCmd = (SimTime, SimTime);
+/// A worker thread's reply: `(shard index, batch)` for each owned shard.
+type WindowBatch<T> = Vec<(usize, Vec<T>)>;
+
+enum Mode<W: ShardWorker> {
+    /// All shards filled inline, in shard order.
+    Serial(Vec<W>),
+    /// Shards chunked over a fixed pool of OS threads. Each thread replies
+    /// with one message per window covering all of its shards, so windows
+    /// never interleave on a channel.
+    Threaded {
+        cmd_txs: Vec<mpsc::Sender<WindowCmd>>,
+        batch_rxs: Vec<mpsc::Receiver<WindowBatch<W::Item>>>,
+        handles: Vec<JoinHandle<()>>,
+        /// Start of the next window to hand to the threads (one window of
+        /// read-ahead beyond what the consumer has collected).
+        issued: SimTime,
+    },
+}
+
+impl<W: ShardWorker> std::fmt::Debug for Mode<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Mode::Serial(w) => write!(f, "Serial({} shards)", w.len()),
+            Mode::Threaded { handles, .. } => write!(f, "Threaded({} threads)", handles.len()),
+        }
+    }
+}
+
+/// Drives a set of [`ShardWorker`]s through consecutive time windows,
+/// reassembling every window in shard order at the barrier.
+///
+/// With `threads <= 1` the workers run inline; otherwise they are chunked
+/// over a fixed thread pool and the runner pipelines one window of
+/// read-ahead (window `w + 1` is generating while the consumer processes
+/// window `w`). Either way [`ShardedRunner::next_window`] yields the exact
+/// same sequence of [`ShardWindow`]s.
+#[derive(Debug)]
+pub struct ShardedRunner<W: ShardWorker> {
+    mode: Mode<W>,
+    shards: usize,
+    span: SimTime,
+    window: SimDuration,
+    /// Start of the next window the consumer will receive.
+    cursor: SimTime,
+}
+
+fn window_end(from: SimTime, window: SimDuration, span: SimTime) -> SimTime {
+    (from + window).min(span)
+}
+
+impl<W: ShardWorker + 'static> ShardedRunner<W> {
+    /// Builds a runner over `workers` covering `[ZERO, span)` in windows of
+    /// `window`. `threads <= 1` runs the shards inline on the calling
+    /// thread; larger values spread them over `min(threads, shards)` OS
+    /// threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is not strictly positive.
+    #[must_use]
+    pub fn new(workers: Vec<W>, span: SimTime, window: SimDuration, threads: usize) -> Self {
+        assert!(
+            window > SimDuration::ZERO,
+            "ShardedRunner: window must be positive"
+        );
+        let shards = workers.len();
+        let threads = threads.min(shards);
+        let mode = if threads <= 1 {
+            Mode::Serial(workers)
+        } else {
+            let mut chunks: Vec<Vec<(usize, W)>> = (0..threads).map(|_| Vec::new()).collect();
+            for (idx, w) in workers.into_iter().enumerate() {
+                // Contiguous chunks: shard `idx` goes to thread
+                // `idx * threads / shards` (same block layout the sharded
+                // community generator uses for nodes).
+                chunks[idx * threads / shards].push((idx, w));
+            }
+            let mut cmd_txs = Vec::with_capacity(threads);
+            let mut batch_rxs = Vec::with_capacity(threads);
+            let mut handles = Vec::with_capacity(threads);
+            for mut owned in chunks {
+                let (cmd_tx, cmd_rx) = mpsc::channel::<WindowCmd>();
+                let (batch_tx, batch_rx) = mpsc::channel::<WindowBatch<W::Item>>();
+                handles.push(std::thread::spawn(move || {
+                    while let Ok((from, to)) = cmd_rx.recv() {
+                        let mut reply = Vec::with_capacity(owned.len());
+                        for (idx, worker) in &mut owned {
+                            let mut out = Vec::new();
+                            worker.fill(from, to, &mut out);
+                            reply.push((*idx, out));
+                        }
+                        if batch_tx.send(reply).is_err() {
+                            break; // consumer dropped the runner
+                        }
+                    }
+                }));
+                cmd_txs.push(cmd_tx);
+                batch_rxs.push(batch_rx);
+            }
+            let mut mode = Mode::Threaded {
+                cmd_txs,
+                batch_rxs,
+                handles,
+                issued: SimTime::ZERO,
+            };
+            // Prime the pipeline: the first window starts generating now.
+            issue_one(&mut mode, span, window);
+            mode
+        };
+        ShardedRunner {
+            mode,
+            shards,
+            span,
+            window,
+            cursor: SimTime::ZERO,
+        }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Produces the next synchronization window, or `None` once the span is
+    /// covered. Successive windows are gap-free: `[0, w)`, `[w, 2w)`, ...,
+    /// clamped to the span.
+    pub fn next_window(&mut self) -> Option<ShardWindow<W::Item>> {
+        if self.cursor >= self.span || self.shards == 0 {
+            return None;
+        }
+        let from = self.cursor;
+        let to = window_end(from, self.window, self.span);
+        self.cursor = to;
+        let mut batches: Vec<Vec<W::Item>> = Vec::new();
+        match &mut self.mode {
+            Mode::Serial(workers) => {
+                for worker in workers.iter_mut() {
+                    let mut out = Vec::new();
+                    worker.fill(from, to, &mut out);
+                    batches.push(out);
+                }
+            }
+            Mode::Threaded { .. } => {
+                // Keep one window of read-ahead in flight, then collect the
+                // window the threads started earlier.
+                issue_one(&mut self.mode, self.span, self.window);
+                batches = (0..self.shards).map(|_| Vec::new()).collect();
+                if let Mode::Threaded { batch_rxs, .. } = &mut self.mode {
+                    for rx in batch_rxs.iter() {
+                        let reply = rx
+                            .recv()
+                            .expect("shard worker thread exited before finishing its window");
+                        for (idx, out) in reply {
+                            batches[idx] = out;
+                        }
+                    }
+                }
+            }
+        }
+        Some(ShardWindow { from, to, batches })
+    }
+}
+
+/// Sends the next unissued window to every worker thread (no-op in serial
+/// mode or once the span is fully issued).
+fn issue_one<W: ShardWorker>(mode: &mut Mode<W>, span: SimTime, window: SimDuration) {
+    if let Mode::Threaded {
+        cmd_txs, issued, ..
+    } = mode
+    {
+        if *issued >= span {
+            return;
+        }
+        let from = *issued;
+        let to = window_end(from, window, span);
+        *issued = to;
+        for tx in cmd_txs.iter() {
+            // A send can only fail after a worker thread panicked; the
+            // panic surfaces at the next `next_window` recv.
+            let _ = tx.send((from, to));
+        }
+    }
+}
+
+impl<W: ShardWorker> Drop for ShardedRunner<W> {
+    fn drop(&mut self) {
+        if let Mode::Threaded {
+            cmd_txs, handles, ..
+        } = &mut self.mode
+        {
+            // Disconnect the command channels so the threads' `recv` loops
+            // end, then reap them. Replies they already sent sit in the
+            // unbounded batch channels, so no thread can block on exit.
+            cmd_txs.clear();
+            for handle in handles.drain(..) {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::RngFactory;
+    use crate::Engine;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A deterministic test shard: emits pseudo-Poisson "ticks" from its
+    /// own RNG stream, tagged with the shard index.
+    struct TickShard {
+        shard: usize,
+        rng: StdRng,
+        next: f64,
+        span: f64,
+    }
+
+    impl TickShard {
+        fn new(factory: &RngFactory, shard: usize, span: f64) -> TickShard {
+            let mut rng = factory.stream_indexed("tick-shard", shard as u64);
+            let first = rng.gen::<f64>() * 60.0;
+            TickShard {
+                shard,
+                rng,
+                next: first,
+                span,
+            }
+        }
+    }
+
+    impl ShardWorker for TickShard {
+        type Item = (usize, u64);
+
+        fn fill(&mut self, from: SimTime, to: SimTime, out: &mut Vec<(usize, u64)>) {
+            while self.next < to.as_secs() && self.next < self.span {
+                assert!(self.next >= from.as_secs(), "window went backwards");
+                out.push((self.shard, self.next.to_bits()));
+                self.next += 1.0 + self.rng.gen::<f64>() * 120.0;
+            }
+        }
+    }
+
+    type Window = (SimTime, SimTime, Vec<(usize, u64)>);
+
+    fn drain(mut runner: ShardedRunner<TickShard>) -> Vec<Window> {
+        let mut windows = Vec::new();
+        while let Some(w) = runner.next_window() {
+            let flat: Vec<(usize, u64)> = w.batches.into_iter().flatten().collect();
+            windows.push((w.from, w.to, flat));
+        }
+        windows
+    }
+
+    fn make(shards: usize, span: f64, threads: usize) -> ShardedRunner<TickShard> {
+        let factory = RngFactory::new(42);
+        let workers = (0..shards)
+            .map(|s| TickShard::new(&factory, s, span))
+            .collect();
+        ShardedRunner::new(
+            workers,
+            SimTime::from_secs(span),
+            SimDuration::from_secs(600.0),
+            threads,
+        )
+    }
+
+    #[test]
+    fn windows_are_gap_free_and_clamped() {
+        let mut runner = make(3, 1500.0, 1);
+        let w0 = runner.next_window().unwrap();
+        let w1 = runner.next_window().unwrap();
+        let w2 = runner.next_window().unwrap();
+        assert!(runner.next_window().is_none());
+        assert_eq!((w0.from, w0.to), (SimTime::ZERO, SimTime::from_secs(600.0)));
+        assert_eq!(w1.from, SimTime::from_secs(600.0));
+        assert_eq!(w2.to, SimTime::from_secs(1500.0));
+        assert_eq!(w0.batches.len(), 3);
+    }
+
+    #[test]
+    fn threaded_output_is_bit_identical_to_serial() {
+        let serial = drain(make(5, 7200.0, 1));
+        for threads in [2, 3, 5, 8] {
+            let threaded = drain(make(5, 7200.0, threads));
+            assert_eq!(serial, threaded, "threads={threads} diverged");
+        }
+    }
+
+    #[test]
+    fn window_size_changes_batching_but_not_items() {
+        let collect_items = |window_secs: f64, threads: usize| -> Vec<(usize, u64)> {
+            let factory = RngFactory::new(7);
+            let workers = (0..4)
+                .map(|s| TickShard::new(&factory, s, 3600.0))
+                .collect();
+            let mut runner = ShardedRunner::new(
+                workers,
+                SimTime::from_secs(3600.0),
+                SimDuration::from_secs(window_secs),
+                threads,
+            );
+            let mut per_shard: Vec<Vec<(usize, u64)>> = vec![Vec::new(); 4];
+            while let Some(w) = runner.next_window() {
+                for (s, batch) in w.batches.into_iter().enumerate() {
+                    per_shard[s].extend(batch);
+                }
+            }
+            per_shard.into_iter().flatten().collect()
+        };
+        let base = collect_items(3600.0, 1);
+        assert_eq!(base, collect_items(250.0, 1));
+        assert_eq!(base, collect_items(250.0, 3));
+        assert_eq!(base, collect_items(977.0, 2));
+    }
+
+    #[test]
+    fn empty_worker_set_yields_no_windows() {
+        let mut runner: ShardedRunner<TickShard> = ShardedRunner::new(
+            Vec::new(),
+            SimTime::from_secs(100.0),
+            SimDuration::from_secs(10.0),
+            4,
+        );
+        assert!(runner.next_window().is_none());
+    }
+
+    #[test]
+    fn dropping_mid_stream_reaps_threads() {
+        let mut runner = make(6, 86_400.0, 3);
+        let _ = runner.next_window();
+        drop(runner); // must not hang or leak
+    }
+
+    /// Per-shard sub-engines stepped through window barriers: each shard
+    /// owns a full `Engine` and drains it with `next_event_through`, which
+    /// is exactly how a sharded simulator consumes a `ShardWindow`.
+    struct EngineShard {
+        engine: Engine<u64>,
+    }
+
+    impl ShardWorker for EngineShard {
+        type Item = (SimTime, u64);
+
+        fn fill(&mut self, _from: SimTime, to: SimTime, out: &mut Vec<(SimTime, u64)>) {
+            while let Some(ev) = self.engine.next_event_through(to) {
+                if ev.payload < 40 {
+                    // Handlers may schedule follow-ups, including into
+                    // later windows.
+                    self.engine
+                        .schedule_in(SimDuration::from_secs(90.0), ev.payload + 1);
+                }
+                out.push((ev.time, ev.payload));
+            }
+        }
+    }
+
+    #[test]
+    fn sub_engines_drain_through_window_barriers() {
+        let make_engines = |threads: usize| -> Vec<(SimTime, u64)> {
+            let workers: Vec<EngineShard> = (0..3)
+                .map(|s| {
+                    let mut engine = Engine::with_horizon(SimTime::from_secs(3600.0));
+                    engine.schedule_at(SimTime::from_secs(s as f64 * 13.0), s as u64 * 100);
+                    EngineShard { engine }
+                })
+                .collect();
+            let mut runner = ShardedRunner::new(
+                workers,
+                SimTime::from_secs(3600.0),
+                SimDuration::from_secs(300.0),
+                threads,
+            );
+            let mut all = Vec::new();
+            while let Some(w) = runner.next_window() {
+                for batch in w.batches {
+                    all.extend(batch);
+                }
+            }
+            all
+        };
+        let serial = make_engines(1);
+        assert!(!serial.is_empty());
+        assert_eq!(serial, make_engines(3));
+    }
+}
