@@ -126,6 +126,29 @@ fn bench_trace_parse(c: &mut Criterion) {
     });
 }
 
+fn bench_scenario_compile(c: &mut Criterion) {
+    // The scenario compiler front-end + planner over the full committed
+    // E1–E17 spec set: parse every embedded `.scn` and expand its matrix
+    // into a campaign plan. This is pure string/struct work on the
+    // harness's startup path — it must stay far below a single seed's
+    // simulation cost (microseconds, not milliseconds).
+    use omn_bench::scenario::{compile, parse, EMBEDDED};
+    use omn_bench::CliOverrides;
+
+    let overrides = CliOverrides::default();
+    c.bench_function("scenario/compile_all_specs", |b| {
+        b.iter(|| {
+            let mut points = 0usize;
+            for (_, text) in EMBEDDED {
+                let spec = parse(text).expect("embedded spec parses");
+                let plan = compile(&spec, &overrides).expect("embedded spec compiles");
+                points += plan.points.len();
+            }
+            points
+        });
+    });
+}
+
 fn bench_wire_codec(c: &mut Criterion) {
     // The E18 wire path: every exchange between async node tasks encodes
     // a protocol message into a serialized omn-net frame and decodes it
@@ -161,6 +184,6 @@ fn bench_wire_codec(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_freshness_run, bench_oracle_overhead, bench_sharded_stream, bench_sharded_window_barrier, bench_trace_parse, bench_wire_codec
+    targets = bench_freshness_run, bench_oracle_overhead, bench_sharded_stream, bench_sharded_window_barrier, bench_trace_parse, bench_scenario_compile, bench_wire_codec
 }
 criterion_main!(benches);

@@ -1,5 +1,7 @@
-//! Binary wrapper for experiment `e08_ablation`.
+//! Binary wrapper for experiment `e08_ablation`: compiles and executes the
+//! committed `specs/e08.scn` scenario (`--spec FILE` substitutes another
+//! spec; `--legacy` runs the hand-written campaign instead).
 
 fn main() {
-    omn_bench::experiments::e08_ablation::run();
+    omn_bench::scenario::spec_main("e08", omn_bench::experiments::e08_ablation::run);
 }

@@ -1,5 +1,7 @@
-//! Binary wrapper for experiment `e07_caching_nodes`.
+//! Binary wrapper for experiment `e07_caching_nodes`: compiles and executes the
+//! committed `specs/e07.scn` scenario (`--spec FILE` substitutes another
+//! spec; `--legacy` runs the hand-written campaign instead).
 
 fn main() {
-    omn_bench::experiments::e07_caching_nodes::run();
+    omn_bench::scenario::spec_main("e07", omn_bench::experiments::e07_caching_nodes::run);
 }

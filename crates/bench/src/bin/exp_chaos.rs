@@ -1,5 +1,7 @@
-//! Binary wrapper for experiment `e17_chaos`.
+//! Binary wrapper for experiment `e17_chaos`: compiles and executes the
+//! committed `specs/e17.scn` scenario (`--spec FILE` substitutes another
+//! spec; `--legacy` runs the hand-written campaign instead).
 
 fn main() {
-    omn_bench::experiments::e17_chaos::run();
+    omn_bench::scenario::spec_main("e17", omn_bench::experiments::e17_chaos::run);
 }

@@ -1,5 +1,7 @@
-//! Binary wrapper for experiment `e09_data_access`.
+//! Binary wrapper for experiment `e09_data_access`: compiles and executes the
+//! committed `specs/e09.scn` scenario (`--spec FILE` substitutes another
+//! spec; `--legacy` runs the hand-written campaign instead).
 
 fn main() {
-    omn_bench::experiments::e09_data_access::run();
+    omn_bench::scenario::spec_main("e09", omn_bench::experiments::e09_data_access::run);
 }

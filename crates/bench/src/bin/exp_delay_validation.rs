@@ -1,5 +1,7 @@
-//! Binary wrapper for experiment `e02_delay_validation`.
+//! Binary wrapper for experiment `e02_delay_validation`: compiles and executes the
+//! committed `specs/e02.scn` scenario (`--spec FILE` substitutes another
+//! spec; `--legacy` runs the hand-written campaign instead).
 
 fn main() {
-    omn_bench::experiments::e02_delay_validation::run();
+    omn_bench::scenario::spec_main("e02", omn_bench::experiments::e02_delay_validation::run);
 }

@@ -1,5 +1,7 @@
-//! Binary wrapper for experiment `e13_fault_tolerance`.
+//! Binary wrapper for experiment `e13_fault_tolerance`: compiles and executes the
+//! committed `specs/e13.scn` scenario (`--spec FILE` substitutes another
+//! spec; `--legacy` runs the hand-written campaign instead).
 
 fn main() {
-    omn_bench::experiments::e13_fault_tolerance::run();
+    omn_bench::scenario::spec_main("e13", omn_bench::experiments::e13_fault_tolerance::run);
 }

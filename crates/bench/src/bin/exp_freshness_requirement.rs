@@ -1,5 +1,10 @@
-//! Binary wrapper for experiment `e04_freshness_requirement`.
+//! Binary wrapper for experiment `e04_freshness_requirement`: compiles and executes the
+//! committed `specs/e04.scn` scenario (`--spec FILE` substitutes another
+//! spec; `--legacy` runs the hand-written campaign instead).
 
 fn main() {
-    omn_bench::experiments::e04_freshness_requirement::run();
+    omn_bench::scenario::spec_main(
+        "e04",
+        omn_bench::experiments::e04_freshness_requirement::run,
+    );
 }

@@ -1,5 +1,7 @@
-//! Binary wrapper for experiment `e03_freshness_time`.
+//! Binary wrapper for experiment `e03_freshness_time`: compiles and executes the
+//! committed `specs/e03.scn` scenario (`--spec FILE` substitutes another
+//! spec; `--legacy` runs the hand-written campaign instead).
 
 fn main() {
-    omn_bench::experiments::e03_freshness_time::run();
+    omn_bench::scenario::spec_main("e03", omn_bench::experiments::e03_freshness_time::run);
 }

@@ -1,5 +1,7 @@
-//! Binary wrapper for experiment `e14_joint_world`.
+//! Binary wrapper for experiment `e14_joint_world`: compiles and executes the
+//! committed `specs/e14.scn` scenario (`--spec FILE` substitutes another
+//! spec; `--legacy` runs the hand-written campaign instead).
 
 fn main() {
-    omn_bench::experiments::e14_joint_world::run();
+    omn_bench::scenario::spec_main("e14", omn_bench::experiments::e14_joint_world::run);
 }

@@ -1,5 +1,7 @@
-//! Binary wrapper for experiment `e12_load_distribution`.
+//! Binary wrapper for experiment `e12_load_distribution`: compiles and executes the
+//! committed `specs/e12.scn` scenario (`--spec FILE` substitutes another
+//! spec; `--legacy` runs the hand-written campaign instead).
 
 fn main() {
-    omn_bench::experiments::e12_load_distribution::run();
+    omn_bench::scenario::spec_main("e12", omn_bench::experiments::e12_load_distribution::run);
 }

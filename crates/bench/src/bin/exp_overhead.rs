@@ -1,5 +1,7 @@
-//! Binary wrapper for experiment `e06_overhead`.
+//! Binary wrapper for experiment `e06_overhead`: compiles and executes the
+//! committed `specs/e06.scn` scenario (`--spec FILE` substitutes another
+//! spec; `--legacy` runs the hand-written campaign instead).
 
 fn main() {
-    omn_bench::experiments::e06_overhead::run();
+    omn_bench::scenario::spec_main("e06", omn_bench::experiments::e06_overhead::run);
 }

@@ -1,8 +1,10 @@
-//! Binary wrapper for experiment `e16_real_traces`.
+//! Binary wrapper for experiment `e16_real_traces`: compiles and executes
+//! the committed `specs/e16.scn` scenario (`--spec FILE` substitutes
+//! another spec; `--legacy` runs the hand-written campaign instead).
 //!
 //! `--trace path [--trace-format reality|haggle|omn-v1]` runs the
 //! campaign on one dataset file instead of the built-in registry.
 
 fn main() {
-    omn_bench::experiments::e16_real_traces::run();
+    omn_bench::scenario::spec_main("e16", omn_bench::experiments::e16_real_traces::run);
 }

@@ -1,5 +1,7 @@
-//! Binary wrapper for experiment `e05_refresh_period`.
+//! Binary wrapper for experiment `e05_refresh_period`: compiles and executes the
+//! committed `specs/e05.scn` scenario (`--spec FILE` substitutes another
+//! spec; `--legacy` runs the hand-written campaign instead).
 
 fn main() {
-    omn_bench::experiments::e05_refresh_period::run();
+    omn_bench::scenario::spec_main("e05", omn_bench::experiments::e05_refresh_period::run);
 }

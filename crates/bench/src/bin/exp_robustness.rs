@@ -1,5 +1,7 @@
-//! Binary wrapper for experiment `e11_robustness`.
+//! Binary wrapper for experiment `e11_robustness`: compiles and executes the
+//! committed `specs/e11.scn` scenario (`--spec FILE` substitutes another
+//! spec; `--legacy` runs the hand-written campaign instead).
 
 fn main() {
-    omn_bench::experiments::e11_robustness::run();
+    omn_bench::scenario::spec_main("e11", omn_bench::experiments::e11_robustness::run);
 }

@@ -1,5 +1,7 @@
-//! Binary wrapper for experiment `e10_routing_baselines`.
+//! Binary wrapper for experiment `e10_routing_baselines`: compiles and executes the
+//! committed `specs/e10.scn` scenario (`--spec FILE` substitutes another
+//! spec; `--legacy` runs the hand-written campaign instead).
 
 fn main() {
-    omn_bench::experiments::e10_routing_baselines::run();
+    omn_bench::scenario::spec_main("e10", omn_bench::experiments::e10_routing_baselines::run);
 }

@@ -1,5 +1,7 @@
-//! Binary wrapper for experiment `e18_runtime`.
+//! Binary wrapper for experiment `e18_runtime` (no scenario spec: the
+//! runtime benchmark stays a hand-written campaign).
 
 fn main() {
+    omn_bench::cli_init();
     omn_bench::experiments::e18_runtime::run();
 }

@@ -1,14 +1,20 @@
-//! Binary wrapper for experiment `e15_scalability`.
+//! Binary wrapper for experiment `e15_scalability`: compiles and executes
+//! the committed `specs/e15.scn` scenario (`--spec FILE` substitutes
+//! another spec; `--legacy` runs the hand-written campaign instead).
 //!
 //! `--headline` runs the single 10⁶-node point instead of the sweep;
 //! `--threads n` / `--window-mins m` select the window-barrier parallel
 //! pipeline (output is bit-identical to the serial default); `--no-wall`
 //! hides wall-clock columns for byte-for-byte diffing.
 
-fn main() {
+fn legacy() {
     if omn_bench::headline_requested() {
         omn_bench::experiments::e15_scalability::run_headline();
     } else {
         omn_bench::experiments::e15_scalability::run();
     }
+}
+
+fn main() {
+    omn_bench::scenario::spec_main("e15", legacy);
 }

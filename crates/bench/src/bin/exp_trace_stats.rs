@@ -1,5 +1,7 @@
-//! Binary wrapper for experiment `e01_trace_stats`.
+//! Binary wrapper for experiment `e01_trace_stats`: compiles and executes the
+//! committed `specs/e01.scn` scenario (`--spec FILE` substitutes another
+//! spec; `--legacy` runs the hand-written campaign instead).
 
 fn main() {
-    omn_bench::experiments::e01_trace_stats::run();
+    omn_bench::scenario::spec_main("e01", omn_bench::experiments::e01_trace_stats::run);
 }

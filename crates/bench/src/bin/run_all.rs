@@ -1,5 +1,12 @@
 //! Runs the complete reconstructed evaluation (E1-E18) in order.
 //!
+//! E1–E17 execute through the scenario compiler: each experiment's
+//! committed `specs/eNN.scn` is compiled (with the process-wide CLI
+//! overrides folded in) and dispatched to its campaign driver. `--legacy`
+//! runs the hand-written campaigns instead — both paths are byte-identical
+//! (the CI spec-equivalence job diffs them). E18, the runtime benchmark,
+//! has no spec and always runs legacy.
+//!
 //! Seed replications run in parallel (one thread per seed, merged in seed
 //! order — byte-identical to serial). `--seeds a,b,c` overrides the seed
 //! set; `--nodes a,b,c` overrides E15's node-count sweep; `--trace path`
@@ -8,12 +15,15 @@
 //!
 //! A panicking experiment no longer takes the campaign down with it: each
 //! experiment runs under `catch_unwind`, the campaign continues, and the
-//! run ends with a per-experiment timing summary. Any failure makes the
+//! run ends with a per-experiment timing summary (which also records
+//! whether the spec or the legacy driver ran). Any failure makes the
 //! process exit nonzero, so CI still catches it.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::ExitCode;
 use std::time::Instant;
+
+use omn_bench::scenario::{compile_str, embedded, execute};
 
 /// Renders a panic payload the way the default hook would.
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
@@ -26,34 +36,50 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
     }
 }
 
+/// (campaign id, embedded spec name, legacy driver); a `None` spec —
+/// E18 — always runs the hand-written campaign.
+type Experiment = (&'static str, Option<&'static str>, fn());
+
 fn main() -> ExitCode {
     use omn_bench::experiments as e;
-    let experiments: [(&str, fn()); 18] = [
-        ("E1", e::e01_trace_stats::run),
-        ("E2", e::e02_delay_validation::run),
-        ("E3", e::e03_freshness_time::run),
-        ("E4", e::e04_freshness_requirement::run),
-        ("E5", e::e05_refresh_period::run),
-        ("E6", e::e06_overhead::run),
-        ("E7", e::e07_caching_nodes::run),
-        ("E8", e::e08_ablation::run),
-        ("E9", e::e09_data_access::run),
-        ("E10", e::e10_routing_baselines::run),
-        ("E11", e::e11_robustness::run),
-        ("E12", e::e12_load_distribution::run),
-        ("E13", e::e13_fault_tolerance::run),
-        ("E14", e::e14_joint_world::run),
-        ("E15", e::e15_scalability::run),
-        ("E16", e::e16_real_traces::run),
-        ("E17", e::e17_chaos::run),
-        ("E18", e::e18_runtime::run),
+    let overrides = omn_bench::cli_init();
+    let experiments: [Experiment; 18] = [
+        ("E1", Some("e01"), e::e01_trace_stats::run),
+        ("E2", Some("e02"), e::e02_delay_validation::run),
+        ("E3", Some("e03"), e::e03_freshness_time::run),
+        ("E4", Some("e04"), e::e04_freshness_requirement::run),
+        ("E5", Some("e05"), e::e05_refresh_period::run),
+        ("E6", Some("e06"), e::e06_overhead::run),
+        ("E7", Some("e07"), e::e07_caching_nodes::run),
+        ("E8", Some("e08"), e::e08_ablation::run),
+        ("E9", Some("e09"), e::e09_data_access::run),
+        ("E10", Some("e10"), e::e10_routing_baselines::run),
+        ("E11", Some("e11"), e::e11_robustness::run),
+        ("E12", Some("e12"), e::e12_load_distribution::run),
+        ("E13", Some("e13"), e::e13_fault_tolerance::run),
+        ("E14", Some("e14"), e::e14_joint_world::run),
+        ("E15", Some("e15"), e::e15_scalability::run),
+        ("E16", Some("e16"), e::e16_real_traces::run),
+        ("E17", Some("e17"), e::e17_chaos::run),
+        ("E18", None, e::e18_runtime::run),
     ];
 
-    let mut timings: Vec<(&str, f64, bool)> = Vec::new();
+    let mut timings: Vec<(&str, f64, &str, bool)> = Vec::new();
     let mut failed: Vec<&str> = Vec::new();
-    for (id, run) in experiments {
+    for (id, spec, legacy) in experiments {
+        let spec = if overrides.legacy { None } else { spec };
+        let mode = if spec.is_some() { "spec" } else { "legacy" };
         let start = Instant::now();
-        let outcome = catch_unwind(AssertUnwindSafe(run));
+        let outcome = catch_unwind(AssertUnwindSafe(|| match spec {
+            Some(name) => {
+                let text = embedded(name).expect("every E1-E17 spec is embedded");
+                match compile_str(text, overrides) {
+                    Ok(plan) => execute(&plan),
+                    Err(err) => panic!("specs/{name}.scn: {err}"),
+                }
+            }
+            None => legacy(),
+        }));
         let secs = start.elapsed().as_secs_f64();
         let ok = outcome.is_ok();
         if let Err(payload) = outcome {
@@ -63,13 +89,13 @@ fn main() -> ExitCode {
             );
             failed.push(id);
         }
-        timings.push((id, secs, ok));
+        timings.push((id, secs, mode, ok));
     }
 
     println!("\n=== campaign summary ===");
-    for (id, secs, ok) in &timings {
+    for (id, secs, mode, ok) in &timings {
         println!(
-            "{id:<4} {secs:>8.1} s  {}",
+            "{id:<4} {secs:>8.1} s  {mode:<6}  {}",
             if *ok { "ok" } else { "FAILED" }
         );
     }

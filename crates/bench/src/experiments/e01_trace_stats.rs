@@ -4,12 +4,52 @@ use omn_contacts::synth::presets::TracePreset;
 use omn_contacts::TraceStats;
 use omn_sim::stats::mean_ci95;
 
+use crate::scenario::CampaignPlan;
 use crate::{active_seeds, banner, per_seed, Table};
+
+/// Parameters of E1: which presets to characterize, over which seeds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Trace presets, one table row each.
+    pub presets: Vec<TracePreset>,
+    /// Replication seeds.
+    pub seeds: Vec<u64>,
+}
+
+impl Params {
+    /// The hand-written legacy campaign (`--legacy` / direct `run()`).
+    #[must_use]
+    pub fn legacy() -> Params {
+        Params {
+            presets: TracePreset::ALL.to_vec(),
+            seeds: active_seeds(),
+        }
+    }
+
+    /// The campaign a compiled scenario plan describes.
+    #[must_use]
+    pub fn from_plan(plan: &CampaignPlan) -> Params {
+        Params {
+            presets: plan.presets(),
+            seeds: plan.seeds().to_vec(),
+        }
+    }
+}
+
+/// Runs E1 with the legacy parameters.
+pub fn run() {
+    run_with(&Params::legacy());
+}
+
+/// Runs E1 as described by a compiled scenario plan.
+pub fn run_plan(plan: &CampaignPlan) {
+    run_with(&Params::from_plan(plan));
+}
 
 /// Runs E1: prints one row per trace preset with node count, span,
 /// contacts, density, inter-contact and contact-duration statistics
 /// (averaged over seeds).
-pub fn run() {
+pub fn run_with(params: &Params) {
     banner("E1", "trace characteristics (Table I analogue)");
     let mut table = Table::new([
         "trace",
@@ -22,8 +62,8 @@ pub fn run() {
         "mean degree",
     ]);
 
-    let seeds = active_seeds();
-    for preset in TracePreset::ALL {
+    let seeds = &params.seeds;
+    for &preset in &params.presets {
         let mut contacts = Vec::new();
         let mut per_day = Vec::new();
         let mut ict = Vec::new();
@@ -31,7 +71,7 @@ pub fn run() {
         let mut degree = Vec::new();
         let mut nodes = 0;
         let mut span_days = 0.0;
-        let per = per_seed(&seeds, |seed| {
+        let per = per_seed(seeds, |seed| {
             let trace = crate::experiments::trace_for(preset, seed);
             TraceStats::compute(&trace)
         });

@@ -9,25 +9,87 @@ use omn_core::sim::{FreshnessConfig, FreshnessSimulator};
 use omn_sim::stats::EmpiricalCdf;
 use omn_sim::{RngFactory, SimDuration};
 
+use crate::scenario::{CampaignPlan, PairwiseWorld, WorldSpec};
 use crate::{banner, Table};
+
+/// Parameters of E2: the pairwise-exponential world and the validation
+/// sweep shape. No seed set — the analytical comparison uses one fixed
+/// world keyed by `world.world_seed`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// The synthetic pairwise-exponential contact world.
+    pub world: PairwiseWorld,
+    /// Caching-node count of the validated configuration.
+    pub caching_nodes: usize,
+    /// Refresh period, hours.
+    pub refresh_hours: f64,
+    /// The CDF is tabulated at 1..=`cdf_max_k` hours.
+    pub cdf_max_k: usize,
+}
+
+impl Params {
+    /// The hand-written legacy campaign (`--legacy` / direct `run()`).
+    #[must_use]
+    pub fn legacy() -> Params {
+        Params {
+            world: PairwiseWorld {
+                nodes: 40,
+                span_days: 8.0,
+                mean_interval_secs: 7200.0,
+                rate_shape: 1.5,
+                world_seed: 17,
+            },
+            caching_nodes: 8,
+            refresh_hours: 12.0,
+            cdf_max_k: 12,
+        }
+    }
+
+    /// The campaign a compiled scenario plan describes (the planner
+    /// guarantees a pairwise world for `delay-validation`).
+    #[must_use]
+    pub fn from_plan(plan: &CampaignPlan) -> Params {
+        let world = match &plan.spec.world {
+            WorldSpec::Pairwise(w) => w.clone(),
+            _ => Params::legacy().world,
+        };
+        Params {
+            world,
+            caching_nodes: plan.scalar_usize_or("caching-nodes", 8),
+            refresh_hours: plan.scalar_or("refresh-hours", 12.0),
+            cdf_max_k: plan.scalar_usize_or("cdf-max-k", 12),
+        }
+    }
+}
+
+/// Runs E2 with the legacy parameters.
+pub fn run() {
+    run_with(&Params::legacy());
+}
+
+/// Runs E2 as described by a compiled scenario plan.
+pub fn run_plan(plan: &CampaignPlan) {
+    run_with(&Params::from_plan(plan));
+}
 
 /// Runs E2: prints the simulated vs analytical refresh-delay CDF series
 /// and a per-node freshness comparison table.
-pub fn run() {
+pub fn run_with(params: &Params) {
     banner("E2", "analysis vs simulation (validation figure)");
 
     // Pairwise-exponential trace: the analytical assumption holds by
     // construction, so residual gaps isolate protocol idealizations.
-    let factory = RngFactory::new(17);
+    let w = &params.world;
+    let factory = RngFactory::new(w.world_seed);
     let trace = generate_pairwise(
-        &PairwiseConfig::new(40, SimDuration::from_days(8.0))
-            .mean_rate(1.0 / 7200.0)
-            .rate_shape(1.5),
+        &PairwiseConfig::new(w.nodes, SimDuration::from_days(w.span_days))
+            .mean_rate(1.0 / w.mean_interval_secs)
+            .rate_shape(w.rate_shape),
         &factory,
     );
     let config = FreshnessConfig {
-        caching_nodes: 8,
-        refresh_period: SimDuration::from_hours(12.0),
+        caching_nodes: params.caching_nodes,
+        refresh_period: SimDuration::from_hours(params.refresh_hours),
         query_count: 0,
         ..FreshnessConfig::default()
     };
@@ -52,8 +114,8 @@ pub fn run() {
     println!("\nrefresh-delay CDF (hours), simulated vs analytical:");
     let mut cdf_table = Table::new(["t (h)", "F_sim(t)", "F_analysis(t)"]);
     let sim_cdf = EmpiricalCdf::from_samples(report.refresh_delays.samples().to_vec());
-    for k in 1..=12 {
-        let t_h = k as f64; // 1..12 hours
+    for k in 1..=params.cdf_max_k {
+        let t_h = k as f64; // 1..cdf_max_k hours
         let t = t_h * 3600.0;
         let analytic =
             summary.nodes.iter().map(|p| p.delay.cdf(t)).sum::<f64>() / summary.nodes.len() as f64;

@@ -13,16 +13,65 @@ use omn_core::sim::{FreshnessConfig, FreshnessSimulator, SchemeChoice};
 use omn_sim::RngFactory;
 
 use crate::experiments::{config_for, trace_for};
+use crate::scenario::CampaignPlan;
 use crate::{active_seeds, banner, fmt_ci, per_seed, Table};
 
 const REQUIREMENTS: [f64; 5] = [0.5, 0.6, 0.7, 0.8, 0.9];
 const MAX_RELAYS: usize = 16;
 
-/// Runs E4 on the conference trace.
+/// Parameters of E4: the requirement sweep and the relay cap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Trace preset the sweep runs on.
+    pub preset: TracePreset,
+    /// Freshness requirements `q` swept.
+    pub qs: Vec<f64>,
+    /// Per-edge relay cap of the replication planner.
+    pub max_relays: usize,
+    /// Replication seeds.
+    pub seeds: Vec<u64>,
+}
+
+impl Params {
+    /// The hand-written legacy campaign (`--legacy` / direct `run()`).
+    #[must_use]
+    pub fn legacy() -> Params {
+        Params {
+            preset: TracePreset::InfocomLike,
+            qs: REQUIREMENTS.to_vec(),
+            max_relays: MAX_RELAYS,
+            seeds: active_seeds(),
+        }
+    }
+
+    /// The campaign a compiled scenario plan describes.
+    #[must_use]
+    pub fn from_plan(plan: &CampaignPlan) -> Params {
+        Params {
+            preset: plan.preset_one(),
+            qs: plan.axis_or("q", &REQUIREMENTS),
+            max_relays: plan.scalar_usize_or("max-relays", MAX_RELAYS),
+            seeds: plan.seeds().to_vec(),
+        }
+    }
+}
+
+/// Runs E4 with the legacy parameters.
 pub fn run() {
+    run_with(&Params::legacy());
+}
+
+/// Runs E4 as described by a compiled scenario plan.
+pub fn run_plan(plan: &CampaignPlan) {
+    run_with(&Params::from_plan(plan));
+}
+
+/// Runs E4 on the configured trace.
+pub fn run_with(params: &Params) {
     banner("E4", "freshness vs requirement q (replication sizing)");
-    let preset = TracePreset::InfocomLike;
-    println!("trace: {preset}, max relays per edge: {MAX_RELAYS}\n");
+    let preset = params.preset;
+    let max_relays = params.max_relays;
+    println!("trace: {preset}, max relays per edge: {max_relays}\n");
 
     let mut table = Table::new([
         "q",
@@ -33,14 +82,14 @@ pub fn run() {
         "replicas/run",
     ]);
 
-    let seeds = active_seeds();
-    for &q in &REQUIREMENTS {
-        let per = per_seed(&seeds, |seed| {
+    let seeds = &params.seeds;
+    for &q in &params.qs {
+        let per = per_seed(seeds, |seed| {
             let base = config_for(preset);
             let requirement = FreshnessRequirement::new(q, base.requirement.deadline);
             let config = FreshnessConfig {
                 requirement,
-                max_relays: MAX_RELAYS,
+                max_relays,
                 ..base
             };
             let trace = trace_for(preset, seed);
@@ -60,7 +109,7 @@ pub fn run() {
                 &mut rng,
             );
             let plans =
-                ReplicationPlanner::new(requirement, MAX_RELAYS).plan_hierarchy(&hierarchy, &graph);
+                ReplicationPlanner::new(requirement, max_relays).plan_hierarchy(&hierarchy, &graph);
             let edges = plans.len().max(1) as f64;
             let relays = plans.values().map(|p| p.relays.len() as f64).sum::<f64>() / edges;
             let hop_p = plans.values().map(|p| p.achieved_probability).sum::<f64>() / edges;

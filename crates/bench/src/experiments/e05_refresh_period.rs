@@ -7,6 +7,7 @@ use omn_core::sim::{FreshnessConfig, FreshnessSimulator, SchemeChoice};
 use omn_sim::{RngFactory, SimDuration};
 
 use crate::experiments::{config_for, trace_for};
+use crate::scenario::CampaignPlan;
 use crate::{active_seeds, banner, fmt_ci, per_seed, Table};
 
 const PERIODS_H: [f64; 5] = [2.0, 4.0, 8.0, 16.0, 32.0];
@@ -17,18 +18,65 @@ const SCHEMES: [SchemeChoice; 4] = [
     SchemeChoice::NoRefresh,
 ];
 
-/// Runs E5 on the conference trace: mean freshness and fresh-access ratio
-/// across refresh periods for each scheme.
+/// Parameters of E5: the refresh-period sweep per scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Trace preset the sweep runs on.
+    pub preset: TracePreset,
+    /// Refresh periods swept, hours (deadline = period / 2).
+    pub periods_h: Vec<f64>,
+    /// Schemes compared at each period.
+    pub schemes: Vec<SchemeChoice>,
+    /// Replication seeds.
+    pub seeds: Vec<u64>,
+}
+
+impl Params {
+    /// The hand-written legacy campaign (`--legacy` / direct `run()`).
+    #[must_use]
+    pub fn legacy() -> Params {
+        Params {
+            preset: TracePreset::InfocomLike,
+            periods_h: PERIODS_H.to_vec(),
+            schemes: SCHEMES.to_vec(),
+            seeds: active_seeds(),
+        }
+    }
+
+    /// The campaign a compiled scenario plan describes.
+    #[must_use]
+    pub fn from_plan(plan: &CampaignPlan) -> Params {
+        Params {
+            preset: plan.preset_one(),
+            periods_h: plan.axis_or("period-h", &PERIODS_H),
+            schemes: plan.schemes_or(&SCHEMES),
+            seeds: plan.seeds().to_vec(),
+        }
+    }
+}
+
+/// Runs E5 with the legacy parameters.
 pub fn run() {
+    run_with(&Params::legacy());
+}
+
+/// Runs E5 as described by a compiled scenario plan.
+pub fn run_plan(plan: &CampaignPlan) {
+    run_with(&Params::from_plan(plan));
+}
+
+/// Runs E5: mean freshness and fresh-access ratio across refresh periods
+/// for each scheme.
+pub fn run_with(params: &Params) {
     banner("E5", "freshness vs refresh period");
-    let preset = TracePreset::InfocomLike;
+    let preset = params.preset;
     println!("trace: {preset}\n");
 
-    let seeds = active_seeds();
+    let seeds = &params.seeds;
     let mut table = Table::new(["period (h)", "scheme", "mean freshness", "fresh-access"]);
-    for &period_h in &PERIODS_H {
-        for &choice in &SCHEMES {
-            let (fresh, access): (Vec<f64>, Vec<f64>) = per_seed(&seeds, |seed| {
+    for &period_h in &params.periods_h {
+        for &choice in &params.schemes {
+            let (fresh, access): (Vec<f64>, Vec<f64>) = per_seed(seeds, |seed| {
                 let base = config_for(preset);
                 let period = SimDuration::from_hours(period_h);
                 let config = FreshnessConfig {

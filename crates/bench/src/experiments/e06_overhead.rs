@@ -6,15 +6,59 @@ use omn_core::sim::{FreshnessSimulator, SchemeChoice};
 use omn_sim::RngFactory;
 
 use crate::experiments::{config_for, trace_for};
+use crate::scenario::CampaignPlan;
 use crate::{active_seeds, banner, fmt_ci, fmt_ci_count, per_seed, Table};
 
-/// Runs E6 on both traces: per scheme, total transmissions, replicas,
-/// transmissions per version per caching node, and mean freshness (the
-/// trade-off the paper's overhead figure makes).
+/// Parameters of E6: presets × schemes overhead comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Trace presets, one table each.
+    pub presets: Vec<TracePreset>,
+    /// Schemes, one table row each.
+    pub schemes: Vec<SchemeChoice>,
+    /// Replication seeds.
+    pub seeds: Vec<u64>,
+}
+
+impl Params {
+    /// The hand-written legacy campaign (`--legacy` / direct `run()`).
+    #[must_use]
+    pub fn legacy() -> Params {
+        Params {
+            presets: TracePreset::ALL.to_vec(),
+            schemes: SchemeChoice::ALL.to_vec(),
+            seeds: active_seeds(),
+        }
+    }
+
+    /// The campaign a compiled scenario plan describes.
+    #[must_use]
+    pub fn from_plan(plan: &CampaignPlan) -> Params {
+        Params {
+            presets: plan.presets(),
+            schemes: plan.schemes_or(&SchemeChoice::ALL),
+            seeds: plan.seeds().to_vec(),
+        }
+    }
+}
+
+/// Runs E6 with the legacy parameters.
 pub fn run() {
+    run_with(&Params::legacy());
+}
+
+/// Runs E6 as described by a compiled scenario plan.
+pub fn run_plan(plan: &CampaignPlan) {
+    run_with(&Params::from_plan(plan));
+}
+
+/// Runs E6 on the configured traces: per scheme, total transmissions,
+/// replicas, transmissions per version per caching node, and mean
+/// freshness (the trade-off the paper's overhead figure makes).
+pub fn run_with(params: &Params) {
     banner("E6", "overhead comparison");
-    let seeds = active_seeds();
-    for preset in TracePreset::ALL {
+    let seeds = &params.seeds;
+    for &preset in &params.presets {
         println!("\ntrace: {preset}");
         let config = config_for(preset);
         let sim = FreshnessSimulator::new(config);
@@ -26,13 +70,13 @@ pub fn run() {
             "relay-buffer (copy-h)",
             "mean freshness",
         ]);
-        for &choice in &SchemeChoice::ALL {
+        for &choice in &params.schemes {
             let mut tx = Vec::new();
             let mut reps = Vec::new();
             let mut per = Vec::new();
             let mut buf = Vec::new();
             let mut fresh = Vec::new();
-            for report in per_seed(&seeds, |seed| {
+            for report in per_seed(seeds, |seed| {
                 let trace = trace_for(preset, seed);
                 sim.run(&trace, choice, &RngFactory::new(seed))
             }) {

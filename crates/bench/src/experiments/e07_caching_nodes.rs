@@ -7,6 +7,7 @@ use omn_core::sim::{FreshnessConfig, FreshnessSimulator, SchemeChoice};
 use omn_sim::RngFactory;
 
 use crate::experiments::{config_for, trace_for};
+use crate::scenario::CampaignPlan;
 use crate::{active_seeds, banner, fmt_ci, per_seed, Table};
 
 const CACHING_NODES: [usize; 5] = [4, 8, 16, 24, 32];
@@ -16,13 +17,60 @@ const SCHEMES: [SchemeChoice; 3] = [
     SchemeChoice::RandomTree,
 ];
 
-/// Runs E7 on the conference trace: mean and p95 refresh delay (hours) and
-/// mean freshness vs caching-set size, with the *oracle* delay bound — the
-/// minimum any dissemination scheme could achieve on the same trace, from
-/// time-respecting path analysis — as the reference row.
+/// Parameters of E7: the caching-set-size sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Trace preset the sweep runs on.
+    pub preset: TracePreset,
+    /// Caching-set sizes swept.
+    pub caching_nodes: Vec<usize>,
+    /// Schemes compared at each size.
+    pub schemes: Vec<SchemeChoice>,
+    /// Replication seeds.
+    pub seeds: Vec<u64>,
+}
+
+impl Params {
+    /// The hand-written legacy campaign (`--legacy` / direct `run()`).
+    #[must_use]
+    pub fn legacy() -> Params {
+        Params {
+            preset: TracePreset::InfocomLike,
+            caching_nodes: CACHING_NODES.to_vec(),
+            schemes: SCHEMES.to_vec(),
+            seeds: active_seeds(),
+        }
+    }
+
+    /// The campaign a compiled scenario plan describes.
+    #[must_use]
+    pub fn from_plan(plan: &CampaignPlan) -> Params {
+        Params {
+            preset: plan.preset_one(),
+            caching_nodes: plan.axis_usize_or("caching-nodes", &CACHING_NODES),
+            schemes: plan.schemes_or(&SCHEMES),
+            seeds: plan.seeds().to_vec(),
+        }
+    }
+}
+
+/// Runs E7 with the legacy parameters.
 pub fn run() {
+    run_with(&Params::legacy());
+}
+
+/// Runs E7 as described by a compiled scenario plan.
+pub fn run_plan(plan: &CampaignPlan) {
+    run_with(&Params::from_plan(plan));
+}
+
+/// Runs E7: mean and p95 refresh delay (hours) and mean freshness vs
+/// caching-set size, with the *oracle* delay bound — the minimum any
+/// dissemination scheme could achieve on the same trace, from
+/// time-respecting path analysis — as the reference row.
+pub fn run_with(params: &Params) {
     banner("E7", "scalability with caching nodes");
-    let preset = TracePreset::InfocomLike;
+    let preset = params.preset;
     println!("trace: {preset}\n");
     let mut table = Table::new([
         "caching nodes",
@@ -31,11 +79,11 @@ pub fn run() {
         "p95 delay (h)",
         "mean freshness",
     ]);
-    let seeds = active_seeds();
-    for &c in &CACHING_NODES {
+    let seeds = &params.seeds;
+    for &c in &params.caching_nodes {
         // Oracle bound: earliest possible arrival of each version at each
         // member via time-respecting contact paths.
-        let oracle_mean: Vec<f64> = per_seed(&seeds, |seed| {
+        let oracle_mean: Vec<f64> = per_seed(seeds, |seed| {
             let config = FreshnessConfig {
                 caching_nodes: c,
                 ..config_for(preset)
@@ -63,11 +111,11 @@ pub fn run() {
             "-".to_owned(),
         ]);
 
-        for &choice in &SCHEMES {
+        for &choice in &params.schemes {
             let mut mean_d = Vec::new();
             let mut p95_d = Vec::new();
             let mut fresh = Vec::new();
-            for mut report in per_seed(&seeds, |seed| {
+            for mut report in per_seed(seeds, |seed| {
                 let config = FreshnessConfig {
                     caching_nodes: c,
                     ..config_for(preset)

@@ -13,25 +13,85 @@ use omn_core::sim::{FreshnessConfig, FreshnessSimulator, SchemeChoice};
 use omn_sim::{RngFactory, SimDuration};
 
 use crate::experiments::{config_for, trace_for};
+use crate::scenario::CampaignPlan;
 use crate::{active_seeds, banner, fmt_ci, per_seed, Table};
 
-/// Runs E8 on the conference trace.
+const FANOUTS: [Option<usize>; 5] = [Some(1), Some(2), Some(3), Some(5), None];
+
+/// Parameters of E8: the ablation preset, fanout ladder, and seeds. The
+/// replication/structure/maintenance ablations compare fixed variant
+/// pairs, so only the fanout sweep is parameterized.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Trace preset the ablations run on.
+    pub preset: TracePreset,
+    /// Fanout bounds swept in ablation (c) (`None` = unbounded).
+    pub fanouts: Vec<Option<usize>>,
+    /// Replication seeds.
+    pub seeds: Vec<u64>,
+}
+
+impl Params {
+    /// The hand-written legacy campaign (`--legacy` / direct `run()`).
+    #[must_use]
+    pub fn legacy() -> Params {
+        Params {
+            preset: TracePreset::InfocomLike,
+            fanouts: FANOUTS.to_vec(),
+            seeds: active_seeds(),
+        }
+    }
+
+    /// The campaign a compiled scenario plan describes (axis value `0`
+    /// means unbounded fanout).
+    #[must_use]
+    pub fn from_plan(plan: &CampaignPlan) -> Params {
+        let fanouts = match plan.axis("fanout") {
+            Some(values) => values
+                .iter()
+                .map(|&v| {
+                    let f = v as usize;
+                    (f > 0).then_some(f)
+                })
+                .collect(),
+            None => FANOUTS.to_vec(),
+        };
+        Params {
+            preset: plan.preset_one(),
+            fanouts,
+            seeds: plan.seeds().to_vec(),
+        }
+    }
+}
+
+/// Runs E8 with the legacy parameters.
 pub fn run() {
+    run_with(&Params::legacy());
+}
+
+/// Runs E8 as described by a compiled scenario plan.
+pub fn run_plan(plan: &CampaignPlan) {
+    run_with(&Params::from_plan(plan));
+}
+
+/// Runs E8 on the configured trace.
+pub fn run_with(params: &Params) {
     banner("E8", "ablations");
-    let preset = TracePreset::InfocomLike;
+    let preset = params.preset;
     println!("trace: {preset}");
-    replication_ablation(preset);
-    structure_ablation(preset);
-    fanout_ablation(preset);
-    maintenance_ablation(preset);
+    replication_ablation(preset, &params.seeds);
+    structure_ablation(preset, &params.seeds);
+    fanout_ablation(preset, &params.fanouts, &params.seeds);
+    maintenance_ablation(preset, &params.seeds);
 }
 
 fn measure(
     preset: TracePreset,
     config: FreshnessConfig,
     choice: SchemeChoice,
+    seeds: &[u64],
 ) -> (Vec<f64>, Vec<f64>) {
-    per_seed(&active_seeds(), |seed| {
+    per_seed(seeds, |seed| {
         let trace = trace_for(preset, seed);
         let report = FreshnessSimulator::new(config).run(&trace, choice, &RngFactory::new(seed));
         (report.mean_freshness, report.requirement_satisfaction)
@@ -40,41 +100,41 @@ fn measure(
     .unzip()
 }
 
-fn replication_ablation(preset: TracePreset) {
+fn replication_ablation(preset: TracePreset, seeds: &[u64]) {
     println!("\n(a) probabilistic replication:");
     let mut table = Table::new(["variant", "mean freshness", "satisfaction"]);
     for (name, choice) in [
         ("tree + replication", SchemeChoice::Hierarchical),
         ("tree only", SchemeChoice::HierarchicalNoReplication),
     ] {
-        let (fresh, sat) = measure(preset, config_for(preset), choice);
+        let (fresh, sat) = measure(preset, config_for(preset), choice, seeds);
         table.row([name.to_owned(), fmt_ci(&fresh, 3), fmt_ci(&sat, 3)]);
     }
     table.print();
 }
 
-fn structure_ablation(preset: TracePreset) {
+fn structure_ablation(preset: TracePreset, seeds: &[u64]) {
     println!("\n(b) contact-aware vs random hierarchy (both without replication):");
     let mut table = Table::new(["variant", "mean freshness", "satisfaction"]);
     for (name, choice) in [
         ("greedy SED tree", SchemeChoice::HierarchicalNoReplication),
         ("random tree", SchemeChoice::RandomTree),
     ] {
-        let (fresh, sat) = measure(preset, config_for(preset), choice);
+        let (fresh, sat) = measure(preset, config_for(preset), choice, seeds);
         table.row([name.to_owned(), fmt_ci(&fresh, 3), fmt_ci(&sat, 3)]);
     }
     table.print();
 }
 
-fn fanout_ablation(preset: TracePreset) {
+fn fanout_ablation(preset: TracePreset, fanouts: &[Option<usize>], seeds: &[u64]) {
     println!("\n(c) fanout bound (tree + replication):");
     let mut table = Table::new(["fanout", "mean freshness", "satisfaction"]);
-    for fanout in [Some(1), Some(2), Some(3), Some(5), None] {
+    for &fanout in fanouts {
         let config = FreshnessConfig {
             fanout,
             ..config_for(preset)
         };
-        let (fresh, sat) = measure(preset, config, SchemeChoice::Hierarchical);
+        let (fresh, sat) = measure(preset, config, SchemeChoice::Hierarchical, seeds);
         let label = fanout.map_or("unbounded".to_owned(), |f| f.to_string());
         table.row([label, fmt_ci(&fresh, 3), fmt_ci(&sat, 3)]);
     }
@@ -85,7 +145,7 @@ fn fanout_ablation(preset: TracePreset) {
     );
 }
 
-fn maintenance_ablation(preset: TracePreset) {
+fn maintenance_ablation(preset: TracePreset, seeds: &[u64]) {
     println!("\n(d) planning knowledge and distributed maintenance:");
     let mut table = Table::new(["variant", "mean freshness", "satisfaction"]);
 
@@ -128,7 +188,7 @@ fn maintenance_ablation(preset: TracePreset) {
             estimator: EstimatorKind::Cumulative,
             ..base
         };
-        let (fresh, sat): (Vec<f64>, Vec<f64>) = per_seed(&active_seeds(), |seed| {
+        let (fresh, sat): (Vec<f64>, Vec<f64>) = per_seed(seeds, |seed| {
             let trace = trace_for(preset, seed);
             let mut scheme = HierarchicalScheme::new(hconfig);
             let report = FreshnessSimulator::new(config).run_scheme(

@@ -12,6 +12,7 @@ use omn_core::sim::{FreshnessConfig, FreshnessReport, FreshnessSimulator, Scheme
 use omn_sim::{RngFactory, SimDuration};
 
 use crate::experiments::{config_for, trace_for};
+use crate::scenario::CampaignPlan;
 use crate::{active_seeds, banner, fmt_ci, fmt_ci_count, per_seed, Table};
 
 const SCHEMES: [SchemeChoice; 4] = [
@@ -21,23 +22,72 @@ const SCHEMES: [SchemeChoice; 4] = [
     SchemeChoice::NoRefresh,
 ];
 
+/// Parameters of E9: the caching workload and the fault sweep knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Trace preset the stack runs on.
+    pub preset: TracePreset,
+    /// Freshness schemes compared on the cached items.
+    pub schemes: Vec<SchemeChoice>,
+    /// Catalog size (items).
+    pub catalog: usize,
+    /// Query count of the Zipf workload.
+    pub load: usize,
+    /// Transmission-loss probability of the loss fault scenario.
+    pub loss: f64,
+    /// Churned node fraction of the churn fault scenario.
+    pub churn: f64,
+    /// Replication seeds.
+    pub seeds: Vec<u64>,
+}
+
+impl Params {
+    /// The hand-written legacy campaign (`--legacy` / direct `run()`).
+    #[must_use]
+    pub fn legacy() -> Params {
+        Params {
+            preset: TracePreset::InfocomLike,
+            schemes: SCHEMES.to_vec(),
+            catalog: 6,
+            load: 400,
+            loss: 0.2,
+            churn: 0.25,
+            seeds: active_seeds(),
+        }
+    }
+
+    /// The campaign a compiled scenario plan describes.
+    #[must_use]
+    pub fn from_plan(plan: &CampaignPlan) -> Params {
+        Params {
+            preset: plan.preset_one(),
+            schemes: plan.schemes_or(&SCHEMES),
+            catalog: plan.scalar_usize_or("catalog", 6),
+            load: plan.scalar_usize_or("load", 400),
+            loss: plan.scalar_or("loss", 0.2),
+            churn: plan.scalar_or("churn", 0.25),
+            seeds: plan.seeds().to_vec(),
+        }
+    }
+}
+
 /// The caching-layer fault scenarios of the sweep: label plus fault
 /// configuration (`None` = fault-free baseline).
-fn fault_scenarios() -> [(&'static str, Option<FaultConfig>); 3] {
+fn fault_scenarios(params: &Params) -> [(String, Option<FaultConfig>); 3] {
     [
-        ("fault-free", None),
+        ("fault-free".to_owned(), None),
         (
-            "20% loss",
+            format!("{:.0}% loss", params.loss * 100.0),
             Some(FaultConfig {
-                transmission_loss: 0.2,
+                transmission_loss: params.loss,
                 ..FaultConfig::default()
             }),
         ),
         (
-            "25% churn",
+            format!("{:.0}% churn", params.churn * 100.0),
             Some(FaultConfig {
                 downtime: Some(DowntimeConfig {
-                    node_fraction: 0.25,
+                    node_fraction: params.churn,
                     mean_uptime: SimDuration::from_hours(18.0),
                     mean_downtime: SimDuration::from_hours(6.0),
                     exempt: None,
@@ -49,15 +99,15 @@ fn fault_scenarios() -> [(&'static str, Option<FaultConfig>); 3] {
 }
 
 fn caching_run(
-    preset: TracePreset,
+    params: &Params,
     seed: u64,
     faults: Option<FaultConfig>,
 ) -> (AccessReport, Catalog, QueryWorkload) {
     let factory = RngFactory::new(seed);
-    let trace = trace_for(preset, seed);
-    let base = config_for(preset);
-    let catalog = Catalog::uniform(&trace, 6, base.refresh_period, &factory);
-    let queries = QueryWorkload::zipf(&trace, &catalog, 400, 1.0, &factory);
+    let trace = trace_for(params.preset, seed);
+    let base = config_for(params.preset);
+    let catalog = Catalog::uniform(&trace, params.catalog, base.refresh_period, &factory);
+    let queries = QueryWorkload::zipf(&trace, &catalog, params.load, 1.0, &factory);
     let report = CachingSimulator::new(CachingConfig {
         query_deadline: SimDuration::from_hours(12.0),
         faults,
@@ -67,27 +117,37 @@ fn caching_run(
     (report, catalog, queries)
 }
 
-/// Runs E9 on the conference trace: the caching layer computes per-item
-/// caching sets and raw access success; each freshness scheme then
-/// maintains those sets, and the fresh-access ratio is reported per
-/// scheme, averaged over items and seeds. A final table sweeps the caching
-/// layer over loss and churn.
+/// Runs E9 with the legacy parameters.
 pub fn run() {
+    run_with(&Params::legacy());
+}
+
+/// Runs E9 as described by a compiled scenario plan.
+pub fn run_plan(plan: &CampaignPlan) {
+    run_with(&Params::from_plan(plan));
+}
+
+/// Runs E9: the caching layer computes per-item caching sets and raw
+/// access success; each freshness scheme then maintains those sets, and
+/// the fresh-access ratio is reported per scheme, averaged over items and
+/// seeds. A final table sweeps the caching layer over loss and churn.
+pub fn run_with(params: &Params) {
     banner("E9", "data-access validity (caching + freshness stack)");
-    let preset = TracePreset::InfocomLike;
+    let preset = params.preset;
     println!("trace: {preset}\n");
-    let seeds = active_seeds();
+    let seeds = &params.seeds;
+    let schemes = &params.schemes;
 
     // One (access success, per-scheme item means) result per seed.
     type SchemeMeans = Vec<Option<(f64, f64)>>;
-    let per: Vec<(f64, SchemeMeans)> = per_seed(&seeds, |seed| {
+    let per: Vec<(f64, SchemeMeans)> = per_seed(seeds, |seed| {
         let factory = RngFactory::new(seed);
         let trace = trace_for(preset, seed);
         let base = config_for(preset);
-        let (caching_report, catalog, _) = caching_run(preset, seed, None);
+        let (caching_report, catalog, _) = caching_run(params, seed, None);
 
         // Freshness layer per scheme, over each item's caching set.
-        let per_scheme = SCHEMES
+        let per_scheme = schemes
             .iter()
             .map(|&choice| {
                 let sim = FreshnessSimulator::new(FreshnessConfig {
@@ -121,8 +181,8 @@ pub fn run() {
     });
 
     let mut access_sr = Vec::new();
-    let mut per_scheme_fresh: Vec<Vec<f64>> = vec![Vec::new(); SCHEMES.len()];
-    let mut per_scheme_service: Vec<Vec<f64>> = vec![Vec::new(); SCHEMES.len()];
+    let mut per_scheme_fresh: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
+    let mut per_scheme_service: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
     for (sr, per_scheme) in per {
         access_sr.push(sr);
         for (si, entry) in per_scheme.into_iter().enumerate() {
@@ -139,7 +199,7 @@ pub fn run() {
     );
     println!();
     let mut table = Table::new(["freshness scheme", "service ratio", "fresh-access ratio"]);
-    for (si, &choice) in SCHEMES.iter().enumerate() {
+    for (si, &choice) in schemes.iter().enumerate() {
         table.row([
             choice.name().to_owned(),
             fmt_ci(&per_scheme_service[si], 3),
@@ -162,19 +222,19 @@ pub fn run() {
         "failed tx",
         "down contacts",
     ]);
-    for (label, faults) in fault_scenarios() {
+    for (label, faults) in fault_scenarios(params) {
         let mut success = Vec::new();
         let mut local = Vec::new();
         let mut failed = Vec::new();
         let mut down = Vec::new();
-        for (report, _, _) in per_seed(&seeds, |seed| caching_run(preset, seed, faults)) {
+        for (report, _, _) in per_seed(seeds, |seed| caching_run(params, seed, faults)) {
             success.push(report.success_ratio());
             local.push(report.local_hits as f64);
             failed.push(report.extras.get("failed-transmissions") as f64);
             down.push(report.extras.get("down-contacts") as f64);
         }
         fault_table.row([
-            label.to_owned(),
+            label,
             fmt_ci(&success, 3),
             fmt_ci_count(&local),
             fmt_ci_count(&failed),

@@ -13,19 +13,61 @@ use omn_net::{workload, NetworkSimulator, SimConfig};
 use omn_sim::{RngFactory, SimDuration};
 
 use crate::experiments::trace_for;
+use crate::scenario::CampaignPlan;
 use crate::{active_seeds, banner, fmt_ci, per_seed, Table};
 
-fn loss_faults() -> FaultConfig {
+/// Parameters of E10: the unicast workload and the fault columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Trace presets, one table each.
+    pub presets: Vec<TracePreset>,
+    /// Unicast messages per run.
+    pub messages: usize,
+    /// Transmission-loss probability of the loss column.
+    pub loss: f64,
+    /// Churned node fraction of the churn column.
+    pub churn: f64,
+    /// Replication seeds.
+    pub seeds: Vec<u64>,
+}
+
+impl Params {
+    /// The hand-written legacy campaign (`--legacy` / direct `run()`).
+    #[must_use]
+    pub fn legacy() -> Params {
+        Params {
+            presets: TracePreset::ALL.to_vec(),
+            messages: 200,
+            loss: 0.2,
+            churn: 0.25,
+            seeds: active_seeds(),
+        }
+    }
+
+    /// The campaign a compiled scenario plan describes.
+    #[must_use]
+    pub fn from_plan(plan: &CampaignPlan) -> Params {
+        Params {
+            presets: plan.presets(),
+            messages: plan.scalar_usize_or("messages", 200),
+            loss: plan.scalar_or("loss", 0.2),
+            churn: plan.scalar_or("churn", 0.25),
+            seeds: plan.seeds().to_vec(),
+        }
+    }
+}
+
+fn loss_faults(loss: f64) -> FaultConfig {
     FaultConfig {
-        transmission_loss: 0.2,
+        transmission_loss: loss,
         ..FaultConfig::default()
     }
 }
 
-fn churn_faults() -> FaultConfig {
+fn churn_faults(churn: f64) -> FaultConfig {
     FaultConfig {
         downtime: Some(DowntimeConfig {
-            node_fraction: 0.25,
+            node_fraction: churn,
             mean_uptime: SimDuration::from_hours(18.0),
             mean_downtime: SimDuration::from_hours(6.0),
             exempt: None,
@@ -34,21 +76,31 @@ fn churn_faults() -> FaultConfig {
     }
 }
 
-/// Runs E10: delivery ratio, mean delay and overhead ratio for each
-/// protocol on each trace, plus delivery under 20% transmission loss and
-/// 25% node churn.
+/// Runs E10 with the legacy parameters.
 pub fn run() {
+    run_with(&Params::legacy());
+}
+
+/// Runs E10 as described by a compiled scenario plan.
+pub fn run_plan(plan: &CampaignPlan) {
+    run_with(&Params::from_plan(plan));
+}
+
+/// Runs E10: delivery ratio, mean delay and overhead ratio for each
+/// protocol on each trace, plus delivery under transmission loss and node
+/// churn.
+pub fn run_with(params: &Params) {
     banner("E10", "routing baselines (substrate sanity)");
-    let seeds = active_seeds();
-    for preset in TracePreset::ALL {
+    let seeds = &params.seeds;
+    for &preset in &params.presets {
         println!("\ntrace: {preset}");
         let mut table = Table::new([
-            "protocol",
-            "delivery ratio",
-            "mean delay (h)",
-            "tx per delivery",
-            "delivery (20% loss)",
-            "delivery (25% churn)",
+            "protocol".to_owned(),
+            "delivery ratio".to_owned(),
+            "mean delay (h)".to_owned(),
+            "tx per delivery".to_owned(),
+            format!("delivery ({:.0}% loss)", params.loss * 100.0),
+            format!("delivery ({:.0}% churn)", params.churn * 100.0),
         ]);
 
         type ProtocolFactory = fn() -> Box<dyn RoutingProtocol>;
@@ -66,10 +118,10 @@ pub fn run() {
             let mut overhead = Vec::new();
             let mut lossy = Vec::new();
             let mut churned = Vec::new();
-            let per = per_seed(&seeds, |seed| {
+            let per = per_seed(seeds, |seed| {
                 let factory = RngFactory::new(seed);
                 let trace = trace_for(preset, seed);
-                let demands = workload::uniform_unicast(&trace, 200, &factory)
+                let demands = workload::uniform_unicast(&trace, params.messages, &factory)
                     .expect("routing trace has enough nodes");
                 let run_with = |faults: Option<FaultConfig>| {
                     let mut protocol = make();
@@ -80,8 +132,8 @@ pub fn run() {
                     .run_seeded(&trace, protocol.as_mut(), &demands, &factory)
                 };
                 let clean = run_with(None);
-                let loss = run_with(Some(loss_faults()));
-                let churn = run_with(Some(churn_faults()));
+                let loss = run_with(Some(loss_faults(params.loss)));
+                let churn = run_with(Some(churn_faults(params.churn)));
                 (
                     clean.delivery_ratio(),
                     clean.mean_delay(),

@@ -26,9 +26,43 @@ use omn_core::sim::FreshnessSimulator;
 use omn_sim::{RngFactory, SimDuration, SimTime};
 
 use crate::experiments::{config_for, trace_for};
+use crate::scenario::CampaignPlan;
 use crate::{active_seeds, banner, fmt_ci, per_seed, window_mean, Table};
 
 const DEPART_FRACTIONS: [f64; 4] = [0.0, 0.1, 0.2, 0.4];
+
+/// Parameters of E11: the departure-fraction ladder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Trace preset the sweep runs on.
+    pub preset: TracePreset,
+    /// Departed node fractions swept.
+    pub depart_fractions: Vec<f64>,
+    /// Replication seeds.
+    pub seeds: Vec<u64>,
+}
+
+impl Params {
+    /// The hand-written legacy campaign (`--legacy` / direct `run()`).
+    #[must_use]
+    pub fn legacy() -> Params {
+        Params {
+            preset: TracePreset::InfocomLike,
+            depart_fractions: DEPART_FRACTIONS.to_vec(),
+            seeds: active_seeds(),
+        }
+    }
+
+    /// The campaign a compiled scenario plan describes.
+    #[must_use]
+    pub fn from_plan(plan: &CampaignPlan) -> Params {
+        Params {
+            preset: plan.preset_one(),
+            depart_fractions: plan.axis_or("departed", &DEPART_FRACTIONS),
+            seeds: plan.seeds().to_vec(),
+        }
+    }
+}
 
 /// The static variant: planned once on the *healthy* network, executed
 /// verbatim on the failed one (its tree edges and relay plans may point at
@@ -86,13 +120,23 @@ fn maintained_scheme(
     })
 }
 
-/// Runs E11 on the conference trace: post-failure freshness (second half
-/// of the trace) per departure fraction for the statically planned
-/// hierarchy, the maintained hierarchy, the failure-aware maintained
-/// hierarchy, and epidemic refreshing.
+/// Runs E11 with the legacy parameters.
 pub fn run() {
+    run_with(&Params::legacy());
+}
+
+/// Runs E11 as described by a compiled scenario plan.
+pub fn run_plan(plan: &CampaignPlan) {
+    run_with(&Params::from_plan(plan));
+}
+
+/// Runs E11: post-failure freshness (second half of the trace) per
+/// departure fraction for the statically planned hierarchy, the maintained
+/// hierarchy, the failure-aware maintained hierarchy, and epidemic
+/// refreshing.
+pub fn run_with(params: &Params) {
     banner("E11", "robustness to node departures (extension)");
-    let preset = TracePreset::InfocomLike;
+    let preset = params.preset;
     println!("trace: {preset}; departures at half-span (fault-injected)\n");
 
     let mut table = Table::new([
@@ -103,13 +147,13 @@ pub fn run() {
         "epidemic",
     ]);
 
-    let seeds = active_seeds();
-    for &frac in &DEPART_FRACTIONS {
+    let seeds = &params.seeds;
+    for &frac in &params.depart_fractions {
         let mut static_f = Vec::new();
         let mut maintained_f = Vec::new();
         let mut resilient_f = Vec::new();
         let mut epidemic_f = Vec::new();
-        let per = per_seed(&seeds, |seed| {
+        let per = per_seed(seeds, |seed| {
             let mut base = config_for(preset);
             let factory = RngFactory::new(seed);
             let trace = trace_for(preset, seed);

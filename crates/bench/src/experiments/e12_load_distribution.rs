@@ -9,6 +9,7 @@ use omn_core::sim::{FreshnessConfig, FreshnessSimulator, SchemeChoice};
 use omn_sim::RngFactory;
 
 use crate::experiments::{config_for, trace_for};
+use crate::scenario::CampaignPlan;
 use crate::{active_seeds, banner, fmt_ci, per_seed, Table};
 
 const SCHEMES: [SchemeChoice; 4] = [
@@ -18,14 +19,60 @@ const SCHEMES: [SchemeChoice; 4] = [
     SchemeChoice::Epidemic,
 ];
 
-/// Runs E12 on the conference trace with a larger caching set (16), where
-/// serializing all refreshing at the source visibly hurts: reports the
-/// source's share of refresh transmissions, the busiest node's share, and
-/// the absolute per-version load on the source.
+/// Parameters of E12: schemes compared at one caching-set size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Trace preset the comparison runs on.
+    pub preset: TracePreset,
+    /// Schemes, one table row each.
+    pub schemes: Vec<SchemeChoice>,
+    /// Caching-set size (large enough that serializing at the source
+    /// visibly hurts).
+    pub caching_nodes: usize,
+    /// Replication seeds.
+    pub seeds: Vec<u64>,
+}
+
+impl Params {
+    /// The hand-written legacy campaign (`--legacy` / direct `run()`).
+    #[must_use]
+    pub fn legacy() -> Params {
+        Params {
+            preset: TracePreset::InfocomLike,
+            schemes: SCHEMES.to_vec(),
+            caching_nodes: 16,
+            seeds: active_seeds(),
+        }
+    }
+
+    /// The campaign a compiled scenario plan describes.
+    #[must_use]
+    pub fn from_plan(plan: &CampaignPlan) -> Params {
+        Params {
+            preset: plan.preset_one(),
+            schemes: plan.schemes_or(&SCHEMES),
+            caching_nodes: plan.scalar_usize_or("caching-nodes", 16),
+            seeds: plan.seeds().to_vec(),
+        }
+    }
+}
+
+/// Runs E12 with the legacy parameters.
 pub fn run() {
+    run_with(&Params::legacy());
+}
+
+/// Runs E12 as described by a compiled scenario plan.
+pub fn run_plan(plan: &CampaignPlan) {
+    run_with(&Params::from_plan(plan));
+}
+
+/// Runs E12: reports the source's share of refresh transmissions, the
+/// busiest node's share, and the absolute per-version load on the source.
+pub fn run_with(params: &Params) {
     banner("E12", "refresh-load distribution");
-    let preset = TracePreset::InfocomLike;
-    println!("trace: {preset}, 16 caching nodes\n");
+    let preset = params.preset;
+    println!("trace: {preset}, {} caching nodes\n", params.caching_nodes);
 
     let mut table = Table::new([
         "scheme",
@@ -35,15 +82,15 @@ pub fn run() {
         "mean freshness",
     ]);
 
-    let seeds = active_seeds();
-    for &choice in &SCHEMES {
+    let seeds = &params.seeds;
+    for &choice in &params.schemes {
         let mut src_share = Vec::new();
         let mut max_share = Vec::new();
         let mut src_per_version = Vec::new();
         let mut fresh = Vec::new();
-        for report in per_seed(&seeds, |seed| {
+        for report in per_seed(seeds, |seed| {
             let config = FreshnessConfig {
-                caching_nodes: 16,
+                caching_nodes: params.caching_nodes,
                 ..config_for(preset)
             };
             let trace = trace_for(preset, seed);

@@ -22,21 +22,65 @@ use omn_core::sim::{FreshnessSimulator, SchemeChoice};
 use omn_sim::{RngFactory, SimDuration};
 
 use crate::experiments::{config_for, trace_for};
+use crate::scenario::{CampaignPlan, RetrySpec};
 use crate::{active_seeds, banner, fmt_ci, fmt_ci_count, per_seed, Table};
 
 const LOSS_RATES: [f64; 4] = [0.0, 0.1, 0.2, 0.4];
 const CHURN_FRACTIONS: [f64; 3] = [0.0, 0.25, 0.5];
 
+/// Parameters of E13: the loss and churn ladders and the retry policy of
+/// the resilient variant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Trace preset the sweeps run on.
+    pub preset: TracePreset,
+    /// Transmission-loss probabilities of the loss sweep.
+    pub loss_rates: Vec<f64>,
+    /// Churned node fractions of the churn sweep.
+    pub churn_fractions: Vec<f64>,
+    /// Retry policy of the retrying variant in the loss sweep.
+    pub retry: RetrySpec,
+    /// Replication seeds.
+    pub seeds: Vec<u64>,
+}
+
+impl Params {
+    /// The hand-written legacy campaign (`--legacy` / direct `run()`).
+    #[must_use]
+    pub fn legacy() -> Params {
+        Params {
+            preset: TracePreset::InfocomLike,
+            loss_rates: LOSS_RATES.to_vec(),
+            churn_fractions: CHURN_FRACTIONS.to_vec(),
+            retry: RetrySpec::Fixed(3),
+            seeds: active_seeds(),
+        }
+    }
+
+    /// The campaign a compiled scenario plan describes.
+    #[must_use]
+    pub fn from_plan(plan: &CampaignPlan) -> Params {
+        Params {
+            preset: plan.preset_one(),
+            loss_rates: plan.axis_or("loss", &LOSS_RATES),
+            churn_fractions: plan.axis_or("churn", &CHURN_FRACTIONS),
+            retry: plan.retry().unwrap_or(RetrySpec::Fixed(3)),
+            seeds: plan.seeds().to_vec(),
+        }
+    }
+}
+
 /// Retry-only resilience: bounded retransmissions, failure detector off.
-fn retry_only() -> ResilienceConfig {
+fn retry_only(policy: RetryPolicy) -> ResilienceConfig {
     ResilienceConfig {
-        retry: RetryPolicy::fixed(3),
+        retry: policy,
         suspect_after_icts: f64::INFINITY,
         ..ResilienceConfig::default()
     }
 }
 
-fn loss_sweep(preset: TracePreset) {
+fn loss_sweep(params: &Params) {
+    let preset = params.preset;
     println!("-- transmission-loss sweep (mean cache freshness) --\n");
     let mut table = Table::new([
         "loss",
@@ -47,14 +91,15 @@ fn loss_sweep(preset: TracePreset) {
         "retries",
     ]);
 
-    let seeds = active_seeds();
-    for &loss in &LOSS_RATES {
+    let seeds = &params.seeds;
+    let policy = params.retry.to_policy();
+    for &loss in &params.loss_rates {
         let mut plain = Vec::new();
         let mut retry = Vec::new();
         let mut epidemic = Vec::new();
         let mut failed_tx = Vec::new();
         let mut retries = Vec::new();
-        let per = per_seed(&seeds, |seed| {
+        let per = per_seed(seeds, |seed| {
             let trace = trace_for(preset, seed);
             let factory = RngFactory::new(seed);
             let mut base = config_for(preset);
@@ -65,7 +110,7 @@ fn loss_sweep(preset: TracePreset) {
 
             let p = FreshnessSimulator::new(base).run(&trace, SchemeChoice::Hierarchical, &factory);
 
-            base.resilience = Some(retry_only());
+            base.resilience = Some(retry_only(policy));
             let r = FreshnessSimulator::new(base).run(&trace, SchemeChoice::Hierarchical, &factory);
 
             base.resilience = None;
@@ -104,7 +149,8 @@ fn loss_sweep(preset: TracePreset) {
     );
 }
 
-fn churn_sweep(preset: TracePreset) {
+fn churn_sweep(params: &Params) {
+    let preset = params.preset;
     println!("\n-- node-churn sweep (mean up 18 h, mean down 6 h) --\n");
     let mut table = Table::new([
         "churning",
@@ -116,15 +162,15 @@ fn churn_sweep(preset: TracePreset) {
         "false susp.",
     ]);
 
-    let seeds = active_seeds();
-    for &frac in &CHURN_FRACTIONS {
+    let seeds = &params.seeds;
+    for &frac in &params.churn_fractions {
         let mut plain = Vec::new();
         let mut aware = Vec::new();
         let mut rejoins = Vec::new();
         let mut recovery_h = Vec::new();
         let mut suspected = Vec::new();
         let mut false_susp = Vec::new();
-        let per = per_seed(&seeds, |seed| {
+        let per = per_seed(seeds, |seed| {
             let trace = trace_for(preset, seed);
             let factory = RngFactory::new(seed);
             let mut base = config_for(preset);
@@ -186,11 +232,21 @@ fn churn_sweep(preset: TracePreset) {
     );
 }
 
-/// Runs E13 on the conference trace: the loss sweep, then the churn sweep.
+/// Runs E13 with the legacy parameters.
 pub fn run() {
+    run_with(&Params::legacy());
+}
+
+/// Runs E13 as described by a compiled scenario plan.
+pub fn run_plan(plan: &CampaignPlan) {
+    run_with(&Params::from_plan(plan));
+}
+
+/// Runs E13: the loss sweep, then the churn sweep.
+pub fn run_with(params: &Params) {
     banner("E13", "fault tolerance: loss and churn (extension)");
-    let preset = TracePreset::InfocomLike;
+    let preset = params.preset;
     println!("trace: {preset}; faults injected via seeded FaultPlan\n");
-    loss_sweep(preset);
-    churn_sweep(preset);
+    loss_sweep(params);
+    churn_sweep(params);
 }

@@ -20,6 +20,7 @@ use omn_core::sim::{FreshnessConfig, SchemeChoice};
 use omn_sim::{RngFactory, SimDuration};
 
 use crate::experiments::{config_for, trace_for};
+use crate::scenario::CampaignPlan;
 use crate::{active_seeds, banner, fmt_ci, fmt_ci_count, per_seed, Table};
 
 /// Query loads of the sweep. The zipf workload draws sequentially, so each
@@ -36,6 +37,69 @@ const PRIORITIES: [ContentionPriority; 3] = [
     ContentionPriority::FairInterleave,
 ];
 
+/// Parameters of E14: the contention sweep shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Trace preset the joint world runs on.
+    pub preset: TracePreset,
+    /// The tight per-contact transfer budget.
+    pub budget: u32,
+    /// Query loads swept (each a prefix of the next).
+    pub loads: Vec<usize>,
+    /// Contention priorities compared.
+    pub priorities: Vec<ContentionPriority>,
+    /// Catalog size (items).
+    pub catalog: usize,
+    /// Query deadline, hours.
+    pub query_deadline_h: f64,
+    /// Replication seeds.
+    pub seeds: Vec<u64>,
+}
+
+impl Params {
+    /// The hand-written legacy campaign (`--legacy` / direct `run()`).
+    #[must_use]
+    pub fn legacy() -> Params {
+        Params {
+            preset: TracePreset::InfocomLike,
+            budget: BUDGET,
+            loads: LOADS.to_vec(),
+            priorities: PRIORITIES.to_vec(),
+            catalog: 6,
+            query_deadline_h: 12.0,
+            seeds: active_seeds(),
+        }
+    }
+
+    /// The campaign a compiled scenario plan describes (the planner
+    /// guarantees a [contention] section with loads and priorities).
+    #[must_use]
+    pub fn from_plan(plan: &CampaignPlan) -> Params {
+        let legacy = Params::legacy();
+        let (budget, loads, priorities) = match plan.contention() {
+            Some(c) => (
+                c.budget.unwrap_or(BUDGET),
+                c.loads.clone(),
+                c.priorities.clone(),
+            ),
+            None => (
+                legacy.budget,
+                legacy.loads.clone(),
+                legacy.priorities.clone(),
+            ),
+        };
+        Params {
+            preset: plan.preset_one(),
+            budget,
+            loads,
+            priorities,
+            catalog: plan.scalar_usize_or("catalog", 6),
+            query_deadline_h: plan.scalar_or("query-deadline-h", 12.0),
+            seeds: plan.seeds().to_vec(),
+        }
+    }
+}
+
 fn priority_name(p: ContentionPriority) -> &'static str {
     match p {
         ContentionPriority::RefreshFirst => "refresh-first",
@@ -44,25 +108,25 @@ fn priority_name(p: ContentionPriority) -> &'static str {
     }
 }
 
-/// One joint run of the E14 configuration: conference trace, 6-item
-/// catalog, hierarchical refreshing with stale-replica demotion, and the
-/// given query load, per-contact budget and contention priority.
+/// One joint run with an explicit catalog size and query deadline.
 #[must_use]
-pub fn joint_run(
+pub fn joint_run_with(
     preset: TracePreset,
     seed: u64,
     load: usize,
     budget: Option<u32>,
     priority: ContentionPriority,
+    catalog_items: usize,
+    query_deadline_h: f64,
 ) -> JointReport {
     let factory = RngFactory::new(seed);
     let trace = trace_for(preset, seed);
     let base = config_for(preset);
-    let catalog = Catalog::uniform(&trace, 6, base.refresh_period, &factory);
+    let catalog = Catalog::uniform(&trace, catalog_items, base.refresh_period, &factory);
     let queries = QueryWorkload::zipf(&trace, &catalog, load, 1.0, &factory);
     JointSimulator::new(JointConfig {
         caching: CachingConfig {
-            query_deadline: SimDuration::from_hours(12.0),
+            query_deadline: SimDuration::from_hours(query_deadline_h),
             ..CachingConfig::default()
         },
         freshness: Some(FreshnessConfig {
@@ -78,16 +142,42 @@ pub fn joint_run(
     .run(&trace, &catalog, &queries, &factory)
 }
 
-/// Runs E14 on the conference trace: an unlimited-budget reference row,
-/// then the query-load sweep under the tight budget for each contention
-/// priority, averaged over seeds.
+/// One joint run of the E14 configuration: conference trace, 6-item
+/// catalog, hierarchical refreshing with stale-replica demotion, and the
+/// given query load, per-contact budget and contention priority.
+#[must_use]
+pub fn joint_run(
+    preset: TracePreset,
+    seed: u64,
+    load: usize,
+    budget: Option<u32>,
+    priority: ContentionPriority,
+) -> JointReport {
+    joint_run_with(preset, seed, load, budget, priority, 6, 12.0)
+}
+
+/// Runs E14 with the legacy parameters.
 pub fn run() {
+    run_with(&Params::legacy());
+}
+
+/// Runs E14 as described by a compiled scenario plan.
+pub fn run_plan(plan: &CampaignPlan) {
+    run_with(&Params::from_plan(plan));
+}
+
+/// Runs E14: an unlimited-budget reference row, then the query-load sweep
+/// under the tight budget for each contention priority, averaged over
+/// seeds.
+pub fn run_with(params: &Params) {
     banner("E14", "joint world: contact-capacity contention");
-    let preset = TracePreset::InfocomLike;
+    let preset = params.preset;
+    let budget = params.budget;
+    let loads = &params.loads;
     println!(
-        "trace: {preset}, per-contact budget {BUDGET},\nquery loads {LOADS:?} (each load is a prefix of the next)\n"
+        "trace: {preset}, per-contact budget {budget},\nquery loads {loads:?} (each load is a prefix of the next)\n"
     );
-    let seeds = active_seeds();
+    let seeds = &params.seeds;
 
     struct Row {
         freshness: Vec<f64>,
@@ -106,8 +196,16 @@ pub fn run() {
             deferred: Vec::new(),
             peak: Vec::new(),
         };
-        for r in per_seed(&seeds, |seed| {
-            joint_run(preset, seed, load, budget, priority)
+        for r in per_seed(seeds, |seed| {
+            joint_run_with(
+                preset,
+                seed,
+                load,
+                budget,
+                priority,
+                params.catalog,
+                params.query_deadline_h,
+            )
         }) {
             row.freshness.push(r.mean_freshness().unwrap_or(0.0));
             row.fresh_access.push(r.fresh_access_ratio());
@@ -141,25 +239,22 @@ pub fn run() {
         "peak/contact",
     ];
 
+    let top_load = loads.last().copied().unwrap_or(0);
     let mut reference = Table::new(headers);
     render(
         &mut reference,
-        format!("unlimited, load {}", LOADS[LOADS.len() - 1]),
-        &collect(
-            None,
-            ContentionPriority::RefreshFirst,
-            LOADS[LOADS.len() - 1],
-        ),
+        format!("unlimited, load {top_load}"),
+        &collect(None, ContentionPriority::RefreshFirst, top_load),
     );
     reference.print();
     println!();
 
-    for priority in PRIORITIES {
+    for &priority in &params.priorities {
         println!("priority: {}", priority_name(priority));
         let mut table = Table::new(headers);
-        for load in LOADS {
-            let row = collect(Some(BUDGET), priority, load);
-            render(&mut table, format!("budget {BUDGET}, load {load}"), &row);
+        for &load in loads {
+            let row = collect(Some(budget), priority, load);
+            render(&mut table, format!("budget {budget}, load {load}"), &row);
         }
         table.print();
         println!();

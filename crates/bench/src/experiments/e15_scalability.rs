@@ -26,6 +26,7 @@ use omn_core::sim::{
 };
 use omn_sim::{RngFactory, SimDuration, SimTime};
 
+use crate::scenario::CampaignPlan;
 use crate::{
     active_nodes, active_seeds, active_threads, active_window_mins, banner, fmt_ci, per_seed,
     wall_hidden, Table,
@@ -47,6 +48,60 @@ const SCHEMES: [SchemeChoice; 2] = [SchemeChoice::Hierarchical, SchemeChoice::Ep
 /// Hours of the stream given to role selection (rate warm-up window),
 /// clipped to half the span at the reduced spans of the largest sizes.
 const WARMUP_HOURS: f64 = 6.0;
+
+/// Parameters of E15: sweep sizes, pipeline shape, and output columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Node counts swept.
+    pub nodes: Vec<usize>,
+    /// Schemes compared at each size.
+    pub schemes: Vec<SchemeChoice>,
+    /// Replication seeds.
+    pub seeds: Vec<u64>,
+    /// Generator threads (0 = serial k-way merge).
+    pub threads: usize,
+    /// Barrier-window override of the parallel pipeline, simulated
+    /// minutes.
+    pub window_mins: Option<f64>,
+    /// Whether to print the wall-clock column.
+    pub show_wall: bool,
+    /// Node count of the `--headline` point.
+    pub headline_nodes: usize,
+}
+
+impl Params {
+    /// The hand-written legacy campaign (`--legacy` / direct `run()`).
+    #[must_use]
+    pub fn legacy() -> Params {
+        Params {
+            nodes: active_nodes(&NODE_COUNTS),
+            schemes: SCHEMES.to_vec(),
+            seeds: active_seeds(),
+            threads: active_threads(),
+            window_mins: active_window_mins(),
+            show_wall: !wall_hidden(),
+            headline_nodes: HEADLINE_NODES,
+        }
+    }
+
+    /// The campaign a compiled scenario plan describes.
+    #[must_use]
+    pub fn from_plan(plan: &CampaignPlan) -> Params {
+        Params {
+            nodes: plan.axis_usize_or("nodes", &NODE_COUNTS),
+            schemes: plan.schemes_or(&SCHEMES),
+            seeds: plan.seeds().to_vec(),
+            threads: plan.threads,
+            window_mins: plan.window_mins,
+            show_wall: !plan.no_wall,
+            headline_nodes: plan.scalar_usize_or("headline-nodes", HEADLINE_NODES),
+        }
+    }
+
+    fn window(&self) -> Option<SimDuration> {
+        self.window_mins.map(SimDuration::from_mins)
+    }
+}
 
 /// Shards for a node count: ~50-node communities, at least one.
 #[must_use]
@@ -164,17 +219,29 @@ pub fn run_point_with(
     }
 }
 
-fn active_window() -> Option<SimDuration> {
-    active_window_mins().map(SimDuration::from_mins)
+/// Runs E15 with the legacy parameters.
+pub fn run() {
+    run_with(&Params::legacy());
+}
+
+/// Runs E15 as described by a compiled scenario plan (`--headline`
+/// selects the single large point instead of the sweep).
+pub fn run_plan(plan: &CampaignPlan) {
+    let params = Params::from_plan(plan);
+    if plan.headline {
+        run_headline_with(&params);
+    } else {
+        run_with(&params);
+    }
 }
 
 /// Runs E15: node-count sweep of the streaming pipeline, reporting
 /// freshness, refresh overhead, stream volume, peak residency, and
 /// wall-clock per point (`--no-wall` hides the wall column for
 /// byte-for-byte diffing).
-pub fn run() {
+pub fn run_with(params: &Params) {
     banner("E15", "scalability with network size (streaming pipeline)");
-    let threads = active_threads();
+    let threads = params.threads;
     let pipeline = if threads == 0 {
         "serial k-way merge".to_owned()
     } else {
@@ -185,7 +252,7 @@ pub fn run() {
          pipeline: {pipeline}\n\
          planning: estimated rates, roles from a streamed warm-up window\n"
     );
-    let show_wall = !wall_hidden();
+    let show_wall = params.show_wall;
     let mut headers = vec![
         "nodes",
         "shards",
@@ -199,11 +266,11 @@ pub fn run() {
         headers.push("wall (s)");
     }
     let mut table = Table::new(headers);
-    let seeds = active_seeds();
-    let window = active_window();
-    for &n in &active_nodes(&NODE_COUNTS) {
-        for &choice in &SCHEMES {
-            let points = per_seed(&seeds, |seed| {
+    let seeds = &params.seeds;
+    let window = params.window();
+    for &n in &params.nodes {
+        for &choice in &params.schemes {
+            let points = per_seed(seeds, |seed| {
                 run_point_with(n, choice, seed, threads, window)
             });
             let contacts: Vec<f64> = points
@@ -252,28 +319,34 @@ pub fn run() {
     );
 }
 
+/// Runs the `--headline` point with the legacy parameters.
+pub fn run_headline() {
+    run_headline_with(&Params::legacy());
+}
+
 /// Runs the `--headline` point: 10⁶ nodes, one simulated hour, one seed,
 /// the hierarchical scheme, on the parallel pipeline (at least one
 /// generator thread — the headline exists to exercise the sharded
 /// engine at full scale).
-pub fn run_headline() {
+pub fn run_headline_with(params: &Params) {
     banner(
         "E15",
         "headline: one million nodes (window-barrier pipeline)",
     );
-    let threads = active_threads().max(1);
-    let seed = active_seeds().first().copied().unwrap_or(11);
+    let headline_nodes = params.headline_nodes;
+    let threads = params.threads.max(1);
+    let seed = params.seeds.first().copied().unwrap_or(11);
     println!(
-        "nodes {HEADLINE_NODES}, shards {}, span {:.1} h, {threads} generator thread(s), seed {seed}\n",
-        shards_for(HEADLINE_NODES),
-        span_for(HEADLINE_NODES).as_secs() / 3600.0
+        "nodes {headline_nodes}, shards {}, span {:.1} h, {threads} generator thread(s), seed {seed}\n",
+        shards_for(headline_nodes),
+        span_for(headline_nodes).as_secs() / 3600.0
     );
     let p = run_point_with(
-        HEADLINE_NODES,
+        headline_nodes,
         SchemeChoice::Hierarchical,
         seed,
         threads,
-        active_window(),
+        params.window(),
     );
     let mut table = Table::new(vec![
         "nodes",
@@ -283,13 +356,13 @@ pub fn run_headline() {
         "transmissions",
     ]);
     let mut row = vec![
-        HEADLINE_NODES.to_string(),
+        headline_nodes.to_string(),
         p.stats.contacts_total.to_string(),
         p.stats.peak_resident.to_string(),
         format!("{:.3}", p.report.mean_freshness),
         p.report.transmissions.to_string(),
     ];
-    if !wall_hidden() {
+    if params.show_wall {
         table = Table::new(vec![
             "nodes",
             "contacts",

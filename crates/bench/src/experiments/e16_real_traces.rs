@@ -28,10 +28,49 @@ use omn_traces::{
 };
 
 use crate::experiments::default_config;
+use crate::scenario::{CampaignPlan, WorldSpec};
 use crate::{active_seeds, active_trace, banner, fmt_ci, per_seed, Table, TraceOverride, SEEDS};
 
 /// The schemes compared on every ingested trace.
 pub const SCHEMES: [SchemeChoice; 2] = [SchemeChoice::Hierarchical, SchemeChoice::Epidemic];
+
+/// Parameters of E16: which dataset(s) to run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// One user-supplied dataset file; `None` runs the built-in registry.
+    pub trace: Option<TraceOverride>,
+    /// Replication seeds.
+    pub seeds: Vec<u64>,
+}
+
+impl Params {
+    /// The hand-written legacy campaign (`--legacy` / direct `run()`).
+    #[must_use]
+    pub fn legacy() -> Params {
+        Params {
+            trace: active_trace(),
+            seeds: active_seeds(),
+        }
+    }
+
+    /// The campaign a compiled scenario plan describes (a `[world]` of
+    /// `kind = trace` selects one dataset file; `kind = registry` runs
+    /// the built-in registry).
+    #[must_use]
+    pub fn from_plan(plan: &CampaignPlan) -> Params {
+        let trace = match &plan.spec.world {
+            WorldSpec::TraceFile { path, format } => Some(TraceOverride {
+                path: path.clone(),
+                format: format.clone(),
+            }),
+            _ => None,
+        };
+        Params {
+            trace,
+            seeds: plan.seeds().to_vec(),
+        }
+    }
+}
 
 /// The repository root the built-in registry is rooted at (fixtures are
 /// vendored relative to it).
@@ -115,16 +154,28 @@ pub fn resolve_format(path: &Path, name: Option<&str>) -> Result<TraceFormat, St
     }
 }
 
-/// Runs E16: registry datasets by default, or the `--trace` override.
+/// Runs E16 with the legacy parameters (registry datasets by default, or
+/// the `--trace` override).
 pub fn run() {
+    run_with(&Params::legacy());
+}
+
+/// Runs E16 as described by a compiled scenario plan.
+pub fn run_plan(plan: &CampaignPlan) {
+    run_with(&Params::from_plan(plan));
+}
+
+/// Runs E16: the one `--trace`/spec-selected dataset, or every registry
+/// dataset.
+pub fn run_with(params: &Params) {
     banner("E16", "real traces: ingestion, calibration, freshness");
-    match active_trace() {
-        Some(over) => run_override(&over),
-        None => run_registry(),
+    match &params.trace {
+        Some(over) => run_override(over, &params.seeds),
+        None => run_registry(&params.seeds),
     }
 }
 
-fn run_registry() {
+fn run_registry(seeds: &[u64]) {
     let specs = registry(&repo_root());
     if specs.is_empty() {
         println!(
@@ -134,7 +185,7 @@ fn run_registry() {
         );
         for preset in TracePreset::ALL {
             println!("\nsynthetic stand-in: {preset}");
-            campaign(&preset.generate_small(&RngFactory::new(SEEDS[0])));
+            campaign(&preset.generate_small(&RngFactory::new(SEEDS[0])), seeds);
         }
         return;
     }
@@ -144,14 +195,14 @@ fn run_registry() {
         match spec.ingest() {
             Ok(ingested) => {
                 report_ingestion(&ingested, start.elapsed().as_secs_f64());
-                campaign(&ingested.trace);
+                campaign(&ingested.trace, seeds);
             }
             Err(e) => println!("  ingest failed: {e}; skipping"),
         }
     }
 }
 
-fn run_override(over: &TraceOverride) {
+fn run_override(over: &TraceOverride, seeds: &[u64]) {
     let path = Path::new(&over.path);
     let format = resolve_format(path, over.format.as_deref()).unwrap_or_else(|msg| {
         eprintln!("error: {msg}");
@@ -175,7 +226,7 @@ fn run_override(over: &TraceOverride) {
     let config = IngestConfig::new(found.nodes.max(2), span).policy(RecordPolicy::Lenient);
     let ingested = ingest_file(path, format, config).unwrap_or_else(|e| fail("ingest", &e));
     report_ingestion(&ingested, start.elapsed().as_secs_f64());
-    campaign(&ingested.trace);
+    campaign(&ingested.trace, seeds);
 }
 
 /// Prints the ingestion summary: volume, normalization counters, checksum,
@@ -210,7 +261,7 @@ fn report_ingestion(ingested: &Ingested, wall: f64) {
 
 /// Fits the model, prints the calibration check, and runs the freshness
 /// campaign on the real trace and its fitted synthetic stand-in.
-fn campaign(real: &ContactTrace) {
+fn campaign(real: &ContactTrace, seeds: &[u64]) {
     let cal = Calibration::fit(real);
     println!(
         "  fitted pairwise model: mean rate {:.3e} /s/pair, Gamma shape {:.2}, \
@@ -227,8 +278,7 @@ fn campaign(real: &ContactTrace) {
         None => println!("  exponential goodness-of-fit: n/a (no pair met three times)"),
     }
 
-    let seeds = active_seeds();
-    let points = per_seed(&seeds, |seed| seed_point(real, &cal, seed));
+    let points = per_seed(seeds, |seed| seed_point(real, &cal, seed));
 
     let check0 = points[0].check;
     let synth_int: Vec<f64> = points.iter().map(|p| p.check.synth_intensity).collect();

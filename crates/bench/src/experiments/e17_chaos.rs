@@ -13,6 +13,10 @@
 //! * **correlated regional outages** — whole id-blocks of nodes go down
 //!   together.
 //!
+//! The ladder itself is a scenario-compiler concept: each rung is a
+//! [`FaultRung`] straight out of a spec's `[faults]` section (the default
+//! ladder is [`default_ladder`], committed as `specs/e17.scn`).
+//!
 //! Every run executes with the full invariant-oracle suite in campaign
 //! mode and the failure-aware hierarchy (exponential-backoff retry with
 //! timeout escalation, failure detector with re-parenting). The campaign
@@ -29,85 +33,110 @@ use omn_core::sim::{FreshnessReport, FreshnessSimulator, SchemeChoice};
 use omn_sim::{OracleMode, OracleReport, RngFactory, SimDuration};
 
 use crate::experiments::{config_for, trace_for};
+use crate::scenario::{CampaignPlan, FaultRung, RetrySpec};
 use crate::{active_seeds, banner, fmt_ci, fmt_ci_count, per_seed, Table};
 
-/// One rung of the chaos ladder: how intense each fault kind is.
-#[derive(Debug, Clone, Copy)]
-pub struct ChaosLevel {
-    /// Human-readable rung name.
-    pub name: &'static str,
-    /// Probability that a successful transfer is a stale-version replay.
-    pub corruption: f64,
-    /// Fraction of nodes subject to crash-with-state-loss windows.
-    pub crash_fraction: f64,
-    /// Number of correlated regional outage events over the span.
-    pub outages: u32,
+/// The default chaos ladder, fault-free to extreme. The zero rung
+/// configures no fault at all (the plan is inert), so it doubles as the
+/// campaign's baseline. `specs/e17.scn` commits the same ladder in spec
+/// form.
+#[must_use]
+pub fn default_ladder() -> Vec<FaultRung> {
+    let rung = |name: &str, corruption: f64, crash_fraction: f64, outages: u32| FaultRung {
+        name: name.to_owned(),
+        corruption,
+        crash_fraction,
+        outages,
+    };
+    vec![
+        rung("zero", 0.0, 0.0, 0),
+        rung("mild", 0.10, 0.15, 1),
+        rung("moderate", 0.25, 0.35, 3),
+        rung("severe", 0.45, 0.60, 6),
+        rung("extreme", 0.70, 0.85, 10),
+    ]
 }
 
-/// The chaos ladder, fault-free to extreme. The zero rung configures no
-/// fault at all (the plan is inert), so it doubles as the campaign's
-/// baseline.
-pub const LEVELS: [ChaosLevel; 5] = [
-    ChaosLevel {
-        name: "zero",
-        corruption: 0.0,
-        crash_fraction: 0.0,
-        outages: 0,
-    },
-    ChaosLevel {
-        name: "mild",
-        corruption: 0.10,
-        crash_fraction: 0.15,
-        outages: 1,
-    },
-    ChaosLevel {
-        name: "moderate",
-        corruption: 0.25,
-        crash_fraction: 0.35,
-        outages: 3,
-    },
-    ChaosLevel {
-        name: "severe",
-        corruption: 0.45,
-        crash_fraction: 0.60,
-        outages: 6,
-    },
-    ChaosLevel {
-        name: "extreme",
-        corruption: 0.70,
-        crash_fraction: 0.85,
-        outages: 10,
-    },
-];
+/// Parameters of E17: the fault ladder and the retry policy climbing it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Trace preset the campaign runs on.
+    pub preset: TracePreset,
+    /// The chaos ladder, in climbing order (the envelope assertion reads
+    /// the rungs as monotonically intensifying).
+    pub ladder: Vec<FaultRung>,
+    /// Retry policy of the failure-aware hierarchy.
+    pub retry: RetrySpec,
+    /// Replication seeds.
+    pub seeds: Vec<u64>,
+}
+
+impl Params {
+    /// The hand-written legacy campaign (`--legacy` / direct `run()`).
+    #[must_use]
+    pub fn legacy() -> Params {
+        Params {
+            preset: TracePreset::InfocomLike,
+            ladder: default_ladder(),
+            retry: RetrySpec::Exponential {
+                attempts: 3,
+                base_hours: 1.0,
+            },
+            seeds: active_seeds(),
+        }
+    }
+
+    /// The campaign a compiled scenario plan describes (an empty
+    /// `[faults]` section falls back to the default ladder).
+    #[must_use]
+    pub fn from_plan(plan: &CampaignPlan) -> Params {
+        let ladder = if plan.faults().is_empty() {
+            default_ladder()
+        } else {
+            plan.faults().to_vec()
+        };
+        Params {
+            preset: plan.preset_one(),
+            ladder,
+            retry: plan.retry().unwrap_or(RetrySpec::Exponential {
+                attempts: 3,
+                base_hours: 1.0,
+            }),
+            seeds: plan.seeds().to_vec(),
+        }
+    }
+}
 
 /// The fault configuration of one rung. Zero-intensity kinds stay `None`
 /// so the zero rung builds a fully inert plan.
-fn fault_config(level: ChaosLevel, source: NodeId) -> FaultConfig {
+fn fault_config(rung: &FaultRung, source: NodeId) -> FaultConfig {
     FaultConfig {
-        corruption: level.corruption,
-        crashes: (level.crash_fraction > 0.0).then_some(DowntimeConfig {
-            node_fraction: level.crash_fraction,
+        corruption: rung.corruption,
+        crashes: (rung.crash_fraction > 0.0).then_some(DowntimeConfig {
+            node_fraction: rung.crash_fraction,
             // The data source never crashes: graceful degradation when
             // members fail is the point, a dead source stalls everything.
             mean_uptime: SimDuration::from_hours(18.0),
             mean_downtime: SimDuration::from_hours(6.0),
             exempt: Some(source),
         }),
-        regional: (level.outages > 0).then_some(RegionalOutageConfig {
+        regional: (rung.outages > 0).then_some(RegionalOutageConfig {
             regions: 4,
-            outages: level.outages,
+            outages: rung.outages,
             mean_duration: SimDuration::from_hours(6.0),
         }),
         ..FaultConfig::default()
     }
 }
 
-/// One chaos run of the E17 configuration: conference trace, failure-aware
-/// hierarchy (exponential-backoff retry with escalation, failure detector,
-/// periodic rebuild), all invariant oracles in campaign mode, and the
-/// given rung's fault mix.
+/// One chaos run with an explicit retry policy.
 #[must_use]
-pub fn chaos_run(preset: TracePreset, seed: u64, level: ChaosLevel) -> FreshnessReport {
+pub fn chaos_run_with(
+    preset: TracePreset,
+    seed: u64,
+    rung: &FaultRung,
+    retry: RetryPolicy,
+) -> FreshnessReport {
     let trace = trace_for(preset, seed);
     let factory = RngFactory::new(seed);
     let mut base = config_for(preset);
@@ -119,12 +148,36 @@ pub fn chaos_run(preset: TracePreset, seed: u64, level: ChaosLevel) -> Freshness
     // perturbs the simulated outcome.
     base.oracle_mode = OracleMode::Campaign;
     let (source, _) = FreshnessSimulator::new(base).select_roles(&trace);
-    base.faults = Some(fault_config(level, source));
+    base.faults = Some(fault_config(rung, source));
     base.resilience = Some(ResilienceConfig {
-        retry: RetryPolicy::exponential(3, SimDuration::from_hours(1.0)),
+        retry,
         ..ResilienceConfig::default()
     });
     FreshnessSimulator::new(base).run(&trace, SchemeChoice::Hierarchical, &factory)
+}
+
+/// One chaos run of the E17 configuration: conference trace, failure-aware
+/// hierarchy (exponential-backoff retry with escalation, failure detector,
+/// periodic rebuild), all invariant oracles in campaign mode, and the
+/// given rung's fault mix.
+#[must_use]
+pub fn chaos_run(preset: TracePreset, seed: u64, rung: &FaultRung) -> FreshnessReport {
+    chaos_run_with(
+        preset,
+        seed,
+        rung,
+        RetryPolicy::exponential(3, SimDuration::from_hours(1.0)),
+    )
+}
+
+/// Runs E17 with the legacy parameters.
+pub fn run() {
+    run_with(&Params::legacy());
+}
+
+/// Runs E17 as described by a compiled scenario plan.
+pub fn run_plan(plan: &CampaignPlan) {
+    run_with(&Params::from_plan(plan));
 }
 
 /// Runs E17 on the conference trace: the chaos-intensity ladder, with the
@@ -135,9 +188,9 @@ pub fn chaos_run(preset: TracePreset, seed: u64, level: ChaosLevel) -> Freshness
 ///
 /// Panics if any run records an invariant violation, or if the seed-mean
 /// freshness ever *rises* from one rung to the next.
-pub fn run() {
+pub fn run_with(params: &Params) {
     banner("E17", "chaos campaign: degradation envelope (extension)");
-    let preset = TracePreset::InfocomLike;
+    let preset = params.preset;
     println!(
         "trace: {preset}; corruption + crash-with-state-loss + regional outages,\n\
          failure-aware hierarchy (exponential backoff, escalation, re-parenting),\n\
@@ -154,19 +207,20 @@ pub fn run() {
         "violations",
     ]);
 
-    let seeds = active_seeds();
+    let seeds = &params.seeds;
+    let retry = params.retry.to_policy();
     let mut envelope: Vec<f64> = Vec::new();
     let mut merged = OracleReport::new();
     let mut runs = 0usize;
-    for &level in &LEVELS {
+    for rung in &params.ladder {
         let mut freshness = Vec::new();
         let mut corrupted = Vec::new();
         let mut rejected = Vec::new();
         let mut rejoins = Vec::new();
         let mut reattaches = Vec::new();
         let mut escalations = Vec::new();
-        let per = per_seed(&seeds, |seed| {
-            let r = chaos_run(preset, seed, level);
+        let per = per_seed(seeds, |seed| {
+            let r = chaos_run_with(preset, seed, rung, retry);
             (
                 r.mean_freshness,
                 r.extras.get("corrupted-transfers") as f64,
@@ -189,7 +243,7 @@ pub fn run() {
         }
         envelope.push(freshness.iter().sum::<f64>() / freshness.len() as f64);
         table.row([
-            level.name.to_owned(),
+            rung.name.clone(),
             fmt_ci(&freshness, 3),
             fmt_ci_count(&corrupted),
             fmt_ci_count(&rejected),
@@ -211,8 +265,8 @@ pub fn run() {
             "freshness rose from {} to {} between rungs {} and {}",
             pair[0],
             pair[1],
-            LEVELS[w].name,
-            LEVELS[w + 1].name
+            params.ladder[w].name,
+            params.ladder[w + 1].name
         );
     }
     println!(

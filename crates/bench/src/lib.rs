@@ -16,10 +16,12 @@
 
 pub mod experiments;
 mod runner;
+pub mod scenario;
 
 pub use runner::{
-    active_nodes, active_seeds, active_threads, active_trace, active_window_mins,
-    headline_requested, per_seed, serial_requested, wall_hidden, TraceOverride,
+    active_nodes, active_seeds, active_threads, active_trace, active_window_mins, cli_init,
+    cli_init_from, headline_requested, overrides, per_seed, serial_requested, usage, wall_hidden,
+    CliOverrides, TraceOverride,
 };
 
 use omn_sim::stats::mean_ci95;

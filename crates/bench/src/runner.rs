@@ -1,4 +1,4 @@
-//! Parallel multi-seed execution.
+//! Parallel multi-seed execution and command-line overrides.
 //!
 //! Every multi-replication experiment runs the same closure once per seed
 //! and folds the per-seed results in seed order. [`per_seed`] runs those
@@ -8,12 +8,22 @@
 //! [`RngFactory`](omn_sim::RngFactory) streams, threads share nothing, and
 //! floating-point folds happen on the caller's thread in a fixed order.
 //!
-//! Command-line control (honored by `run_all` and every `exp_*` binary):
+//! Command-line control is consolidated in [`CliOverrides`], parsed **once
+//! per process** (binaries call [`cli_init`], which rejects unknown flags
+//! and malformed values with a one-line error plus usage on exit code 2;
+//! library consumers such as tests and benches fall back to a lenient
+//! parse that ignores harness flags). The flags (honored by `run_all` and
+//! every `exp_*` binary):
 //!
+//! * `--spec path` — compile and execute a scenario spec file instead of
+//!   the committed one embedded in the binary.
+//! * `--legacy` — run the hand-written experiment code path instead of
+//!   the scenario compiler (the CI spec-equivalence job byte-diffs the
+//!   two).
 //! * `--seeds 11,23,37` (or `--seeds=11,23,37`) — replace the default
 //!   [`SEEDS`] set.
 //! * `--nodes 100,1000` (or `--nodes=100,1000`) — replace the node-count
-//!   sweep of experiments that scale with network size (E15).
+//!   sweep of experiments that scale with network size (E15, E18).
 //! * `--trace path` (or `--trace=path`) — run the real-trace experiment
 //!   (E16) on one dataset file instead of the built-in registry.
 //! * `--trace-format name` (or `--trace-format=name`) — the dump format of
@@ -27,10 +37,11 @@
 //! * `--window-mins m` (or `--window-mins=m`) — barrier window of the
 //!   parallel pipeline in simulated minutes (default: span/64).
 //! * `--no-wall` — hide wall-clock columns so two runs can be
-//!   byte-for-byte diffed (the CI determinism job).
+//!   byte-for-byte diffed (the CI determinism and spec-equivalence jobs).
 //! * `--headline` — run the single large headline point instead of the
 //!   sweep (E15: 10⁶ nodes, one seed).
 
+use std::sync::OnceLock;
 use std::thread;
 
 use crate::SEEDS;
@@ -63,81 +74,6 @@ pub fn per_seed<T: Send>(seeds: &[u64], f: impl Fn(u64) -> T + Sync) -> Vec<T> {
     })
 }
 
-/// The seed set for this process: `--seeds a,b,c` from the command line,
-/// or the default [`SEEDS`].
-#[must_use]
-pub fn active_seeds() -> Vec<u64> {
-    seeds_from(std::env::args().skip(1))
-}
-
-/// The node-count sweep for this process: `--nodes a,b,c` from the command
-/// line, or the experiment's `default` sweep.
-#[must_use]
-pub fn active_nodes(default: &[usize]) -> Vec<usize> {
-    nodes_from(std::env::args().skip(1), default)
-}
-
-/// Whether `--serial` is on the command line.
-#[must_use]
-pub fn serial_requested() -> bool {
-    std::env::args().skip(1).any(|a| a == "--serial")
-}
-
-/// The merge-thread count for experiments with a parallel contact
-/// pipeline (E15): `--threads n`. 0 — the default — runs the classic
-/// serial source; `n ≥ 1` runs the window-barrier parallel source on `n`
-/// generator threads (bit-identical output either way).
-#[must_use]
-pub fn active_threads() -> usize {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    threads_from(argv.into_iter())
-}
-
-/// The barrier-window override for the parallel contact pipeline:
-/// `--window-mins m` (simulated minutes). `None` uses the source's
-/// default window; the choice batches differently but never changes the
-/// merged stream.
-#[must_use]
-pub fn active_window_mins() -> Option<f64> {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    window_from(argv.into_iter())
-}
-
-/// Whether `--no-wall` is on the command line: hide wall-clock columns so
-/// two runs of the same sweep can be byte-for-byte diffed (the CI
-/// determinism job).
-#[must_use]
-pub fn wall_hidden() -> bool {
-    std::env::args().skip(1).any(|a| a == "--no-wall")
-}
-
-/// Whether `--headline` is on the command line: run the single large
-/// headline point instead of the sweep.
-#[must_use]
-pub fn headline_requested() -> bool {
-    std::env::args().skip(1).any(|a| a == "--headline")
-}
-
-fn threads_from<I: Iterator<Item = String> + Clone>(args: I) -> usize {
-    parse_str_flag(args, "--threads").map_or(0, |s| {
-        s.parse()
-            .unwrap_or_else(|_| panic!("--threads takes a thread count"))
-    })
-}
-
-fn window_from<I: Iterator<Item = String> + Clone>(args: I) -> Option<f64> {
-    parse_str_flag(args, "--window-mins").map(|s| {
-        let mins: f64 = s
-            .parse()
-            .unwrap_or_else(|_| panic!("--window-mins takes a minute count"));
-        assert!(
-            mins.is_finite() && mins > 0.0,
-            "--window-mins takes a positive minute count"
-        );
-        mins
-    })
-}
-
 /// A `--trace` override: run the real-trace experiment on one dataset file
 /// instead of the built-in registry.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -149,254 +85,428 @@ pub struct TraceOverride {
     pub format: Option<String>,
 }
 
-/// The `--trace` / `--trace-format` override for this process, if any.
-#[must_use]
-pub fn active_trace() -> Option<TraceOverride> {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    trace_from(argv.iter().cloned())
+/// Every command-line override a process honors, parsed **once**.
+///
+/// The fields overlay scenario specs with the precedence `CLI > spec >
+/// driver default`: a `None`/`false` field means "the flag was absent,
+/// use the spec's (or the experiment's) value".
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CliOverrides {
+    /// `--spec path`: compile and execute this scenario file instead of
+    /// the spec embedded in the binary.
+    pub spec: Option<String>,
+    /// `--legacy`: run the hand-written experiment code path instead of
+    /// the scenario compiler.
+    pub legacy: bool,
+    /// `--seeds a,b,c`: replacement seed set.
+    pub seeds: Option<Vec<u64>>,
+    /// `--nodes a,b,c`: replacement node-count sweep.
+    pub nodes: Option<Vec<usize>>,
+    /// `--serial`: run seed replications sequentially.
+    pub serial: bool,
+    /// `--threads n`: generator threads for the parallel contact pipeline.
+    pub threads: Option<usize>,
+    /// `--window-mins m`: barrier window of the parallel pipeline.
+    pub window_mins: Option<f64>,
+    /// `--no-wall`: hide wall-clock columns.
+    pub no_wall: bool,
+    /// `--headline`: run the single large headline point.
+    pub headline: bool,
+    /// `--trace path` (+ optional `--trace-format`): one dataset file.
+    pub trace: Option<TraceOverride>,
 }
 
-fn trace_from<I: Iterator<Item = String> + Clone>(args: I) -> Option<TraceOverride> {
-    let path = parse_str_flag(args.clone(), "--trace")?;
-    Some(TraceOverride {
-        path,
-        format: parse_str_flag(args, "--trace-format"),
+/// One-line usage string printed with every flag error.
+#[must_use]
+pub fn usage() -> &'static str {
+    "usage: [--spec FILE] [--legacy] [--seeds A,B,C] [--nodes A,B,C] \
+     [--serial] [--threads N] [--window-mins M] [--no-wall] [--headline] \
+     [--trace FILE [--trace-format reality|haggle|omn-v1]]"
+}
+
+impl CliOverrides {
+    /// Parses a full argument list (without the program name).
+    ///
+    /// `strict` rejects unknown flags, positional arguments, and
+    /// malformed values with a one-line message; lenient mode skips
+    /// anything unrecognized (test and bench harnesses inject their own
+    /// flags into `std::env::args`) but still applies every flag it does
+    /// recognize.
+    ///
+    /// # Errors
+    ///
+    /// Returns the one-line diagnostic (no usage suffix) on the first
+    /// unknown flag or malformed value in strict mode.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I, strict: bool) -> Result<Self, String> {
+        let mut over = CliOverrides::default();
+        let mut args = args.into_iter().peekable();
+        while let Some(arg) = args.next() {
+            // Split `--flag=value` once; `--flag value` pulls the next token.
+            let (flag, inline) = match arg.split_once('=') {
+                Some((f, v)) => (f.to_owned(), Some(v.to_owned())),
+                None => (arg.clone(), None),
+            };
+            let mut value = |flag: &str| -> Result<String, String> {
+                if let Some(v) = inline.clone() {
+                    return Ok(v);
+                }
+                match args.next() {
+                    Some(next) if !next.starts_with("--") => Ok(next),
+                    _ => Err(format!("{flag} requires a value")),
+                }
+            };
+            let result: Result<(), String> = match flag.as_str() {
+                "--spec" => value("--spec").map(|v| over.spec = Some(v)),
+                "--legacy" => {
+                    over.legacy = true;
+                    Ok(())
+                }
+                "--seeds" => value("--seeds").and_then(|v| {
+                    parse_list(&v, "--seeds").map(|list| {
+                        if !list.is_empty() {
+                            over.seeds = Some(list);
+                        }
+                    })
+                }),
+                "--nodes" => value("--nodes").and_then(|v| {
+                    parse_list::<u64>(&v, "--nodes").map(|list| {
+                        if !list.is_empty() {
+                            over.nodes = Some(list.into_iter().map(|n| n as usize).collect());
+                        }
+                    })
+                }),
+                "--serial" => {
+                    over.serial = true;
+                    Ok(())
+                }
+                "--threads" => value("--threads").and_then(|v| {
+                    v.trim()
+                        .parse()
+                        .map(|n| over.threads = Some(n))
+                        .map_err(|_| format!("--threads takes a thread count, got `{v}`"))
+                }),
+                "--window-mins" => {
+                    value("--window-mins").and_then(|v| match v.trim().parse::<f64>() {
+                        Ok(m) if m.is_finite() && m > 0.0 => {
+                            over.window_mins = Some(m);
+                            Ok(())
+                        }
+                        _ => Err(format!(
+                            "--window-mins takes a positive minute count, got `{v}`"
+                        )),
+                    })
+                }
+                "--no-wall" => {
+                    over.no_wall = true;
+                    Ok(())
+                }
+                "--headline" => {
+                    over.headline = true;
+                    Ok(())
+                }
+                "--trace" => value("--trace").map(|v| {
+                    let format = over.trace.take().and_then(|t| t.format);
+                    over.trace = Some(TraceOverride { path: v, format });
+                }),
+                "--trace-format" => value("--trace-format").map(|v| match over.trace.take() {
+                    Some(mut t) => {
+                        t.format = Some(v);
+                        over.trace = Some(t);
+                    }
+                    None => {
+                        over.trace = Some(TraceOverride {
+                            path: String::new(),
+                            format: Some(v),
+                        });
+                    }
+                }),
+                _ if strict => Err(if flag.starts_with("--") {
+                    format!("unknown flag `{flag}`")
+                } else {
+                    format!("unexpected argument `{flag}`")
+                }),
+                _ => Ok(()),
+            };
+            if let Err(e) = result {
+                if strict {
+                    return Err(e);
+                }
+            }
+        }
+        // `--trace-format` alone is not an override.
+        if over.trace.as_ref().is_some_and(|t| t.path.is_empty()) {
+            over.trace = None;
+        }
+        Ok(over)
+    }
+
+    /// The resolved seed set: `--seeds` or the default [`SEEDS`].
+    #[must_use]
+    pub fn active_seeds(&self) -> Vec<u64> {
+        self.seeds.clone().unwrap_or_else(|| SEEDS.to_vec())
+    }
+}
+
+/// Parses a non-empty comma-separated list (empty input yields an empty
+/// list, which callers treat as "flag absent").
+fn parse_list<T: std::str::FromStr>(input: &str, flag: &str) -> Result<Vec<T>, String> {
+    input
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.parse()
+                .map_err(|_| format!("{flag} takes a comma-separated list of integers, got `{s}`"))
+        })
+        .collect()
+}
+
+static GLOBAL: OnceLock<CliOverrides> = OnceLock::new();
+
+/// Parses the process arguments strictly, stores the result as the
+/// process-wide override set, and returns it. Every binary calls this
+/// first; an unknown flag or malformed value prints a one-line error with
+/// usage and exits with code 2.
+pub fn cli_init() -> &'static CliOverrides {
+    cli_init_from(std::env::args().skip(1).collect())
+}
+
+/// [`cli_init`] over an explicit argument list (used by `omn-scn`, which
+/// strips its subcommand and positional paths first).
+pub fn cli_init_from(args: Vec<String>) -> &'static CliOverrides {
+    match CliOverrides::parse(args, true) {
+        Ok(over) => GLOBAL.get_or_init(|| over),
+        Err(msg) => {
+            eprintln!("error: {msg}\n{}", usage());
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The process-wide override set. Binaries populate it via [`cli_init`];
+/// in any other host (tests, benches) the first call parses the process
+/// arguments leniently, so harness flags are ignored instead of fatal.
+#[must_use]
+pub fn overrides() -> &'static CliOverrides {
+    GLOBAL.get_or_init(|| {
+        CliOverrides::parse(std::env::args().skip(1), false).expect("lenient parse never fails")
     })
 }
 
-fn seeds_from<I: Iterator<Item = String>>(args: I) -> Vec<u64> {
-    match parse_list_flag(args, "--seeds") {
-        Some(seeds) => seeds,
-        None => SEEDS.to_vec(),
-    }
+/// The seed set for this process: `--seeds a,b,c` from the command line,
+/// or the default [`SEEDS`].
+#[must_use]
+pub fn active_seeds() -> Vec<u64> {
+    overrides().active_seeds()
 }
 
-fn nodes_from<I: Iterator<Item = String>>(args: I, default: &[usize]) -> Vec<usize> {
-    match parse_list_flag(args, "--nodes") {
-        Some(nodes) => nodes.into_iter().map(|n: u64| n as usize).collect(),
-        None => default.to_vec(),
-    }
+/// The node-count sweep for this process: `--nodes a,b,c` from the command
+/// line, or the experiment's `default` sweep.
+#[must_use]
+pub fn active_nodes(default: &[usize]) -> Vec<usize> {
+    overrides()
+        .nodes
+        .clone()
+        .unwrap_or_else(|| default.to_vec())
 }
 
-/// Parses `--flag a,b,c` / `--flag=a,b,c` into a non-empty integer list.
-/// Returns `None` when the flag is absent or its list is empty (callers
-/// fall back to their default sweep).
-///
-/// # Panics
-///
-/// A trailing flag with no value, or a malformed integer in the list, is a
-/// usage error, not a silent no-op.
-fn parse_list_flag<T, I>(mut args: I, flag: &str) -> Option<Vec<T>>
-where
-    T: std::str::FromStr,
-    I: Iterator<Item = String>,
-{
-    let prefix = format!("{flag}=");
-    while let Some(arg) = args.next() {
-        let list = if let Some(rest) = arg.strip_prefix(&prefix) {
-            Some(rest.to_owned())
-        } else if arg == flag {
-            Some(
-                args.next()
-                    .unwrap_or_else(|| panic!("{flag} requires a value")),
-            )
-        } else {
-            None
-        };
-        if let Some(list) = list {
-            let parsed: Vec<T> = list
-                .split(',')
-                .map(str::trim)
-                .filter(|s| !s.is_empty())
-                .map(|s| {
-                    s.parse().unwrap_or_else(|_| {
-                        panic!("{flag} takes a comma-separated list of integers")
-                    })
-                })
-                .collect();
-            if !parsed.is_empty() {
-                return Some(parsed);
-            }
-        }
-    }
-    None
+/// Whether `--serial` is on the command line.
+#[must_use]
+pub fn serial_requested() -> bool {
+    overrides().serial
 }
 
-/// Parses `--flag value` / `--flag=value` into a string. Returns `None`
-/// when the flag is absent or its value is empty.
-///
-/// # Panics
-///
-/// A trailing flag with no value (or one followed by another `--flag`) is
-/// a usage error, not a silent no-op.
-fn parse_str_flag<I: Iterator<Item = String>>(mut args: I, flag: &str) -> Option<String> {
-    let prefix = format!("{flag}=");
-    while let Some(arg) = args.next() {
-        let value = if let Some(rest) = arg.strip_prefix(&prefix) {
-            Some(rest.to_owned())
-        } else if arg == flag {
-            let next = args
-                .next()
-                .unwrap_or_else(|| panic!("{flag} requires a value"));
-            if next.starts_with("--") {
-                panic!("{flag} requires a value");
-            }
-            Some(next)
-        } else {
-            None
-        };
-        if let Some(value) = value {
-            let value = value.trim();
-            if !value.is_empty() {
-                return Some(value.to_owned());
-            }
-        }
-    }
-    None
+/// The merge-thread count for experiments with a parallel contact
+/// pipeline (E15): `--threads n`. 0 — the default — runs the classic
+/// serial source; `n ≥ 1` runs the window-barrier parallel source on `n`
+/// generator threads (bit-identical output either way).
+#[must_use]
+pub fn active_threads() -> usize {
+    overrides().threads.unwrap_or(0)
+}
+
+/// The barrier-window override for the parallel contact pipeline:
+/// `--window-mins m` (simulated minutes). `None` uses the source's
+/// default window; the choice batches differently but never changes the
+/// merged stream.
+#[must_use]
+pub fn active_window_mins() -> Option<f64> {
+    overrides().window_mins
+}
+
+/// Whether `--no-wall` is on the command line: hide wall-clock columns so
+/// two runs of the same sweep can be byte-for-byte diffed (the CI
+/// determinism job).
+#[must_use]
+pub fn wall_hidden() -> bool {
+    overrides().no_wall
+}
+
+/// Whether `--headline` is on the command line: run the single large
+/// headline point instead of the sweep.
+#[must_use]
+pub fn headline_requested() -> bool {
+    overrides().headline
+}
+
+/// The `--trace` / `--trace-format` override for this process, if any.
+#[must_use]
+pub fn active_trace() -> Option<TraceOverride> {
+    overrides().trace.clone()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn args<'a>(list: &'a [&'a str]) -> impl Iterator<Item = String> + Clone + 'a {
-        list.iter().map(|s| (*s).to_owned())
+    fn strict(list: &[&str]) -> Result<CliOverrides, String> {
+        CliOverrides::parse(list.iter().map(|s| (*s).to_owned()), true)
+    }
+
+    fn ok(list: &[&str]) -> CliOverrides {
+        strict(list).expect("valid flags")
     }
 
     #[test]
     fn default_seeds_without_flag() {
-        assert_eq!(seeds_from(args(&[])), SEEDS.to_vec());
-        assert_eq!(seeds_from(args(&["--serial"])), SEEDS.to_vec());
+        assert_eq!(ok(&[]).active_seeds(), SEEDS.to_vec());
+        assert_eq!(ok(&["--serial"]).active_seeds(), SEEDS.to_vec());
     }
 
     #[test]
     fn parses_seed_list_forms() {
-        assert_eq!(seeds_from(args(&["--seeds", "1,2,3"])), vec![1, 2, 3]);
-        assert_eq!(seeds_from(args(&["--seeds=7"])), vec![7]);
-        assert_eq!(seeds_from(args(&["--seeds=4, 5"])), vec![4, 5]);
+        assert_eq!(ok(&["--seeds", "1,2,3"]).seeds, Some(vec![1, 2, 3]));
+        assert_eq!(ok(&["--seeds=7"]).seeds, Some(vec![7]));
+        assert_eq!(ok(&["--seeds=4, 5"]).seeds, Some(vec![4, 5]));
     }
 
     #[test]
     fn empty_seed_list_falls_back_to_default() {
-        assert_eq!(seeds_from(args(&["--seeds="])), SEEDS.to_vec());
+        assert_eq!(ok(&["--seeds="]).active_seeds(), SEEDS.to_vec());
     }
 
     #[test]
-    #[should_panic(expected = "--seeds requires a value")]
     fn trailing_seeds_flag_is_an_error() {
-        seeds_from(args(&["--seeds"]));
+        let err = strict(&["--seeds"]).unwrap_err();
+        assert!(err.contains("--seeds requires a value"), "{err}");
     }
 
     #[test]
-    #[should_panic(expected = "comma-separated list of integers")]
     fn malformed_seed_list_is_an_error() {
-        seeds_from(args(&["--seeds", "1,x,3"]));
+        let err = strict(&["--seeds", "1,x,3"]).unwrap_err();
+        assert!(err.contains("comma-separated list of integers"), "{err}");
     }
 
     #[test]
     fn parses_node_list_forms() {
-        let default = [100usize, 1000];
-        assert_eq!(
-            nodes_from(args(&["--nodes", "10,20"]), &default),
-            vec![10, 20]
-        );
-        assert_eq!(nodes_from(args(&["--nodes=316"]), &default), vec![316]);
-        assert_eq!(nodes_from(args(&[]), &default), default.to_vec());
-        assert_eq!(nodes_from(args(&["--nodes="]), &default), default.to_vec());
+        assert_eq!(ok(&["--nodes", "10,20"]).nodes, Some(vec![10, 20]));
+        assert_eq!(ok(&["--nodes=316"]).nodes, Some(vec![316]));
+        assert_eq!(ok(&[]).nodes, None);
+        assert_eq!(ok(&["--nodes="]).nodes, None);
         // `--seeds` and `--nodes` coexist without stealing each other's
         // values.
-        assert_eq!(
-            nodes_from(args(&["--seeds", "1,2", "--nodes", "50"]), &default),
-            vec![50]
-        );
-        assert_eq!(
-            seeds_from(args(&["--seeds", "1,2", "--nodes", "50"])),
-            vec![1, 2]
-        );
+        let both = ok(&["--seeds", "1,2", "--nodes", "50"]);
+        assert_eq!(both.nodes, Some(vec![50]));
+        assert_eq!(both.seeds, Some(vec![1, 2]));
     }
 
     #[test]
-    #[should_panic(expected = "--nodes requires a value")]
-    fn trailing_nodes_flag_is_an_error() {
-        nodes_from(args(&["--nodes"]), &[100]);
-    }
-
-    #[test]
-    #[should_panic(expected = "--nodes takes a comma-separated list of integers")]
     fn malformed_node_list_is_an_error() {
-        nodes_from(args(&["--nodes", "100,big,300"]), &[100]);
+        let err = strict(&["--nodes", "100,big,300"]).unwrap_err();
+        assert!(
+            err.contains("--nodes takes a comma-separated list of integers"),
+            "{err}"
+        );
     }
 
     #[test]
     fn parses_trace_override_forms() {
-        assert_eq!(trace_from(args(&[])), None);
+        assert_eq!(ok(&[]).trace, None);
         assert_eq!(
-            trace_from(args(&["--trace", "datasets/reality.csv"])),
+            ok(&["--trace", "datasets/reality.csv"]).trace,
             Some(TraceOverride {
                 path: "datasets/reality.csv".to_owned(),
                 format: None,
             })
         );
         assert_eq!(
-            trace_from(args(&["--trace=a.dat", "--trace-format", "haggle"])),
+            ok(&["--trace=a.dat", "--trace-format", "haggle"]).trace,
+            Some(TraceOverride {
+                path: "a.dat".to_owned(),
+                format: Some("haggle".to_owned()),
+            })
+        );
+        // Flag order must not matter.
+        assert_eq!(
+            ok(&["--trace-format", "haggle", "--trace", "a.dat"]).trace,
             Some(TraceOverride {
                 path: "a.dat".to_owned(),
                 format: Some("haggle".to_owned()),
             })
         );
         // `--trace-format` alone is not an override.
-        assert_eq!(trace_from(args(&["--trace-format", "haggle"])), None);
-        // The shared parsers don't steal each other's values.
-        assert_eq!(
-            trace_from(args(&["--seeds", "1,2", "--trace", "t.csv"])),
-            Some(TraceOverride {
-                path: "t.csv".to_owned(),
-                format: None,
-            })
-        );
-        assert_eq!(
-            seeds_from(args(&["--seeds", "1,2", "--trace", "t.csv"])),
-            vec![1, 2]
-        );
+        assert_eq!(ok(&["--trace-format", "haggle"]).trace, None);
     }
 
     #[test]
-    #[should_panic(expected = "--trace requires a value")]
     fn trailing_trace_flag_is_an_error() {
-        trace_from(args(&["--trace"]));
-    }
-
-    #[test]
-    #[should_panic(expected = "--trace requires a value")]
-    fn trace_flag_followed_by_flag_is_an_error() {
-        trace_from(args(&["--trace", "--trace-format", "haggle"]));
+        let err = strict(&["--trace"]).unwrap_err();
+        assert!(err.contains("--trace requires a value"), "{err}");
+        let err = strict(&["--trace", "--trace-format", "haggle"]).unwrap_err();
+        assert!(err.contains("--trace requires a value"), "{err}");
     }
 
     #[test]
     fn parses_threads_and_window_forms() {
-        assert_eq!(threads_from(args(&[])), 0);
-        assert_eq!(threads_from(args(&["--threads", "4"])), 4);
-        assert_eq!(threads_from(args(&["--threads=2"])), 2);
-        assert_eq!(window_from(args(&[])), None);
-        assert_eq!(window_from(args(&["--window-mins", "73"])), Some(73.0));
-        assert_eq!(window_from(args(&["--window-mins=7.5"])), Some(7.5));
-        // The shared parsers don't steal each other's values.
-        assert_eq!(
-            threads_from(args(&["--window-mins", "73", "--threads", "2"])),
-            2
+        assert_eq!(ok(&[]).threads, None);
+        assert_eq!(ok(&["--threads", "4"]).threads, Some(4));
+        assert_eq!(ok(&["--threads=2"]).threads, Some(2));
+        assert_eq!(ok(&[]).window_mins, None);
+        assert_eq!(ok(&["--window-mins", "73"]).window_mins, Some(73.0));
+        assert_eq!(ok(&["--window-mins=7.5"]).window_mins, Some(7.5));
+        let both = ok(&["--window-mins", "73", "--threads", "2"]);
+        assert_eq!(both.threads, Some(2));
+        assert_eq!(both.window_mins, Some(73.0));
+    }
+
+    #[test]
+    fn malformed_threads_flag_is_a_clean_error() {
+        // Historically `--threads abc` panicked inside the parser; it is
+        // now a one-line usage error.
+        let err = strict(&["--threads", "abc"]).unwrap_err();
+        assert!(err.contains("--threads takes a thread count"), "{err}");
+    }
+
+    #[test]
+    fn nonpositive_window_flag_is_an_error() {
+        let err = strict(&["--window-mins", "0"]).unwrap_err();
+        assert!(
+            err.contains("--window-mins takes a positive minute count"),
+            "{err}"
         );
     }
 
     #[test]
-    #[should_panic(expected = "--threads takes a thread count")]
-    fn malformed_threads_flag_is_an_error() {
-        threads_from(args(&["--threads", "many"]));
+    fn unknown_flag_is_an_error_in_strict_mode_only() {
+        let err = strict(&["--frobnicate"]).unwrap_err();
+        assert!(err.contains("unknown flag `--frobnicate`"), "{err}");
+        let err = strict(&["positional"]).unwrap_err();
+        assert!(err.contains("unexpected argument `positional`"), "{err}");
+        // Lenient mode (test harnesses inject their own flags) skips them
+        // but still honors everything recognized.
+        let over = CliOverrides::parse(
+            ["--test-threads", "4", "--seeds", "1,2"].map(String::from),
+            false,
+        )
+        .expect("lenient never fails");
+        assert_eq!(over.seeds, Some(vec![1, 2]));
     }
 
     #[test]
-    #[should_panic(expected = "--window-mins takes a positive minute count")]
-    fn nonpositive_window_flag_is_an_error() {
-        window_from(args(&["--window-mins", "0"]));
+    fn spec_and_legacy_flags_parse() {
+        let over = ok(&["--spec", "specs/e03.scn", "--legacy"]);
+        assert_eq!(over.spec.as_deref(), Some("specs/e03.scn"));
+        assert!(over.legacy);
     }
 
     #[test]

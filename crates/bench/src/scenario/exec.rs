@@ -1,0 +1,122 @@
+//! The scenario executor: dispatches a compiled [`CampaignPlan`] to the
+//! experiment driver of its campaign kind, and hosts the shared binary
+//! entry point ([`spec_main`]) every `exp_*` wrapper uses.
+
+use std::process::exit;
+
+use crate::experiments as e;
+use crate::runner::{cli_init, CliOverrides};
+
+use super::plan::{compile, CampaignPlan};
+use super::spec::{parse, CampaignKind, ScenarioError};
+
+/// Every committed spec, embedded so the `exp_*` binaries run their
+/// scenario without touching the filesystem (`--spec FILE` overrides).
+pub const EMBEDDED: &[(&str, &str)] = &[
+    ("e01", include_str!("../../../../specs/e01.scn")),
+    ("e02", include_str!("../../../../specs/e02.scn")),
+    ("e03", include_str!("../../../../specs/e03.scn")),
+    ("e04", include_str!("../../../../specs/e04.scn")),
+    ("e05", include_str!("../../../../specs/e05.scn")),
+    ("e06", include_str!("../../../../specs/e06.scn")),
+    ("e07", include_str!("../../../../specs/e07.scn")),
+    ("e08", include_str!("../../../../specs/e08.scn")),
+    ("e09", include_str!("../../../../specs/e09.scn")),
+    ("e10", include_str!("../../../../specs/e10.scn")),
+    ("e11", include_str!("../../../../specs/e11.scn")),
+    ("e12", include_str!("../../../../specs/e12.scn")),
+    ("e13", include_str!("../../../../specs/e13.scn")),
+    ("e14", include_str!("../../../../specs/e14.scn")),
+    ("e15", include_str!("../../../../specs/e15.scn")),
+    ("e16", include_str!("../../../../specs/e16.scn")),
+    ("e17", include_str!("../../../../specs/e17.scn")),
+];
+
+/// The embedded spec text of the named scenario.
+#[must_use]
+pub fn embedded(id: &str) -> Option<&'static str> {
+    EMBEDDED
+        .iter()
+        .find(|(name, _)| *name == id)
+        .map(|&(_, text)| text)
+}
+
+/// Parses and compiles one spec document under the given overrides.
+///
+/// # Errors
+///
+/// Returns the first parse or plan [`ScenarioError`].
+pub fn compile_str(text: &str, overrides: &CliOverrides) -> Result<CampaignPlan, ScenarioError> {
+    compile(&parse(text)?, overrides)
+}
+
+/// Runs a compiled plan on the experiment driver of its campaign kind.
+pub fn execute(plan: &CampaignPlan) {
+    match plan.spec.campaign {
+        CampaignKind::TraceStats => e::e01_trace_stats::run_plan(plan),
+        CampaignKind::DelayValidation => e::e02_delay_validation::run_plan(plan),
+        CampaignKind::FreshnessTime => e::e03_freshness_time::run_plan(plan),
+        CampaignKind::FreshnessRequirement => e::e04_freshness_requirement::run_plan(plan),
+        CampaignKind::RefreshPeriod => e::e05_refresh_period::run_plan(plan),
+        CampaignKind::Overhead => e::e06_overhead::run_plan(plan),
+        CampaignKind::CachingNodes => e::e07_caching_nodes::run_plan(plan),
+        CampaignKind::Ablation => e::e08_ablation::run_plan(plan),
+        CampaignKind::DataAccess => e::e09_data_access::run_plan(plan),
+        CampaignKind::RoutingBaselines => e::e10_routing_baselines::run_plan(plan),
+        CampaignKind::Robustness => e::e11_robustness::run_plan(plan),
+        CampaignKind::LoadDistribution => e::e12_load_distribution::run_plan(plan),
+        CampaignKind::FaultTolerance => e::e13_fault_tolerance::run_plan(plan),
+        CampaignKind::JointWorld => e::e14_joint_world::run_plan(plan),
+        CampaignKind::Scalability => e::e15_scalability::run_plan(plan),
+        CampaignKind::RealTraces => e::e16_real_traces::run_plan(plan),
+        CampaignKind::Chaos => e::e17_chaos::run_plan(plan),
+    }
+}
+
+/// Compiles and runs one scenario from a spec file on disk.
+///
+/// # Errors
+///
+/// Returns the diagnostic, prefixed with the file path, when the file is
+/// unreadable or the spec does not compile.
+pub fn run_file(path: &str, overrides: &CliOverrides) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|err| format!("{path}: {err}"))?;
+    let plan = compile_str(&text, overrides).map_err(|err| format!("{path}: {err}"))?;
+    execute(&plan);
+    Ok(())
+}
+
+/// The shared entry point of every `exp_*` binary: parse the command line
+/// strictly (exit 2 on bad flags), then either run `legacy` (the
+/// hand-written code path, selected by `--legacy`) or compile and execute
+/// the scenario — from `--spec FILE` when given, else the committed spec
+/// embedded under `id`.
+///
+/// # Panics
+///
+/// Panics if `id` names no embedded spec (a harness bug, not user error).
+pub fn spec_main(id: &str, legacy: fn()) {
+    let overrides = cli_init();
+    if overrides.legacy {
+        legacy();
+        return;
+    }
+    match &overrides.spec {
+        Some(path) => {
+            if let Err(msg) = run_file(path, overrides) {
+                eprintln!("error: {msg}");
+                exit(1);
+            }
+        }
+        None => {
+            let text = embedded(id).unwrap_or_else(|| panic!("no embedded spec `{id}`"));
+            match compile_str(text, overrides) {
+                Ok(plan) => execute(&plan),
+                Err(err) => {
+                    eprintln!("error: specs/{id}.scn: {err}");
+                    exit(1);
+                }
+            }
+        }
+    }
+}

@@ -25,7 +25,7 @@ use std::path::PathBuf;
 use omn_bench::experiments::e14_joint_world::{joint_run, BUDGET, LOADS};
 use omn_bench::experiments::e15_scalability::{run_point, shards_for};
 use omn_bench::experiments::e16_real_traces::{repo_root, seed_point};
-use omn_bench::experiments::e17_chaos::{chaos_run, LEVELS};
+use omn_bench::experiments::e17_chaos::{chaos_run, default_ladder};
 use omn_bench::experiments::e18_runtime::{assert_cross, cross_point};
 use omn_bench::experiments::{config_for, trace_for};
 use omn_contacts::synth::presets::TracePreset;
@@ -408,9 +408,12 @@ fn e17_headline_numbers() {
     // these runs and fails loudly.
     let preset = TracePreset::InfocomLike;
     let seed = 11;
-    let runs: Vec<_> = LEVELS
-        .iter()
-        .map(|&level| (level, chaos_run(preset, seed, level)))
+    let runs: Vec<_> = default_ladder()
+        .into_iter()
+        .map(|rung| {
+            let r = chaos_run(preset, seed, &rung);
+            (rung, r)
+        })
         .collect();
 
     // Always-on invariants, independent of the recorded golden.

@@ -1,0 +1,352 @@
+//! Front-end and planner tests for the scenario compiler: line/field
+//! diagnostics on broken specs, planner validation, and the canonical
+//! parse → render → parse round-trip (pinned by a proptest).
+
+use omn_bench::scenario::{compile, parse, CampaignKind, ScenarioError, ScenarioSpec};
+use omn_bench::CliOverrides;
+use proptest::prelude::*;
+
+fn parse_err(text: &str) -> ScenarioError {
+    parse(text).expect_err("spec should be rejected")
+}
+
+fn compile_err(text: &str) -> ScenarioError {
+    let spec = parse(text).expect("spec should parse");
+    compile(&spec, &CliOverrides::default()).expect_err("spec should fail to compile")
+}
+
+#[test]
+fn missing_header_is_line_zero() {
+    // A comment-only file has no offending line, so the diagnostic is
+    // positioned at line 0 (whole file) and renders without a prefix.
+    let err = parse_err("# nothing but a comment\n");
+    assert_eq!(err.line, 0);
+    assert_eq!(err.field, "scenario");
+    assert!(err.message.contains("missing `scenario <name>` header"));
+    assert_eq!(err.to_string(), format!("scenario: {}", err.message));
+}
+
+#[test]
+fn non_header_first_line_cites_line_one() {
+    let err = parse_err("title = no header\n");
+    assert_eq!(err.line, 1);
+    assert_eq!(err.field, "scenario");
+    assert!(err.message.contains("must start with `scenario <name>`"));
+}
+
+#[test]
+fn unknown_run_key_names_line_and_field() {
+    let err = parse_err(
+        "scenario t\n\
+         campaign = chaos\n\
+         \n\
+         [run]\n\
+         frobnicate = 1\n",
+    );
+    assert_eq!(err.line, 5);
+    assert_eq!(err.field, "[run] frobnicate");
+    assert!(err.message.contains("unknown key in [run]"));
+    assert_eq!(
+        err.to_string(),
+        "line 5: [run] frobnicate: unknown key in [run]"
+    );
+}
+
+#[test]
+fn bad_matrix_value_names_line_and_field() {
+    let err = parse_err(
+        "scenario t\n\
+         campaign = fault-tolerance\n\
+         \n\
+         [matrix]\n\
+         loss = 0.1, wat\n",
+    );
+    assert_eq!(err.line, 5);
+    assert_eq!(err.field, "[matrix] loss");
+    assert!(err.message.contains("expected a number, got `wat`"));
+}
+
+#[test]
+fn duplicate_matrix_axis_rejected() {
+    let err = parse_err(
+        "scenario t\n\
+         campaign = fault-tolerance\n\
+         \n\
+         [matrix]\n\
+         loss = 0.1\n\
+         loss = 0.2\n",
+    );
+    assert_eq!(err.line, 6);
+    assert_eq!(err.field, "[matrix] loss");
+    assert!(err.message.contains("duplicate matrix axis"));
+}
+
+#[test]
+fn conflicting_world_sections_cite_the_extra_key() {
+    // `kind = preset` plus a trace-world `path` key: one world per
+    // scenario, and the diagnostic points at the conflicting line.
+    let err = parse_err(
+        "scenario t\n\
+         campaign = trace-stats\n\
+         \n\
+         [world]\n\
+         kind = preset\n\
+         presets = infocom-like\n\
+         path = datasets/reality.csv\n",
+    );
+    assert_eq!(err.line, 7);
+    assert_eq!(err.field, "[world] path/format");
+    assert!(err.message.contains("conflicts with `kind = preset`"));
+}
+
+#[test]
+fn fault_rung_probability_is_validated() {
+    let err = parse_err(
+        "scenario t\n\
+         campaign = chaos\n\
+         \n\
+         [faults]\n\
+         rung = broken 1.5 0 0\n",
+    );
+    assert_eq!(err.line, 5);
+    assert_eq!(err.field, "[faults] rung");
+    assert!(err
+        .message
+        .contains("corruption must be a probability in [0, 1]"));
+}
+
+#[test]
+fn planner_rejects_wrong_world_for_campaign() {
+    let err = compile_err(
+        "scenario t\n\
+         campaign = delay-validation\n\
+         \n\
+         [world]\n\
+         kind = sharded\n",
+    );
+    assert!(err.message.contains("needs a"));
+    assert!(err.message.contains("sharded"));
+}
+
+#[test]
+fn planner_rejects_axis_not_allowed_for_campaign() {
+    let err = compile_err(
+        "scenario t\n\
+         campaign = trace-stats\n\
+         \n\
+         [world]\n\
+         kind = preset\n\
+         presets = infocom-like\n\
+         \n\
+         [matrix]\n\
+         loss = 0.1\n",
+    );
+    assert_eq!(err.field, "[matrix] loss");
+}
+
+#[test]
+fn planner_requires_nodes_axis_for_scalability() {
+    let err = compile_err(
+        "scenario t\n\
+         campaign = scalability\n\
+         \n\
+         [world]\n\
+         kind = sharded\n",
+    );
+    assert!(err.message.contains("needs a `nodes` axis"));
+}
+
+#[test]
+fn planner_requires_fault_ladder_for_chaos() {
+    let err = compile_err(
+        "scenario t\n\
+         campaign = chaos\n\
+         \n\
+         [world]\n\
+         kind = preset\n\
+         presets = infocom-like\n",
+    );
+    assert!(err.message.contains("needs a fault ladder"));
+}
+
+#[test]
+fn cli_seed_override_beats_the_spec() {
+    let spec = parse(
+        "scenario t\n\
+         campaign = trace-stats\n\
+         \n\
+         [world]\n\
+         kind = preset\n\
+         presets = infocom-like\n\
+         \n\
+         [run]\n\
+         seeds = 1, 2, 3\n",
+    )
+    .expect("parses");
+    let plan = compile(&spec, &CliOverrides::default()).expect("compiles");
+    assert_eq!(plan.seeds(), &[1, 2, 3]);
+    let overridden = CliOverrides {
+        seeds: Some(vec![7, 9]),
+        ..CliOverrides::default()
+    };
+    let plan = compile(&spec, &overridden).expect("compiles");
+    assert_eq!(plan.seeds(), &[7, 9]);
+}
+
+// --- parse → render → parse round-trip ---------------------------------
+
+const CAMPAIGNS: [&str; 17] = [
+    "trace-stats",
+    "delay-validation",
+    "freshness-time",
+    "freshness-requirement",
+    "refresh-period",
+    "overhead",
+    "caching-nodes",
+    "ablation",
+    "data-access",
+    "routing-baselines",
+    "robustness",
+    "load-distribution",
+    "fault-tolerance",
+    "joint-world",
+    "scalability",
+    "real-traces",
+    "chaos",
+];
+
+const WORLDS: [&str; 5] = [
+    "[world]\nkind = registry\n",
+    "[world]\nkind = preset\npresets = reality-like, infocom-like\n",
+    "[world]\nkind = pairwise\nnodes = 40\nspan-days = 8\nmean-interval-secs = 7200\n\
+     rate-shape = 1.5\nworld-seed = 17\n",
+    "[world]\nkind = sharded\n",
+    "[world]\nkind = trace\npath = datasets/reality.csv\nformat = reality\n",
+];
+
+const RETRIES: [&str; 4] = [
+    "",
+    "retry = off\n",
+    "retry = fixed(3)\n",
+    "retry = exponential(4, 2h)\n",
+];
+
+const ORACLES: [&str; 4] = [
+    "",
+    "oracle = off\n",
+    "oracle = campaign\n",
+    "oracle = strict\n",
+];
+
+/// Builds a syntactically valid spec from generated parts. The parts are
+/// drawn independently, so this covers world kinds × run keys × matrix
+/// shapes far beyond the committed specs.
+#[allow(clippy::too_many_arguments)]
+fn build_spec(
+    campaign: &str,
+    world: &str,
+    retry: &str,
+    oracle: &str,
+    seeds: &[u64],
+    threads: usize,
+    axes: &[(String, Vec<u64>)],
+    rungs: usize,
+) -> String {
+    let mut text = String::new();
+    text.push_str("# generated by the round-trip proptest\n");
+    text.push_str("scenario roundtrip\n");
+    text.push_str("title = generated round-trip scenario\n");
+    text.push_str(&format!("campaign = {campaign}\n"));
+    text.push_str(world);
+    if !seeds.is_empty() || !retry.is_empty() || !oracle.is_empty() || threads > 0 {
+        text.push_str("[run]\n");
+        if !seeds.is_empty() {
+            let list: Vec<String> = seeds.iter().map(u64::to_string).collect();
+            text.push_str(&format!("seeds = {}\n", list.join(", ")));
+        }
+        text.push_str(retry);
+        text.push_str(oracle);
+        if threads > 0 {
+            text.push_str(&format!("threads = {threads}\n"));
+        }
+    }
+    if rungs > 0 {
+        text.push_str("[faults]\n");
+        for i in 0..rungs {
+            let f = i as f64 / rungs as f64;
+            text.push_str(&format!("rung = r{i} {f} {f} {i}\n"));
+        }
+    }
+    if !axes.is_empty() {
+        text.push_str("[matrix]\n");
+        for (key, values) in axes {
+            let list: Vec<String> = values.iter().map(u64::to_string).collect();
+            text.push_str(&format!("{key} = {}\n", list.join(", ")));
+        }
+    }
+    text
+}
+
+fn roundtrip(text: &str) -> Result<(), String> {
+    let spec1: ScenarioSpec = parse(text).map_err(|e| format!("first parse: {e}"))?;
+    let rendered = spec1.render();
+    let spec2 = parse(&rendered).map_err(|e| format!("reparse of render: {e}\n{rendered}"))?;
+    if spec1 != spec2 {
+        return Err(format!(
+            "parse(render(spec)) != spec\n--- rendered:\n{rendered}"
+        ));
+    }
+    if spec2.render() != rendered {
+        return Err("render is not a fixed point after one round".to_owned());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// parse → render → parse is the identity on the typed spec, and
+    /// render is a fixed point, for arbitrary generated specs.
+    #[test]
+    fn parse_render_parse_is_idempotent(
+        campaign_i in 0usize..17,
+        world_i in 0usize..5,
+        retry_i in 0usize..4,
+        oracle_i in 0usize..4,
+        seeds in prop::collection::vec(1u64..10_000, 0..4),
+        threads in 0usize..5,
+        axis_count in 0usize..3,
+        axis_vals in prop::collection::vec(1u64..1000, 1..4),
+        rungs in 0usize..4,
+    ) {
+        let axes: Vec<(String, Vec<u64>)> = (0..axis_count)
+            .map(|i| (format!("axis-{i}"), axis_vals.clone()))
+            .collect();
+        let text = build_spec(
+            CAMPAIGNS[campaign_i],
+            WORLDS[world_i],
+            RETRIES[retry_i],
+            ORACLES[oracle_i],
+            &seeds,
+            threads,
+            &axes,
+            rungs,
+        );
+        prop_assert!(roundtrip(&text).is_ok(), "{}", roundtrip(&text).unwrap_err());
+    }
+}
+
+/// The committed specs also round-trip (they are what the proptest is
+/// protecting).
+#[test]
+fn committed_specs_roundtrip() {
+    for (name, text) in omn_bench::scenario::EMBEDDED {
+        roundtrip(text).unwrap_or_else(|msg| panic!("specs/{name}.scn: {msg}"));
+    }
+}
+
+/// Every campaign kind has a kebab-cased name that parses back.
+#[test]
+fn campaign_names_are_exhaustive() {
+    assert_eq!(CampaignKind::ALL.len(), CAMPAIGNS.len());
+}

@@ -1,0 +1,116 @@
+//! Pins the committed scenario specs to the legacy hand-written
+//! campaigns: for every experiment, the `Params` compiled from
+//! `specs/eNN.scn` (under default CLI overrides) must equal the legacy
+//! constants — so `exp_eNN` and `omn-scn run specs/eNN.scn` describe the
+//! same campaign, and the byte-identity the CI spec-equivalence job
+//! checks is structural, not coincidental.
+//!
+//! The compiled plan summaries are additionally pinned as golden files
+//! (`tests/golden/plan_summaries.txt`); re-record after an intentional
+//! spec change with `OMN_BLESS_GOLDEN=1`.
+
+use std::path::PathBuf;
+
+use omn_bench::experiments as e;
+use omn_bench::scenario::{compile, parse, CampaignPlan, EMBEDDED};
+use omn_bench::CliOverrides;
+
+fn plan_for(id: &str) -> CampaignPlan {
+    let text = EMBEDDED
+        .iter()
+        .find(|(name, _)| *name == id)
+        .map(|&(_, text)| text)
+        .unwrap_or_else(|| panic!("no embedded spec `{id}`"));
+    let spec = parse(text).unwrap_or_else(|err| panic!("specs/{id}.scn: {err}"));
+    compile(&spec, &CliOverrides::default()).unwrap_or_else(|err| panic!("specs/{id}.scn: {err}"))
+}
+
+macro_rules! spec_matches_legacy {
+    ($test:ident, $id:literal, $module:ident) => {
+        #[test]
+        fn $test() {
+            let plan = plan_for($id);
+            assert_eq!(
+                e::$module::Params::from_plan(&plan),
+                e::$module::Params::legacy(),
+                "specs/{}.scn compiles to different parameters than the \
+                 legacy campaign",
+                $id
+            );
+        }
+    };
+}
+
+spec_matches_legacy!(e01_spec_matches_legacy, "e01", e01_trace_stats);
+spec_matches_legacy!(e02_spec_matches_legacy, "e02", e02_delay_validation);
+spec_matches_legacy!(e03_spec_matches_legacy, "e03", e03_freshness_time);
+spec_matches_legacy!(e04_spec_matches_legacy, "e04", e04_freshness_requirement);
+spec_matches_legacy!(e05_spec_matches_legacy, "e05", e05_refresh_period);
+spec_matches_legacy!(e06_spec_matches_legacy, "e06", e06_overhead);
+spec_matches_legacy!(e07_spec_matches_legacy, "e07", e07_caching_nodes);
+spec_matches_legacy!(e08_spec_matches_legacy, "e08", e08_ablation);
+spec_matches_legacy!(e09_spec_matches_legacy, "e09", e09_data_access);
+spec_matches_legacy!(e10_spec_matches_legacy, "e10", e10_routing_baselines);
+spec_matches_legacy!(e11_spec_matches_legacy, "e11", e11_robustness);
+spec_matches_legacy!(e12_spec_matches_legacy, "e12", e12_load_distribution);
+spec_matches_legacy!(e13_spec_matches_legacy, "e13", e13_fault_tolerance);
+spec_matches_legacy!(e14_spec_matches_legacy, "e14", e14_joint_world);
+spec_matches_legacy!(e15_spec_matches_legacy, "e15", e15_scalability);
+spec_matches_legacy!(e16_spec_matches_legacy, "e16", e16_real_traces);
+spec_matches_legacy!(e17_spec_matches_legacy, "e17", e17_chaos);
+
+/// CLI overrides thread through the plan into every experiment's params.
+#[test]
+fn overrides_reach_params_through_the_plan() {
+    let text = EMBEDDED
+        .iter()
+        .find(|(name, _)| *name == "e15")
+        .map(|&(_, text)| text)
+        .expect("e15 embedded");
+    let spec = parse(text).expect("parses");
+    let overrides = CliOverrides {
+        seeds: Some(vec![5]),
+        nodes: Some(vec![100, 200]),
+        threads: Some(3),
+        no_wall: true,
+        ..CliOverrides::default()
+    };
+    let plan = compile(&spec, &overrides).expect("compiles");
+    let params = e::e15_scalability::Params::from_plan(&plan);
+    assert_eq!(params.seeds, vec![5]);
+    assert_eq!(params.nodes, vec![100, 200]);
+    assert_eq!(params.threads, 3);
+    assert!(!params.show_wall);
+}
+
+/// The deterministic plan summaries of every committed spec, pinned as
+/// one golden file.
+#[test]
+fn plan_summaries_golden() {
+    let mut out = String::new();
+    for (id, _) in EMBEDDED {
+        out.push_str(&plan_for(id).render_summary());
+        out.push('\n');
+    }
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/plan_summaries.txt");
+    if std::env::var_os("OMN_BLESS_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("parent")).expect("mkdir golden");
+        std::fs::write(&path, &out).expect("write golden");
+        return;
+    }
+    match std::fs::read_to_string(&path) {
+        Ok(expected) => assert_eq!(
+            expected, out,
+            "plan summaries changed; if intentional, re-record with \
+             OMN_BLESS_GOLDEN=1"
+        ),
+        Err(_) if std::env::var_os("OMN_REQUIRE_GOLDEN").is_some() => panic!(
+            "golden file plan_summaries.txt is missing and OMN_REQUIRE_GOLDEN \
+             is set; record it with OMN_BLESS_GOLDEN=1 and commit it"
+        ),
+        Err(_) => eprintln!(
+            "note: golden file plan_summaries.txt not recorded yet \
+             (OMN_BLESS_GOLDEN=1 to pin)"
+        ),
+    }
+}
