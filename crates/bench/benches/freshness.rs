@@ -128,7 +128,7 @@ fn bench_trace_parse(c: &mut Criterion) {
 
 fn bench_scenario_compile(c: &mut Criterion) {
     // The scenario compiler front-end + planner over the full committed
-    // E1–E17 spec set: parse every embedded `.scn` and expand its matrix
+    // E1–E19 spec set: parse every embedded `.scn` and expand its matrix
     // into a campaign plan. This is pure string/struct work on the
     // harness's startup path — it must stay far below a single seed's
     // simulation cost (microseconds, not milliseconds).
@@ -145,6 +145,34 @@ fn bench_scenario_compile(c: &mut Criterion) {
                 points += plan.points.len();
             }
             points
+        });
+    });
+}
+
+fn bench_byte_budget(c: &mut Criterion) {
+    // One joint run under a biting byte budget (the E19 16 B/s rung at a
+    // moderate query load): sized transfers, per-contact byte capacities
+    // and the refresh transmission queues all on the hot path. Keeps the
+    // link model's cost relative to the slot-counting world on the
+    // trend radar.
+    use omn_bench::experiments::e19_bandwidth::bandwidth_run;
+    use omn_caching::policy::PolicyChoice;
+
+    c.bench_function("link/byte_budget", |b| {
+        b.iter(|| {
+            bandwidth_run(
+                TracePreset::InfocomLike,
+                11,
+                300,
+                Some(2),
+                16.0,
+                256,
+                64,
+                PolicyChoice::Lru,
+                None,
+                6,
+                12.0,
+            )
         });
     });
 }
@@ -184,6 +212,6 @@ fn bench_wire_codec(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_freshness_run, bench_oracle_overhead, bench_sharded_stream, bench_sharded_window_barrier, bench_trace_parse, bench_scenario_compile, bench_wire_codec
+    targets = bench_freshness_run, bench_oracle_overhead, bench_sharded_stream, bench_sharded_window_barrier, bench_trace_parse, bench_scenario_compile, bench_byte_budget, bench_wire_codec
 }
 criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Binary wrapper for experiment `e19_bandwidth`: compiles and executes
+//! the committed `specs/e19.scn` scenario (`--spec FILE` substitutes
+//! another spec; `--legacy` runs the hand-written campaign instead).
+
+fn main() {
+    omn_bench::scenario::spec_main("e19", omn_bench::experiments::e19_bandwidth::run);
+}

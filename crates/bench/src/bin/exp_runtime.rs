@@ -1,7 +1,7 @@
-//! Binary wrapper for experiment `e18_runtime` (no scenario spec: the
-//! runtime benchmark stays a hand-written campaign).
+//! Binary wrapper for experiment `e18_runtime`: compiles and executes the
+//! committed `specs/e18.scn` scenario (`--spec FILE` substitutes another
+//! spec; `--legacy` runs the hand-written campaign instead).
 
 fn main() {
-    omn_bench::cli_init();
-    omn_bench::experiments::e18_runtime::run();
+    omn_bench::scenario::spec_main("e18", omn_bench::experiments::e18_runtime::run);
 }

@@ -1,11 +1,10 @@
-//! Runs the complete reconstructed evaluation (E1-E18) in order.
+//! Runs the complete reconstructed evaluation (E1-E19) in order.
 //!
-//! E1–E17 execute through the scenario compiler: each experiment's
-//! committed `specs/eNN.scn` is compiled (with the process-wide CLI
-//! overrides folded in) and dispatched to its campaign driver. `--legacy`
-//! runs the hand-written campaigns instead — both paths are byte-identical
-//! (the CI spec-equivalence job diffs them). E18, the runtime benchmark,
-//! has no spec and always runs legacy.
+//! Every experiment executes through the scenario compiler: each
+//! campaign's committed `specs/eNN.scn` is compiled (with the
+//! process-wide CLI overrides folded in) and dispatched to its campaign
+//! driver. `--legacy` runs the hand-written campaigns instead — both
+//! paths are byte-identical (the CI spec-equivalence job diffs them).
 //!
 //! Seed replications run in parallel (one thread per seed, merged in seed
 //! order — byte-identical to serial). `--seeds a,b,c` overrides the seed
@@ -36,14 +35,14 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
     }
 }
 
-/// (campaign id, embedded spec name, legacy driver); a `None` spec —
-/// E18 — always runs the hand-written campaign.
+/// (campaign id, embedded spec name, legacy driver); a `None` spec
+/// always runs the hand-written campaign.
 type Experiment = (&'static str, Option<&'static str>, fn());
 
 fn main() -> ExitCode {
     use omn_bench::experiments as e;
     let overrides = omn_bench::cli_init();
-    let experiments: [Experiment; 18] = [
+    let experiments: [Experiment; 19] = [
         ("E1", Some("e01"), e::e01_trace_stats::run),
         ("E2", Some("e02"), e::e02_delay_validation::run),
         ("E3", Some("e03"), e::e03_freshness_time::run),
@@ -61,7 +60,8 @@ fn main() -> ExitCode {
         ("E15", Some("e15"), e::e15_scalability::run),
         ("E16", Some("e16"), e::e16_real_traces::run),
         ("E17", Some("e17"), e::e17_chaos::run),
-        ("E18", None, e::e18_runtime::run),
+        ("E18", Some("e18"), e::e18_runtime::run),
+        ("E19", Some("e19"), e::e19_bandwidth::run),
     ];
 
     let mut timings: Vec<(&str, f64, &str, bool)> = Vec::new();

@@ -135,7 +135,9 @@ pub fn joint_run_with(
         }),
         scheme: SchemeChoice::Hierarchical,
         contact_budget: budget,
+        link: None,
         priority,
+        policy: omn_caching::policy::PolicyChoice::Lru,
         demote_stale: true,
         faults: None,
     })

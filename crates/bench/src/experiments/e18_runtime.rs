@@ -36,6 +36,7 @@ use omn_node::{run_firehose, run_lockstep, FirehoseReport, RuntimeConfig, Runtim
 use omn_sim::{OracleMode, RngFactory, SimDuration};
 
 use crate::experiments::e15_scalability::scale_config;
+use crate::scenario::{CampaignPlan, PairwiseWorld, RunLeg, WorldSpec};
 use crate::{active_nodes, active_seeds, banner, Table};
 
 /// Node counts for the firehose throughput sweep (`--nodes` overrides).
@@ -45,14 +46,70 @@ pub const THROUGHPUT_NODES: [usize; 3] = [1000, 3162, 10_000];
 /// the tier-1 test world but still seconds per point in lockstep.
 const WORLD_NODES: usize = 32;
 
+/// Parameters of E18: the cross-validation world and the two legs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// The pairwise-exponential cross-validation world. Its `world_seed`
+    /// is ignored — every replication reseeds the whole world from the
+    /// `[run]` seed so the DES and runtime draw identical streams.
+    pub world: PairwiseWorld,
+    /// Which legs run: lockstep cross-validation, firehose throughput.
+    pub legs: Vec<RunLeg>,
+    /// Node counts of the firehose throughput sweep.
+    pub nodes: Vec<usize>,
+    /// Replication seeds of the lockstep leg.
+    pub seeds: Vec<u64>,
+}
+
+impl Params {
+    /// The hand-written legacy campaign (`--legacy` / direct `run()`).
+    #[must_use]
+    pub fn legacy() -> Params {
+        Params {
+            // PairwiseConfig::new defaults: shape 0.8, 6-hour mean
+            // interval. The spec must carry the same values to stay
+            // bit-identical.
+            world: PairwiseWorld {
+                nodes: WORLD_NODES,
+                span_days: 2.0,
+                mean_interval_secs: 21_600.0,
+                rate_shape: 0.8,
+                world_seed: 0,
+            },
+            legs: vec![RunLeg::Lockstep, RunLeg::Firehose],
+            nodes: active_nodes(&THROUGHPUT_NODES),
+            seeds: active_seeds(),
+        }
+    }
+
+    /// The campaign a compiled scenario plan describes (the planner
+    /// guarantees a pairwise world for `runtime`).
+    #[must_use]
+    pub fn from_plan(plan: &CampaignPlan) -> Params {
+        let legacy = Params::legacy();
+        let world = match &plan.spec.world {
+            WorldSpec::Pairwise(w) => w.clone(),
+            _ => legacy.world,
+        };
+        Params {
+            world,
+            legs: plan.legs_or(&legacy.legs),
+            nodes: plan.axis_usize_or("nodes", &THROUGHPUT_NODES),
+            seeds: plan.seeds().to_vec(),
+        }
+    }
+}
+
 /// Refresh period of both executions.
 fn period() -> SimDuration {
     SimDuration::from_hours(6.0)
 }
 
-fn world(seed: u64) -> (ContactTrace, RngFactory) {
+fn world_from(w: &PairwiseWorld, seed: u64) -> (ContactTrace, RngFactory) {
     let factory = RngFactory::new(seed);
-    let config = PairwiseConfig::new(WORLD_NODES, SimDuration::from_days(2.0));
+    let config = PairwiseConfig::new(w.nodes, SimDuration::from_days(w.span_days))
+        .mean_rate(1.0 / w.mean_interval_secs)
+        .rate_shape(w.rate_shape);
     (generate_pairwise(&config, &factory), factory)
 }
 
@@ -85,13 +142,19 @@ pub struct CrossPoint {
     pub rt: RuntimeReport,
 }
 
+/// Runs one cross-validation point on the legacy world.
+#[must_use]
+pub fn cross_point(seed: u64, mode: ProtocolMode) -> CrossPoint {
+    cross_point_in(&Params::legacy().world, seed, mode)
+}
+
 /// Runs one cross-validation point. For [`ProtocolMode::HierTree`] the
 /// runtime is handed the same GreedySed tree the DES scheme builds at
 /// `on_start` (same root, members, oracle contact graph, and RNG stream),
 /// so both executions refresh along identical paths.
 #[must_use]
-pub fn cross_point(seed: u64, mode: ProtocolMode) -> CrossPoint {
-    let (trace, factory) = world(seed);
+pub fn cross_point_in(w: &PairwiseWorld, seed: u64, mode: ProtocolMode) -> CrossPoint {
+    let (trace, factory) = world_from(w, seed);
     let sim = FreshnessSimulator::new(des_config());
     let (root, members) = sim.select_roles(&trace);
 
@@ -196,26 +259,51 @@ pub fn throughput_point(nodes: usize, seed: u64) -> FirehoseReport {
     )
 }
 
+/// Runs E18 with the legacy parameters.
+pub fn run() {
+    run_with(&Params::legacy());
+}
+
+/// Runs E18 as described by a compiled scenario plan (`[run] legs`
+/// selects which of the lockstep / firehose legs execute).
+pub fn run_plan(plan: &CampaignPlan) {
+    run_with(&Params::from_plan(plan));
+}
+
 /// Runs E18: the lockstep cross-validation over the active seeds for both
-/// locally-decidable protocol modes, then the firehose throughput sweep.
+/// locally-decidable protocol modes, then the firehose throughput sweep —
+/// each leg gated by `params.legs`.
 ///
 /// # Panics
 ///
 /// Panics if any cross-validation point diverges from the DES in any
 /// pinned observable, if either side records an invariant violation, or
 /// if the firehose runs drop or fail to decode any wire frame.
-pub fn run() {
+pub fn run_with(params: &Params) {
     banner(
         "E18",
         "async node runtime: DES cross-validation + throughput (extension)",
     );
+    let w = &params.world;
     println!(
-        "world: {WORLD_NODES}-node pairwise trace, 2 days, {}-hour refresh period\n\
+        "world: {}-node pairwise trace, {} days, {}-hour refresh period\n\
          runtime: one async task per node, serialized omn-net wire frames,\n\
          invariant oracles in campaign mode on both executions\n",
+        w.nodes,
+        w.span_days,
         period().as_secs() / 3600.0
     );
 
+    if params.legs.contains(&RunLeg::Lockstep) {
+        run_lockstep_leg(params);
+    }
+    if params.legs.contains(&RunLeg::Firehose) {
+        run_firehose_leg(params);
+    }
+}
+
+/// The lockstep cross-validation leg.
+fn run_lockstep_leg(params: &Params) {
     let mut table = Table::new([
         "seed",
         "mode",
@@ -227,14 +315,13 @@ pub fn run() {
         "violations",
         "match",
     ]);
-    let seeds = active_seeds();
     let mut points = 0usize;
-    for &seed in &seeds {
+    for &seed in &params.seeds {
         for (mode, name) in [
             (ProtocolMode::HierTree, "tree"),
             (ProtocolMode::Epidemic, "epidemic"),
         ] {
-            let point = cross_point(seed, mode);
+            let point = cross_point_in(&params.world, seed, mode);
             assert_cross(&point, &format!("seed {seed} {name}"));
             let violations = point.des.oracle.total() + point.rt.oracle.total();
             table.row([
@@ -257,7 +344,10 @@ pub fn run() {
          version vectors, bit-identical mean freshness, identical transmission \
          and replica counts, zero invariant violations)\n"
     );
+}
 
+/// The firehose throughput leg.
+fn run_firehose_leg(params: &Params) {
     let mut sweep = Table::new([
         "nodes",
         "contacts",
@@ -267,7 +357,7 @@ pub fn run() {
         "wall s",
         "msgs/s",
     ]);
-    for nodes in active_nodes(&THROUGHPUT_NODES) {
+    for &nodes in &params.nodes {
         let start = Instant::now();
         let report = throughput_point(nodes, 11);
         let wall = start.elapsed().as_secs_f64();

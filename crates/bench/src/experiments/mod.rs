@@ -20,6 +20,7 @@
 //! | E16 | [`e16_real_traces`] | real traces: ingestion, calibration, freshness (extension) |
 //! | E17 | [`e17_chaos`] | chaos campaign: degradation envelope under adversarial faults (extension) |
 //! | E18 | [`e18_runtime`] | async node runtime: DES cross-validation + wire throughput (extension) |
+//! | E19 | [`e19_bandwidth`] | bandwidth-realistic links: byte-budget ladder + EWMA placement (extension) |
 
 pub mod e01_trace_stats;
 pub mod e02_delay_validation;
@@ -39,6 +40,7 @@ pub mod e15_scalability;
 pub mod e16_real_traces;
 pub mod e17_chaos;
 pub mod e18_runtime;
+pub mod e19_bandwidth;
 
 use omn_contacts::synth::presets::TracePreset;
 use omn_contacts::ContactTrace;

@@ -1,6 +1,6 @@
 //! Experiment harness for the reproduced evaluation.
 //!
-//! Each experiment (E1–E18; see DESIGN.md for the index) lives in
+//! Each experiment (E1–E19; see DESIGN.md for the index) lives in
 //! [`experiments`] as a library function that prints the corresponding
 //! table or figure series to stdout, and has a thin binary wrapper in
 //! `src/bin/`. `run_all` executes the full campaign.
@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod golden;
 mod runner;
 pub mod scenario;
 

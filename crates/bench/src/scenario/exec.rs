@@ -30,6 +30,8 @@ pub const EMBEDDED: &[(&str, &str)] = &[
     ("e15", include_str!("../../../../specs/e15.scn")),
     ("e16", include_str!("../../../../specs/e16.scn")),
     ("e17", include_str!("../../../../specs/e17.scn")),
+    ("e18", include_str!("../../../../specs/e18.scn")),
+    ("e19", include_str!("../../../../specs/e19.scn")),
 ];
 
 /// The embedded spec text of the named scenario.
@@ -70,6 +72,8 @@ pub fn execute(plan: &CampaignPlan) {
         CampaignKind::Scalability => e::e15_scalability::run_plan(plan),
         CampaignKind::RealTraces => e::e16_real_traces::run_plan(plan),
         CampaignKind::Chaos => e::e17_chaos::run_plan(plan),
+        CampaignKind::Runtime => e::e18_runtime::run_plan(plan),
+        CampaignKind::Bandwidth => e::e19_bandwidth::run_plan(plan),
     }
 }
 

@@ -34,6 +34,6 @@ pub mod spec;
 pub use exec::{compile_str, embedded, execute, run_file, spec_main, EMBEDDED};
 pub use plan::{compile, CampaignPlan, PlanPoint};
 pub use spec::{
-    parse, CampaignKind, ContentionSpec, FaultRung, MatrixAxis, OutputSpec, PairwiseWorld,
-    RetrySpec, RunSpec, ScenarioError, ScenarioSpec, TableFilter, WorldSpec,
+    parse, CampaignKind, ContentionSpec, FaultRung, LinkSpec, MatrixAxis, OutputSpec,
+    PairwiseWorld, RetrySpec, RunLeg, RunSpec, ScenarioError, ScenarioSpec, TableFilter, WorldSpec,
 };

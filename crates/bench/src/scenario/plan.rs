@@ -10,7 +10,8 @@ use omn_contacts::synth::presets::TracePreset;
 use omn_core::sim::SchemeChoice;
 
 use super::spec::{
-    CampaignKind, ContentionSpec, FaultRung, RetrySpec, ScenarioError, ScenarioSpec, WorldSpec,
+    CampaignKind, ContentionSpec, FaultRung, LinkSpec, RetrySpec, RunLeg, ScenarioError,
+    ScenarioSpec, WorldSpec,
 };
 
 /// One expanded point of the sweep matrix: a coordinate per axis, in the
@@ -75,6 +76,8 @@ fn allowed_axes(kind: CampaignKind) -> &'static [&'static str] {
         CampaignKind::JointWorld => &["catalog", "query-deadline-h"],
         CampaignKind::Scalability => &["nodes", "headline-nodes"],
         CampaignKind::Chaos => &[],
+        CampaignKind::Runtime => &["nodes"],
+        CampaignKind::Bandwidth => &["catalog", "query-deadline-h", "load"],
     }
 }
 
@@ -188,7 +191,36 @@ pub fn compile(
                 ));
             }
         }
+        CampaignKind::Runtime => wants(&["pairwise"])?,
+        CampaignKind::Bandwidth => {
+            wants(&["preset"])?;
+            if spec.link.is_none() {
+                return Err(plan_err(
+                    "[link]",
+                    "campaign `bandwidth` needs a [link] section with a \
+                     `bandwidth = …` ladder",
+                ));
+            }
+        }
         _ => wants(&["preset"])?,
+    }
+    if spec.campaign != CampaignKind::Bandwidth && spec.link.is_some() {
+        return Err(plan_err(
+            "[link]",
+            format!(
+                "campaign `{}` does not take a [link] section (only `bandwidth` does)",
+                spec.campaign
+            ),
+        ));
+    }
+    if spec.campaign != CampaignKind::Runtime && spec.run.legs.is_some() {
+        return Err(plan_err(
+            "[run] legs",
+            format!(
+                "campaign `{}` does not take `legs` (only `runtime` does)",
+                spec.campaign
+            ),
+        ));
     }
     if spec.campaign != CampaignKind::Chaos && !spec.faults.is_empty() {
         return Err(plan_err(
@@ -356,6 +388,23 @@ impl CampaignPlan {
         self.spec.contention.as_ref()
     }
 
+    /// The link model (planner-guaranteed for the bandwidth campaign).
+    #[must_use]
+    pub fn link(&self) -> Option<&LinkSpec> {
+        self.spec.link.as_ref()
+    }
+
+    /// The runtime campaign's legs, or `default` when the spec leaves
+    /// them out.
+    #[must_use]
+    pub fn legs_or(&self, default: &[RunLeg]) -> Vec<RunLeg> {
+        self.spec
+            .run
+            .legs
+            .clone()
+            .unwrap_or_else(|| default.to_vec())
+    }
+
     /// Whether the named table is selected by `[output] tables`.
     #[must_use]
     pub fn table_enabled(&self, name: &str) -> bool {
@@ -419,6 +468,12 @@ impl CampaignPlan {
         if let Some(oracle) = self.spec.run.oracle {
             out.push_str(&format!("oracle: {oracle:?}\n"));
         }
+        if let Some(legs) = &self.spec.run.legs {
+            out.push_str(&format!(
+                "legs: {}\n",
+                legs.iter().map(|l| l.name()).collect::<Vec<_>>().join(", ")
+            ));
+        }
         for axis in &self.spec.matrix {
             out.push_str(&format!(
                 "axis {}: [{}]\n",
@@ -448,6 +503,16 @@ impl CampaignPlan {
                 c.budget.map_or("unlimited".to_owned(), |b| b.to_string()),
                 c.loads.len(),
                 c.priorities.len()
+            ));
+        }
+        if let Some(link) = &self.spec.link {
+            out.push_str(&format!(
+                "link: bandwidth [{}] B/s (0 = unlimited)\n",
+                link.bandwidth
+                    .iter()
+                    .map(|v| format!("{v}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
             ));
         }
         out.push_str(&format!(

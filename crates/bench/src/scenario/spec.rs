@@ -107,11 +107,15 @@ pub enum CampaignKind {
     RealTraces,
     /// E17 — chaos ladder with invariant oracles.
     Chaos,
+    /// E18 — async node runtime: DES cross-validation + throughput.
+    Runtime,
+    /// E19 — bandwidth-realistic links: byte-budget contacts and queues.
+    Bandwidth,
 }
 
 impl CampaignKind {
     /// Every campaign kind, in experiment order.
-    pub const ALL: [CampaignKind; 17] = [
+    pub const ALL: [CampaignKind; 19] = [
         CampaignKind::TraceStats,
         CampaignKind::DelayValidation,
         CampaignKind::FreshnessTime,
@@ -129,6 +133,8 @@ impl CampaignKind {
         CampaignKind::Scalability,
         CampaignKind::RealTraces,
         CampaignKind::Chaos,
+        CampaignKind::Runtime,
+        CampaignKind::Bandwidth,
     ];
 
     /// The spec-file name of the kind.
@@ -152,6 +158,8 @@ impl CampaignKind {
             CampaignKind::Scalability => "scalability",
             CampaignKind::RealTraces => "real-traces",
             CampaignKind::Chaos => "chaos",
+            CampaignKind::Runtime => "runtime",
+            CampaignKind::Bandwidth => "bandwidth",
         }
     }
 
@@ -272,6 +280,32 @@ impl RetrySpec {
     }
 }
 
+/// One leg of the runtime campaign: which execution mode runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunLeg {
+    /// Trace-replay lockstep mode, cross-validated against the DES.
+    Lockstep,
+    /// Free-running throughput mode over the sharded generator.
+    Firehose,
+}
+
+impl RunLeg {
+    /// The spec-file name of the leg.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            RunLeg::Lockstep => "lockstep",
+            RunLeg::Firehose => "firehose",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<RunLeg> {
+        [RunLeg::Lockstep, RunLeg::Firehose]
+            .into_iter()
+            .find(|l| l.name() == name)
+    }
+}
+
 /// The `[run]` section: seed set, scheme choice, oracle mode, retry
 /// policy, and pipeline knobs. Every field is optional — the campaign
 /// driver's defaults apply when absent, and command-line flags override
@@ -290,6 +324,8 @@ pub struct RunSpec {
     pub threads: Option<usize>,
     /// Barrier window of the parallel pipeline, simulated minutes.
     pub window_mins: Option<f64>,
+    /// Which legs of a runtime campaign run (`None` = all legs).
+    pub legs: Option<Vec<RunLeg>>,
 }
 
 /// One rung of a fault ladder: the intensity of each adversarial fault
@@ -315,6 +351,22 @@ pub struct ContentionSpec {
     pub loads: Vec<usize>,
     /// Contention priorities compared.
     pub priorities: Vec<ContentionPriority>,
+}
+
+/// The `[link]` section: the bandwidth-realistic link model of the E19
+/// campaign. Contact capacity = bandwidth × contact duration in bytes;
+/// the ladder sweeps it from starvation to effectively infinite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkSpec {
+    /// Bandwidth ladder in bytes/second, in sweep order. The value `0` is
+    /// the *unlimited* sentinel (an infinite link, bit-identical to pure
+    /// slot counting).
+    pub bandwidth: Vec<f64>,
+    /// Wire length of one refresh frame in bytes (`None` = driver
+    /// default).
+    pub refresh_bytes: Option<u64>,
+    /// Per-node transmission-queue depth bound (`None` = driver default).
+    pub queue_depth: Option<usize>,
 }
 
 /// One named axis of the `[matrix]` section: a sweep when it has several
@@ -371,6 +423,8 @@ pub struct ScenarioSpec {
     pub faults: Vec<FaultRung>,
     /// Joint-world contention sweep.
     pub contention: Option<ContentionSpec>,
+    /// Bandwidth-realistic link model (the E19 campaign).
+    pub link: Option<LinkSpec>,
     /// Named sweep axes and scalar parameters.
     pub matrix: Vec<MatrixAxis>,
     /// Golden binding and presentation.
@@ -423,7 +477,15 @@ fn oracle_from_name(name: &str) -> Option<OracleMode> {
 // ---------------------------------------------------------------------
 
 /// The sections a spec may contain, in canonical render order.
-const SECTIONS: [&str; 6] = ["world", "run", "faults", "contention", "matrix", "output"];
+const SECTIONS: [&str; 7] = [
+    "world",
+    "run",
+    "faults",
+    "contention",
+    "link",
+    "matrix",
+    "output",
+];
 
 /// One `key = value` occurrence with its source line.
 struct RawKv {
@@ -578,6 +640,7 @@ pub fn parse(text: &str) -> Result<ScenarioSpec, ScenarioError> {
         run: RunSpec::default(),
         faults: Vec::new(),
         contention: None,
+        link: None,
         matrix: Vec::new(),
         output: OutputSpec::default(),
     };
@@ -592,6 +655,7 @@ pub fn parse(text: &str) -> Result<ScenarioSpec, ScenarioError> {
             "run" => spec.run = parse_run(section)?,
             "faults" => spec.faults = parse_faults(section)?,
             "contention" => spec.contention = Some(parse_contention(section)?),
+            "link" => spec.link = Some(parse_link(section)?),
             "matrix" => spec.matrix = parse_matrix(section)?,
             "output" => spec.output = parse_output(section)?,
             _ => unreachable!("unknown sections are rejected above"),
@@ -925,6 +989,27 @@ fn parse_run(section: &RawSection) -> Result<RunSpec, ScenarioError> {
                 }
                 run.window_mins = Some(mins);
             }
+            "legs" => {
+                reject_dup(run.legs.is_some(), kv, "[run] legs")?;
+                let mut legs = Vec::new();
+                for name in split_list(&kv.value) {
+                    legs.push(RunLeg::from_name(name).ok_or_else(|| {
+                        err(
+                            kv.line,
+                            qualified(section, &kv.key),
+                            format!("unknown leg `{name}` (expected lockstep or firehose)"),
+                        )
+                    })?);
+                }
+                if legs.is_empty() {
+                    return Err(err(
+                        kv.line,
+                        qualified(section, &kv.key),
+                        "expected at least one leg",
+                    ));
+                }
+                run.legs = Some(legs);
+            }
             other => {
                 return Err(err(
                     kv.line,
@@ -1036,6 +1121,74 @@ fn parse_contention(section: &RawSection) -> Result<ContentionSpec, ScenarioErro
         budget,
         loads: loads.unwrap_or_default(),
         priorities: priorities.unwrap_or_default(),
+    })
+}
+
+fn parse_link(section: &RawSection) -> Result<LinkSpec, ScenarioError> {
+    let mut bandwidth: Option<Vec<f64>> = None;
+    let mut refresh_bytes: Option<u64> = None;
+    let mut queue_depth: Option<usize> = None;
+    for kv in &section.kvs {
+        match kv.key.as_str() {
+            "bandwidth" => {
+                reject_dup(bandwidth.is_some(), kv, "[link] bandwidth")?;
+                let mut values = Vec::new();
+                for s in split_list(&kv.value) {
+                    let v = parse_f64(section, kv, s)?;
+                    if v < 0.0 {
+                        return Err(err(
+                            kv.line,
+                            qualified(section, &kv.key),
+                            format!("bandwidth must be non-negative (0 = unlimited), got {v}"),
+                        ));
+                    }
+                    values.push(v);
+                }
+                if values.is_empty() {
+                    return Err(err(
+                        kv.line,
+                        qualified(section, &kv.key),
+                        "expected at least one bandwidth value",
+                    ));
+                }
+                bandwidth = Some(values);
+            }
+            "refresh-bytes" => {
+                reject_dup(refresh_bytes.is_some(), kv, "[link] refresh-bytes")?;
+                refresh_bytes = Some(parse_int(section, kv, &kv.value)?);
+            }
+            "queue-depth" => {
+                reject_dup(queue_depth.is_some(), kv, "[link] queue-depth")?;
+                let depth: usize = parse_int(section, kv, &kv.value)?;
+                if depth == 0 {
+                    return Err(err(
+                        kv.line,
+                        qualified(section, &kv.key),
+                        "expected a positive queue depth",
+                    ));
+                }
+                queue_depth = Some(depth);
+            }
+            other => {
+                return Err(err(
+                    kv.line,
+                    qualified(section, other),
+                    "unknown key in [link]",
+                ))
+            }
+        }
+    }
+    let Some(bandwidth) = bandwidth else {
+        return Err(err(
+            section.line,
+            "[link] bandwidth",
+            "a [link] section needs a `bandwidth = …` ladder",
+        ));
+    };
+    Ok(LinkSpec {
+        bandwidth,
+        refresh_bytes,
+        queue_depth,
     })
 }
 
@@ -1203,6 +1356,12 @@ impl ScenarioSpec {
             if let Some(mins) = run.window_mins {
                 out.push_str(&format!("window-mins = {mins}\n"));
             }
+            if let Some(legs) = &run.legs {
+                out.push_str(&format!(
+                    "legs = {}\n",
+                    legs.iter().map(|l| l.name()).collect::<Vec<_>>().join(", ")
+                ));
+            }
         }
 
         if !self.faults.is_empty() {
@@ -1241,6 +1400,17 @@ impl ScenarioSpec {
                         .collect::<Vec<_>>()
                         .join(", ")
                 ));
+            }
+        }
+
+        if let Some(link) = &self.link {
+            out.push_str("\n[link]\n");
+            out.push_str(&format!("bandwidth = {}\n", join_f64(&link.bandwidth)));
+            if let Some(bytes) = link.refresh_bytes {
+                out.push_str(&format!("refresh-bytes = {bytes}\n"));
+            }
+            if let Some(depth) = link.queue_depth {
+                out.push_str(&format!("queue-depth = {depth}\n"));
             }
         }
 

@@ -1,9 +1,15 @@
 //! Golden-value tests pinning the headline numbers of E2 (analysis vs
 //! simulation), E3 (freshness over time), E14 (joint-world contention),
 //! E15 (streaming scalability), E16 (real-trace ingestion and
-//! calibration), E17 (chaos ladder) and E18 (async-runtime
-//! cross-validation) against committed golden files, plus the
-//! streamed-vs-materialized identity check of the pull-based driver.
+//! calibration), E17 (chaos ladder), E18 (async-runtime
+//! cross-validation) and E19 (bandwidth ladder) against committed golden
+//! files, plus the streamed-vs-materialized identity check of the
+//! pull-based driver.
+//!
+//! Each golden file's *name* comes from the committed scenario spec's
+//! `[output] golden = …` field (resolved by
+//! [`omn_bench::golden::golden_name`]), so the spec and the test can
+//! never disagree about where a campaign's numbers are pinned.
 //!
 //! The pinned values are written with full bit patterns, so any change to
 //! the simulation kernel, the RNG stream layout, or the schemes that
@@ -19,15 +25,15 @@
 //! `OMN_REQUIRE_GOLDEN=1` (CI does) to turn a missing golden file into a
 //! hard failure instead, so the suite can never pass vacuously.
 
-use std::fmt::Write as _;
-use std::path::PathBuf;
-
 use omn_bench::experiments::e14_joint_world::{joint_run, BUDGET, LOADS};
 use omn_bench::experiments::e15_scalability::{run_point, shards_for};
 use omn_bench::experiments::e16_real_traces::{repo_root, seed_point};
 use omn_bench::experiments::e17_chaos::{chaos_run, default_ladder};
 use omn_bench::experiments::e18_runtime::{assert_cross, cross_point};
+use omn_bench::experiments::e19_bandwidth;
 use omn_bench::experiments::{config_for, trace_for};
+use omn_bench::golden::{check_golden, golden_name, line};
+use omn_caching::policy::PolicyChoice;
 use omn_contacts::synth::presets::TracePreset;
 use omn_contacts::synth::{generate_pairwise, PairwiseConfig};
 use omn_contacts::{ContactGraph, TraceSource};
@@ -37,42 +43,6 @@ use omn_core::protocol::ProtocolMode;
 use omn_core::scheme::{HierarchicalConfig, HierarchicalScheme};
 use omn_core::sim::{FreshnessConfig, FreshnessSimulator, SchemeChoice};
 use omn_sim::{RngFactory, SimDuration};
-
-/// One pinned scalar: label, human-readable value, exact bit pattern.
-fn line(out: &mut String, label: &str, v: f64) {
-    writeln!(out, "{label} {v:.12} bits={:016x}", v.to_bits()).unwrap();
-}
-
-fn golden_path(name: &str) -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("tests/golden")
-        .join(name)
-}
-
-/// Compares `rendered` against the committed golden file, or records it
-/// when `OMN_BLESS_GOLDEN` is set.
-fn check_golden(name: &str, rendered: &str) {
-    let path = golden_path(name);
-    if std::env::var_os("OMN_BLESS_GOLDEN").is_some() {
-        std::fs::create_dir_all(path.parent().expect("parent")).expect("mkdir golden");
-        std::fs::write(&path, rendered).expect("write golden");
-        return;
-    }
-    match std::fs::read_to_string(&path) {
-        Ok(expected) => assert_eq!(
-            expected, rendered,
-            "golden mismatch for {name}; if the change is intentional, \
-             re-record with OMN_BLESS_GOLDEN=1"
-        ),
-        Err(_) if std::env::var_os("OMN_REQUIRE_GOLDEN").is_some() => panic!(
-            "golden file {name} is missing and OMN_REQUIRE_GOLDEN is set; \
-             record it with OMN_BLESS_GOLDEN=1 and commit it"
-        ),
-        Err(_) => {
-            eprintln!("note: golden file {name} not recorded yet (OMN_BLESS_GOLDEN=1 to pin)")
-        }
-    }
-}
 
 #[test]
 fn e2_headline_numbers() {
@@ -128,7 +98,7 @@ fn e2_headline_numbers() {
         summary.mean_within_deadline,
     );
     line(&mut out, "transmissions", report.transmissions as f64);
-    check_golden("e2_headline.txt", &out);
+    check_golden(&golden_name("e02"), &out);
 }
 
 #[test]
@@ -169,7 +139,7 @@ fn e3_headline_numbers() {
     );
     line(&mut out, "epidemic_mean_freshness", epi.mean_freshness);
     line(&mut out, "no_refresh_mean_freshness", none.mean_freshness);
-    check_golden("e3_headline.txt", &out);
+    check_golden(&golden_name("e03"), &out);
 }
 
 #[test]
@@ -269,7 +239,7 @@ fn e14_headline_numbers() {
         "refresh_first_load1200_success",
         refresh_first.access.success_ratio(),
     );
-    check_golden("e14_headline.txt", &out);
+    check_golden(&golden_name("e14"), &out);
 }
 
 #[test]
@@ -319,7 +289,7 @@ fn e15_headline_numbers() {
     line(&mut out, "epi_mean_freshness", epi.report.mean_freshness);
     line(&mut out, "contacts_total", hier.stats.contacts_total as f64);
     line(&mut out, "peak_resident", hier.stats.peak_resident as f64);
-    check_golden("e15_headline.txt", &out);
+    check_golden(&golden_name("e15"), &out);
 }
 
 #[test]
@@ -396,7 +366,7 @@ fn e16_headline_numbers() {
         "synth_hier_mean_freshness",
         point.synth[0].mean_freshness,
     );
-    check_golden("e16_headline.txt", &out);
+    check_golden(&golden_name("e16"), &out);
 }
 
 #[test]
@@ -468,7 +438,7 @@ fn e17_headline_numbers() {
             r.oracle.total() as f64,
         );
     }
-    check_golden("e17_headline.txt", &out);
+    check_golden(&golden_name("e17"), &out);
 }
 
 #[test]
@@ -514,7 +484,136 @@ fn e18_headline_numbers() {
             point.rt.version_count as f64,
         );
     }
-    check_golden("e18_headline.txt", &out);
+    check_golden(&golden_name("e18"), &out);
+}
+
+#[test]
+fn e19_headline_numbers() {
+    // One seed of the E19 bandwidth ladder under LRU at the E14 cache
+    // capacity, plus one EWMA point under eviction pressure. The
+    // always-on assertions are the campaign's two contracts: the
+    // unlimited rung is bit-identical to E14's slot-counting run (no
+    // byte ever denied, no frame ever queued, no extra randomness), and
+    // every finite rung respects its byte capacities with a clean
+    // bandwidth oracle.
+    let preset = TracePreset::InfocomLike;
+    let seed = 11;
+    let run = |bw: f64, policy, capacity| {
+        e19_bandwidth::bandwidth_run(
+            preset,
+            seed,
+            e19_bandwidth::LOAD,
+            Some(e19_bandwidth::BUDGET),
+            bw,
+            e19_bandwidth::REFRESH_BYTES,
+            e19_bandwidth::QUEUE_DEPTH,
+            policy,
+            capacity,
+            6,
+            12.0,
+        )
+    };
+
+    let ladder: Vec<_> = e19_bandwidth::BANDWIDTHS
+        .iter()
+        .map(|&bw| (bw, run(bw, PolicyChoice::Lru, None)))
+        .collect();
+
+    // Contract 1: the unlimited rung reproduces slot counting exactly.
+    let slot_only = joint_run(
+        preset,
+        seed,
+        e19_bandwidth::LOAD,
+        Some(e19_bandwidth::BUDGET),
+        ContentionPriority::QueryFirst,
+    );
+    let (_, unlimited) = ladder.last().expect("ladder is non-empty");
+    assert_eq!(
+        unlimited.mean_freshness().expect("items ran").to_bits(),
+        slot_only.mean_freshness().expect("items ran").to_bits(),
+        "the unlimited rung diverged from E14's slot counting"
+    );
+    assert_eq!(
+        unlimited.access.success_ratio().to_bits(),
+        slot_only.access.success_ratio().to_bits()
+    );
+    assert_eq!(
+        unlimited.access.extras.get("byte-deferred-transmissions"),
+        0,
+        "an unlimited link byte-denied a hop"
+    );
+    let stats = unlimited.link.expect("link model attached");
+    assert_eq!(stats.enqueued_msgs, 0, "an unlimited link queued a frame");
+
+    // Contract 2: every rung is oracle-clean, and starving the link can
+    // only hurt: the bottom rung must not beat the unlimited one.
+    for (bw, r) in &ladder {
+        assert!(
+            r.oracle.is_clean(),
+            "oracle violations at {bw} B/s: {:?}",
+            r.oracle
+        );
+        assert!(r.access.satisfied_fresh <= r.access.satisfied);
+    }
+    let (_, starved) = ladder.first().expect("ladder is non-empty");
+    assert!(
+        starved.mean_freshness().expect("items ran")
+            <= unlimited.mean_freshness().expect("items ran")
+    );
+    assert!(starved.access.success_ratio() <= unlimited.access.success_ratio());
+
+    let ewma = run(
+        e19_bandwidth::BANDWIDTHS[2],
+        PolicyChoice::Ewma,
+        Some(e19_bandwidth::POLICY_CAPACITY),
+    );
+    assert!(ewma.oracle.is_clean());
+
+    let mut out = String::new();
+    for (bw, r) in &ladder {
+        let label = if *bw == 0.0 {
+            "unlimited".to_owned()
+        } else {
+            format!("bw{bw}")
+        };
+        line(
+            &mut out,
+            &format!("{label}_mean_freshness"),
+            r.mean_freshness().expect("items ran"),
+        );
+        line(
+            &mut out,
+            &format!("{label}_success"),
+            r.access.success_ratio(),
+        );
+        line(
+            &mut out,
+            &format!("{label}_byte_deferred"),
+            r.access.extras.get("byte-deferred-transmissions") as f64,
+        );
+        let stats = r.link.expect("link model attached");
+        line(
+            &mut out,
+            &format!("{label}_queued"),
+            stats.enqueued_msgs as f64,
+        );
+        line(
+            &mut out,
+            &format!("{label}_peak_bytes"),
+            r.max_contact_bytes as f64,
+        );
+    }
+    line(
+        &mut out,
+        "ewma_capacity2_mean_freshness",
+        ewma.mean_freshness().expect("items ran"),
+    );
+    line(
+        &mut out,
+        "ewma_capacity2_success",
+        ewma.access.success_ratio(),
+    );
+    check_golden(&golden_name("e19"), &out);
 }
 
 #[test]

@@ -1,0 +1,154 @@
+//! Bit-identity of the link subsystem's degenerate configurations.
+//!
+//! The link model's contract is that it is *pay-for-what-you-use*: an
+//! unlimited link (no byte capacity) and a zero-size message world must
+//! both degrade bit-identically to the legacy slot-counting semantics —
+//! same headline numbers, same RNG draws, empty transmission queues.
+//! These properties hold over *arbitrary* seeds, loads and budgets, not
+//! just the pinned golden configurations, so they are checked here with
+//! proptest; the finite-bandwidth run at the bottom pins the queue-bound
+//! and per-frame byte-accounting invariants end to end.
+
+use omn_bench::experiments::e14_joint_world::joint_run_with;
+use omn_bench::experiments::e19_bandwidth::bandwidth_run;
+use omn_bench::experiments::{config_for, trace_for};
+use omn_caching::policy::PolicyChoice;
+use omn_caching::query::QueryWorkload;
+use omn_caching::{CachingConfig, Catalog, MessageSizes};
+use omn_contacts::synth::presets::TracePreset;
+use omn_core::joint::{ContentionPriority, JointConfig, JointReport, JointSimulator};
+use omn_core::sim::{FreshnessConfig, RefreshLink, SchemeChoice};
+use omn_sim::{LinkConfig, RngFactory, SimDuration};
+use proptest::prelude::*;
+
+const PRESET: TracePreset = TracePreset::InfocomLike;
+
+/// Every statistic the slot-counting world produces, as exact bits.
+fn headline(r: &JointReport) -> (u64, u64, u64, u64, u64, u64, u32) {
+    (
+        r.mean_freshness().unwrap_or(0.0).to_bits(),
+        r.fresh_access_ratio().to_bits(),
+        r.access.success_ratio().to_bits(),
+        r.access.mean_delay().unwrap_or(0.0).to_bits(),
+        r.access.extras.get("budget-deferred-transmissions"),
+        r.access.extras.get("byte-deferred-transmissions"),
+        r.max_contact_used,
+    )
+}
+
+/// One joint run with every message zero-length under a *finite* link:
+/// the byte axis is live but can never deny anything.
+fn zero_size_run(seed: u64, load: usize, budget: u32, bandwidth: f64) -> JointReport {
+    let factory = RngFactory::new(seed);
+    let trace = trace_for(PRESET, seed);
+    let base = config_for(PRESET);
+    let catalog = Catalog::uniform(&trace, 6, base.refresh_period, &factory);
+    let queries = QueryWorkload::zipf(&trace, &catalog, load, 1.0, &factory);
+    JointSimulator::new(JointConfig {
+        caching: CachingConfig {
+            query_deadline: SimDuration::from_hours(12.0),
+            sizes: MessageSizes::ZERO,
+            ..CachingConfig::default()
+        },
+        freshness: Some(FreshnessConfig {
+            query_count: 100,
+            link: Some(RefreshLink {
+                refresh_bytes: 0,
+                queue_depth: 8,
+            }),
+            ..base
+        }),
+        scheme: SchemeChoice::Hierarchical,
+        contact_budget: Some(budget),
+        link: Some(LinkConfig::with_bandwidth(bandwidth).queue_depth(8)),
+        priority: ContentionPriority::QueryFirst,
+        policy: PolicyChoice::Lru,
+        demote_stale: true,
+        faults: None,
+    })
+    .run(&trace, &catalog, &queries, &factory)
+}
+
+proptest! {
+    // Each case is two full joint runs; a handful of cases over the
+    // whole parameter space is the point, not volume.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// An unlimited link — whatever the frame size or queue depth — is
+    /// bit-identical to the slot-counting world: no byte is ever denied,
+    /// no frame is ever queued, no extra randomness is drawn.
+    #[test]
+    fn unlimited_link_matches_slot_counting(
+        seed in 0u64..10_000,
+        load in 50usize..300,
+        budget in 1u32..4,
+        refresh_bytes in 1u64..4096,
+        queue_depth in 1usize..128,
+    ) {
+        let with_link = bandwidth_run(
+            PRESET, seed, load, Some(budget), 0.0, refresh_bytes, queue_depth,
+            PolicyChoice::Lru, None, 6, 12.0,
+        );
+        let slot_only = joint_run_with(
+            PRESET, seed, load, Some(budget), ContentionPriority::QueryFirst, 6, 12.0,
+        );
+        prop_assert_eq!(headline(&with_link), headline(&slot_only));
+        let stats = with_link.link.expect("link model attached");
+        prop_assert_eq!(stats.enqueued_msgs, 0);
+        prop_assert_eq!(stats.dropped_msgs, 0);
+    }
+
+    /// Zero-size messages under a finite link are also bit-identical to
+    /// slot counting: a zero-byte transfer can never exceed the remaining
+    /// capacity, so the byte axis never engages even when configured.
+    #[test]
+    fn zero_size_messages_match_slot_counting(
+        seed in 0u64..10_000,
+        load in 50usize..300,
+        budget in 1u32..4,
+        bandwidth in proptest::sample::select(vec![0.25, 1.0, 16.0]),
+    ) {
+        let zero = zero_size_run(seed, load, budget, bandwidth);
+        let slot_only = joint_run_with(
+            PRESET, seed, load, Some(budget), ContentionPriority::QueryFirst, 6, 12.0,
+        );
+        prop_assert_eq!(headline(&zero), headline(&slot_only));
+        let stats = zero.link.expect("link model attached");
+        prop_assert_eq!(stats.enqueued_msgs, 0);
+    }
+}
+
+/// A finite-bandwidth run honors the queue bound end to end and accounts
+/// every queued byte as whole refresh frames.
+#[test]
+fn finite_bandwidth_respects_queue_bound_and_frame_accounting() {
+    const REFRESH_BYTES: u64 = 256;
+    const QUEUE_DEPTH: usize = 4;
+    let r = bandwidth_run(
+        PRESET,
+        11,
+        600,
+        Some(2),
+        4.0,
+        REFRESH_BYTES,
+        QUEUE_DEPTH,
+        PolicyChoice::Lru,
+        None,
+        6,
+        12.0,
+    );
+    let s = r.link.expect("link model attached");
+    assert!(s.enqueued_msgs > 0, "the 4 B/s rung must queue frames");
+    assert!(s.max_depth <= QUEUE_DEPTH as u64);
+    // Every queued, drained, dropped and discarded message is one whole
+    // refresh frame.
+    assert_eq!(s.enqueued_bytes, s.enqueued_msgs * REFRESH_BYTES);
+    assert_eq!(s.drained_bytes, s.drained_msgs * REFRESH_BYTES);
+    assert_eq!(s.dropped_bytes, s.dropped_msgs * REFRESH_BYTES);
+    assert_eq!(s.discarded_bytes, s.discarded_msgs * REFRESH_BYTES);
+    // Conservation: nothing drains or is discarded that was not accepted.
+    assert!(s.drained_msgs + s.discarded_msgs <= s.enqueued_msgs);
+    // The contact byte peak respects capacity = bandwidth × duration for
+    // the longest contact observed in the trace.
+    assert!(r.max_contact_bytes > 0);
+}

@@ -170,6 +170,82 @@ fn planner_requires_fault_ladder_for_chaos() {
 }
 
 #[test]
+fn planner_requires_link_section_for_bandwidth() {
+    let err = compile_err(
+        "scenario t\n\
+         campaign = bandwidth\n\
+         \n\
+         [world]\n\
+         kind = preset\n\
+         presets = infocom-like\n",
+    );
+    assert_eq!(err.field, "[link]");
+    assert!(err.message.contains("needs a [link] section"));
+}
+
+#[test]
+fn planner_rejects_link_on_other_campaigns() {
+    let err = compile_err(
+        "scenario t\n\
+         campaign = trace-stats\n\
+         \n\
+         [world]\n\
+         kind = preset\n\
+         presets = infocom-like\n\
+         \n\
+         [link]\n\
+         bandwidth = 4, 0\n",
+    );
+    assert_eq!(err.field, "[link]");
+    assert!(err.message.contains("only `bandwidth` does"));
+}
+
+#[test]
+fn planner_rejects_legs_on_other_campaigns() {
+    let err = compile_err(
+        "scenario t\n\
+         campaign = trace-stats\n\
+         \n\
+         [world]\n\
+         kind = preset\n\
+         presets = infocom-like\n\
+         \n\
+         [run]\n\
+         legs = lockstep\n",
+    );
+    assert_eq!(err.field, "[run] legs");
+    assert!(err.message.contains("only `runtime` does"));
+}
+
+#[test]
+fn negative_bandwidth_is_rejected_at_parse() {
+    let err = parse_err(
+        "scenario t\n\
+         campaign = bandwidth\n\
+         \n\
+         [link]\n\
+         bandwidth = -3\n",
+    );
+    assert_eq!(err.line, 5);
+    assert_eq!(err.field, "[link] bandwidth");
+    assert!(err.message.contains("non-negative"));
+}
+
+#[test]
+fn unknown_leg_is_rejected_at_parse() {
+    let err = parse_err(
+        "scenario t\n\
+         campaign = runtime\n\
+         \n\
+         [run]\n\
+         legs = lockstep, warp\n",
+    );
+    assert_eq!(err.line, 5);
+    assert_eq!(err.field, "[run] legs");
+    assert!(err.message.contains("unknown leg `warp`"));
+}
+
+#[test]
 fn cli_seed_override_beats_the_spec() {
     let spec = parse(
         "scenario t\n\
@@ -195,7 +271,7 @@ fn cli_seed_override_beats_the_spec() {
 
 // --- parse → render → parse round-trip ---------------------------------
 
-const CAMPAIGNS: [&str; 17] = [
+const CAMPAIGNS: [&str; 19] = [
     "trace-stats",
     "delay-validation",
     "freshness-time",
@@ -213,6 +289,8 @@ const CAMPAIGNS: [&str; 17] = [
     "scalability",
     "real-traces",
     "chaos",
+    "runtime",
+    "bandwidth",
 ];
 
 const WORLDS: [&str; 5] = [
@@ -238,6 +316,19 @@ const ORACLES: [&str; 4] = [
     "oracle = strict\n",
 ];
 
+const LEGS: [&str; 4] = [
+    "",
+    "legs = lockstep\n",
+    "legs = firehose\n",
+    "legs = lockstep, firehose\n",
+];
+
+const LINKS: [&str; 3] = [
+    "",
+    "[link]\nbandwidth = 1, 16, 0\n",
+    "[link]\nbandwidth = 4.5\nrefresh-bytes = 128\nqueue-depth = 32\n",
+];
+
 /// Builds a syntactically valid spec from generated parts. The parts are
 /// drawn independently, so this covers world kinds × run keys × matrix
 /// shapes far beyond the committed specs.
@@ -247,6 +338,8 @@ fn build_spec(
     world: &str,
     retry: &str,
     oracle: &str,
+    legs: &str,
+    link: &str,
     seeds: &[u64],
     threads: usize,
     axes: &[(String, Vec<u64>)],
@@ -258,7 +351,12 @@ fn build_spec(
     text.push_str("title = generated round-trip scenario\n");
     text.push_str(&format!("campaign = {campaign}\n"));
     text.push_str(world);
-    if !seeds.is_empty() || !retry.is_empty() || !oracle.is_empty() || threads > 0 {
+    if !seeds.is_empty()
+        || !retry.is_empty()
+        || !oracle.is_empty()
+        || !legs.is_empty()
+        || threads > 0
+    {
         text.push_str("[run]\n");
         if !seeds.is_empty() {
             let list: Vec<String> = seeds.iter().map(u64::to_string).collect();
@@ -266,6 +364,7 @@ fn build_spec(
         }
         text.push_str(retry);
         text.push_str(oracle);
+        text.push_str(legs);
         if threads > 0 {
             text.push_str(&format!("threads = {threads}\n"));
         }
@@ -277,6 +376,7 @@ fn build_spec(
             text.push_str(&format!("rung = r{i} {f} {f} {i}\n"));
         }
     }
+    text.push_str(link);
     if !axes.is_empty() {
         text.push_str("[matrix]\n");
         for (key, values) in axes {
@@ -309,10 +409,12 @@ proptest! {
     /// render is a fixed point, for arbitrary generated specs.
     #[test]
     fn parse_render_parse_is_idempotent(
-        campaign_i in 0usize..17,
+        campaign_i in 0usize..19,
         world_i in 0usize..5,
         retry_i in 0usize..4,
         oracle_i in 0usize..4,
+        legs_i in 0usize..4,
+        link_i in 0usize..3,
         seeds in prop::collection::vec(1u64..10_000, 0..4),
         threads in 0usize..5,
         axis_count in 0usize..3,
@@ -327,6 +429,8 @@ proptest! {
             WORLDS[world_i],
             RETRIES[retry_i],
             ORACLES[oracle_i],
+            LEGS[legs_i],
+            LINKS[link_i],
             &seeds,
             threads,
             &axes,

@@ -58,6 +58,8 @@ spec_matches_legacy!(e14_spec_matches_legacy, "e14", e14_joint_world);
 spec_matches_legacy!(e15_spec_matches_legacy, "e15", e15_scalability);
 spec_matches_legacy!(e16_spec_matches_legacy, "e16", e16_real_traces);
 spec_matches_legacy!(e17_spec_matches_legacy, "e17", e17_chaos);
+spec_matches_legacy!(e18_spec_matches_legacy, "e18", e18_runtime);
+spec_matches_legacy!(e19_spec_matches_legacy, "e19", e19_bandwidth);
 
 /// CLI overrides thread through the plan into every experiment's params.
 #[test]

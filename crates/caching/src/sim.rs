@@ -78,6 +78,59 @@ enum CachingEvent {
     Contact(usize),
 }
 
+/// On-the-wire byte lengths of the caching protocol's message kinds.
+///
+/// Sizes are only consulted when the per-contact [`TransferBudget`]
+/// carries a byte capacity (the bandwidth-realistic E19 world); classic
+/// slot-counting worlds attach none, so any size configuration is
+/// bit-identical there. [`MessageSizes::ZERO`] makes every message
+/// zero-length, which degrades the sized path to slot counting even
+/// *under* a byte capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MessageSizes {
+    /// Bytes of a data copy on the wire (placement hops and response
+    /// payloads); `None` uses each item's own catalog size.
+    pub data: Option<u64>,
+    /// Bytes of a query message.
+    pub query: u64,
+    /// Response framing bytes on top of the data payload.
+    pub response_overhead: u64,
+}
+
+impl MessageSizes {
+    /// Every message is zero-length: the sized path can never be
+    /// byte-denied, reproducing slot-counting semantics exactly.
+    pub const ZERO: MessageSizes = MessageSizes {
+        data: Some(0),
+        query: 0,
+        response_overhead: 0,
+    };
+
+    /// The wire length of a data copy of `item`.
+    #[must_use]
+    pub fn data_bytes(&self, item: &crate::item::DataItem) -> u64 {
+        self.data.unwrap_or_else(|| item.size())
+    }
+
+    /// The wire length of a response carrying `item`.
+    #[must_use]
+    pub fn response_bytes(&self, item: &crate::item::DataItem) -> u64 {
+        self.data_bytes(item).saturating_add(self.response_overhead)
+    }
+}
+
+impl Default for MessageSizes {
+    /// Per-item data sizes with a 64-byte query and 64 bytes of response
+    /// framing — the catalog's sizes become the wire truth.
+    fn default() -> MessageSizes {
+        MessageSizes {
+            data: None,
+            query: 64,
+            response_overhead: 64,
+        }
+    }
+}
+
 /// Caching simulation parameters.
 #[derive(Debug, Clone)]
 pub struct CachingConfig {
@@ -94,6 +147,10 @@ pub struct CachingConfig {
     /// contacts and hop transfers to it. A plan with all probabilities at
     /// zero is bit-identical to `None`.
     pub faults: Option<FaultConfig>,
+    /// Wire lengths of the protocol's messages, charged against the
+    /// contact byte capacity when one is attached. Irrelevant (any value)
+    /// under slot-counting budgets.
+    pub sizes: MessageSizes,
 }
 
 impl Default for CachingConfig {
@@ -104,6 +161,7 @@ impl Default for CachingConfig {
             query_deadline: SimDuration::from_hours(24.0),
             opportunistic_caching: true,
             faults: None,
+            sizes: MessageSizes::default(),
         }
     }
 }
@@ -319,19 +377,28 @@ impl CachingSimulator {
     }
 }
 
-/// Performs one budgeted hop: consumes budget, draws the loss fate, and
-/// maintains the transmission and fault counters. Returns whether the hop
-/// delivered (the caller then applies the data effect). An over-budget
-/// attempt is treated as never made: no loss draw, no transmission.
+/// Performs one budgeted hop of `bytes` on the wire: consumes budget,
+/// draws the loss fate, and maintains the transmission and fault counters.
+/// Returns whether the hop delivered (the caller then applies the data
+/// effect). A denied attempt — slot-over-budget or byte-over-capacity —
+/// is treated as never made: no loss draw, no transmission. A byte-denied
+/// message does not vanish: its payload stays with the current carrier
+/// (carrier persistence *is* the caching layer's transmission queue) and
+/// is retried at the next contact.
 fn budgeted_hop<S: ContactSource>(
     driver: &mut ContactDriver<S>,
     budget: &mut TransferBudget,
     extras: &mut Registry,
     transmissions: &mut u64,
+    bytes: u64,
 ) -> bool {
-    match driver.budgeted_transfer(budget) {
+    match driver.budgeted_transfer_sized(budget, bytes) {
         TransferOutcome::OverBudget => {
             extras.add("budget-deferred-transmissions", 1);
+            false
+        }
+        TransferOutcome::ByteDenied => {
+            extras.add("byte-deferred-transmissions", 1);
             false
         }
         TransferOutcome::Lost => {
@@ -380,6 +447,7 @@ pub struct CachingRun<'a, P: CachePolicy + ?Sized> {
     /// advances them via [`CachingRun::set_version`]).
     versions: Vec<u64>,
     opportunistic: bool,
+    sizes: MessageSizes,
     deadline: SimDuration,
     last_contact_start: Option<SimTime>,
     satisfied: usize,
@@ -453,6 +521,7 @@ impl<'a, P: CachePolicy + ?Sized> CachingRun<'a, P> {
             pending_responses: Vec::new(),
             versions: vec![0; catalog.len()],
             opportunistic: config.opportunistic_caching,
+            sizes: config.sizes,
             deadline: config.query_deadline,
             last_contact_start,
             satisfied: 0,
@@ -629,6 +698,7 @@ impl<'a, P: CachePolicy + ?Sized> CachingRun<'a, P> {
             pending_responses,
             versions,
             opportunistic,
+            sizes,
             satisfied,
             satisfied_fresh,
             delays_hist,
@@ -636,6 +706,7 @@ impl<'a, P: CachePolicy + ?Sized> CachingRun<'a, P> {
             ..
         } = self;
         let opportunistic = *opportunistic;
+        let sizes = *sizes;
         let delay_to = |x: NodeId, target: NodeId| delays[target.index()][x.index()];
         // Strictly-closer test with a small margin to avoid ping-ponging on
         // ties.
@@ -658,13 +729,14 @@ impl<'a, P: CachePolicy + ?Sized> CachingRun<'a, P> {
                 continue;
             };
             let meta = catalog.item(p.item);
+            let data_bytes = sizes.data_bytes(meta);
             if peer == p.target_ncl {
-                if budgeted_hop(driver, budget, extras, transmissions) {
+                if budgeted_hop(driver, budget, extras, transmissions, data_bytes) {
                     stores[peer.index()].put(meta, versions[p.item.index()], now, *policy);
                     p.carrier = peer; // parked at the NCL; retired below
                 }
             } else if closer(peer, carrier, p.target_ncl)
-                && budgeted_hop(driver, budget, extras, transmissions)
+                && budgeted_hop(driver, budget, extras, transmissions, data_bytes)
             {
                 if opportunistic {
                     stores[peer.index()].put(meta, versions[p.item.index()], now, *policy);
@@ -687,7 +759,7 @@ impl<'a, P: CachePolicy + ?Sized> CachingRun<'a, P> {
             // Peer can answer?
             if let Some(version) = Self::holds(stores, catalog, versions, peer, p.query.item, now) {
                 // The query is handed to the answerer.
-                if budgeted_hop(driver, budget, extras, transmissions) {
+                if budgeted_hop(driver, budget, extras, transmissions, sizes.query) {
                     pending_responses.push(PendingResponse {
                         qid: p.qid,
                         query: p.query,
@@ -707,7 +779,7 @@ impl<'a, P: CachePolicy + ?Sized> CachingRun<'a, P> {
                     .fold(f64::INFINITY, f64::min)
             };
             if best(peer) + 1e-9 < best(carrier)
-                && budgeted_hop(driver, budget, extras, transmissions)
+                && budgeted_hop(driver, budget, extras, transmissions, sizes.query)
             {
                 p.carrier = peer;
                 p.hops += 1;
@@ -727,8 +799,9 @@ impl<'a, P: CachePolicy + ?Sized> CachingRun<'a, P> {
             } else {
                 continue;
             };
+            let response_bytes = sizes.response_bytes(catalog.item(r.query.item));
             if peer == r.query.requester {
-                if budgeted_hop(driver, budget, extras, transmissions) {
+                if budgeted_hop(driver, budget, extras, transmissions, response_bytes) {
                     *satisfied += 1;
                     if r.version == versions[r.query.item.index()] {
                         *satisfied_fresh += 1;
@@ -739,7 +812,7 @@ impl<'a, P: CachePolicy + ?Sized> CachingRun<'a, P> {
                     delivered.push(idx);
                 }
             } else if closer(peer, carrier, r.query.requester)
-                && budgeted_hop(driver, budget, extras, transmissions)
+                && budgeted_hop(driver, budget, extras, transmissions, response_bytes)
             {
                 r.carrier = peer;
                 r.hops += 1;
@@ -883,6 +956,23 @@ mod tests {
         );
         // Node 1 (the NCL or an opportunistic cacher) holds the item.
         assert!(report.cachers_per_item[0].len() >= 2);
+    }
+
+    #[test]
+    fn message_sizes_resolve_against_the_catalog() {
+        let catalog = one_item_catalog(0); // item size 100
+        let item = catalog.item(DataItemId(0));
+        let default = MessageSizes::default();
+        assert_eq!(default.data_bytes(item), 100);
+        assert_eq!(default.response_bytes(item), 164);
+        assert_eq!(MessageSizes::ZERO.data_bytes(item), 0);
+        assert_eq!(MessageSizes::ZERO.response_bytes(item), 0);
+        let fixed = MessageSizes {
+            data: Some(5000),
+            ..MessageSizes::default()
+        };
+        assert_eq!(fixed.data_bytes(item), 5000);
+        assert_eq!(fixed.response_bytes(item), 5064);
     }
 
     #[test]

@@ -73,6 +73,13 @@ pub enum TransferOutcome {
     /// The contact's capacity was already exhausted; nothing was sent, no
     /// randomness was consumed, and no transmission happened.
     OverBudget,
+    /// The message did not fit the contact's remaining byte capacity
+    /// (sized transfers only; see
+    /// [`ContactDriver::budgeted_transfer_sized`]). Nothing was sent, no
+    /// randomness was consumed, and no transmission happened — but unlike
+    /// [`OverBudget`](TransferOutcome::OverBudget), the caller may queue
+    /// the message for a later contact.
+    ByteDenied,
 }
 
 /// An ordered, fault-filtered contact feed for an [`Engine`].
@@ -347,12 +354,32 @@ impl<S: ContactSource> ContactDriver<S> {
     /// budget this is bit-identical to calling
     /// [`transfer_fails`](ContactDriver::transfer_fails) directly.
     pub fn budgeted_transfer(&mut self, budget: &mut TransferBudget) -> TransferOutcome {
-        if !budget.try_consume() {
-            TransferOutcome::OverBudget
-        } else if self.transfer_fails() {
-            TransferOutcome::Lost
-        } else {
-            TransferOutcome::Sent
+        self.budgeted_transfer_sized(budget, 0)
+    }
+
+    /// Attempts one sized data transfer within a shared per-contact
+    /// `budget`, charging `bytes` against its byte capacity (if any).
+    ///
+    /// Both capacity axes are checked *before* the loss draw: a denied
+    /// attempt consumes no randomness and must not be counted as a
+    /// transmission. A zero-size transfer or a budget without a byte
+    /// capacity degrades bit-identically to
+    /// [`budgeted_transfer`](ContactDriver::budgeted_transfer).
+    pub fn budgeted_transfer_sized(
+        &mut self,
+        budget: &mut TransferBudget,
+        bytes: u64,
+    ) -> TransferOutcome {
+        match budget.try_consume_sized(bytes) {
+            omn_sim::ByteConsume::SlotDenied => TransferOutcome::OverBudget,
+            omn_sim::ByteConsume::ByteDenied => TransferOutcome::ByteDenied,
+            omn_sim::ByteConsume::Granted => {
+                if self.transfer_fails() {
+                    TransferOutcome::Lost
+                } else {
+                    TransferOutcome::Sent
+                }
+            }
         }
     }
 
@@ -566,6 +593,53 @@ mod tests {
             assert_eq!(outcome == TransferOutcome::Lost, failed);
         }
         assert_eq!(b.used(), 64);
+    }
+
+    #[test]
+    fn byte_denied_transfer_consumes_no_randomness() {
+        let t = trace(9);
+        let config = FaultConfig {
+            transmission_loss: 0.5,
+            ..FaultConfig::default()
+        };
+        let mut d1 = ContactDriver::new(&t, Some(config), &RngFactory::new(9));
+        let mut d2 = ContactDriver::new(&t, Some(config), &RngFactory::new(9));
+        let mut b = TransferBudget::unlimited().with_byte_capacity(Some(100));
+        // An oversized message is byte-denied without a loss draw.
+        assert_eq!(
+            d1.budgeted_transfer_sized(&mut b, 500),
+            TransferOutcome::ByteDenied
+        );
+        assert_eq!(b.used(), 0);
+        assert_eq!(b.bytes_used(), 0);
+        // A fitting message draws; both streams stay aligned afterwards.
+        let outcome = d1.budgeted_transfer_sized(&mut b, 80);
+        let failed = d2.transfer_fails();
+        assert_eq!(outcome == TransferOutcome::Lost, failed);
+        assert_eq!(b.bytes_used(), 80);
+        for _ in 0..64 {
+            assert_eq!(d1.transfer_fails(), d2.transfer_fails());
+        }
+    }
+
+    #[test]
+    fn zero_size_sized_transfer_matches_unsized() {
+        let t = trace(10);
+        let config = FaultConfig {
+            transmission_loss: 0.3,
+            ..FaultConfig::default()
+        };
+        let mut d1 = ContactDriver::new(&t, Some(config), &RngFactory::new(10));
+        let mut d2 = ContactDriver::new(&t, Some(config), &RngFactory::new(10));
+        let mut b1 = TransferBudget::capped(4).with_byte_capacity(Some(0));
+        let mut b2 = TransferBudget::capped(4);
+        for _ in 0..8 {
+            assert_eq!(
+                d1.budgeted_transfer_sized(&mut b1, 0),
+                d2.budgeted_transfer(&mut b2)
+            );
+        }
+        assert_eq!(b1.used(), b2.used());
     }
 
     #[test]

@@ -34,18 +34,18 @@
 //! bit-identical to [`crate::sim::FreshnessSimulator::run_with_roles`]
 //! over the same roles (both invariants are regression-tested).
 
-use omn_caching::policy::Lru;
+use omn_caching::policy::PolicyChoice;
 use omn_caching::query::QueryWorkload;
 use omn_caching::{AccessReport, CachingConfig, CachingRun, CachingTimer, Catalog, DataItemId};
 use omn_contacts::faults::FaultConfig;
 use omn_contacts::{ContactDriver, ContactFate, ContactGraph, ContactTrace, NodeId};
 use omn_sim::metrics::Registry;
 use omn_sim::{
-    Engine, EventClass, OracleMode, OracleObs, OracleReport, OracleSink, RngFactory, SimWorld,
-    TransferBudget,
+    Engine, EventClass, LinkConfig, LinkStats, OracleMode, OracleObs, OracleReport, OracleSink,
+    RngFactory, SimWorld, TransferBudget,
 };
 
-use crate::oracle::BudgetOracle;
+use crate::oracle::{BandwidthOracle, BudgetOracle};
 use crate::scheme::RefreshScheme;
 use crate::sim::{
     FreshnessConfig, FreshnessReport, FreshnessRun, FreshnessSimulator, FreshnessTimer,
@@ -88,8 +88,16 @@ pub struct JointConfig {
     /// Per-contact transfer budget shared by both layers (`None` =
     /// unlimited, the standalone semantics).
     pub contact_budget: Option<u32>,
+    /// Link model: each contact's budget additionally carries a byte
+    /// capacity of `bandwidth × contact duration`, which sized refresh
+    /// frames and caching hops draw down. `None` (or an unlimited
+    /// [`LinkConfig`]) attaches no byte capacity — bit-identical to pure
+    /// slot counting.
+    pub link: Option<LinkConfig>,
     /// Which layer transmits first under a tight budget.
     pub priority: ContentionPriority,
+    /// Cache replacement / placement policy of the caching layer.
+    pub policy: PolicyChoice,
     /// Whether cache placement demotes replicas lagging the current
     /// version by more than one and re-pulls them from the source.
     pub demote_stale: bool,
@@ -104,7 +112,9 @@ impl Default for JointConfig {
             freshness: Some(FreshnessConfig::default()),
             scheme: SchemeChoice::Hierarchical,
             contact_budget: None,
+            link: None,
             priority: ContentionPriority::RefreshFirst,
+            policy: PolicyChoice::Lru,
             demote_stale: false,
             faults: None,
         }
@@ -138,6 +148,13 @@ pub struct JointReport {
     /// The largest number of transfers any single contact carried across
     /// both layers — never exceeds the configured budget.
     pub max_contact_used: u32,
+    /// The most bytes any single contact carried across both layers —
+    /// never exceeds that contact's bandwidth×duration capacity.
+    pub max_contact_bytes: u64,
+    /// Refresh-layer transmission-queue statistics merged over all
+    /// per-item participants; `None` when no participant ran a link
+    /// model ([`crate::sim::FreshnessConfig::link`] unset).
+    pub link: Option<LinkStats>,
     /// Joint-level invariant violations (budget accounting across both
     /// layers, cache-capacity bounds). Per-item freshness violations live
     /// in each [`FreshnessReport::oracle`].
@@ -223,14 +240,18 @@ impl JointSimulator {
         if oracle_mode != OracleMode::Off {
             world.install_oracle(Box::new(BudgetOracle::new()));
             world.install_oracle(Box::new(omn_caching::oracle::CacheCapacityOracle::new()));
+            if self.config.link.is_some() {
+                world.install_oracle(Box::new(BandwidthOracle::new()));
+            }
         }
 
+        let policy = self.config.policy.make();
         let (mut caching, caching_timers) = CachingRun::new(
             &self.config.caching,
             &graph,
             catalog,
             queries,
-            &Lru,
+            &*policy,
             &driver,
         );
 
@@ -284,6 +305,7 @@ impl JointSimulator {
         }
 
         let mut max_contact_used = 0u32;
+        let mut max_contact_bytes = 0u64;
         while let Some(ev) = engine.next_event() {
             let now = ev.time;
             match ev.payload {
@@ -367,22 +389,31 @@ impl JointSimulator {
                         };
                     }
 
-                    let mk = |c: Option<u32>| match c {
-                        None => TransferBudget::unlimited(),
-                        Some(cap) => TransferBudget::capped(cap),
+                    // The contact's byte capacity under the link model:
+                    // bandwidth × duration, or `None` for infinite links.
+                    let byte_cap = self
+                        .config
+                        .link
+                        .and_then(|l| l.capacity_for(driver.contact(ci).duration()));
+                    let mk = |c: Option<u32>, bytes: Option<u64>| {
+                        let base = match c {
+                            None => TransferBudget::unlimited(),
+                            Some(cap) => TransferBudget::capped(cap),
+                        };
+                        base.with_byte_capacity(bytes)
                     };
-                    let used = match self.config.priority {
+                    let (used, bytes_used) = match self.config.priority {
                         ContentionPriority::RefreshFirst => {
-                            let mut budget = mk(self.config.contact_budget);
+                            let mut budget = mk(self.config.contact_budget, byte_cap);
                             fresh_layer!(Some(&mut budget));
                             cache_layer!(&mut budget);
-                            budget.used()
+                            (budget.used(), budget.bytes_used())
                         }
                         ContentionPriority::QueryFirst => {
-                            let mut budget = mk(self.config.contact_budget);
+                            let mut budget = mk(self.config.contact_budget, byte_cap);
                             cache_layer!(&mut budget);
                             fresh_layer!(Some(&mut budget));
-                            budget.used()
+                            (budget.used(), budget.bytes_used())
                         }
                         ContentionPriority::FairInterleave => {
                             let (fresh_cap, cache_cap) = match self.config.contact_budget {
@@ -397,14 +428,32 @@ impl JointSimulator {
                                     }
                                 }
                             };
-                            let mut fresh_budget = mk(fresh_cap);
-                            let mut cache_budget = mk(cache_cap);
+                            // The byte capacity splits by the same parity
+                            // rule as the slot capacity.
+                            let (fresh_bytes, cache_bytes) = match byte_cap {
+                                None => (None, None),
+                                Some(cap) => {
+                                    let half = cap / 2;
+                                    let odd = cap % 2;
+                                    if ci % 2 == 0 {
+                                        (Some(half + odd), Some(half))
+                                    } else {
+                                        (Some(half), Some(half + odd))
+                                    }
+                                }
+                            };
+                            let mut fresh_budget = mk(fresh_cap, fresh_bytes);
+                            let mut cache_budget = mk(cache_cap, cache_bytes);
                             fresh_layer!(Some(&mut fresh_budget));
                             cache_layer!(&mut cache_budget);
-                            fresh_budget.used() + cache_budget.used()
+                            (
+                                fresh_budget.used() + cache_budget.used(),
+                                fresh_budget.bytes_used() + cache_budget.bytes_used(),
+                            )
                         }
                     };
                     max_contact_used = max_contact_used.max(used);
+                    max_contact_bytes = max_contact_bytes.max(bytes_used);
 
                     // Joint-level invariant observations: the budget this
                     // contact retired, and the cache occupancy of the two
@@ -414,6 +463,10 @@ impl JointSimulator {
                         world.oracle_event(&OracleObs::BudgetRetired {
                             used,
                             capacity: self.config.contact_budget,
+                        });
+                        world.oracle_event(&OracleObs::BytesRetired {
+                            bytes_used,
+                            byte_capacity: byte_cap,
                         });
                         for node in [a, b] {
                             let (stored, capacity) = caching.store_occupancy(node);
@@ -458,10 +511,19 @@ impl JointSimulator {
         let access = caching.finish(trace.span(), extras);
         world.advance_to(trace.span());
         world.oracle_end_of_run();
+        let link = freshness
+            .iter()
+            .filter_map(|(_, r)| r.link)
+            .reduce(|mut acc, s| {
+                acc.merge(&s);
+                acc
+            });
         JointReport {
             access,
             freshness,
             max_contact_used,
+            max_contact_bytes,
+            link,
             oracle: world.take_oracle_report(),
         }
     }

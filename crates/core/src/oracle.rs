@@ -9,6 +9,9 @@
 //!   provably wiped its state first.
 //! * [`BudgetOracle`] — transfer-budget accounting: no contact retires more
 //!   transfers than its configured capacity.
+//! * [`BandwidthOracle`] — link-model accounting: no contact moves more
+//!   bytes than its bandwidth×duration capacity, and no per-node
+//!   transmission queue grows past its depth bound.
 //! * [`TimerLivenessOracle`] — refresh-timer liveness: every scheduled
 //!   version-birth timer actually fires before the run ends.
 //!
@@ -97,6 +100,55 @@ impl InvariantOracle for BudgetOracle {
                 node: None,
                 detail: format!("contact carried {used} transfers against capacity {cap}"),
             });
+        }
+    }
+}
+
+/// Link-model accounting: bytes moved never exceed the contact's byte
+/// capacity, and no per-node transmission queue ever exceeds its depth
+/// bound.
+///
+/// Consumes [`OracleObs::BytesRetired`] (emitted once per retired contact
+/// budget, like [`OracleObs::BudgetRetired`]) and
+/// [`OracleObs::QueueDepth`] (emitted whenever a queue grows).
+#[derive(Debug, Default)]
+pub struct BandwidthOracle;
+
+impl BandwidthOracle {
+    /// Creates the oracle.
+    #[must_use]
+    pub fn new() -> BandwidthOracle {
+        BandwidthOracle
+    }
+}
+
+impl InvariantOracle for BandwidthOracle {
+    fn name(&self) -> &'static str {
+        "bandwidth"
+    }
+
+    fn on_event(&mut self, at: SimTime, obs: &OracleObs, sink: &mut OracleSink) {
+        match *obs {
+            OracleObs::BytesRetired {
+                bytes_used,
+                byte_capacity: Some(cap),
+            } => {
+                sink.check(bytes_used <= cap, || Violation {
+                    invariant: "byte-capacity-overspent",
+                    at,
+                    node: None,
+                    detail: format!("contact carried {bytes_used} bytes against capacity {cap}"),
+                });
+            }
+            OracleObs::QueueDepth { node, depth, bound } => {
+                sink.check(depth <= bound, || Violation {
+                    invariant: "queue-depth-bound",
+                    at,
+                    node: Some(node),
+                    detail: format!("transmission queue depth {depth} exceeds bound {bound}"),
+                });
+            }
+            _ => {}
         }
     }
 }
@@ -262,6 +314,57 @@ mod tests {
             &mut s,
         );
         assert_eq!(s.report().count("budget-overspent"), 1);
+    }
+
+    #[test]
+    fn bandwidth_oracle_flags_byte_overspend_and_depth_breach() {
+        let mut o = BandwidthOracle::new();
+        let mut s = sink();
+        o.on_event(
+            t(1.0),
+            &OracleObs::BytesRetired {
+                bytes_used: 900,
+                byte_capacity: Some(1000),
+            },
+            &mut s,
+        );
+        o.on_event(
+            t(2.0),
+            &OracleObs::BytesRetired {
+                bytes_used: 1_000_000,
+                byte_capacity: None,
+            },
+            &mut s,
+        );
+        o.on_event(
+            t(3.0),
+            &OracleObs::QueueDepth {
+                node: 7,
+                depth: 4,
+                bound: 4,
+            },
+            &mut s,
+        );
+        assert!(s.report().is_clean());
+        o.on_event(
+            t(4.0),
+            &OracleObs::BytesRetired {
+                bytes_used: 1001,
+                byte_capacity: Some(1000),
+            },
+            &mut s,
+        );
+        o.on_event(
+            t(5.0),
+            &OracleObs::QueueDepth {
+                node: 7,
+                depth: 5,
+                bound: 4,
+            },
+            &mut s,
+        );
+        assert_eq!(s.report().count("byte-capacity-overspent"), 1);
+        assert_eq!(s.report().count("queue-depth-bound"), 1);
     }
 
     #[test]

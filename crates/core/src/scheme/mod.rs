@@ -29,8 +29,23 @@ use omn_contacts::estimate::PairRateTable;
 use omn_contacts::faults::FaultPlan;
 use omn_contacts::{ContactGraph, NodeId};
 use omn_sim::metrics::Registry;
-use omn_sim::{OracleMode, OracleObs, SimTime, SimWorld, TransferBudget, Violation};
+use omn_sim::{
+    ByteConsume, OracleMode, OracleObs, SimTime, SimWorld, TransferBudget, TxQueues, Violation,
+};
 use rand::rngs::StdRng;
+
+/// A refresh transfer deferred by a contact's byte capacity, waiting in
+/// its sender's transmission queue for a later contact with the same
+/// peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingRefresh {
+    /// The sender holding the queued frame.
+    pub from: NodeId,
+    /// The caching node it is destined for.
+    pub to: NodeId,
+    /// The version the frame carries.
+    pub version: u64,
+}
 
 /// A cache-freshness maintenance scheme.
 pub trait RefreshScheme: std::fmt::Debug {
@@ -89,6 +104,14 @@ pub struct SchemeCtx<'a> {
     /// `None` (every standalone run) means unlimited capacity and is
     /// bit-identical to the pre-budget behavior.
     pub(crate) budget: Option<&'a mut TransferBudget>,
+    /// Wire length of one refresh frame, charged against the budget's
+    /// byte capacity (if it has one). Zero — the default — can never be
+    /// byte-denied, so the sized path degrades to slot counting.
+    pub(crate) refresh_bytes: u64,
+    /// Per-node transmission queues for byte-denied refresh frames, when
+    /// the run's link model is enabled. `None` (the legacy worlds) means
+    /// byte-denied frames simply fail, like slot-denied ones.
+    pub(crate) queues: Option<&'a mut TxQueues<PendingRefresh>>,
     /// The run's [`SimWorld`]: installed invariant oracles and the
     /// violation sink. Oracles are pure observers, so dispatching through
     /// here never perturbs a run.
@@ -177,7 +200,18 @@ impl SchemeCtx<'_> {
         if corrupted {
             self.extras.add("corrupted-transfers", 1);
         }
-        if !self.attempt_transfer(from) {
+        match self.consume_budget(self.refresh_bytes) {
+            ByteConsume::SlotDenied => return Delivery::Failed,
+            ByteConsume::ByteDenied => {
+                // The frame does not fit this contact: it waits in the
+                // sender's transmission queue (when the link model is on)
+                // instead of vanishing.
+                self.enqueue_refresh(from, to, version);
+                return Delivery::Failed;
+            }
+            ByteConsume::Granted => {}
+        }
+        if !self.transmit_with_loss(from) {
             return Delivery::Failed;
         }
         if corrupted {
@@ -202,16 +236,35 @@ impl SchemeCtx<'_> {
     /// no fault plan (or zero loss) this is exactly
     /// [`SchemeCtx::record_transmission`] returning `true`.
     pub fn attempt_transfer(&mut self, from: NodeId) -> bool {
-        // Contact capacity is checked before anything else: an over-budget
+        // Contact capacity is checked before anything else: a denied
         // attempt never reaches the radio, so it counts no transmission and
         // draws no loss randomness. Schemes observe it as a failed
         // delivery and fall back to their retry/recovery paths.
-        if let Some(budget) = self.budget.as_mut() {
-            if !budget.try_consume() {
-                self.extras.add("budget-deferred-transmissions", 1);
-                return false;
-            }
+        if !self.consume_budget(self.refresh_bytes).granted() {
+            return false;
         }
+        self.transmit_with_loss(from)
+    }
+
+    /// Draws one sized consume against the shared budget (`Granted` when
+    /// none is attached), maintaining the deferral counters. A denied
+    /// attempt charges nothing.
+    fn consume_budget(&mut self, bytes: u64) -> ByteConsume {
+        let Some(budget) = self.budget.as_mut() else {
+            return ByteConsume::Granted;
+        };
+        let outcome = budget.try_consume_sized(bytes);
+        match outcome {
+            ByteConsume::SlotDenied => self.extras.add("budget-deferred-transmissions", 1),
+            ByteConsume::ByteDenied => self.extras.add("byte-deferred-transmissions", 1),
+            ByteConsume::Granted => {}
+        }
+        outcome
+    }
+
+    /// Counts a transmission by `from` and draws injected transmission
+    /// loss (the granted half of [`SchemeCtx::attempt_transfer`]).
+    fn transmit_with_loss(&mut self, from: NodeId) -> bool {
         *self.transmissions += 1;
         self.per_node_tx[from.index()] += 1;
         if self.faults.as_mut().is_some_and(|f| f.transfer_fails()) {
@@ -219,6 +272,107 @@ impl SchemeCtx<'_> {
             false
         } else {
             true
+        }
+    }
+
+    /// Queues a byte-denied refresh frame at its sender (no-op without
+    /// the link model's queues). An accepted frame reports its queue's
+    /// depth to the installed oracles; a frame refused at the depth bound
+    /// is dropped with accounting.
+    fn enqueue_refresh(&mut self, from: NodeId, to: NodeId, version: u64) {
+        let bytes = self.refresh_bytes;
+        let now = self.now;
+        let (accepted, depth, bound) = {
+            let Some(queues) = self.queues.as_mut() else {
+                return;
+            };
+            let accepted = queues.enqueue(
+                from.index(),
+                PendingRefresh { from, to, version },
+                bytes,
+                now,
+            );
+            (
+                accepted,
+                queues.depth(from.index()) as u64,
+                queues.depth_bound() as u64,
+            )
+        };
+        if accepted {
+            self.observe(&OracleObs::QueueDepth {
+                node: u64::from(from.0),
+                depth,
+                bound,
+            });
+        } else {
+            self.extras.add("queue-dropped-refreshes", 1);
+        }
+    }
+
+    /// Drains queued refresh frames at the start of a deliverable contact
+    /// between `a` and `b`, both directions, in FIFO order. A frame for a
+    /// third node blocks its queue (head-of-line: one radio, one queue);
+    /// frames made obsolete while waiting are discarded without spending
+    /// capacity; a frame the contact cannot fit stays queued. Drained
+    /// frames spend budget, count transmissions and draw loss exactly
+    /// like a live refresh. No-op (and no accounting) when the link
+    /// model's queues are absent or empty.
+    pub fn drain_queued(&mut self, a: NodeId, b: NodeId) {
+        if self.queues.as_ref().is_none_or(|q| q.is_empty()) {
+            return;
+        }
+        self.drain_direction(a, b);
+        self.drain_direction(b, a);
+    }
+
+    fn drain_direction(&mut self, from: NodeId, to: NodeId) {
+        loop {
+            let Some(head) = self.queues.as_ref().and_then(|q| q.front(from.index())) else {
+                return;
+            };
+            let pending = head.msg;
+            let bytes = head.bytes;
+            if pending.to != to {
+                return;
+            }
+            // Obsolete while queued: the receiver caught up (or the frame
+            // outran the source, which cannot happen but stays cheap to
+            // guard). Discarded, not transmitted.
+            let obsolete = !self.is_member(to)
+                || pending.version > self.current_version
+                || self
+                    .member_versions
+                    .get(&to)
+                    .copied()
+                    .is_some_and(|held| held >= pending.version);
+            if obsolete {
+                self.queues
+                    .as_mut()
+                    .expect("queues exist: head was just read")
+                    .discard(from.index());
+                continue;
+            }
+            if !self.consume_budget(bytes).granted() {
+                // This contact cannot carry it either; it stays queued.
+                return;
+            }
+            self.queues
+                .as_mut()
+                .expect("queues exist: head was just read")
+                .pop(from.index(), self.now);
+            self.extras.add("queued-refresh-drains", 1);
+            if !self.transmit_with_loss(from) {
+                continue;
+            }
+            self.member_versions.insert(to, pending.version);
+            self.receipts
+                .entry(to)
+                .or_default()
+                .push((self.now, pending.version));
+            self.observe(&OracleObs::Absorb {
+                node: u64::from(to.0),
+                version: pending.version,
+            });
         }
     }
 
@@ -427,6 +581,12 @@ pub(crate) mod testutil {
         pub rng: StdRng,
         /// Fault schedule passed into the ctx; `None` disables injection.
         pub faults: Option<FaultPlan>,
+        /// Shared budget passed into the ctx; `None` means unlimited.
+        pub budget: Option<TransferBudget>,
+        /// Refresh frame size charged against the budget's byte axis.
+        pub refresh_bytes: u64,
+        /// Link-model transmission queues; `None` disables queueing.
+        pub queues: Option<TxQueues<PendingRefresh>>,
         /// Oracle world (campaign-mode sink by default, no oracles
         /// installed).
         pub world: SimWorld,
@@ -455,6 +615,9 @@ pub(crate) mod testutil {
                 extras: Registry::new(),
                 rng: omn_sim::RngFactory::new(1).stream("test-scheme"),
                 faults: None,
+                budget: None,
+                refresh_bytes: 0,
+                queues: None,
                 world: {
                     let mut w = SimWorld::new(oracle_nodes, omn_sim::RngFactory::new(1));
                     w.set_oracle_sink(omn_sim::OracleSink::new(OracleMode::Campaign));
@@ -511,7 +674,9 @@ pub(crate) mod testutil {
                 extras: &mut self.extras,
                 rng: &mut self.rng,
                 faults: self.faults.as_mut(),
-                budget: None,
+                budget: self.budget.as_mut(),
+                refresh_bytes: self.refresh_bytes,
+                queues: self.queues.as_mut(),
                 world: &mut self.world,
             }
         }
@@ -661,6 +826,93 @@ mod tests {
             version: 1,
         });
         assert_eq!(h.world.oracle_report().count("version-monotonicity"), 1);
+    }
+
+    #[test]
+    fn byte_denied_refreshes_queue_and_drain_at_the_next_contact() {
+        let mut h = harness();
+        h.current_version = 1;
+        h.refresh_bytes = 64;
+        h.queues = Some(TxQueues::new(4, 4));
+        h.budget = Some(TransferBudget::unlimited().with_byte_capacity(Some(100)));
+        {
+            let mut ctx = h.ctx();
+            assert_eq!(
+                ctx.try_deliver(NodeId(0), NodeId(1), 1),
+                Delivery::Delivered
+            );
+            // The second frame does not fit the 100-byte contact: queued.
+            assert_eq!(ctx.try_deliver(NodeId(0), NodeId(2), 1), Delivery::Failed);
+        }
+        assert_eq!(h.extras.get("byte-deferred-transmissions"), 1);
+        assert_eq!(h.queues.as_ref().unwrap().depth(0), 1);
+        assert_eq!(h.transmissions, 1, "a denied frame never went on the air");
+
+        // Next contact with capacity: the queued frame drains and delivers.
+        h.budget = Some(TransferBudget::unlimited().with_byte_capacity(Some(100)));
+        h.ctx().drain_queued(NodeId(0), NodeId(2));
+        assert_eq!(h.member_versions[&NodeId(2)], 1);
+        assert_eq!(h.extras.get("queued-refresh-drains"), 1);
+        assert_eq!(h.transmissions, 2);
+        assert!(h.queues.as_ref().unwrap().is_empty());
+        assert_eq!(
+            h.receipts[&NodeId(2)].len(),
+            2,
+            "drained frame is receipted"
+        );
+    }
+
+    #[test]
+    fn drain_respects_head_of_line_order_and_discards_obsolete_frames() {
+        let mut h = harness();
+        h.current_version = 1;
+        h.refresh_bytes = 64;
+        h.queues = Some(TxQueues::new(4, 4));
+        // A zero-capacity contact queues frames for members 1 then 2.
+        h.budget = Some(TransferBudget::unlimited().with_byte_capacity(Some(0)));
+        {
+            let mut ctx = h.ctx();
+            assert_eq!(ctx.try_deliver(NodeId(0), NodeId(1), 1), Delivery::Failed);
+            assert_eq!(ctx.try_deliver(NodeId(0), NodeId(2), 1), Delivery::Failed);
+        }
+        assert_eq!(h.queues.as_ref().unwrap().depth(0), 2);
+
+        // Contact 0↔2: the head frame is addressed to node 1, so FIFO
+        // order blocks the queue — nothing drains.
+        h.budget = Some(TransferBudget::unlimited().with_byte_capacity(Some(1000)));
+        h.ctx().drain_queued(NodeId(0), NodeId(2));
+        assert_eq!(h.member_versions[&NodeId(2)], 0);
+        assert_eq!(h.queues.as_ref().unwrap().depth(0), 2);
+
+        // Node 1 catches up out of band: its frame is obsolete and is
+        // discarded without spending any bytes when 0 meets 1 again.
+        h.member_versions.insert(NodeId(1), 1);
+        h.ctx().drain_queued(NodeId(0), NodeId(1));
+        assert_eq!(h.queues.as_ref().unwrap().depth(0), 1);
+        assert_eq!(h.budget.as_ref().unwrap().bytes_used(), 0);
+
+        // With the head gone, 0↔2 delivers the remaining frame.
+        h.ctx().drain_queued(NodeId(0), NodeId(2));
+        assert_eq!(h.member_versions[&NodeId(2)], 1);
+        assert!(h.queues.as_ref().unwrap().is_empty());
+    }
+
+    #[test]
+    fn a_full_queue_drops_the_refresh_and_counts_it() {
+        let mut h = harness();
+        h.current_version = 1;
+        h.refresh_bytes = 64;
+        h.queues = Some(TxQueues::new(4, 1));
+        h.budget = Some(TransferBudget::unlimited().with_byte_capacity(Some(0)));
+        {
+            let mut ctx = h.ctx();
+            assert_eq!(ctx.try_deliver(NodeId(0), NodeId(1), 1), Delivery::Failed);
+            assert_eq!(ctx.try_deliver(NodeId(0), NodeId(2), 1), Delivery::Failed);
+        }
+        assert_eq!(h.queues.as_ref().unwrap().depth(0), 1, "bound is 1");
+        assert_eq!(h.extras.get("byte-deferred-transmissions"), 2);
+        assert_eq!(h.extras.get("queue-dropped-refreshes"), 1);
+        assert_eq!(h.queues.as_ref().unwrap().stats().dropped_msgs, 1);
     }
 
     #[test]

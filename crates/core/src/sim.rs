@@ -35,18 +35,18 @@ use omn_contacts::{
 };
 use omn_sim::metrics::{Registry, SampleHistogram, Timeline};
 use omn_sim::{
-    Engine, EventClass, OracleMode, OracleObs, OracleReport, OracleSink, RngFactory, SimDuration,
-    SimTime, SimWorld, TransferBudget,
+    Engine, EventClass, LinkStats, OracleMode, OracleObs, OracleReport, OracleSink, RngFactory,
+    SimDuration, SimTime, SimWorld, TransferBudget, TxQueues,
 };
 use rand::rngs::StdRng;
 use rand::Rng;
 
 use crate::freshness::{FreshnessRequirement, FreshnessTracker, UpdateSchedule};
 use crate::hierarchy::HierarchyStrategy;
-use crate::oracle::{BudgetOracle, TimerLivenessOracle, VersionOrderOracle};
+use crate::oracle::{BandwidthOracle, BudgetOracle, TimerLivenessOracle, VersionOrderOracle};
 use crate::scheme::{
-    EpidemicRefresh, HierarchicalConfig, HierarchicalScheme, NoRefresh, PlanningMode,
-    RefreshScheme, ResilienceConfig, SchemeCtx,
+    EpidemicRefresh, HierarchicalConfig, HierarchicalScheme, NoRefresh, PendingRefresh,
+    PlanningMode, RefreshScheme, ResilienceConfig, SchemeCtx,
 };
 
 /// Delivery classes for same-instant events, mirroring the drain order of
@@ -167,6 +167,34 @@ pub enum SourceSelection {
     MedianCentral,
 }
 
+/// Link-model parameters for refresh traffic: how many bytes one refresh
+/// frame occupies on the wire, and how deep each node's transmission queue
+/// may grow while waiting out a byte-starved contact.
+///
+/// Only meaningful when the driving loop attaches byte-capacitated
+/// [`TransferBudget`]s to contacts (joint worlds with a
+/// [`omn_sim::LinkConfig`]); a standalone run with unlimited budgets never
+/// byte-denies, so queues stay empty and the run is bit-identical to one
+/// without a link model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefreshLink {
+    /// Wire size of one refresh message, bytes.
+    pub refresh_bytes: u64,
+    /// Per-node transmission queue depth bound; a byte-denied refresh
+    /// beyond this bound is dropped (counted as
+    /// `queue-dropped-refreshes`).
+    pub queue_depth: usize,
+}
+
+impl Default for RefreshLink {
+    fn default() -> RefreshLink {
+        RefreshLink {
+            refresh_bytes: 256,
+            queue_depth: omn_sim::LinkConfig::DEFAULT_QUEUE_DEPTH,
+        }
+    }
+}
+
 /// Freshness-simulation parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FreshnessConfig {
@@ -219,6 +247,11 @@ pub struct FreshnessConfig {
     /// checks entirely (off; only for overhead measurement). Defaults to
     /// the `OMN_ORACLE` environment variable's choice.
     pub oracle_mode: OracleMode,
+    /// Link model for refresh traffic: frame size and per-node
+    /// transmission-queue depth. `None` keeps zero-byte frames and no
+    /// queues — bit-identical to the pre-link simulator even when a byte
+    /// capacity is attached to the budget.
+    pub link: Option<RefreshLink>,
 }
 
 impl Default for FreshnessConfig {
@@ -242,6 +275,7 @@ impl Default for FreshnessConfig {
             faults: None,
             resilience: None,
             oracle_mode: OracleMode::from_env(),
+            link: None,
         }
     }
 }
@@ -301,6 +335,9 @@ pub struct FreshnessReport {
     /// Protocol invariant violations observed during the run (always empty
     /// under strict mode, which panics at the first one instead).
     pub oracle: OracleReport,
+    /// Transmission-queue statistics (enqueues, drains, drops, queueing
+    /// delay) when the run carried a link model; `None` without one.
+    pub link: Option<LinkStats>,
     /// The cache version each member held at the end of the run, sorted by
     /// node id — the per-node version vector runtime cross-validation
     /// (E18) compares against.
@@ -737,6 +774,12 @@ pub struct FreshnessRun<'a> {
     span: SimTime,
     fresh_only_serving: bool,
     requirement_deadline: SimDuration,
+    /// Wire size of one refresh frame (0 without a link model — degrades
+    /// byte accounting to pure slot counting).
+    refresh_bytes: u64,
+    /// Per-node transmission queues for byte-denied refreshes; `None`
+    /// without a link model.
+    tx_queues: Option<TxQueues<PendingRefresh>>,
     /// The run's oracle world: clock mirror plus installed invariant
     /// oracles and their violation sink.
     world: SimWorld,
@@ -852,6 +895,9 @@ impl<'a> FreshnessRun<'a> {
             world.install_oracle(Box::new(TimerLivenessOracle::new(
                 schedule.version_count().saturating_sub(1),
             )));
+            if config.link.is_some() {
+                world.install_oracle(Box::new(BandwidthOracle::new()));
+            }
         }
 
         let run = FreshnessRun {
@@ -889,6 +935,10 @@ impl<'a> FreshnessRun<'a> {
             span,
             fresh_only_serving: config.fresh_only_serving,
             requirement_deadline: config.requirement.deadline,
+            refresh_bytes: config.link.map_or(0, |l| l.refresh_bytes),
+            tx_queues: config
+                .link
+                .map(|l| TxQueues::new(node_count, l.queue_depth)),
             world,
         };
         (run, timers)
@@ -956,6 +1006,8 @@ impl<'a> FreshnessRun<'a> {
             rng: &mut self.rng,
             faults,
             budget,
+            refresh_bytes: self.refresh_bytes,
+            queues: self.tx_queues.as_mut(),
             world: &mut self.world,
         }
     }
@@ -1114,7 +1166,12 @@ impl<'a> FreshnessRun<'a> {
                 self.world.advance_to(now);
                 self.world.oracle_contact(u64::from(a.0), u64::from(b.0));
             }
-            scheme.on_contact(a, b, &mut self.ctx(now, faults, budget));
+            // Queued (byte-deferred) refreshes drain first: frames already
+            // waiting at either endpoint take link capacity before the
+            // scheme makes new decisions for this contact.
+            let mut ctx = self.ctx(now, faults, budget);
+            ctx.drain_queued(a, b);
+            scheme.on_contact(a, b, &mut ctx);
         }
 
         // Members recover once they again hold the current version.
@@ -1253,6 +1310,7 @@ impl<'a> FreshnessRun<'a> {
             query_delays: self.query_delays,
             recovery_delays: self.recovery_delays,
             oracle,
+            link: self.tx_queues.as_ref().map(|q| *q.stats()),
             final_member_versions: {
                 let mut fv: Vec<(NodeId, u64)> = self
                     .members

@@ -17,12 +17,22 @@ use std::collections::{HashMap, HashSet};
 use omn_contacts::faults::FaultConfig;
 use omn_contacts::{ContactDriver, ContactFate, ContactSource, ContactTrace, NodeId};
 use omn_sim::metrics::{Registry, SampleHistogram};
-use omn_sim::{Engine, EventClass, RngFactory, SimDuration, SimTime, SimWorld, World};
+use omn_sim::{Engine, EventClass, LinkConfig, RngFactory, SimDuration, SimTime, SimWorld, World};
 
 use crate::buffer::{DropPolicy, MessageBuffer};
 use crate::message::{Message, MessageId};
 use crate::routing::{RoutingProtocol, TransferDecision};
 use crate::workload::UnicastDemand;
+
+/// Charges one transmitted payload against the contact's remaining byte
+/// capacity (checked to fit before the transfer) and the run's byte
+/// counter.
+fn spend_bytes(byte_budget: &mut Option<u64>, bytes_transmitted: &mut u64, size: u64) {
+    if let Some(r) = byte_budget.as_mut() {
+        *r = r.saturating_sub(size);
+    }
+    *bytes_transmitted += size;
+}
 
 /// Demand injections fire before any contact at the same instant.
 const CLASS_DEMAND: EventClass = EventClass(20);
@@ -52,6 +62,12 @@ pub struct SimConfig {
     /// Maximum successful transfers per contact (bandwidth proxy);
     /// `None` means unconstrained.
     pub max_transfers_per_contact: Option<usize>,
+    /// Byte-denominated link model: each contact carries at most
+    /// `bandwidth × duration` bytes of message payload, and a message that
+    /// does not fit the remainder stays buffered at its carrier for the
+    /// next contact. `None` (or an unlimited [`LinkConfig`]) imposes no
+    /// byte limit — bit-identical to the slot-counting semantics.
+    pub link: Option<LinkConfig>,
     /// Optional fault injection (transmission loss, contact truncation,
     /// churn, departures) applied through the shared [`ContactDriver`].
     /// `None` runs fault-free and consumes no fault randomness.
@@ -66,6 +82,7 @@ impl Default for SimConfig {
             ttl: None,
             message_size: 1024,
             max_transfers_per_contact: None,
+            link: None,
             faults: None,
         }
     }
@@ -88,6 +105,9 @@ pub struct DeliveryReport {
     pub evictions: u64,
     /// Copies dropped by TTL expiry.
     pub expired: u64,
+    /// Payload bytes that went on the air (lost hops included — the send
+    /// happened).
+    pub bytes_transmitted: u64,
     /// Delivery delays in seconds.
     pub delays: SampleHistogram,
     /// Fault counters (`down-contacts`, `blocked-contacts`,
@@ -201,6 +221,7 @@ impl NetworkSimulator {
             transmissions: 0,
             evictions: 0,
             expired: 0,
+            bytes_transmitted: 0,
             delays: SampleHistogram::new(),
             extras: Registry::new(),
         };
@@ -223,6 +244,7 @@ impl NetworkSimulator {
 
         let mut next_id = 0u64;
         let mut failed_transmissions = 0u64;
+        let mut byte_deferred = 0u64;
 
         while let Some(ev) = engine.next_event() {
             world.advance_to(ev.time);
@@ -267,6 +289,10 @@ impl NetworkSimulator {
                     }
 
                     let mut budget = self.config.max_transfers_per_contact.unwrap_or(usize::MAX);
+                    let mut byte_budget = self
+                        .config
+                        .link
+                        .and_then(|l| l.capacity_for(driver.contact(ci).duration()));
                     // Messages received during this very contact must not be
                     // forwarded back within it (prevents same-contact
                     // ping-pong of handoff protocols).
@@ -284,9 +310,11 @@ impl NetworkSimulator {
                             &mut delivered,
                             &mut report,
                             &mut budget,
+                            &mut byte_budget,
                             &mut received_now,
                             &mut driver,
                             &mut failed_transmissions,
+                            &mut byte_deferred,
                         );
                     }
                 }
@@ -300,6 +328,11 @@ impl NetworkSimulator {
             world
                 .metrics_mut()
                 .add("failed-transmissions", failed_transmissions);
+        }
+        if byte_deferred > 0 {
+            world
+                .metrics_mut()
+                .add("byte-deferred-transmissions", byte_deferred);
         }
         report.extras = world.into_metrics();
         report
@@ -316,9 +349,11 @@ impl NetworkSimulator {
         delivered: &mut HashMap<MessageId, SimTime>,
         report: &mut DeliveryReport,
         budget: &mut usize,
+        byte_budget: &mut Option<u64>,
         received_now: &mut HashSet<(NodeId, MessageId)>,
         driver: &mut ContactDriver<S>,
         failed_transmissions: &mut u64,
+        byte_deferred: &mut u64,
     ) {
         for id in buffers[carrier.index()].ids() {
             if *budget == 0 {
@@ -331,6 +366,15 @@ impl NetworkSimulator {
                 continue;
             };
             let dst = entry.message.dst();
+
+            // A payload that does not fit the contact's remaining byte
+            // capacity stays buffered at its carrier for the next contact
+            // — denied before the routing decision, so no protocol state
+            // mutates and no loss randomness is drawn.
+            if byte_budget.is_some_and(|r| entry.message.size() > r) {
+                *byte_deferred += 1;
+                continue;
+            }
 
             if delivered.contains_key(&id) {
                 // Implicit immunity: a carrier learns of delivery when it
@@ -360,6 +404,11 @@ impl NetworkSimulator {
                     if peer == dst {
                         report.transmissions += 1;
                         *budget -= 1;
+                        spend_bytes(
+                            byte_budget,
+                            &mut report.bytes_transmitted,
+                            entry.message.size(),
+                        );
                         if driver.transfer_fails() {
                             *failed_transmissions += 1;
                         } else {
@@ -374,16 +423,31 @@ impl NetworkSimulator {
                         report.transmissions += 1;
                         *failed_transmissions += 1;
                         *budget -= 1;
+                        spend_bytes(
+                            byte_budget,
+                            &mut report.bytes_transmitted,
+                            entry.message.size(),
+                        );
                     } else if buffers[peer.index()].insert(entry.message, peer_tokens, now) {
                         received_now.insert((peer, id));
                         report.transmissions += 1;
                         *budget -= 1;
+                        spend_bytes(
+                            byte_budget,
+                            &mut report.bytes_transmitted,
+                            entry.message.size(),
+                        );
                     }
                 }
                 TransferDecision::Handoff => {
                     if peer == dst {
                         report.transmissions += 1;
                         *budget -= 1;
+                        spend_bytes(
+                            byte_budget,
+                            &mut report.bytes_transmitted,
+                            entry.message.size(),
+                        );
                         if driver.transfer_fails() {
                             *failed_transmissions += 1;
                         } else {
@@ -398,11 +462,21 @@ impl NetworkSimulator {
                         report.transmissions += 1;
                         *failed_transmissions += 1;
                         *budget -= 1;
+                        spend_bytes(
+                            byte_budget,
+                            &mut report.bytes_transmitted,
+                            entry.message.size(),
+                        );
                     } else if buffers[peer.index()].insert(entry.message, entry_mut.tokens, now) {
                         buffers[carrier.index()].remove(id);
                         received_now.insert((peer, id));
                         report.transmissions += 1;
                         *budget -= 1;
+                        spend_bytes(
+                            byte_budget,
+                            &mut report.bytes_transmitted,
+                            entry.message.size(),
+                        );
                     }
                 }
             }
@@ -442,6 +516,52 @@ mod tests {
             src: NodeId(src),
             dst: NodeId(dst),
         }
+    }
+
+    #[test]
+    fn byte_capacity_defers_messages_to_later_contacts() {
+        // Node 0 holds three 1024-byte messages for node 1. Each 10-second
+        // contact at 204.8 B/s carries 2048 bytes → two messages, and the
+        // third waits in 0's buffer for the next contact.
+        let trace = TraceBuilder::new(2)
+            .contact(c(0, 1, 10.0, 20.0))
+            .contact(c(0, 1, 100.0, 110.0))
+            .build()
+            .unwrap();
+        let config = SimConfig {
+            link: Some(LinkConfig::with_bandwidth(204.8)),
+            ..SimConfig::default()
+        };
+        let report = NetworkSimulator::new(config).run(
+            &trace,
+            &mut DirectDelivery::new(),
+            &[demand(0, 1, 0.0), demand(0, 1, 0.0), demand(0, 1, 0.0)],
+        );
+        assert_eq!(report.delivered, 3);
+        assert_eq!(report.bytes_transmitted, 3 * 1024);
+        assert_eq!(report.extras.get("byte-deferred-transmissions"), 1);
+        // Two messages land at t=10, the deferred one at t=100.
+        assert!((report.delays.mean().unwrap() - (10.0 + 10.0 + 100.0) / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unlimited_link_is_bit_identical_to_no_link() {
+        let demands = [demand(0, 2, 0.0), demand(0, 2, 1.0)];
+        let plain = NetworkSimulator::new(SimConfig::default()).run(
+            &chain_trace(),
+            &mut Epidemic::new(),
+            &demands,
+        );
+        let linked = NetworkSimulator::new(SimConfig {
+            link: Some(LinkConfig::unlimited()),
+            ..SimConfig::default()
+        })
+        .run(&chain_trace(), &mut Epidemic::new(), &demands);
+        assert_eq!(plain.delivered, linked.delivered);
+        assert_eq!(plain.transmissions, linked.transmissions);
+        assert_eq!(plain.delays, linked.delays);
+        assert_eq!(linked.extras.get("byte-deferred-transmissions"), 0);
+        assert_eq!(linked.bytes_transmitted, linked.transmissions * 1024);
     }
 
     #[test]

@@ -16,8 +16,13 @@ pub struct NodeReport {
     pub carried: Option<u64>,
     /// Wire frames this node serialized and sent.
     pub msgs_sent: u64,
+    /// Encoded bytes this node put on the wire (frame headers included).
+    pub bytes_sent: u64,
     /// Wire frames this node received and decoded.
     pub msgs_received: u64,
+    /// Encoded bytes this node received (undecodable frames included —
+    /// their bytes crossed the link).
+    pub bytes_received: u64,
     /// Relay copies this node handed out.
     pub replicas_created: u64,
     /// Received frames that failed to decode (dropped, never panicked).
@@ -61,6 +66,10 @@ pub struct RuntimeReport {
     pub final_member_versions: Vec<(NodeId, u64)>,
     /// Total frames received across all nodes.
     pub messages_received: u64,
+    /// Total encoded bytes put on the wire across all nodes — the
+    /// runtime's ground-truth measure of what a bandwidth-limited link
+    /// would have to carry.
+    pub bytes_sent: u64,
     /// Received frames dropped as undecodable.
     pub decode_errors: u64,
     /// Supervisor-side channel failures: a node task died or a handshake
@@ -84,6 +93,8 @@ pub struct FirehoseReport {
     pub messages_sent: u64,
     /// Wire frames received across all nodes.
     pub messages_received: u64,
+    /// Encoded bytes put on the wire across all nodes.
+    pub bytes_sent: u64,
     /// Received frames dropped as undecodable.
     pub decode_errors: u64,
     /// Supervisor-side channel failures (dead node tasks, lost acks).

@@ -166,7 +166,9 @@ struct NodeTask {
     acks: Sender<Ack>,
     seq: u64,
     sent: u64,
+    bytes_sent: u64,
     received: u64,
+    bytes_received: u64,
     replicas: u64,
     decode_errors: u64,
     counts: Vec<(&'static str, u64)>,
@@ -196,6 +198,7 @@ impl NodeTask {
                 }
                 NodeMsg::Wire { bytes, reply_tx } => {
                     self.received += 1;
+                    self.bytes_received += bytes.len() as u64;
                     match codec::decode(&bytes) {
                         Ok((from, t, msg)) => {
                             let effects = self.proto.on_message(t, from, &msg);
@@ -219,7 +222,9 @@ impl NodeTask {
                         cache: self.proto.cache_version(),
                         carried: self.proto.carried_version(),
                         msgs_sent: self.sent,
+                        bytes_sent: self.bytes_sent,
                         msgs_received: self.received,
+                        bytes_received: self.bytes_received,
                         replicas_created: self.replicas,
                         decode_errors: self.decode_errors,
                         counts: std::mem::take(&mut self.counts),
@@ -282,6 +287,7 @@ impl NodeTask {
         let bytes = codec::encode(self.seq, self.proto.id(), to, t, msg);
         self.seq += 1;
         self.sent += 1;
+        self.bytes_sent += bytes.len() as u64;
         // The relaxed lane keeps the wait-for graph acyclic: a node never
         // blocks on a peer's inbox while its own inbox backs up (two nodes
         // wiring frames at each other through full bounded inboxes would
@@ -364,7 +370,9 @@ fn spawn_network(
             acks: ack_tx.clone(),
             seq: 0,
             sent: 0,
+            bytes_sent: 0,
             received: 0,
+            bytes_received: 0,
             replicas: 0,
             decode_errors: 0,
             counts: Vec::new(),
@@ -668,12 +676,14 @@ pub fn run_lockstep<S: ContactSource>(
     let mut transmissions = 0;
     let mut replicas = 0;
     let mut messages_received = 0;
+    let mut bytes_sent = 0;
     let mut decode_errors = 0;
     for r in &reports {
         transmissions += r.msgs_sent;
         per_node_transmissions[r.node.index()] = r.msgs_sent;
         replicas += r.replicas_created;
         messages_received += r.msgs_received;
+        bytes_sent += r.bytes_sent;
         decode_errors += r.decode_errors;
         for &(name, n) in &r.counts {
             extras.add(name, n);
@@ -707,6 +717,7 @@ pub fn run_lockstep<S: ContactSource>(
         extras,
         final_member_versions,
         messages_received,
+        bytes_sent,
         decode_errors,
         channel_errors,
         oracle,
@@ -826,6 +837,7 @@ pub fn run_firehose<S: ContactSource>(
     }
     let mut messages_sent = 0;
     let mut messages_received = 0;
+    let mut bytes_sent = 0;
     let mut decode_errors = 0;
     let mut done = 0usize;
     while done < expected {
@@ -833,6 +845,7 @@ pub fn run_firehose<S: ContactSource>(
             Some(Ack::Done(r)) => {
                 messages_sent += r.msgs_sent;
                 messages_received += r.msgs_received;
+                bytes_sent += r.bytes_sent;
                 decode_errors += r.decode_errors;
                 done += 1;
             }
@@ -852,6 +865,7 @@ pub fn run_firehose<S: ContactSource>(
         births: births.len() as u64,
         messages_sent,
         messages_received,
+        bytes_sent,
         decode_errors,
         channel_errors,
         elapsed,

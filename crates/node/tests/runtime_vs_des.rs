@@ -130,6 +130,10 @@ fn tree_runtime_matches_des_on_pinned_seeds() {
             rt.messages_received, rt.transmissions,
             "seed {seed}: every sent frame must arrive in lockstep"
         );
+        assert!(
+            rt.transmissions == 0 || rt.bytes_sent > rt.transmissions,
+            "seed {seed}: every wire frame carries more than one encoded byte"
+        );
     }
 }
 

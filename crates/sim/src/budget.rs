@@ -10,16 +10,56 @@
 //! the transfer as never attempted (no loss draw, no transmission
 //! counter).
 //!
+//! Capacity is accounted on two independent axes:
+//!
+//! * **slots** — the classic transfer count
+//!   ([`capped`](TransferBudget::capped)), and
+//! * **bytes** — a bandwidth×duration product attached with
+//!   [`with_byte_capacity`](TransferBudget::with_byte_capacity). Sized
+//!   consumers call [`try_consume_sized`](TransferBudget::try_consume_sized)
+//!   and learn *which* axis denied them ([`ByteConsume`]): a slot denial is
+//!   the legacy "budget exhausted" outcome, while a byte denial means the
+//!   message did not fit the remaining contact capacity and may be queued
+//!   for a later contact instead of vanishing.
+//!
 //! [`TransferBudget::unlimited`] performs no accounting beyond a used
 //! count, so single-layer simulators that pass an unlimited budget behave
-//! bit-identically to code that never consulted a budget at all.
+//! bit-identically to code that never consulted a budget at all. Likewise,
+//! a zero-size transfer can never be byte-denied and a budget without a
+//! byte capacity never byte-checks, so sized call sites degrade exactly to
+//! the slot-counting semantics when either the sizes or the byte capacity
+//! are absent.
 
-/// A (possibly capped) number of data transfers available within one
-/// contact.
+/// The outcome of a sized consume attempt: granted, or denied by one of
+/// the two capacity axes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ByteConsume {
+    /// The transfer fits; slot and byte accounting were charged.
+    Granted,
+    /// The slot capacity is exhausted (the legacy over-budget outcome).
+    /// Nothing was charged.
+    SlotDenied,
+    /// The message does not fit the remaining byte capacity. Nothing was
+    /// charged; the caller may queue the message for a later contact.
+    ByteDenied,
+}
+
+impl ByteConsume {
+    /// Whether the transfer was granted.
+    #[must_use]
+    pub fn granted(self) -> bool {
+        self == ByteConsume::Granted
+    }
+}
+
+/// A (possibly capped) number of data transfers — and optionally bytes —
+/// available within one contact.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TransferBudget {
     capacity: Option<u32>,
     used: u32,
+    byte_capacity: Option<u64>,
+    bytes_used: u64,
 }
 
 impl TransferBudget {
@@ -29,6 +69,8 @@ impl TransferBudget {
         TransferBudget {
             capacity: None,
             used: 0,
+            byte_capacity: None,
+            bytes_used: 0,
         }
     }
 
@@ -38,26 +80,62 @@ impl TransferBudget {
         TransferBudget {
             capacity: Some(capacity),
             used: 0,
+            byte_capacity: None,
+            bytes_used: 0,
         }
     }
 
-    /// The configured capacity (`None` = unlimited).
+    /// Attaches a byte capacity (`None` = unlimited bytes, the legacy
+    /// semantics). Typically the contact's bandwidth×duration product.
+    #[must_use]
+    pub fn with_byte_capacity(mut self, bytes: Option<u64>) -> Self {
+        self.byte_capacity = bytes;
+        self
+    }
+
+    /// The configured slot capacity (`None` = unlimited).
     #[must_use]
     pub fn capacity(&self) -> Option<u32> {
         self.capacity
     }
 
-    /// Consumes one transfer if any capacity remains; returns whether the
-    /// transfer may proceed.
-    pub fn try_consume(&mut self) -> bool {
-        if self.capacity.is_some_and(|cap| self.used >= cap) {
-            return false;
-        }
-        self.used += 1;
-        true
+    /// The configured byte capacity (`None` = unlimited).
+    #[must_use]
+    pub fn byte_capacity(&self) -> Option<u64> {
+        self.byte_capacity
     }
 
-    /// Whether at least one transfer remains.
+    /// Consumes one transfer if any capacity remains; returns whether the
+    /// transfer may proceed. Equivalent to a zero-size
+    /// [`try_consume_sized`](TransferBudget::try_consume_sized), so legacy
+    /// slot-counting call sites never hit the byte axis.
+    pub fn try_consume(&mut self) -> bool {
+        self.try_consume_sized(0).granted()
+    }
+
+    /// Consumes one transfer of `bytes` if both the slot and the byte
+    /// capacity admit it. The slot axis is checked first (preserving the
+    /// legacy denial order); a denial on either axis charges nothing.
+    ///
+    /// A zero-size transfer can never be byte-denied, and a budget without
+    /// a byte capacity never byte-checks — both degrade bit-identically to
+    /// the slot-counting path.
+    pub fn try_consume_sized(&mut self, bytes: u64) -> ByteConsume {
+        if self.capacity.is_some_and(|cap| self.used >= cap) {
+            return ByteConsume::SlotDenied;
+        }
+        if let Some(cap) = self.byte_capacity {
+            if self.bytes_used.saturating_add(bytes) > cap {
+                return ByteConsume::ByteDenied;
+            }
+        }
+        self.used += 1;
+        self.bytes_used = self.bytes_used.saturating_add(bytes);
+        ByteConsume::Granted
+    }
+
+    /// Whether at least one transfer slot remains (the byte axis is
+    /// message-size dependent and is not consulted here).
     #[must_use]
     pub fn has_remaining(&self) -> bool {
         self.capacity.is_none_or(|cap| self.used < cap)
@@ -69,10 +147,23 @@ impl TransferBudget {
         self.used
     }
 
+    /// Bytes consumed so far.
+    #[must_use]
+    pub fn bytes_used(&self) -> u64 {
+        self.bytes_used
+    }
+
     /// Transfers still available (`None` = unlimited).
     #[must_use]
     pub fn remaining(&self) -> Option<u32> {
         self.capacity.map(|cap| cap.saturating_sub(self.used))
+    }
+
+    /// Bytes still available (`None` = unlimited).
+    #[must_use]
+    pub fn remaining_bytes(&self) -> Option<u64> {
+        self.byte_capacity
+            .map(|cap| cap.saturating_sub(self.bytes_used))
     }
 }
 
@@ -111,5 +202,63 @@ mod tests {
         assert!(!b.has_remaining());
         assert!(!b.try_consume());
         assert_eq!(b.used(), 0);
+    }
+
+    #[test]
+    fn byte_capacity_denies_oversized_transfers() {
+        let mut b = TransferBudget::unlimited().with_byte_capacity(Some(1000));
+        assert_eq!(b.try_consume_sized(600), ByteConsume::Granted);
+        assert_eq!(b.bytes_used(), 600);
+        assert_eq!(b.remaining_bytes(), Some(400));
+        // The next 600-byte message does not fit; nothing is charged.
+        assert_eq!(b.try_consume_sized(600), ByteConsume::ByteDenied);
+        assert_eq!(b.used(), 1);
+        assert_eq!(b.bytes_used(), 600);
+        // A smaller message still fits — byte denial is per-message, not
+        // a latch.
+        assert_eq!(b.try_consume_sized(400), ByteConsume::Granted);
+        assert_eq!(b.remaining_bytes(), Some(0));
+    }
+
+    #[test]
+    fn slot_denial_is_checked_before_bytes() {
+        let mut b = TransferBudget::capped(1).with_byte_capacity(Some(10));
+        assert_eq!(b.try_consume_sized(4), ByteConsume::Granted);
+        // Both axes would deny; the slot axis wins (legacy denial order).
+        assert_eq!(b.try_consume_sized(100), ByteConsume::SlotDenied);
+        assert_eq!(b.used(), 1);
+        assert_eq!(b.bytes_used(), 4);
+    }
+
+    #[test]
+    fn zero_size_transfers_never_byte_deny() {
+        let mut b = TransferBudget::capped(5).with_byte_capacity(Some(0));
+        for _ in 0..5 {
+            assert_eq!(b.try_consume_sized(0), ByteConsume::Granted);
+        }
+        assert_eq!(b.try_consume_sized(0), ByteConsume::SlotDenied);
+        assert_eq!(b.bytes_used(), 0);
+    }
+
+    #[test]
+    fn sized_and_slot_paths_agree_without_byte_capacity() {
+        // With no byte capacity, try_consume_sized is the slot-counting
+        // path regardless of message size.
+        let mut sized = TransferBudget::capped(2);
+        let mut legacy = TransferBudget::capped(2);
+        for bytes in [10_000u64, u64::MAX, 1] {
+            let a = sized.try_consume_sized(bytes).granted();
+            let b = legacy.try_consume();
+            assert_eq!(a, b);
+            assert_eq!(sized.used(), legacy.used());
+        }
+    }
+
+    #[test]
+    fn zero_byte_capacity_starves_sized_traffic() {
+        let mut b = TransferBudget::unlimited().with_byte_capacity(Some(0));
+        assert_eq!(b.try_consume_sized(1), ByteConsume::ByteDenied);
+        assert_eq!(b.used(), 0);
+        assert!(b.has_remaining(), "slot axis is still open");
     }
 }

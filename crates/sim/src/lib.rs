@@ -51,6 +51,7 @@
 
 mod budget;
 mod engine;
+mod link;
 pub mod metrics;
 pub mod oracle;
 mod queue;
@@ -60,8 +61,9 @@ pub mod stats;
 mod time;
 mod world;
 
-pub use budget::TransferBudget;
+pub use budget::{ByteConsume, TransferBudget};
 pub use engine::{Engine, ScheduledEvent};
+pub use link::{LinkConfig, LinkStats, Queued, TxQueues};
 pub use oracle::{InvariantOracle, OracleMode, OracleObs, OracleReport, OracleSink, Violation};
 pub use queue::{EventClass, EventHandle, EventQueue};
 pub use rng::{split_mix64, RngFactory};

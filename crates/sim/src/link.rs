@@ -1,0 +1,440 @@
+//! The bandwidth-realistic link model: contact byte capacities and
+//! per-node FIFO transmission queues.
+//!
+//! The slot-counting [`TransferBudget`](crate::TransferBudget) treats
+//! every transfer as free and instantaneous. Real opportunistic contacts
+//! are bandwidth×duration-limited: two radios in range for `d` seconds at
+//! `B` bytes/second can move at most `B·d` bytes, and a message that does
+//! not fit the remaining capacity waits at its sender for the next
+//! contact rather than vanishing. This module supplies the two
+//! substrate pieces:
+//!
+//! * [`LinkConfig`] — the per-world link parameters: a bandwidth (`None`
+//!   = effectively infinite, the legacy semantics) and the bound on each
+//!   node's transmission-queue depth.
+//!   [`capacity_for`](LinkConfig::capacity_for) turns a contact duration
+//!   into the byte capacity its budget carries.
+//! * [`TxQueues`] — per-node bounded FIFO queues of deferred messages
+//!   with full [`LinkStats`] accounting: enqueues, drains (with
+//!   transmission delay measured from enqueue to drain), queue-full
+//!   drops, stale discards, and the peak depth ever reached.
+//!
+//! Everything here is deterministic and RNG-free: queue contents are a
+//! pure function of the enqueue/drain call sequence, so installing the
+//! link model with an infinite bandwidth (no byte denials → no queue
+//! traffic) is bit-identity-safe by construction.
+
+use std::collections::VecDeque;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Per-world link-model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkConfig {
+    /// Link bandwidth in bytes per second (`None` = effectively infinite:
+    /// contacts carry no byte capacity and the sized path degrades to
+    /// slot counting).
+    pub bandwidth: Option<f64>,
+    /// Maximum number of deferred messages each node's transmission queue
+    /// holds; an enqueue beyond this depth drops the message (with drop
+    /// accounting).
+    pub queue_depth: usize,
+}
+
+impl LinkConfig {
+    /// The default queue-depth bound.
+    pub const DEFAULT_QUEUE_DEPTH: usize = 64;
+
+    /// An effectively-infinite link: no byte capacity, default queue
+    /// bound (the queues stay empty — nothing is ever byte-denied).
+    #[must_use]
+    pub fn unlimited() -> LinkConfig {
+        LinkConfig {
+            bandwidth: None,
+            queue_depth: LinkConfig::DEFAULT_QUEUE_DEPTH,
+        }
+    }
+
+    /// A finite link of `bandwidth` bytes/second.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `bandwidth` is finite and non-negative.
+    #[must_use]
+    pub fn with_bandwidth(bandwidth: f64) -> LinkConfig {
+        assert!(
+            bandwidth.is_finite() && bandwidth >= 0.0,
+            "LinkConfig: bandwidth must be finite and non-negative, got {bandwidth}"
+        );
+        LinkConfig {
+            bandwidth: Some(bandwidth),
+            queue_depth: LinkConfig::DEFAULT_QUEUE_DEPTH,
+        }
+    }
+
+    /// Replaces the queue-depth bound.
+    #[must_use]
+    pub fn queue_depth(mut self, depth: usize) -> LinkConfig {
+        self.queue_depth = depth;
+        self
+    }
+
+    /// The byte capacity of one contact of the given duration:
+    /// `⌊bandwidth × duration⌋`, or `None` for an infinite link.
+    #[must_use]
+    pub fn capacity_for(&self, duration: SimDuration) -> Option<u64> {
+        let bw = self.bandwidth?;
+        let bytes = bw * duration.as_secs();
+        if bytes >= u64::MAX as f64 {
+            return Some(u64::MAX);
+        }
+        Some(bytes.max(0.0) as u64)
+    }
+}
+
+/// One deferred message waiting in a transmission queue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Queued<M> {
+    /// The deferred message payload.
+    pub msg: M,
+    /// Its size in bytes (charged against the contact that drains it).
+    pub bytes: u64,
+    /// When it entered the queue (transmission delay is measured from
+    /// here to the drain).
+    pub enqueued_at: SimTime,
+}
+
+/// Cumulative link-layer accounting of one run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LinkStats {
+    /// Messages accepted into a queue.
+    pub enqueued_msgs: u64,
+    /// Bytes accepted into a queue.
+    pub enqueued_bytes: u64,
+    /// Messages drained (actually transmitted at a later contact).
+    pub drained_msgs: u64,
+    /// Bytes drained.
+    pub drained_bytes: u64,
+    /// Messages dropped because the sender's queue was at its depth
+    /// bound.
+    pub dropped_msgs: u64,
+    /// Bytes dropped at the depth bound.
+    pub dropped_bytes: u64,
+    /// Queued messages discarded as obsolete before transmission (e.g. a
+    /// newer version overtook them).
+    pub discarded_msgs: u64,
+    /// Bytes discarded as obsolete.
+    pub discarded_bytes: u64,
+    /// The deepest any single queue ever got.
+    pub max_depth: u64,
+    /// Total transmission delay (enqueue → drain) over all drained
+    /// messages, seconds.
+    pub delay_secs_total: f64,
+}
+
+impl LinkStats {
+    /// Mean transmission delay of drained messages, seconds (`None` when
+    /// nothing was drained).
+    #[must_use]
+    pub fn mean_delay_secs(&self) -> Option<f64> {
+        if self.drained_msgs == 0 {
+            return None;
+        }
+        Some(self.delay_secs_total / self.drained_msgs as f64)
+    }
+
+    /// Messages still queued: accepted but neither drained, dropped, nor
+    /// discarded.
+    #[must_use]
+    pub fn pending_msgs(&self) -> u64 {
+        self.enqueued_msgs
+            .saturating_sub(self.drained_msgs)
+            .saturating_sub(self.discarded_msgs)
+    }
+
+    /// Folds another run's (or participant's) counters into this one.
+    pub fn merge(&mut self, other: &LinkStats) {
+        self.enqueued_msgs += other.enqueued_msgs;
+        self.enqueued_bytes += other.enqueued_bytes;
+        self.drained_msgs += other.drained_msgs;
+        self.drained_bytes += other.drained_bytes;
+        self.dropped_msgs += other.dropped_msgs;
+        self.dropped_bytes += other.dropped_bytes;
+        self.discarded_msgs += other.discarded_msgs;
+        self.discarded_bytes += other.discarded_bytes;
+        self.max_depth = self.max_depth.max(other.max_depth);
+        self.delay_secs_total += other.delay_secs_total;
+    }
+}
+
+/// Per-node bounded FIFO transmission queues with drop accounting.
+///
+/// Indexed by node (dense `0..nodes`). Messages enter at the tail via
+/// [`enqueue`](TxQueues::enqueue) when a contact's byte capacity denies
+/// them, and leave in FIFO order via [`pop`](TxQueues::pop) (a real
+/// transmission at a later contact) or [`discard`](TxQueues::discard)
+/// (obsolete before transmission). The structure never draws randomness.
+#[derive(Debug, Clone)]
+pub struct TxQueues<M> {
+    queues: Vec<VecDeque<Queued<M>>>,
+    depth_bound: usize,
+    stats: LinkStats,
+}
+
+impl<M> TxQueues<M> {
+    /// Creates empty queues for `nodes` nodes with the given per-node
+    /// depth bound.
+    #[must_use]
+    pub fn new(nodes: usize, depth_bound: usize) -> TxQueues<M> {
+        TxQueues {
+            queues: (0..nodes).map(|_| VecDeque::new()).collect(),
+            depth_bound,
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// The per-node depth bound.
+    #[must_use]
+    pub fn depth_bound(&self) -> usize {
+        self.depth_bound
+    }
+
+    /// Number of messages currently queued at `node`.
+    #[must_use]
+    pub fn depth(&self, node: usize) -> usize {
+        self.queues.get(node).map_or(0, VecDeque::len)
+    }
+
+    /// Whether every queue is empty (the fast path per contact).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.queues.iter().all(VecDeque::is_empty)
+    }
+
+    /// Queues a message at `node`; returns whether it was accepted
+    /// (`false` = the queue is at its depth bound and the message was
+    /// dropped, with drop accounting).
+    pub fn enqueue(&mut self, node: usize, msg: M, bytes: u64, now: SimTime) -> bool {
+        let q = &mut self.queues[node];
+        if q.len() >= self.depth_bound {
+            self.stats.dropped_msgs += 1;
+            self.stats.dropped_bytes += bytes;
+            return false;
+        }
+        q.push_back(Queued {
+            msg,
+            bytes,
+            enqueued_at: now,
+        });
+        self.stats.enqueued_msgs += 1;
+        self.stats.enqueued_bytes += bytes;
+        self.stats.max_depth = self.stats.max_depth.max(q.len() as u64);
+        true
+    }
+
+    /// The head of `node`'s queue, if any.
+    #[must_use]
+    pub fn front(&self, node: usize) -> Option<&Queued<M>> {
+        self.queues.get(node).and_then(VecDeque::front)
+    }
+
+    /// Dequeues the head of `node`'s queue as a completed transmission at
+    /// `now`, recording its transmission delay.
+    pub fn pop(&mut self, node: usize, now: SimTime) -> Option<Queued<M>> {
+        let entry = self.queues.get_mut(node)?.pop_front()?;
+        self.stats.drained_msgs += 1;
+        self.stats.drained_bytes += entry.bytes;
+        self.stats.delay_secs_total += now.saturating_since(entry.enqueued_at).as_secs();
+        Some(entry)
+    }
+
+    /// Dequeues the head of `node`'s queue as obsolete (no transmission,
+    /// no delay sample).
+    pub fn discard(&mut self, node: usize) -> Option<Queued<M>> {
+        let entry = self.queues.get_mut(node)?.pop_front()?;
+        self.stats.discarded_msgs += 1;
+        self.stats.discarded_bytes += entry.bytes;
+        Some(entry)
+    }
+
+    /// The cumulative accounting.
+    #[must_use]
+    pub fn stats(&self) -> &LinkStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn capacity_is_bandwidth_times_duration() {
+        let link = LinkConfig::with_bandwidth(100.0);
+        assert_eq!(link.capacity_for(SimDuration::from_secs(30.0)), Some(3000));
+        assert_eq!(link.capacity_for(SimDuration::from_secs(0.0)), Some(0));
+        assert_eq!(
+            LinkConfig::unlimited().capacity_for(SimDuration::from_secs(30.0)),
+            None
+        );
+        // A huge product saturates instead of wrapping.
+        assert_eq!(
+            LinkConfig::with_bandwidth(1e30).capacity_for(SimDuration::from_secs(1e30)),
+            Some(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn fifo_order_and_delay_accounting() {
+        let mut q: TxQueues<u32> = TxQueues::new(2, 8);
+        assert!(q.is_empty());
+        assert!(q.enqueue(0, 7, 100, t(10.0)));
+        assert!(q.enqueue(0, 8, 50, t(20.0)));
+        assert_eq!(q.depth(0), 2);
+        assert!(!q.is_empty());
+
+        let first = q.pop(0, t(40.0)).expect("head");
+        assert_eq!(first.msg, 7);
+        assert_eq!(first.bytes, 100);
+        let second = q.pop(0, t(50.0)).expect("next");
+        assert_eq!(second.msg, 8);
+        assert!(q.pop(0, t(60.0)).is_none());
+
+        let s = q.stats();
+        assert_eq!(s.enqueued_msgs, 2);
+        assert_eq!(s.enqueued_bytes, 150);
+        assert_eq!(s.drained_msgs, 2);
+        assert_eq!(s.drained_bytes, 150);
+        assert_eq!(s.max_depth, 2);
+        // Delays: 40-10 = 30 and 50-20 = 30.
+        assert_eq!(s.delay_secs_total, 60.0);
+        assert_eq!(s.mean_delay_secs(), Some(30.0));
+        assert_eq!(s.pending_msgs(), 0);
+    }
+
+    #[test]
+    fn depth_bound_drops_with_accounting() {
+        let mut q: TxQueues<u32> = TxQueues::new(1, 2);
+        assert!(q.enqueue(0, 1, 10, t(0.0)));
+        assert!(q.enqueue(0, 2, 10, t(0.0)));
+        assert!(!q.enqueue(0, 3, 10, t(0.0)), "third exceeds the bound");
+        assert_eq!(q.depth(0), 2);
+        let s = q.stats();
+        assert_eq!(s.dropped_msgs, 1);
+        assert_eq!(s.dropped_bytes, 10);
+        assert_eq!(s.enqueued_msgs, 2);
+    }
+
+    #[test]
+    fn discard_counts_separately_from_drain() {
+        let mut q: TxQueues<&'static str> = TxQueues::new(1, 8);
+        q.enqueue(0, "stale", 500, t(0.0));
+        q.enqueue(0, "live", 200, t(0.0));
+        let dropped = q.discard(0).expect("head");
+        assert_eq!(dropped.msg, "stale");
+        let sent = q.pop(0, t(5.0)).expect("next");
+        assert_eq!(sent.msg, "live");
+        let s = q.stats();
+        assert_eq!(s.discarded_msgs, 1);
+        assert_eq!(s.discarded_bytes, 500);
+        assert_eq!(s.drained_msgs, 1);
+        assert_eq!(s.drained_bytes, 200);
+        assert_eq!(s.pending_msgs(), 0);
+    }
+
+    #[test]
+    fn stats_merge_folds_counters() {
+        let mut a = LinkStats {
+            enqueued_msgs: 1,
+            enqueued_bytes: 10,
+            drained_msgs: 1,
+            drained_bytes: 10,
+            max_depth: 3,
+            delay_secs_total: 4.0,
+            ..LinkStats::default()
+        };
+        let b = LinkStats {
+            enqueued_msgs: 2,
+            enqueued_bytes: 20,
+            dropped_msgs: 1,
+            dropped_bytes: 5,
+            max_depth: 7,
+            delay_secs_total: 1.5,
+            ..LinkStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.enqueued_msgs, 3);
+        assert_eq!(a.enqueued_bytes, 30);
+        assert_eq!(a.dropped_msgs, 1);
+        assert_eq!(a.max_depth, 7);
+        assert_eq!(a.delay_secs_total, 5.5);
+    }
+
+    proptest::proptest! {
+        /// Under any interleaving of enqueue/pop/discard, bytes are
+        /// conserved (accepted = drained + discarded + still queued, for
+        /// both messages and bytes), no queue ever exceeds its depth
+        /// bound, and `max_depth`/`pending_msgs` agree with the live
+        /// queue state.
+        #[test]
+        fn byte_conservation_under_random_ops(
+            nodes in 1usize..4,
+            bound in 1usize..5,
+            ops in proptest::collection::vec(
+                (0u8..3, 0usize..4, 1u64..100),
+                1..64,
+            ),
+        ) {
+            let mut q: TxQueues<u32> = TxQueues::new(nodes, bound);
+            let mut live: Vec<Vec<u64>> = vec![Vec::new(); nodes];
+            for (i, &(op, node, bytes)) in ops.iter().enumerate() {
+                let node = node % nodes;
+                match op {
+                    0 => {
+                        let accepted = q.enqueue(node, i as u32, bytes, t(i as f64));
+                        proptest::prop_assert_eq!(accepted, live[node].len() < bound);
+                        if accepted {
+                            live[node].push(bytes);
+                        }
+                    }
+                    1 => {
+                        let popped = q.pop(node, t(i as f64));
+                        proptest::prop_assert_eq!(popped.is_some(), !live[node].is_empty());
+                        if let Some(entry) = popped {
+                            proptest::prop_assert_eq!(entry.bytes, live[node].remove(0));
+                        }
+                    }
+                    _ => {
+                        if let Some(entry) = q.discard(node) {
+                            proptest::prop_assert_eq!(entry.bytes, live[node].remove(0));
+                        } else {
+                            proptest::prop_assert!(live[node].is_empty());
+                        }
+                    }
+                }
+                for (n, expected) in live.iter().enumerate() {
+                    proptest::prop_assert!(expected.len() <= bound);
+                    proptest::prop_assert_eq!(q.depth(n), expected.len());
+                }
+            }
+            let s = q.stats();
+            let queued_msgs: u64 = live.iter().map(|v| v.len() as u64).sum();
+            let queued_bytes: u64 = live.iter().flatten().sum();
+            proptest::prop_assert_eq!(
+                s.enqueued_msgs,
+                s.drained_msgs + s.discarded_msgs + queued_msgs
+            );
+            proptest::prop_assert_eq!(
+                s.enqueued_bytes,
+                s.drained_bytes + s.discarded_bytes + queued_bytes
+            );
+            proptest::prop_assert_eq!(s.pending_msgs(), queued_msgs);
+            proptest::prop_assert!(s.max_depth <= bound as u64);
+            proptest::prop_assert_eq!(q.is_empty(), queued_msgs == 0);
+        }
+    }
+}

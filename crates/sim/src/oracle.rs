@@ -250,6 +250,26 @@ pub enum OracleObs {
         /// The configured capacity (`None` = unlimited).
         capacity: Option<u32>,
     },
+    /// The byte axis of a per-contact budget was retired at the end of a
+    /// contact (emitted alongside [`OracleObs::BudgetRetired`] when the
+    /// world runs a bandwidth-realistic link model).
+    BytesRetired {
+        /// Bytes moved within the contact.
+        bytes_used: u64,
+        /// The contact's byte capacity — its bandwidth×duration product
+        /// (`None` = effectively infinite).
+        byte_capacity: Option<u64>,
+    },
+    /// A node's transmission-queue depth changed (after an enqueue or a
+    /// drain of the link model's deferred-message queues).
+    QueueDepth {
+        /// The queueing node.
+        node: u64,
+        /// Messages currently queued at the node.
+        depth: u64,
+        /// The configured per-node depth bound.
+        bound: u64,
+    },
     /// A node's cache occupancy changed.
     CacheOccupancy {
         /// The caching node.
